@@ -1,0 +1,45 @@
+//! Shared configuration of the EM-based aggregators.
+
+use serde::{Deserialize, Serialize};
+
+/// Hyper-parameters of the EM estimators.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EmConfig {
+    /// Laplace smoothing added to confusion-matrix counts before row
+    /// normalization. Prevents zero probabilities from permanently locking a
+    /// worker out of a label (the paper is silent on smoothing; 0.01 keeps the
+    /// estimates close to the raw frequencies).
+    pub smoothing_alpha: f64,
+    /// Upper bound on E/M iterations per `conclude` call.
+    pub max_iterations: usize,
+    /// Convergence threshold on the largest absolute change of any assignment
+    /// probability between consecutive iterations.
+    pub tolerance: f64,
+}
+
+impl EmConfig {
+    /// Configuration used throughout the experiments.
+    pub fn paper_default() -> Self {
+        Self { smoothing_alpha: 0.01, max_iterations: 100, tolerance: 1e-4 }
+    }
+}
+
+impl Default for EmConfig {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_paper_default() {
+        assert_eq!(EmConfig::default(), EmConfig::paper_default());
+        let c = EmConfig::default();
+        assert!(c.smoothing_alpha > 0.0);
+        assert!(c.max_iterations >= 10);
+        assert!(c.tolerance > 0.0 && c.tolerance < 1e-2);
+    }
+}

@@ -1,0 +1,310 @@
+//! Dawid–Skene expectation maximization over worker confusion matrices
+//! (paper §4.1, Eq. 1–5).
+//!
+//! The module exposes the individual E- and M-steps (shared with the
+//! incremental variant in [`crate::iem`]) and the traditional batch estimator
+//! [`BatchEm`] that restarts the estimation on every call.
+
+use crate::config::EmConfig;
+use crate::init::InitStrategy;
+use crate::Aggregator;
+use crowdval_model::{
+    AnswerSet, AssignmentMatrix, ConfusionMatrix, ExpertValidation, LabelId,
+    ProbabilisticAnswerSet,
+};
+use crowdval_numerics::Matrix;
+
+/// Smallest probability used inside logarithms; avoids `-inf` when a smoothed
+/// confusion entry is still extremely small.
+const LOG_FLOOR: f64 = 1e-12;
+
+/// E-step (Eq. 1–4): estimates assignment probabilities from the worker
+/// confusion matrices and label priors. Objects with an expert validation get
+/// a point mass on the validated label (Eq. 4); objects without any answers
+/// fall back to the priors.
+pub fn expectation_step(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    confusions: &[ConfusionMatrix],
+    priors: &[f64],
+) -> AssignmentMatrix {
+    let n = answers.num_objects();
+    let m = answers.num_labels();
+    debug_assert_eq!(confusions.len(), answers.num_workers());
+    debug_assert_eq!(priors.len(), m);
+
+    let mut raw = Matrix::zeros(n, m);
+    for o in answers.objects() {
+        if let Some(validated) = expert.get(o) {
+            raw[(o.index(), validated.index())] = 1.0;
+            continue;
+        }
+        let votes = answers.matrix().answers_for_object(o);
+        // Work in the log domain: with dozens of workers the raw product of
+        // probabilities underflows f64 quickly.
+        let mut log_scores = vec![0.0f64; m];
+        for (l, score) in log_scores.iter_mut().enumerate() {
+            *score = priors[l].max(LOG_FLOOR).ln();
+            for &(w, answered) in votes {
+                let p = confusions[w.index()].prob(LabelId(l), answered);
+                *score += p.max(LOG_FLOOR).ln();
+            }
+        }
+        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        for (l, &score) in log_scores.iter().enumerate() {
+            raw[(o.index(), l)] = (score - max).exp();
+        }
+    }
+    AssignmentMatrix::from_matrix(raw)
+}
+
+/// M-step (Eq. 5): re-estimates every worker's confusion matrix from the soft
+/// label assignments, with Laplace smoothing `alpha` on the counts.
+pub fn maximization_step(
+    answers: &AnswerSet,
+    assignment: &AssignmentMatrix,
+    alpha: f64,
+) -> Vec<ConfusionMatrix> {
+    let m = answers.num_labels();
+    answers
+        .workers()
+        .map(|w| {
+            let mut counts = Matrix::zeros(m, m);
+            for &(o, answered) in answers.matrix().answers_for_worker(w) {
+                for true_label in 0..m {
+                    counts[(true_label, answered.index())] +=
+                        assignment.prob(o, LabelId(true_label));
+                }
+            }
+            ConfusionMatrix::from_counts(&counts, alpha)
+        })
+        .collect()
+}
+
+/// Label priors `p(l)` from the current assignment matrix (Eq. 3).
+pub fn estimate_priors(assignment: &AssignmentMatrix) -> Vec<f64> {
+    assignment.label_priors()
+}
+
+/// Runs alternating E/M iterations starting from the given confusion matrices
+/// and priors until the assignment matrix converges or the iteration budget
+/// is exhausted. Returns the final probabilistic answer set with the number
+/// of EM iterations it took.
+pub fn run_em_from_confusions(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    mut confusions: Vec<ConfusionMatrix>,
+    mut priors: Vec<f64>,
+    config: &EmConfig,
+) -> ProbabilisticAnswerSet {
+    let mut assignment = expectation_step(answers, expert, &confusions, &priors);
+    let mut iterations = 1;
+    while iterations < config.max_iterations {
+        confusions = maximization_step(answers, &assignment, config.smoothing_alpha);
+        priors = estimate_priors(&assignment);
+        let next = expectation_step(answers, expert, &confusions, &priors);
+        iterations += 1;
+        let delta = next.max_abs_diff(&assignment);
+        assignment = next;
+        if delta <= config.tolerance {
+            break;
+        }
+    }
+    // Make sure the reported confusions/priors correspond to the final
+    // assignment matrix.
+    confusions = maximization_step(answers, &assignment, config.smoothing_alpha);
+    priors = estimate_priors(&assignment);
+    ProbabilisticAnswerSet::new(assignment, confusions, priors, iterations)
+}
+
+/// Runs alternating E/M iterations starting from an initial assignment
+/// estimate (majority vote, uniform or random).
+pub fn run_em_from_assignment(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    initial: AssignmentMatrix,
+    config: &EmConfig,
+) -> ProbabilisticAnswerSet {
+    let confusions = maximization_step(answers, &initial, config.smoothing_alpha);
+    let priors = estimate_priors(&initial);
+    run_em_from_confusions(answers, expert, confusions, priors, config)
+}
+
+/// The traditional batch EM aggregator: every call re-estimates everything
+/// from scratch, ignoring the previous probabilistic answer set.
+#[derive(Debug, Clone, Copy)]
+pub struct BatchEm {
+    config: EmConfig,
+    init: InitStrategy,
+}
+
+impl BatchEm {
+    /// Batch EM with majority-vote initialization.
+    pub fn new(config: EmConfig) -> Self {
+        Self { config, init: InitStrategy::MajorityVote }
+    }
+
+    /// Batch EM with an explicit initialization strategy.
+    pub fn with_init(config: EmConfig, init: InitStrategy) -> Self {
+        Self { config, init }
+    }
+
+    /// The configured initialization strategy.
+    pub fn init(&self) -> InitStrategy {
+        self.init
+    }
+
+    /// The EM hyper-parameters.
+    pub fn config(&self) -> &EmConfig {
+        &self.config
+    }
+}
+
+impl Default for BatchEm {
+    fn default() -> Self {
+        Self::new(EmConfig::paper_default())
+    }
+}
+
+impl Aggregator for BatchEm {
+    fn conclude(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        _previous: Option<&ProbabilisticAnswerSet>,
+    ) -> ProbabilisticAnswerSet {
+        let initial = self.init.initial_assignment(answers, expert);
+        run_em_from_assignment(answers, expert, initial, &self.config)
+    }
+
+    fn name(&self) -> &'static str {
+        "batch-em"
+    }
+}
+
+/// Convenience helper used by examples and tests: batch EM without any expert
+/// input.
+pub fn aggregate(answers: &AnswerSet) -> ProbabilisticAnswerSet {
+    BatchEm::default().conclude(answers, &ExpertValidation::empty(answers.num_objects()), None)
+}
+
+/// Returns `true` when every unvalidated object's distribution is still a
+/// probability distribution — a cheap internal sanity check used in tests.
+pub fn is_valid_probabilistic_answer_set(p: &ProbabilisticAnswerSet) -> bool {
+    p.assignment().matrix().is_row_stochastic(1e-6)
+        && p.confusions().iter().all(|c| c.matrix().is_row_stochastic(1e-6))
+        && (p.priors().iter().sum::<f64>() - 1.0).abs() < 1e-6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::{LabelId, ObjectId, WorkerId};
+    use crowdval_sim::SyntheticConfig;
+
+    /// Three good workers, one adversarial worker, ten objects.
+    fn toy() -> (AnswerSet, Vec<LabelId>) {
+        let truth: Vec<LabelId> = (0..10).map(|i| LabelId(i % 2)).collect();
+        let mut n = AnswerSet::new(10, 4, 2);
+        for (o, &t) in truth.iter().enumerate() {
+            for w in 0..3 {
+                // Good workers: correct except worker 0 errs on object 7.
+                let ans = if w == 0 && o == 7 { LabelId(1 - t.index()) } else { t };
+                n.record_answer(ObjectId(o), WorkerId(w), ans).unwrap();
+            }
+            // Worker 3 always answers the opposite.
+            n.record_answer(ObjectId(o), WorkerId(3), LabelId(1 - t.index())).unwrap();
+        }
+        (n, truth)
+    }
+
+    #[test]
+    fn em_recovers_the_truth_on_the_toy_answer_set() {
+        let (answers, truth) = toy();
+        let p = aggregate(&answers);
+        let d = p.instantiate();
+        for (o, &t) in truth.iter().enumerate() {
+            assert_eq!(d.label(ObjectId(o)), t, "object {o}");
+        }
+        assert!(is_valid_probabilistic_answer_set(&p));
+    }
+
+    #[test]
+    fn em_learns_worker_reliability() {
+        let (answers, _) = toy();
+        let p = aggregate(&answers);
+        let priors = p.priors();
+        let good = p.confusion(WorkerId(1)).weighted_accuracy(priors);
+        let adversarial = p.confusion(WorkerId(3)).weighted_accuracy(priors);
+        assert!(good > 0.9, "good worker accuracy {good}");
+        assert!(adversarial < 0.2, "adversarial worker accuracy {adversarial}");
+    }
+
+    #[test]
+    fn expert_validation_clamps_assignment() {
+        let (answers, _) = toy();
+        let mut e = ExpertValidation::empty(10);
+        // Force an object to the label every worker disagrees with.
+        e.set(ObjectId(0), LabelId(1));
+        let p = BatchEm::default().conclude(&answers, &e, None);
+        assert_eq!(p.assignment().prob(ObjectId(0), LabelId(1)), 1.0);
+        assert_eq!(p.instantiate().label(ObjectId(0)), LabelId(1));
+    }
+
+    #[test]
+    fn e_step_falls_back_to_priors_for_unanswered_objects() {
+        let answers = AnswerSet::new(3, 2, 2);
+        let confusions = vec![ConfusionMatrix::uniform(2); 2];
+        let u = expectation_step(
+            &answers,
+            &ExpertValidation::empty(3),
+            &confusions,
+            &[0.7, 0.3],
+        );
+        assert!((u.prob(ObjectId(1), LabelId(0)) - 0.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn m_step_counts_match_hand_computation() {
+        // One worker, two objects with hard assignments.
+        let mut answers = AnswerSet::new(2, 1, 2);
+        answers.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        answers.record_answer(ObjectId(1), WorkerId(0), LabelId(0)).unwrap();
+        let mut assignment = AssignmentMatrix::uniform(2, 2);
+        assignment.set_certain(ObjectId(0), LabelId(0));
+        assignment.set_certain(ObjectId(1), LabelId(1));
+        let confusions = maximization_step(&answers, &assignment, 0.0);
+        // True label 0 answered as 0 once -> F(0,0) = 1; true label 1 answered
+        // as 0 once -> F(1,0) = 1.
+        assert!((confusions[0].prob(LabelId(0), LabelId(0)) - 1.0).abs() < 1e-9);
+        assert!((confusions[0].prob(LabelId(1), LabelId(0)) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn batch_em_beats_majority_voting_on_spammy_synthetic_data() {
+        let synth = SyntheticConfig::paper_default(41).generate();
+        let answers = synth.dataset.answers();
+        let truth = synth.dataset.ground_truth();
+        let mv = truth.precision(&crate::majority::majority_vote(answers));
+        let em = truth.precision(&aggregate(answers).instantiate());
+        assert!(
+            em >= mv - 0.02,
+            "EM precision {em:.3} should not be materially below majority voting {mv:.3}"
+        );
+        assert!(em > 0.6, "EM precision unexpectedly low: {em:.3}");
+    }
+
+    #[test]
+    fn em_iteration_count_is_reported_and_bounded() {
+        let (answers, _) = toy();
+        let config = EmConfig { max_iterations: 5, ..EmConfig::paper_default() };
+        let p = BatchEm::new(config).conclude(&answers, &ExpertValidation::empty(10), None);
+        assert!(p.em_iterations() >= 1 && p.em_iterations() <= 5);
+    }
+
+    #[test]
+    fn aggregator_name() {
+        assert_eq!(BatchEm::default().name(), "batch-em");
+        assert_eq!(BatchEm::default().init(), InitStrategy::MajorityVote);
+    }
+}

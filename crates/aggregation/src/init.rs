@@ -1,0 +1,107 @@
+//! Initialization strategies for the EM estimators (paper §6.4, "Benefits of
+//! incrementality": traditional EM restarts from a random probability
+//! estimation, i-EM warm-starts from the previous validation iteration).
+
+use crate::majority::MajorityVoting;
+use crowdval_model::{AnswerSet, AssignmentMatrix, ExpertValidation};
+use crowdval_numerics::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// How the first assignment-matrix estimate of a batch EM run is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitStrategy {
+    /// Normalized vote histograms (the usual Dawid–Skene initialization).
+    MajorityVote,
+    /// Uniform distribution for every object.
+    Uniform,
+    /// Independent random distributions, seeded for reproducibility. This is
+    /// the "random probability estimation" the paper contrasts i-EM against.
+    Random { seed: u64 },
+}
+
+impl InitStrategy {
+    /// Builds the initial assignment matrix, always clamping objects that
+    /// already have an expert validation to a point mass.
+    pub fn initial_assignment(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+    ) -> AssignmentMatrix {
+        let n = answers.num_objects();
+        let m = answers.num_labels();
+        let mut assignment = match self {
+            InitStrategy::MajorityVote => MajorityVoting::assignment(answers, expert),
+            InitStrategy::Uniform => AssignmentMatrix::uniform(n, m),
+            InitStrategy::Random { seed } => {
+                let mut rng = StdRng::seed_from_u64(*seed);
+                let mut raw = Matrix::zeros(n, m);
+                for o in 0..n {
+                    for l in 0..m {
+                        // Strictly positive weights so normalization is safe.
+                        raw[(o, l)] = rng.random_range(0.05..1.0);
+                    }
+                }
+                AssignmentMatrix::from_matrix(raw)
+            }
+        };
+        for (o, l) in expert.iter() {
+            assignment.set_certain(o, l);
+        }
+        assignment
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::{LabelId, ObjectId, WorkerId};
+
+    fn answers() -> AnswerSet {
+        let mut n = AnswerSet::new(3, 2, 2);
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(1), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
+        n
+    }
+
+    #[test]
+    fn majority_init_reflects_votes() {
+        let a = InitStrategy::MajorityVote
+            .initial_assignment(&answers(), &ExpertValidation::empty(3));
+        assert_eq!(a.prob(ObjectId(0), LabelId(0)), 1.0);
+        assert_eq!(a.most_likely(ObjectId(1)).0, LabelId(1));
+    }
+
+    #[test]
+    fn uniform_init_is_uniform() {
+        let a = InitStrategy::Uniform.initial_assignment(&answers(), &ExpertValidation::empty(3));
+        assert!((a.prob(ObjectId(2), LabelId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_init_is_reproducible_and_stochastic() {
+        let e = ExpertValidation::empty(3);
+        let a = InitStrategy::Random { seed: 5 }.initial_assignment(&answers(), &e);
+        let b = InitStrategy::Random { seed: 5 }.initial_assignment(&answers(), &e);
+        let c = InitStrategy::Random { seed: 6 }.initial_assignment(&answers(), &e);
+        assert_eq!(a.matrix(), b.matrix());
+        assert_ne!(a.matrix(), c.matrix());
+        assert!(a.matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn expert_validations_are_clamped_in_every_strategy() {
+        let mut e = ExpertValidation::empty(3);
+        e.set(ObjectId(2), LabelId(1));
+        for strategy in [
+            InitStrategy::MajorityVote,
+            InitStrategy::Uniform,
+            InitStrategy::Random { seed: 1 },
+        ] {
+            let a = strategy.initial_assignment(&answers(), &e);
+            assert_eq!(a.prob(ObjectId(2), LabelId(1)), 1.0, "{strategy:?}");
+        }
+    }
+}

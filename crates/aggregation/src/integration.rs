@@ -1,0 +1,153 @@
+//! Expert-input integration modes (paper §6.3, "Expert validation as
+//! first-class citizen").
+//!
+//! The paper compares two ways of using expert feedback:
+//!
+//! * **Separate** — the proposed approach: expert input enters the model
+//!   through the validation function `e` and acts as ground truth (this is
+//!   what [`crate::IncrementalEm`] does).
+//! * **Combined** — the naive alternative: each expert answer is added to the
+//!   answer matrix as if it came from one more crowd worker, and aggregation
+//!   runs without any notion of validations. Incorrect crowd answers can then
+//!   out-vote the expert.
+
+use crate::em::BatchEm;
+use crate::iem::IncrementalEm;
+use crate::Aggregator;
+use crowdval_model::{AnswerSet, ExpertValidation, ProbabilisticAnswerSet, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// How expert answers are integrated into the aggregation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpertIntegration {
+    /// Expert validations as first-class ground truth (the paper's approach).
+    Separate,
+    /// Expert answers appended to the answer matrix as an additional worker.
+    Combined,
+}
+
+/// Returns a copy of the answer set with one extra worker whose answers are
+/// the expert validations collected so far.
+pub fn answer_set_with_expert_as_worker(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+) -> AnswerSet {
+    let mut extended = AnswerSet::new(
+        answers.num_objects(),
+        answers.num_workers() + 1,
+        answers.num_labels(),
+    );
+    for (o, w, l) in answers.matrix().iter() {
+        extended
+            .record_answer(o, w, l)
+            .expect("copying answers preserves index ranges");
+    }
+    let expert_worker = WorkerId(answers.num_workers());
+    for (o, l) in expert.iter() {
+        extended
+            .record_answer(o, expert_worker, l)
+            .expect("expert answers use in-range labels");
+    }
+    extended
+}
+
+/// Aggregates with the *Combined* strategy: expert answers become ordinary
+/// crowd answers for an extra worker and EM runs with an empty validation
+/// function.
+pub fn aggregate_combined(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    em: &BatchEm,
+) -> ProbabilisticAnswerSet {
+    let extended = answer_set_with_expert_as_worker(answers, expert);
+    em.conclude(&extended, &ExpertValidation::empty(extended.num_objects()), None)
+}
+
+/// Aggregates with the chosen integration mode (used by the Fig. 5 experiment
+/// to compare the two head-to-head).
+pub fn aggregate_with_integration(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    previous: Option<&ProbabilisticAnswerSet>,
+    mode: ExpertIntegration,
+) -> ProbabilisticAnswerSet {
+    match mode {
+        ExpertIntegration::Separate => IncrementalEm::default().conclude(answers, expert, previous),
+        ExpertIntegration::Combined => aggregate_combined(answers, expert, &BatchEm::default()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::{LabelId, ObjectId};
+    use crowdval_sim::SyntheticConfig;
+
+    #[test]
+    fn expert_becomes_an_additional_worker() {
+        let synth = SyntheticConfig::paper_default(9).generate();
+        let answers = synth.dataset.answers();
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        expert.set(ObjectId(0), LabelId(1));
+        expert.set(ObjectId(5), LabelId(0));
+        let extended = answer_set_with_expert_as_worker(answers, &expert);
+        assert_eq!(extended.num_workers(), answers.num_workers() + 1);
+        let expert_worker = WorkerId(answers.num_workers());
+        assert_eq!(extended.matrix().answer(ObjectId(0), expert_worker), Some(LabelId(1)));
+        assert_eq!(extended.matrix().worker_answer_count(expert_worker), 2);
+        assert_eq!(
+            extended.matrix().num_answers(),
+            answers.matrix().num_answers() + 2
+        );
+    }
+
+    #[test]
+    fn separate_integration_always_honours_the_expert() {
+        let synth = SyntheticConfig::paper_default(10).generate();
+        let answers = synth.dataset.answers();
+        let truth = synth.dataset.ground_truth();
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        for o in 0..10 {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let p = aggregate_with_integration(answers, &expert, None, ExpertIntegration::Separate);
+        for o in 0..10 {
+            assert_eq!(p.instantiate().label(ObjectId(o)), truth.label(ObjectId(o)));
+        }
+    }
+
+    #[test]
+    fn combined_integration_can_be_outvoted_by_the_crowd() {
+        // Build an answer set where every worker gives the wrong label for
+        // object 0; a single expert answer added as "one more worker" cannot
+        // flip the result, whereas the separate integration can.
+        let mut answers = AnswerSet::new(4, 5, 2);
+        for o in 0..4 {
+            for w in 0..5 {
+                let truth = LabelId(o % 2);
+                let ans = if o == 0 { LabelId(1) } else { truth };
+                answers.record_answer(ObjectId(o), crowdval_model::WorkerId(w), ans).unwrap();
+            }
+        }
+        let mut expert = ExpertValidation::empty(4);
+        expert.set(ObjectId(0), LabelId(0));
+
+        let combined =
+            aggregate_with_integration(&answers, &expert, None, ExpertIntegration::Combined);
+        let separate =
+            aggregate_with_integration(&answers, &expert, None, ExpertIntegration::Separate);
+        assert_eq!(combined.instantiate().label(ObjectId(0)), LabelId(1));
+        assert_eq!(separate.instantiate().label(ObjectId(0)), LabelId(0));
+    }
+
+    #[test]
+    fn combined_preserves_object_and_label_counts() {
+        let synth = SyntheticConfig::paper_default(12).generate();
+        let answers = synth.dataset.answers();
+        let expert = ExpertValidation::empty(answers.num_objects());
+        let p = aggregate_combined(answers, &expert, &BatchEm::default());
+        assert_eq!(p.num_objects(), answers.num_objects());
+        assert_eq!(p.num_labels(), answers.num_labels());
+        assert_eq!(p.num_workers(), answers.num_workers() + 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Probabilistic answer aggregation (paper §4).
+//!
+//! Three aggregators are provided:
+//!
+//! * [`MajorityVoting`] — the classic baseline: each object's label
+//!   distribution is proportional to the votes it received.
+//! * [`BatchEm`] — the traditional Dawid–Skene estimator: every call
+//!   re-estimates worker confusion matrices and assignment probabilities from
+//!   scratch (optionally from a random initialization), without any notion of
+//!   expert input beyond the validated objects being clamped.
+//! * [`IncrementalEm`] — the paper's *i-EM*: expert validations are
+//!   first-class ground truth (validated objects have point-mass assignment
+//!   probabilities and drive the confusion-matrix estimation), and each call
+//!   warm-starts from the probabilistic answer set of the previous validation
+//!   iteration, following the view-maintenance principle.
+//!
+//! All aggregators implement the [`Aggregator`] trait whose `conclude`
+//! function realizes the *conclude* step of the validation process (§3.2).
+
+pub mod config;
+pub mod em;
+pub mod iem;
+pub mod init;
+pub mod integration;
+pub mod majority;
+
+pub use config::EmConfig;
+pub use em::BatchEm;
+pub use iem::IncrementalEm;
+pub use init::InitStrategy;
+pub use integration::{aggregate_combined, ExpertIntegration};
+pub use majority::MajorityVoting;
+
+use crowdval_model::{AnswerSet, ExpertValidation, ProbabilisticAnswerSet};
+
+/// The *conclude* step of the validation process: turn an answer set and the
+/// expert validations collected so far into a probabilistic answer set.
+///
+/// Aggregators must be `Send + Sync`: the guidance strategies evaluate
+/// hypothetical validations for many candidate objects in parallel (§5.4) and
+/// share the aggregator across worker threads.
+pub trait Aggregator: Send + Sync {
+    /// Computes a new probabilistic answer set.
+    ///
+    /// `previous` is the probabilistic answer set of the previous validation
+    /// iteration; incremental aggregators warm-start from it, batch
+    /// aggregators may ignore it.
+    fn conclude(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: Option<&ProbabilisticAnswerSet>,
+    ) -> ProbabilisticAnswerSet;
+
+    /// Human-readable name used in experiment reports.
+    fn name(&self) -> &'static str;
+}

@@ -1,0 +1,149 @@
+//! Majority voting (paper §2, Table 1's "Majority Voting" column).
+//!
+//! The simplest aggregation baseline: each object's label distribution is the
+//! normalized vote histogram. Expert validations, when present, override the
+//! votes with a point mass (they are "first-class" here too so that majority
+//! voting can serve as a drop-in aggregator inside the validation process).
+
+use crate::Aggregator;
+use crowdval_model::{
+    AnswerSet, AssignmentMatrix, ConfusionMatrix, DeterministicAssignment, ExpertValidation,
+    ProbabilisticAnswerSet,
+};
+use crowdval_numerics::Matrix;
+
+/// Majority-voting aggregator.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MajorityVoting;
+
+impl MajorityVoting {
+    /// Computes the vote-histogram assignment matrix for an answer set,
+    /// clamping validated objects to the expert's label.
+    pub fn assignment(answers: &AnswerSet, expert: &ExpertValidation) -> AssignmentMatrix {
+        let n = answers.num_objects();
+        let m = answers.num_labels();
+        let mut raw = Matrix::zeros(n, m);
+        for o in answers.objects() {
+            let votes = answers.matrix().answers_for_object(o);
+            if votes.is_empty() {
+                // No evidence at all: uniform.
+                for l in 0..m {
+                    raw[(o.index(), l)] = 1.0;
+                }
+            } else {
+                for &(_, l) in votes {
+                    raw[(o.index(), l.index())] += 1.0;
+                }
+            }
+        }
+        let mut assignment = AssignmentMatrix::from_matrix(raw);
+        for (o, l) in expert.iter() {
+            assignment.set_certain(o, l);
+        }
+        assignment
+    }
+
+    /// Convenience: the deterministic majority-vote result without any expert
+    /// input (ties break toward the smaller label index).
+    pub fn vote(answers: &AnswerSet) -> DeterministicAssignment {
+        Self::assignment(answers, &ExpertValidation::empty(answers.num_objects())).instantiate()
+    }
+}
+
+impl Aggregator for MajorityVoting {
+    fn conclude(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        _previous: Option<&ProbabilisticAnswerSet>,
+    ) -> ProbabilisticAnswerSet {
+        let assignment = Self::assignment(answers, expert);
+        let priors = assignment.label_priors();
+        // Majority voting does not model per-worker reliability; expose
+        // uninformative confusion matrices so downstream consumers still get a
+        // complete probabilistic answer set.
+        let confusions = vec![ConfusionMatrix::uniform(answers.num_labels()); answers.num_workers()];
+        ProbabilisticAnswerSet::new(assignment, confusions, priors, 0)
+    }
+
+    fn name(&self) -> &'static str {
+        "majority-voting"
+    }
+}
+
+/// Free-function convenience wrapper around [`MajorityVoting::vote`].
+pub fn majority_vote(answers: &AnswerSet) -> DeterministicAssignment {
+    MajorityVoting::vote(answers)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::{LabelId, ObjectId, WorkerId};
+
+    /// The running example of the paper's Table 1: 5 workers, 4 objects,
+    /// 4 labels.
+    fn table1() -> AnswerSet {
+        let mut n = AnswerSet::new(4, 5, 4);
+        let answers = [
+            // (object, [labels 1..4 per worker W1..W5]) converted to 0-based.
+            (0, [2, 3, 2, 2, 3]),
+            (1, [3, 2, 3, 2, 3]),
+            (2, [1, 4, 1, 4, 3]),
+            (3, [4, 1, 2, 1, 3]),
+        ];
+        for (o, labels) in answers {
+            for (w, l) in labels.into_iter().enumerate() {
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(l - 1)).unwrap();
+            }
+        }
+        n
+    }
+
+    #[test]
+    fn table1_majority_matches_the_paper() {
+        let d = majority_vote(&table1());
+        // o1 -> 2, o2 -> 3 (labels are 1-based in the paper).
+        assert_eq!(d.label(ObjectId(0)), LabelId(1));
+        assert_eq!(d.label(ObjectId(1)), LabelId(2));
+        // o3 is a tie between 1 and 4; deterministic tie-break picks 1.
+        assert_eq!(d.label(ObjectId(2)), LabelId(0));
+        // o4's majority is 1 (two votes) even though the correct label is 2.
+        assert_eq!(d.label(ObjectId(3)), LabelId(0));
+    }
+
+    #[test]
+    fn vote_histograms_are_distributions() {
+        let a = MajorityVoting::assignment(&table1(), &ExpertValidation::empty(4));
+        assert!(a.matrix().is_row_stochastic(1e-9));
+        assert!((a.prob(ObjectId(0), LabelId(1)) - 0.6).abs() < 1e-12);
+        assert!((a.prob(ObjectId(0), LabelId(2)) - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn expert_input_overrides_votes() {
+        let mut e = ExpertValidation::empty(4);
+        e.set(ObjectId(3), LabelId(1));
+        let a = MajorityVoting::assignment(&table1(), &e);
+        assert_eq!(a.prob(ObjectId(3), LabelId(1)), 1.0);
+        let p = MajorityVoting.conclude(&table1(), &e, None);
+        assert_eq!(p.instantiate().label(ObjectId(3)), LabelId(1));
+    }
+
+    #[test]
+    fn objects_without_votes_are_uniform() {
+        let n = AnswerSet::new(2, 2, 2); // nobody answered anything
+        let a = MajorityVoting::assignment(&n, &ExpertValidation::empty(2));
+        assert!((a.prob(ObjectId(0), LabelId(0)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conclude_produces_complete_probabilistic_answer_set() {
+        let p = MajorityVoting.conclude(&table1(), &ExpertValidation::empty(4), None);
+        assert_eq!(p.num_objects(), 4);
+        assert_eq!(p.num_workers(), 5);
+        assert_eq!(p.num_labels(), 4);
+        assert_eq!(MajorityVoting.name(), "majority-voting");
+        assert!((p.priors().iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+}

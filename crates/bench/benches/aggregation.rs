@@ -1,0 +1,44 @@
+//! Criterion bench behind Fig. 8: cost of one aggregation update when a new
+//! expert validation arrives — warm-started i-EM vs. batch EM restarted from
+//! a random estimate. Also covers majority voting as the floor.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdval_aggregation::{
+    Aggregator, BatchEm, EmConfig, IncrementalEm, InitStrategy, MajorityVoting,
+};
+use crowdval_model::{ExpertValidation, ObjectId};
+use crowdval_sim::SyntheticConfig;
+
+fn bench_aggregation(c: &mut Criterion) {
+    let synth = SyntheticConfig::paper_default(60_000).generate();
+    let answers = synth.dataset.answers().clone();
+    let truth = synth.dataset.ground_truth().clone();
+
+    // Simulate a validation process that has already collected 10
+    // validations; the benchmark measures integrating the 11th.
+    let iem = IncrementalEm::default();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    let mut state = iem.conclude(&answers, &expert, None);
+    for o in 0..10 {
+        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        state = iem.conclude(&answers, &expert, Some(&state));
+    }
+    let mut next = expert.clone();
+    next.set(ObjectId(10), truth.label(ObjectId(10)));
+
+    let mut group = c.benchmark_group("fig08_aggregation_update");
+    group.bench_function("i-em_warm_start", |b| {
+        b.iter(|| iem.conclude(&answers, &next, Some(&state)))
+    });
+    let restart = BatchEm::with_init(EmConfig::paper_default(), InitStrategy::Random { seed: 3 });
+    group.bench_function("batch_em_random_restart", |b| {
+        b.iter(|| restart.conclude(&answers, &next, None))
+    });
+    group.bench_function("majority_voting", |b| {
+        b.iter(|| MajorityVoting.conclude(&answers, &next, None))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_aggregation);
+criterion_main!(benches);

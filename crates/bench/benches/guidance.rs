@@ -1,0 +1,68 @@
+//! Criterion bench for the guidance strategies: cost of selecting the next
+//! validation question under each strategy (ablation of the design choices
+//! called out in DESIGN.md).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use crowdval_aggregation::{Aggregator, IncrementalEm};
+use crowdval_core::{
+    EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
+    UncertaintyDriven, WorkerDriven,
+};
+use crowdval_model::{ExpertValidation, ObjectId};
+use crowdval_spammer::SpammerDetector;
+use crowdval_sim::SyntheticConfig;
+
+fn bench_guidance(c: &mut Criterion) {
+    let synth = SyntheticConfig::paper_default(70_000).generate();
+    let answers = synth.dataset.answers().clone();
+    let truth = synth.dataset.ground_truth().clone();
+    let aggregator = IncrementalEm::default();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    for o in 0..10 {
+        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+    }
+    let current = aggregator.conclude(&answers, &expert, None);
+    let detector = SpammerDetector::default();
+    let candidates = expert.unvalidated_objects();
+
+    let ctx = || StrategyContext {
+        answers: &answers,
+        expert: &expert,
+        current: &current,
+        aggregator: &aggregator,
+        detector: &detector,
+        candidates: &candidates,
+        parallel: true,
+    };
+
+    let mut group = c.benchmark_group("guidance_selection");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        let mut s = RandomSelection::new(1);
+        b.iter(|| s.select(&ctx()))
+    });
+    group.bench_function("entropy_baseline", |b| {
+        let mut s = EntropyBaseline;
+        b.iter(|| s.select(&ctx()))
+    });
+    group.bench_function("worker_driven", |b| {
+        let mut s = WorkerDriven;
+        b.iter(|| s.select(&ctx()))
+    });
+    group.bench_function("uncertainty_driven_shortlist", |b| {
+        let mut s = UncertaintyDriven::with_max_evaluated(16);
+        b.iter(|| s.select(&ctx()))
+    });
+    group.bench_function("uncertainty_driven_exhaustive", |b| {
+        let mut s = UncertaintyDriven::exhaustive();
+        b.iter(|| s.select(&ctx()))
+    });
+    group.bench_function("hybrid", |b| {
+        let mut s = HybridStrategy::new(5);
+        b.iter(|| s.select(&ctx()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_guidance);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Criterion bench behind Table 5: start-up cost of partitioning a large
+//! sparse answer matrix into dense blocks.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdval_core::partition_answer_matrix;
+use crowdval_sim::SyntheticConfig;
+
+fn bench_partitioning(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tab05_partitioning");
+    group.sample_size(10);
+    // A scaled-down version of the paper's 16 000-question workload so the
+    // bench completes quickly; the experiments binary runs the full size.
+    for questions_per_worker in [10usize, 20, 40] {
+        let synth = SyntheticConfig {
+            num_objects: 4000,
+            num_workers: 250,
+            answers_per_object: Some(((250 * questions_per_worker) / 4000).max(1)),
+            max_answers_per_worker: Some(questions_per_worker),
+            ..SyntheticConfig::paper_default(50_000 + questions_per_worker as u64)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        group.bench_with_input(
+            BenchmarkId::from_parameter(questions_per_worker),
+            &questions_per_worker,
+            |b, _| b.iter(|| partition_answer_matrix(&answers, 50)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Criterion bench behind Fig. 4: response time of one guidance iteration
+//! (information-gain scoring over all candidates), serial vs. parallel,
+//! as the number of objects grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdval_aggregation::{Aggregator, IncrementalEm};
+use crowdval_core::{SelectionStrategy, StrategyContext, UncertaintyDriven};
+use crowdval_model::ExpertValidation;
+use crowdval_spammer::SpammerDetector;
+use crowdval_sim::SyntheticConfig;
+
+fn bench_response_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig04_response_time");
+    group.sample_size(10);
+    for objects in [20usize, 35, 50] {
+        let synth = SyntheticConfig {
+            num_objects: objects,
+            ..SyntheticConfig::paper_default(40_000 + objects as u64)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let expert = ExpertValidation::empty(objects);
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        let detector = SpammerDetector::default();
+        let candidates = expert.unvalidated_objects();
+
+        for parallel in [false, true] {
+            let label = if parallel { "parallel" } else { "serial" };
+            group.bench_with_input(
+                BenchmarkId::new(label, objects),
+                &objects,
+                |b, _| {
+                    b.iter(|| {
+                        let ctx = StrategyContext {
+                            answers: &answers,
+                            expert: &expert,
+                            current: &current,
+                            aggregator: &aggregator,
+                            detector: &detector,
+                            candidates: &candidates,
+                            parallel,
+                        };
+                        UncertaintyDriven::exhaustive().select(&ctx)
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_response_time);
+criterion_main!(benches);

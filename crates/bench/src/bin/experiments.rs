@@ -1,0 +1,58 @@
+//! Experiment runner: regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! experiments all              # run every experiment
+//! experiments fig10 tab06      # run selected experiments
+//! experiments --list           # list available experiment ids
+//! ```
+//!
+//! Reports are printed to stdout and written as JSON/text under
+//! `target/experiments/`.
+
+use crowdval_bench::{run_experiment, ALL_EXPERIMENTS};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: experiments [all | --list | <id>...]  (ids: {})", ALL_EXPERIMENTS.join(", "));
+        std::process::exit(if args.is_empty() { 2 } else { 0 });
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_EXPERIMENTS {
+            println!("{id}");
+        }
+        return;
+    }
+
+    let ids: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL_EXPERIMENTS.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+
+    let out_dir = PathBuf::from("target/experiments");
+    let mut failures = 0;
+    for id in ids {
+        let start = Instant::now();
+        match run_experiment(id) {
+            Some(report) => {
+                println!("{}", report.to_text());
+                println!("[{} finished in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+                if let Err(err) = report.save(&out_dir) {
+                    eprintln!("warning: could not save report {id}: {err}");
+                }
+            }
+            None => {
+                eprintln!("unknown experiment id: {id}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        std::process::exit(1);
+    }
+}

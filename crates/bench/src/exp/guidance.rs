@@ -1,0 +1,247 @@
+//! Guidance-effectiveness experiments: Fig. 10 (real-world datasets), Fig. 15
+//! (uncertainty/precision correlation), Fig. 16–20 (question difficulty,
+//! number of labels, number of workers, worker reliability, spammer ratio).
+
+use crate::report::{f3, pct, Report};
+use crate::runner::{precision_table, run_guided, GuidanceKind, RunSettings};
+use crowdval_model::Dataset;
+use crowdval_numerics::pearson_correlation;
+use crowdval_core::ValidationGoal;
+use crowdval_sim::{replica, PopulationMix, ReplicaName, SyntheticConfig};
+
+const EFFORT_LEVELS: [usize; 7] = [0, 10, 20, 40, 60, 80, 100];
+
+/// Runs hybrid and baseline guidance on one dataset and appends a
+/// precision-vs-effort block to the report.
+fn hybrid_vs_baseline(report: &mut Report, label: &str, dataset: &Dataset, seed: u64) {
+    let settings = RunSettings { seed, ..RunSettings::default() };
+    let (hybrid, _) = run_guided(dataset, GuidanceKind::Hybrid, settings);
+    let (baseline, _) = run_guided(dataset, GuidanceKind::Baseline, settings);
+    report.add_row(vec![format!("--- {label} ---"), String::new(), String::new(), String::new()]);
+    for &effort in &EFFORT_LEVELS {
+        let e = effort as f64 / 100.0;
+        report.add_row(vec![
+            label.to_string(),
+            format!("{effort}"),
+            hybrid.precision_at_effort(e).map_or("-".into(), f3),
+            baseline.precision_at_effort(e).map_or("-".into(), f3),
+        ]);
+    }
+    // Improvement summary at 20 % effort (the paper's headline operating
+    // point).
+    let improvement = hybrid.precision_improvement_at_effort(0.2).unwrap_or(0.0);
+    report.add_note(format!(
+        "{label}: precision improvement at 20 % effort = {} % (hybrid)",
+        pct(improvement)
+    ));
+}
+
+/// Fig. 10: precision vs. expert effort on the bb, rte and val replicas,
+/// hybrid vs. the highest-entropy baseline.
+pub fn fig10_real_world_effectiveness() -> Report {
+    let mut report = Report::new(
+        "fig10",
+        "Figure 10: effectiveness of guiding on real-world replicas (precision)",
+        &["dataset", "effort %", "hybrid", "baseline"],
+    );
+    for (name, seed) in [(ReplicaName::Bluebird, 100), (ReplicaName::Rte, 101), (ReplicaName::Valence, 102)] {
+        let data = replica(name);
+        hybrid_vs_baseline(&mut report, name.short_name(), &data.dataset, seed);
+    }
+    report.add_note("expected shape: hybrid reaches high precision with roughly half the effort of the baseline");
+    report
+}
+
+/// Fig. 16 (Appendix C): effect of question difficulty — the easy `twt`
+/// replica vs. the hard `art` replica.
+pub fn fig16_question_difficulty() -> Report {
+    let mut report = Report::new(
+        "fig16",
+        "Figure 16: effect of question difficulty (twt vs. art)",
+        &["dataset", "effort %", "hybrid", "baseline"],
+    );
+    for (name, seed) in [(ReplicaName::Tweet, 160), (ReplicaName::Article, 161)] {
+        let data = replica(name);
+        hybrid_vs_baseline(&mut report, name.short_name(), &data.dataset, seed);
+    }
+    report.add_note("expected shape: both datasets benefit from guidance; the easy dataset (twt) reaches high precision with less effort than the hard one (art)");
+    report
+}
+
+/// Fig. 17: effect of the number of labels (m = 2 vs. m = 4).
+pub fn fig17_number_of_labels() -> Report {
+    let mut report = Report::new(
+        "fig17",
+        "Figure 17: effect of the number of labels",
+        &["labels", "effort %", "hybrid", "baseline"],
+    );
+    for (labels, seed) in [(2usize, 170u64), (4, 171)] {
+        let synth = SyntheticConfig {
+            num_labels: labels,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        hybrid_vs_baseline(&mut report, &format!("{labels} labels"), &synth.dataset, seed);
+    }
+    report.add_note("expected shape: with more labels random agreement is rarer, so guidance reaches perfect precision with less effort");
+    report
+}
+
+/// Fig. 18: effect of the number of workers (k = 20, 30, 40).
+pub fn fig18_number_of_workers() -> Report {
+    let mut report = Report::new(
+        "fig18",
+        "Figure 18: effect of the number of workers",
+        &["workers", "effort %", "hybrid", "baseline"],
+    );
+    for (workers, seed) in [(20usize, 180u64), (30, 181), (40, 182)] {
+        let synth = SyntheticConfig {
+            num_workers: workers,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        hybrid_vs_baseline(&mut report, &format!("{workers} workers"), &synth.dataset, seed);
+    }
+    report.add_note("expected shape: more workers -> higher precision at the same effort");
+    report
+}
+
+/// Fig. 19: effect of worker reliability (r = 0.65, 0.7, 0.75).
+pub fn fig19_worker_reliability() -> Report {
+    let mut report = Report::new(
+        "fig19",
+        "Figure 19: effect of worker reliability",
+        &["reliability", "effort %", "hybrid", "baseline"],
+    );
+    for (reliability, seed) in [(0.65f64, 190u64), (0.70, 191), (0.75, 192)] {
+        let synth = SyntheticConfig {
+            reliability,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        hybrid_vs_baseline(&mut report, &format!("r={reliability}"), &synth.dataset, seed);
+    }
+    report.add_note("expected shape: higher reliability -> higher precision at the same effort; hybrid dominates the baseline for every r");
+    report
+}
+
+/// Fig. 20: effect of the spammer ratio (σ = 15 %, 25 %, 35 %).
+pub fn fig20_spammer_ratio() -> Report {
+    let mut report = Report::new(
+        "fig20",
+        "Figure 20: effect of spammers",
+        &["spammer ratio", "effort %", "hybrid", "baseline"],
+    );
+    for (sigma, seed) in [(0.15f64, 200u64), (0.25, 201), (0.35, 202)] {
+        let synth = SyntheticConfig {
+            mix: PopulationMix::with_spammer_ratio(sigma),
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        hybrid_vs_baseline(&mut report, &format!("sigma={sigma}"), &synth.dataset, seed);
+    }
+    report.add_note("expected shape: hybrid outperforms the baseline independent of the spammer ratio");
+    report
+}
+
+/// Fig. 15 (Appendix B): correlation between the (normalized) uncertainty of
+/// the probabilistic answer set and the precision of the deterministic
+/// assignment over whole validation runs.
+pub fn fig15_uncertainty_precision_correlation() -> Report {
+    let mut report = Report::new(
+        "fig15",
+        "Figure 15: relation between uncertainty and precision",
+        &["workers", "spammer %", "reliability", "pearson r"],
+    );
+    let mut all_precisions = Vec::new();
+    let mut all_uncertainties = Vec::new();
+    let mut seed = 1500u64;
+    for &workers in &[20usize, 40] {
+        for &sigma in &[0.15f64, 0.35] {
+            for &reliability in &[0.65f64, 0.75] {
+                seed += 1;
+                let synth = SyntheticConfig {
+                    num_workers: workers,
+                    reliability,
+                    mix: PopulationMix::with_spammer_ratio(sigma),
+                    ..SyntheticConfig::paper_default(seed)
+                }
+                .generate();
+                let (trace, _) = run_guided(
+                    &synth.dataset,
+                    GuidanceKind::UncertaintyDriven,
+                    RunSettings { seed, ..RunSettings::default() },
+                );
+                let pairs = trace.precision_uncertainty_pairs();
+                let max_h = pairs
+                    .iter()
+                    .map(|(_, h)| *h)
+                    .fold(f64::MIN, f64::max)
+                    .max(1e-12);
+                let (ps, hs): (Vec<f64>, Vec<f64>) =
+                    pairs.into_iter().map(|(p, h)| (p, h / max_h)).unzip();
+                let r = pearson_correlation(&ps, &hs).unwrap_or(0.0);
+                all_precisions.extend_from_slice(&ps);
+                all_uncertainties.extend_from_slice(&hs);
+                report.add_row(vec![
+                    workers.to_string(),
+                    format!("{:.0}", sigma * 100.0),
+                    format!("{reliability}"),
+                    f3(r),
+                ]);
+            }
+        }
+    }
+    let overall = pearson_correlation(&all_precisions, &all_uncertainties).unwrap_or(0.0);
+    report.add_row(vec!["overall".into(), "-".into(), "-".into(), f3(overall)]);
+    report.add_note("expected shape: strongly negative correlation (the paper reports -0.9461)");
+    report
+}
+
+/// Helper kept public for the ablation study in the benches: runs every
+/// strategy on one synthetic dataset and tabulates precision at the standard
+/// effort levels.
+pub fn strategy_ablation(seed: u64) -> Report {
+    let mut report = Report::new(
+        "ablation",
+        "Ablation: all guidance strategies on the default synthetic dataset",
+        &["effort %", "hybrid", "uncertainty", "worker", "baseline", "random"],
+    );
+    let synth = SyntheticConfig::paper_default(seed).generate();
+    let settings = RunSettings { goal: ValidationGoal::ExhaustBudget, budget: Some(50), seed, ..RunSettings::default() };
+    let kinds = [
+        GuidanceKind::Hybrid,
+        GuidanceKind::UncertaintyDriven,
+        GuidanceKind::WorkerDriven,
+        GuidanceKind::Baseline,
+        GuidanceKind::Random,
+    ];
+    let traces: Vec<_> = kinds
+        .iter()
+        .map(|&k| run_guided(&synth.dataset, k, settings).0)
+        .collect();
+    let named: Vec<(&str, &crowdval_core::ValidationTrace)> = kinds
+        .iter()
+        .zip(&traces)
+        .map(|(k, t)| (k.label(), t))
+        .collect();
+    precision_table(&mut report, &[0, 10, 20, 40, 60, 80, 100], &named);
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strategy_ablation_reports_all_strategies() {
+        let r = strategy_ablation(42);
+        assert_eq!(r.headers.len(), 6);
+        assert_eq!(r.rows.len(), 7);
+        // At 100 % effort every strategy reaches precision 1.0.
+        let last = r.rows.last().unwrap();
+        for cell in &last[1..] {
+            assert_eq!(cell, "1.000");
+        }
+    }
+}

@@ -1,0 +1,10 @@
+//! One module per group of experiments; every public function regenerates a
+//! single table or figure of the paper (see `DESIGN.md` for the index).
+
+pub mod aggregation;
+pub mod cost;
+pub mod datasets;
+pub mod guidance;
+pub mod mistakes;
+pub mod runtime;
+pub mod spammer;

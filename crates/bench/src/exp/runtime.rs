@@ -1,0 +1,112 @@
+//! Runtime experiments: Fig. 4 (response time per validation iteration,
+//! serial vs. parallel) and Table 5 (matrix-partitioning start-up time).
+
+use crate::report::Report;
+use crowdval_core::{partition_answer_matrix, SelectionStrategy, StrategyContext, UncertaintyDriven};
+use crowdval_model::ExpertValidation;
+use crowdval_spammer::SpammerDetector;
+use crowdval_aggregation::{Aggregator, IncrementalEm};
+use crowdval_sim::SyntheticConfig;
+use std::time::Instant;
+
+/// Fig. 4: response time of one guidance iteration (information-gain scoring
+/// over all unvalidated objects) as the number of objects grows, with and
+/// without parallel candidate scoring.
+pub fn fig04_response_time() -> Report {
+    let mut report = Report::new(
+        "fig04",
+        "Figure 4: response time per validation iteration (seconds)",
+        &["objects", "serial (s)", "parallel (s)", "speedup"],
+    );
+    const REPS: usize = 3;
+    for objects in [20, 30, 40, 50] {
+        let synth = SyntheticConfig {
+            num_objects: objects,
+            ..SyntheticConfig::paper_default(4000 + objects as u64)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let expert = ExpertValidation::empty(objects);
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        let detector = SpammerDetector::default();
+        let candidates = expert.unvalidated_objects();
+
+        let measure = |parallel: bool| {
+            let mut strategy = UncertaintyDriven::exhaustive();
+            let mut total = 0.0;
+            for _ in 0..REPS {
+                let ctx = StrategyContext {
+                    answers: &answers,
+                    expert: &expert,
+                    current: &current,
+                    aggregator: &aggregator,
+                    detector: &detector,
+                    candidates: &candidates,
+                    parallel,
+                };
+                let start = Instant::now();
+                let _ = strategy.select(&ctx);
+                total += start.elapsed().as_secs_f64();
+            }
+            total / REPS as f64
+        };
+        let serial = measure(false);
+        let parallel = measure(true);
+        report.add_row(vec![
+            objects.to_string(),
+            format!("{serial:.4}"),
+            format!("{parallel:.4}"),
+            format!("{:.2}x", serial / parallel.max(1e-12)),
+        ]);
+    }
+    report.add_note("expected shape: response time grows with the number of objects, parallel < serial, well below interactive latency budgets");
+    report
+}
+
+/// Table 5: start-up time of the sparse-matrix partitioning for a large
+/// answer matrix (16 000 questions, 1 000 workers) at different sparsity
+/// levels (maximum number of questions per worker).
+pub fn tab05_partitioning_startup() -> Report {
+    let mut report = Report::new(
+        "tab05",
+        "Table 5: computation time for matrix ordering (seconds)",
+        &["questions per worker", "answers", "time (s)"],
+    );
+    for cap in [10usize, 20, 40, 60] {
+        let answers_per_object = ((1000 * cap) / 16_000).max(1);
+        let synth = SyntheticConfig {
+            name: format!("partition-{cap}"),
+            num_objects: 16_000,
+            num_workers: 1000,
+            answers_per_object: Some(answers_per_object),
+            max_answers_per_worker: Some(cap),
+            ..SyntheticConfig::paper_default(5000 + cap as u64)
+        }
+        .generate();
+        let answers = synth.dataset.answers();
+        let start = Instant::now();
+        let partition = partition_answer_matrix(answers, 50);
+        let elapsed = start.elapsed().as_secs_f64();
+        assert_eq!(partition.num_objects(), 16_000);
+        report.add_row(vec![
+            cap.to_string(),
+            answers.matrix().num_answers().to_string(),
+            format!("{elapsed:.3}"),
+        ]);
+    }
+    report.add_note("expected shape: start-up time grows with the number of answers per worker and stays in the range of a few seconds");
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig04_reports_four_sizes() {
+        let r = fig04_response_time();
+        assert_eq!(r.rows.len(), 4);
+        assert_eq!(r.rows[0][0], "20");
+    }
+}

@@ -1,0 +1,130 @@
+//! Tabular experiment reports: pretty printing and JSON persistence.
+
+use serde::{Deserialize, Serialize};
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// A labelled table of results regenerating one of the paper's tables or
+/// figures.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// Experiment id (`fig10`, `tab05`, …).
+    pub id: String,
+    /// Human-readable title, typically referencing the paper's figure/table.
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows (already formatted as strings).
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes: substitutions, parameters, expected shape.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    pub fn new(id: &str, title: &str, headers: &[&str]) -> Self {
+        Self {
+            id: id.to_string(),
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (values are formatted by the caller).
+    pub fn add_row(&mut self, row: Vec<String>) {
+        self.rows.push(row);
+    }
+
+    /// Appends a note shown below the table.
+    pub fn add_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Formats the report as an aligned text table.
+    pub fn to_text(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                } else {
+                    widths.push(cell.len());
+                }
+            }
+        }
+        let mut out = format!("== {} — {} ==\n", self.id, self.title);
+        let fmt_row = |cells: &[String], widths: &[usize]| {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                let width = widths.get(i).copied().unwrap_or(cell.len());
+                line.push_str(&format!(" {cell:>width$} |"));
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().map(|w| w + 3).sum::<usize>()));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        for note in &self.notes {
+            out.push_str(&format!("note: {note}\n"));
+        }
+        out
+    }
+
+    /// Writes the report as JSON into `dir/<id>.json` and as text into
+    /// `dir/<id>.txt`, creating the directory if needed.
+    pub fn save(&self, dir: &Path) -> std::io::Result<PathBuf> {
+        fs::create_dir_all(dir)?;
+        let json_path = dir.join(format!("{}.json", self.id));
+        let json = serde_json::to_string_pretty(self).expect("reports are always serializable");
+        fs::write(&json_path, json)?;
+        fs::write(dir.join(format!("{}.txt", self.id)), self.to_text())?;
+        Ok(json_path)
+    }
+}
+
+/// Formats a float with three decimals (the precision used throughout the
+/// reports).
+pub fn f3(value: f64) -> String {
+    format!("{value:.3}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(value: f64) -> String {
+    format!("{:.1}", 100.0 * value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn report_round_trips_through_text_and_json() {
+        let mut r = Report::new("figX", "demo", &["effort", "precision"]);
+        r.add_row(vec!["10".into(), f3(0.91234)]);
+        r.add_row(vec!["20".into(), f3(0.95)]);
+        r.add_note("synthetic data");
+        let text = r.to_text();
+        assert!(text.contains("figX"));
+        assert!(text.contains("0.912"));
+        assert!(text.contains("note: synthetic data"));
+
+        let dir = std::env::temp_dir().join(format!("crowdval-report-{}", std::process::id()));
+        let path = r.save(&dir).unwrap();
+        let loaded: Report = serde_json::from_str(&std::fs::read_to_string(path).unwrap()).unwrap();
+        assert_eq!(loaded, r);
+        std::fs::remove_dir_all(dir).ok();
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(f3(1.0 / 3.0), "0.333");
+        assert_eq!(pct(0.25), "25.0");
+    }
+}

@@ -1,0 +1,312 @@
+//! Shared machinery for the experiments: strategy construction, guided
+//! validation runs, precision-vs-effort tables and cost curves.
+
+use crowdval_aggregation::{Aggregator, BatchEm, IncrementalEm};
+use crowdval_core::{
+    ConfirmationCheck, EntropyBaseline, ExpertSource, HybridStrategy, ProcessConfig,
+    RandomSelection, SelectionStrategy, UncertaintyDriven, ValidationGoal, ValidationProcess,
+    ValidationTrace, WorkerDriven,
+};
+use crowdval_model::{Dataset, ExpertValidation, GroundTruth, LabelId, ObjectId};
+use crowdval_sim::augment::{augment_with_answers, thin_to_answers_per_object};
+use crowdval_sim::{SimulatedExpert, SyntheticDataset};
+
+use crate::report::Report;
+
+/// Which guidance strategy an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GuidanceKind {
+    /// The paper's combined strategy (Algorithm 1).
+    Hybrid,
+    /// The highest-entropy baseline used throughout §6.6 / Appendix C.
+    Baseline,
+    /// Uniform random selection.
+    Random,
+    /// Pure information-gain selection (§5.2).
+    UncertaintyDriven,
+    /// Pure expected-detection selection (§5.3).
+    WorkerDriven,
+}
+
+impl GuidanceKind {
+    /// Display name used in report columns.
+    pub fn label(self) -> &'static str {
+        match self {
+            GuidanceKind::Hybrid => "hybrid",
+            GuidanceKind::Baseline => "baseline",
+            GuidanceKind::Random => "random",
+            GuidanceKind::UncertaintyDriven => "uncertainty",
+            GuidanceKind::WorkerDriven => "worker",
+        }
+    }
+
+    /// Builds the strategy object.
+    pub fn build(self, seed: u64) -> Box<dyn SelectionStrategy> {
+        match self {
+            GuidanceKind::Hybrid => Box::new(HybridStrategy::new(seed)),
+            GuidanceKind::Baseline => Box::new(EntropyBaseline),
+            GuidanceKind::Random => Box::new(RandomSelection::new(seed)),
+            GuidanceKind::UncertaintyDriven => Box::new(UncertaintyDriven::new()),
+            GuidanceKind::WorkerDriven => Box::new(WorkerDriven),
+        }
+    }
+}
+
+/// Settings of one guided validation run.
+#[derive(Debug, Clone, Copy)]
+pub struct RunSettings {
+    /// Maximum number of validations (`None` = up to every object).
+    pub budget: Option<usize>,
+    /// Stopping goal.
+    pub goal: ValidationGoal,
+    /// Parallel candidate scoring.
+    pub parallel: bool,
+    /// Probability that the simulated expert answers incorrectly.
+    pub mistake_probability: f64,
+    /// Confirmation-check interval in validations (`None` disables it).
+    pub confirmation_interval: Option<usize>,
+    /// Seed for the strategy and the simulated expert.
+    pub seed: u64,
+}
+
+impl Default for RunSettings {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            goal: ValidationGoal::TargetPrecision(1.0),
+            parallel: true,
+            mistake_probability: 0.0,
+            confirmation_interval: None,
+            seed: 1,
+        }
+    }
+}
+
+/// Expert source wrapping [`SimulatedExpert`] that remembers on which objects
+/// it erred and answers correctly when asked to reconsider.
+pub struct RecordingExpert {
+    expert: SimulatedExpert,
+    /// Objects that received an erroneous validation at least once.
+    pub erred_on: Vec<ObjectId>,
+}
+
+impl RecordingExpert {
+    /// Builds the expert for a dataset.
+    pub fn new(truth: GroundTruth, num_labels: usize, mistake_probability: f64, seed: u64) -> Self {
+        Self {
+            expert: SimulatedExpert::with_mistakes(truth, num_labels, mistake_probability, seed),
+            erred_on: Vec::new(),
+        }
+    }
+}
+
+impl ExpertSource for RecordingExpert {
+    fn provide_label(&mut self, object: ObjectId) -> LabelId {
+        let label = self.expert.validate(object);
+        if label != self.expert.correct_label(object) && !self.erred_on.contains(&object) {
+            self.erred_on.push(object);
+        }
+        label
+    }
+
+    fn reconsider(&mut self, object: ObjectId) -> LabelId {
+        self.expert.correct_label(object)
+    }
+}
+
+/// Runs one guided validation pass over a dataset and returns the trace plus
+/// the objects on which the (simulated) expert erred.
+pub fn run_guided(
+    dataset: &Dataset,
+    kind: GuidanceKind,
+    settings: RunSettings,
+) -> (ValidationTrace, Vec<ObjectId>) {
+    let truth = dataset.ground_truth().clone();
+    let mut process = ValidationProcess::builder(dataset.answers().clone())
+        .strategy(kind.build(settings.seed))
+        .config(ProcessConfig {
+            budget: settings.budget,
+            goal: settings.goal,
+            parallel: settings.parallel,
+            confirmation_check: settings.confirmation_interval.map(ConfirmationCheck::every),
+            ..ProcessConfig::default()
+        })
+        .ground_truth(truth.clone())
+        .build();
+    let mut expert = RecordingExpert::new(
+        truth,
+        dataset.answers().num_labels(),
+        settings.mistake_probability,
+        settings.seed ^ 0x9e37_79b9,
+    );
+    process.run(&mut expert);
+    (process.trace().clone(), expert.erred_on)
+}
+
+/// Adds one precision-vs-effort row per effort level for each named trace.
+pub fn precision_table(report: &mut Report, efforts_pct: &[usize], traces: &[(&str, &ValidationTrace)]) {
+    for &effort in efforts_pct {
+        let mut row = vec![format!("{effort}")];
+        for (_, trace) in traces {
+            let p = trace.precision_at_effort(effort as f64 / 100.0);
+            row.push(p.map_or("-".into(), crate::report::f3));
+        }
+        report.add_row(row);
+    }
+}
+
+/// One point of a cost-quality curve.
+#[derive(Debug, Clone, Copy)]
+pub struct CurvePoint {
+    pub cost_per_object: f64,
+    pub precision: f64,
+    pub improvement: f64,
+}
+
+/// EV curve: starting from `phi0` answers per object, validate with the given
+/// strategy and report precision (improvement) at a set of validation counts.
+/// The cost axis is `phi0 + theta · i / n`.
+pub fn ev_curve(
+    source: &SyntheticDataset,
+    phi0: usize,
+    theta: f64,
+    validation_counts: &[usize],
+    kind: GuidanceKind,
+    seed: u64,
+) -> Vec<CurvePoint> {
+    let dataset = thin_to_answers_per_object(source, phi0, seed);
+    let n = dataset.answers().num_objects();
+    let (trace, _) = run_guided(
+        &dataset,
+        kind,
+        RunSettings {
+            budget: Some(*validation_counts.iter().max().unwrap_or(&0)),
+            goal: ValidationGoal::ExhaustBudget,
+            seed,
+            ..RunSettings::default()
+        },
+    );
+    let p0 = trace.initial_precision.unwrap_or(0.0);
+    validation_counts
+        .iter()
+        .map(|&i| {
+            let effort = i as f64 / n as f64;
+            let precision = trace.precision_at_effort(effort).unwrap_or(p0);
+            CurvePoint {
+                cost_per_object: phi0 as f64 + theta * i as f64 / n as f64,
+                precision,
+                improvement: GroundTruth::precision_improvement(p0, precision),
+            }
+        })
+        .collect()
+}
+
+/// WO curve: keep adding crowd answers (up to `phi` per object) and aggregate
+/// with batch EM. Improvement is measured against the same `phi0` starting
+/// point as the EV curve.
+pub fn wo_curve(source: &SyntheticDataset, phi0: usize, phis: &[usize], seed: u64) -> Vec<CurvePoint> {
+    let truth = source.dataset.ground_truth();
+    let aggregate_precision = |dataset: &Dataset| {
+        let p = BatchEm::default().conclude(
+            dataset.answers(),
+            &ExpertValidation::empty(dataset.answers().num_objects()),
+            None,
+        );
+        truth.precision(&p.instantiate())
+    };
+    let base = thin_to_answers_per_object(source, phi0, seed);
+    let p0 = aggregate_precision(&base);
+    phis.iter()
+        .map(|&phi| {
+            let dataset = if phi <= phi0 {
+                thin_to_answers_per_object(source, phi, seed)
+            } else {
+                augment_with_answers(source, phi, seed.wrapping_add(phi as u64))
+            };
+            let precision = aggregate_precision(&dataset);
+            CurvePoint {
+                cost_per_object: phi as f64,
+                precision,
+                improvement: GroundTruth::precision_improvement(p0, precision),
+            }
+        })
+        .collect()
+}
+
+/// Batch (non-incremental) aggregation precision of a dataset without any
+/// expert input — the "0 % effort" reference of several experiments.
+pub fn initial_precision(dataset: &Dataset) -> f64 {
+    let p = IncrementalEm::default().conclude(
+        dataset.answers(),
+        &ExpertValidation::empty(dataset.answers().num_objects()),
+        None,
+    );
+    dataset.ground_truth().precision(&p.instantiate())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_sim::SyntheticConfig;
+
+    fn small() -> SyntheticDataset {
+        SyntheticConfig { num_objects: 20, ..SyntheticConfig::paper_default(71) }.generate()
+    }
+
+    #[test]
+    fn run_guided_produces_a_complete_trace() {
+        let data = small();
+        let (trace, erred) = run_guided(
+            &data.dataset,
+            GuidanceKind::Baseline,
+            RunSettings { budget: Some(5), goal: ValidationGoal::ExhaustBudget, ..RunSettings::default() },
+        );
+        assert_eq!(trace.len(), 5);
+        assert!(erred.is_empty());
+        assert!(trace.initial_precision.is_some());
+    }
+
+    #[test]
+    fn erroneous_experts_are_recorded() {
+        let data = small();
+        let (_, erred) = run_guided(
+            &data.dataset,
+            GuidanceKind::Random,
+            RunSettings {
+                budget: Some(20),
+                goal: ValidationGoal::ExhaustBudget,
+                mistake_probability: 0.5,
+                ..RunSettings::default()
+            },
+        );
+        assert!(!erred.is_empty(), "a 50 % error rate over 20 validations should err at least once");
+    }
+
+    #[test]
+    fn ev_and_wo_curves_have_monotone_costs() {
+        let data = small();
+        let ev = ev_curve(&data, 5, 12.5, &[0, 5, 10], GuidanceKind::Baseline, 3);
+        assert_eq!(ev.len(), 3);
+        assert!(ev.windows(2).all(|w| w[0].cost_per_object < w[1].cost_per_object));
+        let wo = wo_curve(&data, 5, &[5, 10, 20], 3);
+        assert_eq!(wo.len(), 3);
+        assert!(wo.windows(2).all(|w| w[0].cost_per_object < w[1].cost_per_object));
+        // At phi = phi0 the WO improvement is zero by construction.
+        assert!(wo[0].improvement.abs() < 1e-9);
+    }
+
+    #[test]
+    fn guidance_kinds_build_their_strategies() {
+        for kind in [
+            GuidanceKind::Hybrid,
+            GuidanceKind::Baseline,
+            GuidanceKind::Random,
+            GuidanceKind::UncertaintyDriven,
+            GuidanceKind::WorkerDriven,
+        ] {
+            let s = kind.build(1);
+            assert!(!kind.label().is_empty());
+            assert!(!s.name().is_empty());
+        }
+    }
+}

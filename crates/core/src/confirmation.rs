@@ -1,0 +1,140 @@
+//! Confirmation check for erroneous expert validations (paper §5.5).
+//!
+//! The check runs every few iterations and, for every validated object `o`,
+//! rebuilds the deterministic assignment *without* the expert feedback on `o`
+//! (leave-one-out). If that assignment disagrees with the expert's label for
+//! `o`, the validation is flagged as potentially erroneous — the paper's
+//! "case (2)": the crowd is wrong and the expert wrongly confirmed the
+//! aggregated answer, or more generally the validation contradicts everything
+//! else we believe. Flagged objects are handed back to the expert for
+//! reconsideration.
+
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
+use serde::{Deserialize, Serialize};
+
+/// Configuration and execution of the §5.5 confirmation check.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConfirmationCheck {
+    /// Run the check after every `interval` validations (the paper triggers
+    /// it after each 1 % of total validations; the process translates that
+    /// into an absolute interval).
+    pub interval: usize,
+}
+
+impl ConfirmationCheck {
+    /// A check that runs every `interval` validations.
+    pub fn every(interval: usize) -> Self {
+        Self { interval: interval.max(1) }
+    }
+
+    /// Whether the check is due after the `iteration`-th validation.
+    pub fn is_due(&self, iteration: usize) -> bool {
+        iteration > 0 && iteration % self.interval == 0
+    }
+
+    /// Runs the leave-one-out check over all validated objects and returns
+    /// the ones whose validation looks erroneous.
+    pub fn flag_suspicious(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        aggregator: &dyn Aggregator,
+    ) -> Vec<ObjectId> {
+        let mut flagged = Vec::new();
+        for (object, validated_label) in expert.iter() {
+            let leave_one_out = expert.without(object);
+            let p = aggregator.conclude(answers, &leave_one_out, Some(current));
+            let reconstructed = p.instantiate();
+            if reconstructed.label(object) != validated_label {
+                flagged.push(object);
+            }
+        }
+        flagged
+    }
+}
+
+impl Default for ConfirmationCheck {
+    fn default() -> Self {
+        Self::every(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_aggregation::{Aggregator, IncrementalEm};
+    use crowdval_model::{LabelId, ObjectId};
+    use crowdval_sim::SyntheticConfig;
+
+    #[test]
+    fn interval_scheduling() {
+        let check = ConfirmationCheck::every(5);
+        assert!(!check.is_due(0));
+        assert!(!check.is_due(4));
+        assert!(check.is_due(5));
+        assert!(check.is_due(10));
+        // Zero interval is clamped to 1.
+        assert!(ConfirmationCheck::every(0).is_due(1));
+        assert_eq!(ConfirmationCheck::default().interval, 1);
+    }
+
+    #[test]
+    fn correct_validations_are_not_flagged_and_flipped_ones_are() {
+        // A reliable crowd: 15 workers at 80 % accuracy. A validation that
+        // agrees with the truth should survive the leave-one-out check; a
+        // deliberately flipped validation should be flagged.
+        let synth = SyntheticConfig {
+            num_objects: 30,
+            num_workers: 15,
+            reliability: 0.8,
+            mix: crowdval_sim::PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(91)
+        }
+        .generate();
+        let answers = synth.dataset.answers();
+        let truth = synth.dataset.ground_truth();
+        let aggregator = IncrementalEm::default();
+
+        let mut expert = ExpertValidation::empty(30);
+        for o in 0..6 {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        // Flip one validation to the wrong label.
+        let wrong_object = ObjectId(3);
+        let wrong_label = LabelId(1 - truth.label(wrong_object).index());
+        expert.set(wrong_object, wrong_label);
+
+        let current = aggregator.conclude(answers, &expert, None);
+        let flagged = ConfirmationCheck::every(1).flag_suspicious(
+            answers,
+            &expert,
+            &current,
+            &aggregator,
+        );
+        assert!(flagged.contains(&wrong_object), "flipped validation not flagged: {flagged:?}");
+        // Correct validations on objects the crowd also gets right stay
+        // unflagged.
+        for o in [ObjectId(0), ObjectId(1), ObjectId(2)] {
+            if truth.precision(&current.instantiate()) > 0.9 {
+                assert!(
+                    !flagged.contains(&o) || expert.get(o) != Some(truth.label(o)),
+                    "correct validation for {o} was flagged"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_validations_means_nothing_to_flag() {
+        let synth = SyntheticConfig::paper_default(92).generate();
+        let answers = synth.dataset.answers();
+        let aggregator = IncrementalEm::default();
+        let expert = ExpertValidation::empty(answers.num_objects());
+        let current = aggregator.conclude(answers, &expert, None);
+        let flagged =
+            ConfirmationCheck::default().flag_suspicious(answers, &expert, &current, &aggregator);
+        assert!(flagged.is_empty());
+    }
+}

@@ -1,0 +1,189 @@
+//! The expert-vs-crowd cost model (paper §6.8).
+//!
+//! Two ways of spending money on result quality are compared:
+//!
+//! * **EV** — collect an initial set of crowd answers (average cost `φ₀` per
+//!   object) and then pay an expert, who is `θ` times more expensive per
+//!   answer than a crowd worker, to validate `i` answers:
+//!   `P_EV = n·φ₀ + θ·i`, i.e. `φ₀ + θ·i/n` per object.
+//! * **WO** — spend everything on additional crowd answers, raising the
+//!   average per-object cost to `φ > φ₀`: `P_WO = n·φ`.
+//!
+//! Under a fixed budget `b = ρ·θ·n` the model also answers how to split the
+//! budget between crowd answers and expert validations, optionally subject to
+//! a completion-time constraint expressed as a cap on the number of expert
+//! validations (expert time dominates completion time because crowd workers
+//! answer concurrently).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost-model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Expert-to-crowd cost ratio `θ` (the paper estimates ≈ 12.5 from AMT
+    /// and ILO wage statistics).
+    pub theta: f64,
+    /// Number of objects `n`.
+    pub num_objects: usize,
+}
+
+impl CostModel {
+    /// Creates a cost model.
+    pub fn new(theta: f64, num_objects: usize) -> Self {
+        assert!(theta > 0.0, "the expert-to-crowd cost ratio must be positive");
+        assert!(num_objects > 0, "the cost model needs at least one object");
+        Self { theta, num_objects }
+    }
+
+    /// The paper's default ratio θ = 12.5 ($25/h expert vs. $2/h crowd).
+    pub fn paper_default(num_objects: usize) -> Self {
+        Self::new(12.5, num_objects)
+    }
+
+    /// Per-object cost of the EV strategy after `validations` expert answers
+    /// on top of `phi0` crowd answers per object.
+    pub fn ev_cost_per_object(&self, phi0: f64, validations: usize) -> f64 {
+        phi0 + self.theta * validations as f64 / self.num_objects as f64
+    }
+
+    /// Per-object cost of the WO strategy with `phi` crowd answers per
+    /// object.
+    pub fn wo_cost_per_object(&self, phi: f64) -> f64 {
+        phi
+    }
+
+    /// Number of expert validations affordable with a per-object budget of
+    /// `budget_per_object` when `phi0` is already spent on crowd answers.
+    pub fn affordable_validations(&self, budget_per_object: f64, phi0: f64) -> usize {
+        if budget_per_object <= phi0 {
+            return 0;
+        }
+        (((budget_per_object - phi0) * self.num_objects as f64) / self.theta).floor() as usize
+    }
+
+    /// Total budget corresponding to the paper's parameterization
+    /// `b = ρ·θ·n` (ρ ∈ [1/θ, 1]).
+    pub fn budget_for_rho(&self, rho: f64) -> f64 {
+        rho * self.theta * self.num_objects as f64
+    }
+
+    /// Enumerates the possible splits of a fixed total budget between crowd
+    /// answers and expert validations. `crowd_share` runs over
+    /// `granularity + 1` evenly spaced points in `[min_crowd_share, 1]` where
+    /// the minimum share buys at least one answer per object.
+    pub fn allocations(&self, total_budget: f64, granularity: usize) -> Vec<BudgetAllocation> {
+        let n = self.num_objects as f64;
+        let min_crowd_budget = n; // at least one crowd answer per object
+        let mut allocations = Vec::new();
+        for step in 0..=granularity {
+            let crowd_share = step as f64 / granularity as f64;
+            let crowd_budget = crowd_share * total_budget;
+            if crowd_budget < min_crowd_budget {
+                continue;
+            }
+            let phi0 = crowd_budget / n;
+            let expert_budget = total_budget - crowd_budget;
+            let validations = (expert_budget / self.theta).floor() as usize;
+            allocations.push(BudgetAllocation {
+                crowd_share,
+                phi0,
+                validations: validations.min(self.num_objects),
+            });
+        }
+        allocations
+    }
+}
+
+/// One way of splitting a fixed budget between the crowd and the expert.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BudgetAllocation {
+    /// Fraction of the budget spent on crowd answers.
+    pub crowd_share: f64,
+    /// Resulting average number of crowd answers per object (`φ₀`).
+    pub phi0: f64,
+    /// Number of expert validations affordable with the remainder.
+    pub validations: usize,
+}
+
+impl BudgetAllocation {
+    /// Whether this allocation satisfies a completion-time constraint
+    /// expressed as a maximum number of expert validations (expert time is
+    /// the dominant component of completion time, §6.8).
+    pub fn satisfies_time_constraint(&self, max_validations: usize) -> bool {
+        self.validations <= max_validations
+    }
+}
+
+/// One measured point of a cost-vs-quality curve (Fig. 12/21–23).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostPoint {
+    /// Per-object cost.
+    pub cost_per_object: f64,
+    /// Precision of the deterministic assignment at that cost.
+    pub precision: f64,
+    /// Precision improvement relative to the initial state, in `[0, 1]`.
+    pub precision_improvement: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ev_and_wo_costs() {
+        let m = CostModel::paper_default(100);
+        assert!((m.ev_cost_per_object(3.0, 0) - 3.0).abs() < 1e-12);
+        // 40 validations over 100 objects at θ = 12.5 adds 5 per object.
+        assert!((m.ev_cost_per_object(3.0, 40) - 8.0).abs() < 1e-12);
+        assert_eq!(m.wo_cost_per_object(7.0), 7.0);
+    }
+
+    #[test]
+    fn affordable_validations_inverts_the_cost() {
+        let m = CostModel::new(25.0, 200);
+        assert_eq!(m.affordable_validations(13.0, 13.0), 0);
+        assert_eq!(m.affordable_validations(12.0, 13.0), 0);
+        // One extra unit per object = 200 total = 8 validations at θ=25.
+        assert_eq!(m.affordable_validations(14.0, 13.0), 8);
+    }
+
+    #[test]
+    fn budget_for_rho_matches_definition() {
+        let m = CostModel::new(25.0, 50);
+        assert!((m.budget_for_rho(0.4) - 0.4 * 25.0 * 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn allocations_cover_crowd_only_to_expert_heavy() {
+        let m = CostModel::new(25.0, 50);
+        let budget = m.budget_for_rho(0.5); // 625
+        let allocations = m.allocations(budget, 10);
+        assert!(!allocations.is_empty());
+        // Every allocation buys at least one crowd answer per object.
+        for a in &allocations {
+            assert!(a.phi0 >= 1.0);
+            assert!(a.validations <= 50);
+        }
+        // The crowd-only end has zero validations.
+        let crowd_only = allocations.last().unwrap();
+        assert!((crowd_only.crowd_share - 1.0).abs() < 1e-12);
+        assert_eq!(crowd_only.validations, 0);
+        // More crowd share means fewer validations.
+        for pair in allocations.windows(2) {
+            assert!(pair[0].validations >= pair[1].validations);
+        }
+    }
+
+    #[test]
+    fn time_constraint_filters_allocations() {
+        let a = BudgetAllocation { crowd_share: 0.5, phi0: 6.0, validations: 20 };
+        assert!(a.satisfies_time_constraint(20));
+        assert!(!a.satisfies_time_constraint(19));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_theta_is_rejected() {
+        CostModel::new(0.0, 10);
+    }
+}

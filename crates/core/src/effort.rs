@@ -1,0 +1,87 @@
+//! The effort-minimization problem (paper §5.1 and Appendix E).
+//!
+//! Problem 1 asks for the shortest validation sequence that reaches a goal Δ
+//! within a budget `b`. Even the restricted variant — pick a minimal *set* of
+//! objects whose joint entropy exceeds a threshold (Eq. 16) — is NP-hard
+//! (maximum-entropy sampling), because the objects are not independent: they
+//! are coupled through the workers that answered them. This module provides
+//!
+//! * an upper bound on the joint entropy of a set of objects (independence
+//!   bound: the sum of marginal entropies), and
+//! * the classic greedy approximation for the restricted problem: repeatedly
+//!   add the object with the largest marginal entropy. The guidance
+//!   strategies of [`crate::strategy`] refine this greedy scheme by scoring
+//!   candidates with the *expected* entropy reduction instead of the marginal
+//!   entropy.
+
+use crowdval_model::{ObjectId, ProbabilisticAnswerSet};
+
+/// Independence upper bound on the joint entropy of a set of objects:
+/// `H(o₁, …, o_k) ≤ Σ H(o_j)` with equality iff the objects are independent.
+pub fn joint_entropy_upper_bound(p: &ProbabilisticAnswerSet, objects: &[ObjectId]) -> f64 {
+    objects.iter().map(|&o| p.object_uncertainty(o)).sum()
+}
+
+/// Greedy approximation of the restricted effort-minimization problem
+/// (Eq. 16): selects up to `k` objects maximizing the independence bound on
+/// the joint entropy, i.e. the `k` objects with the largest marginal
+/// entropies. Ties break toward smaller object ids; objects with zero entropy
+/// are never selected (validating them cannot reduce uncertainty).
+pub fn greedy_max_entropy_subset(p: &ProbabilisticAnswerSet, k: usize) -> Vec<ObjectId> {
+    let mut scored: Vec<(ObjectId, f64)> = (0..p.num_objects())
+        .map(|o| (ObjectId(o), p.object_uncertainty(ObjectId(o))))
+        .filter(|(_, h)| *h > 0.0)
+        .collect();
+    scored.sort_by(|a, b| {
+        b.1.partial_cmp(&a.1)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.0.cmp(&b.0))
+    });
+    scored.into_iter().take(k).map(|(o, _)| o).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::LabelId;
+
+    fn state() -> ProbabilisticAnswerSet {
+        let mut p = ProbabilisticAnswerSet::uninformed(5, 2, 2);
+        // Object 0: certain; objects 1 and 3: skewed; 2 and 4: uniform.
+        p.assignment_mut().set_certain(ObjectId(0), LabelId(0));
+        p.assignment_mut().set_distribution(ObjectId(1), &[0.9, 0.1]);
+        p.assignment_mut().set_distribution(ObjectId(3), &[0.7, 0.3]);
+        p
+    }
+
+    #[test]
+    fn joint_entropy_bound_is_the_sum_of_marginals() {
+        let p = state();
+        let all: Vec<ObjectId> = (0..5).map(ObjectId).collect();
+        let bound = joint_entropy_upper_bound(&p, &all);
+        assert!((bound - p.uncertainty()).abs() < 1e-12);
+        assert_eq!(joint_entropy_upper_bound(&p, &[ObjectId(0)]), 0.0);
+    }
+
+    #[test]
+    fn greedy_subset_prefers_the_most_uncertain_objects() {
+        let p = state();
+        let picked = greedy_max_entropy_subset(&p, 2);
+        assert_eq!(picked, vec![ObjectId(2), ObjectId(4)]);
+        let three = greedy_max_entropy_subset(&p, 3);
+        assert_eq!(three, vec![ObjectId(2), ObjectId(4), ObjectId(3)]);
+    }
+
+    #[test]
+    fn greedy_subset_never_selects_certain_objects() {
+        let p = state();
+        let picked = greedy_max_entropy_subset(&p, 10);
+        assert!(!picked.contains(&ObjectId(0)));
+        assert_eq!(picked.len(), 4);
+    }
+
+    #[test]
+    fn k_zero_selects_nothing() {
+        assert!(greedy_max_entropy_subset(&state(), 0).is_empty());
+    }
+}

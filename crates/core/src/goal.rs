@@ -1,0 +1,76 @@
+//! Validation goals (paper §3.2 / §5.1).
+//!
+//! The validation process halts when it reaches its goal Δ or exhausts the
+//! expert-effort budget `b`, whichever comes first. Goals are phrased either
+//! over the measured uncertainty of the probabilistic answer set or — for
+//! evaluation runs where a ground truth is available — over the precision of
+//! the deterministic assignment.
+
+use serde::{Deserialize, Serialize};
+
+/// The stopping condition Δ of the validation process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ValidationGoal {
+    /// Never stop early; run until the budget (or the object set) is
+    /// exhausted.
+    ExhaustBudget,
+    /// Stop once the total uncertainty `H(P)` drops to or below the
+    /// threshold.
+    MaxUncertainty(f64),
+    /// Stop once the precision of the deterministic assignment reaches the
+    /// threshold. Only meaningful when the process is given a reference
+    /// ground truth (evaluation mode); otherwise it behaves like
+    /// [`ValidationGoal::ExhaustBudget`].
+    TargetPrecision(f64),
+}
+
+impl ValidationGoal {
+    /// Checks whether the goal is satisfied by the current state.
+    pub fn is_satisfied(&self, uncertainty: f64, precision: Option<f64>) -> bool {
+        match *self {
+            ValidationGoal::ExhaustBudget => false,
+            ValidationGoal::MaxUncertainty(threshold) => uncertainty <= threshold,
+            ValidationGoal::TargetPrecision(target) => {
+                precision.is_some_and(|p| p >= target)
+            }
+        }
+    }
+}
+
+impl Default for ValidationGoal {
+    fn default() -> Self {
+        ValidationGoal::ExhaustBudget
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exhaust_budget_never_stops_early() {
+        assert!(!ValidationGoal::ExhaustBudget.is_satisfied(0.0, Some(1.0)));
+    }
+
+    #[test]
+    fn uncertainty_goal_compares_against_threshold() {
+        let goal = ValidationGoal::MaxUncertainty(1.5);
+        assert!(goal.is_satisfied(1.5, None));
+        assert!(goal.is_satisfied(0.3, None));
+        assert!(!goal.is_satisfied(2.0, None));
+    }
+
+    #[test]
+    fn precision_goal_requires_a_measured_precision() {
+        let goal = ValidationGoal::TargetPrecision(0.95);
+        assert!(goal.is_satisfied(5.0, Some(0.97)));
+        assert!(goal.is_satisfied(5.0, Some(0.95)));
+        assert!(!goal.is_satisfied(0.0, Some(0.90)));
+        assert!(!goal.is_satisfied(0.0, None));
+    }
+
+    #[test]
+    fn default_goal_is_exhaust_budget() {
+        assert_eq!(ValidationGoal::default(), ValidationGoal::ExhaustBudget);
+    }
+}

@@ -1,0 +1,49 @@
+//! Guided validation of crowd answers — the primary contribution of
+//! *"Minimizing Efforts in Validating Crowd Answers"* (SIGMOD 2015).
+//!
+//! The crate wires the aggregation and spammer-detection substrates into the
+//! pay-as-you-go validation framework of the paper's §3–§5:
+//!
+//! * [`uncertainty`] — entropy of a probabilistic answer set, conditional
+//!   entropy given a hypothetical validation, and information gain;
+//! * [`strategy`] — the guidance strategies: random, highest-entropy
+//!   baseline, uncertainty-driven (information gain), worker-driven
+//!   (expected spammer detections) and the dynamically weighted hybrid;
+//! * [`process`] — the validation process itself (Algorithm 1), both as an
+//!   interactive engine (`select_next` / `integrate`) and as a batch run
+//!   against an expert source;
+//! * [`confirmation`] — the leave-one-out confirmation check that catches
+//!   erroneous expert validations (§5.5);
+//! * [`partition`] — sparse-matrix partitioning of large answer matrices
+//!   (§5.4);
+//! * [`cost`] — the expert-vs-crowd cost model and budget/time allocation
+//!   analysis (§6.8);
+//! * [`effort`] — the formalization of the effort-minimization problem and a
+//!   greedy approximation of its restricted (joint-entropy) variant
+//!   (Appendix E);
+//! * [`metrics`] — validation traces and the evaluation metrics
+//!   (effort, precision, precision improvement).
+
+pub mod confirmation;
+pub mod cost;
+pub mod effort;
+pub mod goal;
+pub mod metrics;
+pub mod parallel;
+pub mod partition;
+pub mod process;
+pub mod strategy;
+pub mod uncertainty;
+
+pub use confirmation::ConfirmationCheck;
+pub use cost::{BudgetAllocation, CostModel, CostPoint};
+pub use effort::{greedy_max_entropy_subset, joint_entropy_upper_bound};
+pub use goal::ValidationGoal;
+pub use metrics::{ValidationStep, ValidationTrace};
+pub use partition::{partition_answer_matrix, Block, Partition};
+pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProcessBuilder};
+pub use strategy::{
+    EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
+    StrategyKind, UncertaintyDriven, ValidationObservation, WorkerDriven,
+};
+pub use uncertainty::{conditional_entropy, information_gain, total_uncertainty};

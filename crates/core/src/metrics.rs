@@ -1,0 +1,248 @@
+//! Validation traces and evaluation metrics (paper §6.1).
+//!
+//! Every iteration of the validation process appends a [`ValidationStep`] to
+//! a [`ValidationTrace`]. The trace is the raw material of all figures in the
+//! evaluation: relative expert effort `E_i = i / n`, precision `P_i`,
+//! percentage of precision improvement `R_i = (P_i − P_0) / (1 − P_0)` and the
+//! uncertainty of the probabilistic answer set.
+
+use crate::strategy::StrategyKind;
+use crowdval_model::{GroundTruth, LabelId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// One iteration of the validation process.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ValidationStep {
+    /// 1-based iteration number `i`.
+    pub iteration: usize,
+    /// The object the expert was asked about.
+    pub object: ObjectId,
+    /// The label the expert provided.
+    pub label: LabelId,
+    /// Which strategy variant made the selection.
+    pub strategy: StrategyKind,
+    /// Uncertainty `H(P)` *after* integrating the validation.
+    pub uncertainty: f64,
+    /// Precision of the deterministic assignment after the validation, when a
+    /// reference ground truth is available.
+    pub precision: Option<f64>,
+    /// Error rate `ε_i = 1 − U_{i−1}(o, l)` of the previous estimate on the
+    /// validated object.
+    pub error_rate: f64,
+    /// Number of workers currently excluded as suspected faulty.
+    pub excluded_workers: usize,
+    /// EM iterations spent in this step's aggregation.
+    pub em_iterations: usize,
+}
+
+/// The full history of a validation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct ValidationTrace {
+    /// Number of objects in the dataset (denominator of the effort metric).
+    pub num_objects: usize,
+    /// Uncertainty before any validation.
+    pub initial_uncertainty: f64,
+    /// Precision before any validation (when a ground truth is available).
+    pub initial_precision: Option<f64>,
+    /// Per-iteration records.
+    pub steps: Vec<ValidationStep>,
+}
+
+impl ValidationTrace {
+    /// Creates an empty trace.
+    pub fn new(num_objects: usize, initial_uncertainty: f64, initial_precision: Option<f64>) -> Self {
+        Self { num_objects, initial_uncertainty, initial_precision, steps: Vec::new() }
+    }
+
+    /// Number of validations performed.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when no validation has happened yet.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// Relative expert effort `E_i = i / n` after the last step.
+    pub fn effort(&self) -> f64 {
+        if self.num_objects == 0 {
+            0.0
+        } else {
+            self.steps.len() as f64 / self.num_objects as f64
+        }
+    }
+
+    /// Precision after the last step (falls back to the initial precision).
+    pub fn final_precision(&self) -> Option<f64> {
+        self.steps.last().map_or(self.initial_precision, |s| s.precision)
+    }
+
+    /// Uncertainty after the last step (falls back to the initial value).
+    pub fn final_uncertainty(&self) -> f64 {
+        self.steps.last().map_or(self.initial_uncertainty, |s| s.uncertainty)
+    }
+
+    /// Precision measured right after the validation effort first reached the
+    /// given fraction (`0.0 ..= 1.0`); the initial precision for effort 0.
+    pub fn precision_at_effort(&self, effort: f64) -> Option<f64> {
+        if effort <= 0.0 || self.steps.is_empty() {
+            return self.initial_precision;
+        }
+        let needed = (effort * self.num_objects as f64).ceil() as usize;
+        if needed == 0 {
+            return self.initial_precision;
+        }
+        let idx = needed.min(self.steps.len()) - 1;
+        self.steps[idx].precision.or(self.initial_precision)
+    }
+
+    /// Percentage of precision improvement `R_i` after the last step, in
+    /// `[0, 1]` (paper reports it in percent).
+    pub fn precision_improvement(&self) -> Option<f64> {
+        let p0 = self.initial_precision?;
+        let p = self.final_precision()?;
+        Some(GroundTruth::precision_improvement(p0, p))
+    }
+
+    /// Precision improvement at a given effort fraction.
+    pub fn precision_improvement_at_effort(&self, effort: f64) -> Option<f64> {
+        let p0 = self.initial_precision?;
+        let p = self.precision_at_effort(effort)?;
+        Some(GroundTruth::precision_improvement(p0, p))
+    }
+
+    /// Smallest relative effort at which the precision reached `target`, or
+    /// `None` if it never did. Effort 0 is reported when the initial
+    /// precision already meets the target.
+    pub fn effort_to_reach_precision(&self, target: f64) -> Option<f64> {
+        if self.initial_precision.is_some_and(|p| p >= target) {
+            return Some(0.0);
+        }
+        self.steps
+            .iter()
+            .find(|s| s.precision.is_some_and(|p| p >= target))
+            .map(|s| s.iteration as f64 / self.num_objects.max(1) as f64)
+    }
+
+    /// The `(effort, precision)` series used to plot the Fig. 10-style curves.
+    pub fn precision_series(&self) -> Vec<(f64, f64)> {
+        let mut series = Vec::with_capacity(self.steps.len() + 1);
+        if let Some(p0) = self.initial_precision {
+            series.push((0.0, p0));
+        }
+        for s in &self.steps {
+            if let Some(p) = s.precision {
+                series.push((s.iteration as f64 / self.num_objects.max(1) as f64, p));
+            }
+        }
+        series
+    }
+
+    /// The `(precision, uncertainty)` pairs used for the correlation study of
+    /// Appendix B (Fig. 15).
+    pub fn precision_uncertainty_pairs(&self) -> Vec<(f64, f64)> {
+        let mut pairs = Vec::new();
+        if let Some(p0) = self.initial_precision {
+            pairs.push((p0, self.initial_uncertainty));
+        }
+        for s in &self.steps {
+            if let Some(p) = s.precision {
+                pairs.push((p, s.uncertainty));
+            }
+        }
+        pairs
+    }
+
+    /// Total EM iterations spent over the whole run (Fig. 8 compares this
+    /// between i-EM and restarted EM).
+    pub fn total_em_iterations(&self) -> usize {
+        self.steps.iter().map(|s| s.em_iterations).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step(i: usize, precision: f64, uncertainty: f64) -> ValidationStep {
+        ValidationStep {
+            iteration: i,
+            object: ObjectId(i - 1),
+            label: LabelId(0),
+            strategy: StrategyKind::Hybrid,
+            uncertainty,
+            precision: Some(precision),
+            error_rate: 0.1,
+            excluded_workers: 0,
+            em_iterations: 3,
+        }
+    }
+
+    fn trace() -> ValidationTrace {
+        let mut t = ValidationTrace::new(10, 5.0, Some(0.8));
+        t.steps.push(step(1, 0.82, 4.0));
+        t.steps.push(step(2, 0.9, 2.5));
+        t.steps.push(step(3, 1.0, 1.0));
+        t
+    }
+
+    #[test]
+    fn effort_and_final_metrics() {
+        let t = trace();
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        assert!((t.effort() - 0.3).abs() < 1e-12);
+        assert_eq!(t.final_precision(), Some(1.0));
+        assert_eq!(t.final_uncertainty(), 1.0);
+        assert_eq!(t.total_em_iterations(), 9);
+    }
+
+    #[test]
+    fn precision_at_effort_interpolates_on_steps() {
+        let t = trace();
+        assert_eq!(t.precision_at_effort(0.0), Some(0.8));
+        assert_eq!(t.precision_at_effort(0.1), Some(0.82));
+        assert_eq!(t.precision_at_effort(0.2), Some(0.9));
+        assert_eq!(t.precision_at_effort(0.25), Some(1.0));
+        // Beyond the recorded steps the last value holds.
+        assert_eq!(t.precision_at_effort(0.9), Some(1.0));
+    }
+
+    #[test]
+    fn improvement_is_normalized() {
+        let t = trace();
+        assert!((t.precision_improvement().unwrap() - 1.0).abs() < 1e-12);
+        assert!((t.precision_improvement_at_effort(0.2).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn effort_to_reach_precision() {
+        let t = trace();
+        assert_eq!(t.effort_to_reach_precision(0.8), Some(0.0));
+        assert_eq!(t.effort_to_reach_precision(0.9), Some(0.2));
+        assert_eq!(t.effort_to_reach_precision(1.0), Some(0.3));
+        let empty = ValidationTrace::new(10, 5.0, Some(0.5));
+        assert_eq!(empty.effort_to_reach_precision(0.9), None);
+    }
+
+    #[test]
+    fn series_include_the_initial_point() {
+        let t = trace();
+        let series = t.precision_series();
+        assert_eq!(series[0], (0.0, 0.8));
+        assert_eq!(series.len(), 4);
+        let pairs = t.precision_uncertainty_pairs();
+        assert_eq!(pairs[0], (0.8, 5.0));
+        assert_eq!(pairs.len(), 4);
+    }
+
+    #[test]
+    fn empty_trace_defaults() {
+        let t = ValidationTrace::new(0, 0.0, None);
+        assert_eq!(t.effort(), 0.0);
+        assert_eq!(t.final_precision(), None);
+        assert_eq!(t.precision_improvement(), None);
+        assert!(t.precision_series().is_empty());
+    }
+}

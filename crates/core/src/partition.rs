@@ -1,0 +1,211 @@
+//! Sparse answer-matrix partitioning (paper §5.4, "Sparse matrix
+//! partitioning").
+//!
+//! Workers only answer a limited number of questions, so a large answer
+//! matrix is sparse. To keep the per-iteration computations (and the blocks
+//! shown to a human) small, the paper reorders the matrix into dense
+//! sub-blocks using a graph partitioner (METIS). We implement the same idea
+//! from scratch: objects are greedily clustered along the bipartite
+//! object–worker answer graph, so that objects in one block share as many
+//! workers as possible, and each block is capped at a maximum size.
+
+use crowdval_model::{AnswerSet, ObjectId, WorkerId};
+use serde::{Deserialize, Serialize};
+use std::collections::{BTreeSet, BinaryHeap};
+
+/// One block of the partition: a set of objects plus the workers that
+/// answered them.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Block {
+    /// Objects in this block, in insertion order.
+    pub objects: Vec<ObjectId>,
+    /// Workers with at least one answer on a block object, sorted by id.
+    pub workers: Vec<WorkerId>,
+}
+
+impl Block {
+    /// Density of the block's sub-matrix: answers present over
+    /// `objects × workers` cells.
+    pub fn density(&self, answers: &AnswerSet) -> f64 {
+        if self.objects.is_empty() || self.workers.is_empty() {
+            return 0.0;
+        }
+        let workers: BTreeSet<WorkerId> = self.workers.iter().copied().collect();
+        let mut filled = 0usize;
+        for &o in &self.objects {
+            filled += answers
+                .matrix()
+                .answers_for_object(o)
+                .iter()
+                .filter(|(w, _)| workers.contains(w))
+                .count();
+        }
+        filled as f64 / (self.objects.len() * self.workers.len()) as f64
+    }
+}
+
+/// Result of partitioning an answer matrix.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    pub blocks: Vec<Block>,
+}
+
+impl Partition {
+    /// Total number of objects covered by the partition.
+    pub fn num_objects(&self) -> usize {
+        self.blocks.iter().map(|b| b.objects.len()).sum()
+    }
+
+    /// Largest block size.
+    pub fn max_block_size(&self) -> usize {
+        self.blocks.iter().map(|b| b.objects.len()).max().unwrap_or(0)
+    }
+}
+
+/// Greedily partitions the objects of an answer set into blocks of at most
+/// `max_block_size` objects, preferring to group objects that share workers.
+///
+/// The algorithm keeps a frontier of objects adjacent (via shared workers) to
+/// the current block and always pulls the object with the largest overlap,
+/// falling back to an arbitrary unassigned object when the frontier dries up.
+/// Every object ends up in exactly one block.
+pub fn partition_answer_matrix(answers: &AnswerSet, max_block_size: usize) -> Partition {
+    assert!(max_block_size > 0, "blocks must hold at least one object");
+    let n = answers.num_objects();
+    let mut assigned = vec![false; n];
+    let mut blocks = Vec::new();
+
+    for start in 0..n {
+        if assigned[start] {
+            continue;
+        }
+        let mut block_objects = Vec::with_capacity(max_block_size);
+        let mut block_workers: BTreeSet<WorkerId> = BTreeSet::new();
+        // Max-heap of (shared-worker count, object) candidates.
+        let mut frontier: BinaryHeap<(usize, usize)> = BinaryHeap::new();
+        frontier.push((0, start));
+
+        while block_objects.len() < max_block_size {
+            // Pull the best unassigned frontier object; recompute its overlap
+            // because the block has grown since it was pushed.
+            let candidate = loop {
+                match frontier.pop() {
+                    Some((_, o)) if assigned[o] => continue,
+                    Some((_, o)) => break Some(o),
+                    None => break None,
+                }
+            };
+            let Some(o) = candidate else { break };
+            assigned[o] = true;
+            let object = ObjectId(o);
+            block_objects.push(object);
+            for &(w, _) in answers.matrix().answers_for_object(object) {
+                // Expand the frontier with the objects this worker answered.
+                if block_workers.insert(w) {
+                    for &(other, _) in answers.matrix().answers_for_worker(w) {
+                        if !assigned[other.index()] {
+                            let overlap = shared_workers(answers, other, &block_workers);
+                            frontier.push((overlap, other.index()));
+                        }
+                    }
+                }
+            }
+        }
+        blocks.push(Block {
+            objects: block_objects,
+            workers: block_workers.into_iter().collect(),
+        });
+    }
+    Partition { blocks }
+}
+
+fn shared_workers(answers: &AnswerSet, object: ObjectId, workers: &BTreeSet<WorkerId>) -> usize {
+    answers
+        .matrix()
+        .answers_for_object(object)
+        .iter()
+        .filter(|(w, _)| workers.contains(w))
+        .count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::LabelId;
+
+    /// Two disjoint communities of workers/objects plus one bridging object.
+    fn two_communities() -> AnswerSet {
+        let mut n = AnswerSet::new(9, 6, 2);
+        // Community A: objects 0..4 answered by workers 0..2.
+        for o in 0..4 {
+            for w in 0..3 {
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(0)).unwrap();
+            }
+        }
+        // Community B: objects 4..8 answered by workers 3..5.
+        for o in 4..8 {
+            for w in 3..6 {
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(1)).unwrap();
+            }
+        }
+        // Bridge: object 8 answered by one worker from each side.
+        n.record_answer(ObjectId(8), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(8), WorkerId(3), LabelId(0)).unwrap();
+        n
+    }
+
+    #[test]
+    fn every_object_lands_in_exactly_one_block() {
+        let answers = two_communities();
+        let p = partition_answer_matrix(&answers, 4);
+        assert_eq!(p.num_objects(), 9);
+        let mut seen = vec![false; 9];
+        for block in &p.blocks {
+            for o in &block.objects {
+                assert!(!seen[o.index()], "object {o} assigned twice");
+                seen[o.index()] = true;
+            }
+        }
+        assert!(seen.into_iter().all(|s| s));
+        assert!(p.max_block_size() <= 4);
+    }
+
+    #[test]
+    fn blocks_follow_worker_communities() {
+        let answers = two_communities();
+        let p = partition_answer_matrix(&answers, 4);
+        // The first block grown from object 0 should contain only community-A
+        // objects (0..4) because they share workers.
+        let first = &p.blocks[0];
+        assert!(first.objects.iter().all(|o| o.index() < 4));
+        // Blocks over a single community are dense.
+        assert!(first.density(&answers) > 0.9);
+    }
+
+    #[test]
+    fn blocks_respect_the_size_cap() {
+        let answers = two_communities();
+        for cap in [1, 2, 3, 5] {
+            let p = partition_answer_matrix(&answers, cap);
+            assert!(p.max_block_size() <= cap, "cap {cap}");
+            assert_eq!(p.num_objects(), 9);
+        }
+    }
+
+    #[test]
+    fn empty_matrix_partitions_into_singletons() {
+        let answers = AnswerSet::new(3, 2, 2);
+        let p = partition_answer_matrix(&answers, 2);
+        assert_eq!(p.num_objects(), 3);
+        for block in &p.blocks {
+            assert!(block.workers.is_empty());
+            assert_eq!(block.density(&answers), 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one object")]
+    fn zero_block_size_is_rejected() {
+        partition_answer_matrix(&AnswerSet::new(1, 1, 2), 0);
+    }
+}

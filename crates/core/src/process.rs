@@ -1,0 +1,598 @@
+//! The guided answer-validation process (paper §3.2 and Algorithm 1).
+//!
+//! [`ValidationProcess`] is the engine that ties everything together. It can
+//! be driven in two ways:
+//!
+//! * **interactively** — call [`ValidationProcess::select_next`] to get the
+//!   object the expert should look at, obtain the expert's label out of band,
+//!   and feed it back with [`ValidationProcess::integrate`]; repeat as long
+//!   as budget remains. This is the pay-as-you-go mode: a deterministic
+//!   assignment can be instantiated at any time.
+//! * **batch** — call [`ValidationProcess::run`] with an [`ExpertSource`]
+//!   (e.g. a simulated expert) and a stopping condition; the engine loops
+//!   until the goal, the budget or the object set is exhausted.
+
+use crate::confirmation::ConfirmationCheck;
+use crate::goal::ValidationGoal;
+use crate::metrics::{ValidationStep, ValidationTrace};
+use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{
+    AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ObjectId,
+    ProbabilisticAnswerSet, WorkerId,
+};
+use crowdval_spammer::{FaultyWorkerHandler, SpammerDetector};
+use serde::{Deserialize, Serialize};
+
+/// Where expert labels come from in batch mode.
+pub trait ExpertSource {
+    /// Provides the expert's label for `object`.
+    fn provide_label(&mut self, object: ObjectId) -> LabelId;
+
+    /// Re-examines an object whose earlier validation was flagged as
+    /// suspicious by the confirmation check. Defaults to answering the
+    /// question again.
+    fn reconsider(&mut self, object: ObjectId) -> LabelId {
+        self.provide_label(object)
+    }
+}
+
+impl<F: FnMut(ObjectId) -> LabelId> ExpertSource for F {
+    fn provide_label(&mut self, object: ObjectId) -> LabelId {
+        self(object)
+    }
+}
+
+/// Run-time options of the validation process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProcessConfig {
+    /// Maximum number of expert interactions (the effort budget `b`);
+    /// `None` allows validating every object.
+    pub budget: Option<usize>,
+    /// Stopping condition Δ checked after every validation.
+    pub goal: ValidationGoal,
+    /// Leave-one-out confirmation check for erroneous validations; `None`
+    /// disables it.
+    pub confirmation_check: Option<ConfirmationCheck>,
+    /// Whether detected faulty workers are excluded from aggregation
+    /// (§5.3 "Handling faulty workers").
+    pub handle_faulty_workers: bool,
+    /// Whether per-candidate scoring may use multiple threads.
+    pub parallel: bool,
+}
+
+impl Default for ProcessConfig {
+    fn default() -> Self {
+        Self {
+            budget: None,
+            goal: ValidationGoal::ExhaustBudget,
+            confirmation_check: None,
+            handle_faulty_workers: true,
+            parallel: false,
+        }
+    }
+}
+
+/// Builder for [`ValidationProcess`].
+pub struct ValidationProcessBuilder {
+    answers: AnswerSet,
+    aggregator: Box<dyn Aggregator>,
+    strategy: Box<dyn SelectionStrategy>,
+    detector: SpammerDetector,
+    config: ProcessConfig,
+    ground_truth: Option<GroundTruth>,
+}
+
+impl ValidationProcessBuilder {
+    /// Starts a builder with the paper's default components: i-EM
+    /// aggregation and the hybrid guidance strategy.
+    pub fn new(answers: AnswerSet) -> Self {
+        Self {
+            answers,
+            aggregator: Box::new(crowdval_aggregation::IncrementalEm::default()),
+            strategy: Box::new(crate::strategy::HybridStrategy::new(0)),
+            detector: SpammerDetector::default(),
+            config: ProcessConfig::default(),
+            ground_truth: None,
+        }
+    }
+
+    /// Replaces the aggregator (the *conclude* step).
+    pub fn aggregator(mut self, aggregator: Box<dyn Aggregator>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Replaces the guidance strategy (the *select* step).
+    pub fn strategy(mut self, strategy: Box<dyn SelectionStrategy>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the faulty-worker detector.
+    pub fn detector(mut self, detector: SpammerDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the run-time options.
+    pub fn config(mut self, config: ProcessConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a reference ground truth; enables precision tracking and
+    /// precision-based goals (evaluation mode).
+    pub fn ground_truth(mut self, truth: GroundTruth) -> Self {
+        self.ground_truth = Some(truth);
+        self
+    }
+
+    /// Builds the process and runs the initial aggregation.
+    pub fn build(self) -> ValidationProcess {
+        ValidationProcess::new(
+            self.answers,
+            self.aggregator,
+            self.strategy,
+            self.detector,
+            self.config,
+            self.ground_truth,
+        )
+    }
+}
+
+/// The validation-process engine (Algorithm 1).
+pub struct ValidationProcess {
+    answers: AnswerSet,
+    active_answers: AnswerSet,
+    aggregator: Box<dyn Aggregator>,
+    strategy: Option<Box<dyn SelectionStrategy>>,
+    detector: SpammerDetector,
+    handler: FaultyWorkerHandler,
+    config: ProcessConfig,
+    ground_truth: Option<GroundTruth>,
+    expert: ExpertValidation,
+    current: ProbabilisticAnswerSet,
+    trace: ValidationTrace,
+    iteration: usize,
+}
+
+impl ValidationProcess {
+    /// Creates the process and performs the initial aggregation (`P_0`,
+    /// `d_0`).
+    pub fn new(
+        answers: AnswerSet,
+        aggregator: Box<dyn Aggregator>,
+        strategy: Box<dyn SelectionStrategy>,
+        detector: SpammerDetector,
+        config: ProcessConfig,
+        ground_truth: Option<GroundTruth>,
+    ) -> Self {
+        let expert = ExpertValidation::empty(answers.num_objects());
+        let current = aggregator.conclude(&answers, &expert, None);
+        let initial_precision = ground_truth
+            .as_ref()
+            .map(|g| g.precision(&current.instantiate()));
+        let trace = ValidationTrace::new(answers.num_objects(), current.uncertainty(), initial_precision);
+        Self {
+            active_answers: answers.clone(),
+            answers,
+            aggregator,
+            strategy: Some(strategy),
+            detector,
+            handler: FaultyWorkerHandler::new(),
+            config,
+            ground_truth,
+            expert,
+            current,
+            trace,
+            iteration: 0,
+        }
+    }
+
+    /// Convenience entry point for the builder.
+    pub fn builder(answers: AnswerSet) -> ValidationProcessBuilder {
+        ValidationProcessBuilder::new(answers)
+    }
+
+    /// The original (unfiltered) answer set.
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// The expert validations collected so far.
+    pub fn expert(&self) -> &ExpertValidation {
+        &self.expert
+    }
+
+    /// The current probabilistic answer set.
+    pub fn current(&self) -> &ProbabilisticAnswerSet {
+        &self.current
+    }
+
+    /// The validation trace accumulated so far.
+    pub fn trace(&self) -> &ValidationTrace {
+        &self.trace
+    }
+
+    /// Workers currently excluded as suspected faulty.
+    pub fn excluded_workers(&self) -> Vec<WorkerId> {
+        self.handler.excluded()
+    }
+
+    /// Number of validations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iteration
+    }
+
+    /// The deterministic assignment assumed correct at this point: the
+    /// most-probable labels, with validated objects pinned to the expert's
+    /// label (the *filter* step plus Algorithm 1 line 17).
+    pub fn deterministic_assignment(&self) -> DeterministicAssignment {
+        let mut d = self.current.instantiate();
+        for (o, l) in self.expert.iter() {
+            d.set_label(o, l);
+        }
+        d
+    }
+
+    /// Precision of the current deterministic assignment against the
+    /// reference ground truth, when one was provided.
+    pub fn precision(&self) -> Option<f64> {
+        self.ground_truth
+            .as_ref()
+            .map(|g| g.precision(&self.deterministic_assignment()))
+    }
+
+    /// Current uncertainty `H(P)`.
+    pub fn uncertainty(&self) -> f64 {
+        self.current.uncertainty()
+    }
+
+    /// Whether the configured goal or budget has been reached.
+    pub fn is_finished(&self) -> bool {
+        let budget_exhausted = self
+            .config
+            .budget
+            .is_some_and(|b| self.trace.len() >= b);
+        let nothing_left = self.expert.count() >= self.answers.num_objects();
+        let goal_reached = self.config.goal.is_satisfied(self.uncertainty(), self.precision());
+        budget_exhausted || nothing_left || goal_reached
+    }
+
+    /// Step (1) of the validation process: selects the object for which
+    /// expert feedback should be sought next. Returns `None` when every
+    /// object has been validated.
+    pub fn select_next(&mut self) -> Option<ObjectId> {
+        let candidates = self.expert.unvalidated_objects();
+        if candidates.is_empty() {
+            return None;
+        }
+        let mut strategy = self.strategy.take().expect("strategy always present outside select");
+        let picked = {
+            let ctx = StrategyContext {
+                answers: &self.active_answers,
+                expert: &self.expert,
+                current: &self.current,
+                aggregator: self.aggregator.as_ref(),
+                detector: &self.detector,
+                candidates: &candidates,
+                parallel: self.config.parallel,
+            };
+            strategy.select(&ctx)
+        };
+        self.strategy = Some(strategy);
+        picked
+    }
+
+    /// Steps (2)–(4) of the validation process: integrates the expert's
+    /// label for `object`, updates worker exclusions, re-aggregates and
+    /// records a trace step. Returns the objects flagged by the confirmation
+    /// check (empty when the check is disabled or not due).
+    pub fn integrate(&mut self, object: ObjectId, label: LabelId) -> Vec<ObjectId> {
+        self.iteration += 1;
+        // Error rate of the previous estimate on the validated object
+        // (Algorithm 1 line 10).
+        let error_rate = 1.0 - self.current.assignment().prob(object, label);
+
+        // Update the validation function first so detection sees the newest
+        // ground truth (Algorithm 1 lines 11–15).
+        self.expert.set(object, label);
+        let detection =
+            self.detector
+                .detect(&self.answers, &self.expert, self.current.priors());
+        let faulty_ratio = if self.answers.num_workers() == 0 {
+            0.0
+        } else {
+            detection.num_faulty() as f64 / self.answers.num_workers() as f64
+        };
+        let strategy = self.strategy.as_mut().expect("strategy present");
+        if self.config.handle_faulty_workers && strategy.handle_spammers_now() {
+            self.handler.apply(&detection);
+            self.active_answers = self.handler.filtered_answers(&self.answers);
+        }
+        strategy.observe(&ValidationObservation {
+            error_rate,
+            faulty_ratio,
+            coverage: self.expert.coverage(),
+        });
+        let strategy_kind = strategy.last_kind();
+
+        // Conclude: update the probabilistic answer set (line 16).
+        self.current =
+            self.aggregator
+                .conclude(&self.active_answers, &self.expert, Some(&self.current));
+
+        self.record_step(object, label, strategy_kind, error_rate);
+
+        // Confirmation check for erroneous validations (§5.5).
+        match self.config.confirmation_check {
+            Some(check) if check.is_due(self.iteration) => check.flag_suspicious(
+                &self.active_answers,
+                &self.expert,
+                &self.current,
+                self.aggregator.as_ref(),
+            ),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Replaces a previously given validation after the expert reconsidered a
+    /// flagged object. Counts as one additional unit of expert effort.
+    pub fn revalidate(&mut self, object: ObjectId, label: LabelId) {
+        self.iteration += 1;
+        let error_rate = 1.0 - self.current.assignment().prob(object, label);
+        self.expert.set(object, label);
+        self.current =
+            self.aggregator
+                .conclude(&self.active_answers, &self.expert, Some(&self.current));
+        let kind = self
+            .strategy
+            .as_ref()
+            .map_or(StrategyKind::Hybrid, |s| s.last_kind());
+        self.record_step(object, label, kind, error_rate);
+    }
+
+    fn record_step(
+        &mut self,
+        object: ObjectId,
+        label: LabelId,
+        strategy: StrategyKind,
+        error_rate: f64,
+    ) {
+        let precision = self.precision();
+        self.trace.steps.push(ValidationStep {
+            iteration: self.iteration,
+            object,
+            label,
+            strategy,
+            uncertainty: self.current.uncertainty(),
+            precision,
+            error_rate,
+            excluded_workers: self.handler.num_excluded(),
+            em_iterations: self.current.em_iterations(),
+        });
+    }
+
+    /// Batch mode: runs the validation loop against an expert source until
+    /// the goal is reached, the budget is exhausted, or every object has been
+    /// validated. Returns the trace.
+    pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
+        while !self.is_finished() {
+            let Some(object) = self.select_next() else { break };
+            let label = expert_source.provide_label(object);
+            let flagged = self.integrate(object, label);
+            for suspicious in flagged {
+                if self.is_finished() {
+                    break;
+                }
+                let corrected = expert_source.reconsider(suspicious);
+                if self.expert.get(suspicious) != Some(corrected) {
+                    self.revalidate(suspicious, corrected);
+                }
+            }
+        }
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{EntropyBaseline, HybridStrategy, RandomSelection, UncertaintyDriven};
+    use crowdval_sim::{SimulatedExpert, SyntheticConfig};
+
+    fn synthetic(seed: u64) -> crowdval_sim::SyntheticDataset {
+        SyntheticConfig { num_objects: 30, ..SyntheticConfig::paper_default(seed) }.generate()
+    }
+
+    fn oracle(synth: &crowdval_sim::SyntheticDataset) -> SimulatedExpert {
+        SimulatedExpert::perfect(
+            synth.dataset.ground_truth().clone(),
+            synth.dataset.answers().num_labels(),
+        )
+    }
+
+    struct OracleSource(SimulatedExpert);
+    impl ExpertSource for OracleSource {
+        fn provide_label(&mut self, object: ObjectId) -> LabelId {
+            self.0.validate(object)
+        }
+    }
+
+    #[test]
+    fn interactive_loop_improves_precision_and_reduces_uncertainty() {
+        let synth = synthetic(301);
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(HybridStrategy::new(7)))
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .build();
+        let initial_uncertainty = process.uncertainty();
+        let initial_precision = process.precision().unwrap();
+        let mut expert = oracle(&synth);
+        for _ in 0..10 {
+            let o = process.select_next().expect("candidates remain");
+            let l = expert.validate(o);
+            process.integrate(o, l);
+        }
+        assert_eq!(process.iterations(), 10);
+        assert_eq!(process.trace().len(), 10);
+        // Uncertainty stays bounded (it can rise temporarily when excluding a
+        // suspected worker removes evidence, but never beyond the maximum
+        // entropy of the unvalidated objects).
+        let max_entropy = (30 - process.expert().count()) as f64 * 2.0_f64.ln();
+        assert!(process.uncertainty() <= max_entropy + 1e-9);
+        assert!(process.uncertainty().is_finite() && process.uncertainty() >= 0.0);
+        let _ = initial_uncertainty;
+        assert!(process.precision().unwrap() >= initial_precision - 0.05);
+        // Validated objects are pinned in the deterministic assignment.
+        for (o, l) in process.expert().iter() {
+            assert_eq!(process.deterministic_assignment().label(o), l);
+        }
+    }
+
+    #[test]
+    fn batch_run_reaches_perfect_precision_with_full_budget() {
+        let synth = synthetic(302);
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .config(ProcessConfig {
+                goal: ValidationGoal::TargetPrecision(1.0),
+                ..ProcessConfig::default()
+            })
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .build();
+        let mut source = OracleSource(oracle(&synth));
+        let trace = process.run(&mut source);
+        assert_eq!(trace.final_precision(), Some(1.0));
+        // Guided validation should not need to validate every single object.
+        assert!(trace.len() <= 30);
+    }
+
+    #[test]
+    fn budget_is_respected() {
+        let synth = synthetic(303);
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(RandomSelection::new(5)))
+            .config(ProcessConfig { budget: Some(7), ..ProcessConfig::default() })
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .build();
+        let mut source = OracleSource(oracle(&synth));
+        let steps = process.run(&mut source).len();
+        assert_eq!(steps, 7);
+        assert!(process.is_finished());
+    }
+
+    #[test]
+    fn uncertainty_goal_stops_the_run() {
+        let synth = synthetic(304);
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(UncertaintyDriven::new()))
+            .config(ProcessConfig {
+                goal: ValidationGoal::MaxUncertainty(1.0),
+                ..ProcessConfig::default()
+            })
+            .build();
+        let mut source = OracleSource(oracle(&synth));
+        let steps = process.run(&mut source).len();
+        assert!(process.uncertainty() <= 1.0 || steps == 30);
+    }
+
+    #[test]
+    fn confirmation_check_recovers_from_an_erroneous_validation() {
+        let synth = SyntheticConfig {
+            num_objects: 30,
+            num_workers: 15,
+            reliability: 0.85,
+            mix: crowdval_sim::PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(305)
+        }
+        .generate();
+        let truth = synth.dataset.ground_truth().clone();
+
+        // An expert that errs on its third validation, then answers correctly
+        // when asked to reconsider.
+        struct FlakyExpert {
+            truth: GroundTruth,
+            calls: usize,
+        }
+        impl ExpertSource for FlakyExpert {
+            fn provide_label(&mut self, object: ObjectId) -> LabelId {
+                self.calls += 1;
+                let correct = self.truth.label(object);
+                if self.calls == 3 {
+                    LabelId(1 - correct.index())
+                } else {
+                    correct
+                }
+            }
+            fn reconsider(&mut self, object: ObjectId) -> LabelId {
+                self.truth.label(object)
+            }
+        }
+
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .config(ProcessConfig {
+                budget: Some(12),
+                confirmation_check: Some(ConfirmationCheck::every(1)),
+                ..ProcessConfig::default()
+            })
+            .ground_truth(truth.clone())
+            .build();
+        let mut source = FlakyExpert { truth: truth.clone(), calls: 0 };
+        process.run(&mut source);
+        // Every validated object ends up with the correct label despite the
+        // injected mistake.
+        for (o, l) in process.expert().iter() {
+            assert_eq!(l, truth.label(o), "object {o} kept an erroneous validation");
+        }
+    }
+
+    #[test]
+    fn select_next_returns_none_once_everything_is_validated() {
+        let synth = SyntheticConfig { num_objects: 5, ..SyntheticConfig::paper_default(306) }
+            .generate();
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .build();
+        let mut expert = oracle(&synth);
+        while let Some(o) = process.select_next() {
+            let l = expert.validate(o);
+            process.integrate(o, l);
+        }
+        assert_eq!(process.expert().count(), 5);
+        assert!(process.is_finished());
+        assert_eq!(process.precision(), Some(1.0));
+        assert!(process.select_next().is_none());
+    }
+
+    #[test]
+    fn worker_exclusions_are_reported() {
+        let synth = SyntheticConfig {
+            num_objects: 40,
+            mix: crowdval_sim::PopulationMix::with_spammer_ratio(0.35),
+            ..SyntheticConfig::paper_default(307)
+        }
+        .generate();
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(crate::strategy::WorkerDriven))
+            .config(ProcessConfig { budget: Some(20), ..ProcessConfig::default() })
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .build();
+        let mut source = OracleSource(oracle(&synth));
+        process.run(&mut source);
+        // With 35 % spammers and the worker-driven strategy, at least one
+        // worker should have been excluded at some point.
+        let max_excluded = process
+            .trace()
+            .steps
+            .iter()
+            .map(|s| s.excluded_workers)
+            .max()
+            .unwrap_or(0);
+        assert!(max_excluded > 0, "no worker was ever excluded");
+        assert_eq!(process.excluded_workers().len(), process.trace().steps.last().unwrap().excluded_workers);
+    }
+}

@@ -1,0 +1,79 @@
+//! Highest-entropy baseline (paper §6.6 and Appendix C).
+//!
+//! Selects the most "problematic" object — the one whose current label
+//! distribution has the highest Shannon entropy. Stronger than random
+//! selection because it focuses on objects on the edge of being right or
+//! wrong, but blind to the *consequences* of a validation (it ignores how the
+//! validation would propagate through worker reliabilities).
+
+use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
+use crowdval_model::ObjectId;
+
+/// The `select(O) = argmax_o H(o)` baseline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EntropyBaseline;
+
+impl SelectionStrategy for EntropyBaseline {
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId> {
+        let scores: Vec<(ObjectId, f64)> = ctx
+            .candidates
+            .iter()
+            .map(|&o| (o, ctx.current.object_uncertainty(o)))
+            .collect();
+        argmax_object(&scores)
+    }
+
+    fn last_kind(&self) -> StrategyKind {
+        StrategyKind::EntropyBaseline
+    }
+
+    fn name(&self) -> &'static str {
+        "entropy-baseline"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+    use crowdval_model::LabelId;
+
+    #[test]
+    fn picks_the_object_with_the_most_uncertain_distribution() {
+        let mut fixture = context_fixture(8, 5, 2, 17);
+        // Force a perfectly uncertain object by hand.
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(3), &[0.5, 0.5]);
+        // And a perfectly certain one.
+        fixture.current.assignment_mut().set_certain(ObjectId(5), LabelId(0));
+        let candidates: Vec<ObjectId> = (0..8).map(ObjectId).collect();
+        let ctx = fixture.context(&candidates);
+        let mut s = EntropyBaseline;
+        assert_eq!(s.select(&ctx), Some(ObjectId(3)));
+    }
+
+    #[test]
+    fn ignores_objects_outside_the_candidate_set() {
+        let mut fixture = context_fixture(6, 4, 2, 18);
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(0), &[0.5, 0.5]);
+        let candidates = vec![ObjectId(1), ObjectId(2)];
+        let ctx = fixture.context(&candidates);
+        let mut s = EntropyBaseline;
+        let picked = s.select(&ctx).unwrap();
+        assert!(candidates.contains(&picked));
+        assert_eq!(s.name(), "entropy-baseline");
+        assert_eq!(s.last_kind(), StrategyKind::EntropyBaseline);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let fixture = context_fixture(4, 3, 2, 19);
+        let ctx = fixture.context(&[]);
+        assert_eq!(EntropyBaseline.select(&ctx), None);
+    }
+}

@@ -1,0 +1,190 @@
+//! Hybrid expert guidance with dynamic weighting (paper §5.4, Algorithm 1).
+//!
+//! Each iteration chooses between the worker-driven and the
+//! uncertainty-driven strategy by roulette-wheel selection against the score
+//!
+//! ```text
+//! z_i = 1 − exp(−(ε_i (1 − f_i) + r_i f_i))          (Eq. 15)
+//! ```
+//!
+//! where `ε_i` is the error rate of the previous deterministic assignment on
+//! the freshly validated object, `r_i` the ratio of detected faulty workers
+//! and `f_i` the ratio of validated objects. Early on (small `f_i`) the error
+//! rate dominates; later the detected-spammer ratio takes over.
+
+use super::{
+    SelectionStrategy, StrategyContext, StrategyKind, UncertaintyDriven, ValidationObservation,
+    WorkerDriven,
+};
+use crowdval_model::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The combined strategy of Algorithm 1.
+#[derive(Debug, Clone)]
+pub struct HybridStrategy {
+    uncertainty: UncertaintyDriven,
+    worker: WorkerDriven,
+    rng: StdRng,
+    /// Current weighting score `z_i`; starts at 0 so the first selection is
+    /// always uncertainty-driven (Algorithm 1 initializes `z_0 ← 0`).
+    z: f64,
+    last_kind: StrategyKind,
+}
+
+impl HybridStrategy {
+    /// Hybrid strategy with the default uncertainty-driven configuration.
+    pub fn new(seed: u64) -> Self {
+        Self::with_uncertainty(UncertaintyDriven::new(), seed)
+    }
+
+    /// Hybrid strategy with a custom uncertainty-driven component (e.g. the
+    /// exhaustive variant for small datasets).
+    pub fn with_uncertainty(uncertainty: UncertaintyDriven, seed: u64) -> Self {
+        Self {
+            uncertainty,
+            worker: WorkerDriven,
+            rng: StdRng::seed_from_u64(seed),
+            z: 0.0,
+            last_kind: StrategyKind::Hybrid,
+        }
+    }
+
+    /// The current weighting score `z_i`.
+    pub fn weight(&self) -> f64 {
+        self.z
+    }
+
+    /// Computes the Eq. 15 score from an observation.
+    pub fn weighting_score(observation: &ValidationObservation) -> f64 {
+        let f = observation.coverage.clamp(0.0, 1.0);
+        let eps = observation.error_rate.clamp(0.0, 1.0);
+        let r = observation.faulty_ratio.clamp(0.0, 1.0);
+        1.0 - (-(eps * (1.0 - f) + r * f)).exp()
+    }
+}
+
+impl SelectionStrategy for HybridStrategy {
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId> {
+        if ctx.candidates.is_empty() {
+            return None;
+        }
+        // Roulette-wheel choice: even a large z leaves a chance for the
+        // uncertainty-driven strategy (Algorithm 1, lines 6–8).
+        let x: f64 = self.rng.random_range(0.0..1.0);
+        if x < self.z {
+            self.last_kind = StrategyKind::WorkerDriven;
+            self.worker.select(ctx)
+        } else {
+            self.last_kind = StrategyKind::UncertaintyDriven;
+            self.uncertainty.select(ctx)
+        }
+    }
+
+    fn last_kind(&self) -> StrategyKind {
+        self.last_kind
+    }
+
+    fn handle_spammers_now(&self) -> bool {
+        self.last_kind == StrategyKind::WorkerDriven
+    }
+
+    fn observe(&mut self, observation: &ValidationObservation) {
+        self.z = Self::weighting_score(observation);
+    }
+
+    fn name(&self) -> &'static str {
+        "hybrid"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+
+    #[test]
+    fn weighting_score_follows_equation_15() {
+        // No errors, no spammers -> 0.
+        let z = HybridStrategy::weighting_score(&ValidationObservation {
+            error_rate: 0.0,
+            faulty_ratio: 0.0,
+            coverage: 0.5,
+        });
+        assert!(z.abs() < 1e-12);
+
+        // Early phase: the error rate dominates.
+        let early = HybridStrategy::weighting_score(&ValidationObservation {
+            error_rate: 1.0,
+            faulty_ratio: 0.0,
+            coverage: 0.0,
+        });
+        assert!((early - (1.0 - (-1.0_f64).exp())).abs() < 1e-12);
+
+        // Late phase: the spammer ratio dominates.
+        let late = HybridStrategy::weighting_score(&ValidationObservation {
+            error_rate: 1.0,
+            faulty_ratio: 0.4,
+            coverage: 1.0,
+        });
+        assert!((late - (1.0 - (-0.4_f64).exp())).abs() < 1e-12);
+
+        // The score is always in [0, 1).
+        for eps in [0.0, 0.5, 1.0] {
+            for r in [0.0, 0.5, 1.0] {
+                for f in [0.0, 0.5, 1.0] {
+                    let z = HybridStrategy::weighting_score(&ValidationObservation {
+                        error_rate: eps,
+                        faulty_ratio: r,
+                        coverage: f,
+                    });
+                    assert!((0.0..1.0).contains(&z));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn first_selection_is_uncertainty_driven() {
+        let fixture = context_fixture(10, 5, 2, 71);
+        let candidates: Vec<ObjectId> = (0..10).map(ObjectId).collect();
+        let ctx = fixture.context(&candidates);
+        let mut s = HybridStrategy::new(1);
+        let picked = s.select(&ctx);
+        assert!(picked.is_some());
+        assert_eq!(s.last_kind(), StrategyKind::UncertaintyDriven);
+        assert!(!s.handle_spammers_now());
+        assert_eq!(s.name(), "hybrid");
+    }
+
+    #[test]
+    fn high_weight_eventually_selects_the_worker_driven_branch() {
+        let mut fixture = context_fixture(10, 6, 2, 73);
+        for o in 0..4 {
+            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+        }
+        fixture.refresh();
+        let candidates = fixture.expert.unvalidated_objects();
+        let mut s = HybridStrategy::new(3);
+        s.observe(&ValidationObservation { error_rate: 1.0, faulty_ratio: 1.0, coverage: 1.0 });
+        assert!(s.weight() > 0.6);
+        let mut saw_worker_driven = false;
+        for _ in 0..30 {
+            let ctx = fixture.context(&candidates);
+            s.select(&ctx);
+            if s.last_kind() == StrategyKind::WorkerDriven {
+                assert!(s.handle_spammers_now());
+                saw_worker_driven = true;
+                break;
+            }
+        }
+        assert!(saw_worker_driven, "worker-driven branch never taken despite z = {}", s.weight());
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let fixture = context_fixture(4, 3, 2, 79);
+        let ctx = fixture.context(&[]);
+        assert_eq!(HybridStrategy::new(5).select(&ctx), None);
+    }
+}

@@ -1,0 +1,208 @@
+//! Expert-guidance strategies: the *select* step of the validation process
+//! (paper §3.2 step 1 and §5).
+//!
+//! A strategy picks, among the objects that still lack expert input, the one
+//! whose validation is expected to be most beneficial. The paper proposes an
+//! uncertainty-driven strategy (information gain, §5.2), a worker-driven
+//! strategy (expected spammer detections, §5.3) and a dynamically weighted
+//! hybrid of the two (§5.4). A random selector and the highest-entropy
+//! baseline used in the evaluation (§6.6 / Appendix C) are included for
+//! comparison.
+
+mod entropy_baseline;
+mod hybrid;
+mod random;
+mod uncertainty_driven;
+mod worker_driven;
+
+pub use entropy_baseline::EntropyBaseline;
+pub use hybrid::HybridStrategy;
+pub use random::RandomSelection;
+pub use uncertainty_driven::UncertaintyDriven;
+pub use worker_driven::WorkerDriven;
+
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
+use crowdval_spammer::SpammerDetector;
+use serde::{Deserialize, Serialize};
+
+/// Everything a strategy may look at when choosing the next object.
+pub struct StrategyContext<'a> {
+    /// The answer set used for aggregation (answers of excluded workers are
+    /// already filtered out).
+    pub answers: &'a AnswerSet,
+    /// Expert validations collected so far.
+    pub expert: &'a ExpertValidation,
+    /// The current probabilistic answer set.
+    pub current: &'a ProbabilisticAnswerSet,
+    /// The aggregator used to evaluate hypothetical validations.
+    pub aggregator: &'a dyn Aggregator,
+    /// The faulty-worker detector (with its thresholds).
+    pub detector: &'a SpammerDetector,
+    /// Objects that may be selected (the unvalidated ones).
+    pub candidates: &'a [ObjectId],
+    /// Whether per-candidate scoring may use multiple threads (§5.4
+    /// "Parallelization").
+    pub parallel: bool,
+}
+
+/// Which concrete strategy made a selection; recorded in validation traces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyKind {
+    Random,
+    EntropyBaseline,
+    UncertaintyDriven,
+    WorkerDriven,
+    Hybrid,
+}
+
+/// Feedback handed back to the strategy after each validation, used by the
+/// hybrid strategy to update its dynamic weighting (Eq. 15).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ValidationObservation {
+    /// Error rate `ε_i = 1 − U_{i−1}(o, l)` of the previous estimate for the
+    /// object that was just validated.
+    pub error_rate: f64,
+    /// Ratio `r_i` of detected faulty workers over the population.
+    pub faulty_ratio: f64,
+    /// Ratio `f_i` of validated objects over all objects.
+    pub coverage: f64,
+}
+
+/// The *select* step of the validation process.
+pub trait SelectionStrategy {
+    /// Chooses the next object to validate among `ctx.candidates`.
+    /// Returns `None` when there is nothing left to validate.
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId>;
+
+    /// Which strategy variant produced the last selection (for hybrids this
+    /// varies per call).
+    fn last_kind(&self) -> StrategyKind;
+
+    /// Whether detected faulty workers should be excluded from aggregation in
+    /// the round following the last selection (Algorithm 1 handles spammers
+    /// only when the worker-driven branch was taken).
+    fn handle_spammers_now(&self) -> bool {
+        false
+    }
+
+    /// Observes the outcome of the validation that followed the last
+    /// selection. Default: ignore.
+    fn observe(&mut self, _observation: &ValidationObservation) {}
+
+    /// Stable name used in reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Selects the argmax of a per-candidate score with deterministic tie-breaks
+/// (smaller object id wins). Scores that are `NaN` are treated as `-∞`.
+pub(crate) fn argmax_object(scores: &[(ObjectId, f64)]) -> Option<ObjectId> {
+    scores
+        .iter()
+        .fold(None::<(ObjectId, f64)>, |best, &(o, s)| {
+            let s = if s.is_nan() { f64::NEG_INFINITY } else { s };
+            match best {
+                None => Some((o, s)),
+                Some((bo, bs)) => {
+                    if s > bs || (s == bs && o < bo) {
+                        Some((o, s))
+                    } else {
+                        Some((bo, bs))
+                    }
+                }
+            }
+        })
+        .map(|(o, _)| o)
+}
+
+/// Shared fixtures for the strategy unit tests: a small synthetic dataset, an
+/// aggregated state and the components needed to build a [`StrategyContext`].
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use super::StrategyContext;
+    use crowdval_aggregation::{Aggregator, IncrementalEm};
+    use crowdval_model::{
+        AnswerSet, ExpertValidation, GroundTruth, ObjectId, ProbabilisticAnswerSet,
+    };
+    use crowdval_spammer::SpammerDetector;
+    use crowdval_sim::SyntheticConfig;
+
+    pub(crate) struct ContextFixture {
+        pub answers: AnswerSet,
+        pub truth: GroundTruth,
+        pub expert: ExpertValidation,
+        pub current: ProbabilisticAnswerSet,
+        pub aggregator: IncrementalEm,
+        pub detector: SpammerDetector,
+    }
+
+    impl ContextFixture {
+        pub(crate) fn context<'a>(&'a self, candidates: &'a [ObjectId]) -> StrategyContext<'a> {
+            StrategyContext {
+                answers: &self.answers,
+                expert: &self.expert,
+                current: &self.current,
+                aggregator: &self.aggregator,
+                detector: &self.detector,
+                candidates,
+                parallel: false,
+            }
+        }
+
+        /// Re-aggregates after the expert validations changed.
+        pub(crate) fn refresh(&mut self) {
+            self.current = self.aggregator.conclude(&self.answers, &self.expert, Some(&self.current));
+        }
+    }
+
+    pub(crate) fn context_fixture(
+        objects: usize,
+        workers: usize,
+        labels: usize,
+        seed: u64,
+    ) -> ContextFixture {
+        let synth = SyntheticConfig {
+            num_objects: objects,
+            num_workers: workers,
+            num_labels: labels,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let expert = ExpertValidation::empty(objects);
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        ContextFixture {
+            answers,
+            truth,
+            expert,
+            current,
+            aggregator,
+            detector: SpammerDetector::default(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_breaks_ties_by_object_id() {
+        let scores = vec![
+            (ObjectId(3), 1.0),
+            (ObjectId(1), 2.0),
+            (ObjectId(0), 2.0),
+            (ObjectId(2), f64::NAN),
+        ];
+        assert_eq!(argmax_object(&scores), Some(ObjectId(0)));
+        assert_eq!(argmax_object(&[]), None);
+    }
+
+    #[test]
+    fn nan_scores_never_win() {
+        let scores = vec![(ObjectId(0), f64::NAN), (ObjectId(1), -5.0)];
+        assert_eq!(argmax_object(&scores), Some(ObjectId(1)));
+    }
+}

@@ -1,0 +1,75 @@
+//! Random selection — the unguided validation process of §3.2's "simple
+//! manual validation" example; the weakest baseline.
+
+use super::{SelectionStrategy, StrategyContext, StrategyKind};
+use crowdval_model::ObjectId;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Picks an unvalidated object uniformly at random.
+#[derive(Debug, Clone)]
+pub struct RandomSelection {
+    rng: StdRng,
+}
+
+impl RandomSelection {
+    /// Creates a random selector with a fixed seed for reproducibility.
+    pub fn new(seed: u64) -> Self {
+        Self { rng: StdRng::seed_from_u64(seed) }
+    }
+}
+
+impl SelectionStrategy for RandomSelection {
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId> {
+        if ctx.candidates.is_empty() {
+            return None;
+        }
+        let idx = self.rng.random_range(0..ctx.candidates.len());
+        Some(ctx.candidates[idx])
+    }
+
+    fn last_kind(&self) -> StrategyKind {
+        StrategyKind::Random
+    }
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+
+    #[test]
+    fn selects_only_candidates_and_is_reproducible() {
+        let fixture = context_fixture(6, 3, 2, 99);
+        let candidates: Vec<ObjectId> = (0..6).map(ObjectId).collect();
+
+        let pick_sequence = |seed: u64| {
+            let mut s = RandomSelection::new(seed);
+            (0..10)
+                .map(|_| {
+                    let ctx = fixture.context(&candidates);
+                    s.select(&ctx).unwrap()
+                })
+                .collect::<Vec<_>>()
+        };
+        let a = pick_sequence(7);
+        let b = pick_sequence(7);
+        assert_eq!(a, b);
+        assert!(a.iter().all(|o| o.index() < 6));
+    }
+
+    #[test]
+    fn returns_none_without_candidates() {
+        let fixture = context_fixture(3, 2, 2, 1);
+        let mut s = RandomSelection::new(1);
+        let ctx = fixture.context(&[]);
+        assert_eq!(s.select(&ctx), None);
+        assert_eq!(s.last_kind(), StrategyKind::Random);
+        assert_eq!(s.name(), "random");
+        assert!(!s.handle_spammers_now());
+    }
+}

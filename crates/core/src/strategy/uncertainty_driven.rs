@@ -1,0 +1,188 @@
+//! Uncertainty-driven expert guidance (paper §5.2).
+//!
+//! Selects the object with the maximum *information gain*
+//! `IG(o) = H(P) − H(P | o)` (Eq. 9–10): the expected reduction of the answer
+//! set's uncertainty if the expert validated `o`, where the expectation runs
+//! over the possible expert answers weighted by the current assignment
+//! probabilities and each hypothesis is evaluated by re-running the (warm
+//! started) aggregation.
+//!
+//! Evaluating the information gain of every unvalidated object is the
+//! expensive part of the whole framework: it costs one aggregation run per
+//! (candidate, plausible label) pair. Two practical measures from §5.4 are
+//! applied here: the per-candidate computations run in parallel, and the
+//! candidate set can be pre-filtered to the most uncertain objects — objects
+//! with near-zero entropy cannot yield any gain.
+
+use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
+use crate::parallel::score_candidates;
+use crate::uncertainty::information_gain;
+use crowdval_model::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Configuration of the information-gain strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct UncertaintyDrivenConfig {
+    /// Upper bound on the number of candidates whose information gain is
+    /// evaluated exactly. The candidates are pre-ranked by their entropy and
+    /// only the top `max_evaluated` enter the expensive evaluation; `None`
+    /// evaluates every candidate.
+    pub max_evaluated: Option<usize>,
+}
+
+impl Default for UncertaintyDrivenConfig {
+    fn default() -> Self {
+        Self { max_evaluated: Some(32) }
+    }
+}
+
+/// `select_u(O') = argmax_{o ∈ O'} IG(o)` (Eq. 10).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UncertaintyDriven {
+    config: UncertaintyDrivenConfig,
+}
+
+impl UncertaintyDriven {
+    /// Strategy with the default candidate pre-filter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Strategy evaluating every candidate exactly (used by the experiments
+    /// that need the full ranking, e.g. the i-EM guidance-consistency study).
+    pub fn exhaustive() -> Self {
+        Self { config: UncertaintyDrivenConfig { max_evaluated: None } }
+    }
+
+    /// Strategy with a custom pre-filter width.
+    pub fn with_max_evaluated(max_evaluated: usize) -> Self {
+        Self { config: UncertaintyDrivenConfig { max_evaluated: Some(max_evaluated) } }
+    }
+
+    /// Returns the candidates that survive the entropy pre-filter.
+    fn shortlist(&self, ctx: &StrategyContext<'_>) -> Vec<ObjectId> {
+        match self.config.max_evaluated {
+            Some(limit) if ctx.candidates.len() > limit => {
+                let mut by_entropy: Vec<(ObjectId, f64)> = ctx
+                    .candidates
+                    .iter()
+                    .map(|&o| (o, ctx.current.object_uncertainty(o)))
+                    .collect();
+                by_entropy.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
+            }
+            _ => ctx.candidates.to_vec(),
+        }
+    }
+
+    /// Information gain of every shortlisted candidate (exposed for the
+    /// experiments that compare rankings, e.g. Fig. 7).
+    pub fn scores(&self, ctx: &StrategyContext<'_>) -> Vec<(ObjectId, f64)> {
+        let shortlist = self.shortlist(ctx);
+        score_candidates(&shortlist, ctx.parallel, |o| {
+            information_gain(ctx.answers, ctx.expert, ctx.current, ctx.aggregator, o)
+        })
+    }
+}
+
+impl SelectionStrategy for UncertaintyDriven {
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId> {
+        if ctx.candidates.is_empty() {
+            return None;
+        }
+        let scores = self.scores(ctx);
+        argmax_object(&scores)
+    }
+
+    fn last_kind(&self) -> StrategyKind {
+        StrategyKind::UncertaintyDriven
+    }
+
+    fn name(&self) -> &'static str {
+        "uncertainty-driven"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+    use crowdval_model::LabelId;
+
+    #[test]
+    fn prefers_objects_whose_validation_resolves_other_objects() {
+        let mut fixture = context_fixture(12, 6, 2, 23);
+        // Validate a couple of objects first so worker reliabilities are
+        // anchored and the gain differences become meaningful.
+        fixture.expert.set(ObjectId(0), fixture.truth.label(ObjectId(0)));
+        fixture.refresh();
+        let candidates: Vec<ObjectId> = fixture.expert.unvalidated_objects();
+        let ctx = fixture.context(&candidates);
+        let mut s = UncertaintyDriven::exhaustive();
+        let picked = s.select(&ctx).expect("candidates available");
+        assert!(candidates.contains(&picked));
+
+        // The picked object must carry at least as much information gain as a
+        // certain (already settled) object.
+        let scores = s.scores(&ctx);
+        let picked_score = scores.iter().find(|(o, _)| *o == picked).unwrap().1;
+        for (o, score) in &scores {
+            assert!(picked_score >= *score - 1e-9, "object {o} outranks the pick");
+        }
+    }
+
+    #[test]
+    fn shortlist_limits_the_evaluated_candidates() {
+        let fixture = context_fixture(20, 5, 2, 29);
+        let candidates: Vec<ObjectId> = (0..20).map(ObjectId).collect();
+        let ctx = fixture.context(&candidates);
+        let s = UncertaintyDriven::with_max_evaluated(5);
+        assert_eq!(s.scores(&ctx).len(), 5);
+        let exhaustive = UncertaintyDriven::exhaustive();
+        assert_eq!(exhaustive.scores(&ctx).len(), 20);
+    }
+
+    #[test]
+    fn certain_objects_are_never_preferred_over_contested_ones() {
+        let mut fixture = context_fixture(10, 5, 2, 31);
+        fixture.current.assignment_mut().set_certain(ObjectId(4), LabelId(0));
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(7), &[0.5, 0.5]);
+        let candidates = vec![ObjectId(4), ObjectId(7)];
+        let ctx = fixture.context(&candidates);
+        let mut s = UncertaintyDriven::new();
+        assert_eq!(s.select(&ctx), Some(ObjectId(7)));
+        assert_eq!(s.name(), "uncertainty-driven");
+        assert_eq!(s.last_kind(), StrategyKind::UncertaintyDriven);
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let fixture = context_fixture(4, 3, 2, 37);
+        let ctx = fixture.context(&[]);
+        assert_eq!(UncertaintyDriven::new().select(&ctx), None);
+    }
+
+    #[test]
+    fn parallel_and_serial_scoring_agree() {
+        let fixture = context_fixture(10, 5, 2, 41);
+        let candidates: Vec<ObjectId> = (0..10).map(ObjectId).collect();
+        let serial_ctx = fixture.context(&candidates);
+        let mut parallel_ctx = fixture.context(&candidates);
+        parallel_ctx.parallel = true;
+        let s = UncertaintyDriven::exhaustive();
+        let serial = s.scores(&serial_ctx);
+        let parallel = s.scores(&parallel_ctx);
+        assert_eq!(serial.len(), parallel.len());
+        for ((o1, s1), (o2, s2)) in serial.iter().zip(&parallel) {
+            assert_eq!(o1, o2);
+            assert!((s1 - s2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Worker-driven expert guidance (paper §5.3).
+//!
+//! Selects the object whose validation is expected to expose the most faulty
+//! workers: `select_w(O') = argmax_o R(W | o)` where
+//! `R(W | o) = Σ_l U(o, l) · R(W | o = l)` (Eq. 13–14) and `R(W | o = l)` is
+//! the number of workers that would be flagged as spammers or sloppy if the
+//! expert asserted label `l` for object `o` (Eq. 12).
+
+use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
+use crate::parallel::score_candidates;
+use crowdval_model::{LabelId, ObjectId};
+
+/// `select_w(O') = argmax_{o ∈ O'} R(W | o)` (Eq. 14).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerDriven;
+
+impl WorkerDriven {
+    /// Expected number of detected faulty workers for a validation of
+    /// `object` (Eq. 13).
+    pub fn expected_detections(ctx: &StrategyContext<'_>, object: ObjectId) -> f64 {
+        let priors = ctx.current.priors();
+        let mut expected = 0.0;
+        for l in 0..ctx.answers.num_labels() {
+            let label = LabelId(l);
+            let weight = ctx.current.assignment().prob(object, label);
+            if weight <= 0.0 {
+                continue;
+            }
+            let detections = ctx.detector.expected_detections_with(
+                ctx.answers,
+                ctx.expert,
+                priors,
+                object,
+                label,
+            );
+            expected += weight * detections as f64;
+        }
+        expected
+    }
+
+    /// Scores of all candidates (exposed for diagnostics / experiments).
+    pub fn scores(ctx: &StrategyContext<'_>) -> Vec<(ObjectId, f64)> {
+        score_candidates(ctx.candidates, ctx.parallel, |o| Self::expected_detections(ctx, o))
+    }
+}
+
+impl SelectionStrategy for WorkerDriven {
+    fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId> {
+        if ctx.candidates.is_empty() {
+            return None;
+        }
+        let scores = Self::scores(ctx);
+        argmax_object(&scores)
+    }
+
+    fn last_kind(&self) -> StrategyKind {
+        StrategyKind::WorkerDriven
+    }
+
+    fn handle_spammers_now(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "worker-driven"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+
+    #[test]
+    fn scores_are_nonnegative_and_bounded_by_worker_count() {
+        let mut fixture = context_fixture(10, 8, 2, 53);
+        for o in 0..4 {
+            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+        }
+        fixture.refresh();
+        let candidates = fixture.expert.unvalidated_objects();
+        let ctx = fixture.context(&candidates);
+        for (_, score) in WorkerDriven::scores(&ctx) {
+            assert!(score >= 0.0);
+            assert!(score <= fixture.answers.num_workers() as f64);
+        }
+    }
+
+    #[test]
+    fn selects_a_candidate_and_requests_spammer_handling() {
+        let mut fixture = context_fixture(10, 6, 2, 59);
+        for o in 0..3 {
+            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+        }
+        fixture.refresh();
+        let candidates = fixture.expert.unvalidated_objects();
+        let ctx = fixture.context(&candidates);
+        let mut s = WorkerDriven;
+        let picked = s.select(&ctx).unwrap();
+        assert!(candidates.contains(&picked));
+        assert!(s.handle_spammers_now());
+        assert_eq!(s.last_kind(), StrategyKind::WorkerDriven);
+        assert_eq!(s.name(), "worker-driven");
+    }
+
+    #[test]
+    fn more_validations_enable_more_expected_detections() {
+        // With almost no validations the detector cannot judge anybody, so the
+        // expected detections are (near) zero; once enough validations exist
+        // the expected count grows.
+        let mut fixture = context_fixture(20, 10, 2, 61);
+        let candidates = fixture.expert.unvalidated_objects();
+        let early_max = {
+            let ctx = fixture.context(&candidates);
+            WorkerDriven::scores(&ctx)
+                .into_iter()
+                .map(|(_, s)| s)
+                .fold(0.0, f64::max)
+        };
+        for o in 0..10 {
+            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+        }
+        fixture.refresh();
+        let later_candidates = fixture.expert.unvalidated_objects();
+        let later_max = {
+            let ctx = fixture.context(&later_candidates);
+            WorkerDriven::scores(&ctx)
+                .into_iter()
+                .map(|(_, s)| s)
+                .fold(0.0, f64::max)
+        };
+        assert!(later_max >= early_max, "later {later_max} < early {early_max}");
+    }
+
+    #[test]
+    fn empty_candidates_yield_none() {
+        let fixture = context_fixture(4, 3, 2, 67);
+        let ctx = fixture.context(&[]);
+        assert_eq!(WorkerDriven.select(&ctx), None);
+    }
+}

@@ -1,0 +1,121 @@
+//! Uncertainty of a probabilistic answer set and the information gain of a
+//! hypothetical validation (paper §4.2 and §5.2, Eq. 6–9).
+
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{AnswerSet, ExpertValidation, LabelId, ObjectId, ProbabilisticAnswerSet};
+
+/// Total uncertainty `H(P) = Σ_o H(o)` (Eq. 7).
+pub fn total_uncertainty(p: &ProbabilisticAnswerSet) -> f64 {
+    p.uncertainty()
+}
+
+/// Conditional uncertainty `H(P | o) = Σ_l U(o, l) · H(P_l)` (Eq. 8), where
+/// `P_l` is the probabilistic answer set obtained by re-running the
+/// aggregation with the hypothetical expert validation `e(o) = l`.
+///
+/// Labels with negligible probability are skipped: they contribute almost
+/// nothing to the expectation but would cost a full aggregation run each.
+pub fn conditional_entropy(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    current: &ProbabilisticAnswerSet,
+    aggregator: &dyn Aggregator,
+    object: ObjectId,
+) -> f64 {
+    const NEGLIGIBLE: f64 = 1e-6;
+    let mut expected = 0.0;
+    for l in 0..answers.num_labels() {
+        let label = LabelId(l);
+        let weight = current.assignment().prob(object, label);
+        if weight <= NEGLIGIBLE {
+            continue;
+        }
+        let mut hypothetical = expert.clone();
+        hypothetical.set(object, label);
+        let p_l = aggregator.conclude(answers, &hypothetical, Some(current));
+        expected += weight * p_l.uncertainty();
+    }
+    expected
+}
+
+/// Information gain `IG(o) = H(P) − H(P | o)` (Eq. 9): the expected reduction
+/// of the answer-set uncertainty if the expert validates `o`.
+pub fn information_gain(
+    answers: &AnswerSet,
+    expert: &ExpertValidation,
+    current: &ProbabilisticAnswerSet,
+    aggregator: &dyn Aggregator,
+    object: ObjectId,
+) -> f64 {
+    current.uncertainty() - conditional_entropy(answers, expert, current, aggregator, object)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_aggregation::IncrementalEm;
+    use crowdval_model::WorkerId;
+
+    /// Two workers disagree on object 0 and agree on object 1; object 2 has a
+    /// lone answer.
+    fn answers() -> AnswerSet {
+        let mut n = AnswerSet::new(3, 2, 2);
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(1), LabelId(1)).unwrap();
+        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
+        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
+        n.record_answer(ObjectId(2), WorkerId(0), LabelId(0)).unwrap();
+        n
+    }
+
+    #[test]
+    fn total_uncertainty_matches_assignment_entropy() {
+        let p = ProbabilisticAnswerSet::uninformed(4, 2, 2);
+        assert!((total_uncertainty(&p) - 4.0 * 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn validating_an_object_never_increases_expected_uncertainty_much() {
+        let answers = answers();
+        let expert = ExpertValidation::empty(3);
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        for o in 0..3 {
+            let h_cond = conditional_entropy(&answers, &expert, &current, &aggregator, ObjectId(o));
+            // Conditioning on a validation pins at least that object's
+            // distribution, so the expected entropy should not exceed the
+            // current entropy by more than a small slack (re-estimating the
+            // confusion matrices can slightly shift other objects).
+            assert!(
+                h_cond <= current.uncertainty() + 0.05,
+                "object {o}: H(P|o) = {h_cond} > H(P) = {}",
+                current.uncertainty()
+            );
+        }
+    }
+
+    #[test]
+    fn information_gain_is_positive_for_contested_objects() {
+        let answers = answers();
+        let expert = ExpertValidation::empty(3);
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        let ig_contested =
+            information_gain(&answers, &expert, &current, &aggregator, ObjectId(0));
+        assert!(ig_contested > 0.0, "contested object should have positive gain: {ig_contested}");
+    }
+
+    #[test]
+    fn validated_objects_have_negligible_information_gain() {
+        let answers = answers();
+        let mut expert = ExpertValidation::empty(3);
+        expert.set(ObjectId(0), LabelId(0));
+        let aggregator = IncrementalEm::default();
+        let current = aggregator.conclude(&answers, &expert, None);
+        let ig = information_gain(&answers, &expert, &current, &aggregator, ObjectId(0));
+        // Re-running the warm-started EM can wander by up to its convergence
+        // tolerance, so "negligible" means well below one bit rather than
+        // exactly zero.
+        assert!(ig.abs() < 0.01, "already-validated object gained {ig}");
+    }
+}

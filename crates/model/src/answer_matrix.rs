@@ -1,0 +1,263 @@
+//! Sparse answer matrix `M` (paper §3.1).
+//!
+//! Each cell `M(o, w)` holds the label worker `w` gave to object `o`, or is
+//! empty (the paper's `⊥`) when the worker skipped the object. Because workers
+//! only answer a limited number of questions the matrix is sparse (§5.4), so
+//! we keep two adjacency lists — per object and per worker — instead of a
+//! dense `n × k` grid.
+
+use crate::error::ModelError;
+use crate::ids::{LabelId, ObjectId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Sparse `objects × workers` matrix of label answers.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerMatrix {
+    num_objects: usize,
+    num_workers: usize,
+    /// For every object: the `(worker, label)` pairs that answered it, kept
+    /// sorted by worker for deterministic iteration.
+    by_object: Vec<Vec<(WorkerId, LabelId)>>,
+    /// For every worker: the `(object, label)` pairs they answered, kept
+    /// sorted by object for deterministic iteration.
+    by_worker: Vec<Vec<(ObjectId, LabelId)>>,
+    num_answers: usize,
+}
+
+impl AnswerMatrix {
+    /// Creates an empty matrix for `num_objects` objects and `num_workers`
+    /// workers.
+    pub fn new(num_objects: usize, num_workers: usize) -> Self {
+        Self {
+            num_objects,
+            num_workers,
+            by_object: vec![Vec::new(); num_objects],
+            by_worker: vec![Vec::new(); num_workers],
+            num_answers: 0,
+        }
+    }
+
+    /// Number of objects (rows).
+    pub fn num_objects(&self) -> usize {
+        self.num_objects
+    }
+
+    /// Number of workers (columns).
+    pub fn num_workers(&self) -> usize {
+        self.num_workers
+    }
+
+    /// Total number of non-empty cells.
+    pub fn num_answers(&self) -> usize {
+        self.num_answers
+    }
+
+    /// Fraction of filled cells, in `[0, 1]`. An empty matrix has density 0.
+    pub fn density(&self) -> f64 {
+        let cells = self.num_objects * self.num_workers;
+        if cells == 0 {
+            0.0
+        } else {
+            self.num_answers as f64 / cells as f64
+        }
+    }
+
+    /// Records (or overwrites) worker `w`'s answer for object `o`.
+    pub fn set_answer(
+        &mut self,
+        object: ObjectId,
+        worker: WorkerId,
+        label: LabelId,
+    ) -> Result<(), ModelError> {
+        if object.index() >= self.num_objects {
+            return Err(ModelError::ObjectOutOfRange {
+                object: object.index(),
+                num_objects: self.num_objects,
+            });
+        }
+        if worker.index() >= self.num_workers {
+            return Err(ModelError::WorkerOutOfRange {
+                worker: worker.index(),
+                num_workers: self.num_workers,
+            });
+        }
+
+        let obj_answers = &mut self.by_object[object.index()];
+        match obj_answers.binary_search_by_key(&worker, |(w, _)| *w) {
+            Ok(pos) => obj_answers[pos].1 = label,
+            Err(pos) => {
+                obj_answers.insert(pos, (worker, label));
+                self.num_answers += 1;
+            }
+        }
+
+        let worker_answers = &mut self.by_worker[worker.index()];
+        match worker_answers.binary_search_by_key(&object, |(o, _)| *o) {
+            Ok(pos) => worker_answers[pos].1 = label,
+            Err(pos) => worker_answers.insert(pos, (object, label)),
+        }
+        Ok(())
+    }
+
+    /// Removes worker `w`'s answer for object `o`, returning the label if an
+    /// answer was present.
+    pub fn remove_answer(&mut self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
+        let obj_answers = self.by_object.get_mut(object.index())?;
+        let pos = obj_answers.binary_search_by_key(&worker, |(w, _)| *w).ok()?;
+        let (_, label) = obj_answers.remove(pos);
+        let worker_answers = &mut self.by_worker[worker.index()];
+        if let Ok(pos) = worker_answers.binary_search_by_key(&object, |(o, _)| *o) {
+            worker_answers.remove(pos);
+        }
+        self.num_answers -= 1;
+        Some(label)
+    }
+
+    /// The label worker `w` gave to object `o`, or `None` (the paper's `⊥`).
+    pub fn answer(&self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
+        let obj_answers = self.by_object.get(object.index())?;
+        obj_answers
+            .binary_search_by_key(&worker, |(w, _)| *w)
+            .ok()
+            .map(|pos| obj_answers[pos].1)
+    }
+
+    /// All `(worker, label)` answers recorded for an object, sorted by worker.
+    pub fn answers_for_object(&self, object: ObjectId) -> &[(WorkerId, LabelId)] {
+        self.by_object
+            .get(object.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// All `(object, label)` answers recorded for a worker, sorted by object.
+    pub fn answers_for_worker(&self, worker: WorkerId) -> &[(ObjectId, LabelId)] {
+        self.by_worker
+            .get(worker.index())
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of answers given for an object.
+    pub fn object_answer_count(&self, object: ObjectId) -> usize {
+        self.answers_for_object(object).len()
+    }
+
+    /// Number of answers given by a worker.
+    pub fn worker_answer_count(&self, worker: WorkerId) -> usize {
+        self.answers_for_worker(worker).len()
+    }
+
+    /// Iterator over all `(object, worker, label)` triples in object order.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, WorkerId, LabelId)> + '_ {
+        self.by_object.iter().enumerate().flat_map(|(o, answers)| {
+            answers.iter().map(move |&(w, l)| (ObjectId(o), w, l))
+        })
+    }
+
+    /// Largest label index used anywhere in the matrix, or `None` when empty.
+    pub fn max_label_index(&self) -> Option<usize> {
+        self.iter().map(|(_, _, l)| l.index()).max()
+    }
+
+    /// Returns a copy of the matrix with every answer by `worker` removed.
+    /// Used when suspected faulty workers are (temporarily) excluded (§5.3).
+    pub fn without_worker(&self, worker: WorkerId) -> AnswerMatrix {
+        let mut out = self.clone();
+        let answered: Vec<ObjectId> = out
+            .answers_for_worker(worker)
+            .iter()
+            .map(|&(o, _)| o)
+            .collect();
+        for o in answered {
+            out.remove_answer(o, worker);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> AnswerMatrix {
+        let mut m = AnswerMatrix::new(3, 2);
+        m.set_answer(ObjectId(0), WorkerId(0), LabelId(1)).unwrap();
+        m.set_answer(ObjectId(0), WorkerId(1), LabelId(0)).unwrap();
+        m.set_answer(ObjectId(2), WorkerId(1), LabelId(1)).unwrap();
+        m
+    }
+
+    #[test]
+    fn set_and_get_answers() {
+        let m = small();
+        assert_eq!(m.answer(ObjectId(0), WorkerId(0)), Some(LabelId(1)));
+        assert_eq!(m.answer(ObjectId(0), WorkerId(1)), Some(LabelId(0)));
+        assert_eq!(m.answer(ObjectId(1), WorkerId(0)), None);
+        assert_eq!(m.num_answers(), 3);
+    }
+
+    #[test]
+    fn overwriting_an_answer_does_not_increase_count() {
+        let mut m = small();
+        m.set_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        assert_eq!(m.num_answers(), 3);
+        assert_eq!(m.answer(ObjectId(0), WorkerId(0)), Some(LabelId(0)));
+    }
+
+    #[test]
+    fn out_of_range_indices_are_rejected() {
+        let mut m = AnswerMatrix::new(2, 2);
+        assert!(matches!(
+            m.set_answer(ObjectId(2), WorkerId(0), LabelId(0)),
+            Err(ModelError::ObjectOutOfRange { .. })
+        ));
+        assert!(matches!(
+            m.set_answer(ObjectId(0), WorkerId(9), LabelId(0)),
+            Err(ModelError::WorkerOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn remove_answer_updates_both_indexes() {
+        let mut m = small();
+        assert_eq!(m.remove_answer(ObjectId(0), WorkerId(1)), Some(LabelId(0)));
+        assert_eq!(m.remove_answer(ObjectId(0), WorkerId(1)), None);
+        assert_eq!(m.num_answers(), 2);
+        assert_eq!(m.answers_for_worker(WorkerId(1)).len(), 1);
+        assert_eq!(m.answers_for_object(ObjectId(0)).len(), 1);
+    }
+
+    #[test]
+    fn density_reflects_fill_ratio() {
+        let m = small();
+        assert!((m.density() - 3.0 / 6.0).abs() < 1e-12);
+        assert_eq!(AnswerMatrix::new(0, 0).density(), 0.0);
+    }
+
+    #[test]
+    fn per_object_and_per_worker_views_agree() {
+        let m = small();
+        assert_eq!(m.object_answer_count(ObjectId(0)), 2);
+        assert_eq!(m.worker_answer_count(WorkerId(1)), 2);
+        let triples: Vec<_> = m.iter().collect();
+        assert_eq!(triples.len(), 3);
+        assert!(triples.contains(&(ObjectId(2), WorkerId(1), LabelId(1))));
+    }
+
+    #[test]
+    fn without_worker_removes_all_their_answers() {
+        let m = small();
+        let pruned = m.without_worker(WorkerId(1));
+        assert_eq!(pruned.num_answers(), 1);
+        assert_eq!(pruned.worker_answer_count(WorkerId(1)), 0);
+        // original untouched
+        assert_eq!(m.num_answers(), 3);
+    }
+
+    #[test]
+    fn max_label_index_tracks_answers() {
+        assert_eq!(AnswerMatrix::new(2, 2).max_label_index(), None);
+        assert_eq!(small().max_label_index(), Some(1));
+    }
+}

@@ -1,0 +1,255 @@
+//! Probabilistic assignment matrix `U` and deterministic assignment `d`
+//! (paper §3.1).
+//!
+//! `U(o, l)` is the probability that label `l` is correct for object `o`;
+//! every row is a probability distribution. The deterministic assignment picks
+//! one label per object — the framework's *Instantiation* component selects
+//! the most probable label (§3.2).
+
+use crate::ids::{LabelId, ObjectId};
+use crowdval_numerics::{shannon_entropy, Matrix};
+use serde::{Deserialize, Serialize};
+
+/// Probabilistic label assignment: an `objects × labels` row-stochastic
+/// matrix.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AssignmentMatrix {
+    matrix: Matrix,
+}
+
+impl AssignmentMatrix {
+    /// Creates the maximally uncertain assignment: every object gets the
+    /// uniform distribution over labels.
+    pub fn uniform(num_objects: usize, num_labels: usize) -> Self {
+        assert!(num_labels > 0, "assignment matrix needs at least one label");
+        Self { matrix: Matrix::filled(num_objects, num_labels, 1.0 / num_labels as f64) }
+    }
+
+    /// Wraps a matrix, normalizing each row so it forms a distribution.
+    pub fn from_matrix(mut matrix: Matrix) -> Self {
+        matrix.normalize_rows();
+        Self { matrix }
+    }
+
+    /// Number of objects.
+    pub fn num_objects(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.matrix.cols()
+    }
+
+    /// `P(correct label of o is l)`.
+    pub fn prob(&self, object: ObjectId, label: LabelId) -> f64 {
+        self.matrix[(object.index(), label.index())]
+    }
+
+    /// The full label distribution of one object.
+    pub fn distribution(&self, object: ObjectId) -> &[f64] {
+        self.matrix.row(object.index())
+    }
+
+    /// Overwrites the distribution of one object.
+    ///
+    /// # Panics
+    /// Panics if `probs.len()` differs from the label count.
+    pub fn set_distribution(&mut self, object: ObjectId, probs: &[f64]) {
+        assert_eq!(probs.len(), self.num_labels(), "distribution length must match label count");
+        self.matrix.row_mut(object.index()).copy_from_slice(probs);
+    }
+
+    /// Sets the distribution of `object` to the point mass on `label`, as
+    /// done for objects with an expert validation (Eq. 4).
+    pub fn set_certain(&mut self, object: ObjectId, label: LabelId) {
+        let row = self.matrix.row_mut(object.index());
+        for v in row.iter_mut() {
+            *v = 0.0;
+        }
+        row[label.index()] = 1.0;
+    }
+
+    /// The most probable label of an object and its probability. Ties break
+    /// toward the smaller label index for determinism.
+    pub fn most_likely(&self, object: ObjectId) -> (LabelId, f64) {
+        let row = self.distribution(object);
+        let mut best = 0;
+        let mut best_p = row[0];
+        for (l, &p) in row.iter().enumerate().skip(1) {
+            if p > best_p {
+                best = l;
+                best_p = p;
+            }
+        }
+        (LabelId(best), best_p)
+    }
+
+    /// Shannon entropy `H(o)` of one object's label distribution (Eq. 6).
+    pub fn object_entropy(&self, object: ObjectId) -> f64 {
+        shannon_entropy(self.distribution(object))
+    }
+
+    /// Total uncertainty `H(P) = Σ_o H(o)` of the assignment (Eq. 7).
+    pub fn total_entropy(&self) -> f64 {
+        (0..self.num_objects()).map(|o| self.object_entropy(ObjectId(o))).sum()
+    }
+
+    /// Prior probability of each label: the column means of `U` (Eq. 3).
+    pub fn label_priors(&self) -> Vec<f64> {
+        let n = self.num_objects();
+        if n == 0 {
+            return vec![1.0 / self.num_labels() as f64; self.num_labels()];
+        }
+        (0..self.num_labels())
+            .map(|l| self.matrix.col_sum(l) / n as f64)
+            .collect()
+    }
+
+    /// The deterministic assignment obtained by picking the most probable
+    /// label of every object (the *filter* step of the validation process).
+    pub fn instantiate(&self) -> DeterministicAssignment {
+        DeterministicAssignment::new(
+            (0..self.num_objects())
+                .map(|o| self.most_likely(ObjectId(o)).0)
+                .collect(),
+        )
+    }
+
+    /// Largest absolute entry-wise difference to another assignment matrix.
+    pub fn max_abs_diff(&self, other: &AssignmentMatrix) -> f64 {
+        self.matrix.max_abs_diff(&other.matrix)
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+}
+
+/// A deterministic label assignment `d : O → L` — the final crowdsourcing
+/// result handed to applications.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DeterministicAssignment {
+    labels: Vec<LabelId>,
+}
+
+impl DeterministicAssignment {
+    /// Wraps a per-object label vector.
+    pub fn new(labels: Vec<LabelId>) -> Self {
+        Self { labels }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// Label assigned to `object`.
+    pub fn label(&self, object: ObjectId) -> LabelId {
+        self.labels[object.index()]
+    }
+
+    /// Overwrites the label of one object (used to pin expert validations).
+    pub fn set_label(&mut self, object: ObjectId, label: LabelId) {
+        self.labels[object.index()] = label;
+    }
+
+    /// Iterator over `(object, label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
+        self.labels.iter().enumerate().map(|(o, &l)| (ObjectId(o), l))
+    }
+
+    /// Fraction of objects on which two assignments agree.
+    pub fn agreement(&self, other: &DeterministicAssignment) -> f64 {
+        assert_eq!(self.len(), other.len(), "assignments must cover the same objects");
+        if self.labels.is_empty() {
+            return 1.0;
+        }
+        let same = self
+            .labels
+            .iter()
+            .zip(&other.labels)
+            .filter(|(a, b)| a == b)
+            .count();
+        same as f64 / self.labels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_assignment_has_maximum_entropy() {
+        let u = AssignmentMatrix::uniform(3, 2);
+        assert_eq!(u.num_objects(), 3);
+        assert_eq!(u.num_labels(), 2);
+        assert!((u.total_entropy() - 3.0 * 2.0_f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_matrix_normalizes_rows() {
+        let m = Matrix::from_rows(&[vec![2.0, 2.0], vec![3.0, 1.0]]);
+        let u = AssignmentMatrix::from_matrix(m);
+        assert!((u.prob(ObjectId(1), LabelId(0)) - 0.75).abs() < 1e-12);
+        assert!(u.matrix().is_row_stochastic(1e-9));
+    }
+
+    #[test]
+    fn set_certain_creates_point_mass_with_zero_entropy() {
+        let mut u = AssignmentMatrix::uniform(2, 3);
+        u.set_certain(ObjectId(1), LabelId(2));
+        assert_eq!(u.prob(ObjectId(1), LabelId(2)), 1.0);
+        assert_eq!(u.object_entropy(ObjectId(1)), 0.0);
+        assert_eq!(u.most_likely(ObjectId(1)), (LabelId(2), 1.0));
+    }
+
+    #[test]
+    fn most_likely_breaks_ties_deterministically() {
+        let u = AssignmentMatrix::uniform(1, 4);
+        assert_eq!(u.most_likely(ObjectId(0)).0, LabelId(0));
+    }
+
+    #[test]
+    fn label_priors_are_column_means() {
+        let mut u = AssignmentMatrix::uniform(2, 2);
+        u.set_certain(ObjectId(0), LabelId(0));
+        u.set_certain(ObjectId(1), LabelId(1));
+        let p = u.label_priors();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[1] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantiate_picks_argmax_labels() {
+        let m = Matrix::from_rows(&[vec![0.9, 0.1], vec![0.3, 0.7]]);
+        let d = AssignmentMatrix::from_matrix(m).instantiate();
+        assert_eq!(d.label(ObjectId(0)), LabelId(0));
+        assert_eq!(d.label(ObjectId(1)), LabelId(1));
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn set_distribution_replaces_row() {
+        let mut u = AssignmentMatrix::uniform(1, 2);
+        u.set_distribution(ObjectId(0), &[0.2, 0.8]);
+        assert_eq!(u.distribution(ObjectId(0)), &[0.2, 0.8]);
+    }
+
+    #[test]
+    fn deterministic_assignment_agreement() {
+        let a = DeterministicAssignment::new(vec![LabelId(0), LabelId(1), LabelId(1)]);
+        let mut b = a.clone();
+        assert_eq!(a.agreement(&b), 1.0);
+        b.set_label(ObjectId(0), LabelId(1));
+        assert!((a.agreement(&b) - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(b.iter().count(), 3);
+        assert!(!b.is_empty());
+    }
+}

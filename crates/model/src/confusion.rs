@@ -1,0 +1,182 @@
+//! Worker confusion matrices `F_w` (paper §3.1).
+//!
+//! `F_w(l, l')` is the probability that worker `w` answers `l'` when the true
+//! label is `l`. Rows therefore form probability distributions over the
+//! answered label. Confusion matrices are estimated either by the EM
+//! aggregation (from soft label assignments) or directly from expert
+//! validations (for spammer detection, §5.3).
+
+use crate::ids::LabelId;
+use crowdval_numerics::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// A `labels × labels` row-stochastic confusion matrix for one worker.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ConfusionMatrix {
+    matrix: Matrix,
+}
+
+impl ConfusionMatrix {
+    /// A maximally uninformative confusion matrix: every row is uniform.
+    pub fn uniform(num_labels: usize) -> Self {
+        assert!(num_labels > 0, "confusion matrix needs at least one label");
+        Self { matrix: Matrix::filled(num_labels, num_labels, 1.0 / num_labels as f64) }
+    }
+
+    /// The confusion matrix of a perfectly reliable worker (identity).
+    pub fn identity(num_labels: usize) -> Self {
+        assert!(num_labels > 0, "confusion matrix needs at least one label");
+        Self { matrix: Matrix::identity(num_labels) }
+    }
+
+    /// A diagonally dominant matrix where the worker answers correctly with
+    /// probability `accuracy` and spreads the remaining mass uniformly over
+    /// the wrong labels. With a single label this is the identity.
+    pub fn diagonal(num_labels: usize, accuracy: f64) -> Self {
+        assert!(num_labels > 0, "confusion matrix needs at least one label");
+        let accuracy = accuracy.clamp(0.0, 1.0);
+        let off = if num_labels > 1 { (1.0 - accuracy) / (num_labels - 1) as f64 } else { 0.0 };
+        let mut m = Matrix::filled(num_labels, num_labels, off);
+        for l in 0..num_labels {
+            m[(l, l)] = if num_labels > 1 { accuracy } else { 1.0 };
+        }
+        Self { matrix: m }
+    }
+
+    /// Builds a confusion matrix from raw co-occurrence counts
+    /// (`counts[(true, answered)]`), applying Laplace smoothing `alpha` before
+    /// row normalization. Rows with no observations become uniform.
+    pub fn from_counts(counts: &Matrix, alpha: f64) -> Self {
+        assert_eq!(counts.rows(), counts.cols(), "confusion counts must be square");
+        let mut m = counts.clone();
+        if alpha > 0.0 {
+            m.add_scalar(alpha);
+        }
+        m.normalize_rows();
+        Self { matrix: m }
+    }
+
+    /// Wraps an already row-stochastic matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square or not row-stochastic (within 1e-6).
+    pub fn from_matrix(matrix: Matrix) -> Self {
+        assert_eq!(matrix.rows(), matrix.cols(), "confusion matrix must be square");
+        assert!(
+            matrix.is_row_stochastic(1e-6),
+            "confusion matrix rows must be probability distributions"
+        );
+        Self { matrix }
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.matrix.rows()
+    }
+
+    /// `P(answer = answered | truth = true_label)`.
+    pub fn prob(&self, true_label: LabelId, answered: LabelId) -> f64 {
+        self.matrix[(true_label.index(), answered.index())]
+    }
+
+    /// The underlying matrix.
+    pub fn matrix(&self) -> &Matrix {
+        &self.matrix
+    }
+
+    /// Mutable access to the underlying matrix for in-place estimation.
+    pub fn matrix_mut(&mut self) -> &mut Matrix {
+        &mut self.matrix
+    }
+
+    /// Probability of a correct answer averaged over true labels weighted by
+    /// `priors`: `Σ_l priors[l] · F(l, l)`.
+    pub fn weighted_accuracy(&self, priors: &[f64]) -> f64 {
+        assert_eq!(priors.len(), self.num_labels(), "prior length must match label count");
+        (0..self.num_labels()).map(|l| priors[l] * self.matrix[(l, l)]).sum()
+    }
+
+    /// Error rate `e_w`: the prior-weighted off-diagonal mass (§5.3,
+    /// sloppy-worker detection). Equals `1 − weighted_accuracy` for proper
+    /// priors.
+    pub fn error_rate(&self, priors: &[f64]) -> f64 {
+        assert_eq!(priors.len(), self.num_labels(), "prior length must match label count");
+        let mut err = 0.0;
+        for l in 0..self.num_labels() {
+            for l2 in 0..self.num_labels() {
+                if l != l2 {
+                    err += priors[l] * self.matrix[(l, l2)];
+                }
+            }
+        }
+        err
+    }
+
+    /// Largest absolute entry-wise difference to another confusion matrix;
+    /// used as the EM convergence criterion.
+    pub fn max_abs_diff(&self, other: &ConfusionMatrix) -> f64 {
+        self.matrix.max_abs_diff(&other.matrix)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_and_identity_shapes() {
+        let u = ConfusionMatrix::uniform(3);
+        assert_eq!(u.num_labels(), 3);
+        assert!((u.prob(LabelId(0), LabelId(2)) - 1.0 / 3.0).abs() < 1e-12);
+        let i = ConfusionMatrix::identity(2);
+        assert_eq!(i.prob(LabelId(0), LabelId(0)), 1.0);
+        assert_eq!(i.prob(LabelId(0), LabelId(1)), 0.0);
+    }
+
+    #[test]
+    fn diagonal_matrix_splits_error_mass() {
+        let c = ConfusionMatrix::diagonal(3, 0.7);
+        assert!((c.prob(LabelId(1), LabelId(1)) - 0.7).abs() < 1e-12);
+        assert!((c.prob(LabelId(1), LabelId(0)) - 0.15).abs() < 1e-12);
+        assert!(c.matrix().is_row_stochastic(1e-9));
+        // single-label degenerate case
+        let c1 = ConfusionMatrix::diagonal(1, 0.3);
+        assert_eq!(c1.prob(LabelId(0), LabelId(0)), 1.0);
+    }
+
+    #[test]
+    fn from_counts_normalizes_and_smooths() {
+        let counts = Matrix::from_rows(&[vec![3.0, 1.0], vec![0.0, 0.0]]);
+        let c = ConfusionMatrix::from_counts(&counts, 0.0);
+        assert!((c.prob(LabelId(0), LabelId(0)) - 0.75).abs() < 1e-12);
+        // empty row becomes uniform
+        assert!((c.prob(LabelId(1), LabelId(0)) - 0.5).abs() < 1e-12);
+
+        let smoothed = ConfusionMatrix::from_counts(&counts, 1.0);
+        assert!((smoothed.prob(LabelId(0), LabelId(0)) - 4.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability distributions")]
+    fn from_matrix_rejects_non_stochastic_rows() {
+        ConfusionMatrix::from_matrix(Matrix::from_rows(&[vec![0.2, 0.2], vec![0.5, 0.5]]));
+    }
+
+    #[test]
+    fn weighted_accuracy_and_error_rate_are_complementary() {
+        let c = ConfusionMatrix::diagonal(2, 0.8);
+        let priors = [0.5, 0.5];
+        let acc = c.weighted_accuracy(&priors);
+        let err = c.error_rate(&priors);
+        assert!((acc - 0.8).abs() < 1e-12);
+        assert!((acc + err - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn max_abs_diff_detects_changes() {
+        let a = ConfusionMatrix::diagonal(2, 0.9);
+        let b = ConfusionMatrix::diagonal(2, 0.8);
+        assert!((a.max_abs_diff(&b) - 0.1).abs() < 1e-12);
+        assert_eq!(a.max_abs_diff(&a), 0.0);
+    }
+}

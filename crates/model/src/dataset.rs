@@ -1,0 +1,152 @@
+//! Datasets: an answer set plus ground truth and descriptive statistics
+//! (paper Table 4).
+
+use crate::answer_set::AnswerSet;
+use crate::error::ModelError;
+use crate::ground_truth::GroundTruth;
+use serde::{Deserialize, Serialize};
+
+/// A named crowdsourcing dataset: the collected answers and the reference
+/// ground truth used to evaluate (and to simulate the validating expert).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    name: String,
+    domain: String,
+    answers: AnswerSet,
+    ground_truth: GroundTruth,
+}
+
+impl Dataset {
+    /// Builds a dataset, checking that the ground truth covers every object
+    /// and only uses labels known to the answer set.
+    pub fn new(
+        name: impl Into<String>,
+        domain: impl Into<String>,
+        answers: AnswerSet,
+        ground_truth: GroundTruth,
+    ) -> Result<Self, ModelError> {
+        if ground_truth.len() != answers.num_objects() {
+            return Err(ModelError::DimensionMismatch {
+                what: "ground truth",
+                expected: answers.num_objects(),
+                actual: ground_truth.len(),
+            });
+        }
+        if let Some((_, bad)) = ground_truth
+            .iter()
+            .find(|(_, l)| l.index() >= answers.num_labels())
+        {
+            return Err(ModelError::LabelOutOfRange {
+                label: bad.index(),
+                num_labels: answers.num_labels(),
+            });
+        }
+        Ok(Self { name: name.into(), domain: domain.into(), answers, ground_truth })
+    }
+
+    /// Short dataset identifier (e.g. `"bb"`).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Application domain (e.g. `"Image tagging"`).
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The crowd answers.
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// Mutable access to the crowd answers (used when augmenting a dataset
+    /// with additional crowd answers for the workers-only cost strategy).
+    pub fn answers_mut(&mut self) -> &mut AnswerSet {
+        &mut self.answers
+    }
+
+    /// The reference ground truth.
+    pub fn ground_truth(&self) -> &GroundTruth {
+        &self.ground_truth
+    }
+
+    /// Descriptive statistics in the shape of the paper's Table 4.
+    pub fn stats(&self) -> DatasetStats {
+        DatasetStats {
+            name: self.name.clone(),
+            domain: self.domain.clone(),
+            objects: self.answers.num_objects(),
+            workers: self.answers.num_workers(),
+            labels: self.answers.num_labels(),
+            answers: self.answers.matrix().num_answers(),
+            density: self.answers.matrix().density(),
+            answers_per_object: if self.answers.num_objects() == 0 {
+                0.0
+            } else {
+                self.answers.matrix().num_answers() as f64 / self.answers.num_objects() as f64
+            },
+        }
+    }
+}
+
+/// Summary statistics of a dataset (Table 4 row plus density figures).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DatasetStats {
+    pub name: String,
+    pub domain: String,
+    pub objects: usize,
+    pub workers: usize,
+    pub labels: usize,
+    pub answers: usize,
+    pub density: f64,
+    pub answers_per_object: f64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{LabelId, ObjectId, WorkerId};
+
+    fn toy_answers() -> AnswerSet {
+        let mut n = AnswerSet::new(2, 2, 2);
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
+        n
+    }
+
+    #[test]
+    fn dataset_construction_checks_ground_truth_length() {
+        let err = Dataset::new("t", "test", toy_answers(), GroundTruth::new(vec![LabelId(0)]));
+        assert!(matches!(err, Err(ModelError::DimensionMismatch { .. })));
+    }
+
+    #[test]
+    fn dataset_construction_checks_label_range() {
+        let err = Dataset::new(
+            "t",
+            "test",
+            toy_answers(),
+            GroundTruth::new(vec![LabelId(0), LabelId(9)]),
+        );
+        assert!(matches!(err, Err(ModelError::LabelOutOfRange { .. })));
+    }
+
+    #[test]
+    fn stats_report_table4_columns() {
+        let d = Dataset::new(
+            "bb",
+            "Image tagging",
+            toy_answers(),
+            GroundTruth::new(vec![LabelId(0), LabelId(1)]),
+        )
+        .unwrap();
+        let s = d.stats();
+        assert_eq!(s.name, "bb");
+        assert_eq!(s.objects, 2);
+        assert_eq!(s.workers, 2);
+        assert_eq!(s.labels, 2);
+        assert_eq!(s.answers, 2);
+        assert!((s.density - 0.5).abs() < 1e-12);
+        assert!((s.answers_per_object - 1.0).abs() < 1e-12);
+    }
+}

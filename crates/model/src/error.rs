@@ -1,0 +1,73 @@
+//! Error type shared by the model crate's constructors and the CSV codec.
+
+use std::fmt;
+
+/// Errors raised while building or parsing crowdsourcing data structures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ModelError {
+    /// An object index was outside the answer set's object range.
+    ObjectOutOfRange { object: usize, num_objects: usize },
+    /// A worker index was outside the answer set's worker range.
+    WorkerOutOfRange { worker: usize, num_workers: usize },
+    /// A label index was outside the answer set's label range.
+    LabelOutOfRange { label: usize, num_labels: usize },
+    /// A dataset component had an inconsistent size.
+    DimensionMismatch { what: &'static str, expected: usize, actual: usize },
+    /// A line of CSV input could not be parsed.
+    Parse { line: usize, message: String },
+    /// An I/O error while reading or writing dataset files.
+    Io(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::ObjectOutOfRange { object, num_objects } => {
+                write!(f, "object index {object} out of range (dataset has {num_objects} objects)")
+            }
+            ModelError::WorkerOutOfRange { worker, num_workers } => {
+                write!(f, "worker index {worker} out of range (dataset has {num_workers} workers)")
+            }
+            ModelError::LabelOutOfRange { label, num_labels } => {
+                write!(f, "label index {label} out of range (dataset has {num_labels} labels)")
+            }
+            ModelError::DimensionMismatch { what, expected, actual } => {
+                write!(f, "{what}: expected {expected} entries, got {actual}")
+            }
+            ModelError::Parse { line, message } => {
+                write!(f, "parse error on line {line}: {message}")
+            }
+            ModelError::Io(message) => write!(f, "I/O error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+impl From<std::io::Error> for ModelError {
+    fn from(err: std::io::Error) -> Self {
+        ModelError::Io(err.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_human_readable_messages() {
+        let e = ModelError::ObjectOutOfRange { object: 9, num_objects: 5 };
+        assert!(e.to_string().contains("object index 9"));
+        let e = ModelError::Parse { line: 3, message: "bad label".into() };
+        assert!(e.to_string().contains("line 3"));
+        let e = ModelError::DimensionMismatch { what: "ground truth", expected: 4, actual: 2 };
+        assert!(e.to_string().contains("ground truth"));
+    }
+
+    #[test]
+    fn io_errors_convert() {
+        let io = std::io::Error::new(std::io::ErrorKind::NotFound, "missing");
+        let e: ModelError = io.into();
+        assert!(matches!(e, ModelError::Io(_)));
+    }
+}

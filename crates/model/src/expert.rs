@@ -1,0 +1,146 @@
+//! The expert answer-validation function `e : O → L ∪ {⊥}` (paper §3.1).
+
+use crate::ids::{LabelId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// Partial map from objects to the label asserted by the validating expert.
+/// Objects the expert has not looked at yet map to `None` (the paper's `⊥`).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExpertValidation {
+    labels: Vec<Option<LabelId>>,
+}
+
+impl ExpertValidation {
+    /// Creates an empty validation function over `num_objects` objects.
+    pub fn empty(num_objects: usize) -> Self {
+        Self { labels: vec![None; num_objects] }
+    }
+
+    /// Number of objects covered by the function's domain.
+    pub fn num_objects(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The expert's label for `object`, if any.
+    pub fn get(&self, object: ObjectId) -> Option<LabelId> {
+        self.labels[object.index()]
+    }
+
+    /// True when the expert has validated `object`.
+    pub fn is_validated(&self, object: ObjectId) -> bool {
+        self.labels[object.index()].is_some()
+    }
+
+    /// Records (or overwrites) the expert's label for `object`.
+    pub fn set(&mut self, object: ObjectId, label: LabelId) {
+        self.labels[object.index()] = Some(label);
+    }
+
+    /// Withdraws the expert's label for `object` (used by the confirmation
+    /// check when a validation is identified as erroneous, §5.5).
+    pub fn clear(&mut self, object: ObjectId) -> Option<LabelId> {
+        self.labels[object.index()].take()
+    }
+
+    /// Number of validated objects.
+    pub fn count(&self) -> usize {
+        self.labels.iter().filter(|l| l.is_some()).count()
+    }
+
+    /// Fraction of validated objects (`f_i` in the hybrid weighting, §5.4).
+    pub fn coverage(&self) -> f64 {
+        if self.labels.is_empty() {
+            0.0
+        } else {
+            self.count() as f64 / self.labels.len() as f64
+        }
+    }
+
+    /// Objects that have been validated, in id order.
+    pub fn validated_objects(&self) -> Vec<ObjectId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(o, l)| l.map(|_| ObjectId(o)))
+            .collect()
+    }
+
+    /// Objects that still lack expert input, in id order — the candidate set
+    /// of every guidance strategy.
+    pub fn unvalidated_objects(&self) -> Vec<ObjectId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(o, l)| if l.is_none() { Some(ObjectId(o)) } else { None })
+            .collect()
+    }
+
+    /// Iterator over `(object, label)` pairs for validated objects.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter_map(|(o, l)| l.map(|label| (ObjectId(o), label)))
+    }
+
+    /// Returns a copy of this function with the validation for `object`
+    /// removed — the leave-one-out view used by the confirmation check (§5.5).
+    pub fn without(&self, object: ObjectId) -> ExpertValidation {
+        let mut out = self.clone();
+        out.clear(object);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_empty() {
+        let e = ExpertValidation::empty(3);
+        assert_eq!(e.count(), 0);
+        assert_eq!(e.coverage(), 0.0);
+        assert!(!e.is_validated(ObjectId(0)));
+        assert_eq!(e.unvalidated_objects().len(), 3);
+        assert!(e.validated_objects().is_empty());
+    }
+
+    #[test]
+    fn set_get_and_clear() {
+        let mut e = ExpertValidation::empty(3);
+        e.set(ObjectId(1), LabelId(0));
+        assert_eq!(e.get(ObjectId(1)), Some(LabelId(0)));
+        assert!(e.is_validated(ObjectId(1)));
+        assert_eq!(e.count(), 1);
+        assert!((e.coverage() - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(e.clear(ObjectId(1)), Some(LabelId(0)));
+        assert_eq!(e.count(), 0);
+    }
+
+    #[test]
+    fn validated_and_unvalidated_partition_objects() {
+        let mut e = ExpertValidation::empty(4);
+        e.set(ObjectId(0), LabelId(1));
+        e.set(ObjectId(3), LabelId(0));
+        assert_eq!(e.validated_objects(), vec![ObjectId(0), ObjectId(3)]);
+        assert_eq!(e.unvalidated_objects(), vec![ObjectId(1), ObjectId(2)]);
+        assert_eq!(e.iter().count(), 2);
+    }
+
+    #[test]
+    fn without_is_leave_one_out() {
+        let mut e = ExpertValidation::empty(2);
+        e.set(ObjectId(0), LabelId(1));
+        e.set(ObjectId(1), LabelId(0));
+        let loo = e.without(ObjectId(0));
+        assert!(!loo.is_validated(ObjectId(0)));
+        assert!(loo.is_validated(ObjectId(1)));
+        assert_eq!(e.count(), 2);
+    }
+
+    #[test]
+    fn coverage_of_empty_domain_is_zero() {
+        assert_eq!(ExpertValidation::empty(0).coverage(), 0.0);
+    }
+}

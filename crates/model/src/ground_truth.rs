@@ -1,0 +1,123 @@
+//! Ground-truth label assignments and the precision metrics derived from them
+//! (paper §6.1, "Metrics").
+
+use crate::assignment::DeterministicAssignment;
+use crate::ids::{LabelId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// The correct assignment `g : O → L` used to evaluate result correctness and
+/// to simulate the validating expert.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GroundTruth {
+    labels: Vec<LabelId>,
+}
+
+impl GroundTruth {
+    /// Wraps a per-object vector of correct labels.
+    pub fn new(labels: Vec<LabelId>) -> Self {
+        Self { labels }
+    }
+
+    /// Number of objects.
+    pub fn len(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// True when there are no objects.
+    pub fn is_empty(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    /// The correct label of `object`.
+    pub fn label(&self, object: ObjectId) -> LabelId {
+        self.labels[object.index()]
+    }
+
+    /// Iterator over `(object, correct label)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
+        self.labels.iter().enumerate().map(|(o, &l)| (ObjectId(o), l))
+    }
+
+    /// Precision `P_i` of a deterministic assignment: fraction of objects
+    /// whose assigned label matches the ground truth.
+    pub fn precision(&self, assignment: &DeterministicAssignment) -> f64 {
+        assert_eq!(
+            assignment.len(),
+            self.labels.len(),
+            "assignment must cover the same objects as the ground truth"
+        );
+        if self.labels.is_empty() {
+            return 1.0;
+        }
+        let correct = self
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|(o, &g)| assignment.label(ObjectId(*o)) == g)
+            .count();
+        correct as f64 / self.labels.len() as f64
+    }
+
+    /// Percentage-of-precision-improvement `R_i = (P_i − P_0) / (1 − P_0)`
+    /// (paper §6.1). When the initial precision is already perfect the
+    /// improvement is defined as 1 if precision stayed perfect, 0 otherwise.
+    pub fn precision_improvement(initial: f64, current: f64) -> f64 {
+        if (1.0 - initial).abs() < f64::EPSILON {
+            if (1.0 - current).abs() < f64::EPSILON {
+                1.0
+            } else {
+                0.0
+            }
+        } else {
+            (current - initial) / (1.0 - initial)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new(vec![LabelId(0), LabelId(1), LabelId(1), LabelId(0)])
+    }
+
+    #[test]
+    fn precision_counts_matches() {
+        let g = truth();
+        let d = DeterministicAssignment::new(vec![LabelId(0), LabelId(1), LabelId(0), LabelId(0)]);
+        assert!((g.precision(&d) - 0.75).abs() < 1e-12);
+        let perfect = DeterministicAssignment::new(g.iter().map(|(_, l)| l).collect());
+        assert_eq!(g.precision(&perfect), 1.0);
+    }
+
+    #[test]
+    fn empty_ground_truth_has_perfect_precision() {
+        let g = GroundTruth::new(vec![]);
+        assert!(g.is_empty());
+        assert_eq!(g.precision(&DeterministicAssignment::new(vec![])), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "same objects")]
+    fn precision_requires_matching_lengths() {
+        truth().precision(&DeterministicAssignment::new(vec![LabelId(0)]));
+    }
+
+    #[test]
+    fn precision_improvement_normalizes_gains() {
+        let r = GroundTruth::precision_improvement(0.8, 0.9);
+        assert!((r - 0.5).abs() < 1e-12);
+        assert_eq!(GroundTruth::precision_improvement(0.8, 0.8), 0.0);
+        assert_eq!(GroundTruth::precision_improvement(1.0, 1.0), 1.0);
+        assert_eq!(GroundTruth::precision_improvement(1.0, 0.9), 0.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let g = truth();
+        assert_eq!(g.len(), 4);
+        assert_eq!(g.label(ObjectId(2)), LabelId(1));
+        assert_eq!(g.iter().count(), 4);
+    }
+}

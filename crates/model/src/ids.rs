@@ -1,0 +1,90 @@
+//! Strongly typed indices for objects, workers and labels.
+//!
+//! All three are dense zero-based indices into the corresponding dimension of
+//! an [`crate::AnswerSet`]. Newtypes keep the three spaces from being mixed up
+//! at compile time while staying `Copy` and free to convert to `usize` for
+//! indexing.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$doc:meta])* $name:ident, $prefix:literal) => {
+        $(#[$doc])*
+        #[derive(
+            Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+        )]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// The underlying dense index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(value: usize) -> Self {
+                Self(value)
+            }
+        }
+
+        impl From<$name> for usize {
+            fn from(value: $name) -> usize {
+                value.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Index of an object (a question / task item) in an answer set.
+    ObjectId,
+    "o"
+);
+define_id!(
+    /// Index of a crowd worker in an answer set.
+    WorkerId,
+    "w"
+);
+define_id!(
+    /// Index of a label (a possible answer value) in an answer set.
+    LabelId,
+    "l"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_convert_to_and_from_usize() {
+        let o: ObjectId = 3.into();
+        assert_eq!(o.index(), 3);
+        assert_eq!(usize::from(o), 3);
+        let w = WorkerId(7);
+        assert_eq!(w.index(), 7);
+        let l = LabelId::from(1);
+        assert_eq!(l, LabelId(1));
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(ObjectId(2).to_string(), "o2");
+        assert_eq!(WorkerId(5).to_string(), "w5");
+        assert_eq!(LabelId(0).to_string(), "l0");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(ObjectId(1) < ObjectId(2));
+        assert!(LabelId(3) > LabelId(0));
+    }
+}

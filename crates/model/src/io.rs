@@ -1,0 +1,215 @@
+//! Plain-text CSV interchange format for datasets.
+//!
+//! Two simple files describe a dataset:
+//!
+//! * **answers CSV** — header `object,worker,label`, one row per crowd answer;
+//! * **ground-truth CSV** — header `object,label`, one row per object.
+//!
+//! Indices are dense, zero-based integers. The format intentionally matches
+//! how the public crowdsourcing benchmark datasets (bluebird, rte, …) are
+//! usually distributed, so real data can be dropped in for the bundled
+//! replicas without code changes.
+
+use crate::answer_matrix::AnswerMatrix;
+use crate::answer_set::AnswerSet;
+use crate::dataset::Dataset;
+use crate::error::ModelError;
+use crate::ground_truth::GroundTruth;
+use crate::ids::{LabelId, ObjectId, WorkerId};
+use std::fs;
+use std::path::Path;
+
+/// Serializes the answer matrix of an answer set as `object,worker,label`
+/// CSV.
+pub fn answers_to_csv(answers: &AnswerSet) -> String {
+    let mut out = String::from("object,worker,label\n");
+    for (o, w, l) in answers.matrix().iter() {
+        out.push_str(&format!("{},{},{}\n", o.index(), w.index(), l.index()));
+    }
+    out
+}
+
+/// Serializes a ground truth as `object,label` CSV.
+pub fn ground_truth_to_csv(truth: &GroundTruth) -> String {
+    let mut out = String::from("object,label\n");
+    for (o, l) in truth.iter() {
+        out.push_str(&format!("{},{}\n", o.index(), l.index()));
+    }
+    out
+}
+
+/// Parses `object,worker,label` CSV into an answer set.
+///
+/// Dimensions are inferred from the largest indices seen; `num_labels` can be
+/// forced when some labels never occur in the answers.
+pub fn answers_from_csv(csv: &str, num_labels: Option<usize>) -> Result<AnswerSet, ModelError> {
+    let mut triples = Vec::new();
+    let mut max_object = 0usize;
+    let mut max_worker = 0usize;
+    let mut max_label = 0usize;
+    for (idx, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("object")) || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 3 {
+            return Err(ModelError::Parse {
+                line: idx + 1,
+                message: format!("expected 3 comma-separated fields, got {}", fields.len()),
+            });
+        }
+        let parse = |s: &str, what: &str| -> Result<usize, ModelError> {
+            s.parse::<usize>().map_err(|_| ModelError::Parse {
+                line: idx + 1,
+                message: format!("invalid {what} index {s:?}"),
+            })
+        };
+        let o = parse(fields[0], "object")?;
+        let w = parse(fields[1], "worker")?;
+        let l = parse(fields[2], "label")?;
+        max_object = max_object.max(o);
+        max_worker = max_worker.max(w);
+        max_label = max_label.max(l);
+        triples.push((o, w, l));
+    }
+    if triples.is_empty() {
+        return Err(ModelError::Parse { line: 0, message: "no answer rows found".into() });
+    }
+    let labels = num_labels.unwrap_or(max_label + 1).max(max_label + 1);
+    let mut matrix = AnswerMatrix::new(max_object + 1, max_worker + 1);
+    for (o, w, l) in triples {
+        matrix.set_answer(ObjectId(o), WorkerId(w), LabelId(l))?;
+    }
+    AnswerSet::from_matrix(matrix, labels)
+}
+
+/// Parses `object,label` CSV into a ground truth covering `num_objects`
+/// objects. Every object must appear exactly once.
+pub fn ground_truth_from_csv(csv: &str, num_objects: usize) -> Result<GroundTruth, ModelError> {
+    let mut labels: Vec<Option<LabelId>> = vec![None; num_objects];
+    for (idx, line) in csv.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || (idx == 0 && line.starts_with("object")) || line.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').map(str::trim).collect();
+        if fields.len() != 2 {
+            return Err(ModelError::Parse {
+                line: idx + 1,
+                message: format!("expected 2 comma-separated fields, got {}", fields.len()),
+            });
+        }
+        let o: usize = fields[0].parse().map_err(|_| ModelError::Parse {
+            line: idx + 1,
+            message: format!("invalid object index {:?}", fields[0]),
+        })?;
+        let l: usize = fields[1].parse().map_err(|_| ModelError::Parse {
+            line: idx + 1,
+            message: format!("invalid label index {:?}", fields[1]),
+        })?;
+        if o >= num_objects {
+            return Err(ModelError::ObjectOutOfRange { object: o, num_objects });
+        }
+        labels[o] = Some(LabelId(l));
+    }
+    let labels: Result<Vec<LabelId>, ModelError> = labels
+        .into_iter()
+        .enumerate()
+        .map(|(o, l)| {
+            l.ok_or(ModelError::DimensionMismatch {
+                what: "ground truth (missing object)",
+                expected: num_objects,
+                actual: o,
+            })
+        })
+        .collect();
+    Ok(GroundTruth::new(labels?))
+}
+
+/// Writes a dataset as `<stem>.answers.csv` and `<stem>.truth.csv` next to
+/// each other.
+pub fn write_dataset(dataset: &Dataset, dir: &Path) -> Result<(), ModelError> {
+    fs::create_dir_all(dir)?;
+    let answers_path = dir.join(format!("{}.answers.csv", dataset.name()));
+    let truth_path = dir.join(format!("{}.truth.csv", dataset.name()));
+    fs::write(answers_path, answers_to_csv(dataset.answers()))?;
+    fs::write(truth_path, ground_truth_to_csv(dataset.ground_truth()))?;
+    Ok(())
+}
+
+/// Reads a dataset previously written by [`write_dataset`].
+pub fn read_dataset(
+    name: &str,
+    domain: &str,
+    dir: &Path,
+    num_labels: Option<usize>,
+) -> Result<Dataset, ModelError> {
+    let answers_csv = fs::read_to_string(dir.join(format!("{name}.answers.csv")))?;
+    let truth_csv = fs::read_to_string(dir.join(format!("{name}.truth.csv")))?;
+    let answers = answers_from_csv(&answers_csv, num_labels)?;
+    let truth = ground_truth_from_csv(&truth_csv, answers.num_objects())?;
+    Dataset::new(name, domain, answers, truth)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let mut answers = AnswerSet::new(3, 2, 2);
+        answers.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        answers.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
+        answers.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
+        answers.record_answer(ObjectId(2), WorkerId(1), LabelId(0)).unwrap();
+        let truth = GroundTruth::new(vec![LabelId(0), LabelId(1), LabelId(0)]);
+        Dataset::new("toy", "unit-test", answers, truth).unwrap()
+    }
+
+    #[test]
+    fn answers_round_trip_through_csv() {
+        let d = toy_dataset();
+        let csv = answers_to_csv(d.answers());
+        let parsed = answers_from_csv(&csv, Some(2)).unwrap();
+        assert_eq!(parsed.matrix().num_answers(), 4);
+        assert_eq!(parsed.matrix().answer(ObjectId(1), WorkerId(1)), Some(LabelId(1)));
+        assert_eq!(parsed.num_labels(), 2);
+    }
+
+    #[test]
+    fn ground_truth_round_trips_through_csv() {
+        let d = toy_dataset();
+        let csv = ground_truth_to_csv(d.ground_truth());
+        let parsed = ground_truth_from_csv(&csv, 3).unwrap();
+        assert_eq!(parsed, *d.ground_truth());
+    }
+
+    #[test]
+    fn malformed_rows_are_reported_with_line_numbers() {
+        let err = answers_from_csv("object,worker,label\n0,1\n", None).unwrap_err();
+        assert!(matches!(err, ModelError::Parse { line: 2, .. }));
+        let err = answers_from_csv("object,worker,label\n0,x,1\n", None).unwrap_err();
+        assert!(matches!(err, ModelError::Parse { line: 2, .. }));
+        let err = answers_from_csv("object,worker,label\n", None).unwrap_err();
+        assert!(matches!(err, ModelError::Parse { .. }));
+    }
+
+    #[test]
+    fn ground_truth_missing_object_is_rejected() {
+        let err = ground_truth_from_csv("object,label\n0,1\n", 2).unwrap_err();
+        assert!(matches!(err, ModelError::DimensionMismatch { .. }));
+        let err = ground_truth_from_csv("object,label\n7,1\n", 2).unwrap_err();
+        assert!(matches!(err, ModelError::ObjectOutOfRange { .. }));
+    }
+
+    #[test]
+    fn dataset_round_trips_through_files() {
+        let d = toy_dataset();
+        let dir = std::env::temp_dir().join(format!("crowdval-io-test-{}", std::process::id()));
+        write_dataset(&d, &dir).unwrap();
+        let loaded = read_dataset("toy", "unit-test", &dir, Some(2)).unwrap();
+        assert_eq!(loaded.answers().matrix().num_answers(), 4);
+        assert_eq!(loaded.ground_truth(), d.ground_truth());
+        std::fs::remove_dir_all(dir).ok();
+    }
+}

@@ -1,0 +1,143 @@
+//! The probabilistic answer set `P = ⟨N, e, U, C⟩` (paper §3.1).
+//!
+//! A probabilistic answer set bundles the outcome of answer aggregation: the
+//! assignment matrix `U`, one confusion matrix per worker, and the label
+//! priors. The answer set `N` and the expert validation function `e` are kept
+//! by the validation process itself; this struct captures the state that the
+//! i-EM algorithm threads from one validation iteration to the next.
+
+use crate::assignment::{AssignmentMatrix, DeterministicAssignment};
+use crate::confusion::ConfusionMatrix;
+use crate::ids::{ObjectId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// Aggregated, probabilistic view of an answer set.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticAnswerSet {
+    assignment: AssignmentMatrix,
+    confusions: Vec<ConfusionMatrix>,
+    priors: Vec<f64>,
+    /// Number of EM iterations spent producing this state (bookkeeping for
+    /// the incrementality experiments, Fig. 8).
+    em_iterations: usize,
+}
+
+impl ProbabilisticAnswerSet {
+    /// Creates the maximally uninformed state: uniform assignment, uniform
+    /// confusion matrices, uniform priors.
+    pub fn uninformed(num_objects: usize, num_workers: usize, num_labels: usize) -> Self {
+        Self {
+            assignment: AssignmentMatrix::uniform(num_objects, num_labels),
+            confusions: vec![ConfusionMatrix::uniform(num_labels); num_workers],
+            priors: vec![1.0 / num_labels as f64; num_labels],
+            em_iterations: 0,
+        }
+    }
+
+    /// Bundles aggregation output into a probabilistic answer set.
+    pub fn new(
+        assignment: AssignmentMatrix,
+        confusions: Vec<ConfusionMatrix>,
+        priors: Vec<f64>,
+        em_iterations: usize,
+    ) -> Self {
+        Self { assignment, confusions, priors, em_iterations }
+    }
+
+    /// The assignment matrix `U`.
+    pub fn assignment(&self) -> &AssignmentMatrix {
+        &self.assignment
+    }
+
+    /// Mutable access to the assignment matrix.
+    pub fn assignment_mut(&mut self) -> &mut AssignmentMatrix {
+        &mut self.assignment
+    }
+
+    /// The confusion matrix of one worker.
+    pub fn confusion(&self, worker: WorkerId) -> &ConfusionMatrix {
+        &self.confusions[worker.index()]
+    }
+
+    /// All confusion matrices, indexed by worker.
+    pub fn confusions(&self) -> &[ConfusionMatrix] {
+        &self.confusions
+    }
+
+    /// Label priors `p(l)`.
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
+    /// Number of workers covered.
+    pub fn num_workers(&self) -> usize {
+        self.confusions.len()
+    }
+
+    /// Number of objects covered.
+    pub fn num_objects(&self) -> usize {
+        self.assignment.num_objects()
+    }
+
+    /// Number of labels.
+    pub fn num_labels(&self) -> usize {
+        self.assignment.num_labels()
+    }
+
+    /// Number of EM iterations used to produce this state.
+    pub fn em_iterations(&self) -> usize {
+        self.em_iterations
+    }
+
+    /// Total uncertainty `H(P)` (Eq. 7).
+    pub fn uncertainty(&self) -> f64 {
+        self.assignment.total_entropy()
+    }
+
+    /// Entropy of a single object under this state.
+    pub fn object_uncertainty(&self, object: ObjectId) -> f64 {
+        self.assignment.object_entropy(object)
+    }
+
+    /// Deterministic assignment instantiated from `U` (the *filter* step).
+    pub fn instantiate(&self) -> DeterministicAssignment {
+        self.assignment.instantiate()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::LabelId;
+
+    #[test]
+    fn uninformed_state_is_uniform_everywhere() {
+        let p = ProbabilisticAnswerSet::uninformed(3, 2, 2);
+        assert_eq!(p.num_objects(), 3);
+        assert_eq!(p.num_workers(), 2);
+        assert_eq!(p.num_labels(), 2);
+        assert_eq!(p.em_iterations(), 0);
+        assert!((p.uncertainty() - 3.0 * 2.0_f64.ln()).abs() < 1e-12);
+        assert!((p.priors()[0] - 0.5).abs() < 1e-12);
+        assert!((p.confusion(WorkerId(1)).prob(LabelId(0), LabelId(1)) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn instantiate_uses_assignment_argmax() {
+        let mut p = ProbabilisticAnswerSet::uninformed(2, 1, 2);
+        p.assignment_mut().set_certain(ObjectId(0), LabelId(1));
+        let d = p.instantiate();
+        assert_eq!(d.label(ObjectId(0)), LabelId(1));
+        assert_eq!(p.object_uncertainty(ObjectId(0)), 0.0);
+        assert!(p.object_uncertainty(ObjectId(1)) > 0.0);
+    }
+
+    #[test]
+    fn new_bundles_components() {
+        let assignment = AssignmentMatrix::uniform(1, 2);
+        let confusions = vec![ConfusionMatrix::identity(2)];
+        let p = ProbabilisticAnswerSet::new(assignment, confusions, vec![0.5, 0.5], 7);
+        assert_eq!(p.em_iterations(), 7);
+        assert_eq!(p.confusions().len(), 1);
+    }
+}

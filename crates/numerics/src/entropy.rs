@@ -1,0 +1,77 @@
+//! Shannon entropy of discrete distributions (paper §4.2, Eq. 6).
+//!
+//! The uncertainty of an object is the entropy of its label distribution, and
+//! the uncertainty of a probabilistic answer set is the sum over objects
+//! (Eq. 7). Entropy is measured in nats unless stated otherwise; the guidance
+//! strategies only ever compare entropies, so the base is irrelevant as long
+//! as it is used consistently.
+
+/// Shannon entropy `−Σ p log p` (natural logarithm) of a discrete
+/// distribution. Zero-probability entries contribute zero by convention.
+///
+/// The input does not need to be exactly normalized; the caller is expected to
+/// pass a probability distribution, but small floating-point drift is
+/// tolerated and negative values are clamped to zero.
+pub fn shannon_entropy(probabilities: &[f64]) -> f64 {
+    probabilities
+        .iter()
+        .map(|&p| {
+            let p = p.max(0.0);
+            if p > 0.0 {
+                -p * p.ln()
+            } else {
+                0.0
+            }
+        })
+        .sum()
+}
+
+/// Entropy normalized by the maximum possible entropy `ln(m)` for `m`
+/// outcomes, yielding a value in `[0, 1]`. Distributions over a single
+/// outcome have zero entropy by definition and return `0.0`.
+pub fn shannon_entropy_normalized(probabilities: &[f64]) -> f64 {
+    let m = probabilities.len();
+    if m <= 1 {
+        return 0.0;
+    }
+    shannon_entropy(probabilities) / (m as f64).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entropy_of_certain_outcome_is_zero() {
+        assert_eq!(shannon_entropy(&[1.0, 0.0, 0.0]), 0.0);
+        assert_eq!(shannon_entropy_normalized(&[0.0, 1.0]), 0.0);
+    }
+
+    #[test]
+    fn entropy_of_uniform_distribution_is_log_m() {
+        let h = shannon_entropy(&[0.25; 4]);
+        assert!((h - 4.0_f64.ln()).abs() < 1e-12);
+        assert!((shannon_entropy_normalized(&[0.25; 4]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn entropy_is_maximal_for_uniform() {
+        let uniform = shannon_entropy(&[0.5, 0.5]);
+        let skewed = shannon_entropy(&[0.9, 0.1]);
+        assert!(uniform > skewed);
+        assert!(skewed > 0.0);
+    }
+
+    #[test]
+    fn empty_and_singleton_distributions() {
+        assert_eq!(shannon_entropy(&[]), 0.0);
+        assert_eq!(shannon_entropy_normalized(&[]), 0.0);
+        assert_eq!(shannon_entropy_normalized(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn small_negative_noise_is_clamped() {
+        let h = shannon_entropy(&[1.0 + 1e-15, -1e-15]);
+        assert!(h.abs() < 1e-12);
+    }
+}

@@ -1,0 +1,26 @@
+//! Numerical substrate for the crowd-validation workspace.
+//!
+//! The paper relies on a handful of numerical primitives:
+//!
+//! * dense row-major matrices with a Frobenius norm (worker confusion matrices,
+//!   probabilistic assignment matrices),
+//! * the distance of a matrix to its closest rank-one approximation (the
+//!   spammer score of §5.3, computed from the largest singular value),
+//! * Shannon entropy of discrete distributions (§4.2),
+//! * summary statistics (mean, standard deviation, Pearson correlation,
+//!   histograms) used throughout the evaluation.
+//!
+//! Everything is implemented from scratch on `f64`; no external linear-algebra
+//! crate is used. Matrices in this workspace are tiny (labels × labels or
+//! objects × labels), so clarity and numerical robustness are preferred over
+//! cache-blocking tricks.
+
+pub mod entropy;
+pub mod matrix;
+pub mod stats;
+pub mod svd;
+
+pub use entropy::{shannon_entropy, shannon_entropy_normalized};
+pub use matrix::Matrix;
+pub use stats::{mean, pearson_correlation, population_std_dev, Histogram, Summary};
+pub use svd::{largest_singular_value, rank_one_distance};

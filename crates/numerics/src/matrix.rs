@@ -1,0 +1,404 @@
+//! A minimal dense, row-major `f64` matrix.
+//!
+//! The workspace only ever manipulates small matrices (a confusion matrix is
+//! `labels × labels`, an assignment matrix is `objects × labels`), so the type
+//! favours a simple contiguous representation and panics on dimension misuse,
+//! mirroring the behaviour of indexing a `Vec` out of bounds.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense row-major matrix of `f64` values.
+#[derive(Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Creates a `rows × cols` matrix filled with zeros.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a `rows × cols` matrix with every entry set to `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates an `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = 1.0;
+        }
+        m
+    }
+
+    /// Builds a matrix from a row-major vector.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data length {} does not match {}x{}",
+            data.len(),
+            rows,
+            cols
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from nested rows.
+    ///
+    /// # Panics
+    /// Panics if the rows have inconsistent lengths.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut data = Vec::with_capacity(rows.len() * cols);
+        for row in rows {
+            assert_eq!(row.len(), cols, "all rows must have the same length");
+            data.extend_from_slice(row);
+        }
+        Self { rows: rows.len(), cols, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Returns the element at `(row, col)` or `None` when out of range.
+    pub fn get(&self, row: usize, col: usize) -> Option<f64> {
+        if row < self.rows && col < self.cols {
+            Some(self.data[row * self.cols + col])
+        } else {
+            None
+        }
+    }
+
+    /// Immutable view of a row.
+    pub fn row(&self, row: usize) -> &[f64] {
+        assert!(row < self.rows, "row {} out of bounds ({} rows)", row, self.rows);
+        &self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Mutable view of a row.
+    pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
+        assert!(row < self.rows, "row {} out of bounds ({} rows)", row, self.rows);
+        &mut self.data[row * self.cols..(row + 1) * self.cols]
+    }
+
+    /// Copies a column into a new vector.
+    pub fn col(&self, col: usize) -> Vec<f64> {
+        assert!(col < self.cols, "col {} out of bounds ({} cols)", col, self.cols);
+        (0..self.rows).map(|r| self[(r, col)]).collect()
+    }
+
+    /// Flat row-major slice of the matrix contents.
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Iterator over `(row, col, value)` triples in row-major order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
+        let cols = self.cols;
+        self.data
+            .iter()
+            .enumerate()
+            .map(move |(i, &v)| (i / cols, i % cols, v))
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Sum of the entries of one row.
+    pub fn row_sum(&self, row: usize) -> f64 {
+        self.row(row).iter().sum()
+    }
+
+    /// Sum of the entries of one column.
+    pub fn col_sum(&self, col: usize) -> f64 {
+        (0..self.rows).map(|r| self[(r, col)]).sum()
+    }
+
+    /// Sum of the main-diagonal entries (trace).
+    pub fn trace(&self) -> f64 {
+        (0..self.rows.min(self.cols)).map(|i| self[(i, i)]).sum()
+    }
+
+    /// Frobenius norm `sqrt(Σ a_ij²)`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>().sqrt()
+    }
+
+    /// Squared Frobenius norm `Σ a_ij²`.
+    pub fn frobenius_norm_sq(&self) -> f64 {
+        self.data.iter().map(|v| v * v).sum::<f64>()
+    }
+
+    /// Largest absolute element-wise difference to another matrix.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn max_abs_diff(&self, other: &Matrix) -> f64 {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// Element-wise difference `self - other` as a new matrix.
+    pub fn sub(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        let data = self
+            .data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| a - b)
+            .collect();
+        Matrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Multiplies every entry by `factor`, in place.
+    pub fn scale(&mut self, factor: f64) {
+        for v in &mut self.data {
+            *v *= factor;
+        }
+    }
+
+    /// Adds `value` to every entry, in place. Useful for Laplace smoothing.
+    pub fn add_scalar(&mut self, value: f64) {
+        for v in &mut self.data {
+            *v += value;
+        }
+    }
+
+    /// Normalizes every row so it sums to one.
+    ///
+    /// Rows that sum to zero (or to a non-finite value) are replaced with the
+    /// uniform distribution, which is the convention used throughout the EM
+    /// estimators: a worker that never answered an object of some true label
+    /// carries no evidence and must not contribute a hard zero.
+    pub fn normalize_rows(&mut self) {
+        let cols = self.cols;
+        if cols == 0 {
+            return;
+        }
+        for r in 0..self.rows {
+            let row = self.row_mut(r);
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 && sum.is_finite() {
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            } else {
+                let uniform = 1.0 / cols as f64;
+                for v in row.iter_mut() {
+                    *v = uniform;
+                }
+            }
+        }
+    }
+
+    /// Matrix–vector product `self * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn mat_vec(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "vector length must equal column count");
+        (0..self.rows)
+            .map(|r| self.row(r).iter().zip(v).map(|(a, b)| a * b).sum())
+            .collect()
+    }
+
+    /// Transposed matrix–vector product `selfᵀ * v`.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn mat_vec_transposed(&self, v: &[f64]) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "vector length must equal row count");
+        let mut out = vec![0.0; self.cols];
+        for r in 0..self.rows {
+            let row = self.row(r);
+            let vr = v[r];
+            for (o, a) in out.iter_mut().zip(row) {
+                *o += a * vr;
+            }
+        }
+        out
+    }
+
+    /// True when every entry is finite and every row sums to one within `tol`.
+    pub fn is_row_stochastic(&self, tol: f64) -> bool {
+        (0..self.rows).all(|r| {
+            let row = self.row(r);
+            row.iter().all(|v| v.is_finite() && *v >= -tol)
+                && (row.iter().sum::<f64>() - 1.0).abs() <= tol
+        })
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = f64;
+
+    fn index(&self, (row, col): (usize, usize)) -> &f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        &self.data[row * self.cols + col]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
+        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        &mut self.data[row * self.cols + col]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for r in 0..self.rows {
+            write!(f, "  [")?;
+            for v in self.row(r) {
+                write!(f, " {v:.4}")?;
+            }
+            writeln!(f, " ]")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_has_expected_shape_and_values() {
+        let m = Matrix::zeros(3, 2);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 2);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn identity_has_unit_diagonal() {
+        let m = Matrix::identity(4);
+        assert_eq!(m.trace(), 4.0);
+        assert_eq!(m.sum(), 4.0);
+        assert_eq!(m[(2, 2)], 1.0);
+        assert_eq!(m[(2, 1)], 0.0);
+    }
+
+    #[test]
+    fn from_rows_round_trips_values() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m[(0, 1)], 2.0);
+        assert_eq!(m[(1, 0)], 3.0);
+        assert_eq!(m.row(1), &[3.0, 4.0]);
+        assert_eq!(m.col(0), vec![1.0, 3.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "same length")]
+    fn from_rows_rejects_ragged_input() {
+        Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn from_vec_checks_length() {
+        let m = Matrix::from_vec(2, 2, vec![1.0, 0.0, 0.0, 1.0]);
+        assert_eq!(m, Matrix::identity(2));
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn from_vec_rejects_wrong_length() {
+        Matrix::from_vec(2, 2, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let m = Matrix::from_rows(&[vec![3.0, 0.0], vec![0.0, 4.0]]);
+        assert!((m.frobenius_norm() - 5.0).abs() < 1e-12);
+        assert!((m.frobenius_norm_sq() - 25.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn normalize_rows_creates_distributions() {
+        let mut m = Matrix::from_rows(&[vec![2.0, 2.0], vec![0.0, 0.0], vec![1.0, 3.0]]);
+        m.normalize_rows();
+        assert!(m.is_row_stochastic(1e-12));
+        assert_eq!(m.row(0), &[0.5, 0.5]);
+        // zero row falls back to uniform
+        assert_eq!(m.row(1), &[0.5, 0.5]);
+        assert_eq!(m.row(2), &[0.25, 0.75]);
+    }
+
+    #[test]
+    fn row_and_col_sums() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.row_sum(0), 3.0);
+        assert_eq!(m.col_sum(1), 6.0);
+        assert_eq!(m.sum(), 10.0);
+    }
+
+    #[test]
+    fn mat_vec_products() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        assert_eq!(m.mat_vec(&[1.0, 1.0]), vec![3.0, 7.0]);
+        assert_eq!(m.mat_vec_transposed(&[1.0, 1.0]), vec![4.0, 6.0]);
+    }
+
+    #[test]
+    fn sub_and_max_abs_diff() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let b = Matrix::from_rows(&[vec![0.5, 4.0]]);
+        let d = a.sub(&b);
+        assert_eq!(d.row(0), &[0.5, -2.0]);
+        assert_eq!(a.max_abs_diff(&b), 2.0);
+    }
+
+    #[test]
+    fn scale_and_add_scalar() {
+        let mut m = Matrix::filled(2, 2, 1.0);
+        m.scale(3.0);
+        assert_eq!(m.sum(), 12.0);
+        m.add_scalar(1.0);
+        assert_eq!(m.sum(), 16.0);
+    }
+
+    #[test]
+    fn get_returns_none_out_of_bounds() {
+        let m = Matrix::zeros(2, 2);
+        assert!(m.get(1, 1).is_some());
+        assert!(m.get(2, 0).is_none());
+        assert!(m.get(0, 2).is_none());
+    }
+
+    #[test]
+    fn iter_visits_all_cells() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]);
+        let cells: Vec<_> = m.iter().collect();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[3], (1, 1, 4.0));
+    }
+}

@@ -1,0 +1,221 @@
+//! Summary statistics used by the evaluation harness: mean, standard
+//! deviation, Pearson correlation (Fig. 15 / Appendix B), and fixed-width
+//! histograms (Fig. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices with fewer than two values.
+pub fn population_std_dev(values: &[f64]) -> f64 {
+    if values.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(values);
+    let var = values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / values.len() as f64;
+    var.sqrt()
+}
+
+/// Pearson product-moment correlation coefficient of two paired samples.
+///
+/// Returns `None` when the samples have different lengths, fewer than two
+/// points, or either sample has zero variance (the coefficient is undefined).
+pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
+    if xs.len() != ys.len() || xs.len() < 2 {
+        return None;
+    }
+    let mx = mean(xs);
+    let my = mean(ys);
+    let mut cov = 0.0;
+    let mut vx = 0.0;
+    let mut vy = 0.0;
+    for (x, y) in xs.iter().zip(ys) {
+        let dx = x - mx;
+        let dy = y - my;
+        cov += dx * dy;
+        vx += dx * dx;
+        vy += dy * dy;
+    }
+    if vx == 0.0 || vy == 0.0 {
+        return None;
+    }
+    Some(cov / (vx.sqrt() * vy.sqrt()))
+}
+
+/// Mean / standard deviation / min / max summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    pub count: usize,
+    pub mean: f64,
+    pub std_dev: f64,
+    pub min: f64,
+    pub max: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample; an empty sample yields an all-zero summary.
+    pub fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+        }
+        Self {
+            count: values.len(),
+            mean: mean(values),
+            std_dev: population_std_dev(values),
+            min: values.iter().copied().fold(f64::INFINITY, f64::min),
+            max: values.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        }
+    }
+}
+
+/// Fixed-width histogram over `[lo, hi]` with `bins` equally sized buckets.
+///
+/// Values below `lo` are counted in the first bucket and values above `hi` in
+/// the last, matching how the paper's Fig. 6 buckets assignment probabilities
+/// into `[0, 0.1), [0.1, 0.2), …, [0.9, 1.0]`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    ///
+    /// # Panics
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "histogram needs at least one bin");
+        assert!(hi > lo, "histogram range must be non-empty");
+        Self { lo, hi, counts: vec![0; bins], total: 0 }
+    }
+
+    /// Number of bins.
+    pub fn bins(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Adds one observation.
+    pub fn add(&mut self, value: f64) {
+        let bins = self.counts.len();
+        let width = (self.hi - self.lo) / bins as f64;
+        let idx = if value <= self.lo {
+            0
+        } else if value >= self.hi {
+            bins - 1
+        } else {
+            (((value - self.lo) / width) as usize).min(bins - 1)
+        };
+        self.counts[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Adds every observation from an iterator.
+    pub fn extend<I: IntoIterator<Item = f64>>(&mut self, values: I) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Raw counts per bin.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Total number of observations added.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Per-bin relative frequency in percent (all zeros when empty).
+    pub fn frequencies_percent(&self) -> Vec<f64> {
+        if self.total == 0 {
+            return vec![0.0; self.counts.len()];
+        }
+        self.counts
+            .iter()
+            .map(|&c| 100.0 * c as f64 / self.total as f64)
+            .collect()
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn bin_lower_edge(&self, i: usize) -> f64 {
+        let width = (self.hi - self.lo) / self.counts.len() as f64;
+        self.lo + i as f64 * width
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(population_std_dev(&[5.0]), 0.0);
+        assert!((population_std_dev(&[2.0, 4.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_perfectly_correlated_data_is_one() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        let ys = [2.0, 4.0, 6.0, 8.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_of_anticorrelated_data_is_minus_one() {
+        let xs = [1.0, 2.0, 3.0];
+        let ys = [3.0, 2.0, 1.0];
+        let r = pearson_correlation(&xs, &ys).unwrap();
+        assert!((r + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pearson_undefined_cases_return_none() {
+        assert!(pearson_correlation(&[1.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
+        assert!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn summary_of_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0]);
+        assert_eq!(s.count, 3);
+        assert_eq!(s.mean, 2.0);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        let empty = Summary::of(&[]);
+        assert_eq!(empty.count, 0);
+    }
+
+    #[test]
+    fn histogram_buckets_values_and_clamps_outliers() {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.extend([0.05, 0.15, 0.95, 1.0, 1.5, -0.2]);
+        assert_eq!(h.total(), 6);
+        assert_eq!(h.counts()[0], 2); // 0.05 and -0.2
+        assert_eq!(h.counts()[1], 1); // 0.15
+        assert_eq!(h.counts()[9], 3); // 0.95, 1.0 and 1.5
+        let freqs = h.frequencies_percent();
+        assert!((freqs.iter().sum::<f64>() - 100.0).abs() < 1e-9);
+        assert!((h.bin_lower_edge(9) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one bin")]
+    fn histogram_rejects_zero_bins() {
+        Histogram::new(0.0, 1.0, 0);
+    }
+}

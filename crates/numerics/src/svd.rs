@@ -1,0 +1,162 @@
+//! Rank-one approximation distance via the largest singular value.
+//!
+//! The worker-driven guidance strategy (paper §5.3) scores a worker by the
+//! distance of its validation-based confusion matrix to the closest rank-one
+//! matrix under the Frobenius norm (Eq. 11). By the Eckart–Young theorem the
+//! closest rank-one approximation is `σ₁ u₁ v₁ᵀ` and the distance is
+//! `sqrt(Σ_{i≥2} σ_i²) = sqrt(‖F‖_F² − σ₁²)`, so only the largest singular
+//! value is needed. We compute it with power iteration on `FᵀF`, which is
+//! robust and cheap for the tiny `labels × labels` matrices involved.
+
+use crate::matrix::Matrix;
+
+/// Default number of power-iteration steps; confusion matrices are at most a
+/// handful of rows/columns, so convergence is fast.
+const DEFAULT_ITERATIONS: usize = 200;
+/// Convergence tolerance on the Rayleigh-quotient estimate of σ₁².
+const DEFAULT_TOLERANCE: f64 = 1e-12;
+
+/// Returns the largest singular value of `m`.
+///
+/// Uses power iteration on the Gram matrix `mᵀm`: the dominant eigenvalue of
+/// `mᵀm` is `σ₁²`. The zero matrix (and empty matrices) yield `0.0`.
+pub fn largest_singular_value(m: &Matrix) -> f64 {
+    if m.rows() == 0 || m.cols() == 0 {
+        return 0.0;
+    }
+    let norm_sq = m.frobenius_norm_sq();
+    if norm_sq == 0.0 {
+        return 0.0;
+    }
+
+    // Start from a deterministic, non-degenerate vector: ones normalized, with
+    // a small linear ramp that breaks symmetry when ones happens to be in the
+    // null space of mᵀm.
+    let n = m.cols();
+    let mut v: Vec<f64> = (0..n).map(|i| 1.0 + (i as f64 + 1.0) * 1e-3).collect();
+    normalize(&mut v);
+
+    let mut sigma_sq_prev = 0.0;
+    for _ in 0..DEFAULT_ITERATIONS {
+        // w = mᵀ (m v): one multiplication by the Gram matrix.
+        let mv = m.mat_vec(&v);
+        let mut w = m.mat_vec_transposed(&mv);
+        let sigma_sq: f64 = v.iter().zip(&w).map(|(a, b)| a * b).sum();
+        let norm = normalize(&mut w);
+        if norm == 0.0 {
+            // v was (numerically) in the null space; restart from a shifted
+            // vector rather than reporting a spurious zero.
+            v = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 + 1.0).collect();
+            normalize(&mut v);
+            continue;
+        }
+        v = w;
+        if (sigma_sq - sigma_sq_prev).abs() <= DEFAULT_TOLERANCE * sigma_sq.max(1.0) {
+            return sigma_sq.max(0.0).sqrt();
+        }
+        sigma_sq_prev = sigma_sq;
+    }
+    sigma_sq_prev.max(0.0).sqrt()
+}
+
+/// Distance of `m` to its closest rank-one approximation under the Frobenius
+/// norm: `min_{rank(F̂)=1} ‖m − F̂‖_F = sqrt(‖m‖_F² − σ₁²)`.
+///
+/// A value close to zero means the matrix is (almost) rank one — the signature
+/// of uniform and random spammers in the paper's worker model.
+pub fn rank_one_distance(m: &Matrix) -> f64 {
+    let norm_sq = m.frobenius_norm_sq();
+    if norm_sq == 0.0 {
+        return 0.0;
+    }
+    let sigma1 = largest_singular_value(m);
+    // Guard against tiny negative values from floating-point cancellation.
+    (norm_sq - sigma1 * sigma1).max(0.0).sqrt()
+}
+
+fn normalize(v: &mut [f64]) -> f64 {
+    let norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "expected {b}, got {a}");
+    }
+
+    #[test]
+    fn singular_value_of_identity_is_one() {
+        let m = Matrix::identity(3);
+        approx(largest_singular_value(&m), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn singular_value_of_diagonal_is_max_entry() {
+        let m = Matrix::from_rows(&[vec![2.0, 0.0], vec![0.0, 5.0]]);
+        approx(largest_singular_value(&m), 5.0, 1e-9);
+    }
+
+    #[test]
+    fn singular_value_of_zero_matrix_is_zero() {
+        let m = Matrix::zeros(3, 3);
+        approx(largest_singular_value(&m), 0.0, 1e-12);
+        approx(rank_one_distance(&m), 0.0, 1e-12);
+    }
+
+    #[test]
+    fn singular_value_of_rank_one_matrix_equals_frobenius_norm() {
+        // outer product of [1,2] and [3,4]
+        let m = Matrix::from_rows(&[vec![3.0, 4.0], vec![6.0, 8.0]]);
+        approx(largest_singular_value(&m), m.frobenius_norm(), 1e-9);
+        approx(rank_one_distance(&m), 0.0, 1e-6);
+    }
+
+    #[test]
+    fn rank_one_distance_of_identity() {
+        // σ = (1, 1): distance = sqrt(2 - 1) = 1.
+        let m = Matrix::identity(2);
+        approx(rank_one_distance(&m), 1.0, 1e-9);
+    }
+
+    #[test]
+    fn random_spammer_confusion_matrix_is_nearly_rank_one() {
+        // Both rows are the uniform distribution (paper Table 2, worker A).
+        let m = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
+        approx(rank_one_distance(&m), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn uniform_spammer_confusion_matrix_is_rank_one() {
+        // Single non-zero column (paper Table 2, worker A').
+        let m = Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]);
+        approx(rank_one_distance(&m), 0.0, 1e-9);
+    }
+
+    #[test]
+    fn reliable_worker_confusion_matrix_is_far_from_rank_one() {
+        let m = Matrix::from_rows(&[vec![0.95, 0.05], vec![0.05, 0.95]]);
+        assert!(rank_one_distance(&m) > 0.5);
+    }
+
+    #[test]
+    fn known_singular_value_of_nonsymmetric_matrix() {
+        // [[1,1],[0,1]] has σ₁ = golden ratio ≈ 1.618034.
+        let m = Matrix::from_rows(&[vec![1.0, 1.0], vec![0.0, 1.0]]);
+        approx(largest_singular_value(&m), 1.618_034, 1e-5);
+    }
+
+    #[test]
+    fn rectangular_matrices_are_supported() {
+        let m = Matrix::from_rows(&[vec![1.0, 0.0, 0.0], vec![0.0, 2.0, 0.0]]);
+        approx(largest_singular_value(&m), 2.0, 1e-9);
+        approx(rank_one_distance(&m), 1.0, 1e-9);
+    }
+}

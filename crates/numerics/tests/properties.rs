@@ -1,0 +1,89 @@
+//! Property-based tests of the numerical substrate.
+
+use crowdval_numerics::{
+    largest_singular_value, pearson_correlation, rank_one_distance, shannon_entropy,
+    shannon_entropy_normalized, Histogram, Matrix,
+};
+use proptest::prelude::*;
+
+fn arb_distribution(max_len: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(0.01f64..1.0, 1..=max_len).prop_map(|raw| {
+        let sum: f64 = raw.iter().sum();
+        raw.into_iter().map(|v| v / sum).collect()
+    })
+}
+
+fn arb_matrix(max_dim: usize) -> impl Strategy<Value = Matrix> {
+    (1usize..=max_dim, 1usize..=max_dim).prop_flat_map(|(rows, cols)| {
+        proptest::collection::vec(-5.0f64..5.0, rows * cols)
+            .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Entropy of a probability distribution lies in [0, ln m] and the
+    /// normalized entropy in [0, 1].
+    #[test]
+    fn entropy_bounds(dist in arb_distribution(8)) {
+        let h = shannon_entropy(&dist);
+        prop_assert!(h >= -1e-12);
+        prop_assert!(h <= (dist.len() as f64).ln() + 1e-9);
+        let hn = shannon_entropy_normalized(&dist);
+        prop_assert!((-1e-12..=1.0 + 1e-9).contains(&hn));
+    }
+
+    /// The largest singular value is bounded by the Frobenius norm and the
+    /// rank-one distance satisfies the Pythagorean relation
+    /// `σ₁² + d² = ‖A‖_F²` (up to numerical error).
+    #[test]
+    fn singular_value_and_rank_one_distance_are_consistent(m in arb_matrix(5)) {
+        let sigma1 = largest_singular_value(&m);
+        let d = rank_one_distance(&m);
+        let norm = m.frobenius_norm();
+        prop_assert!(sigma1 >= -1e-9);
+        prop_assert!(sigma1 <= norm + 1e-6);
+        prop_assert!(d >= -1e-9);
+        prop_assert!(d <= norm + 1e-6);
+        prop_assert!((sigma1 * sigma1 + d * d - norm * norm).abs() <= 1e-5 * (1.0 + norm * norm));
+    }
+
+    /// Row normalization always produces a row-stochastic matrix.
+    #[test]
+    fn normalize_rows_yields_distributions(m in arb_matrix(5)) {
+        let mut m = m;
+        // Make entries non-negative first (normalization of mixed-sign rows is
+        // not meaningful for probability semantics).
+        let mut positive = Matrix::zeros(m.rows(), m.cols());
+        for (r, c, v) in m.iter() {
+            positive[(r, c)] = v.abs();
+        }
+        m = positive;
+        m.normalize_rows();
+        prop_assert!(m.is_row_stochastic(1e-9));
+    }
+
+    /// The Pearson correlation coefficient is always within [-1, 1] when it
+    /// exists.
+    #[test]
+    fn pearson_is_bounded(
+        xs in proptest::collection::vec(-100.0f64..100.0, 2..30),
+        noise in proptest::collection::vec(-100.0f64..100.0, 2..30)
+    ) {
+        let len = xs.len().min(noise.len());
+        if let Some(r) = pearson_correlation(&xs[..len], &noise[..len]) {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&r));
+        }
+    }
+
+    /// Histograms never lose observations and their percentages sum to 100.
+    #[test]
+    fn histograms_conserve_mass(values in proptest::collection::vec(-0.5f64..1.5, 1..200)) {
+        let mut h = Histogram::new(0.0, 1.0, 10);
+        h.extend(values.iter().copied());
+        prop_assert_eq!(h.total() as usize, values.len());
+        let sum: f64 = h.frequencies_percent().iter().sum();
+        prop_assert!((sum - 100.0).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,168 @@
+//! Answer augmentation: asking the crowd for more answers.
+//!
+//! The cost study (§6.8) compares validating answers with an expert (EV)
+//! against simply collecting more crowd answers (WO). The WO strategy needs a
+//! way to add answers to an existing dataset from the same (hidden) worker
+//! population; this module provides it.
+
+use crate::generator::SyntheticDataset;
+use crowdval_model::{Dataset, WorkerId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Returns a copy of the dataset in which every object has answers from (up
+/// to) `target_answers_per_object` distinct workers; missing answers are
+/// sampled from the hidden worker profiles of the synthetic dataset.
+///
+/// Objects that already have at least the target number of answers are left
+/// untouched. If the worker population is smaller than the target the object
+/// simply ends up fully covered.
+pub fn augment_with_answers(
+    source: &SyntheticDataset,
+    target_answers_per_object: usize,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = source.dataset.clone();
+    let num_labels = dataset.answers().num_labels();
+    let num_workers = dataset.answers().num_workers();
+    let truth = source.dataset.ground_truth().clone();
+
+    for o in source.dataset.answers().objects() {
+        let existing: Vec<WorkerId> = source
+            .dataset
+            .answers()
+            .matrix()
+            .answers_for_object(o)
+            .iter()
+            .map(|&(w, _)| w)
+            .collect();
+        if existing.len() >= target_answers_per_object {
+            continue;
+        }
+        let mut candidates: Vec<usize> = (0..num_workers)
+            .filter(|w| !existing.contains(&WorkerId(*w)))
+            .collect();
+        candidates.shuffle(&mut rng);
+        let missing = target_answers_per_object - existing.len();
+        let difficulty = source.difficulties[o.index()];
+        let trap = source.traps[o.index()];
+        for w in candidates.into_iter().take(missing) {
+            let label = source.profiles[w].answer_with_trap(
+                &mut rng,
+                truth.label(o),
+                trap,
+                num_labels,
+                difficulty,
+            );
+            dataset
+                .answers_mut()
+                .record_answer(o, WorkerId(w), label)
+                .expect("augmentation uses in-range indices");
+        }
+    }
+    dataset
+}
+
+/// Returns a copy of the dataset thinned to exactly `answers_per_object`
+/// answers per object (dropping surplus answers deterministically). Used to
+/// build the "initial cost φ₀" starting points of the cost experiments.
+pub fn thin_to_answers_per_object(
+    source: &SyntheticDataset,
+    answers_per_object: usize,
+    seed: u64,
+) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dataset = source.dataset.clone();
+    for o in source.dataset.answers().objects() {
+        let mut answered: Vec<WorkerId> = dataset
+            .answers()
+            .matrix()
+            .answers_for_object(o)
+            .iter()
+            .map(|&(w, _)| w)
+            .collect();
+        if answered.len() <= answers_per_object {
+            continue;
+        }
+        answered.shuffle(&mut rng);
+        for w in answered.into_iter().skip(answers_per_object) {
+            dataset.answers_mut().remove_answer(o, w);
+        }
+    }
+    dataset
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::SyntheticConfig;
+
+    fn sparse_source() -> SyntheticDataset {
+        SyntheticConfig {
+            answers_per_object: Some(5),
+            ..SyntheticConfig::paper_default(21)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn augmentation_raises_answers_per_object() {
+        let src = sparse_source();
+        let augmented = augment_with_answers(&src, 12, 1);
+        for o in augmented.answers().objects() {
+            assert_eq!(augmented.answers().matrix().object_answer_count(o), 12);
+        }
+        // Original untouched.
+        for o in src.dataset.answers().objects() {
+            assert_eq!(src.dataset.answers().matrix().object_answer_count(o), 5);
+        }
+    }
+
+    #[test]
+    fn augmentation_never_duplicates_a_worker_answer() {
+        let src = sparse_source();
+        let augmented = augment_with_answers(&src, 20, 2);
+        for o in augmented.answers().objects() {
+            let workers: Vec<_> = augmented
+                .answers()
+                .matrix()
+                .answers_for_object(o)
+                .iter()
+                .map(|&(w, _)| w)
+                .collect();
+            let mut dedup = workers.clone();
+            dedup.dedup();
+            assert_eq!(workers.len(), dedup.len());
+        }
+    }
+
+    #[test]
+    fn augmentation_is_capped_by_population_size() {
+        let src = sparse_source();
+        let augmented = augment_with_answers(&src, 1000, 3);
+        for o in augmented.answers().objects() {
+            assert_eq!(
+                augmented.answers().matrix().object_answer_count(o),
+                src.dataset.answers().num_workers()
+            );
+        }
+    }
+
+    #[test]
+    fn thinning_reduces_answers_per_object() {
+        let src = SyntheticConfig::paper_default(22).generate();
+        let thinned = thin_to_answers_per_object(&src, 7, 4);
+        for o in thinned.answers().objects() {
+            assert_eq!(thinned.answers().matrix().object_answer_count(o), 7);
+        }
+    }
+
+    #[test]
+    fn thinning_is_a_noop_when_already_sparse() {
+        let src = sparse_source();
+        let thinned = thin_to_answers_per_object(&src, 9, 4);
+        assert_eq!(thinned, src.dataset);
+    }
+}

@@ -1,0 +1,103 @@
+//! Question-difficulty models (paper Appendix C, "Effects of question
+//! difficulty").
+//!
+//! Difficulty is a per-object value in `[0, 1]`: `0` means even a sloppy
+//! worker answers at their nominal accuracy, `1` means every worker answers at
+//! chance level. The `art` dataset (scientific-article sentiment) is modelled
+//! with a larger share of hard questions than `twt` (tweet sentiment).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How per-object difficulties are drawn.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DifficultyModel {
+    /// Every object has the same difficulty.
+    Constant(f64),
+    /// Difficulty is drawn uniformly from `[lo, hi]`.
+    Uniform { lo: f64, hi: f64 },
+    /// A fraction `hard_fraction` of objects is hard (difficulty
+    /// `hard_difficulty`), the rest is easy (difficulty `easy_difficulty`).
+    /// This is the knob used to calibrate the real-world replicas: the
+    /// aggregated precision plateaus roughly at
+    /// `1 − hard_fraction · (1 − 1/m)` for `m` labels.
+    Bimodal { hard_fraction: f64, easy_difficulty: f64, hard_difficulty: f64 },
+}
+
+impl DifficultyModel {
+    /// All questions trivially easy.
+    pub fn easy() -> Self {
+        DifficultyModel::Constant(0.0)
+    }
+
+    /// Samples the difficulty of one object.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            DifficultyModel::Constant(d) => d.clamp(0.0, 1.0),
+            DifficultyModel::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.clamp(0.0, 1.0), hi.clamp(0.0, 1.0));
+                if hi <= lo {
+                    lo
+                } else {
+                    rng.random_range(lo..hi)
+                }
+            }
+            DifficultyModel::Bimodal { hard_fraction, easy_difficulty, hard_difficulty } => {
+                if rng.random_bool(hard_fraction.clamp(0.0, 1.0)) {
+                    hard_difficulty.clamp(0.0, 1.0)
+                } else {
+                    easy_difficulty.clamp(0.0, 1.0)
+                }
+            }
+        }
+    }
+
+    /// Samples difficulties for `n` objects.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constant_model_is_constant() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let d = DifficultyModel::Constant(0.3).sample_many(&mut rng, 10);
+        assert!(d.iter().all(|&x| (x - 0.3).abs() < 1e-12));
+        assert_eq!(DifficultyModel::easy().sample(&mut rng), 0.0);
+    }
+
+    #[test]
+    fn uniform_model_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let d = DifficultyModel::Uniform { lo: 0.2, hi: 0.6 }.sample_many(&mut rng, 500);
+        assert!(d.iter().all(|&x| (0.2..0.6).contains(&x)));
+        // degenerate range collapses to lo
+        assert_eq!(DifficultyModel::Uniform { lo: 0.4, hi: 0.4 }.sample(&mut rng), 0.4);
+    }
+
+    #[test]
+    fn bimodal_model_produces_roughly_the_requested_hard_share() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let model = DifficultyModel::Bimodal {
+            hard_fraction: 0.3,
+            easy_difficulty: 0.0,
+            hard_difficulty: 1.0,
+        };
+        let d = model.sample_many(&mut rng, 5000);
+        let hard = d.iter().filter(|&&x| x > 0.5).count() as f64 / 5000.0;
+        assert!((hard - 0.3).abs() < 0.03, "hard share {hard}");
+    }
+
+    #[test]
+    fn out_of_range_values_are_clamped() {
+        let mut rng = StdRng::seed_from_u64(4);
+        assert_eq!(DifficultyModel::Constant(7.0).sample(&mut rng), 1.0);
+        assert_eq!(DifficultyModel::Constant(-3.0).sample(&mut rng), 0.0);
+    }
+}

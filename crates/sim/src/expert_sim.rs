@@ -1,0 +1,147 @@
+//! Simulated validating expert (paper §6.1 and §6.7).
+//!
+//! Most of the paper's experiments "mimic the validating expert by using the
+//! ground-truth provided in the datasets". The robustness experiments (§6.7)
+//! additionally flip a validation to a wrong label with probability `p` to
+//! model erroneous expert input.
+
+use crowdval_model::{GroundTruth, LabelId, ObjectId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// An expert that answers validation questions from the ground truth,
+/// optionally making mistakes with a fixed probability.
+#[derive(Debug, Clone)]
+pub struct SimulatedExpert {
+    truth: GroundTruth,
+    num_labels: usize,
+    mistake_probability: f64,
+    rng: StdRng,
+    mistakes_made: usize,
+    validations: usize,
+}
+
+impl SimulatedExpert {
+    /// A perfect expert.
+    pub fn perfect(truth: GroundTruth, num_labels: usize) -> Self {
+        Self::with_mistakes(truth, num_labels, 0.0, 0)
+    }
+
+    /// An expert that answers incorrectly with probability
+    /// `mistake_probability` (the wrong label is chosen uniformly).
+    pub fn with_mistakes(
+        truth: GroundTruth,
+        num_labels: usize,
+        mistake_probability: f64,
+        seed: u64,
+    ) -> Self {
+        assert!(num_labels > 0, "need at least one label");
+        Self {
+            truth,
+            num_labels,
+            mistake_probability: mistake_probability.clamp(0.0, 1.0),
+            rng: StdRng::seed_from_u64(seed),
+            mistakes_made: 0,
+            validations: 0,
+        }
+    }
+
+    /// The correct label of `object` (without any mistake model), as the
+    /// expert would answer when re-considering a flagged validation.
+    pub fn correct_label(&self, object: ObjectId) -> LabelId {
+        self.truth.label(object)
+    }
+
+    /// Answers a validation request for `object`.
+    pub fn validate(&mut self, object: ObjectId) -> LabelId {
+        self.validations += 1;
+        let truth = self.truth.label(object);
+        if self.num_labels > 1
+            && self.mistake_probability > 0.0
+            && self.rng.random_bool(self.mistake_probability)
+        {
+            self.mistakes_made += 1;
+            let wrong = self.rng.random_range(0..self.num_labels - 1);
+            if wrong >= truth.index() {
+                LabelId(wrong + 1)
+            } else {
+                LabelId(wrong)
+            }
+        } else {
+            truth
+        }
+    }
+
+    /// Number of validations answered so far.
+    pub fn validations(&self) -> usize {
+        self.validations
+    }
+
+    /// Number of erroneous validations produced so far.
+    pub fn mistakes_made(&self) -> usize {
+        self.mistakes_made
+    }
+
+    /// The configured mistake probability.
+    pub fn mistake_probability(&self) -> f64 {
+        self.mistake_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> GroundTruth {
+        GroundTruth::new((0..100).map(|i| LabelId(i % 2)).collect())
+    }
+
+    #[test]
+    fn perfect_expert_always_returns_the_truth() {
+        let mut e = SimulatedExpert::perfect(truth(), 2);
+        for o in 0..100 {
+            assert_eq!(e.validate(ObjectId(o)), LabelId(o % 2));
+        }
+        assert_eq!(e.mistakes_made(), 0);
+        assert_eq!(e.validations(), 100);
+    }
+
+    #[test]
+    fn erroneous_expert_makes_roughly_p_mistakes() {
+        let mut e = SimulatedExpert::with_mistakes(truth(), 2, 0.3, 99);
+        let mut wrong = 0;
+        for round in 0..20 {
+            for o in 0..100 {
+                if e.validate(ObjectId(o)) != LabelId(o % 2) {
+                    wrong += 1;
+                }
+            }
+            let _ = round;
+        }
+        let rate = wrong as f64 / 2000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed mistake rate {rate}");
+        assert_eq!(e.mistakes_made(), wrong);
+    }
+
+    #[test]
+    fn mistakes_never_return_the_correct_label() {
+        let mut e = SimulatedExpert::with_mistakes(truth(), 4, 1.0, 7);
+        for o in 0..100 {
+            assert_ne!(e.validate(ObjectId(o)), e.correct_label(ObjectId(o)));
+        }
+    }
+
+    #[test]
+    fn single_label_expert_cannot_err() {
+        let t = GroundTruth::new(vec![LabelId(0); 5]);
+        let mut e = SimulatedExpert::with_mistakes(t, 1, 1.0, 7);
+        assert_eq!(e.validate(ObjectId(0)), LabelId(0));
+        assert_eq!(e.mistakes_made(), 0);
+    }
+
+    #[test]
+    fn mistake_probability_is_clamped_and_reported() {
+        let e = SimulatedExpert::with_mistakes(truth(), 2, 7.0, 1);
+        assert_eq!(e.mistake_probability(), 1.0);
+    }
+}

@@ -1,0 +1,32 @@
+//! Crowd simulation substrate.
+//!
+//! The paper's evaluation mixes five real-world datasets with synthetic
+//! datasets whose worker population follows the characterization of [Kazai et
+//! al., CIKM'11]: reliable workers, normal workers, sloppy workers, uniform
+//! spammers and random spammers (Fig. 1 and Appendix A). This crate implements
+//!
+//! * the worker behaviour models and population mixes,
+//! * a deterministic synthetic dataset generator (objects × workers × labels,
+//!   worker reliability, spammer ratio, question difficulty, sparsity),
+//! * *replicas* of the five real-world datasets of Table 4 (`bb`, `rte`,
+//!   `val`, `twt`, `art`) — same shapes, worker-quality profiles tuned so the
+//!   starting precision matches the paper's figures (see DESIGN.md §5),
+//! * a simulated validating expert, optionally making mistakes with a fixed
+//!   probability (§5.5 / §6.7),
+//! * answer augmentation used by the "workers-only" cost strategy (§6.8).
+
+pub mod augment;
+pub mod difficulty;
+pub mod expert_sim;
+pub mod generator;
+pub mod population;
+pub mod replicas;
+pub mod worker_profile;
+
+pub use augment::augment_with_answers;
+pub use difficulty::DifficultyModel;
+pub use expert_sim::SimulatedExpert;
+pub use generator::{SyntheticConfig, SyntheticDataset};
+pub use population::PopulationMix;
+pub use replicas::{all_replicas, replica, ReplicaName};
+pub use worker_profile::{WorkerKind, WorkerProfile};

@@ -1,0 +1,189 @@
+//! Worker-population mixes (paper Appendix A).
+//!
+//! The paper distributes the simulated population into α % reliable workers,
+//! β % sloppy workers and γ % spammers with defaults α = 43, β = 32, γ = 25
+//! (following the CIKM'11 study of real crowds), and controls the reliability
+//! of the non-spammer ("normal") workers through the parameter `r`.
+
+use crate::worker_profile::WorkerKind;
+use serde::{Deserialize, Serialize};
+
+/// Relative shares of the five worker types. Shares are normalized before
+/// sampling, so they do not need to sum to one.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PopulationMix {
+    pub reliable: f64,
+    pub normal: f64,
+    pub sloppy: f64,
+    pub uniform_spammer: f64,
+    pub random_spammer: f64,
+}
+
+impl PopulationMix {
+    /// The paper's default mix: 43 % reliable, 32 % sloppy, 25 % spammers
+    /// (split evenly between uniform and random spammers).
+    pub fn paper_default() -> Self {
+        Self {
+            reliable: 0.43,
+            normal: 0.0,
+            sloppy: 0.32,
+            uniform_spammer: 0.125,
+            random_spammer: 0.125,
+        }
+    }
+
+    /// A mix with the given overall spammer ratio `sigma`; the remaining mass
+    /// keeps the paper's 43:32 split between reliable and sloppy workers.
+    /// Used for the `σ ∈ {15 %, 25 %, 35 %}` sweeps (Fig. 20, Fig. 22).
+    pub fn with_spammer_ratio(sigma: f64) -> Self {
+        let sigma = sigma.clamp(0.0, 1.0);
+        let honest = 1.0 - sigma;
+        let reliable = honest * 0.43 / 0.75;
+        let sloppy = honest * 0.32 / 0.75;
+        Self {
+            reliable,
+            normal: 0.0,
+            sloppy,
+            uniform_spammer: sigma / 2.0,
+            random_spammer: sigma / 2.0,
+        }
+    }
+
+    /// A population without any faulty workers (used for the ethical-worker
+    /// assumption of the uncertainty-driven strategy's analysis).
+    pub fn all_reliable() -> Self {
+        Self { reliable: 1.0, normal: 0.0, sloppy: 0.0, uniform_spammer: 0.0, random_spammer: 0.0 }
+    }
+
+    /// Total (unnormalized) weight.
+    fn total(&self) -> f64 {
+        self.reliable + self.normal + self.sloppy + self.uniform_spammer + self.random_spammer
+    }
+
+    /// Fraction of spammers (uniform + random) after normalization.
+    pub fn spammer_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.uniform_spammer + self.random_spammer) / t
+        }
+    }
+
+    /// Fraction of faulty workers (sloppy + spammers) after normalization.
+    pub fn faulty_ratio(&self) -> f64 {
+        let t = self.total();
+        if t == 0.0 {
+            0.0
+        } else {
+            (self.sloppy + self.uniform_spammer + self.random_spammer) / t
+        }
+    }
+
+    /// Deterministically expands the mix into `count` worker kinds using
+    /// largest-remainder apportionment, so a 20-worker population with the
+    /// default mix always contains the same type counts regardless of RNG.
+    pub fn allocate(&self, count: usize) -> Vec<WorkerKind> {
+        let kinds = [
+            (WorkerKind::Reliable, self.reliable),
+            (WorkerKind::Normal, self.normal),
+            (WorkerKind::Sloppy, self.sloppy),
+            (WorkerKind::UniformSpammer, self.uniform_spammer),
+            (WorkerKind::RandomSpammer, self.random_spammer),
+        ];
+        let total = self.total();
+        if count == 0 {
+            return Vec::new();
+        }
+        if total <= 0.0 {
+            return vec![WorkerKind::Normal; count];
+        }
+
+        // Integer part of each quota first, then distribute the remainder by
+        // the largest fractional parts.
+        let quotas: Vec<f64> = kinds.iter().map(|(_, w)| w / total * count as f64).collect();
+        let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
+        let assigned: usize = counts.iter().sum();
+        let mut remainders: Vec<(usize, f64)> = quotas
+            .iter()
+            .enumerate()
+            .map(|(i, q)| (i, q - q.floor()))
+            .collect();
+        remainders.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        for (i, _) in remainders.into_iter().take(count - assigned) {
+            counts[i] += 1;
+        }
+
+        let mut out = Vec::with_capacity(count);
+        for ((kind, _), n) in kinds.iter().zip(&counts) {
+            out.extend(std::iter::repeat_n(*kind, *n));
+        }
+        out
+    }
+}
+
+impl Default for PopulationMix {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_ratios() {
+        let mix = PopulationMix::paper_default();
+        assert!((mix.spammer_ratio() - 0.25).abs() < 1e-9);
+        assert!((mix.faulty_ratio() - 0.57).abs() < 1e-9);
+    }
+
+    #[test]
+    fn with_spammer_ratio_hits_requested_sigma() {
+        for sigma in [0.15, 0.25, 0.35] {
+            let mix = PopulationMix::with_spammer_ratio(sigma);
+            assert!((mix.spammer_ratio() - sigma).abs() < 1e-9, "sigma {sigma}");
+        }
+    }
+
+    #[test]
+    fn allocate_produces_exact_count_and_expected_composition() {
+        let mix = PopulationMix::paper_default();
+        let kinds = mix.allocate(20);
+        assert_eq!(kinds.len(), 20);
+        let spammers = kinds.iter().filter(|k| k.is_spammer()).count();
+        // 25 % of 20 = 5 spammers
+        assert_eq!(spammers, 5);
+        let reliable = kinds.iter().filter(|&&k| k == WorkerKind::Reliable).count();
+        assert!(reliable >= 8 && reliable <= 9, "reliable = {reliable}");
+    }
+
+    #[test]
+    fn allocate_is_deterministic() {
+        let mix = PopulationMix::paper_default();
+        assert_eq!(mix.allocate(37), mix.allocate(37));
+    }
+
+    #[test]
+    fn allocate_handles_edge_cases() {
+        assert!(PopulationMix::paper_default().allocate(0).is_empty());
+        let zero = PopulationMix {
+            reliable: 0.0,
+            normal: 0.0,
+            sloppy: 0.0,
+            uniform_spammer: 0.0,
+            random_spammer: 0.0,
+        };
+        assert_eq!(zero.allocate(3), vec![WorkerKind::Normal; 3]);
+        assert_eq!(zero.spammer_ratio(), 0.0);
+        assert_eq!(zero.faulty_ratio(), 0.0);
+    }
+
+    #[test]
+    fn all_reliable_has_no_faulty_workers() {
+        let mix = PopulationMix::all_reliable();
+        assert_eq!(mix.faulty_ratio(), 0.0);
+        assert!(mix.allocate(10).iter().all(|&k| k == WorkerKind::Reliable));
+    }
+}

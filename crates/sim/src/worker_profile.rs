@@ -1,0 +1,287 @@
+//! Behavioural models for the five worker types of the paper's §2 / Fig. 1.
+
+use crowdval_model::LabelId;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The worker-type taxonomy from [Kazai et al.] used throughout the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum WorkerKind {
+    /// Deep domain knowledge; answers with very high reliability.
+    Reliable,
+    /// General knowledge; correct most of the time but makes occasional
+    /// mistakes. The synthetic-data parameter `r` controls this accuracy.
+    Normal,
+    /// Very little knowledge; often wrong, but unintentionally.
+    Sloppy,
+    /// Intentionally gives the same answer to every question.
+    UniformSpammer,
+    /// Carelessly gives a uniformly random answer to every question.
+    RandomSpammer,
+}
+
+impl WorkerKind {
+    /// Faulty workers are the three problematic types targeted by the
+    /// worker-driven guidance strategy (§5.3).
+    pub fn is_faulty(self) -> bool {
+        matches!(
+            self,
+            WorkerKind::Sloppy | WorkerKind::UniformSpammer | WorkerKind::RandomSpammer
+        )
+    }
+
+    /// Spammers in the narrow sense (uniform + random).
+    pub fn is_spammer(self) -> bool {
+        matches!(self, WorkerKind::UniformSpammer | WorkerKind::RandomSpammer)
+    }
+}
+
+/// A concrete worker: a type plus the parameters governing its answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    kind: WorkerKind,
+    /// Probability of answering correctly on a question of zero difficulty
+    /// (ignored for spammers).
+    accuracy: f64,
+    /// The label a uniform spammer always gives (ignored for other types).
+    fixed_label: LabelId,
+}
+
+/// Default accuracy of a reliable worker when not overridden.
+pub const RELIABLE_ACCURACY: f64 = 0.95;
+/// Default accuracy of a sloppy worker (mostly wrong, per §2).
+pub const SLOPPY_ACCURACY: f64 = 0.35;
+
+impl WorkerProfile {
+    /// Creates a profile with an explicit accuracy.
+    pub fn new(kind: WorkerKind, accuracy: f64, fixed_label: LabelId) -> Self {
+        Self { kind, accuracy: accuracy.clamp(0.0, 1.0), fixed_label }
+    }
+
+    /// Creates a profile using the default accuracy of the worker type.
+    /// `normal_reliability` is the paper's `r` parameter for normal workers.
+    pub fn with_defaults(kind: WorkerKind, normal_reliability: f64, fixed_label: LabelId) -> Self {
+        let accuracy = match kind {
+            WorkerKind::Reliable => RELIABLE_ACCURACY,
+            WorkerKind::Normal => normal_reliability,
+            WorkerKind::Sloppy => SLOPPY_ACCURACY,
+            WorkerKind::UniformSpammer | WorkerKind::RandomSpammer => 0.0,
+        };
+        Self::new(kind, accuracy, fixed_label)
+    }
+
+    /// The worker's type.
+    pub fn kind(&self) -> WorkerKind {
+        self.kind
+    }
+
+    /// Nominal accuracy on zero-difficulty questions.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+
+    /// The label this worker gives when it is a uniform spammer.
+    pub fn fixed_label(&self) -> LabelId {
+        self.fixed_label
+    }
+
+    /// Effective probability of a correct answer on a question of the given
+    /// `difficulty ∈ [0, 1]`: difficulty pulls the accuracy linearly toward
+    /// the random-guess rate `1/m` (so a maximally difficult question is
+    /// answered at chance level even by reliable workers).
+    pub fn effective_accuracy(&self, difficulty: f64, num_labels: usize) -> f64 {
+        let chance = 1.0 / num_labels.max(1) as f64;
+        let d = difficulty.clamp(0.0, 1.0);
+        chance + (self.accuracy - chance) * (1.0 - d)
+    }
+
+    /// Samples this worker's answer for an object whose correct label is
+    /// `truth`, on a question of the given difficulty.
+    pub fn answer<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        truth: LabelId,
+        num_labels: usize,
+        difficulty: f64,
+    ) -> LabelId {
+        self.answer_with_trap(rng, truth, None, num_labels, difficulty)
+    }
+
+    /// Samples this worker's answer for an object that may be *deceptive*: a
+    /// question whose surface reading pulls honest workers toward one
+    /// specific wrong label (`trap`). Deceptive questions are how the replica
+    /// datasets model the hard cases of the real benchmarks, where the crowd
+    /// is systematically — not randomly — wrong.
+    ///
+    /// Honest workers answer the trap label with probability 0.75 minus a
+    /// small bonus for their accuracy; spammers ignore the trap entirely.
+    pub fn answer_with_trap<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        truth: LabelId,
+        trap: Option<LabelId>,
+        num_labels: usize,
+        difficulty: f64,
+    ) -> LabelId {
+        debug_assert!(num_labels > 0, "need at least one label");
+        match self.kind {
+            WorkerKind::UniformSpammer => LabelId(self.fixed_label.index() % num_labels),
+            WorkerKind::RandomSpammer => LabelId(rng.random_range(0..num_labels)),
+            _ => {
+                if num_labels == 1 {
+                    return truth;
+                }
+                if let Some(trap) = trap {
+                    // Deceptive question: the majority of honest workers leans
+                    // toward the trap label (roughly 60/40 for a typical
+                    // worker), so the aggregated answer tends to be wrong but
+                    // remains visibly contested — matching how hard questions
+                    // behave in the real benchmark datasets.
+                    let p_correct = (0.20 + 0.20 * self.accuracy).clamp(0.0, 1.0);
+                    let roll: f64 = rng.random();
+                    return if roll < p_correct {
+                        truth
+                    } else if roll < p_correct + 0.75 || num_labels == 2 {
+                        LabelId(trap.index() % num_labels)
+                    } else {
+                        // Residual mass: some other wrong label.
+                        let wrong = rng.random_range(0..num_labels - 1);
+                        if wrong >= truth.index() {
+                            LabelId(wrong + 1)
+                        } else {
+                            LabelId(wrong)
+                        }
+                    };
+                }
+                let p_correct = self.effective_accuracy(difficulty, num_labels);
+                if rng.random_bool(p_correct.clamp(0.0, 1.0)) {
+                    truth
+                } else {
+                    // Pick a wrong label uniformly.
+                    let wrong = rng.random_range(0..num_labels - 1);
+                    if wrong >= truth.index() {
+                        LabelId(wrong + 1)
+                    } else {
+                        LabelId(wrong)
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn faulty_and_spammer_classification() {
+        assert!(!WorkerKind::Reliable.is_faulty());
+        assert!(!WorkerKind::Normal.is_faulty());
+        assert!(WorkerKind::Sloppy.is_faulty());
+        assert!(WorkerKind::UniformSpammer.is_faulty());
+        assert!(WorkerKind::RandomSpammer.is_spammer());
+        assert!(!WorkerKind::Sloppy.is_spammer());
+    }
+
+    #[test]
+    fn uniform_spammer_always_gives_fixed_label() {
+        let w = WorkerProfile::with_defaults(WorkerKind::UniformSpammer, 0.7, LabelId(1));
+        let mut r = rng();
+        for _ in 0..20 {
+            assert_eq!(w.answer(&mut r, LabelId(0), 3, 0.0), LabelId(1));
+        }
+    }
+
+    #[test]
+    fn random_spammer_covers_all_labels() {
+        let w = WorkerProfile::with_defaults(WorkerKind::RandomSpammer, 0.7, LabelId(0));
+        let mut r = rng();
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[w.answer(&mut r, LabelId(0), 4, 0.0).index()] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn reliable_worker_is_mostly_correct() {
+        let w = WorkerProfile::with_defaults(WorkerKind::Reliable, 0.7, LabelId(0));
+        let mut r = rng();
+        let correct = (0..1000)
+            .filter(|_| w.answer(&mut r, LabelId(1), 2, 0.0) == LabelId(1))
+            .count();
+        assert!(correct > 900, "reliable worker was correct only {correct}/1000 times");
+    }
+
+    #[test]
+    fn normal_worker_tracks_reliability_parameter() {
+        let w = WorkerProfile::with_defaults(WorkerKind::Normal, 0.65, LabelId(0));
+        assert!((w.accuracy() - 0.65).abs() < 1e-12);
+        let mut r = rng();
+        let correct = (0..4000)
+            .filter(|_| w.answer(&mut r, LabelId(0), 2, 0.0) == LabelId(0))
+            .count() as f64
+            / 4000.0;
+        assert!((correct - 0.65).abs() < 0.05, "empirical accuracy {correct}");
+    }
+
+    #[test]
+    fn difficulty_pulls_accuracy_toward_chance() {
+        let w = WorkerProfile::with_defaults(WorkerKind::Reliable, 0.7, LabelId(0));
+        assert!((w.effective_accuracy(0.0, 2) - RELIABLE_ACCURACY).abs() < 1e-12);
+        assert!((w.effective_accuracy(1.0, 2) - 0.5).abs() < 1e-12);
+        assert!((w.effective_accuracy(1.0, 4) - 0.25).abs() < 1e-12);
+        let mid = w.effective_accuracy(0.5, 2);
+        assert!(mid < RELIABLE_ACCURACY && mid > 0.5);
+    }
+
+    #[test]
+    fn wrong_answers_never_equal_the_truth_for_binary() {
+        let w = WorkerProfile::new(WorkerKind::Sloppy, 0.0, LabelId(0));
+        let mut r = rng();
+        for _ in 0..50 {
+            assert_eq!(w.answer(&mut r, LabelId(1), 2, 0.0), LabelId(0));
+        }
+    }
+
+    #[test]
+    fn single_label_tasks_are_always_answered_correctly() {
+        let w = WorkerProfile::new(WorkerKind::Sloppy, 0.0, LabelId(0));
+        let mut r = rng();
+        assert_eq!(w.answer(&mut r, LabelId(0), 1, 0.9), LabelId(0));
+    }
+
+    #[test]
+    fn deceptive_questions_pull_honest_workers_toward_the_trap() {
+        let w = WorkerProfile::with_defaults(WorkerKind::Reliable, 0.9, LabelId(0));
+        let mut r = rng();
+        let mut trap_answers = 0;
+        let mut correct = 0;
+        for _ in 0..2000 {
+            match w.answer_with_trap(&mut r, LabelId(0), Some(LabelId(1)), 2, 0.0) {
+                LabelId(1) => trap_answers += 1,
+                LabelId(0) => correct += 1,
+                _ => {}
+            }
+        }
+        assert!(trap_answers > correct, "trap {trap_answers} vs correct {correct}");
+        assert!(correct > 0, "even deceptive questions are answered correctly sometimes");
+    }
+
+    #[test]
+    fn spammers_ignore_traps() {
+        let w = WorkerProfile::with_defaults(WorkerKind::UniformSpammer, 0.9, LabelId(0));
+        let mut r = rng();
+        assert_eq!(
+            w.answer_with_trap(&mut r, LabelId(1), Some(LabelId(1)), 2, 0.0),
+            LabelId(0)
+        );
+    }
+}

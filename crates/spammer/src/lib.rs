@@ -1,0 +1,23 @@
+//! Detection and handling of faulty workers (paper §5.3).
+//!
+//! Faulty workers come in three flavours: uniform spammers, random spammers
+//! and sloppy workers. Uniform and random spammers leave a rank-one signature
+//! in their confusion matrix, so their *spammer score* — the Frobenius
+//! distance of the matrix to its closest rank-one approximation — is close to
+//! zero. Sloppy workers are detected through a high prior-weighted error rate.
+//!
+//! Following the paper, the confusion matrices used for detection are built
+//! **only from expert validations** (not from the estimated labels), which
+//! removes the bias an incorrect estimation would introduce. Suspected
+//! workers are not removed permanently; their answers are merely excluded
+//! from aggregation and come back once enough validations clear them.
+
+pub mod detector;
+pub mod handling;
+pub mod score;
+pub mod sloppy;
+
+pub use detector::{DetectionOutcome, DetectorConfig, SpammerDetector};
+pub use handling::FaultyWorkerHandler;
+pub use score::spammer_score;
+pub use sloppy::sloppy_error_rate;

@@ -1,0 +1,69 @@
+//! The spammer score (paper Eq. 11).
+//!
+//! `s(w) = min_{rank(F̂)=1} ‖F_w − F̂‖_F` — the distance of worker `w`'s
+//! confusion matrix to its closest rank-one approximation. Uniform spammers
+//! (one non-zero column) and random spammers (identical rows) have rank-one
+//! confusion matrices, so their score is (close to) zero. Workers whose score
+//! falls *below* a threshold `τ_s` are flagged as spammers.
+
+use crowdval_model::ConfusionMatrix;
+use crowdval_numerics::rank_one_distance;
+
+/// Spammer score of a worker's confusion matrix.
+pub fn spammer_score(confusion: &ConfusionMatrix) -> f64 {
+    rank_one_distance(confusion.matrix())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::LabelId;
+    use crowdval_numerics::Matrix;
+
+    #[test]
+    fn random_spammer_scores_near_zero() {
+        let c = ConfusionMatrix::uniform(2);
+        assert!(spammer_score(&c) < 1e-9);
+        let c4 = ConfusionMatrix::uniform(4);
+        assert!(spammer_score(&c4) < 1e-9);
+    }
+
+    #[test]
+    fn uniform_spammer_scores_near_zero() {
+        let c = ConfusionMatrix::from_matrix(Matrix::from_rows(&[
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+        ]));
+        assert!(spammer_score(&c) < 1e-9);
+    }
+
+    #[test]
+    fn reliable_worker_scores_high() {
+        let c = ConfusionMatrix::diagonal(2, 0.95);
+        assert!(spammer_score(&c) > 0.5);
+        let c4 = ConfusionMatrix::diagonal(4, 0.9);
+        assert!(spammer_score(&c4) > 0.5);
+    }
+
+    #[test]
+    fn score_decreases_as_the_worker_approaches_random_guessing() {
+        let good = spammer_score(&ConfusionMatrix::diagonal(2, 0.95));
+        let mediocre = spammer_score(&ConfusionMatrix::diagonal(2, 0.7));
+        let chance = spammer_score(&ConfusionMatrix::diagonal(2, 0.5));
+        assert!(good > mediocre);
+        assert!(mediocre > chance);
+        assert!(chance < 1e-9);
+    }
+
+    #[test]
+    fn adversarial_workers_are_not_spammers() {
+        // A worker that systematically inverts labels is informative (perfectly
+        // anti-correlated), not a spammer: the score stays high.
+        let c = ConfusionMatrix::from_matrix(Matrix::from_rows(&[
+            vec![0.05, 0.95],
+            vec![0.95, 0.05],
+        ]));
+        assert!(spammer_score(&c) > 0.5);
+        assert_eq!(c.prob(LabelId(0), LabelId(1)), 0.95);
+    }
+}

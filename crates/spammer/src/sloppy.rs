@@ -1,0 +1,53 @@
+//! Sloppy-worker detection (paper §5.3).
+//!
+//! Sloppy workers answer mostly incorrectly (but not adversarially or at
+//! random in the spammer sense). Their signature is a high error rate: the
+//! prior-weighted mass off the main diagonal of the confusion matrix built
+//! from expert validations. A worker whose error rate exceeds `τ_p` is
+//! considered sloppy.
+
+use crowdval_model::ConfusionMatrix;
+
+/// Prior-weighted error rate `e_w` of a validation-based confusion matrix.
+pub fn sloppy_error_rate(confusion: &ConfusionMatrix, priors: &[f64]) -> f64 {
+    confusion.error_rate(priors)
+}
+
+/// Convenience: error rate under uniform priors (used when no better prior
+/// estimate is available, e.g. at the very start of a validation process).
+pub fn sloppy_error_rate_uniform(confusion: &ConfusionMatrix) -> f64 {
+    let m = confusion.num_labels();
+    let priors = vec![1.0 / m as f64; m];
+    confusion.error_rate(&priors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accurate_workers_have_low_error_rate() {
+        let c = ConfusionMatrix::diagonal(2, 0.9);
+        assert!((sloppy_error_rate(&c, &[0.5, 0.5]) - 0.1).abs() < 1e-12);
+        assert!((sloppy_error_rate_uniform(&c) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sloppy_workers_have_high_error_rate() {
+        let c = ConfusionMatrix::diagonal(2, 0.2);
+        assert!(sloppy_error_rate_uniform(&c) > 0.7);
+    }
+
+    #[test]
+    fn priors_weight_the_error_rate() {
+        // The worker errs only on label 1; skewing the prior toward label 0
+        // lowers the weighted error rate.
+        let c = ConfusionMatrix::from_matrix(crowdval_numerics::Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![0.9, 0.1],
+        ]));
+        let balanced = sloppy_error_rate(&c, &[0.5, 0.5]);
+        let skewed = sloppy_error_rate(&c, &[0.9, 0.1]);
+        assert!(balanced > skewed);
+    }
+}

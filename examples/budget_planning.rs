@@ -1,0 +1,81 @@
+//! Budget planning: given a fixed overall budget, how much should be spent on
+//! crowd answers and how much on expert validation? A miniature of the
+//! paper's §6.8 / Fig. 13–14 analysis.
+//!
+//! Run with `cargo run --release --example budget_planning`.
+
+use crowd_validation::prelude::*;
+use crowdval_sim::augment::thin_to_answers_per_object;
+
+/// Aggregated precision after spending the given allocation: `phi0` crowd
+/// answers per object first, then `validations` guided expert validations.
+fn precision_for_allocation(
+    source: &SyntheticDataset,
+    phi0: usize,
+    validations: usize,
+) -> f64 {
+    let dataset = thin_to_answers_per_object(source, phi0, 17);
+    let truth = source.dataset.ground_truth().clone();
+    let mut process = ValidationProcess::builder(dataset.answers().clone())
+        .strategy(Box::new(HybridStrategy::new(3)))
+        .config(ProcessConfig { budget: Some(validations), parallel: true, ..ProcessConfig::default() })
+        .ground_truth(truth.clone())
+        .build();
+    let mut expert = SimulatedExpert::perfect(truth, 2);
+    let mut provide = |o: ObjectId| expert.validate(o);
+    process.run(&mut provide);
+    process.precision().unwrap()
+}
+
+fn main() {
+    // A crowd able to provide up to 25 answers per object.
+    let source = SyntheticConfig {
+        num_objects: 50,
+        num_workers: 25,
+        reliability: 0.7,
+        ..SyntheticConfig::paper_default(999)
+    }
+    .generate();
+    let n = source.dataset.answers().num_objects();
+
+    // Expert answers cost 25x a crowd answer; total budget b = rho * theta * n.
+    let cost = CostModel::new(25.0, n);
+    let rho = 0.4;
+    let budget = cost.budget_for_rho(rho);
+    println!("objects: {n}, theta = {}, rho = {rho}, total budget = {budget}", cost.theta);
+
+    // A completion-time constraint: the expert has time for at most 15
+    // validations.
+    let max_validations = 15;
+
+    println!("\n crowd share | phi0 (answers/object) | expert validations | in time? | precision");
+    println!(" ------------+------------------------+--------------------+----------+----------");
+    let mut best: Option<(f64, f64, usize)> = None;
+    for allocation in cost.allocations(budget, 10) {
+        let phi0 = allocation.phi0.floor() as usize;
+        if phi0 == 0 {
+            continue;
+        }
+        let precision = precision_for_allocation(&source, phi0.min(25), allocation.validations);
+        let in_time = allocation.satisfies_time_constraint(max_validations);
+        println!(
+            "  {:>9.0}% | {:>22} | {:>18} | {:>8} | {:>8.3}",
+            100.0 * allocation.crowd_share,
+            phi0,
+            allocation.validations,
+            if in_time { "yes" } else { "no" },
+            precision
+        );
+        if in_time && best.map_or(true, |(p, _, _)| precision > p) {
+            best = Some((precision, allocation.crowd_share, allocation.validations));
+        }
+    }
+
+    if let Some((precision, crowd_share, validations)) = best {
+        println!(
+            "\nbest allocation under the time constraint: spend {:.0} % on the crowd and \
+             validate {validations} objects (precision {precision:.3})",
+            100.0 * crowd_share
+        );
+    }
+}

@@ -1,0 +1,67 @@
+//! Image-tagging scenario: validate the `bb` (bluebird) replica dataset and
+//! compare the hybrid guidance strategy against the highest-entropy baseline
+//! at several expert-effort levels — a miniature of the paper's Fig. 10.
+//!
+//! Run with `cargo run --release --example image_tagging`.
+
+use crowd_validation::prelude::*;
+
+/// Runs a full validation pass with the given strategy and returns the trace.
+fn run_strategy(
+    data: &SyntheticDataset,
+    strategy: Box<dyn SelectionStrategy>,
+    budget: usize,
+) -> ValidationTrace {
+    let truth = data.dataset.ground_truth().clone();
+    let mut process = ValidationProcess::builder(data.dataset.answers().clone())
+        .strategy(strategy)
+        .config(ProcessConfig {
+            budget: Some(budget),
+            goal: ValidationGoal::TargetPrecision(1.0),
+            parallel: true,
+            ..ProcessConfig::default()
+        })
+        .ground_truth(truth.clone())
+        .build();
+    let mut expert = SimulatedExpert::perfect(truth, data.dataset.answers().num_labels());
+    let mut provide = |o: ObjectId| expert.validate(o);
+    process.run(&mut provide);
+    process.trace().clone()
+}
+
+fn main() {
+    // The bluebird replica: 108 images, 39 workers, 2 labels (Table 4).
+    let data = replica(ReplicaName::Bluebird);
+    let stats = data.dataset.stats();
+    println!(
+        "dataset {} ({}): {} objects, {} workers, {} labels",
+        stats.name, stats.domain, stats.objects, stats.workers, stats.labels
+    );
+
+    let budget = stats.objects; // allow running to completion
+    let hybrid = run_strategy(&data, Box::new(HybridStrategy::new(11)), budget);
+    let baseline = run_strategy(&data, Box::new(EntropyBaseline), budget);
+
+    println!("\n effort |  hybrid precision | baseline precision");
+    println!(" -------+-------------------+-------------------");
+    for effort_pct in [0, 10, 20, 30, 40, 50, 75, 100] {
+        let effort = effort_pct as f64 / 100.0;
+        println!(
+            "  {:>4}% |        {:>8.3}   |        {:>8.3}",
+            effort_pct,
+            hybrid.precision_at_effort(effort).unwrap_or(f64::NAN),
+            baseline.precision_at_effort(effort).unwrap_or(f64::NAN),
+        );
+    }
+
+    for target in [0.95, 0.99, 1.0] {
+        let h = hybrid.effort_to_reach_precision(target);
+        let b = baseline.effort_to_reach_precision(target);
+        println!(
+            "\n effort to reach precision {:.2}: hybrid {}, baseline {}",
+            target,
+            h.map_or("not reached".into(), |e| format!("{:.0} %", 100.0 * e)),
+            b.map_or("not reached".into(), |e| format!("{:.0} %", 100.0 * e)),
+        );
+    }
+}

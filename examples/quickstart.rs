@@ -1,0 +1,68 @@
+//! Quick start: validate a small crowdsourced labelling task with a limited
+//! expert budget and watch precision climb.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use crowd_validation::prelude::*;
+
+fn main() {
+    // 1. A crowdsourcing task: 50 objects, 20 workers, 2 labels. The worker
+    //    population follows the paper's default mix (43 % reliable, 32 %
+    //    sloppy, 25 % spammers) with reliability 0.65 — noisy enough that
+    //    plain aggregation cannot reach perfect correctness.
+    let synthetic = SyntheticConfig::paper_default(2024).generate();
+    let answers = synthetic.dataset.answers().clone();
+    let truth = synthetic.dataset.ground_truth().clone();
+    println!("dataset: {} objects, {} workers, {} labels, {} answers",
+        answers.num_objects(),
+        answers.num_workers(),
+        answers.num_labels(),
+        answers.matrix().num_answers());
+
+    // 2. Where would majority voting and unaided EM land?
+    let mv_precision = truth.precision(&MajorityVoting::vote(&answers));
+    let em = IncrementalEm::default().conclude(&answers, &ExpertValidation::empty(50), None);
+    let em_precision = truth.precision(&em.instantiate());
+    println!("majority voting precision : {mv_precision:.3}");
+    println!("EM aggregation precision  : {em_precision:.3}");
+
+    // 3. Guided validation: i-EM aggregation + hybrid guidance, budget of
+    //    20 % of the objects (10 validations).
+    let budget = answers.num_objects() / 5;
+    let mut process = ValidationProcess::builder(answers)
+        .strategy(Box::new(HybridStrategy::new(7)))
+        .config(ProcessConfig { budget: Some(budget), ..ProcessConfig::default() })
+        .ground_truth(truth.clone())
+        .build();
+
+    let mut expert = SimulatedExpert::perfect(truth, 2);
+    println!("\n iter  object  strategy             precision  uncertainty");
+    while !process.is_finished() {
+        let Some(object) = process.select_next() else { break };
+        let label = expert.validate(object);
+        process.integrate(object, label);
+        let step = process.trace().steps.last().unwrap();
+        println!(
+            " {:>4}  {:>6}  {:<20} {:>8.3}   {:>10.3}",
+            step.iteration,
+            step.object.index(),
+            format!("{:?}", step.strategy),
+            step.precision.unwrap_or(f64::NAN),
+            step.uncertainty
+        );
+    }
+
+    let trace = process.trace();
+    println!(
+        "\nafter validating {} of {} objects ({:.0} % effort):",
+        trace.len(),
+        trace.num_objects,
+        100.0 * trace.effort()
+    );
+    println!("  precision            : {:.3}", trace.final_precision().unwrap());
+    println!(
+        "  precision improvement: {:.0} %",
+        100.0 * trace.precision_improvement().unwrap()
+    );
+    println!("  uncertainty          : {:.3} (was {:.3})", trace.final_uncertainty(), trace.initial_uncertainty);
+}

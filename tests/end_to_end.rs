@@ -1,0 +1,210 @@
+//! End-to-end integration tests spanning the whole workspace: simulation →
+//! aggregation → guidance → validation process → metrics.
+
+use crowd_validation::prelude::*;
+
+fn synthetic(seed: u64) -> SyntheticDataset {
+    SyntheticConfig { num_objects: 40, ..SyntheticConfig::paper_default(seed) }.generate()
+}
+
+fn run_to_budget(
+    data: &SyntheticDataset,
+    strategy: Box<dyn SelectionStrategy>,
+    budget: usize,
+) -> ValidationTrace {
+    let truth = data.dataset.ground_truth().clone();
+    let mut process = ValidationProcess::builder(data.dataset.answers().clone())
+        .strategy(strategy)
+        .config(ProcessConfig { budget: Some(budget), ..ProcessConfig::default() })
+        .ground_truth(truth.clone())
+        .build();
+    let mut expert = SimulatedExpert::perfect(truth, data.dataset.answers().num_labels());
+    let mut provide = |o: ObjectId| expert.validate(o);
+    process.run(&mut provide);
+    process.trace().clone()
+}
+
+#[test]
+fn guided_validation_monotonically_never_hurts_precision_much() {
+    let data = synthetic(1001);
+    let trace = run_to_budget(&data, Box::new(HybridStrategy::new(5)), 20);
+    let p0 = trace.initial_precision.unwrap();
+    let p_final = trace.final_precision().unwrap();
+    assert!(
+        p_final >= p0 - 0.05,
+        "validation degraded precision from {p0:.3} to {p_final:.3}"
+    );
+    assert_eq!(trace.len(), 20);
+}
+
+#[test]
+fn validating_everything_yields_perfect_precision() {
+    let data = synthetic(1002);
+    let trace = run_to_budget(&data, Box::new(EntropyBaseline), 40);
+    assert_eq!(trace.final_precision(), Some(1.0));
+}
+
+#[test]
+fn guided_strategies_beat_random_selection_on_average() {
+    // Averaged over a few seeds to keep the comparison stable: at a 30 %
+    // effort budget, hybrid guidance should reach at least the precision of
+    // random selection.
+    let budget = 12;
+    let mut hybrid_sum = 0.0;
+    let mut random_sum = 0.0;
+    for seed in [2001, 2002, 2003] {
+        let data = synthetic(seed);
+        hybrid_sum += run_to_budget(&data, Box::new(HybridStrategy::new(seed)), budget)
+            .final_precision()
+            .unwrap();
+        random_sum += run_to_budget(&data, Box::new(RandomSelection::new(seed)), budget)
+            .final_precision()
+            .unwrap();
+    }
+    assert!(
+        hybrid_sum >= random_sum - 0.05,
+        "hybrid average {:.3} clearly below random average {:.3}",
+        hybrid_sum / 3.0,
+        random_sum / 3.0
+    );
+}
+
+#[test]
+fn separate_expert_integration_beats_combined_at_equal_effort() {
+    // Fig. 5: treating expert input as ground truth is more effective than
+    // adding it as one more crowd answer.
+    let data = synthetic(1003);
+    let answers = data.dataset.answers();
+    let truth = data.dataset.ground_truth();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    for o in 0..12 {
+        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+    }
+
+    let separate = IncrementalEm::default().conclude(answers, &expert, None);
+    let combined = aggregate_combined(answers, &expert, &BatchEm::default());
+    let p_sep = truth.precision(&separate.instantiate());
+    let p_comb = truth.precision(&combined.instantiate());
+    assert!(
+        p_sep >= p_comb,
+        "separate integration ({p_sep:.3}) should not lose to combined ({p_comb:.3})"
+    );
+    // Separate integration is exact on the validated objects.
+    for o in 0..12 {
+        assert_eq!(separate.instantiate().label(ObjectId(o)), truth.label(ObjectId(o)));
+    }
+}
+
+#[test]
+fn spammer_heavy_crowds_are_cleaned_up_by_worker_driven_guidance() {
+    let data = SyntheticConfig {
+        num_objects: 40,
+        num_workers: 20,
+        mix: PopulationMix::with_spammer_ratio(0.35),
+        ..SyntheticConfig::paper_default(1004)
+    }
+    .generate();
+    let truth = data.dataset.ground_truth().clone();
+    let spammers = data.spammer_workers();
+
+    let mut process = ValidationProcess::builder(data.dataset.answers().clone())
+        .strategy(Box::new(WorkerDriven))
+        .config(ProcessConfig { budget: Some(28), ..ProcessConfig::default() })
+        .ground_truth(truth.clone())
+        .build();
+    let initial_precision = process.precision().unwrap();
+    let mut expert = SimulatedExpert::perfect(truth.clone(), 2);
+    let mut provide = |o: ObjectId| expert.validate(o);
+    process.run(&mut provide);
+
+    // Result correctness went up, and by the end most true spammers are
+    // detected (even if they were occasionally accompanied by false alarms
+    // early on — the paper accepts that trade-off and re-includes cleared
+    // workers).
+    assert!(
+        process.precision().unwrap() >= initial_precision - 0.03,
+        "precision regressed: {:.3} -> {:.3}",
+        initial_precision,
+        process.precision().unwrap()
+    );
+    let detection = SpammerDetector::default().detect(
+        data.dataset.answers(),
+        process.expert(),
+        process.current().priors(),
+    );
+    let recall = detection.recall(&spammers);
+    assert!(recall >= 0.5, "only {recall:.2} of the true spammers were detected");
+}
+
+#[test]
+fn uncertainty_and_precision_are_anticorrelated_over_a_run() {
+    // Appendix B: uncertainty is a truthful proxy for (lack of) correctness.
+    let data = synthetic(1005);
+    let trace = run_to_budget(&data, Box::new(UncertaintyDriven::new()), 40);
+    let pairs = trace.precision_uncertainty_pairs();
+    let (precisions, uncertainties): (Vec<f64>, Vec<f64>) = pairs.into_iter().unzip();
+    let r = crowd_validation::numerics::pearson_correlation(&precisions, &uncertainties)
+        .expect("enough points for a correlation");
+    assert!(r < -0.3, "expected a clear negative correlation, got {r:.3}");
+}
+
+#[test]
+fn replicas_integrate_with_the_validation_process() {
+    // Smoke test on the smallest replica (val): a short guided run improves
+    // precision and the trace bookkeeping is consistent.
+    let data = replica(ReplicaName::Valence);
+    let trace = run_to_budget(&data, Box::new(HybridStrategy::new(9)), 10);
+    assert_eq!(trace.num_objects, 100);
+    assert_eq!(trace.len(), 10);
+    assert!(trace.final_precision().unwrap() >= trace.initial_precision.unwrap() - 0.02);
+    assert!((trace.effort() - 0.1).abs() < 1e-9);
+}
+
+#[test]
+fn expert_validation_reaches_perfect_precision_where_more_crowd_answers_cannot() {
+    // The qualitative claim behind Fig. 12: with faulty workers in the pool,
+    // piling on more crowd answers (WO) plateaus below perfect correctness,
+    // whereas spending the budget on expert validation (EV) can reach 1.0.
+    use crowdval_sim::augment::augment_with_answers;
+
+    let source = SyntheticConfig {
+        num_objects: 40,
+        num_workers: 20,
+        reliability: 0.65,
+        mix: PopulationMix::with_spammer_ratio(0.35),
+        answers_per_object: Some(8),
+        ..SyntheticConfig::paper_default(1006)
+    }
+    .generate();
+    let truth = source.dataset.ground_truth().clone();
+    let cost = CostModel::paper_default(40);
+
+    // WO: buy every answer the worker pool can provide.
+    let wo = augment_with_answers(&source, 20, 4);
+    let wo_precision = truth.precision(
+        &BatchEm::default()
+            .conclude(wo.answers(), &ExpertValidation::empty(40), None)
+            .instantiate(),
+    );
+
+    // EV: keep the initial 8 answers per object and validate everything.
+    let mut process = ValidationProcess::builder(source.dataset.answers().clone())
+        .strategy(Box::new(EntropyBaseline))
+        .config(ProcessConfig {
+            goal: ValidationGoal::TargetPrecision(1.0),
+            ..ProcessConfig::default()
+        })
+        .ground_truth(truth.clone())
+        .build();
+    let mut expert = SimulatedExpert::perfect(truth, 2);
+    let mut provide = |o: ObjectId| expert.validate(o);
+    process.run(&mut provide);
+
+    assert_eq!(process.precision(), Some(1.0));
+    assert!(wo_precision < 1.0, "WO unexpectedly reached perfect precision");
+    // The cost model reports a finite, strictly growing per-object cost as
+    // validations accumulate.
+    let validations = process.trace().len();
+    assert!(validations >= 1 && validations <= 40);
+    assert!(cost.ev_cost_per_object(8.0, validations) > cost.ev_cost_per_object(8.0, 0));
+}

@@ -1,0 +1,173 @@
+//! Property-based tests of the core invariants, driven by proptest over
+//! randomly generated answer sets and validation patterns.
+
+use crowd_validation::prelude::*;
+use proptest::prelude::*;
+
+/// Strategy generating a random but well-formed answer set together with a
+/// ground truth: up to `max_objects` objects, `max_workers` workers,
+/// 2–4 labels, and a random subset of cells filled.
+fn arb_answer_set(
+    max_objects: usize,
+    max_workers: usize,
+) -> impl Strategy<Value = (AnswerSet, GroundTruth)> {
+    (2usize..=max_objects, 2usize..=max_workers, 2usize..=4, any::<u64>()).prop_flat_map(
+        |(objects, workers, labels, seed)| {
+            // Per-cell: Some(label) with ~70 % probability.
+            let cells = proptest::collection::vec(
+                proptest::option::weighted(0.7, 0..labels),
+                objects * workers,
+            );
+            let truth = proptest::collection::vec(0..labels, objects);
+            (Just((objects, workers, labels, seed)), cells, truth).prop_map(
+                |((objects, workers, labels, _seed), cells, truth)| {
+                    let mut answers = AnswerSet::new(objects, workers, labels);
+                    for o in 0..objects {
+                        for w in 0..workers {
+                            if let Some(l) = cells[o * workers + w] {
+                                answers
+                                    .record_answer(ObjectId(o), WorkerId(w), LabelId(l))
+                                    .unwrap();
+                            }
+                        }
+                    }
+                    let truth = GroundTruth::new(truth.into_iter().map(LabelId).collect());
+                    (answers, truth)
+                },
+            )
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The EM aggregators always produce well-formed probabilistic answer
+    /// sets: row-stochastic assignment and confusion matrices, priors that
+    /// sum to one, and non-negative uncertainty.
+    #[test]
+    fn aggregation_always_produces_valid_distributions(
+        (answers, _truth) in arb_answer_set(12, 6)
+    ) {
+        let expert = ExpertValidation::empty(answers.num_objects());
+        for aggregator in [
+            Box::new(MajorityVoting) as Box<dyn Aggregator>,
+            Box::new(BatchEm::default()),
+            Box::new(IncrementalEm::default()),
+        ] {
+            let p = aggregator.conclude(&answers, &expert, None);
+            prop_assert!(p.assignment().matrix().is_row_stochastic(1e-6));
+            for c in p.confusions() {
+                prop_assert!(c.matrix().is_row_stochastic(1e-6));
+            }
+            let prior_sum: f64 = p.priors().iter().sum();
+            prop_assert!((prior_sum - 1.0).abs() < 1e-6);
+            prop_assert!(p.uncertainty() >= -1e-9);
+            prop_assert!(p.uncertainty()
+                <= answers.num_objects() as f64 * (answers.num_labels() as f64).ln() + 1e-9);
+        }
+    }
+
+    /// Expert validations are always honoured exactly, whatever the crowd
+    /// says: the assignment pins validated objects and the deterministic
+    /// result reports the validated label.
+    #[test]
+    fn expert_validations_are_always_honoured(
+        (answers, truth) in arb_answer_set(10, 5),
+        validate_count in 1usize..5
+    ) {
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        for o in 0..validate_count.min(answers.num_objects()) {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let p = IncrementalEm::default().conclude(&answers, &expert, None);
+        for (o, l) in expert.iter() {
+            prop_assert!((p.assignment().prob(o, l) - 1.0).abs() < 1e-9);
+            prop_assert_eq!(p.instantiate().label(o), l);
+            prop_assert!(p.object_uncertainty(o) < 1e-9);
+        }
+    }
+
+    /// Incremental warm starts never invalidate the state: re-running i-EM
+    /// from a previous probabilistic answer set still yields distributions.
+    #[test]
+    fn warm_started_iem_is_always_valid(
+        (answers, truth) in arb_answer_set(10, 5)
+    ) {
+        let iem = IncrementalEm::default();
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        let mut state = iem.conclude(&answers, &expert, None);
+        for o in 0..answers.num_objects().min(4) {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+            state = iem.conclude(&answers, &expert, Some(&state));
+            prop_assert!(state.assignment().matrix().is_row_stochastic(1e-6));
+        }
+    }
+
+    /// The spammer score is always finite, non-negative and bounded by the
+    /// Frobenius norm of the confusion matrix.
+    #[test]
+    fn spammer_scores_are_bounded(
+        (answers, truth) in arb_answer_set(10, 5)
+    ) {
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        for (o, l) in truth.iter() {
+            expert.set(o, l);
+        }
+        let detector = SpammerDetector::default();
+        for w in answers.workers() {
+            if let Some(confusion) = detector.validation_confusion(&answers, &expert, w) {
+                let score = crowdval_spammer::spammer_score(&confusion);
+                prop_assert!(score.is_finite());
+                prop_assert!(score >= -1e-12);
+                prop_assert!(score <= confusion.matrix().frobenius_norm() + 1e-9);
+            }
+        }
+    }
+
+    /// Partitioning covers every object exactly once and respects the block
+    /// size cap, for any answer set and cap.
+    #[test]
+    fn partitioning_is_a_partition(
+        (answers, _truth) in arb_answer_set(14, 6),
+        cap in 1usize..8
+    ) {
+        let partition = partition_answer_matrix(&answers, cap);
+        let mut seen = vec![false; answers.num_objects()];
+        for block in &partition.blocks {
+            prop_assert!(block.objects.len() <= cap);
+            for o in &block.objects {
+                prop_assert!(!seen[o.index()]);
+                seen[o.index()] = true;
+            }
+        }
+        prop_assert!(seen.into_iter().all(|s| s));
+    }
+
+    /// Majority voting never assigns a label nobody voted for (unless the
+    /// object has no votes at all).
+    #[test]
+    fn majority_vote_only_uses_cast_votes(
+        (answers, _truth) in arb_answer_set(12, 6)
+    ) {
+        let result = MajorityVoting::vote(&answers);
+        for o in answers.objects() {
+            let votes = answers.matrix().answers_for_object(o);
+            if !votes.is_empty() {
+                let assigned = result.label(o);
+                prop_assert!(votes.iter().any(|&(_, l)| l == assigned));
+            }
+        }
+    }
+
+    /// Precision improvement is always within [-inf, 1] and equals 1 when the
+    /// final precision is perfect.
+    #[test]
+    fn precision_improvement_bounds(p0 in 0.0f64..1.0, p in 0.0f64..=1.0) {
+        let r = GroundTruth::precision_improvement(p0, p);
+        prop_assert!(r <= 1.0 + 1e-12);
+        if (p - 1.0).abs() < 1e-12 {
+            prop_assert!((r - 1.0).abs() < 1e-9);
+        }
+    }
+}
