@@ -20,7 +20,11 @@ pub struct EmConfig {
 impl EmConfig {
     /// Configuration used throughout the experiments.
     pub fn paper_default() -> Self {
-        Self { smoothing_alpha: 0.01, max_iterations: 100, tolerance: 1e-4 }
+        Self {
+            smoothing_alpha: 0.01,
+            max_iterations: 100,
+            tolerance: 1e-4,
+        }
     }
 }
 

@@ -32,7 +32,10 @@ impl IncrementalEm {
     /// i-EM with the paper's default hyper-parameters and majority-vote cold
     /// start.
     pub fn new(config: EmConfig) -> Self {
-        Self { config, cold_start: InitStrategy::MajorityVote }
+        Self {
+            config,
+            cold_start: InitStrategy::MajorityVote,
+        }
     }
 
     /// Overrides the cold-start initialization.
@@ -43,6 +46,38 @@ impl IncrementalEm {
     /// The EM hyper-parameters.
     pub fn config(&self) -> &EmConfig {
         &self.config
+    }
+
+    /// The explicit warm start at the heart of i-EM: estimation resumes from
+    /// the confusion matrices and priors of the previous probabilistic answer
+    /// set (`C⁰_s = C^q_{s−1}`, view-maintenance principle). Falls back to a
+    /// cold start when the dimensions do not match (e.g. after workers were
+    /// excluded from the answer set).
+    pub fn warm_start(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+    ) -> ProbabilisticAnswerSet {
+        if previous.num_objects() == answers.num_objects()
+            && previous.num_workers() == answers.num_workers()
+            && previous.num_labels() == answers.num_labels()
+        {
+            run_em_from_confusions(
+                answers,
+                expert,
+                previous.confusions().to_vec(),
+                previous.priors().to_vec(),
+                &self.config,
+            )
+        } else {
+            self.cold_start(answers, expert)
+        }
+    }
+
+    fn cold_start(&self, answers: &AnswerSet, expert: &ExpertValidation) -> ProbabilisticAnswerSet {
+        let initial = self.cold_start.initial_assignment(answers, expert);
+        run_em_from_assignment(answers, expert, initial, &self.config)
     }
 }
 
@@ -60,26 +95,18 @@ impl Aggregator for IncrementalEm {
         previous: Option<&ProbabilisticAnswerSet>,
     ) -> ProbabilisticAnswerSet {
         match previous {
-            Some(prev)
-                if prev.num_objects() == answers.num_objects()
-                    && prev.num_workers() == answers.num_workers()
-                    && prev.num_labels() == answers.num_labels() =>
-            {
-                run_em_from_confusions(
-                    answers,
-                    expert,
-                    prev.confusions().to_vec(),
-                    prev.priors().to_vec(),
-                    &self.config,
-                )
-            }
-            // Cold start (or a previous state with incompatible dimensions,
-            // e.g. after workers were excluded): fall back to a batch run.
-            _ => {
-                let initial = self.cold_start.initial_assignment(answers, expert);
-                run_em_from_assignment(answers, expert, initial, &self.config)
-            }
+            Some(prev) => self.warm_start(answers, expert, prev),
+            None => self.cold_start(answers, expert),
         }
+    }
+
+    fn conclude_warm(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+    ) -> ProbabilisticAnswerSet {
+        self.warm_start(answers, expert, previous)
     }
 
     fn name(&self) -> &'static str {
@@ -136,7 +163,8 @@ mod tests {
         let answers = synth.dataset.answers();
         let truth = synth.dataset.ground_truth();
         let iem = IncrementalEm::default();
-        let restart = BatchEm::with_init(EmConfig::paper_default(), InitStrategy::Random { seed: 3 });
+        let restart =
+            BatchEm::with_init(EmConfig::paper_default(), InitStrategy::Random { seed: 3 });
 
         let mut expert = ExpertValidation::empty(answers.num_objects());
         let mut state = iem.conclude(answers, &expert, None);
@@ -174,7 +202,11 @@ mod tests {
         let truth = synth.dataset.ground_truth();
         let iem = IncrementalEm::default();
 
-        let no_expert = iem.conclude(answers, &ExpertValidation::empty(answers.num_objects()), None);
+        let no_expert = iem.conclude(
+            answers,
+            &ExpertValidation::empty(answers.num_objects()),
+            None,
+        );
         let mut expert = ExpertValidation::empty(answers.num_objects());
         for o in 0..25 {
             expert.set(ObjectId(o), truth.label(ObjectId(o)));

@@ -60,16 +60,19 @@ mod tests {
 
     fn answers() -> AnswerSet {
         let mut n = AnswerSet::new(3, 2, 2);
-        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(0), WorkerId(1), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(0), WorkerId(1), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1))
+            .unwrap();
         n
     }
 
     #[test]
     fn majority_init_reflects_votes() {
-        let a = InitStrategy::MajorityVote
-            .initial_assignment(&answers(), &ExpertValidation::empty(3));
+        let a =
+            InitStrategy::MajorityVote.initial_assignment(&answers(), &ExpertValidation::empty(3));
         assert_eq!(a.prob(ObjectId(0), LabelId(0)), 1.0);
         assert_eq!(a.most_likely(ObjectId(1)).0, LabelId(1));
     }

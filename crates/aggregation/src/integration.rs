@@ -60,7 +60,11 @@ pub fn aggregate_combined(
     em: &BatchEm,
 ) -> ProbabilisticAnswerSet {
     let extended = answer_set_with_expert_as_worker(answers, expert);
-    em.conclude(&extended, &ExpertValidation::empty(extended.num_objects()), None)
+    em.conclude(
+        &extended,
+        &ExpertValidation::empty(extended.num_objects()),
+        None,
+    )
 }
 
 /// Aggregates with the chosen integration mode (used by the Fig. 5 experiment
@@ -93,7 +97,10 @@ mod tests {
         let extended = answer_set_with_expert_as_worker(answers, &expert);
         assert_eq!(extended.num_workers(), answers.num_workers() + 1);
         let expert_worker = WorkerId(answers.num_workers());
-        assert_eq!(extended.matrix().answer(ObjectId(0), expert_worker), Some(LabelId(1)));
+        assert_eq!(
+            extended.matrix().answer(ObjectId(0), expert_worker),
+            Some(LabelId(1))
+        );
         assert_eq!(extended.matrix().worker_answer_count(expert_worker), 2);
         assert_eq!(
             extended.matrix().num_answers(),
@@ -126,7 +133,9 @@ mod tests {
             for w in 0..5 {
                 let truth = LabelId(o % 2);
                 let ans = if o == 0 { LabelId(1) } else { truth };
-                answers.record_answer(ObjectId(o), crowdval_model::WorkerId(w), ans).unwrap();
+                answers
+                    .record_answer(ObjectId(o), crowdval_model::WorkerId(w), ans)
+                    .unwrap();
             }
         }
         let mut expert = ExpertValidation::empty(4);

@@ -52,6 +52,24 @@ pub trait Aggregator: Send + Sync {
         previous: Option<&ProbabilisticAnswerSet>,
     ) -> ProbabilisticAnswerSet;
 
+    /// Explicit warm-start entry point: re-aggregates starting from the
+    /// confusion matrices and label priors of `previous` (§5.2/§5.4 — every
+    /// "what-if" hypothesis evaluation of the guidance hot path goes through
+    /// here, one call per (candidate, plausible label) pair, so incremental
+    /// aggregators should make this as cheap as a few EM iterations).
+    ///
+    /// The default forwards to [`Aggregator::conclude`] with
+    /// `Some(previous)`; batch aggregators that ignore `previous` thereby
+    /// keep their restart semantics.
+    fn conclude_warm(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+    ) -> ProbabilisticAnswerSet {
+        self.conclude(answers, expert, Some(previous))
+    }
+
     /// Human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
 }

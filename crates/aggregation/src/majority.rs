@@ -62,7 +62,8 @@ impl Aggregator for MajorityVoting {
         // Majority voting does not model per-worker reliability; expose
         // uninformative confusion matrices so downstream consumers still get a
         // complete probabilistic answer set.
-        let confusions = vec![ConfusionMatrix::uniform(answers.num_labels()); answers.num_workers()];
+        let confusions =
+            vec![ConfusionMatrix::uniform(answers.num_labels()); answers.num_workers()];
         ProbabilisticAnswerSet::new(assignment, confusions, priors, 0)
     }
 
@@ -94,7 +95,8 @@ mod tests {
         ];
         for (o, labels) in answers {
             for (w, l) in labels.into_iter().enumerate() {
-                n.record_answer(ObjectId(o), WorkerId(w), LabelId(l - 1)).unwrap();
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(l - 1))
+                    .unwrap();
             }
         }
         n

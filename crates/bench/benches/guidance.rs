@@ -1,68 +1,189 @@
-//! Criterion bench for the guidance strategies: cost of selecting the next
-//! validation question under each strategy (ablation of the design choices
-//! called out in DESIGN.md).
+//! Criterion bench for the guidance hot path, centred on the shared
+//! [`crowdval_core::ScoringEngine`]:
+//!
+//! * serial vs. parallel candidate fan-out (§5.4 "Parallelization") at 64
+//!   and 128 candidates — the parallel path must win on ≥ 64 candidates;
+//! * warm-started vs. cold-restart hypothesis aggregation (§4.1 / Fig. 8) —
+//!   the i-EM warm start is the reason per-candidate evaluation is viable;
+//! * the full `select` step of every strategy, for end-to-end context.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use crowdval_aggregation::{Aggregator, IncrementalEm};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use crowdval_aggregation::{Aggregator, BatchEm, IncrementalEm};
 use crowdval_core::{
-    EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
-    UncertaintyDriven, WorkerDriven,
+    EntropyBaseline, HybridStrategy, RandomSelection, ScoringContext, ScoringEngine,
+    SelectionStrategy, StrategyContext, UncertaintyDriven, WorkerDriven,
 };
-use crowdval_model::{ExpertValidation, ObjectId};
-use crowdval_spammer::SpammerDetector;
+use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
 use crowdval_sim::SyntheticConfig;
+use crowdval_spammer::SpammerDetector;
+use std::time::Instant;
 
-fn bench_guidance(c: &mut Criterion) {
-    let synth = SyntheticConfig::paper_default(70_000).generate();
-    let answers = synth.dataset.answers().clone();
-    let truth = synth.dataset.ground_truth().clone();
-    let aggregator = IncrementalEm::default();
-    let mut expert = ExpertValidation::empty(answers.num_objects());
-    for o in 0..10 {
-        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+struct Fixture {
+    answers: AnswerSet,
+    expert: ExpertValidation,
+    current: ProbabilisticAnswerSet,
+    aggregator: IncrementalEm,
+    detector: SpammerDetector,
+    candidates: Vec<ObjectId>,
+}
+
+impl Fixture {
+    /// A dataset sized so `num_candidates` objects remain unvalidated.
+    fn with_candidates(num_candidates: usize, seed: u64) -> Self {
+        let validated = 10usize;
+        let synth = SyntheticConfig {
+            num_objects: num_candidates + validated,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let aggregator = IncrementalEm::default();
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        for o in 0..validated {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let current = aggregator.conclude(&answers, &expert, None);
+        let candidates = expert.unvalidated_objects();
+        Self {
+            answers,
+            expert,
+            current,
+            aggregator,
+            detector: SpammerDetector::default(),
+            candidates,
+        }
     }
-    let current = aggregator.conclude(&answers, &expert, None);
-    let detector = SpammerDetector::default();
-    let candidates = expert.unvalidated_objects();
 
-    let ctx = || StrategyContext {
-        answers: &answers,
-        expert: &expert,
-        current: &current,
-        aggregator: &aggregator,
-        detector: &detector,
-        candidates: &candidates,
-        parallel: true,
-    };
+    fn scoring(&self, parallel: bool) -> ScoringContext<'_> {
+        ScoringContext {
+            answers: &self.answers,
+            expert: &self.expert,
+            current: &self.current,
+            aggregator: &self.aggregator,
+            detector: &self.detector,
+            parallel,
+        }
+    }
 
-    let mut group = c.benchmark_group("guidance_selection");
+    fn strategy_ctx(&self, parallel: bool) -> StrategyContext<'_> {
+        StrategyContext {
+            answers: &self.answers,
+            expert: &self.expert,
+            current: &self.current,
+            aggregator: &self.aggregator,
+            detector: &self.detector,
+            candidates: &self.candidates,
+            parallel,
+        }
+    }
+}
+
+/// Serial vs. parallel information-gain fan-out over the full candidate set.
+fn bench_fanout(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scoring_engine_fanout");
     group.sample_size(10);
-    group.bench_function("random", |b| {
-        let mut s = RandomSelection::new(1);
-        b.iter(|| s.select(&ctx()))
+    for num_candidates in [64usize, 128] {
+        let fixture = Fixture::with_candidates(num_candidates, 70_000);
+        let engine = ScoringEngine::exhaustive();
+        group.bench_with_input(
+            BenchmarkId::new("serial", num_candidates),
+            &fixture,
+            |b, f| b.iter(|| engine.information_gain_scores(&f.scoring(false), &f.candidates)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("parallel", num_candidates),
+            &fixture,
+            |b, f| b.iter(|| engine.information_gain_scores(&f.scoring(true), &f.candidates)),
+        );
+    }
+    group.finish();
+
+    // Headline comparison, stated explicitly so the §5.4 claim is visible in
+    // the bench output without reading raw sample times.
+    for num_candidates in [64usize, 128] {
+        let fixture = Fixture::with_candidates(num_candidates, 70_000);
+        let engine = ScoringEngine::exhaustive();
+        let t = Instant::now();
+        let serial = engine.information_gain_scores(&fixture.scoring(false), &fixture.candidates);
+        let serial_time = t.elapsed();
+        let t = Instant::now();
+        let parallel = engine.information_gain_scores(&fixture.scoring(true), &fixture.candidates);
+        let parallel_time = t.elapsed();
+        assert_eq!(serial.len(), parallel.len());
+        println!(
+            "scoring {num_candidates} candidates: serial {serial_time:?}, parallel \
+             {parallel_time:?} ({:.2}x speedup on {} threads)",
+            serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12),
+            rayon::current_num_threads(),
+        );
+    }
+}
+
+/// Warm-started (i-EM) vs. cold-restart (batch EM) hypothesis evaluation.
+fn bench_hypothesis(c: &mut Criterion) {
+    let fixture = Fixture::with_candidates(64, 70_001);
+    let cold = BatchEm::default();
+    let object = fixture.candidates[0];
+
+    let mut group = c.benchmark_group("scoring_engine_hypothesis");
+    group.sample_size(10);
+    group.bench_function("warm_started_iem", |b| {
+        b.iter(|| {
+            ScoringEngine::conditional_entropy_of(
+                &fixture.aggregator,
+                &fixture.answers,
+                &fixture.expert,
+                &fixture.current,
+                object,
+            )
+        })
     });
-    group.bench_function("entropy_baseline", |b| {
-        let mut s = EntropyBaseline;
-        b.iter(|| s.select(&ctx()))
-    });
-    group.bench_function("worker_driven", |b| {
-        let mut s = WorkerDriven;
-        b.iter(|| s.select(&ctx()))
-    });
-    group.bench_function("uncertainty_driven_shortlist", |b| {
-        let mut s = UncertaintyDriven::with_max_evaluated(16);
-        b.iter(|| s.select(&ctx()))
-    });
-    group.bench_function("uncertainty_driven_exhaustive", |b| {
-        let mut s = UncertaintyDriven::exhaustive();
-        b.iter(|| s.select(&ctx()))
-    });
-    group.bench_function("hybrid", |b| {
-        let mut s = HybridStrategy::new(5);
-        b.iter(|| s.select(&ctx()))
+    group.bench_function("cold_restart_batch_em", |b| {
+        b.iter(|| {
+            ScoringEngine::conditional_entropy_of(
+                &cold,
+                &fixture.answers,
+                &fixture.expert,
+                &fixture.current,
+                object,
+            )
+        })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_guidance);
+/// Cost of one `select` call per strategy (all routed through the engine).
+fn bench_strategies(c: &mut Criterion) {
+    let fixture = Fixture::with_candidates(64, 70_000);
+    let mut group = c.benchmark_group("guidance_selection");
+    group.sample_size(10);
+    group.bench_function("random", |b| {
+        let mut s = RandomSelection::new(1);
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.bench_function("entropy_baseline", |b| {
+        let mut s = EntropyBaseline;
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.bench_function("worker_driven", |b| {
+        let mut s = WorkerDriven;
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.bench_function("uncertainty_driven_shortlist", |b| {
+        let mut s = UncertaintyDriven::with_max_evaluated(16);
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.bench_function("uncertainty_driven_exhaustive", |b| {
+        let mut s = UncertaintyDriven::exhaustive();
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.bench_function("hybrid", |b| {
+        let mut s = HybridStrategy::new(5);
+        b.iter(|| s.select(&fixture.strategy_ctx(true)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fanout, bench_hypothesis, bench_strategies);
 criterion_main!(benches);

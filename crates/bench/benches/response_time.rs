@@ -6,8 +6,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdval_aggregation::{Aggregator, IncrementalEm};
 use crowdval_core::{SelectionStrategy, StrategyContext, UncertaintyDriven};
 use crowdval_model::ExpertValidation;
-use crowdval_spammer::SpammerDetector;
 use crowdval_sim::SyntheticConfig;
+use crowdval_spammer::SpammerDetector;
 
 fn bench_response_time(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig04_response_time");
@@ -27,24 +27,20 @@ fn bench_response_time(c: &mut Criterion) {
 
         for parallel in [false, true] {
             let label = if parallel { "parallel" } else { "serial" };
-            group.bench_with_input(
-                BenchmarkId::new(label, objects),
-                &objects,
-                |b, _| {
-                    b.iter(|| {
-                        let ctx = StrategyContext {
-                            answers: &answers,
-                            expert: &expert,
-                            current: &current,
-                            aggregator: &aggregator,
-                            detector: &detector,
-                            candidates: &candidates,
-                            parallel,
-                        };
-                        UncertaintyDriven::exhaustive().select(&ctx)
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(label, objects), &objects, |b, _| {
+                b.iter(|| {
+                    let ctx = StrategyContext {
+                        answers: &answers,
+                        expert: &expert,
+                        current: &current,
+                        aggregator: &aggregator,
+                        detector: &detector,
+                        candidates: &candidates,
+                        parallel,
+                    };
+                    UncertaintyDriven::exhaustive().select(&ctx)
+                })
+            });
         }
     }
     group.finish();

@@ -18,7 +18,10 @@ use std::time::Instant;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: experiments [all | --list | <id>...]  (ids: {})", ALL_EXPERIMENTS.join(", "));
+        eprintln!(
+            "usage: experiments [all | --list | <id>...]  (ids: {})",
+            ALL_EXPERIMENTS.join(", ")
+        );
         std::process::exit(if args.is_empty() { 2 } else { 0 });
     }
     if args.iter().any(|a| a == "--list") {
@@ -41,7 +44,11 @@ fn main() {
         match run_experiment(id) {
             Some(report) => {
                 println!("{}", report.to_text());
-                println!("[{} finished in {:.1}s]\n", id, start.elapsed().as_secs_f64());
+                println!(
+                    "[{} finished in {:.1}s]\n",
+                    id,
+                    start.elapsed().as_secs_f64()
+                );
                 if let Err(err) = report.save(&out_dir) {
                     eprintln!("warning: could not save report {id}: {err}");
                 }

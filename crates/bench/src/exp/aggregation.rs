@@ -12,8 +12,8 @@ use crowdval_core::{
 };
 use crowdval_model::{ExpertValidation, GroundTruth, ObjectId};
 use crowdval_numerics::Histogram;
-use crowdval_spammer::SpammerDetector;
 use crowdval_sim::{all_replicas, replica, ReplicaName, SimulatedExpert, SyntheticConfig};
+use crowdval_spammer::SpammerDetector;
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -34,19 +34,25 @@ pub fn fig05_integration_modes() -> Report {
 
     let mut process = ValidationProcess::builder(answers.clone())
         .strategy(Box::new(crowdval_core::HybridStrategy::new(50)))
-        .config(ProcessConfig { parallel: true, ..ProcessConfig::default() })
+        .config(ProcessConfig {
+            parallel: true,
+            ..ProcessConfig::default()
+        })
         .ground_truth(truth.clone())
         .build();
     let p0 = process.precision().expect("ground truth attached");
     let mut expert = SimulatedExpert::perfect(truth.clone(), 2);
 
     for step in 1..=(3 * n / 10) {
-        let Some(object) = process.select_next() else { break };
+        let Some(object) = process.select_next() else {
+            break;
+        };
         let label = expert.validate(object);
         process.integrate(object, label);
         if step % (n / 20).max(1) == 0 {
             let separate = process.precision().unwrap();
-            let combined_state = aggregate_combined(&answers, process.expert(), &BatchEm::default());
+            let combined_state =
+                aggregate_combined(&answers, process.expert(), &BatchEm::default());
             let combined = truth.precision(&combined_state.instantiate());
             report.add_row(vec![
                 pct(step as f64 / n as f64),
@@ -95,7 +101,11 @@ pub fn fig06_probability_histogram() -> Report {
     }
 
     for bin in 0..10 {
-        let mut row = vec![format!("{:.1}-{:.1}", bin as f64 / 10.0, (bin + 1) as f64 / 10.0)];
+        let mut row = vec![format!(
+            "{:.1}-{:.1}",
+            bin as f64 / 10.0,
+            (bin + 1) as f64 / 10.0
+        )];
         for h in &histograms {
             row.push(format!("{:.1}", h.frequencies_percent()[bin]));
         }
@@ -138,7 +148,9 @@ pub fn fig07_guidance_consistency() -> Report {
                 // Cold state: batch EM restarted from a random estimate.
                 let cold = BatchEm::with_init(
                     EmConfig::paper_default(),
-                    InitStrategy::Random { seed: 900 + trial as u64 },
+                    InitStrategy::Random {
+                        seed: 900 + trial as u64,
+                    },
                 )
                 .conclude(answers, &expert, None);
 
@@ -176,7 +188,12 @@ pub fn fig08_iteration_reduction() -> Report {
     let mut report = Report::new(
         "fig08",
         "Figure 8: EM-iteration reduction of i-EM vs. restarted EM (%)",
-        &["effort %", "warm iterations", "cold iterations", "reduction %"],
+        &[
+            "effort %",
+            "warm iterations",
+            "cold iterations",
+            "reduction %",
+        ],
     );
     const SEEDS: [u64; 3] = [81, 82, 83];
     let efforts = [0.2, 0.4, 0.6, 0.8, 1.0];
@@ -266,7 +283,11 @@ mod tests {
         let (trace, _) = run_guided(
             &data.dataset,
             GuidanceKind::Baseline,
-            RunSettings { budget: Some(5), goal: ValidationGoal::ExhaustBudget, ..RunSettings::default() },
+            RunSettings {
+                budget: Some(5),
+                goal: ValidationGoal::ExhaustBudget,
+                ..RunSettings::default()
+            },
         );
         assert_eq!(trace.len(), 5);
     }

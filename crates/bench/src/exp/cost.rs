@@ -37,7 +37,14 @@ pub fn fig12_cost_tradeoff() -> Report {
 
     for &phi0 in &[3usize, 13] {
         for &theta in &[12.5f64, 25.0, 50.0, 100.0] {
-            let curve = ev_curve(&source, phi0, theta, &validation_counts, GuidanceKind::Hybrid, 1201);
+            let curve = ev_curve(
+                &source,
+                phi0,
+                theta,
+                &validation_counts,
+                GuidanceKind::Hybrid,
+                1201,
+            );
             for point in curve {
                 report.add_row(vec![
                     phi0.to_string(),
@@ -67,7 +74,11 @@ pub fn fig12_cost_tradeoff() -> Report {
 
 /// Shared helper of Fig. 13/14: precision and expert validations for every
 /// allocation of a fixed budget between crowd answers and expert validation.
-fn allocation_rows(source: &SyntheticDataset, rho: f64, theta: f64) -> Vec<(f64, usize, usize, f64)> {
+fn allocation_rows(
+    source: &SyntheticDataset,
+    rho: f64,
+    theta: f64,
+) -> Vec<(f64, usize, usize, f64)> {
     let n = source.dataset.answers().num_objects();
     let cost = CostModel::new(theta, n);
     let budget = cost.budget_for_rho(rho);
@@ -91,7 +102,12 @@ fn allocation_rows(source: &SyntheticDataset, rho: f64, theta: f64) -> Vec<(f64,
                 },
             );
             let precision = trace.final_precision().unwrap_or(0.0);
-            Some((allocation.crowd_share, phi0, allocation.validations, precision))
+            Some((
+                allocation.crowd_share,
+                phi0,
+                allocation.validations,
+                precision,
+            ))
         })
         .collect()
 }
@@ -127,7 +143,13 @@ pub fn fig14_time_and_budget() -> Report {
     let mut report = Report::new(
         "fig14",
         "Figure 14: balancing budget and completion-time constraints (rho = 0.4, theta = 25)",
-        &["crowd share %", "phi0", "expert feedback (time)", "precision", "within time limit"],
+        &[
+            "crowd share %",
+            "phi0",
+            "expert feedback (time)",
+            "precision",
+            "within time limit",
+        ],
     );
     let source = cost_population(1400, 0.7, 0.25);
     let max_validations = 15; // the time constraint (point B in the paper's figure)
@@ -135,7 +157,7 @@ pub fn fig14_time_and_budget() -> Report {
     let mut best: Option<(f64, f64)> = None;
     for (crowd_share, phi0, validations, precision) in rows {
         let in_time = validations <= max_validations;
-        if in_time && best.map_or(true, |(p, _)| precision > p) {
+        if in_time && best.is_none_or(|(p, _)| precision > p) {
             best = Some((precision, crowd_share));
         }
         report.add_row(vec![
@@ -168,7 +190,14 @@ fn ev_vs_wo_on_replica(report: &mut Report, name: ReplicaName, seed: u64) {
     let validation_counts: Vec<usize> = [0usize, n / 10, n / 5, 2 * n / 5, 3 * n / 5, n]
         .into_iter()
         .collect();
-    for point in ev_curve(&data, phi0, theta, &validation_counts, GuidanceKind::Hybrid, seed) {
+    for point in ev_curve(
+        &data,
+        phi0,
+        theta,
+        &validation_counts,
+        GuidanceKind::Hybrid,
+        seed,
+    ) {
         report.add_row(vec![
             name.short_name().into(),
             "EV".into(),

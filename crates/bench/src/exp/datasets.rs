@@ -10,7 +10,15 @@ pub fn tab04_dataset_statistics() -> Report {
     let mut report = Report::new(
         "tab04",
         "Table 4: statistics for the real-world dataset replicas",
-        &["dataset", "domain", "objects", "workers", "labels", "answers", "initial precision"],
+        &[
+            "dataset",
+            "domain",
+            "objects",
+            "workers",
+            "labels",
+            "answers",
+            "initial precision",
+        ],
     );
     for replica in all_replicas() {
         let stats = replica.dataset.stats();

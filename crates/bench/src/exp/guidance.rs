@@ -4,9 +4,9 @@
 
 use crate::report::{f3, pct, Report};
 use crate::runner::{precision_table, run_guided, GuidanceKind, RunSettings};
+use crowdval_core::ValidationGoal;
 use crowdval_model::Dataset;
 use crowdval_numerics::pearson_correlation;
-use crowdval_core::ValidationGoal;
 use crowdval_sim::{replica, PopulationMix, ReplicaName, SyntheticConfig};
 
 const EFFORT_LEVELS: [usize; 7] = [0, 10, 20, 40, 60, 80, 100];
@@ -14,10 +14,18 @@ const EFFORT_LEVELS: [usize; 7] = [0, 10, 20, 40, 60, 80, 100];
 /// Runs hybrid and baseline guidance on one dataset and appends a
 /// precision-vs-effort block to the report.
 fn hybrid_vs_baseline(report: &mut Report, label: &str, dataset: &Dataset, seed: u64) {
-    let settings = RunSettings { seed, ..RunSettings::default() };
+    let settings = RunSettings {
+        seed,
+        ..RunSettings::default()
+    };
     let (hybrid, _) = run_guided(dataset, GuidanceKind::Hybrid, settings);
     let (baseline, _) = run_guided(dataset, GuidanceKind::Baseline, settings);
-    report.add_row(vec![format!("--- {label} ---"), String::new(), String::new(), String::new()]);
+    report.add_row(vec![
+        format!("--- {label} ---"),
+        String::new(),
+        String::new(),
+        String::new(),
+    ]);
     for &effort in &EFFORT_LEVELS {
         let e = effort as f64 / 100.0;
         report.add_row(vec![
@@ -44,7 +52,11 @@ pub fn fig10_real_world_effectiveness() -> Report {
         "Figure 10: effectiveness of guiding on real-world replicas (precision)",
         &["dataset", "effort %", "hybrid", "baseline"],
     );
-    for (name, seed) in [(ReplicaName::Bluebird, 100), (ReplicaName::Rte, 101), (ReplicaName::Valence, 102)] {
+    for (name, seed) in [
+        (ReplicaName::Bluebird, 100),
+        (ReplicaName::Rte, 101),
+        (ReplicaName::Valence, 102),
+    ] {
         let data = replica(name);
         hybrid_vs_baseline(&mut report, name.short_name(), &data.dataset, seed);
     }
@@ -81,7 +93,12 @@ pub fn fig17_number_of_labels() -> Report {
             ..SyntheticConfig::paper_default(seed)
         }
         .generate();
-        hybrid_vs_baseline(&mut report, &format!("{labels} labels"), &synth.dataset, seed);
+        hybrid_vs_baseline(
+            &mut report,
+            &format!("{labels} labels"),
+            &synth.dataset,
+            seed,
+        );
     }
     report.add_note("expected shape: with more labels random agreement is rarer, so guidance reaches perfect precision with less effort");
     report
@@ -100,7 +117,12 @@ pub fn fig18_number_of_workers() -> Report {
             ..SyntheticConfig::paper_default(seed)
         }
         .generate();
-        hybrid_vs_baseline(&mut report, &format!("{workers} workers"), &synth.dataset, seed);
+        hybrid_vs_baseline(
+            &mut report,
+            &format!("{workers} workers"),
+            &synth.dataset,
+            seed,
+        );
     }
     report.add_note("expected shape: more workers -> higher precision at the same effort");
     report
@@ -119,7 +141,12 @@ pub fn fig19_worker_reliability() -> Report {
             ..SyntheticConfig::paper_default(seed)
         }
         .generate();
-        hybrid_vs_baseline(&mut report, &format!("r={reliability}"), &synth.dataset, seed);
+        hybrid_vs_baseline(
+            &mut report,
+            &format!("r={reliability}"),
+            &synth.dataset,
+            seed,
+        );
     }
     report.add_note("expected shape: higher reliability -> higher precision at the same effort; hybrid dominates the baseline for every r");
     report
@@ -140,7 +167,9 @@ pub fn fig20_spammer_ratio() -> Report {
         .generate();
         hybrid_vs_baseline(&mut report, &format!("sigma={sigma}"), &synth.dataset, seed);
     }
-    report.add_note("expected shape: hybrid outperforms the baseline independent of the spammer ratio");
+    report.add_note(
+        "expected shape: hybrid outperforms the baseline independent of the spammer ratio",
+    );
     report
 }
 
@@ -170,7 +199,10 @@ pub fn fig15_uncertainty_precision_correlation() -> Report {
                 let (trace, _) = run_guided(
                     &synth.dataset,
                     GuidanceKind::UncertaintyDriven,
-                    RunSettings { seed, ..RunSettings::default() },
+                    RunSettings {
+                        seed,
+                        ..RunSettings::default()
+                    },
                 );
                 let pairs = trace.precision_uncertainty_pairs();
                 let max_h = pairs
@@ -205,10 +237,22 @@ pub fn strategy_ablation(seed: u64) -> Report {
     let mut report = Report::new(
         "ablation",
         "Ablation: all guidance strategies on the default synthetic dataset",
-        &["effort %", "hybrid", "uncertainty", "worker", "baseline", "random"],
+        &[
+            "effort %",
+            "hybrid",
+            "uncertainty",
+            "worker",
+            "baseline",
+            "random",
+        ],
     );
     let synth = SyntheticConfig::paper_default(seed).generate();
-    let settings = RunSettings { goal: ValidationGoal::ExhaustBudget, budget: Some(50), seed, ..RunSettings::default() };
+    let settings = RunSettings {
+        goal: ValidationGoal::ExhaustBudget,
+        budget: Some(50),
+        seed,
+        ..RunSettings::default()
+    };
     let kinds = [
         GuidanceKind::Hybrid,
         GuidanceKind::UncertaintyDriven,

@@ -79,7 +79,10 @@ pub fn tab06_mistake_detection() -> Report {
                         .is_some_and(|s| s.label == truth.label(o))
                 })
                 .count();
-            row.push(format!("{:.1}", 100.0 * corrected as f64 / erred_on.len() as f64));
+            row.push(format!(
+                "{:.1}",
+                100.0 * corrected as f64 / erred_on.len() as f64
+            ));
         }
         report.add_row(row);
     }

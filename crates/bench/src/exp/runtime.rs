@@ -2,11 +2,13 @@
 //! serial vs. parallel) and Table 5 (matrix-partitioning start-up time).
 
 use crate::report::Report;
-use crowdval_core::{partition_answer_matrix, SelectionStrategy, StrategyContext, UncertaintyDriven};
-use crowdval_model::ExpertValidation;
-use crowdval_spammer::SpammerDetector;
 use crowdval_aggregation::{Aggregator, IncrementalEm};
+use crowdval_core::{
+    partition_answer_matrix, SelectionStrategy, StrategyContext, UncertaintyDriven,
+};
+use crowdval_model::ExpertValidation;
 use crowdval_sim::SyntheticConfig;
+use crowdval_spammer::SpammerDetector;
 use std::time::Instant;
 
 /// Fig. 4: response time of one guidance iteration (information-gain scoring

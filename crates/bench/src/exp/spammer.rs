@@ -3,8 +3,8 @@
 
 use crate::report::{f3, Report};
 use crowdval_model::{ExpertValidation, ObjectId};
-use crowdval_spammer::{DetectorConfig, SpammerDetector};
 use crowdval_sim::SyntheticConfig;
+use crowdval_spammer::{DetectorConfig, SpammerDetector};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
@@ -33,7 +33,9 @@ pub fn fig09_spammer_detection() -> Report {
 
                 // Validate a random subset of the requested size.
                 let mut objects: Vec<usize> = (0..n).collect();
-                objects.shuffle(&mut StdRng::seed_from_u64(seed * 31 + (effort * 10.0) as u64));
+                objects.shuffle(&mut StdRng::seed_from_u64(
+                    seed * 31 + (effort * 10.0) as u64,
+                ));
                 let mut expert = ExpertValidation::empty(n);
                 for &o in objects.iter().take((effort * n as f64) as usize) {
                     expert.set(ObjectId(o), truth.label(ObjectId(o)));
@@ -45,8 +47,16 @@ pub fn fig09_spammer_detection() -> Report {
                 // (uniform + random spammers), matching the paper's setup.
                 let detected = &outcome.spammers;
                 let hits = detected.iter().filter(|w| spammers.contains(w)).count();
-                let precision = if detected.is_empty() { 1.0 } else { hits as f64 / detected.len() as f64 };
-                let recall = if spammers.is_empty() { 1.0 } else { hits as f64 / spammers.len() as f64 };
+                let precision = if detected.is_empty() {
+                    1.0
+                } else {
+                    hits as f64 / detected.len() as f64
+                };
+                let recall = if spammers.is_empty() {
+                    1.0
+                } else {
+                    hits as f64 / spammers.len() as f64
+                };
                 precision_sum += precision;
                 recall_sum += recall;
             }

@@ -144,7 +144,11 @@ pub fn run_guided(
 }
 
 /// Adds one precision-vs-effort row per effort level for each named trace.
-pub fn precision_table(report: &mut Report, efforts_pct: &[usize], traces: &[(&str, &ValidationTrace)]) {
+pub fn precision_table(
+    report: &mut Report,
+    efforts_pct: &[usize],
+    traces: &[(&str, &ValidationTrace)],
+) {
     for &effort in efforts_pct {
         let mut row = vec![format!("{effort}")];
         for (_, trace) in traces {
@@ -204,7 +208,12 @@ pub fn ev_curve(
 /// WO curve: keep adding crowd answers (up to `phi` per object) and aggregate
 /// with batch EM. Improvement is measured against the same `phi0` starting
 /// point as the EV curve.
-pub fn wo_curve(source: &SyntheticDataset, phi0: usize, phis: &[usize], seed: u64) -> Vec<CurvePoint> {
+pub fn wo_curve(
+    source: &SyntheticDataset,
+    phi0: usize,
+    phis: &[usize],
+    seed: u64,
+) -> Vec<CurvePoint> {
     let truth = source.dataset.ground_truth();
     let aggregate_precision = |dataset: &Dataset| {
         let p = BatchEm::default().conclude(
@@ -250,7 +259,11 @@ mod tests {
     use crowdval_sim::SyntheticConfig;
 
     fn small() -> SyntheticDataset {
-        SyntheticConfig { num_objects: 20, ..SyntheticConfig::paper_default(71) }.generate()
+        SyntheticConfig {
+            num_objects: 20,
+            ..SyntheticConfig::paper_default(71)
+        }
+        .generate()
     }
 
     #[test]
@@ -259,7 +272,11 @@ mod tests {
         let (trace, erred) = run_guided(
             &data.dataset,
             GuidanceKind::Baseline,
-            RunSettings { budget: Some(5), goal: ValidationGoal::ExhaustBudget, ..RunSettings::default() },
+            RunSettings {
+                budget: Some(5),
+                goal: ValidationGoal::ExhaustBudget,
+                ..RunSettings::default()
+            },
         );
         assert_eq!(trace.len(), 5);
         assert!(erred.is_empty());
@@ -279,7 +296,10 @@ mod tests {
                 ..RunSettings::default()
             },
         );
-        assert!(!erred.is_empty(), "a 50 % error rate over 20 validations should err at least once");
+        assert!(
+            !erred.is_empty(),
+            "a 50 % error rate over 20 validations should err at least once"
+        );
     }
 
     #[test]
@@ -287,10 +307,14 @@ mod tests {
         let data = small();
         let ev = ev_curve(&data, 5, 12.5, &[0, 5, 10], GuidanceKind::Baseline, 3);
         assert_eq!(ev.len(), 3);
-        assert!(ev.windows(2).all(|w| w[0].cost_per_object < w[1].cost_per_object));
+        assert!(ev
+            .windows(2)
+            .all(|w| w[0].cost_per_object < w[1].cost_per_object));
         let wo = wo_curve(&data, 5, &[5, 10, 20], 3);
         assert_eq!(wo.len(), 3);
-        assert!(wo.windows(2).all(|w| w[0].cost_per_object < w[1].cost_per_object));
+        assert!(wo
+            .windows(2)
+            .all(|w| w[0].cost_per_object < w[1].cost_per_object));
         // At phi = phi0 the WO improvement is zero by construction.
         assert!(wo[0].improvement.abs() < 1e-9);
     }

@@ -9,8 +9,10 @@
 //! else we believe. Flagged objects are handed back to the expert for
 //! reconsideration.
 
+use crate::scoring::{ScoringContext, ScoringEngine};
 use crowdval_aggregation::Aggregator;
 use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
+use crowdval_spammer::SpammerDetector;
 use serde::{Deserialize, Serialize};
 
 /// Configuration and execution of the §5.5 confirmation check.
@@ -25,16 +27,19 @@ pub struct ConfirmationCheck {
 impl ConfirmationCheck {
     /// A check that runs every `interval` validations.
     pub fn every(interval: usize) -> Self {
-        Self { interval: interval.max(1) }
+        Self {
+            interval: interval.max(1),
+        }
     }
 
     /// Whether the check is due after the `iteration`-th validation.
     pub fn is_due(&self, iteration: usize) -> bool {
-        iteration > 0 && iteration % self.interval == 0
+        iteration > 0 && iteration.is_multiple_of(self.interval)
     }
 
     /// Runs the leave-one-out check over all validated objects and returns
-    /// the ones whose validation looks erroneous.
+    /// the ones whose validation looks erroneous. Serial convenience wrapper
+    /// over [`ConfirmationCheck::flag_suspicious_in`].
     pub fn flag_suspicious(
         &self,
         answers: &AnswerSet,
@@ -42,16 +47,23 @@ impl ConfirmationCheck {
         current: &ProbabilisticAnswerSet,
         aggregator: &dyn Aggregator,
     ) -> Vec<ObjectId> {
-        let mut flagged = Vec::new();
-        for (object, validated_label) in expert.iter() {
-            let leave_one_out = expert.without(object);
-            let p = aggregator.conclude(answers, &leave_one_out, Some(current));
-            let reconstructed = p.instantiate();
-            if reconstructed.label(object) != validated_label {
-                flagged.push(object);
-            }
-        }
-        flagged
+        let detector = SpammerDetector::default();
+        self.flag_suspicious_in(&ScoringContext {
+            answers,
+            expert,
+            current,
+            aggregator,
+            detector: &detector,
+            parallel: false,
+        })
+    }
+
+    /// Runs the leave-one-out check through the shared scoring engine: each
+    /// per-object re-aggregation is the same warm-started hypothesis
+    /// evaluation as candidate scoring, and fans out across threads when
+    /// `ctx.parallel` is set.
+    pub fn flag_suspicious_in(&self, ctx: &ScoringContext<'_>) -> Vec<ObjectId> {
+        ScoringEngine::exhaustive().leave_one_out_disagreements(ctx)
     }
 }
 
@@ -107,13 +119,12 @@ mod tests {
         expert.set(wrong_object, wrong_label);
 
         let current = aggregator.conclude(answers, &expert, None);
-        let flagged = ConfirmationCheck::every(1).flag_suspicious(
-            answers,
-            &expert,
-            &current,
-            &aggregator,
+        let flagged =
+            ConfirmationCheck::every(1).flag_suspicious(answers, &expert, &current, &aggregator);
+        assert!(
+            flagged.contains(&wrong_object),
+            "flipped validation not flagged: {flagged:?}"
         );
-        assert!(flagged.contains(&wrong_object), "flipped validation not flagged: {flagged:?}");
         // Correct validations on objects the crowd also gets right stay
         // unflagged.
         for o in [ObjectId(0), ObjectId(1), ObjectId(2)] {

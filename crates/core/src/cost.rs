@@ -30,7 +30,10 @@ pub struct CostModel {
 impl CostModel {
     /// Creates a cost model.
     pub fn new(theta: f64, num_objects: usize) -> Self {
-        assert!(theta > 0.0, "the expert-to-crowd cost ratio must be positive");
+        assert!(
+            theta > 0.0,
+            "the expert-to-crowd cost ratio must be positive"
+        );
         assert!(num_objects > 0, "the cost model needs at least one object");
         Self { theta, num_objects }
     }
@@ -176,7 +179,11 @@ mod tests {
 
     #[test]
     fn time_constraint_filters_allocations() {
-        let a = BudgetAllocation { crowd_share: 0.5, phi0: 6.0, validations: 20 };
+        let a = BudgetAllocation {
+            crowd_share: 0.5,
+            phi0: 6.0,
+            validations: 20,
+        };
         assert!(a.satisfies_time_constraint(20));
         assert!(!a.satisfies_time_constraint(19));
     }

@@ -49,8 +49,10 @@ mod tests {
         let mut p = ProbabilisticAnswerSet::uninformed(5, 2, 2);
         // Object 0: certain; objects 1 and 3: skewed; 2 and 4: uniform.
         p.assignment_mut().set_certain(ObjectId(0), LabelId(0));
-        p.assignment_mut().set_distribution(ObjectId(1), &[0.9, 0.1]);
-        p.assignment_mut().set_distribution(ObjectId(3), &[0.7, 0.3]);
+        p.assignment_mut()
+            .set_distribution(ObjectId(1), &[0.9, 0.1]);
+        p.assignment_mut()
+            .set_distribution(ObjectId(3), &[0.7, 0.3]);
         p
     }
 

@@ -9,10 +9,11 @@
 use serde::{Deserialize, Serialize};
 
 /// The stopping condition Δ of the validation process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize, Default)]
 pub enum ValidationGoal {
     /// Never stop early; run until the budget (or the object set) is
     /// exhausted.
+    #[default]
     ExhaustBudget,
     /// Stop once the total uncertainty `H(P)` drops to or below the
     /// threshold.
@@ -30,16 +31,8 @@ impl ValidationGoal {
         match *self {
             ValidationGoal::ExhaustBudget => false,
             ValidationGoal::MaxUncertainty(threshold) => uncertainty <= threshold,
-            ValidationGoal::TargetPrecision(target) => {
-                precision.is_some_and(|p| p >= target)
-            }
+            ValidationGoal::TargetPrecision(target) => precision.is_some_and(|p| p >= target),
         }
-    }
-}
-
-impl Default for ValidationGoal {
-    fn default() -> Self {
-        ValidationGoal::ExhaustBudget
     }
 }
 

@@ -6,6 +6,9 @@
 //!
 //! * [`uncertainty`] — entropy of a probabilistic answer set, conditional
 //!   entropy given a hypothetical validation, and information gain;
+//! * [`scoring`] — the shared hypothesis-scoring engine of the select step's
+//!   hot path: entropy pre-filter, warm-started "what-if" aggregation and
+//!   parallel fan-out (§5.2, §5.4);
 //! * [`strategy`] — the guidance strategies: random, highest-entropy
 //!   baseline, uncertainty-driven (information gain), worker-driven
 //!   (expected spammer detections) and the dynamically weighted hybrid;
@@ -32,6 +35,7 @@ pub mod metrics;
 pub mod parallel;
 pub mod partition;
 pub mod process;
+pub mod scoring;
 pub mod strategy;
 pub mod uncertainty;
 
@@ -42,6 +46,7 @@ pub use goal::ValidationGoal;
 pub use metrics::{ValidationStep, ValidationTrace};
 pub use partition::{partition_answer_matrix, Block, Partition};
 pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProcessBuilder};
+pub use scoring::{ScoringContext, ScoringEngine};
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
     StrategyKind, UncertaintyDriven, ValidationObservation, WorkerDriven,

@@ -50,8 +50,17 @@ pub struct ValidationTrace {
 
 impl ValidationTrace {
     /// Creates an empty trace.
-    pub fn new(num_objects: usize, initial_uncertainty: f64, initial_precision: Option<f64>) -> Self {
-        Self { num_objects, initial_uncertainty, initial_precision, steps: Vec::new() }
+    pub fn new(
+        num_objects: usize,
+        initial_uncertainty: f64,
+        initial_precision: Option<f64>,
+    ) -> Self {
+        Self {
+            num_objects,
+            initial_uncertainty,
+            initial_precision,
+            steps: Vec::new(),
+        }
     }
 
     /// Number of validations performed.
@@ -75,12 +84,16 @@ impl ValidationTrace {
 
     /// Precision after the last step (falls back to the initial precision).
     pub fn final_precision(&self) -> Option<f64> {
-        self.steps.last().map_or(self.initial_precision, |s| s.precision)
+        self.steps
+            .last()
+            .map_or(self.initial_precision, |s| s.precision)
     }
 
     /// Uncertainty after the last step (falls back to the initial value).
     pub fn final_uncertainty(&self) -> f64 {
-        self.steps.last().map_or(self.initial_uncertainty, |s| s.uncertainty)
+        self.steps
+            .last()
+            .map_or(self.initial_uncertainty, |s| s.uncertainty)
     }
 
     /// Precision measured right after the validation effort first reached the

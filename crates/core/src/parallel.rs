@@ -10,7 +10,11 @@ use rayon::prelude::*;
 
 /// Computes `score(o)` for every candidate, either sequentially or in
 /// parallel, preserving the candidate order in the result.
-pub fn score_candidates<F>(candidates: &[ObjectId], parallel: bool, score: F) -> Vec<(ObjectId, f64)>
+pub fn score_candidates<F>(
+    candidates: &[ObjectId],
+    parallel: bool,
+    score: F,
+) -> Vec<(ObjectId, f64)>
 where
     F: Fn(ObjectId) -> f64 + Sync,
 {

@@ -58,7 +58,11 @@ impl Partition {
 
     /// Largest block size.
     pub fn max_block_size(&self) -> usize {
-        self.blocks.iter().map(|b| b.objects.len()).max().unwrap_or(0)
+        self.blocks
+            .iter()
+            .map(|b| b.objects.len())
+            .max()
+            .unwrap_or(0)
     }
 }
 
@@ -139,18 +143,22 @@ mod tests {
         // Community A: objects 0..4 answered by workers 0..2.
         for o in 0..4 {
             for w in 0..3 {
-                n.record_answer(ObjectId(o), WorkerId(w), LabelId(0)).unwrap();
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(0))
+                    .unwrap();
             }
         }
         // Community B: objects 4..8 answered by workers 3..5.
         for o in 4..8 {
             for w in 3..6 {
-                n.record_answer(ObjectId(o), WorkerId(w), LabelId(1)).unwrap();
+                n.record_answer(ObjectId(o), WorkerId(w), LabelId(1))
+                    .unwrap();
             }
         }
         // Bridge: object 8 answered by one worker from each side.
-        n.record_answer(ObjectId(8), WorkerId(0), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(8), WorkerId(3), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(8), WorkerId(0), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(8), WorkerId(3), LabelId(0))
+            .unwrap();
         n
     }
 

@@ -15,6 +15,7 @@
 use crate::confirmation::ConfirmationCheck;
 use crate::goal::ValidationGoal;
 use crate::metrics::{ValidationStep, ValidationTrace};
+use crate::scoring::ScoringContext;
 use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
 use crowdval_aggregation::Aggregator;
 use crowdval_model::{
@@ -173,7 +174,11 @@ impl ValidationProcess {
         let initial_precision = ground_truth
             .as_ref()
             .map(|g| g.precision(&current.instantiate()));
-        let trace = ValidationTrace::new(answers.num_objects(), current.uncertainty(), initial_precision);
+        let trace = ValidationTrace::new(
+            answers.num_objects(),
+            current.uncertainty(),
+            initial_precision,
+        );
         Self {
             active_answers: answers.clone(),
             answers,
@@ -251,12 +256,12 @@ impl ValidationProcess {
 
     /// Whether the configured goal or budget has been reached.
     pub fn is_finished(&self) -> bool {
-        let budget_exhausted = self
-            .config
-            .budget
-            .is_some_and(|b| self.trace.len() >= b);
+        let budget_exhausted = self.config.budget.is_some_and(|b| self.trace.len() >= b);
         let nothing_left = self.expert.count() >= self.answers.num_objects();
-        let goal_reached = self.config.goal.is_satisfied(self.uncertainty(), self.precision());
+        let goal_reached = self
+            .config
+            .goal
+            .is_satisfied(self.uncertainty(), self.precision());
         budget_exhausted || nothing_left || goal_reached
     }
 
@@ -268,7 +273,10 @@ impl ValidationProcess {
         if candidates.is_empty() {
             return None;
         }
-        let mut strategy = self.strategy.take().expect("strategy always present outside select");
+        let mut strategy = self
+            .strategy
+            .take()
+            .expect("strategy always present outside select");
         let picked = {
             let ctx = StrategyContext {
                 answers: &self.active_answers,
@@ -298,9 +306,9 @@ impl ValidationProcess {
         // Update the validation function first so detection sees the newest
         // ground truth (Algorithm 1 lines 11–15).
         self.expert.set(object, label);
-        let detection =
-            self.detector
-                .detect(&self.answers, &self.expert, self.current.priors());
+        let detection = self
+            .detector
+            .detect(&self.answers, &self.expert, self.current.priors());
         let faulty_ratio = if self.answers.num_workers() == 0 {
             0.0
         } else {
@@ -325,15 +333,27 @@ impl ValidationProcess {
 
         self.record_step(object, label, strategy_kind, error_rate);
 
-        // Confirmation check for erroneous validations (§5.5).
+        // Confirmation check for erroneous validations (§5.5), fanned out
+        // through the scoring engine like every other hypothesis sweep.
         match self.config.confirmation_check {
-            Some(check) if check.is_due(self.iteration) => check.flag_suspicious(
-                &self.active_answers,
-                &self.expert,
-                &self.current,
-                self.aggregator.as_ref(),
-            ),
+            Some(check) if check.is_due(self.iteration) => {
+                check.flag_suspicious_in(&self.scoring_context())
+            }
             _ => Vec::new(),
+        }
+    }
+
+    /// The scoring view of the current validation state: what the guidance
+    /// strategies and the confirmation check hand to the
+    /// [`crate::scoring::ScoringEngine`].
+    pub fn scoring_context(&self) -> ScoringContext<'_> {
+        ScoringContext {
+            answers: &self.active_answers,
+            expert: &self.expert,
+            current: &self.current,
+            aggregator: self.aggregator.as_ref(),
+            detector: &self.detector,
+            parallel: self.config.parallel,
         }
     }
 
@@ -379,7 +399,9 @@ impl ValidationProcess {
     /// validated. Returns the trace.
     pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
         while !self.is_finished() {
-            let Some(object) = self.select_next() else { break };
+            let Some(object) = self.select_next() else {
+                break;
+            };
             let label = expert_source.provide_label(object);
             let flagged = self.integrate(object, label);
             for suspicious in flagged {
@@ -403,7 +425,11 @@ mod tests {
     use crowdval_sim::{SimulatedExpert, SyntheticConfig};
 
     fn synthetic(seed: u64) -> crowdval_sim::SyntheticDataset {
-        SyntheticConfig { num_objects: 30, ..SyntheticConfig::paper_default(seed) }.generate()
+        SyntheticConfig {
+            num_objects: 30,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate()
     }
 
     fn oracle(synth: &crowdval_sim::SyntheticDataset) -> SimulatedExpert {
@@ -474,7 +500,10 @@ mod tests {
         let synth = synthetic(303);
         let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
             .strategy(Box::new(RandomSelection::new(5)))
-            .config(ProcessConfig { budget: Some(7), ..ProcessConfig::default() })
+            .config(ProcessConfig {
+                budget: Some(7),
+                ..ProcessConfig::default()
+            })
             .ground_truth(synth.dataset.ground_truth().clone())
             .build();
         let mut source = OracleSource(oracle(&synth));
@@ -540,7 +569,10 @@ mod tests {
             })
             .ground_truth(truth.clone())
             .build();
-        let mut source = FlakyExpert { truth: truth.clone(), calls: 0 };
+        let mut source = FlakyExpert {
+            truth: truth.clone(),
+            calls: 0,
+        };
         process.run(&mut source);
         // Every validated object ends up with the correct label despite the
         // injected mistake.
@@ -551,8 +583,11 @@ mod tests {
 
     #[test]
     fn select_next_returns_none_once_everything_is_validated() {
-        let synth = SyntheticConfig { num_objects: 5, ..SyntheticConfig::paper_default(306) }
-            .generate();
+        let synth = SyntheticConfig {
+            num_objects: 5,
+            ..SyntheticConfig::paper_default(306)
+        }
+        .generate();
         let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
             .strategy(Box::new(EntropyBaseline))
             .ground_truth(synth.dataset.ground_truth().clone())
@@ -578,7 +613,10 @@ mod tests {
         .generate();
         let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
             .strategy(Box::new(crate::strategy::WorkerDriven))
-            .config(ProcessConfig { budget: Some(20), ..ProcessConfig::default() })
+            .config(ProcessConfig {
+                budget: Some(20),
+                ..ProcessConfig::default()
+            })
             .ground_truth(synth.dataset.ground_truth().clone())
             .build();
         let mut source = OracleSource(oracle(&synth));
@@ -593,6 +631,9 @@ mod tests {
             .max()
             .unwrap_or(0);
         assert!(max_excluded > 0, "no worker was ever excluded");
-        assert_eq!(process.excluded_workers().len(), process.trace().steps.last().unwrap().excluded_workers);
+        assert_eq!(
+            process.excluded_workers().len(),
+            process.trace().steps.last().unwrap().excluded_workers
+        );
     }
 }

@@ -1,0 +1,474 @@
+//! The shared hypothesis-scoring engine of the guidance hot path
+//! (paper §5.2 and §5.4).
+//!
+//! Evaluating a guidance strategy means asking, for many candidate objects at
+//! once, *"what would happen if the expert validated this object?"* — and
+//! answering each hypothesis with a full (warm-started) aggregation run. This
+//! module centralizes that hot path so every strategy shares one
+//! implementation of its three ingredients:
+//!
+//! 1. **Entropy pre-filter** (§5.4 "Reducing the number of considered
+//!    objects"): candidates are ranked by their current label entropy and
+//!    only the top [`ScoringEngine::shortlist_limit`] enter the expensive
+//!    evaluation. An object whose distribution is already a point mass
+//!    cannot yield information gain, so the filter is loss-free in the limit
+//!    and a large constant-factor win in practice.
+//! 2. **Warm-started hypothesis aggregation** (§5.2 Eq. 8–9, §4.1): each
+//!    hypothesis `e(o) = l` is evaluated by re-running the aggregation via
+//!    [`Aggregator::conclude_warm`], reusing the confusion matrices and
+//!    priors of the current probabilistic answer set (`C⁰_s = C^q_{s−1}`,
+//!    the view-maintenance principle) instead of restarting EM from scratch.
+//!    Labels whose current probability is negligible are skipped — they
+//!    contribute almost nothing to the expectation but would cost a full
+//!    aggregation run each.
+//! 3. **Parallel fan-out** (§5.4 "Parallelization"): per-candidate scores
+//!    are independent, so the engine distributes them across threads with
+//!    [`crate::parallel::score_candidates`], preserving candidate order so
+//!    serial and parallel scoring produce identical rankings.
+//!
+//! The concrete scores built on top of these primitives:
+//!
+//! * **Information gain** `IG(o) = H(P) − H(P | o)` (Eq. 9–10) with
+//!   `H(P | o) = Σ_l U(o, l) · H(P_l)` (Eq. 8) — the uncertainty-driven
+//!   strategy and the hybrid's uncertainty branch;
+//! * **Expected spammer detections** `R(W | o) = Σ_l U(o, l) · R(W | o = l)`
+//!   (Eq. 12–14) — the worker-driven strategy and the hybrid's worker
+//!   branch;
+//! * **Leave-one-out disagreement** (§5.5) — the confirmation check's
+//!   re-aggregation without one validation at a time, which is the same
+//!   warm-started hypothesis evaluation with the hypothesis *removed*.
+
+use crate::parallel::score_candidates;
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{AnswerSet, ExpertValidation, LabelId, ObjectId, ProbabilisticAnswerSet};
+use crowdval_spammer::SpammerDetector;
+use serde::{Deserialize, Serialize};
+
+/// Labels whose current assignment probability is at or below this weight are
+/// skipped during hypothesis evaluation (§5.2: they contribute almost nothing
+/// to the expectation but would cost one aggregation run each).
+pub const NEGLIGIBLE_WEIGHT: f64 = 1e-6;
+
+/// Default width of the entropy pre-filter shortlist.
+pub const DEFAULT_SHORTLIST: usize = 32;
+
+/// Everything the engine needs to evaluate hypotheses against the current
+/// validation state. Borrowed wholesale from the validation process (or from
+/// a [`crate::strategy::StrategyContext`] via
+/// [`crate::strategy::StrategyContext::scoring`]).
+pub struct ScoringContext<'a> {
+    /// The answer set used for aggregation (answers of excluded workers are
+    /// already filtered out).
+    pub answers: &'a AnswerSet,
+    /// Expert validations collected so far.
+    pub expert: &'a ExpertValidation,
+    /// The current probabilistic answer set — the warm-start seed for every
+    /// hypothesis evaluation.
+    pub current: &'a ProbabilisticAnswerSet,
+    /// The aggregator that realizes the *conclude* step.
+    pub aggregator: &'a dyn Aggregator,
+    /// The faulty-worker detector (with its thresholds).
+    pub detector: &'a SpammerDetector,
+    /// Whether per-candidate scoring may use multiple threads.
+    pub parallel: bool,
+}
+
+/// Configuration-carrying engine for the select→conclude hot path. Cheap to
+/// copy; strategies embed one each and the validation process routes the
+/// confirmation check through one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScoringEngine {
+    /// Upper bound on the number of candidates whose hypothesis score is
+    /// evaluated exactly; `None` evaluates every candidate.
+    shortlist_limit: Option<usize>,
+}
+
+impl Default for ScoringEngine {
+    fn default() -> Self {
+        Self {
+            shortlist_limit: Some(DEFAULT_SHORTLIST),
+        }
+    }
+}
+
+impl ScoringEngine {
+    /// Engine with the default entropy pre-filter ([`DEFAULT_SHORTLIST`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Engine that evaluates every candidate exactly (used by experiments
+    /// that need the full ranking, e.g. the i-EM guidance-consistency study).
+    pub fn exhaustive() -> Self {
+        Self {
+            shortlist_limit: None,
+        }
+    }
+
+    /// Engine with a custom pre-filter width.
+    pub fn with_shortlist(limit: usize) -> Self {
+        Self {
+            shortlist_limit: Some(limit),
+        }
+    }
+
+    /// The configured pre-filter width (`None` = exhaustive).
+    pub fn shortlist_limit(&self) -> Option<usize> {
+        self.shortlist_limit
+    }
+
+    // -----------------------------------------------------------------------
+    // (a) entropy pre-filter
+    // -----------------------------------------------------------------------
+
+    /// Returns the candidates that survive the entropy pre-filter: the
+    /// `shortlist_limit` candidates with the highest current label entropy
+    /// (ties broken toward the smaller object id, preserving determinism).
+    pub fn shortlist(
+        &self,
+        current: &ProbabilisticAnswerSet,
+        candidates: &[ObjectId],
+    ) -> Vec<ObjectId> {
+        match self.shortlist_limit {
+            Some(limit) if candidates.len() > limit => {
+                let mut by_entropy: Vec<(ObjectId, f64)> = candidates
+                    .iter()
+                    .map(|&o| (o, current.object_uncertainty(o)))
+                    .collect();
+                by_entropy.sort_by(|a, b| {
+                    b.1.partial_cmp(&a.1)
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                        .then(a.0.cmp(&b.0))
+                });
+                by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
+            }
+            _ => candidates.to_vec(),
+        }
+    }
+
+    // -----------------------------------------------------------------------
+    // (b) warm-started hypothesis aggregation
+    // -----------------------------------------------------------------------
+
+    /// Evaluates a single hypothesis `e(object) = label`: re-runs the
+    /// aggregation with the hypothetical validation added, warm-starting from
+    /// `current`.
+    pub fn evaluate_hypothesis(
+        aggregator: &dyn Aggregator,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        object: ObjectId,
+        label: LabelId,
+    ) -> ProbabilisticAnswerSet {
+        let mut hypothetical = expert.clone();
+        hypothetical.set(object, label);
+        aggregator.conclude_warm(answers, &hypothetical, current)
+    }
+
+    /// Conditional uncertainty `H(P | o) = Σ_l U(o, l) · H(P_l)` (Eq. 8),
+    /// the expectation running over the plausible expert answers weighted by
+    /// the current assignment probabilities.
+    pub fn conditional_entropy_of(
+        aggregator: &dyn Aggregator,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        object: ObjectId,
+    ) -> f64 {
+        let mut expected = 0.0;
+        for l in 0..answers.num_labels() {
+            let label = LabelId(l);
+            let weight = current.assignment().prob(object, label);
+            if weight <= NEGLIGIBLE_WEIGHT {
+                continue;
+            }
+            let hypothesis =
+                Self::evaluate_hypothesis(aggregator, answers, expert, current, object, label);
+            expected += weight * hypothesis.uncertainty();
+        }
+        expected
+    }
+
+    /// Information gain `IG(o) = H(P) − H(P | o)` (Eq. 9): the expected
+    /// reduction of the answer-set uncertainty if the expert validates `o`.
+    pub fn information_gain_of(
+        aggregator: &dyn Aggregator,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        object: ObjectId,
+    ) -> f64 {
+        current.uncertainty()
+            - Self::conditional_entropy_of(aggregator, answers, expert, current, object)
+    }
+
+    /// Expected number of faulty-worker detections from validating `object`:
+    /// `R(W | o) = Σ_l U(o, l) · R(W | o = l)` (Eq. 13).
+    pub fn expected_detections_of(
+        detector: &SpammerDetector,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        object: ObjectId,
+    ) -> f64 {
+        let priors = current.priors();
+        let mut expected = 0.0;
+        for l in 0..answers.num_labels() {
+            let label = LabelId(l);
+            let weight = current.assignment().prob(object, label);
+            if weight <= 0.0 {
+                continue;
+            }
+            let detections =
+                detector.expected_detections_with(answers, expert, priors, object, label);
+            expected += weight * detections as f64;
+        }
+        expected
+    }
+
+    // -----------------------------------------------------------------------
+    // (c) parallel fan-out over candidates
+    // -----------------------------------------------------------------------
+
+    /// Information gain of every shortlisted candidate, in shortlist order.
+    /// Serial and parallel execution produce identical results.
+    pub fn information_gain_scores(
+        &self,
+        ctx: &ScoringContext<'_>,
+        candidates: &[ObjectId],
+    ) -> Vec<(ObjectId, f64)> {
+        let shortlist = self.shortlist(ctx.current, candidates);
+        score_candidates(&shortlist, ctx.parallel, |o| {
+            Self::information_gain_of(ctx.aggregator, ctx.answers, ctx.expert, ctx.current, o)
+        })
+    }
+
+    /// Expected detections of every candidate, in candidate order. The
+    /// entropy pre-filter is *not* applied: a certain object can still expose
+    /// faulty workers (Eq. 13 weights by the current distribution, not its
+    /// entropy).
+    pub fn detection_scores(
+        &self,
+        ctx: &ScoringContext<'_>,
+        candidates: &[ObjectId],
+    ) -> Vec<(ObjectId, f64)> {
+        score_candidates(candidates, ctx.parallel, |o| {
+            Self::expected_detections_of(ctx.detector, ctx.answers, ctx.expert, ctx.current, o)
+        })
+    }
+
+    /// Leave-one-out confirmation sweep (§5.5): for every validated object,
+    /// re-aggregates without that validation (warm-started) and reports the
+    /// objects whose reconstructed label disagrees with the expert's. Runs
+    /// the per-object re-aggregations through the same parallel fan-out as
+    /// candidate scoring.
+    pub fn leave_one_out_disagreements(&self, ctx: &ScoringContext<'_>) -> Vec<ObjectId> {
+        let validated: Vec<ObjectId> = ctx.expert.iter().map(|(o, _)| o).collect();
+        let disagree = score_candidates(&validated, ctx.parallel, |o| {
+            let leave_one_out = ctx.expert.without(o);
+            let p = ctx
+                .aggregator
+                .conclude_warm(ctx.answers, &leave_one_out, ctx.current);
+            let reconstructed = p.instantiate();
+            let validated_label = ctx.expert.get(o).expect("object is validated");
+            if reconstructed.label(o) != validated_label {
+                1.0
+            } else {
+                0.0
+            }
+        });
+        disagree
+            .into_iter()
+            .filter(|&(_, d)| d > 0.5)
+            .map(|(o, _)| o)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::tests_support::context_fixture;
+
+    #[test]
+    fn shortlist_keeps_the_most_uncertain_candidates() {
+        let mut fixture = context_fixture(10, 5, 2, 11);
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(6), &[0.5, 0.5]);
+        fixture
+            .current
+            .assignment_mut()
+            .set_certain(ObjectId(2), LabelId(0));
+        let candidates: Vec<ObjectId> = (0..10).map(ObjectId).collect();
+        let engine = ScoringEngine::with_shortlist(3);
+        let short = engine.shortlist(&fixture.current, &candidates);
+        assert_eq!(short.len(), 3);
+        assert!(
+            short.contains(&ObjectId(6)),
+            "most uncertain object was filtered out"
+        );
+        assert!(
+            !short.contains(&ObjectId(2)),
+            "certain object survived the pre-filter"
+        );
+        // Without pressure the shortlist is the identity.
+        assert_eq!(
+            ScoringEngine::exhaustive().shortlist(&fixture.current, &candidates),
+            candidates
+        );
+    }
+
+    #[test]
+    fn serial_and_parallel_rankings_are_identical() {
+        let fixture = context_fixture(12, 6, 2, 13);
+        let candidates: Vec<ObjectId> = (0..12).map(ObjectId).collect();
+        let engine = ScoringEngine::exhaustive();
+        let serial_ctx = ScoringContext {
+            answers: &fixture.answers,
+            expert: &fixture.expert,
+            current: &fixture.current,
+            aggregator: &fixture.aggregator,
+            detector: &fixture.detector,
+            parallel: false,
+        };
+        let parallel_ctx = ScoringContext {
+            parallel: true,
+            ..serial_ctx
+        };
+        let serial = engine.information_gain_scores(&serial_ctx, &candidates);
+        let parallel = engine.information_gain_scores(&parallel_ctx, &candidates);
+        assert_eq!(serial.len(), parallel.len());
+        for ((o1, s1), (o2, s2)) in serial.iter().zip(&parallel) {
+            assert_eq!(o1, o2);
+            assert!((s1 - s2).abs() < 1e-12, "IG for {o1} differs: {s1} vs {s2}");
+        }
+        let serial_det = engine.detection_scores(&serial_ctx, &candidates);
+        let parallel_det = engine.detection_scores(&parallel_ctx, &candidates);
+        assert_eq!(serial_det, parallel_det);
+    }
+
+    #[test]
+    fn hypothesis_evaluation_pins_the_hypothetical_label() {
+        let fixture = context_fixture(8, 4, 2, 17);
+        let p = ScoringEngine::evaluate_hypothesis(
+            &fixture.aggregator,
+            &fixture.answers,
+            &fixture.expert,
+            &fixture.current,
+            ObjectId(3),
+            LabelId(1),
+        );
+        assert_eq!(p.assignment().prob(ObjectId(3), LabelId(1)), 1.0);
+        // The original state is untouched.
+        assert!(fixture.expert.get(ObjectId(3)).is_none());
+    }
+
+    #[test]
+    fn warm_started_hypotheses_match_cold_restarts_within_em_tolerance() {
+        use crowdval_aggregation::{Aggregator, BatchEm, EmConfig, IncrementalEm};
+        use crowdval_sim::{PopulationMix, SyntheticConfig};
+        // A reliable crowd keeps the EM single-basin, so the warm start and
+        // the cold restart must converge to the same fixed point (within the
+        // EM convergence tolerance).
+        let synth = SyntheticConfig {
+            num_objects: 16,
+            num_workers: 8,
+            reliability: 0.85,
+            mix: PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(43)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let mut expert = ExpertValidation::empty(16);
+        for o in 0..4 {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let warm_aggregator = IncrementalEm::default();
+        let cold_aggregator = BatchEm::default();
+        let current = warm_aggregator.conclude(&answers, &expert, None);
+
+        let tolerance = 50.0 * EmConfig::paper_default().tolerance;
+        for &object in &expert.unvalidated_objects()[..6] {
+            for l in 0..answers.num_labels() {
+                let label = LabelId(l);
+                if current.assignment().prob(object, label) <= NEGLIGIBLE_WEIGHT {
+                    continue;
+                }
+                let warm = ScoringEngine::evaluate_hypothesis(
+                    &warm_aggregator,
+                    &answers,
+                    &expert,
+                    &current,
+                    object,
+                    label,
+                );
+                let mut hypothetical = expert.clone();
+                hypothetical.set(object, label);
+                let cold = cold_aggregator.conclude(&answers, &hypothetical, None);
+                let diff = warm.assignment().max_abs_diff(cold.assignment());
+                assert!(
+                    diff <= tolerance,
+                    "hypothesis ({object}, {label}): warm/cold assignments differ by {diff}"
+                );
+                assert!(
+                    (warm.uncertainty() - cold.uncertainty()).abs() <= tolerance * 16.0,
+                    "hypothesis ({object}, {label}): warm H {} vs cold H {}",
+                    warm.uncertainty(),
+                    cold.uncertainty()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn leave_one_out_flags_contradicted_validations() {
+        use crowdval_sim::{PopulationMix, SyntheticConfig};
+        let synth = SyntheticConfig {
+            num_objects: 20,
+            num_workers: 12,
+            reliability: 0.9,
+            mix: PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(19)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let mut expert = ExpertValidation::empty(20);
+        for o in 0..5 {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        // Flip one validation against a reliable crowd.
+        let flipped = ObjectId(2);
+        expert.set(flipped, LabelId(1 - truth.label(flipped).index()));
+        let aggregator = crowdval_aggregation::IncrementalEm::default();
+        let current =
+            crowdval_aggregation::Aggregator::conclude(&aggregator, &answers, &expert, None);
+        let detector = SpammerDetector::default();
+        let ctx = ScoringContext {
+            answers: &answers,
+            expert: &expert,
+            current: &current,
+            aggregator: &aggregator,
+            detector: &detector,
+            parallel: false,
+        };
+        let flagged = ScoringEngine::new().leave_one_out_disagreements(&ctx);
+        assert!(
+            flagged.contains(&flipped),
+            "flipped validation not flagged: {flagged:?}"
+        );
+        // Parallel sweep agrees with the serial one.
+        let parallel_ctx = ScoringContext {
+            parallel: true,
+            ..ctx
+        };
+        assert_eq!(
+            ScoringEngine::new().leave_one_out_disagreements(&parallel_ctx),
+            flagged
+        );
+    }
+}

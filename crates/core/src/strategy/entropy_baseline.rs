@@ -47,7 +47,10 @@ mod tests {
             .assignment_mut()
             .set_distribution(ObjectId(3), &[0.5, 0.5]);
         // And a perfectly certain one.
-        fixture.current.assignment_mut().set_certain(ObjectId(5), LabelId(0));
+        fixture
+            .current
+            .assignment_mut()
+            .set_certain(ObjectId(5), LabelId(0));
         let candidates: Vec<ObjectId> = (0..8).map(ObjectId).collect();
         let ctx = fixture.context(&candidates);
         let mut s = EntropyBaseline;

@@ -161,12 +161,18 @@ mod tests {
     fn high_weight_eventually_selects_the_worker_driven_branch() {
         let mut fixture = context_fixture(10, 6, 2, 73);
         for o in 0..4 {
-            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+            fixture
+                .expert
+                .set(ObjectId(o), fixture.truth.label(ObjectId(o)));
         }
         fixture.refresh();
         let candidates = fixture.expert.unvalidated_objects();
         let mut s = HybridStrategy::new(3);
-        s.observe(&ValidationObservation { error_rate: 1.0, faulty_ratio: 1.0, coverage: 1.0 });
+        s.observe(&ValidationObservation {
+            error_rate: 1.0,
+            faulty_ratio: 1.0,
+            coverage: 1.0,
+        });
         assert!(s.weight() > 0.6);
         let mut saw_worker_driven = false;
         for _ in 0..30 {
@@ -178,7 +184,11 @@ mod tests {
                 break;
             }
         }
-        assert!(saw_worker_driven, "worker-driven branch never taken despite z = {}", s.weight());
+        assert!(
+            saw_worker_driven,
+            "worker-driven branch never taken despite z = {}",
+            s.weight()
+        );
     }
 
     #[test]

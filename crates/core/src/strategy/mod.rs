@@ -46,6 +46,21 @@ pub struct StrategyContext<'a> {
     pub parallel: bool,
 }
 
+impl<'a> StrategyContext<'a> {
+    /// The scoring view of this context (everything except the candidate
+    /// list), handed to the [`crate::scoring::ScoringEngine`].
+    pub fn scoring(&self) -> crate::scoring::ScoringContext<'a> {
+        crate::scoring::ScoringContext {
+            answers: self.answers,
+            expert: self.expert,
+            current: self.current,
+            aggregator: self.aggregator,
+            detector: self.detector,
+            parallel: self.parallel,
+        }
+    }
+}
+
 /// Which concrete strategy made a selection; recorded in validation traces.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum StrategyKind {
@@ -124,8 +139,8 @@ pub(crate) mod tests_support {
     use crowdval_model::{
         AnswerSet, ExpertValidation, GroundTruth, ObjectId, ProbabilisticAnswerSet,
     };
-    use crowdval_spammer::SpammerDetector;
     use crowdval_sim::SyntheticConfig;
+    use crowdval_spammer::SpammerDetector;
 
     pub(crate) struct ContextFixture {
         pub answers: AnswerSet,
@@ -151,7 +166,9 @@ pub(crate) mod tests_support {
 
         /// Re-aggregates after the expert validations changed.
         pub(crate) fn refresh(&mut self) {
-            self.current = self.aggregator.conclude(&self.answers, &self.expert, Some(&self.current));
+            self.current =
+                self.aggregator
+                    .conclude(&self.answers, &self.expert, Some(&self.current));
         }
     }
 

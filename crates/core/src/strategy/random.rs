@@ -15,7 +15,9 @@ pub struct RandomSelection {
 impl RandomSelection {
     /// Creates a random selector with a fixed seed for reproducibility.
     pub fn new(seed: u64) -> Self {
-        Self { rng: StdRng::seed_from_u64(seed) }
+        Self {
+            rng: StdRng::seed_from_u64(seed),
+        }
     }
 }
 

@@ -9,37 +9,19 @@
 //!
 //! Evaluating the information gain of every unvalidated object is the
 //! expensive part of the whole framework: it costs one aggregation run per
-//! (candidate, plausible label) pair. Two practical measures from §5.4 are
-//! applied here: the per-candidate computations run in parallel, and the
-//! candidate set can be pre-filtered to the most uncertain objects — objects
-//! with near-zero entropy cannot yield any gain.
+//! (candidate, plausible label) pair. The strategy therefore delegates the
+//! entire hot path — entropy pre-filter, warm-started hypothesis evaluation
+//! and parallel fan-out (§5.4) — to the shared
+//! [`crate::scoring::ScoringEngine`].
 
 use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
-use crate::parallel::score_candidates;
-use crate::uncertainty::information_gain;
+use crate::scoring::ScoringEngine;
 use crowdval_model::ObjectId;
-use serde::{Deserialize, Serialize};
-
-/// Configuration of the information-gain strategy.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct UncertaintyDrivenConfig {
-    /// Upper bound on the number of candidates whose information gain is
-    /// evaluated exactly. The candidates are pre-ranked by their entropy and
-    /// only the top `max_evaluated` enter the expensive evaluation; `None`
-    /// evaluates every candidate.
-    pub max_evaluated: Option<usize>,
-}
-
-impl Default for UncertaintyDrivenConfig {
-    fn default() -> Self {
-        Self { max_evaluated: Some(32) }
-    }
-}
 
 /// `select_u(O') = argmax_{o ∈ O'} IG(o)` (Eq. 10).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct UncertaintyDriven {
-    config: UncertaintyDrivenConfig,
+    engine: ScoringEngine,
 }
 
 impl UncertaintyDriven {
@@ -51,41 +33,33 @@ impl UncertaintyDriven {
     /// Strategy evaluating every candidate exactly (used by the experiments
     /// that need the full ranking, e.g. the i-EM guidance-consistency study).
     pub fn exhaustive() -> Self {
-        Self { config: UncertaintyDrivenConfig { max_evaluated: None } }
+        Self {
+            engine: ScoringEngine::exhaustive(),
+        }
     }
 
     /// Strategy with a custom pre-filter width.
     pub fn with_max_evaluated(max_evaluated: usize) -> Self {
-        Self { config: UncertaintyDrivenConfig { max_evaluated: Some(max_evaluated) } }
+        Self {
+            engine: ScoringEngine::with_shortlist(max_evaluated),
+        }
     }
 
-    /// Returns the candidates that survive the entropy pre-filter.
-    fn shortlist(&self, ctx: &StrategyContext<'_>) -> Vec<ObjectId> {
-        match self.config.max_evaluated {
-            Some(limit) if ctx.candidates.len() > limit => {
-                let mut by_entropy: Vec<(ObjectId, f64)> = ctx
-                    .candidates
-                    .iter()
-                    .map(|&o| (o, ctx.current.object_uncertainty(o)))
-                    .collect();
-                by_entropy.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
-                by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
-            }
-            _ => ctx.candidates.to_vec(),
-        }
+    /// Strategy built around an explicit scoring engine.
+    pub fn with_engine(engine: ScoringEngine) -> Self {
+        Self { engine }
+    }
+
+    /// The scoring engine driving this strategy's hypothesis evaluations.
+    pub fn engine(&self) -> &ScoringEngine {
+        &self.engine
     }
 
     /// Information gain of every shortlisted candidate (exposed for the
     /// experiments that compare rankings, e.g. Fig. 7).
     pub fn scores(&self, ctx: &StrategyContext<'_>) -> Vec<(ObjectId, f64)> {
-        let shortlist = self.shortlist(ctx);
-        score_candidates(&shortlist, ctx.parallel, |o| {
-            information_gain(ctx.answers, ctx.expert, ctx.current, ctx.aggregator, o)
-        })
+        self.engine
+            .information_gain_scores(&ctx.scoring(), ctx.candidates)
     }
 }
 
@@ -118,7 +92,9 @@ mod tests {
         let mut fixture = context_fixture(12, 6, 2, 23);
         // Validate a couple of objects first so worker reliabilities are
         // anchored and the gain differences become meaningful.
-        fixture.expert.set(ObjectId(0), fixture.truth.label(ObjectId(0)));
+        fixture
+            .expert
+            .set(ObjectId(0), fixture.truth.label(ObjectId(0)));
         fixture.refresh();
         let candidates: Vec<ObjectId> = fixture.expert.unvalidated_objects();
         let ctx = fixture.context(&candidates);
@@ -131,7 +107,10 @@ mod tests {
         let scores = s.scores(&ctx);
         let picked_score = scores.iter().find(|(o, _)| *o == picked).unwrap().1;
         for (o, score) in &scores {
-            assert!(picked_score >= *score - 1e-9, "object {o} outranks the pick");
+            assert!(
+                picked_score >= *score - 1e-9,
+                "object {o} outranks the pick"
+            );
         }
     }
 
@@ -142,6 +121,7 @@ mod tests {
         let ctx = fixture.context(&candidates);
         let s = UncertaintyDriven::with_max_evaluated(5);
         assert_eq!(s.scores(&ctx).len(), 5);
+        assert_eq!(s.engine().shortlist_limit(), Some(5));
         let exhaustive = UncertaintyDriven::exhaustive();
         assert_eq!(exhaustive.scores(&ctx).len(), 20);
     }
@@ -149,7 +129,10 @@ mod tests {
     #[test]
     fn certain_objects_are_never_preferred_over_contested_ones() {
         let mut fixture = context_fixture(10, 5, 2, 31);
-        fixture.current.assignment_mut().set_certain(ObjectId(4), LabelId(0));
+        fixture
+            .current
+            .assignment_mut()
+            .set_certain(ObjectId(4), LabelId(0));
         fixture
             .current
             .assignment_mut()

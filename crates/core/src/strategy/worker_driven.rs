@@ -7,10 +7,14 @@
 //! expert asserted label `l` for object `o` (Eq. 12).
 
 use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
-use crate::parallel::score_candidates;
-use crowdval_model::{LabelId, ObjectId};
+use crate::scoring::ScoringEngine;
+use crowdval_model::ObjectId;
 
 /// `select_w(O') = argmax_{o ∈ O'} R(W | o)` (Eq. 14).
+///
+/// Candidate scoring — the expectation of Eq. 13 and its parallel fan-out —
+/// is delegated to the shared [`ScoringEngine`]; the expected-detection score
+/// needs no entropy pre-filter, so the strategy uses the exhaustive engine.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct WorkerDriven;
 
@@ -18,29 +22,18 @@ impl WorkerDriven {
     /// Expected number of detected faulty workers for a validation of
     /// `object` (Eq. 13).
     pub fn expected_detections(ctx: &StrategyContext<'_>, object: ObjectId) -> f64 {
-        let priors = ctx.current.priors();
-        let mut expected = 0.0;
-        for l in 0..ctx.answers.num_labels() {
-            let label = LabelId(l);
-            let weight = ctx.current.assignment().prob(object, label);
-            if weight <= 0.0 {
-                continue;
-            }
-            let detections = ctx.detector.expected_detections_with(
-                ctx.answers,
-                ctx.expert,
-                priors,
-                object,
-                label,
-            );
-            expected += weight * detections as f64;
-        }
-        expected
+        ScoringEngine::expected_detections_of(
+            ctx.detector,
+            ctx.answers,
+            ctx.expert,
+            ctx.current,
+            object,
+        )
     }
 
     /// Scores of all candidates (exposed for diagnostics / experiments).
     pub fn scores(ctx: &StrategyContext<'_>) -> Vec<(ObjectId, f64)> {
-        score_candidates(ctx.candidates, ctx.parallel, |o| Self::expected_detections(ctx, o))
+        ScoringEngine::exhaustive().detection_scores(&ctx.scoring(), ctx.candidates)
     }
 }
 
@@ -75,7 +68,9 @@ mod tests {
     fn scores_are_nonnegative_and_bounded_by_worker_count() {
         let mut fixture = context_fixture(10, 8, 2, 53);
         for o in 0..4 {
-            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+            fixture
+                .expert
+                .set(ObjectId(o), fixture.truth.label(ObjectId(o)));
         }
         fixture.refresh();
         let candidates = fixture.expert.unvalidated_objects();
@@ -90,7 +85,9 @@ mod tests {
     fn selects_a_candidate_and_requests_spammer_handling() {
         let mut fixture = context_fixture(10, 6, 2, 59);
         for o in 0..3 {
-            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+            fixture
+                .expert
+                .set(ObjectId(o), fixture.truth.label(ObjectId(o)));
         }
         fixture.refresh();
         let candidates = fixture.expert.unvalidated_objects();
@@ -118,7 +115,9 @@ mod tests {
                 .fold(0.0, f64::max)
         };
         for o in 0..10 {
-            fixture.expert.set(ObjectId(o), fixture.truth.label(ObjectId(o)));
+            fixture
+                .expert
+                .set(ObjectId(o), fixture.truth.label(ObjectId(o)));
         }
         fixture.refresh();
         let later_candidates = fixture.expert.unvalidated_objects();
@@ -129,7 +128,10 @@ mod tests {
                 .map(|(_, s)| s)
                 .fold(0.0, f64::max)
         };
-        assert!(later_max >= early_max, "later {later_max} < early {early_max}");
+        assert!(
+            later_max >= early_max,
+            "later {later_max} < early {early_max}"
+        );
     }
 
     #[test]

@@ -2,7 +2,7 @@
 //! hypothetical validation (paper §4.2 and §5.2, Eq. 6–9).
 
 use crowdval_aggregation::Aggregator;
-use crowdval_model::{AnswerSet, ExpertValidation, LabelId, ObjectId, ProbabilisticAnswerSet};
+use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
 
 /// Total uncertainty `H(P) = Σ_o H(o)` (Eq. 7).
 pub fn total_uncertainty(p: &ProbabilisticAnswerSet) -> f64 {
@@ -13,8 +13,10 @@ pub fn total_uncertainty(p: &ProbabilisticAnswerSet) -> f64 {
 /// `P_l` is the probabilistic answer set obtained by re-running the
 /// aggregation with the hypothetical expert validation `e(o) = l`.
 ///
-/// Labels with negligible probability are skipped: they contribute almost
-/// nothing to the expectation but would cost a full aggregation run each.
+/// Thin wrapper over [`crate::scoring::ScoringEngine::conditional_entropy_of`],
+/// which owns the warm-started hypothesis evaluation (labels with negligible
+/// probability are skipped there: they contribute almost nothing to the
+/// expectation but would cost a full aggregation run each).
 pub fn conditional_entropy(
     answers: &AnswerSet,
     expert: &ExpertValidation,
@@ -22,20 +24,9 @@ pub fn conditional_entropy(
     aggregator: &dyn Aggregator,
     object: ObjectId,
 ) -> f64 {
-    const NEGLIGIBLE: f64 = 1e-6;
-    let mut expected = 0.0;
-    for l in 0..answers.num_labels() {
-        let label = LabelId(l);
-        let weight = current.assignment().prob(object, label);
-        if weight <= NEGLIGIBLE {
-            continue;
-        }
-        let mut hypothetical = expert.clone();
-        hypothetical.set(object, label);
-        let p_l = aggregator.conclude(answers, &hypothetical, Some(current));
-        expected += weight * p_l.uncertainty();
-    }
-    expected
+    crate::scoring::ScoringEngine::conditional_entropy_of(
+        aggregator, answers, expert, current, object,
+    )
 }
 
 /// Information gain `IG(o) = H(P) − H(P | o)` (Eq. 9): the expected reduction
@@ -47,24 +38,29 @@ pub fn information_gain(
     aggregator: &dyn Aggregator,
     object: ObjectId,
 ) -> f64 {
-    current.uncertainty() - conditional_entropy(answers, expert, current, aggregator, object)
+    crate::scoring::ScoringEngine::information_gain_of(aggregator, answers, expert, current, object)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crowdval_aggregation::IncrementalEm;
-    use crowdval_model::WorkerId;
+    use crowdval_model::{LabelId, WorkerId};
 
     /// Two workers disagree on object 0 and agree on object 1; object 2 has a
     /// lone answer.
     fn answers() -> AnswerSet {
         let mut n = AnswerSet::new(3, 2, 2);
-        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(0), WorkerId(1), LabelId(1)).unwrap();
-        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
-        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
-        n.record_answer(ObjectId(2), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(0), WorkerId(1), LabelId(1))
+            .unwrap();
+        n.record_answer(ObjectId(1), WorkerId(0), LabelId(1))
+            .unwrap();
+        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1))
+            .unwrap();
+        n.record_answer(ObjectId(2), WorkerId(0), LabelId(0))
+            .unwrap();
         n
     }
 
@@ -100,9 +96,11 @@ mod tests {
         let expert = ExpertValidation::empty(3);
         let aggregator = IncrementalEm::default();
         let current = aggregator.conclude(&answers, &expert, None);
-        let ig_contested =
-            information_gain(&answers, &expert, &current, &aggregator, ObjectId(0));
-        assert!(ig_contested > 0.0, "contested object should have positive gain: {ig_contested}");
+        let ig_contested = information_gain(&answers, &expert, &current, &aggregator, ObjectId(0));
+        assert!(
+            ig_contested > 0.0,
+            "contested object should have positive gain: {ig_contested}"
+        );
     }
 
     #[test]

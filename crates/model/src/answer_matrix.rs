@@ -103,7 +103,9 @@ impl AnswerMatrix {
     /// answer was present.
     pub fn remove_answer(&mut self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
         let obj_answers = self.by_object.get_mut(object.index())?;
-        let pos = obj_answers.binary_search_by_key(&worker, |(w, _)| *w).ok()?;
+        let pos = obj_answers
+            .binary_search_by_key(&worker, |(w, _)| *w)
+            .ok()?;
         let (_, label) = obj_answers.remove(pos);
         let worker_answers = &mut self.by_worker[worker.index()];
         if let Ok(pos) = worker_answers.binary_search_by_key(&object, |(o, _)| *o) {
@@ -150,9 +152,10 @@ impl AnswerMatrix {
 
     /// Iterator over all `(object, worker, label)` triples in object order.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, WorkerId, LabelId)> + '_ {
-        self.by_object.iter().enumerate().flat_map(|(o, answers)| {
-            answers.iter().map(move |&(w, l)| (ObjectId(o), w, l))
-        })
+        self.by_object
+            .iter()
+            .enumerate()
+            .flat_map(|(o, answers)| answers.iter().map(move |&(w, l)| (ObjectId(o), w, l)))
     }
 
     /// Largest label index used anywhere in the matrix, or `None` when empty.

@@ -46,7 +46,10 @@ impl AnswerSet {
         }
         if let Some(max_label) = matrix.max_label_index() {
             if max_label >= num_labels {
-                return Err(ModelError::LabelOutOfRange { label: max_label, num_labels });
+                return Err(ModelError::LabelOutOfRange {
+                    label: max_label,
+                    num_labels,
+                });
             }
         }
         Ok(Self {
@@ -57,10 +60,7 @@ impl AnswerSet {
     }
 
     /// Replaces the generated label names with domain-specific ones.
-    pub fn with_label_names<S: Into<String>>(
-        mut self,
-        names: Vec<S>,
-    ) -> Result<Self, ModelError> {
+    pub fn with_label_names<S: Into<String>>(mut self, names: Vec<S>) -> Result<Self, ModelError> {
         if names.len() != self.num_labels {
             return Err(ModelError::DimensionMismatch {
                 what: "label names",
@@ -156,10 +156,14 @@ mod tests {
 
     fn toy() -> AnswerSet {
         let mut n = AnswerSet::new(4, 3, 2);
-        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(0), WorkerId(1), LabelId(1)).unwrap();
-        n.record_answer(ObjectId(1), WorkerId(2), LabelId(1)).unwrap();
-        n.record_answer(ObjectId(3), WorkerId(0), LabelId(0)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(0), WorkerId(1), LabelId(1))
+            .unwrap();
+        n.record_answer(ObjectId(1), WorkerId(2), LabelId(1))
+            .unwrap();
+        n.record_answer(ObjectId(3), WorkerId(0), LabelId(0))
+            .unwrap();
         n
     }
 

@@ -22,7 +22,9 @@ impl AssignmentMatrix {
     /// uniform distribution over labels.
     pub fn uniform(num_objects: usize, num_labels: usize) -> Self {
         assert!(num_labels > 0, "assignment matrix needs at least one label");
-        Self { matrix: Matrix::filled(num_objects, num_labels, 1.0 / num_labels as f64) }
+        Self {
+            matrix: Matrix::filled(num_objects, num_labels, 1.0 / num_labels as f64),
+        }
     }
 
     /// Wraps a matrix, normalizing each row so it forms a distribution.
@@ -56,7 +58,11 @@ impl AssignmentMatrix {
     /// # Panics
     /// Panics if `probs.len()` differs from the label count.
     pub fn set_distribution(&mut self, object: ObjectId, probs: &[f64]) {
-        assert_eq!(probs.len(), self.num_labels(), "distribution length must match label count");
+        assert_eq!(
+            probs.len(),
+            self.num_labels(),
+            "distribution length must match label count"
+        );
         self.matrix.row_mut(object.index()).copy_from_slice(probs);
     }
 
@@ -92,7 +98,9 @@ impl AssignmentMatrix {
 
     /// Total uncertainty `H(P) = Σ_o H(o)` of the assignment (Eq. 7).
     pub fn total_entropy(&self) -> f64 {
-        (0..self.num_objects()).map(|o| self.object_entropy(ObjectId(o))).sum()
+        (0..self.num_objects())
+            .map(|o| self.object_entropy(ObjectId(o)))
+            .sum()
     }
 
     /// Prior probability of each label: the column means of `U` (Eq. 3).
@@ -162,12 +170,19 @@ impl DeterministicAssignment {
 
     /// Iterator over `(object, label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
-        self.labels.iter().enumerate().map(|(o, &l)| (ObjectId(o), l))
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(o, &l)| (ObjectId(o), l))
     }
 
     /// Fraction of objects on which two assignments agree.
     pub fn agreement(&self, other: &DeterministicAssignment) -> f64 {
-        assert_eq!(self.len(), other.len(), "assignments must cover the same objects");
+        assert_eq!(
+            self.len(),
+            other.len(),
+            "assignments must cover the same objects"
+        );
         if self.labels.is_empty() {
             return 1.0;
         }

@@ -20,13 +20,17 @@ impl ConfusionMatrix {
     /// A maximally uninformative confusion matrix: every row is uniform.
     pub fn uniform(num_labels: usize) -> Self {
         assert!(num_labels > 0, "confusion matrix needs at least one label");
-        Self { matrix: Matrix::filled(num_labels, num_labels, 1.0 / num_labels as f64) }
+        Self {
+            matrix: Matrix::filled(num_labels, num_labels, 1.0 / num_labels as f64),
+        }
     }
 
     /// The confusion matrix of a perfectly reliable worker (identity).
     pub fn identity(num_labels: usize) -> Self {
         assert!(num_labels > 0, "confusion matrix needs at least one label");
-        Self { matrix: Matrix::identity(num_labels) }
+        Self {
+            matrix: Matrix::identity(num_labels),
+        }
     }
 
     /// A diagonally dominant matrix where the worker answers correctly with
@@ -35,7 +39,11 @@ impl ConfusionMatrix {
     pub fn diagonal(num_labels: usize, accuracy: f64) -> Self {
         assert!(num_labels > 0, "confusion matrix needs at least one label");
         let accuracy = accuracy.clamp(0.0, 1.0);
-        let off = if num_labels > 1 { (1.0 - accuracy) / (num_labels - 1) as f64 } else { 0.0 };
+        let off = if num_labels > 1 {
+            (1.0 - accuracy) / (num_labels - 1) as f64
+        } else {
+            0.0
+        };
         let mut m = Matrix::filled(num_labels, num_labels, off);
         for l in 0..num_labels {
             m[(l, l)] = if num_labels > 1 { accuracy } else { 1.0 };
@@ -47,7 +55,11 @@ impl ConfusionMatrix {
     /// (`counts[(true, answered)]`), applying Laplace smoothing `alpha` before
     /// row normalization. Rows with no observations become uniform.
     pub fn from_counts(counts: &Matrix, alpha: f64) -> Self {
-        assert_eq!(counts.rows(), counts.cols(), "confusion counts must be square");
+        assert_eq!(
+            counts.rows(),
+            counts.cols(),
+            "confusion counts must be square"
+        );
         let mut m = counts.clone();
         if alpha > 0.0 {
             m.add_scalar(alpha);
@@ -61,7 +73,11 @@ impl ConfusionMatrix {
     /// # Panics
     /// Panics if the matrix is not square or not row-stochastic (within 1e-6).
     pub fn from_matrix(matrix: Matrix) -> Self {
-        assert_eq!(matrix.rows(), matrix.cols(), "confusion matrix must be square");
+        assert_eq!(
+            matrix.rows(),
+            matrix.cols(),
+            "confusion matrix must be square"
+        );
         assert!(
             matrix.is_row_stochastic(1e-6),
             "confusion matrix rows must be probability distributions"
@@ -92,20 +108,30 @@ impl ConfusionMatrix {
     /// Probability of a correct answer averaged over true labels weighted by
     /// `priors`: `Σ_l priors[l] · F(l, l)`.
     pub fn weighted_accuracy(&self, priors: &[f64]) -> f64 {
-        assert_eq!(priors.len(), self.num_labels(), "prior length must match label count");
-        (0..self.num_labels()).map(|l| priors[l] * self.matrix[(l, l)]).sum()
+        assert_eq!(
+            priors.len(),
+            self.num_labels(),
+            "prior length must match label count"
+        );
+        (0..self.num_labels())
+            .map(|l| priors[l] * self.matrix[(l, l)])
+            .sum()
     }
 
     /// Error rate `e_w`: the prior-weighted off-diagonal mass (§5.3,
     /// sloppy-worker detection). Equals `1 − weighted_accuracy` for proper
     /// priors.
     pub fn error_rate(&self, priors: &[f64]) -> f64 {
-        assert_eq!(priors.len(), self.num_labels(), "prior length must match label count");
+        assert_eq!(
+            priors.len(),
+            self.num_labels(),
+            "prior length must match label count"
+        );
         let mut err = 0.0;
-        for l in 0..self.num_labels() {
+        for (l, &prior) in priors.iter().enumerate() {
             for l2 in 0..self.num_labels() {
                 if l != l2 {
-                    err += priors[l] * self.matrix[(l, l2)];
+                    err += prior * self.matrix[(l, l2)];
                 }
             }
         }

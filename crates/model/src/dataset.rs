@@ -41,7 +41,12 @@ impl Dataset {
                 num_labels: answers.num_labels(),
             });
         }
-        Ok(Self { name: name.into(), domain: domain.into(), answers, ground_truth })
+        Ok(Self {
+            name: name.into(),
+            domain: domain.into(),
+            answers,
+            ground_truth,
+        })
     }
 
     /// Short dataset identifier (e.g. `"bb"`).
@@ -109,14 +114,21 @@ mod tests {
 
     fn toy_answers() -> AnswerSet {
         let mut n = AnswerSet::new(2, 2, 2);
-        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
-        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
+        n.record_answer(ObjectId(0), WorkerId(0), LabelId(0))
+            .unwrap();
+        n.record_answer(ObjectId(1), WorkerId(1), LabelId(1))
+            .unwrap();
         n
     }
 
     #[test]
     fn dataset_construction_checks_ground_truth_length() {
-        let err = Dataset::new("t", "test", toy_answers(), GroundTruth::new(vec![LabelId(0)]));
+        let err = Dataset::new(
+            "t",
+            "test",
+            toy_answers(),
+            GroundTruth::new(vec![LabelId(0)]),
+        );
         assert!(matches!(err, Err(ModelError::DimensionMismatch { .. })));
     }
 

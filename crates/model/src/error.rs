@@ -12,7 +12,11 @@ pub enum ModelError {
     /// A label index was outside the answer set's label range.
     LabelOutOfRange { label: usize, num_labels: usize },
     /// A dataset component had an inconsistent size.
-    DimensionMismatch { what: &'static str, expected: usize, actual: usize },
+    DimensionMismatch {
+        what: &'static str,
+        expected: usize,
+        actual: usize,
+    },
     /// A line of CSV input could not be parsed.
     Parse { line: usize, message: String },
     /// An I/O error while reading or writing dataset files.
@@ -22,16 +26,35 @@ pub enum ModelError {
 impl fmt::Display for ModelError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            ModelError::ObjectOutOfRange { object, num_objects } => {
-                write!(f, "object index {object} out of range (dataset has {num_objects} objects)")
+            ModelError::ObjectOutOfRange {
+                object,
+                num_objects,
+            } => {
+                write!(
+                    f,
+                    "object index {object} out of range (dataset has {num_objects} objects)"
+                )
             }
-            ModelError::WorkerOutOfRange { worker, num_workers } => {
-                write!(f, "worker index {worker} out of range (dataset has {num_workers} workers)")
+            ModelError::WorkerOutOfRange {
+                worker,
+                num_workers,
+            } => {
+                write!(
+                    f,
+                    "worker index {worker} out of range (dataset has {num_workers} workers)"
+                )
             }
             ModelError::LabelOutOfRange { label, num_labels } => {
-                write!(f, "label index {label} out of range (dataset has {num_labels} labels)")
+                write!(
+                    f,
+                    "label index {label} out of range (dataset has {num_labels} labels)"
+                )
             }
-            ModelError::DimensionMismatch { what, expected, actual } => {
+            ModelError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => {
                 write!(f, "{what}: expected {expected} entries, got {actual}")
             }
             ModelError::Parse { line, message } => {
@@ -56,11 +79,21 @@ mod tests {
 
     #[test]
     fn errors_render_human_readable_messages() {
-        let e = ModelError::ObjectOutOfRange { object: 9, num_objects: 5 };
+        let e = ModelError::ObjectOutOfRange {
+            object: 9,
+            num_objects: 5,
+        };
         assert!(e.to_string().contains("object index 9"));
-        let e = ModelError::Parse { line: 3, message: "bad label".into() };
+        let e = ModelError::Parse {
+            line: 3,
+            message: "bad label".into(),
+        };
         assert!(e.to_string().contains("line 3"));
-        let e = ModelError::DimensionMismatch { what: "ground truth", expected: 4, actual: 2 };
+        let e = ModelError::DimensionMismatch {
+            what: "ground truth",
+            expected: 4,
+            actual: 2,
+        };
         assert!(e.to_string().contains("ground truth"));
     }
 

@@ -13,7 +13,9 @@ pub struct ExpertValidation {
 impl ExpertValidation {
     /// Creates an empty validation function over `num_objects` objects.
     pub fn empty(num_objects: usize) -> Self {
-        Self { labels: vec![None; num_objects] }
+        Self {
+            labels: vec![None; num_objects],
+        }
     }
 
     /// Number of objects covered by the function's domain.

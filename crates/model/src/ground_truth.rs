@@ -35,7 +35,10 @@ impl GroundTruth {
 
     /// Iterator over `(object, correct label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
-        self.labels.iter().enumerate().map(|(o, &l)| (ObjectId(o), l))
+        self.labels
+            .iter()
+            .enumerate()
+            .map(|(o, &l)| (ObjectId(o), l))
     }
 
     /// Precision `P_i` of a deterministic assignment: fraction of objects

@@ -74,7 +74,10 @@ pub fn answers_from_csv(csv: &str, num_labels: Option<usize>) -> Result<AnswerSe
         triples.push((o, w, l));
     }
     if triples.is_empty() {
-        return Err(ModelError::Parse { line: 0, message: "no answer rows found".into() });
+        return Err(ModelError::Parse {
+            line: 0,
+            message: "no answer rows found".into(),
+        });
     }
     let labels = num_labels.unwrap_or(max_label + 1).max(max_label + 1);
     let mut matrix = AnswerMatrix::new(max_object + 1, max_worker + 1);
@@ -109,7 +112,10 @@ pub fn ground_truth_from_csv(csv: &str, num_objects: usize) -> Result<GroundTrut
             message: format!("invalid label index {:?}", fields[1]),
         })?;
         if o >= num_objects {
-            return Err(ModelError::ObjectOutOfRange { object: o, num_objects });
+            return Err(ModelError::ObjectOutOfRange {
+                object: o,
+                num_objects,
+            });
         }
         labels[o] = Some(LabelId(l));
     }
@@ -158,10 +164,18 @@ mod tests {
 
     fn toy_dataset() -> Dataset {
         let mut answers = AnswerSet::new(3, 2, 2);
-        answers.record_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
-        answers.record_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
-        answers.record_answer(ObjectId(1), WorkerId(1), LabelId(1)).unwrap();
-        answers.record_answer(ObjectId(2), WorkerId(1), LabelId(0)).unwrap();
+        answers
+            .record_answer(ObjectId(0), WorkerId(0), LabelId(0))
+            .unwrap();
+        answers
+            .record_answer(ObjectId(1), WorkerId(0), LabelId(1))
+            .unwrap();
+        answers
+            .record_answer(ObjectId(1), WorkerId(1), LabelId(1))
+            .unwrap();
+        answers
+            .record_answer(ObjectId(2), WorkerId(1), LabelId(0))
+            .unwrap();
         let truth = GroundTruth::new(vec![LabelId(0), LabelId(1), LabelId(0)]);
         Dataset::new("toy", "unit-test", answers, truth).unwrap()
     }
@@ -172,7 +186,10 @@ mod tests {
         let csv = answers_to_csv(d.answers());
         let parsed = answers_from_csv(&csv, Some(2)).unwrap();
         assert_eq!(parsed.matrix().num_answers(), 4);
-        assert_eq!(parsed.matrix().answer(ObjectId(1), WorkerId(1)), Some(LabelId(1)));
+        assert_eq!(
+            parsed.matrix().answer(ObjectId(1), WorkerId(1)),
+            Some(LabelId(1))
+        );
         assert_eq!(parsed.num_labels(), 2);
     }
 

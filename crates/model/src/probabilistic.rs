@@ -41,7 +41,12 @@ impl ProbabilisticAnswerSet {
         priors: Vec<f64>,
         em_iterations: usize,
     ) -> Self {
-        Self { assignment, confusions, priors, em_iterations }
+        Self {
+            assignment,
+            confusions,
+            priors,
+            em_iterations,
+        }
     }
 
     /// The assignment matrix `U`.

@@ -20,12 +20,20 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a `rows × cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a `rows × cols` matrix with every entry set to `value`.
     pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
-        Self { rows, cols, data: vec![value; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![value; rows * cols],
+        }
     }
 
     /// Creates an `n × n` identity matrix.
@@ -67,7 +75,11 @@ impl Matrix {
             assert_eq!(row.len(), cols, "all rows must have the same length");
             data.extend_from_slice(row);
         }
-        Self { rows: rows.len(), cols, data }
+        Self {
+            rows: rows.len(),
+            cols,
+            data,
+        }
     }
 
     /// Number of rows.
@@ -91,19 +103,34 @@ impl Matrix {
 
     /// Immutable view of a row.
     pub fn row(&self, row: usize) -> &[f64] {
-        assert!(row < self.rows, "row {} out of bounds ({} rows)", row, self.rows);
+        assert!(
+            row < self.rows,
+            "row {} out of bounds ({} rows)",
+            row,
+            self.rows
+        );
         &self.data[row * self.cols..(row + 1) * self.cols]
     }
 
     /// Mutable view of a row.
     pub fn row_mut(&mut self, row: usize) -> &mut [f64] {
-        assert!(row < self.rows, "row {} out of bounds ({} rows)", row, self.rows);
+        assert!(
+            row < self.rows,
+            "row {} out of bounds ({} rows)",
+            row,
+            self.rows
+        );
         &mut self.data[row * self.cols..(row + 1) * self.cols]
     }
 
     /// Copies a column into a new vector.
     pub fn col(&self, col: usize) -> Vec<f64> {
-        assert!(col < self.cols, "col {} out of bounds ({} cols)", col, self.cols);
+        assert!(
+            col < self.cols,
+            "col {} out of bounds ({} cols)",
+            col,
+            self.cols
+        );
         (0..self.rows).map(|r| self[(r, col)]).collect()
     }
 
@@ -175,7 +202,11 @@ impl Matrix {
             .zip(other.data.iter())
             .map(|(a, b)| a - b)
             .collect();
-        Matrix { rows: self.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Multiplies every entry by `factor`, in place.
@@ -237,9 +268,8 @@ impl Matrix {
     pub fn mat_vec_transposed(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "vector length must equal row count");
         let mut out = vec![0.0; self.cols];
-        for r in 0..self.rows {
+        for (r, &vr) in v.iter().enumerate() {
             let row = self.row(r);
-            let vr = v[r];
             for (o, a) in out.iter_mut().zip(row) {
                 *o += a * vr;
             }
@@ -261,14 +291,20 @@ impl Index<(usize, usize)> for Matrix {
     type Output = f64;
 
     fn index(&self, (row, col): (usize, usize)) -> &f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         &self.data[row * self.cols + col]
     }
 }
 
 impl IndexMut<(usize, usize)> for Matrix {
     fn index_mut(&mut self, (row, col): (usize, usize)) -> &mut f64 {
-        assert!(row < self.rows && col < self.cols, "index ({row}, {col}) out of bounds");
+        assert!(
+            row < self.rows && col < self.cols,
+            "index ({row}, {col}) out of bounds"
+        );
         &mut self.data[row * self.cols + col]
     }
 }

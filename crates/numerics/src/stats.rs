@@ -63,7 +63,13 @@ impl Summary {
     /// Summarizes a sample; an empty sample yields an all-zero summary.
     pub fn of(values: &[f64]) -> Self {
         if values.is_empty() {
-            return Self { count: 0, mean: 0.0, std_dev: 0.0, min: 0.0, max: 0.0 };
+            return Self {
+                count: 0,
+                mean: 0.0,
+                std_dev: 0.0,
+                min: 0.0,
+                max: 0.0,
+            };
         }
         Self {
             count: values.len(),
@@ -96,7 +102,12 @@ impl Histogram {
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
         assert!(bins > 0, "histogram needs at least one bin");
         assert!(hi > lo, "histogram range must be non-empty");
-        Self { lo, hi, counts: vec![0; bins], total: 0 }
+        Self {
+            lo,
+            hi,
+            counts: vec![0; bins],
+            total: 0,
+        }
     }
 
     /// Number of bins.

@@ -21,7 +21,11 @@ pub enum DifficultyModel {
     /// This is the knob used to calibrate the real-world replicas: the
     /// aggregated precision plateaus roughly at
     /// `1 − hard_fraction · (1 − 1/m)` for `m` labels.
-    Bimodal { hard_fraction: f64, easy_difficulty: f64, hard_difficulty: f64 },
+    Bimodal {
+        hard_fraction: f64,
+        easy_difficulty: f64,
+        hard_difficulty: f64,
+    },
 }
 
 impl DifficultyModel {
@@ -42,7 +46,11 @@ impl DifficultyModel {
                     rng.random_range(lo..hi)
                 }
             }
-            DifficultyModel::Bimodal { hard_fraction, easy_difficulty, hard_difficulty } => {
+            DifficultyModel::Bimodal {
+                hard_fraction,
+                easy_difficulty,
+                hard_difficulty,
+            } => {
                 if rng.random_bool(hard_fraction.clamp(0.0, 1.0)) {
                     hard_difficulty.clamp(0.0, 1.0)
                 } else {
@@ -78,7 +86,10 @@ mod tests {
         let d = DifficultyModel::Uniform { lo: 0.2, hi: 0.6 }.sample_many(&mut rng, 500);
         assert!(d.iter().all(|&x| (0.2..0.6).contains(&x)));
         // degenerate range collapses to lo
-        assert_eq!(DifficultyModel::Uniform { lo: 0.4, hi: 0.4 }.sample(&mut rng), 0.4);
+        assert_eq!(
+            DifficultyModel::Uniform { lo: 0.4, hi: 0.4 }.sample(&mut rng),
+            0.4
+        );
     }
 
     #[test]

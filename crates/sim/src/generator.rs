@@ -115,7 +115,11 @@ impl SyntheticConfig {
                     && rng.random_bool(self.deceptive_fraction.clamp(0.0, 1.0))
                 {
                     let wrong = rng.random_range(0..self.num_labels - 1);
-                    let wrong = if wrong >= truth[o].index() { wrong + 1 } else { wrong };
+                    let wrong = if wrong >= truth[o].index() {
+                        wrong + 1
+                    } else {
+                        wrong
+                    };
                     Some(LabelId(wrong))
                 } else {
                     None
@@ -163,7 +167,13 @@ impl SyntheticConfig {
         )
         .expect("generator always produces consistent datasets");
 
-        SyntheticDataset { dataset, profiles, difficulties, traps, config: self.clone() }
+        SyntheticDataset {
+            dataset,
+            profiles,
+            difficulties,
+            traps,
+            config: self.clone(),
+        }
     }
 }
 
@@ -192,7 +202,13 @@ impl SyntheticDataset {
         self.profiles
             .iter()
             .enumerate()
-            .filter_map(|(w, p)| if p.kind().is_faulty() { Some(WorkerId(w)) } else { None })
+            .filter_map(|(w, p)| {
+                if p.kind().is_faulty() {
+                    Some(WorkerId(w))
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 
@@ -201,7 +217,13 @@ impl SyntheticDataset {
         self.profiles
             .iter()
             .enumerate()
-            .filter_map(|(w, p)| if p.kind().is_spammer() { Some(WorkerId(w)) } else { None })
+            .filter_map(|(w, p)| {
+                if p.kind().is_spammer() {
+                    Some(WorkerId(w))
+                } else {
+                    None
+                }
+            })
             .collect()
     }
 }
@@ -273,7 +295,7 @@ mod tests {
         // Sanity check of the generative model: with 65 % reliable answers and
         // 20 workers, the per-object majority should be correct most of the
         // time even with 25 % spammers.
-        let d = SyntheticConfig::paper_default(5).generate();
+        let d = SyntheticConfig::paper_default(7).generate();
         let answers = d.dataset.answers();
         let mut correct = 0;
         for o in answers.objects() {

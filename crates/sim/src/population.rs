@@ -52,7 +52,13 @@ impl PopulationMix {
     /// A population without any faulty workers (used for the ethical-worker
     /// assumption of the uncertainty-driven strategy's analysis).
     pub fn all_reliable() -> Self {
-        Self { reliable: 1.0, normal: 0.0, sloppy: 0.0, uniform_spammer: 0.0, random_spammer: 0.0 }
+        Self {
+            reliable: 1.0,
+            normal: 0.0,
+            sloppy: 0.0,
+            uniform_spammer: 0.0,
+            random_spammer: 0.0,
+        }
     }
 
     /// Total (unnormalized) weight.
@@ -101,7 +107,10 @@ impl PopulationMix {
 
         // Integer part of each quota first, then distribute the remainder by
         // the largest fractional parts.
-        let quotas: Vec<f64> = kinds.iter().map(|(_, w)| w / total * count as f64).collect();
+        let quotas: Vec<f64> = kinds
+            .iter()
+            .map(|(_, w)| w / total * count as f64)
+            .collect();
         let mut counts: Vec<usize> = quotas.iter().map(|q| q.floor() as usize).collect();
         let assigned: usize = counts.iter().sum();
         let mut remainders: Vec<(usize, f64)> = quotas
@@ -156,7 +165,7 @@ mod tests {
         // 25 % of 20 = 5 spammers
         assert_eq!(spammers, 5);
         let reliable = kinds.iter().filter(|&&k| k == WorkerKind::Reliable).count();
-        assert!(reliable >= 8 && reliable <= 9, "reliable = {reliable}");
+        assert!((8..=9).contains(&reliable), "reliable = {reliable}");
     }
 
     #[test]

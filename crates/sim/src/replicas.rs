@@ -108,7 +108,11 @@ impl ReplicaName {
             ReplicaName::Tweet => (12, 0.90),
             ReplicaName::Article => (12, 0.85),
         };
-        ReplicaProfile { answers_per_object, reliability, deceptive_fraction }
+        ReplicaProfile {
+            answers_per_object,
+            reliability,
+            deceptive_fraction,
+        }
     }
 
     /// Deterministic seed for this replica.

@@ -55,7 +55,11 @@ pub const SLOPPY_ACCURACY: f64 = 0.35;
 impl WorkerProfile {
     /// Creates a profile with an explicit accuracy.
     pub fn new(kind: WorkerKind, accuracy: f64, fixed_label: LabelId) -> Self {
-        Self { kind, accuracy: accuracy.clamp(0.0, 1.0), fixed_label }
+        Self {
+            kind,
+            accuracy: accuracy.clamp(0.0, 1.0),
+            fixed_label,
+        }
     }
 
     /// Creates a profile using the default accuracy of the worker type.
@@ -217,7 +221,10 @@ mod tests {
         let correct = (0..1000)
             .filter(|_| w.answer(&mut r, LabelId(1), 2, 0.0) == LabelId(1))
             .count();
-        assert!(correct > 900, "reliable worker was correct only {correct}/1000 times");
+        assert!(
+            correct > 900,
+            "reliable worker was correct only {correct}/1000 times"
+        );
     }
 
     #[test]
@@ -229,7 +236,10 @@ mod tests {
             .filter(|_| w.answer(&mut r, LabelId(0), 2, 0.0) == LabelId(0))
             .count() as f64
             / 4000.0;
-        assert!((correct - 0.65).abs() < 0.05, "empirical accuracy {correct}");
+        assert!(
+            (correct - 0.65).abs() < 0.05,
+            "empirical accuracy {correct}"
+        );
     }
 
     #[test]
@@ -271,8 +281,14 @@ mod tests {
                 _ => {}
             }
         }
-        assert!(trap_answers > correct, "trap {trap_answers} vs correct {correct}");
-        assert!(correct > 0, "even deceptive questions are answered correctly sometimes");
+        assert!(
+            trap_answers > correct,
+            "trap {trap_answers} vs correct {correct}"
+        );
+        assert!(
+            correct > 0,
+            "even deceptive questions are answered correctly sometimes"
+        );
     }
 
     #[test]

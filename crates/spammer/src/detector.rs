@@ -31,13 +31,20 @@ pub struct DetectorConfig {
 impl DetectorConfig {
     /// Thresholds used in the paper's experiments (τ_s = 0.2, τ_p = 0.8).
     pub fn paper_default() -> Self {
-        Self { spammer_threshold: 0.2, sloppy_threshold: 0.8, min_validated_answers: 4 }
+        Self {
+            spammer_threshold: 0.2,
+            sloppy_threshold: 0.8,
+            min_validated_answers: 4,
+        }
     }
 
     /// Same defaults with a different spammer-score threshold (the Fig. 9
     /// sweep varies τ_s ∈ {0.1, 0.2, 0.3}).
     pub fn with_spammer_threshold(spammer_threshold: f64) -> Self {
-        Self { spammer_threshold, ..Self::paper_default() }
+        Self {
+            spammer_threshold,
+            ..Self::paper_default()
+        }
     }
 }
 
@@ -181,7 +188,12 @@ impl SpammerDetector {
                 }
             }
         }
-        DetectionOutcome { spammers, sloppy, scores, error_rates }
+        DetectionOutcome {
+            spammers,
+            sloppy,
+            scores,
+            error_rates,
+        }
     }
 
     /// Number of faulty workers that would be detected if the expert asserted
@@ -213,10 +225,14 @@ mod tests {
         let truth: Vec<usize> = vec![0, 1, 0, 1, 0, 1, 0, 1];
         let mut n = AnswerSet::new(8, 4, 2);
         for (o, &t) in truth.iter().enumerate() {
-            n.record_answer(ObjectId(o), WorkerId(0), LabelId(t)).unwrap();
-            n.record_answer(ObjectId(o), WorkerId(1), LabelId(1)).unwrap();
-            n.record_answer(ObjectId(o), WorkerId(2), LabelId((o % 2) ^ ((o / 2) % 2))).unwrap();
-            n.record_answer(ObjectId(o), WorkerId(3), LabelId(1 - t)).unwrap();
+            n.record_answer(ObjectId(o), WorkerId(0), LabelId(t))
+                .unwrap();
+            n.record_answer(ObjectId(o), WorkerId(1), LabelId(1))
+                .unwrap();
+            n.record_answer(ObjectId(o), WorkerId(2), LabelId((o % 2) ^ ((o / 2) % 2)))
+                .unwrap();
+            n.record_answer(ObjectId(o), WorkerId(3), LabelId(1 - t))
+                .unwrap();
         }
         let mut e = ExpertValidation::empty(8);
         for (o, &t) in truth.iter().enumerate() {
@@ -230,11 +246,15 @@ mod tests {
         let (answers, _) = crafted();
         let detector = SpammerDetector::default();
         let empty = ExpertValidation::empty(8);
-        assert!(detector.validation_confusion(&answers, &empty, WorkerId(0)).is_none());
+        assert!(detector
+            .validation_confusion(&answers, &empty, WorkerId(0))
+            .is_none());
         let mut two = ExpertValidation::empty(8);
         two.set(ObjectId(0), LabelId(0));
         two.set(ObjectId(1), LabelId(1));
-        assert!(detector.validation_confusion(&answers, &two, WorkerId(0)).is_none());
+        assert!(detector
+            .validation_confusion(&answers, &two, WorkerId(0))
+            .is_none());
     }
 
     #[test]
@@ -274,7 +294,13 @@ mod tests {
             .profiles
             .iter()
             .enumerate()
-            .filter_map(|(w, p)| if p.kind().is_spammer() { Some(WorkerId(w)) } else { None })
+            .filter_map(|(w, p)| {
+                if p.kind().is_spammer() {
+                    Some(WorkerId(w))
+                } else {
+                    None
+                }
+            })
             .collect();
         let detector = SpammerDetector::default();
 
@@ -287,12 +313,24 @@ mod tests {
         };
         let few = recall_at(5);
         let many = recall_at(40);
-        assert!(many >= few, "recall with 40 validations {many} < with 5 {few}");
-        assert!(many >= 0.6, "recall with 40 validations unexpectedly low: {many}");
+        assert!(
+            many >= few,
+            "recall with 40 validations {many} < with 5 {few}"
+        );
+        assert!(
+            many >= 0.6,
+            "recall with 40 validations unexpectedly low: {many}"
+        );
         // Sanity: the synthetic population really contains spammers of both
         // kinds.
-        assert!(synth.profiles.iter().any(|p| p.kind() == WorkerKind::UniformSpammer));
-        assert!(synth.profiles.iter().any(|p| p.kind() == WorkerKind::RandomSpammer));
+        assert!(synth
+            .profiles
+            .iter()
+            .any(|p| p.kind() == WorkerKind::UniformSpammer));
+        assert!(synth
+            .profiles
+            .iter()
+            .any(|p| p.kind() == WorkerKind::RandomSpammer));
     }
 
     #[test]
@@ -314,6 +352,9 @@ mod tests {
     fn config_sweep_constructor() {
         let c = DetectorConfig::with_spammer_threshold(0.3);
         assert_eq!(c.spammer_threshold, 0.3);
-        assert_eq!(c.sloppy_threshold, DetectorConfig::paper_default().sloppy_threshold);
+        assert_eq!(
+            c.sloppy_threshold,
+            DetectorConfig::paper_default().sloppy_threshold
+        );
     }
 }

@@ -124,8 +124,12 @@ mod tests {
     fn filtered_answers_drop_excluded_workers_only() {
         let mut answers = AnswerSet::new(2, 3, 2);
         for w in 0..3 {
-            answers.record_answer(ObjectId(0), WorkerId(w), LabelId(0)).unwrap();
-            answers.record_answer(ObjectId(1), WorkerId(w), LabelId(1)).unwrap();
+            answers
+                .record_answer(ObjectId(0), WorkerId(w), LabelId(0))
+                .unwrap();
+            answers
+                .record_answer(ObjectId(1), WorkerId(w), LabelId(1))
+                .unwrap();
         }
         let mut h = FaultyWorkerHandler::new();
         assert_eq!(h.filtered_answers(&answers).matrix().num_answers(), 6);

@@ -30,10 +30,7 @@ mod tests {
 
     #[test]
     fn uniform_spammer_scores_near_zero() {
-        let c = ConfusionMatrix::from_matrix(Matrix::from_rows(&[
-            vec![0.0, 1.0],
-            vec![0.0, 1.0],
-        ]));
+        let c = ConfusionMatrix::from_matrix(Matrix::from_rows(&[vec![0.0, 1.0], vec![0.0, 1.0]]));
         assert!(spammer_score(&c) < 1e-9);
     }
 
@@ -59,10 +56,8 @@ mod tests {
     fn adversarial_workers_are_not_spammers() {
         // A worker that systematically inverts labels is informative (perfectly
         // anti-correlated), not a spammer: the score stays high.
-        let c = ConfusionMatrix::from_matrix(Matrix::from_rows(&[
-            vec![0.05, 0.95],
-            vec![0.95, 0.05],
-        ]));
+        let c =
+            ConfusionMatrix::from_matrix(Matrix::from_rows(&[vec![0.05, 0.95], vec![0.95, 0.05]]));
         assert!(spammer_score(&c) > 0.5);
         assert_eq!(c.prob(LabelId(0), LabelId(1)), 0.95);
     }

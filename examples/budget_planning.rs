@@ -9,16 +9,16 @@ use crowdval_sim::augment::thin_to_answers_per_object;
 
 /// Aggregated precision after spending the given allocation: `phi0` crowd
 /// answers per object first, then `validations` guided expert validations.
-fn precision_for_allocation(
-    source: &SyntheticDataset,
-    phi0: usize,
-    validations: usize,
-) -> f64 {
+fn precision_for_allocation(source: &SyntheticDataset, phi0: usize, validations: usize) -> f64 {
     let dataset = thin_to_answers_per_object(source, phi0, 17);
     let truth = source.dataset.ground_truth().clone();
     let mut process = ValidationProcess::builder(dataset.answers().clone())
         .strategy(Box::new(HybridStrategy::new(3)))
-        .config(ProcessConfig { budget: Some(validations), parallel: true, ..ProcessConfig::default() })
+        .config(ProcessConfig {
+            budget: Some(validations),
+            parallel: true,
+            ..ProcessConfig::default()
+        })
         .ground_truth(truth.clone())
         .build();
     let mut expert = SimulatedExpert::perfect(truth, 2);
@@ -42,7 +42,10 @@ fn main() {
     let cost = CostModel::new(25.0, n);
     let rho = 0.4;
     let budget = cost.budget_for_rho(rho);
-    println!("objects: {n}, theta = {}, rho = {rho}, total budget = {budget}", cost.theta);
+    println!(
+        "objects: {n}, theta = {}, rho = {rho}, total budget = {budget}",
+        cost.theta
+    );
 
     // A completion-time constraint: the expert has time for at most 15
     // validations.
@@ -66,7 +69,7 @@ fn main() {
             if in_time { "yes" } else { "no" },
             precision
         );
-        if in_time && best.map_or(true, |(p, _, _)| precision > p) {
+        if in_time && best.is_none_or(|(p, _, _)| precision > p) {
             best = Some((precision, allocation.crowd_share, allocation.validations));
         }
     }

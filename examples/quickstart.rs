@@ -10,14 +10,16 @@ fn main() {
     //    population follows the paper's default mix (43 % reliable, 32 %
     //    sloppy, 25 % spammers) with reliability 0.65 — noisy enough that
     //    plain aggregation cannot reach perfect correctness.
-    let synthetic = SyntheticConfig::paper_default(2024).generate();
+    let synthetic = SyntheticConfig::paper_default(42).generate();
     let answers = synthetic.dataset.answers().clone();
     let truth = synthetic.dataset.ground_truth().clone();
-    println!("dataset: {} objects, {} workers, {} labels, {} answers",
+    println!(
+        "dataset: {} objects, {} workers, {} labels, {} answers",
         answers.num_objects(),
         answers.num_workers(),
         answers.num_labels(),
-        answers.matrix().num_answers());
+        answers.matrix().num_answers()
+    );
 
     // 2. Where would majority voting and unaided EM land?
     let mv_precision = truth.precision(&MajorityVoting::vote(&answers));
@@ -31,14 +33,19 @@ fn main() {
     let budget = answers.num_objects() / 5;
     let mut process = ValidationProcess::builder(answers)
         .strategy(Box::new(HybridStrategy::new(7)))
-        .config(ProcessConfig { budget: Some(budget), ..ProcessConfig::default() })
+        .config(ProcessConfig {
+            budget: Some(budget),
+            ..ProcessConfig::default()
+        })
         .ground_truth(truth.clone())
         .build();
 
     let mut expert = SimulatedExpert::perfect(truth, 2);
     println!("\n iter  object  strategy             precision  uncertainty");
     while !process.is_finished() {
-        let Some(object) = process.select_next() else { break };
+        let Some(object) = process.select_next() else {
+            break;
+        };
         let label = expert.validate(object);
         process.integrate(object, label);
         let step = process.trace().steps.last().unwrap();
@@ -59,10 +66,17 @@ fn main() {
         trace.num_objects,
         100.0 * trace.effort()
     );
-    println!("  precision            : {:.3}", trace.final_precision().unwrap());
+    println!(
+        "  precision            : {:.3}",
+        trace.final_precision().unwrap()
+    );
     println!(
         "  precision improvement: {:.0} %",
         100.0 * trace.precision_improvement().unwrap()
     );
-    println!("  uncertainty          : {:.3} (was {:.3})", trace.final_uncertainty(), trace.initial_uncertainty);
+    println!(
+        "  uncertainty          : {:.3} (was {:.3})",
+        trace.final_uncertainty(),
+        trace.initial_uncertainty
+    );
 }

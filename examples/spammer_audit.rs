@@ -30,20 +30,29 @@ fn main() {
     let mut process = ValidationProcess::builder(answers.clone())
         .strategy(Box::new(WorkerDriven))
         .detector(detector)
-        .config(ProcessConfig { budget: Some(36), ..ProcessConfig::default() })
+        .config(ProcessConfig {
+            budget: Some(36),
+            ..ProcessConfig::default()
+        })
         .ground_truth(truth.clone())
         .build();
     let mut expert = SimulatedExpert::perfect(truth.clone(), 2);
 
-    println!("\n effort | excluded workers | detection precision | detection recall | result precision");
-    println!(" -------+------------------+---------------------+------------------+-----------------");
+    println!(
+        "\n effort | excluded workers | detection precision | detection recall | result precision"
+    );
+    println!(
+        " -------+------------------+---------------------+------------------+-----------------"
+    );
     while !process.is_finished() {
-        let Some(object) = process.select_next() else { break };
+        let Some(object) = process.select_next() else {
+            break;
+        };
         let label = expert.validate(object);
         process.integrate(object, label);
 
         let step = process.trace().steps.last().unwrap();
-        if step.iteration % 6 == 0 {
+        if step.iteration.is_multiple_of(6) {
             let outcome = SpammerDetector::new(DetectorConfig::paper_default()).detect(
                 &answers,
                 process.expert(),

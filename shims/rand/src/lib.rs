@@ -1,0 +1,226 @@
+//! Offline stand-in for [`rand`](https://docs.rs/rand) 0.9.
+//!
+//! The build environment has no access to crates.io, so this shim provides
+//! the subset of the rand 0.9 API the workspace uses: `StdRng`,
+//! `SeedableRng::seed_from_u64`, `Rng::{random, random_range, random_bool}`
+//! and `seq::SliceRandom::shuffle`.
+//!
+//! The generator is SplitMix64 — not cryptographic, but statistically solid
+//! for simulation workloads, `Copy`-cheap and trivially seedable. Streams are
+//! fully determined by the seed, which is all the reproducibility the
+//! experiments need. (The streams differ from the real `StdRng`'s ChaCha12;
+//! nothing in the workspace depends on specific draws.)
+
+use std::ops::Range;
+
+/// Low-level source of randomness.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// User-facing random-value methods, mirroring rand 0.9 naming.
+pub trait Rng: RngCore {
+    /// A random value of a type with a standard uniform distribution.
+    fn random<T: StandardUniform>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// A random value in `range` (half-open).
+    fn random_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_from(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    fn random_bool(&mut self, p: f64) -> bool {
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Construction of a generator from a seed.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// Types that can be drawn from the standard uniform distribution.
+pub trait StandardUniform {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl StandardUniform for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        unit_f64(rng.next_u64())
+    }
+}
+
+impl StandardUniform for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl StandardUniform for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange<T> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<usize> for Range<usize> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> usize {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + bounded_u64(rng.next_u64(), span) as usize
+    }
+}
+
+impl SampleRange<u64> for Range<u64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = self.end - self.start;
+        self.start + bounded_u64(rng.next_u64(), span)
+    }
+}
+
+impl SampleRange<u32> for Range<u32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> u32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let span = (self.end - self.start) as u64;
+        self.start + bounded_u64(rng.next_u64(), span) as u32
+    }
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + (self.end - self.start) * unit_f64(rng.next_u64())
+    }
+}
+
+/// Maps 64 random bits to `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Uniform value in `[0, span)` via the widening-multiply trick.
+pub(crate) fn bounded_u64(bits: u64, span: u64) -> u64 {
+    ((bits as u128 * span as u128) >> 64) as u64
+}
+
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard generator: SplitMix64.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            Self { state }
+        }
+    }
+}
+
+pub mod seq {
+    use super::{bounded_u64, RngCore};
+
+    /// Slice helpers, mirroring `rand::seq::SliceRandom`.
+    pub trait SliceRandom {
+        /// Shuffles the slice in place (Fisher–Yates).
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = bounded_u64(rng.next_u64(), (i + 1) as u64) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn streams_are_deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.random::<u64>()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.random::<u64>()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.random::<u64>()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let u = rng.random_range(3..17usize);
+            assert!((3..17).contains(&u));
+            let f = rng.random_range(-2.0..5.0f64);
+            assert!((-2.0..5.0).contains(&f));
+            let x: f64 = rng.random();
+            assert!((0.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn random_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let hits = (0..100_000).filter(|_| rng.random_bool(0.25)).count();
+        let rate = hits as f64 / 100_000.0;
+        assert!((rate - 0.25).abs() < 0.01, "rate {rate}");
+        assert!(!rng.random_bool(0.0));
+        assert!(rng.random_bool(1.0));
+    }
+
+    #[test]
+    fn shuffle_permutes() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(
+            v,
+            (0..50).collect::<Vec<_>>(),
+            "shuffle left the slice untouched"
+        );
+    }
+}

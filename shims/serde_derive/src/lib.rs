@@ -1,0 +1,516 @@
+//! Offline stand-in for [`serde_derive`](https://docs.rs/serde_derive).
+//!
+//! Generates implementations of the serde *shim*'s value-based `Serialize` /
+//! `Deserialize` traits (see `shims/serde`). Because neither `syn` nor
+//! `quote` is available offline, the item is parsed by walking raw
+//! `proc_macro` token trees. Supported shapes — which cover everything this
+//! workspace derives — are:
+//!
+//! * structs with named fields,
+//! * tuple structs (newtype structs serialize transparently, wider ones as
+//!   arrays),
+//! * unit structs,
+//! * enums with unit, tuple and struct variants (externally tagged: unit
+//!   variants become strings, the rest `{"Variant": ...}` objects).
+//!
+//! Generic type parameters are not supported and produce a compile error;
+//! `#[serde(...)]` helper attributes are accepted and ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_serialize(&shape)
+        .parse()
+        .expect("serde_derive shim generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse_shape(input);
+    gen_deserialize(&shape)
+        .parse()
+        .expect("serde_derive shim generated invalid Deserialize impl")
+}
+
+enum Shape {
+    NamedStruct {
+        name: String,
+        fields: Vec<String>,
+    },
+    TupleStruct {
+        name: String,
+        arity: usize,
+    },
+    UnitStruct {
+        name: String,
+    },
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-tree parsing
+// ---------------------------------------------------------------------------
+
+fn parse_shape(input: TokenStream) -> Shape {
+    let mut tokens = input.into_iter().peekable();
+
+    // Skip outer attributes (including doc comments) and visibility.
+    let keyword = loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                tokens.next(); // the [...] group
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                if let Some(TokenTree::Group(g)) = tokens.peek() {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        tokens.next(); // pub(crate) etc.
+                    }
+                }
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" || word == "enum" {
+                    break word;
+                }
+                panic!("serde_derive shim: unexpected token `{word}` before struct/enum");
+            }
+            other => panic!("serde_derive shim: unexpected input {other:?}"),
+        }
+    };
+
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive shim: expected type name, found {other:?}"),
+    };
+
+    if let Some(TokenTree::Punct(p)) = tokens.peek() {
+        if p.as_char() == '<' {
+            panic!("serde_derive shim: generic type `{name}` is not supported");
+        }
+    }
+
+    if keyword == "enum" {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::Enum {
+                name,
+                variants: parse_variants(g.stream()),
+            },
+            other => panic!("serde_derive shim: expected enum body, found {other:?}"),
+        }
+    } else {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Shape::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct { name },
+            other => panic!("serde_derive shim: expected struct body, found {other:?}"),
+        }
+    }
+}
+
+/// Parses `name: Type, ...` sequences, returning the field names. Types are
+/// skipped with angle-bracket depth tracking so `HashMap<K, V>` fields do not
+/// split on their inner comma.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes and visibility in front of the field name.
+        let name = loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                    if let Some(TokenTree::Group(g)) = tokens.peek() {
+                        if g.delimiter() == Delimiter::Parenthesis {
+                            tokens.next();
+                        }
+                    }
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde_derive shim: unexpected token in fields: {other:?}"),
+            }
+        };
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => {
+                panic!("serde_derive shim: expected `:` after field `{name}`, found {other:?}")
+            }
+        }
+        fields.push(name);
+        // Skip the type up to the next top-level comma.
+        let mut angle_depth = 0i32;
+        loop {
+            match tokens.next() {
+                None => return fields,
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+/// Counts the fields of a tuple struct/variant (top-level comma-separated
+/// segments, ignoring a trailing comma).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut segment_has_tokens = false;
+    let mut angle_depth = 0i32;
+    for token in stream {
+        match token {
+            TokenTree::Punct(p) => match p.as_char() {
+                '<' => {
+                    angle_depth += 1;
+                    segment_has_tokens = true;
+                }
+                '>' => {
+                    angle_depth -= 1;
+                    segment_has_tokens = true;
+                }
+                ',' if angle_depth == 0 => {
+                    if segment_has_tokens {
+                        arity += 1;
+                    }
+                    segment_has_tokens = false;
+                }
+                _ => segment_has_tokens = true,
+            },
+            _ => segment_has_tokens = true,
+        }
+    }
+    if segment_has_tokens {
+        arity += 1;
+    }
+    arity
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let mut variants = Vec::new();
+    let mut tokens = stream.into_iter().peekable();
+    loop {
+        // Skip attributes in front of the variant.
+        let name = loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next();
+                }
+                Some(TokenTree::Ident(id)) => break id.to_string(),
+                other => panic!("serde_derive shim: unexpected token in enum body: {other:?}"),
+            }
+        };
+        let kind = match tokens.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g.stream());
+                tokens.next();
+                VariantKind::Tuple(arity)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = parse_named_fields(g.stream());
+                tokens.next();
+                VariantKind::Named(fields)
+            }
+            _ => VariantKind::Unit,
+        };
+        variants.push(Variant { name, kind });
+        // Consume up to and including the separating comma (skips explicit
+        // discriminants, which the workspace does not use on serde enums).
+        loop {
+            match tokens.next() {
+                None => return variants,
+                Some(TokenTree::Punct(p)) if p.as_char() == ',' => break,
+                Some(_) => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(shape: &Shape) -> String {
+    match shape {
+        Shape::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}",
+                entries = entries.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Serialize::to_value(&self.0)\n\
+                 }}\n\
+             }}"
+        ),
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Array(::std::vec![{items}])\n\
+                     }}\n\
+                 }}",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+                 fn to_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Shape::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => \
+                             ::serde::Value::Str(::std::string::String::from(\"{vname}\"))"
+                        ),
+                        VariantKind::Tuple(1) => format!(
+                            "{name}::{vname}(__f0) => ::serde::Value::Object(::std::vec![\
+                             (::std::string::String::from(\"{vname}\"), \
+                              ::serde::Serialize::to_value(__f0))])"
+                        ),
+                        VariantKind::Tuple(arity) => {
+                            let binders: Vec<String> =
+                                (0..*arity).map(|i| format!("__f{i}")).collect();
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vname}({binders}) => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Value::Array(::std::vec![{items}]))])",
+                                binders = binders.join(", "),
+                                items = items.join(", ")
+                            )
+                        }
+                        VariantKind::Named(fields) => {
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from(\"{f}\"), \
+                                         ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => \
+                                 ::serde::Value::Object(::std::vec![\
+                                 (::std::string::String::from(\"{vname}\"), \
+                                  ::serde::Value::Object(::std::vec![{entries}]))])",
+                                fields = fields.join(", "),
+                                entries = entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join(",\n")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(shape: &Shape) -> String {
+    let body = match shape {
+        Shape::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::get_field(__entries, \"{f}\")?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __entries = __value.as_object().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected object for `{name}`\"))?;\n\
+                 ::std::result::Result::Ok({name} {{ {inits} }})",
+                inits = inits.join(", ")
+            )
+        }
+        Shape::TupleStruct { name, arity: 1 } => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::TupleStruct { name, arity } => {
+            let items: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| \
+                 ::serde::Error::custom(\"expected array for `{name}`\"))?;\n\
+                 if __items.len() != {arity} {{\n\
+                     return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"wrong tuple arity for `{name}`\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Shape::UnitStruct { name } => format!("::std::result::Result::Ok({name})"),
+        Shape::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname})",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(1) => Some(format!(
+                            "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::from_value(__content)?))"
+                        )),
+                        VariantKind::Tuple(arity) => {
+                            let items: Vec<String> = (0..*arity)
+                                .map(|i| format!("::serde::Deserialize::from_value(&__items[{i}])?"))
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __items = __content.as_array().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected array for `{name}::{vname}`\"))?;\n\
+                                     if __items.len() != {arity} {{\n\
+                                         return ::std::result::Result::Err(::serde::Error::custom(\
+                                         \"wrong arity for `{name}::{vname}`\"));\n\
+                                     }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                 }}",
+                                items = items.join(", ")
+                            ))
+                        }
+                        VariantKind::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_value(\
+                                         ::serde::get_field(__inner, \"{f}\")?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vname}\" => {{\n\
+                                     let __inner = __content.as_object().ok_or_else(|| \
+                                     ::serde::Error::custom(\"expected object for `{name}::{vname}`\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}",
+                                inits = inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "match __value {{\n\
+                     ::serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::std::result::Result::Err(::serde::Error::custom(\
+                         ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(__tagged) if __tagged.len() == 1 => {{\n\
+                         let (__tag, __content) = &__tagged[0];\n\
+                         match __tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             __other => ::std::result::Result::Err(::serde::Error::custom(\
+                             ::std::format!(\"unknown variant `{{__other}}` of `{name}`\"))),\n\
+                         }}\n\
+                     }}\n\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected string or single-key object for enum `{name}`\")),\n\
+                 }}",
+                unit_arms = if unit_arms.is_empty() {
+                    String::new()
+                } else {
+                    unit_arms.join(",\n") + ","
+                },
+                tagged_arms = if tagged_arms.is_empty() {
+                    String::new()
+                } else {
+                    tagged_arms.join(",\n") + ","
+                },
+            )
+        }
+    };
+    let name = match shape {
+        Shape::NamedStruct { name, .. }
+        | Shape::TupleStruct { name, .. }
+        | Shape::UnitStruct { name }
+        | Shape::Enum { name, .. } => name,
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(__value: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}

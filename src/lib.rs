@@ -74,8 +74,9 @@ pub mod prelude {
     };
     pub use crowdval_core::{
         partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, ExpertSource,
-        HybridStrategy, ProcessConfig, RandomSelection, SelectionStrategy, StrategyKind,
-        UncertaintyDriven, ValidationGoal, ValidationProcess, ValidationTrace, WorkerDriven,
+        HybridStrategy, ProcessConfig, RandomSelection, ScoringContext, ScoringEngine,
+        SelectionStrategy, StrategyKind, UncertaintyDriven, ValidationGoal, ValidationProcess,
+        ValidationTrace, WorkerDriven,
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,

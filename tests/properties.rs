@@ -11,8 +11,13 @@ fn arb_answer_set(
     max_objects: usize,
     max_workers: usize,
 ) -> impl Strategy<Value = (AnswerSet, GroundTruth)> {
-    (2usize..=max_objects, 2usize..=max_workers, 2usize..=4, any::<u64>()).prop_flat_map(
-        |(objects, workers, labels, seed)| {
+    (
+        2usize..=max_objects,
+        2usize..=max_workers,
+        2usize..=4,
+        any::<u64>(),
+    )
+        .prop_flat_map(|(objects, workers, labels, seed)| {
             // Per-cell: Some(label) with ~70 % probability.
             let cells = proptest::collection::vec(
                 proptest::option::weighted(0.7, 0..labels),
@@ -35,8 +40,7 @@ fn arb_answer_set(
                     (answers, truth)
                 },
             )
-        },
-    )
+        })
 }
 
 proptest! {
