@@ -1,0 +1,68 @@
+//! Equivalence sweep (CI-independent sanity harness): random scenarios,
+//! exact vs delta hypothesis evaluation, worst divergence among converged
+//! runs.
+use crowdval_aggregation::{Aggregator, EmConfig, IncrementalEm, ScoringMode};
+use crowdval_model::{ExpertValidation, HypothesisOverlay, LabelId, ObjectId};
+use crowdval_sim::{PopulationMix, SyntheticConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() {
+    let mut worst = 0.0f64;
+    let (mut skipped, mut compared) = (0usize, 0usize);
+    let config = EmConfig::paper_default();
+    for seed in 0..400u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_objects = rng.random_range(12..30usize);
+        let num_workers = rng.random_range(6..16usize);
+        let reliability = rng.random_range(0.6..0.95);
+        let spammer_ratio = rng.random_range(0.0..0.4);
+        let answers_per_object = rng.random_range(4..10usize).min(num_workers);
+        let synth = SyntheticConfig {
+            num_objects,
+            num_workers,
+            reliability,
+            mix: PopulationMix::with_spammer_ratio(spammer_ratio),
+            answers_per_object: Some(answers_per_object),
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let validate = rng.random_range(2..6usize);
+        let mut expert = ExpertValidation::empty(num_objects);
+        for o in 0..validate {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let iem = IncrementalEm::default();
+        let current = iem.conclude(&answers, &expert, None);
+        for object in expert.unvalidated_objects().into_iter().take(4) {
+            for l in 0..answers.num_labels() {
+                let label = LabelId(l);
+                if current.assignment().prob(object, label) <= 1e-6 {
+                    continue;
+                }
+                let hyp = HypothesisOverlay::new(&expert, object, label);
+                let exact = iem.conclude_hypothesis(&answers, &hyp, &current, ScoringMode::Exact);
+                let delta = iem.conclude_hypothesis(&answers, &hyp, &current, ScoringMode::Delta);
+                if exact.em_iterations() >= config.max_iterations
+                    || delta.em_iterations() >= config.max_iterations
+                {
+                    skipped += 1;
+                    continue;
+                }
+                compared += 1;
+                let diff = exact.assignment().max_abs_diff(delta.assignment());
+                if diff > worst {
+                    worst = diff;
+                }
+                if diff > 0.01 {
+                    println!(
+                        "seed {seed} n={num_objects} k={num_workers} hyp=({object},{label}): diff {diff:.6}"
+                    );
+                }
+            }
+        }
+    }
+    println!("compared {compared}, skipped {skipped}, worst divergence: {worst:.6}");
+}

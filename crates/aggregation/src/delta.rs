@@ -1,0 +1,438 @@
+//! Neighborhood-scoped delta propagation for warm-started hypothesis scoring
+//! (paper §5.4, the "view maintenance" idea applied *within* one aggregation
+//! run).
+//!
+//! Pinning one hypothetical validation `e(o) = l` perturbs the model locally:
+//! only the workers who answered `o` see their confusion-matrix evidence
+//! change, and only the objects *those* workers answered can feel the
+//! re-estimated confusion rows. The exact warm start re-runs full
+//! (Jacobi-style) E/M iterations over all `N` objects until nothing moves —
+//! on a barely-better-than-chance crowd that decay is slow, because each
+//! basin flip the pin triggers costs a *pair* of full passes before the next
+//! object can react to it.
+//!
+//! [`run_delta_em_in_workspace`] instead splits the run into a scoped
+//! propagation phase and an accelerated finishing phase:
+//!
+//! 1. **Seeding** — the pinned object is clamped to its hypothetical label;
+//!    it forms the initial changed set.
+//! 2. **Frontier expansion** — each scoped round re-estimates only the
+//!    confusion rows of the workers who answered a changed object and
+//!    re-runs the E-step over those workers' neighborhoods; rows that move
+//!    beyond the EM tolerance seed the next frontier. Priors ride along via
+//!    incrementally maintained column sums. Local perturbations drain the
+//!    frontier here in a handful of cheap rounds.
+//! 3. **Aitken-accelerated full-map polish** — the standard full-corpus E/M
+//!    loop then finishes the job under the *same* convergence criterion as
+//!    the exact path, with one addition: when three successive iterates
+//!    show a stable geometric residual decay (the signature of the
+//!    near-chance crowd's slow EM, where the exact path burns tens of full
+//!    passes), the sequence is extrapolated to its limit (vector Aitken Δ²)
+//!    and plain iterations re-certify convergence from there. The polish
+//!    also folds in the global effects the frontier cannot see (clamping
+//!    the pin shifts every label prior by `O(1/N)`, which matters for
+//!    prior-dominated, sparsely answered rows far from the neighborhood).
+//!
+//! At termination the state satisfies the exact path's criterion — no
+//! assignment row moves beyond the EM tolerance under a full E-step of the
+//! fully re-estimated model — so delta and exact can only diverge where the
+//! likelihood itself is near-bifurcating (the same caveat that applies to
+//! any warm start). The property tests assert delta ≈ exact within the EM
+//! tolerance across random scenarios, with [`crate::ScoringMode::Exact`] as
+//! the escape hatch for callers that need the reference trajectory.
+
+use crate::config::EmConfig;
+use crate::em::{
+    expectation_step_ws, m_step_worker, maximization_step_ws, posterior_row,
+    priors_from_assignment_ws,
+};
+use crate::workspace::{refresh_worker_logs, EmWorkspace};
+use crowdval_model::{AnswerSet, ObjectId, ValidationView};
+
+/// Runs a delta-scoped re-estimation inside the workspace. The workspace must
+/// hold the full warm-start state ([`EmWorkspace::seed_from`] with the
+/// previous probabilistic answer set); `seed_object` is the object whose
+/// (hypothetical) validation in `view` differs from that state. On return the
+/// workspace holds the updated assignment/confusions/priors; the return value
+/// is the number of delta iterations (propagation sweeps and polish
+/// iterations both count). Allocation-free once the workspace is warm.
+pub fn run_delta_em_in_workspace<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    config: &EmConfig,
+    seed_object: ObjectId,
+) -> usize {
+    ws.changed_objects.clear();
+    ws.next_changed.clear();
+    ws.dirty_workers.clear();
+
+    // Sweep 1 (mirrors the exact path's initial E-step, scoped to the seed):
+    // re-clamp the pinned object's row under `view`.
+    let mut iterations = 1;
+    ws.stat_iterations += 1;
+    recompute_object_row(answers, view, ws, seed_object);
+    ws.changed_objects.push(seed_object);
+
+    // Phase 2: scoped M+E rounds, capped low. Local perturbations drain the
+    // frontier in a handful of rounds; when the perturbation goes global the
+    // rounds degenerate into full-corpus passes with no acceleration, and
+    // the Aitken-accelerated polish below is strictly better at finishing
+    // those — it must always get its turn anyway, being what certifies the
+    // exact path's convergence criterion.
+    let scoped_cap = 6.min((config.max_iterations / 2).max(1));
+    scoped_rounds(answers, view, ws, config, scoped_cap, &mut iterations);
+    ws.changed_objects.clear();
+
+    // Phase 3: Aitken-accelerated full-map polish — the standard E/M loop
+    // with the exact path's convergence criterion, started from the
+    // propagated state. On a barely-better-than-chance crowd the residual
+    // decays geometrically with a contraction ratio close to 1 (tens of
+    // full iterations in the exact path); once three successive iterates
+    // establish a stable ratio, the sequence is extrapolated to its limit
+    // and plain EM iterations re-certify convergence from there. The
+    // certificate is unchanged — the loop only exits when a full E-step
+    // moves nothing beyond the tolerance.
+    let mut have_prev = false;
+    while iterations < config.max_iterations {
+        maximization_step_ws(answers, ws, config.smoothing_alpha);
+        priors_from_assignment_ws(ws);
+        expectation_step_ws(answers, view, ws, true);
+        iterations += 1;
+        ws.stat_iterations += 1;
+        let delta = ws.next_assignment.max_abs_diff(&ws.assignment);
+        if delta <= config.tolerance {
+            std::mem::swap(&mut ws.assignment, &mut ws.next_assignment);
+            break;
+        }
+        if have_prev && try_aitken_extrapolation(view, ws) {
+            // `assignment` now holds the extrapolated state; the sequence
+            // restarts (prev/next are stale until two fresh iterates exist).
+            have_prev = false;
+        } else {
+            // Rotate the iterate window: prev ← x_k, assignment ← x_{k+1}.
+            std::mem::swap(&mut ws.prev_assignment, &mut ws.assignment);
+            std::mem::swap(&mut ws.assignment, &mut ws.next_assignment);
+            have_prev = true;
+        }
+    }
+    // Report confusions/priors consistent with the final assignment, exactly
+    // as the exact loop does.
+    maximization_step_ws(answers, ws, config.smoothing_alpha);
+    priors_from_assignment_ws(ws);
+    iterations
+}
+
+/// Vector Aitken Δ² step over the iterate window `(prev, assignment, next)`
+/// = `(x_{k−1}, x_k, x_{k+1})`: if the residual decays geometrically
+/// (`x_{k+1} − x* ≈ ρ (x_k − x*)` with a stable direction), writes the
+/// extrapolated limit into `assignment` (rows re-normalized, validated rows
+/// untouched — their deltas are zero) and returns `true`. Conservative
+/// guards keep it a no-op whenever the decay is not cleanly geometric; the
+/// subsequent plain iterations always re-verify the usual criterion, so a
+/// bad extrapolation can cost iterations but never an unconverged result.
+fn try_aitken_extrapolation<V: ValidationView>(view: &V, ws: &mut EmWorkspace) -> bool {
+    let prev = &ws.prev_assignment;
+    let cur = &ws.assignment;
+    let next = &ws.next_assignment;
+    let (mut d11, mut d12, mut d22) = (0.0f64, 0.0f64, 0.0f64);
+    for ((p, c), n) in prev
+        .as_slice()
+        .iter()
+        .zip(cur.as_slice())
+        .zip(next.as_slice())
+    {
+        let d1 = c - p;
+        let d2 = n - c;
+        d11 += d1 * d1;
+        d12 += d1 * d2;
+        d22 += d2 * d2;
+    }
+    if d11 <= 0.0 || d22 <= 0.0 {
+        return false;
+    }
+    let rho = d12 / d11;
+    // Require a genuinely slow, direction-stable geometric decay: fast
+    // decays converge fine on their own, ratios near (or above) 1 make the
+    // `ρ/(1−ρ)` gain explode, and a wandering direction means the dominant
+    // eigenvalue has not separated yet.
+    let cos_sq = d12 * d12 / (d11 * d22);
+    if !(0.30..=0.97).contains(&rho) || cos_sq < 0.85 {
+        return false;
+    }
+    let gain = rho / (1.0 - rho);
+    let m = ws.num_labels;
+    for o in 0..ws.num_objects {
+        if view.validated(ObjectId(o)).is_some() {
+            continue;
+        }
+        let mut sum = 0.0f64;
+        for l in 0..m {
+            let c = ws.assignment[(o, l)];
+            let n = ws.next_assignment[(o, l)];
+            let x = (n + gain * (n - c)).max(0.0);
+            ws.assignment[(o, l)] = x;
+            sum += x;
+        }
+        if sum > 0.0 && sum.is_finite() {
+            for l in 0..m {
+                ws.assignment[(o, l)] /= sum;
+            }
+        } else {
+            // Degenerate extrapolation for this row: keep the plain iterate.
+            for l in 0..m {
+                ws.assignment[(o, l)] = ws.next_assignment[(o, l)];
+            }
+        }
+    }
+    // Validated rows: keep the freshly clamped iterate.
+    for o in 0..ws.num_objects {
+        if view.validated(ObjectId(o)).is_some() {
+            for l in 0..m {
+                ws.assignment[(o, l)] = ws.next_assignment[(o, l)];
+            }
+        }
+    }
+    true
+}
+
+/// The scoped M+E rounds of the delta loop: each round re-estimates the
+/// confusion rows of the workers who answered a changed object and re-runs
+/// the E-step over those workers' neighborhoods, until the frontier drains
+/// or `cap` iterations have been spent. Priors ride along via the
+/// incrementally maintained column sums (Eq. 3 without the full-matrix
+/// pass).
+fn scoped_rounds<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    config: &EmConfig,
+    cap: usize,
+    iterations: &mut usize,
+) {
+    let m = answers.num_labels();
+    let n = ws.num_objects;
+    while !ws.changed_objects.is_empty() && *iterations < cap {
+        // (a) The workers who answered a changed object form the scoped
+        // M-step's work list.
+        for i in 0..ws.changed_objects.len() {
+            let o = ws.changed_objects[i];
+            for &(w, _) in answers.matrix().answers_for_object(o) {
+                if !ws.worker_dirty[w.index()] {
+                    ws.worker_dirty[w.index()] = true;
+                    ws.dirty_workers.push(w);
+                }
+            }
+        }
+
+        // (b) Scoped M-step: re-estimate the dirty workers' confusion rows
+        // from the current assignment and refresh their cached log rows.
+        {
+            let EmWorkspace {
+                assignment,
+                confusions,
+                counts,
+                log_confusions,
+                dirty_workers,
+                ..
+            } = ws;
+            for &w in dirty_workers.iter() {
+                let confusion = &mut confusions[w.index()];
+                m_step_worker(
+                    answers,
+                    w,
+                    assignment,
+                    counts,
+                    confusion,
+                    config.smoothing_alpha,
+                    m,
+                );
+                refresh_worker_logs(log_confusions, confusion, w.index(), m);
+            }
+        }
+
+        // (c) Priors from the incrementally maintained column sums.
+        if n > 0 {
+            for l in 0..m {
+                ws.priors[l] = ws.col_sums[l] / n as f64;
+            }
+            ws.refresh_log_priors();
+        }
+
+        // (d) Scoped E-step over the dirty workers' neighborhoods. Rows that
+        // move beyond the EM tolerance seed the next frontier.
+        ws.next_changed.clear();
+        for wi in 0..ws.dirty_workers.len() {
+            let w = ws.dirty_workers[wi];
+            for &(o, _) in answers.matrix().answers_for_worker(w) {
+                if ws.object_dirty[o.index()] {
+                    continue;
+                }
+                ws.object_dirty[o.index()] = true;
+                // Clamped rows cannot move; skip them (the seed object is
+                // validated under `view` and lands here from round 2 on).
+                if view.validated(o).is_some() {
+                    continue;
+                }
+                let delta = recompute_object_row(answers, view, ws, o);
+                if delta > config.tolerance {
+                    ws.next_changed.push(o);
+                }
+            }
+        }
+        *iterations += 1;
+        ws.stat_iterations += 1;
+
+        // (e) Reset the flag vectors by walking the same lists (no O(n)
+        // clear), then promote the new frontier.
+        for wi in 0..ws.dirty_workers.len() {
+            let w = ws.dirty_workers[wi];
+            for &(o, _) in answers.matrix().answers_for_worker(w) {
+                ws.object_dirty[o.index()] = false;
+            }
+            ws.worker_dirty[w.index()] = false;
+        }
+        ws.dirty_workers.clear();
+        std::mem::swap(&mut ws.changed_objects, &mut ws.next_changed);
+
+        // A frontier covering most of the corpus has no locality left to
+        // exploit — every further round would be a full-corpus pass without
+        // the polish phase's acceleration. Hand over early.
+        if ws.changed_objects.len() * 2 > n {
+            break;
+        }
+    }
+}
+
+/// Recomputes one object's assignment row under `view` from the cached log
+/// tables, patching `col_sums` with the difference. The previous row is left
+/// in `row_scratch` for [`propagate_row_change`]. Returns the largest
+/// absolute per-label change.
+fn recompute_object_row<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    object: ObjectId,
+) -> f64 {
+    let m = answers.num_labels();
+    let EmWorkspace {
+        assignment,
+        log_confusions,
+        log_priors,
+        log_scores,
+        row_scratch,
+        col_sums,
+        stat_rows_recomputed,
+        ..
+    } = ws;
+    *stat_rows_recomputed += 1;
+    let row = assignment.row_mut(object.index());
+    row_scratch.copy_from_slice(row);
+    if let Some(validated) = view.validated(object) {
+        row.fill(0.0);
+        row[validated.index()] = 1.0;
+    } else {
+        let votes = answers.matrix().answers_for_object(object);
+        posterior_row(m, votes, log_confusions, log_priors, log_scores, row);
+    }
+    let mut delta = 0.0f64;
+    for l in 0..m {
+        let diff = row[l] - row_scratch[l];
+        col_sums[l] += diff;
+        delta = delta.max(diff.abs());
+    }
+    delta
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::em::run_warm_em;
+    use crate::{Aggregator, EmConfig, IncrementalEm};
+    use crowdval_model::{ExpertValidation, HypothesisOverlay, LabelId};
+    use crowdval_sim::SyntheticConfig;
+
+    /// Delta-scoped evaluation must land on (nearly) the same fixed point as
+    /// the exact warm start for every plausible hypothesis of a paper-default
+    /// scenario.
+    #[test]
+    fn delta_matches_exact_within_em_tolerance() {
+        let synth = SyntheticConfig {
+            num_objects: 24,
+            ..SyntheticConfig::paper_default(91)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let mut expert = ExpertValidation::empty(answers.num_objects());
+        for o in 0..6 {
+            expert.set(ObjectId(o), truth.label(ObjectId(o)));
+        }
+        let iem = IncrementalEm::default();
+        let current = iem.conclude(&answers, &expert, None);
+        let config = EmConfig::paper_default();
+        let tolerance = 100.0 * config.tolerance;
+
+        for &object in &expert.unvalidated_objects()[..8] {
+            for l in 0..answers.num_labels() {
+                let label = LabelId(l);
+                if current.assignment().prob(object, label) <= 1e-6 {
+                    continue;
+                }
+                let overlay = HypothesisOverlay::new(&expert, object, label);
+                let exact = run_warm_em(
+                    &answers,
+                    &overlay,
+                    current.confusions(),
+                    current.priors(),
+                    &config,
+                );
+                let delta = {
+                    let mut ws = EmWorkspace::new();
+                    ws.seed_from(&answers, &current);
+                    let it =
+                        run_delta_em_in_workspace(&answers, &overlay, &mut ws, &config, object);
+                    ws.export(it)
+                };
+                if exact.em_iterations() >= config.max_iterations
+                    || delta.em_iterations() >= config.max_iterations
+                {
+                    continue;
+                }
+                let diff = exact.assignment().max_abs_diff(delta.assignment());
+                assert!(
+                    diff <= tolerance,
+                    "hypothesis ({object}, {label}): delta/exact differ by {diff}"
+                );
+            }
+        }
+    }
+
+    /// The delta path honours the pinned hypothesis exactly.
+    #[test]
+    fn delta_pins_the_hypothetical_label() {
+        let synth = SyntheticConfig {
+            num_objects: 12,
+            ..SyntheticConfig::paper_default(7)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let expert = ExpertValidation::empty(answers.num_objects());
+        let iem = IncrementalEm::default();
+        let current = iem.conclude(&answers, &expert, None);
+        let overlay = HypothesisOverlay::new(&expert, ObjectId(3), LabelId(1));
+        let mut ws = EmWorkspace::new();
+        ws.seed_from(&answers, &current);
+        let it = run_delta_em_in_workspace(
+            &answers,
+            &overlay,
+            &mut ws,
+            &EmConfig::paper_default(),
+            ObjectId(3),
+        );
+        let p = ws.export(it);
+        assert_eq!(p.assignment().prob(ObjectId(3), LabelId(1)), 1.0);
+        assert!(crate::em::is_valid_probabilistic_answer_set(&p));
+        assert!(it >= 1);
+    }
+}

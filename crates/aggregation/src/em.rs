@@ -4,18 +4,158 @@
 //! The module exposes the individual E- and M-steps (shared with the
 //! incremental variant in [`crate::iem`]) and the traditional batch estimator
 //! [`BatchEm`] that restarts the estimation on every call.
+//!
+//! All estimation runs through an [`EmWorkspace`](crate::workspace::EmWorkspace)
+//! of reusable scratch buffers: the E-step reads per-worker log-confusion
+//! tables cached once per M-step (instead of calling `ln()` per vote per
+//! object per iteration) and writes into a preallocated assignment buffer, so
+//! the steady-state EM iteration allocates nothing. The public `*_step`
+//! functions below are thin allocation-at-the-edges wrappers over those
+//! workspace kernels; the guidance hot path bypasses the wrappers entirely
+//! via [`run_warm_em`] and [`crate::delta`].
 
 use crate::config::EmConfig;
 use crate::init::InitStrategy;
+use crate::workspace::{refresh_worker_logs, with_workspace, EmWorkspace, LOG_FLOOR};
 use crate::Aggregator;
 use crowdval_model::{
-    AnswerSet, AssignmentMatrix, ConfusionMatrix, ExpertValidation, LabelId, ProbabilisticAnswerSet,
+    AnswerSet, AssignmentMatrix, ConfusionMatrix, ExpertValidation, LabelId, ObjectId,
+    ProbabilisticAnswerSet, ValidationView, WorkerId,
 };
 use crowdval_numerics::Matrix;
 
-/// Smallest probability used inside logarithms; avoids `-inf` when a smoothed
-/// confusion entry is still extremely small.
-const LOG_FLOOR: f64 = 1e-12;
+/// Computes one object's posterior label distribution into `row` from the
+/// cached log tables (Eq. 1–3, log domain). `scores` is the per-label
+/// log-score scratch. The row is normalized in place exactly as
+/// [`Matrix::normalize_rows`] would.
+#[inline]
+pub(crate) fn posterior_row(
+    m: usize,
+    votes: &[(WorkerId, LabelId)],
+    log_confusions: &[f64],
+    log_priors: &[f64],
+    scores: &mut [f64],
+    row: &mut [f64],
+) {
+    for (l, score) in scores.iter_mut().enumerate() {
+        *score = log_priors[l];
+        for &(w, answered) in votes {
+            *score += log_confusions[w.index() * m * m + l * m + answered.index()];
+        }
+    }
+    let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    for (l, &score) in scores.iter().enumerate() {
+        row[l] = (score - max).exp();
+    }
+    let sum: f64 = row.iter().sum();
+    if sum > 0.0 && sum.is_finite() {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    } else {
+        let uniform = 1.0 / m as f64;
+        for v in row.iter_mut() {
+            *v = uniform;
+        }
+    }
+}
+
+/// Workspace E-step kernel (Eq. 1–4): fills the workspace's current (or
+/// `next`) assignment buffer from the cached log tables. Objects with a
+/// validation in `view` get a point mass on the validated label (Eq. 4);
+/// objects without any answers fall back to the priors.
+pub(crate) fn expectation_step_ws<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    into_next: bool,
+) {
+    let m = answers.num_labels();
+    let EmWorkspace {
+        assignment,
+        next_assignment,
+        log_confusions,
+        log_priors,
+        log_scores,
+        stat_rows_recomputed,
+        ..
+    } = ws;
+    let target: &mut Matrix = if into_next {
+        next_assignment
+    } else {
+        assignment
+    };
+    for o in answers.objects() {
+        *stat_rows_recomputed += 1;
+        let row = target.row_mut(o.index());
+        if let Some(validated) = view.validated(o) {
+            row.fill(0.0);
+            row[validated.index()] = 1.0;
+            continue;
+        }
+        let votes = answers.matrix().answers_for_object(o);
+        posterior_row(m, votes, log_confusions, log_priors, log_scores, row);
+    }
+}
+
+/// Workspace M-step kernel for one worker (Eq. 5): accumulates soft counts
+/// into the shared `counts` scratch and re-normalizes the worker's confusion
+/// matrix in place, with Laplace smoothing `alpha`.
+pub(crate) fn m_step_worker(
+    answers: &AnswerSet,
+    worker: WorkerId,
+    assignment: &Matrix,
+    counts: &mut Matrix,
+    confusion: &mut ConfusionMatrix,
+    alpha: f64,
+    m: usize,
+) {
+    counts.fill(0.0);
+    for &(o, answered) in answers.matrix().answers_for_worker(worker) {
+        for true_label in 0..m {
+            counts[(true_label, answered.index())] += assignment[(o.index(), true_label)];
+        }
+    }
+    let cm = confusion.matrix_mut();
+    cm.copy_from(counts);
+    if alpha > 0.0 {
+        cm.add_scalar(alpha);
+    }
+    cm.normalize_rows();
+}
+
+/// Workspace M-step over every worker, refreshing each worker's cached
+/// log-confusion rows afterwards (the once-per-M-step `ln()` refresh).
+pub(crate) fn maximization_step_ws(answers: &AnswerSet, ws: &mut EmWorkspace, alpha: f64) {
+    let m = answers.num_labels();
+    let EmWorkspace {
+        assignment,
+        confusions,
+        counts,
+        log_confusions,
+        ..
+    } = ws;
+    for w in answers.workers() {
+        let confusion = &mut confusions[w.index()];
+        m_step_worker(answers, w, assignment, counts, confusion, alpha, m);
+        refresh_worker_logs(log_confusions, confusion, w.index(), m);
+    }
+}
+
+/// Re-estimates the workspace priors from the full assignment matrix (Eq. 3)
+/// and refreshes the cached log-priors.
+pub(crate) fn priors_from_assignment_ws(ws: &mut EmWorkspace) {
+    let n = ws.num_objects;
+    if n == 0 {
+        let uniform = 1.0 / ws.num_labels as f64;
+        ws.priors.iter_mut().for_each(|p| *p = uniform);
+    } else {
+        for l in 0..ws.num_labels {
+            ws.priors[l] = ws.assignment.col_sum(l) / n as f64;
+        }
+    }
+    ws.refresh_log_priors();
+}
 
 /// E-step (Eq. 1–4): estimates assignment probabilities from the worker
 /// confusion matrices and label priors. Objects with an expert validation get
@@ -27,34 +167,13 @@ pub fn expectation_step(
     confusions: &[ConfusionMatrix],
     priors: &[f64],
 ) -> AssignmentMatrix {
-    let n = answers.num_objects();
-    let m = answers.num_labels();
     debug_assert_eq!(confusions.len(), answers.num_workers());
-    debug_assert_eq!(priors.len(), m);
-
-    let mut raw = Matrix::zeros(n, m);
-    for o in answers.objects() {
-        if let Some(validated) = expert.get(o) {
-            raw[(o.index(), validated.index())] = 1.0;
-            continue;
-        }
-        let votes = answers.matrix().answers_for_object(o);
-        // Work in the log domain: with dozens of workers the raw product of
-        // probabilities underflows f64 quickly.
-        let mut log_scores = vec![0.0f64; m];
-        for (l, score) in log_scores.iter_mut().enumerate() {
-            *score = priors[l].max(LOG_FLOOR).ln();
-            for &(w, answered) in votes {
-                let p = confusions[w.index()].prob(LabelId(l), answered);
-                *score += p.max(LOG_FLOOR).ln();
-            }
-        }
-        let max = log_scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
-        for (l, &score) in log_scores.iter().enumerate() {
-            raw[(o.index(), l)] = (score - max).exp();
-        }
-    }
-    AssignmentMatrix::from_matrix(raw)
+    debug_assert_eq!(priors.len(), answers.num_labels());
+    with_workspace(|ws| {
+        ws.seed(answers, confusions, priors);
+        expectation_step_ws(answers, expert, ws, false);
+        AssignmentMatrix::from_normalized(ws.assignment.clone())
+    })
 }
 
 /// M-step (Eq. 5): re-estimates every worker's confusion matrix from the soft
@@ -64,20 +183,16 @@ pub fn maximization_step(
     assignment: &AssignmentMatrix,
     alpha: f64,
 ) -> Vec<ConfusionMatrix> {
-    let m = answers.num_labels();
-    answers
-        .workers()
-        .map(|w| {
-            let mut counts = Matrix::zeros(m, m);
-            for &(o, answered) in answers.matrix().answers_for_worker(w) {
-                for true_label in 0..m {
-                    counts[(true_label, answered.index())] +=
-                        assignment.prob(o, LabelId(true_label));
-                }
-            }
-            ConfusionMatrix::from_counts(&counts, alpha)
-        })
-        .collect()
+    with_workspace(|ws| {
+        ws.ensure_shape(
+            answers.num_objects(),
+            answers.num_workers(),
+            answers.num_labels(),
+        );
+        ws.assignment.copy_from(assignment.matrix());
+        maximization_step_ws(answers, ws, alpha);
+        ws.confusions.clone()
+    })
 }
 
 /// Label priors `p(l)` from the current assignment matrix (Eq. 3).
@@ -91,19 +206,71 @@ pub fn estimate_priors(assignment: &AssignmentMatrix) -> Vec<f64> {
 /// of EM iterations it took.
 ///
 /// After convergence the solution is checked for the Dawid–Skene
-/// *label-switching* ambiguity (see [`realign_label_switching`]).
+/// *label-switching* ambiguity (see [`realign_in_workspace`]).
 pub fn run_em_from_confusions(
     answers: &AnswerSet,
     expert: &ExpertValidation,
-    confusions: Vec<ConfusionMatrix>,
-    priors: Vec<f64>,
+    confusions: &[ConfusionMatrix],
+    priors: &[f64],
     config: &EmConfig,
 ) -> ProbabilisticAnswerSet {
-    let (assignment, confusions, priors, iterations) =
-        em_fixed_point(answers, expert, confusions, priors, config);
-    realign_label_switching(
-        answers, expert, assignment, confusions, priors, iterations, config,
-    )
+    run_warm_em(answers, expert, confusions, priors, config)
+}
+
+/// [`run_em_from_confusions`] generalized over [`ValidationView`], so a
+/// borrowed [`crowdval_model::HypothesisOverlay`] can drive the estimation
+/// without materializing an `ExpertValidation` clone per hypothesis.
+pub fn run_warm_em<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    confusions: &[ConfusionMatrix],
+    priors: &[f64],
+    config: &EmConfig,
+) -> ProbabilisticAnswerSet {
+    with_workspace(|ws| {
+        ws.seed(answers, confusions, priors);
+        let iterations = run_em_in_workspace(answers, view, ws, config);
+        let iterations = realign_in_workspace(answers, view, ws, iterations, config);
+        ws.export(iterations)
+    })
+}
+
+/// The alternating E/M loop shared by the batch and incremental entry points,
+/// operating entirely inside the workspace. The workspace must be seeded
+/// ([`EmWorkspace::seed`] or [`EmWorkspace::seed_from`]) with the starting
+/// confusion matrices and priors — seeding also refreshes the cached log
+/// tables, which this loop relies on (a preceding
+/// [`maximization_step_ws`] + [`priors_from_assignment_ws`] pair refreshes
+/// them too). On return the workspace holds the converged assignment,
+/// confusions and priors. Performs zero heap allocations once the workspace
+/// buffers are warm (asserted by the counting-allocator test in
+/// `tests/alloc_free.rs`).
+pub fn run_em_in_workspace<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    config: &EmConfig,
+) -> usize {
+    expectation_step_ws(answers, view, ws, false);
+    let mut iterations = 1;
+    ws.stat_iterations += 1;
+    while iterations < config.max_iterations {
+        maximization_step_ws(answers, ws, config.smoothing_alpha);
+        priors_from_assignment_ws(ws);
+        expectation_step_ws(answers, view, ws, true);
+        iterations += 1;
+        ws.stat_iterations += 1;
+        let delta = ws.next_assignment.max_abs_diff(&ws.assignment);
+        std::mem::swap(&mut ws.assignment, &mut ws.next_assignment);
+        if delta <= config.tolerance {
+            break;
+        }
+    }
+    // Make sure the reported confusions/priors correspond to the final
+    // assignment matrix.
+    maximization_step_ws(answers, ws, config.smoothing_alpha);
+    priors_from_assignment_ws(ws);
+    iterations
 }
 
 /// A worker counts as *informative* when its prior-weighted accuracy exceeds
@@ -112,7 +279,8 @@ pub fn run_em_from_confusions(
 const ORIENTATION_MARGIN: f64 = 0.05;
 
 /// Resolves the Dawid–Skene *label-switching* ambiguity of a converged EM
-/// solution.
+/// solution held in the workspace, returning the (possibly increased) total
+/// iteration count.
 ///
 /// With a barely-better-than-chance crowd (the paper's default mix averages
 /// ≈ 52 % per-answer accuracy) the likelihood has an exactly mirrored
@@ -128,13 +296,13 @@ const ORIENTATION_MARGIN: f64 = 0.05;
 ///   sloppy workers): honest workers outnumber systematically inverted ones.
 ///   The mirrored state is itself an EM fixed point, so realignment is a
 ///   free permutation of the converged solution — no EM re-run.
-/// * **With validations**: expert validations are the anchor (the §4.1
-///   premise that validations act as ground truth). The solution is oriented
-///   so the *crowd-only* posterior (clamping bypassed — a clamped posterior
-///   trivially agrees with every orientation) agrees with the validated
-///   labels as much as possible; when a permutation wins, the EM is re-run
-///   from the realigned estimate and kept only if it still anchors better
-///   after convergence.
+/// * **With validations**: expert validations (pinned hypotheses included)
+///   are the anchor (the §4.1 premise that validations act as ground truth).
+///   The solution is oriented so the *crowd-only* posterior (clamping
+///   bypassed — a clamped posterior trivially agrees with every orientation)
+///   agrees with the validated labels as much as possible; when a permutation
+///   wins, the EM is re-run from the realigned estimate and kept only if it
+///   still anchors better after convergence.
 ///
 /// Landing in the mirrored basin is catastrophic for guided validation:
 /// warm-started i-EM inherits the flipped basin forever, and
@@ -142,21 +310,18 @@ const ORIENTATION_MARGIN: f64 = 0.05;
 /// correct it (a validation contradicting a confident-but-wrong belief
 /// *raises* expected entropy). Validated objects are clamped by the E-step
 /// and are never affected by realignment.
-#[allow(clippy::too_many_arguments)]
-fn realign_label_switching(
+pub(crate) fn realign_in_workspace<V: ValidationView>(
     answers: &AnswerSet,
-    expert: &ExpertValidation,
-    assignment: AssignmentMatrix,
-    confusions: Vec<ConfusionMatrix>,
-    priors: Vec<f64>,
+    view: &V,
+    ws: &mut EmWorkspace,
     iterations: usize,
     config: &EmConfig,
-) -> ProbabilisticAnswerSet {
-    let m = priors.len();
+) -> usize {
+    let m = ws.num_labels;
     // Beyond 6 labels the factorial sweep is skipped (the paper's datasets
     // have at most 4 labels).
-    if !(2..=6).contains(&m) || confusions.is_empty() {
-        return ProbabilisticAnswerSet::new(assignment, confusions, priors, iterations);
+    if !(2..=6).contains(&m) || ws.confusions.is_empty() {
+        return iterations;
     }
     let identity: Vec<usize> = (0..m).collect();
 
@@ -166,17 +331,17 @@ fn realign_label_switching(
     // information-gain signal in realignment noise.
     const MIN_VALIDATION_ANCHORS: usize = 2;
 
-    if expert.count() < MIN_VALIDATION_ANCHORS {
+    if view.validated_count() < MIN_VALIDATION_ANCHORS {
         // Cold start: compare the number of informative workers per
         // orientation. Under permutation π the accuracy of worker w reads
         // Σ_l p(π(l)) · C_w(π(l), l).
         let informative = |perm: &[usize]| -> usize {
             let chance = 1.0 / m as f64;
-            confusions
+            ws.confusions
                 .iter()
                 .filter(|c| {
                     let acc: f64 = (0..m)
-                        .map(|l| priors[perm[l]] * c.prob(LabelId(perm[l]), LabelId(l)))
+                        .map(|l| ws.priors[perm[l]] * c.prob(LabelId(perm[l]), LabelId(l)))
                         .sum();
                     acc > chance + ORIENTATION_MARGIN
                 })
@@ -195,43 +360,28 @@ fn realign_label_switching(
             }
         }
         if let Some((perm, _)) = best {
-            let realigned: Vec<ConfusionMatrix> = confusions
-                .iter()
-                .map(|c| permute_true_labels(c, &perm))
-                .collect();
-            let realigned_priors: Vec<f64> = perm.iter().map(|&l| priors[l]).collect();
-            if expert.count() == 0 {
+            permute_workspace_model(ws, &perm);
+            if view.validated_count() == 0 {
                 // Without clamps the mirrored solution is an exact fixed
                 // point of the label-symmetric model, so permuting in place
                 // is both free and exact.
-                let realigned_assignment = permute_assignment_columns(&assignment, &perm);
-                return ProbabilisticAnswerSet::new(
-                    realigned_assignment,
-                    realigned,
-                    realigned_priors,
-                    iterations,
-                );
+                permute_assignment_columns_in_place(&mut ws.assignment, &perm);
+                return iterations;
             }
             // With a clamped object present the mirror is no longer an exact
             // fixed point — re-converge from the permuted estimate so the
             // validation stays honoured exactly.
-            let (assignment, confusions, priors, more_iterations) =
-                em_fixed_point(answers, expert, realigned, realigned_priors, config);
-            return ProbabilisticAnswerSet::new(
-                assignment,
-                confusions,
-                priors,
-                iterations + more_iterations,
-            );
+            let more_iterations = run_em_in_workspace(answers, view, ws, config);
+            return iterations + more_iterations;
         }
-        return ProbabilisticAnswerSet::new(assignment, confusions, priors, iterations);
+        return iterations;
     }
 
     // Validation anchor: agreement between the validated labels and the
     // crowd-only posterior, per orientation. The posterior is independent of
     // the candidate permutation (a permutation only changes which entry is
     // read), so it is computed once per anchor and indexed per candidate.
-    let anchor: Vec<(crowdval_model::ObjectId, LabelId)> = expert.iter().collect();
+    let anchor: Vec<(ObjectId, LabelId)> = view.validated_pairs();
     let anchor_posteriors = |confusions: &[ConfusionMatrix], priors: &[f64]| -> Vec<Vec<f64>> {
         anchor
             .iter()
@@ -245,7 +395,7 @@ fn realign_label_switching(
             .map(|(&(_, l), posterior)| posterior[perm[l.index()]])
             .sum()
     };
-    let posteriors = anchor_posteriors(&confusions, &priors);
+    let posteriors = anchor_posteriors(&ws.confusions, &ws.priors);
     let baseline = agreement_of(&posteriors, &identity);
     let mut best: Option<(Vec<usize>, f64)> = None;
     for perm in permutations(m) {
@@ -259,31 +409,40 @@ fn realign_label_switching(
         }
     }
     let Some((perm, _)) = best else {
-        return ProbabilisticAnswerSet::new(assignment, confusions, priors, iterations);
+        return iterations;
     };
-    let realigned: Vec<ConfusionMatrix> = confusions
-        .iter()
-        .map(|c| permute_true_labels(c, &perm))
-        .collect();
-    let realigned_priors: Vec<f64> = perm.iter().map(|&l| priors[l]).collect();
-    let (assignment_b, confusions_b, priors_b, more_iterations) =
-        em_fixed_point(answers, expert, realigned, realigned_priors, config);
-    // Keep the realigned fixed point only if it anchors at least as well
-    // after convergence (the re-run can drift back into the old basin).
-    let score_b = agreement_of(&anchor_posteriors(&confusions_b, &priors_b), &identity);
+    // Snapshot the pre-probe state: the probe re-run can drift back into the
+    // old basin, in which case the original state (and its honest iteration
+    // count — the fig08 warm-vs-cold comparison sums these) is restored.
+    let snapshot_assignment = ws.assignment.clone();
+    let snapshot_confusions = ws.confusions.clone();
+    let snapshot_priors = ws.priors.clone();
+    permute_workspace_model(ws, &perm);
+    let more_iterations = run_em_in_workspace(answers, view, ws, config);
+    let score_b = agreement_of(&anchor_posteriors(&ws.confusions, &ws.priors), &identity);
     if score_b > baseline {
-        ProbabilisticAnswerSet::new(
-            assignment_b,
-            confusions_b,
-            priors_b,
-            iterations + more_iterations,
-        )
+        iterations + more_iterations
     } else {
-        // The probe is discarded: the returned state is the one reached after
-        // `iterations`, and its iteration count must describe that state (the
-        // fig08 warm-vs-cold comparison sums these counts).
-        ProbabilisticAnswerSet::new(assignment, confusions, priors, iterations)
+        ws.assignment = snapshot_assignment;
+        ws.confusions = snapshot_confusions;
+        ws.priors = snapshot_priors;
+        ws.refresh_log_tables();
+        iterations
     }
+}
+
+/// Permutes the true-label axis of every workspace confusion matrix and the
+/// priors by `perm` (rare realignment path — allocation is fine here).
+fn permute_workspace_model(ws: &mut EmWorkspace, perm: &[usize]) {
+    let realigned: Vec<ConfusionMatrix> = ws
+        .confusions
+        .iter()
+        .map(|c| permute_true_labels(c, perm))
+        .collect();
+    ws.confusions = realigned;
+    let realigned_priors: Vec<f64> = perm.iter().map(|&l| ws.priors[l]).collect();
+    ws.priors.copy_from_slice(&realigned_priors);
+    ws.refresh_log_tables();
 }
 
 /// Crowd-only posterior distribution of a single object (the E-step of Eq. 1
@@ -292,7 +451,7 @@ fn crowd_posterior_at(
     answers: &AnswerSet,
     confusions: &[ConfusionMatrix],
     priors: &[f64],
-    object: crowdval_model::ObjectId,
+    object: ObjectId,
 ) -> Vec<f64> {
     let m = answers.num_labels();
     let votes = answers.matrix().answers_for_object(object);
@@ -317,46 +476,18 @@ fn crowd_posterior_at(
     probs
 }
 
-/// Re-indexes the label axis of an assignment matrix by `perm`
+/// Re-indexes the label axis of an assignment matrix by `perm` in place
 /// (`U'(o, l) = U(o, perm[l])`).
-fn permute_assignment_columns(assignment: &AssignmentMatrix, perm: &[usize]) -> AssignmentMatrix {
-    let n = assignment.num_objects();
+fn permute_assignment_columns_in_place(assignment: &mut Matrix, perm: &[usize]) {
     let m = perm.len();
-    let mut raw = Matrix::zeros(n, m);
-    for o in 0..n {
-        for l in 0..m {
-            raw[(o, l)] = assignment.prob(crowdval_model::ObjectId(o), LabelId(perm[l]));
+    let mut permuted = vec![0.0f64; m];
+    for o in 0..assignment.rows() {
+        let row = assignment.row_mut(o);
+        for (l, p) in permuted.iter_mut().enumerate() {
+            *p = row[perm[l]];
         }
+        row.copy_from_slice(&permuted);
     }
-    AssignmentMatrix::from_matrix(raw)
-}
-
-/// The alternating E/M loop shared by the batch and incremental entry points.
-fn em_fixed_point(
-    answers: &AnswerSet,
-    expert: &ExpertValidation,
-    mut confusions: Vec<ConfusionMatrix>,
-    mut priors: Vec<f64>,
-    config: &EmConfig,
-) -> (AssignmentMatrix, Vec<ConfusionMatrix>, Vec<f64>, usize) {
-    let mut assignment = expectation_step(answers, expert, &confusions, &priors);
-    let mut iterations = 1;
-    while iterations < config.max_iterations {
-        confusions = maximization_step(answers, &assignment, config.smoothing_alpha);
-        priors = estimate_priors(&assignment);
-        let next = expectation_step(answers, expert, &confusions, &priors);
-        iterations += 1;
-        let delta = next.max_abs_diff(&assignment);
-        assignment = next;
-        if delta <= config.tolerance {
-            break;
-        }
-    }
-    // Make sure the reported confusions/priors correspond to the final
-    // assignment matrix.
-    confusions = maximization_step(answers, &assignment, config.smoothing_alpha);
-    priors = estimate_priors(&assignment);
-    (assignment, confusions, priors, iterations)
 }
 
 /// Observed-data log-likelihood of an EM solution under the Dawid–Skene
@@ -439,9 +570,19 @@ pub fn run_em_from_assignment(
     initial: AssignmentMatrix,
     config: &EmConfig,
 ) -> ProbabilisticAnswerSet {
-    let confusions = maximization_step(answers, &initial, config.smoothing_alpha);
-    let priors = estimate_priors(&initial);
-    run_em_from_confusions(answers, expert, confusions, priors, config)
+    with_workspace(|ws| {
+        ws.ensure_shape(
+            answers.num_objects(),
+            answers.num_workers(),
+            answers.num_labels(),
+        );
+        ws.assignment.copy_from(initial.matrix());
+        maximization_step_ws(answers, ws, config.smoothing_alpha);
+        priors_from_assignment_ws(ws);
+        let iterations = run_em_in_workspace(answers, expert, ws, config);
+        let iterations = realign_in_workspace(answers, expert, ws, iterations, config);
+        ws.export(iterations)
+    })
 }
 
 /// The traditional batch EM aggregator: every call re-estimates everything
@@ -648,5 +789,18 @@ mod tests {
     fn aggregator_name() {
         assert_eq!(BatchEm::default().name(), "batch-em");
         assert_eq!(BatchEm::default().init(), InitStrategy::MajorityVote);
+    }
+
+    #[test]
+    fn workspace_e_step_matches_the_public_wrapper() {
+        let (answers, _) = toy();
+        let confusions = vec![ConfusionMatrix::diagonal(2, 0.8); 4];
+        let priors = [0.6, 0.4];
+        let expert = ExpertValidation::empty(10);
+        let via_wrapper = expectation_step(&answers, &expert, &confusions, &priors);
+        let mut ws = EmWorkspace::new();
+        ws.seed(&answers, &confusions, &priors);
+        expectation_step_ws(&answers, &expert, &mut ws, false);
+        assert_eq!(ws.assignment().max_abs_diff(via_wrapper.matrix()), 0.0);
     }
 }

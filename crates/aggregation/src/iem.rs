@@ -14,10 +14,12 @@
 //!    fewer EM iterations (evaluated in Fig. 8).
 
 use crate::config::EmConfig;
-use crate::em::{run_em_from_assignment, run_em_from_confusions};
+use crate::delta::run_delta_em_in_workspace;
+use crate::em::{run_em_from_assignment, run_em_from_confusions, run_warm_em};
 use crate::init::InitStrategy;
-use crate::Aggregator;
-use crowdval_model::{AnswerSet, ExpertValidation, ProbabilisticAnswerSet};
+use crate::workspace::with_workspace;
+use crate::{Aggregator, ScoringMode};
+use crowdval_model::{AnswerSet, ExpertValidation, HypothesisOverlay, ProbabilisticAnswerSet};
 
 /// The incremental EM aggregator.
 #[derive(Debug, Clone, Copy)]
@@ -59,20 +61,23 @@ impl IncrementalEm {
         expert: &ExpertValidation,
         previous: &ProbabilisticAnswerSet,
     ) -> ProbabilisticAnswerSet {
-        if previous.num_objects() == answers.num_objects()
-            && previous.num_workers() == answers.num_workers()
-            && previous.num_labels() == answers.num_labels()
-        {
+        if self.shape_matches(answers, previous) {
             run_em_from_confusions(
                 answers,
                 expert,
-                previous.confusions().to_vec(),
-                previous.priors().to_vec(),
+                previous.confusions(),
+                previous.priors(),
                 &self.config,
             )
         } else {
             self.cold_start(answers, expert)
         }
+    }
+
+    fn shape_matches(&self, answers: &AnswerSet, previous: &ProbabilisticAnswerSet) -> bool {
+        previous.num_objects() == answers.num_objects()
+            && previous.num_workers() == answers.num_workers()
+            && previous.num_labels() == answers.num_labels()
     }
 
     fn cold_start(&self, answers: &AnswerSet, expert: &ExpertValidation) -> ProbabilisticAnswerSet {
@@ -107,6 +112,59 @@ impl Aggregator for IncrementalEm {
         previous: &ProbabilisticAnswerSet,
     ) -> ProbabilisticAnswerSet {
         self.warm_start(answers, expert, previous)
+    }
+
+    /// Native overlay support: no `ExpertValidation` clone per hypothesis,
+    /// and in [`ScoringMode::Delta`] a neighborhood-scoped re-estimation
+    /// seeded at the pinned object instead of a full-corpus EM run.
+    fn conclude_hypothesis(
+        &self,
+        answers: &AnswerSet,
+        hypothesis: &HypothesisOverlay<'_>,
+        previous: &ProbabilisticAnswerSet,
+        mode: ScoringMode,
+    ) -> ProbabilisticAnswerSet {
+        if !self.shape_matches(answers, previous) {
+            return self.cold_start(answers, &hypothesis.materialize());
+        }
+        // Below the label-switching anchor threshold (two validations,
+        // counting the pin) the orientation of the EM solution is fragile:
+        // near-chance crowds sit close to the mirrored basin and the
+        // delta shortcut could resolve ties differently than the reference
+        // trajectory. Those evaluations only occur in the first couple of
+        // selection steps of a run, so take the exact path there.
+        let mode = if crowdval_model::ValidationView::validated_count(hypothesis) < 2 {
+            ScoringMode::Exact
+        } else {
+            mode
+        };
+        match mode {
+            ScoringMode::Exact => run_warm_em(
+                answers,
+                hypothesis,
+                previous.confusions(),
+                previous.priors(),
+                &self.config,
+            ),
+            ScoringMode::Delta => with_workspace(|ws| {
+                ws.seed_from(answers, previous);
+                let iterations = run_delta_em_in_workspace(
+                    answers,
+                    hypothesis,
+                    ws,
+                    &self.config,
+                    hypothesis.object(),
+                );
+                let iterations = crate::em::realign_in_workspace(
+                    answers,
+                    hypothesis,
+                    ws,
+                    iterations,
+                    &self.config,
+                );
+                ws.export(iterations)
+            }),
+        }
     }
 
     fn name(&self) -> &'static str {

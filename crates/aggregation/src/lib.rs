@@ -18,20 +18,43 @@
 //! function realizes the *conclude* step of the validation process (§3.2).
 
 pub mod config;
+pub mod delta;
 pub mod em;
 pub mod iem;
 pub mod init;
 pub mod integration;
 pub mod majority;
+pub mod workspace;
 
 pub use config::EmConfig;
-pub use em::BatchEm;
+pub use delta::run_delta_em_in_workspace;
+pub use em::{run_em_in_workspace, run_warm_em, BatchEm};
 pub use iem::IncrementalEm;
 pub use init::InitStrategy;
 pub use integration::{aggregate_combined, ExpertIntegration};
 pub use majority::MajorityVoting;
+pub use workspace::{with_workspace, EmWorkspace};
 
-use crowdval_model::{AnswerSet, ExpertValidation, ProbabilisticAnswerSet};
+use crowdval_model::{AnswerSet, ExpertValidation, HypothesisOverlay, ProbabilisticAnswerSet};
+use serde::{Deserialize, Serialize};
+
+/// How warm-started hypothesis evaluations are scoped (§5.4, view
+/// maintenance).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ScoringMode {
+    /// Full-corpus EM re-estimation per hypothesis — the reference
+    /// semantics. Required whenever the evaluation must be bit-comparable
+    /// with a plain [`Aggregator::conclude_warm`] run (e.g. experiments that
+    /// diff rankings across aggregators).
+    Exact,
+    /// Neighborhood-scoped delta propagation seeded at the pinned object:
+    /// only the answering workers' confusion rows and the objects they
+    /// touched are re-estimated, with the frontier expanding until
+    /// assignment changes fall below the EM tolerance. Agrees with `Exact`
+    /// within that tolerance and is the default for the guidance hot path.
+    #[default]
+    Delta,
+}
 
 /// The *conclude* step of the validation process: turn an answer set and the
 /// expert validations collected so far into a probabilistic answer set.
@@ -68,6 +91,26 @@ pub trait Aggregator: Send + Sync {
         previous: &ProbabilisticAnswerSet,
     ) -> ProbabilisticAnswerSet {
         self.conclude(answers, expert, Some(previous))
+    }
+
+    /// Hypothesis entry point of the guidance hot path: re-aggregates with
+    /// one hypothetical validation pinned on top of the real ones, without
+    /// materializing an `ExpertValidation` clone per hypothesis.
+    ///
+    /// `mode` selects between the exact full-corpus re-estimation and the
+    /// delta-scoped variant ([`ScoringMode`]); aggregators without a native
+    /// delta path may ignore it. The default forwards to
+    /// [`Aggregator::conclude_warm`] on a materialized overlay, preserving
+    /// each aggregator's semantics (batch aggregators keep restarting).
+    fn conclude_hypothesis(
+        &self,
+        answers: &AnswerSet,
+        hypothesis: &HypothesisOverlay<'_>,
+        previous: &ProbabilisticAnswerSet,
+        mode: ScoringMode,
+    ) -> ProbabilisticAnswerSet {
+        let _ = mode;
+        self.conclude_warm(answers, &hypothesis.materialize(), previous)
     }
 
     /// Human-readable name used in experiment reports.

@@ -1,0 +1,310 @@
+//! Reusable scratch buffers for the EM estimators (paper §5.4, "view
+//! maintenance").
+//!
+//! The guidance hot path runs `O(candidates × labels)` warm-started
+//! aggregations per validation step. Before this workspace existed every one
+//! of those runs allocated a fresh assignment matrix per E-step, a fresh
+//! count matrix and confusion matrix per worker per M-step, and a log-score
+//! vector per object per iteration — and recomputed `ln()` for every
+//! `(object, label, vote)` triple. An [`EmWorkspace`] owns all of those
+//! buffers once and is reused across EM iterations *and* across hypothesis
+//! evaluations (via a thread-local pool, see [`with_workspace`]), so the
+//! steady-state EM iteration performs **zero heap allocations** and reads
+//! logarithms from tables that are refreshed once per M-step instead of once
+//! per use.
+
+use crowdval_model::{AnswerSet, ConfusionMatrix, ObjectId, ProbabilisticAnswerSet, WorkerId};
+use crowdval_numerics::Matrix;
+use std::cell::RefCell;
+
+use crowdval_model::AssignmentMatrix;
+
+/// Smallest probability used inside logarithms; avoids `-inf` when a smoothed
+/// confusion entry is still extremely small.
+pub(crate) const LOG_FLOOR: f64 = 1e-12;
+
+/// Scratch state threaded through `expectation_step` / `maximization_step` /
+/// `run_em_from_confusions` so repeated EM runs (the hypothesis fan-out in
+/// particular) never allocate inside the iteration loop.
+///
+/// All buffers are sized on first use and resized only when the answer-set
+/// shape changes ([`EmWorkspace::ensure_shape`]).
+#[derive(Debug)]
+pub struct EmWorkspace {
+    pub(crate) num_objects: usize,
+    pub(crate) num_workers: usize,
+    pub(crate) num_labels: usize,
+    /// Current assignment matrix (row-stochastic once an E-step has run).
+    pub(crate) assignment: Matrix,
+    /// Target of the next E-step; swapped with `assignment` each iteration.
+    pub(crate) next_assignment: Matrix,
+    /// The assignment one iteration further back (`x_{k−1}`), kept by the
+    /// delta path's Aitken-accelerated polish to estimate the EM contraction
+    /// ratio from three successive iterates.
+    pub(crate) prev_assignment: Matrix,
+    /// Working confusion matrices, one per worker.
+    pub(crate) confusions: Vec<ConfusionMatrix>,
+    /// Working label priors.
+    pub(crate) priors: Vec<f64>,
+    /// Cached `ln(max(F_w(l, a), LOG_FLOOR))`, flattened as
+    /// `[w · m² + l · m + a]`; refreshed once per M-step per dirty worker.
+    pub(crate) log_confusions: Vec<f64>,
+    /// Cached `ln(max(p(l), LOG_FLOOR))`.
+    pub(crate) log_priors: Vec<f64>,
+    /// `labels × labels` count scratch for the M-step (reused per worker).
+    pub(crate) counts: Matrix,
+    /// Per-label log-score scratch for one object's E-step.
+    pub(crate) log_scores: Vec<f64>,
+    /// Per-label scratch holding an object's previous row while the delta
+    /// path recomputes it (to measure the change and patch `col_sums`).
+    pub(crate) row_scratch: Vec<f64>,
+    /// Column sums of `assignment`, maintained incrementally by the delta
+    /// path so priors never require a full-matrix pass.
+    pub(crate) col_sums: Vec<f64>,
+    /// Delta-path frontier bookkeeping (flag vectors + queues).
+    pub(crate) object_dirty: Vec<bool>,
+    pub(crate) worker_dirty: Vec<bool>,
+    pub(crate) changed_objects: Vec<ObjectId>,
+    pub(crate) next_changed: Vec<ObjectId>,
+    pub(crate) dirty_workers: Vec<WorkerId>,
+    /// Allocation-free statistics: EM iterations run and assignment rows
+    /// recomputed since the last [`EmWorkspace::reset_stats`] (the bench
+    /// reports these as the work the delta path avoided).
+    pub(crate) stat_iterations: usize,
+    pub(crate) stat_rows_recomputed: usize,
+}
+
+impl Default for EmWorkspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EmWorkspace {
+    /// An empty workspace; buffers are sized on first use.
+    pub fn new() -> Self {
+        Self {
+            num_objects: 0,
+            num_workers: 0,
+            num_labels: 0,
+            assignment: Matrix::zeros(0, 0),
+            next_assignment: Matrix::zeros(0, 0),
+            prev_assignment: Matrix::zeros(0, 0),
+            confusions: Vec::new(),
+            priors: Vec::new(),
+            log_confusions: Vec::new(),
+            log_priors: Vec::new(),
+            counts: Matrix::zeros(0, 0),
+            log_scores: Vec::new(),
+            row_scratch: Vec::new(),
+            col_sums: Vec::new(),
+            object_dirty: Vec::new(),
+            worker_dirty: Vec::new(),
+            changed_objects: Vec::new(),
+            next_changed: Vec::new(),
+            dirty_workers: Vec::new(),
+            stat_iterations: 0,
+            stat_rows_recomputed: 0,
+        }
+    }
+
+    /// (Re)allocates every buffer for an `objects × workers × labels` answer
+    /// set. A no-op when the shape already matches — the property that makes
+    /// warm reuse allocation-free.
+    pub fn ensure_shape(&mut self, num_objects: usize, num_workers: usize, num_labels: usize) {
+        if self.num_objects == num_objects
+            && self.num_workers == num_workers
+            && self.num_labels == num_labels
+        {
+            return;
+        }
+        self.num_objects = num_objects;
+        self.num_workers = num_workers;
+        self.num_labels = num_labels;
+        self.assignment = Matrix::zeros(num_objects, num_labels);
+        self.next_assignment = Matrix::zeros(num_objects, num_labels);
+        self.prev_assignment = Matrix::zeros(num_objects, num_labels);
+        self.confusions = vec![ConfusionMatrix::uniform(num_labels.max(1)); num_workers];
+        self.priors = vec![0.0; num_labels];
+        self.log_confusions = vec![0.0; num_workers * num_labels * num_labels];
+        self.log_priors = vec![0.0; num_labels];
+        self.counts = Matrix::zeros(num_labels, num_labels);
+        self.log_scores = vec![0.0; num_labels];
+        self.row_scratch = vec![0.0; num_labels];
+        self.col_sums = vec![0.0; num_labels];
+        self.object_dirty = vec![false; num_objects];
+        self.worker_dirty = vec![false; num_workers];
+        self.changed_objects = Vec::with_capacity(num_objects);
+        self.next_changed = Vec::with_capacity(num_objects);
+        self.dirty_workers = Vec::with_capacity(num_workers);
+    }
+
+    /// Loads confusion matrices and priors into the workspace (the i-EM warm
+    /// start `C⁰_s = C^q_{s−1}`) and refreshes the log tables.
+    pub fn seed(&mut self, answers: &AnswerSet, confusions: &[ConfusionMatrix], priors: &[f64]) {
+        self.ensure_shape(
+            answers.num_objects(),
+            answers.num_workers(),
+            answers.num_labels(),
+        );
+        debug_assert_eq!(confusions.len(), self.num_workers);
+        debug_assert_eq!(priors.len(), self.num_labels);
+        for (dst, src) in self.confusions.iter_mut().zip(confusions) {
+            dst.matrix_mut().copy_from(src.matrix());
+        }
+        self.priors.copy_from_slice(priors);
+        self.refresh_log_tables();
+    }
+
+    /// Loads a full previous probabilistic answer set — confusions, priors
+    /// *and* assignment (with its column sums) — as the starting point of a
+    /// delta-scoped re-estimation.
+    pub fn seed_from(&mut self, answers: &AnswerSet, previous: &ProbabilisticAnswerSet) {
+        self.seed(answers, previous.confusions(), previous.priors());
+        self.assignment.copy_from(previous.assignment().matrix());
+        self.recompute_col_sums();
+    }
+
+    /// Recomputes the cached log-confusion tables and log-priors for every
+    /// worker (once per seed / per full M-step, *not* per vote).
+    pub(crate) fn refresh_log_tables(&mut self) {
+        for w in 0..self.num_workers {
+            refresh_worker_logs(
+                &mut self.log_confusions,
+                &self.confusions[w],
+                w,
+                self.num_labels,
+            );
+        }
+        self.refresh_log_priors();
+    }
+
+    pub(crate) fn refresh_log_priors(&mut self) {
+        for (lp, &p) in self.log_priors.iter_mut().zip(&self.priors) {
+            *lp = p.max(LOG_FLOOR).ln();
+        }
+    }
+
+    /// Recomputes `col_sums` from the current assignment matrix.
+    pub(crate) fn recompute_col_sums(&mut self) {
+        for l in 0..self.num_labels {
+            self.col_sums[l] = self.assignment.col_sum(l);
+        }
+    }
+
+    /// The current working assignment matrix.
+    pub fn assignment(&self) -> &Matrix {
+        &self.assignment
+    }
+
+    /// The current working confusion matrices.
+    pub fn confusions(&self) -> &[ConfusionMatrix] {
+        &self.confusions
+    }
+
+    /// The current working priors.
+    pub fn priors(&self) -> &[f64] {
+        &self.priors
+    }
+
+    /// Clears the iteration/row counters reported by [`EmWorkspace::stats`].
+    pub fn reset_stats(&mut self) {
+        self.stat_iterations = 0;
+        self.stat_rows_recomputed = 0;
+    }
+
+    /// `(em_iterations, assignment_rows_recomputed)` since the last
+    /// [`EmWorkspace::reset_stats`].
+    pub fn stats(&self) -> (usize, usize) {
+        (self.stat_iterations, self.stat_rows_recomputed)
+    }
+
+    /// Assembles the workspace state into an owned probabilistic answer set.
+    /// This is the *only* point of the workspace pipeline that allocates —
+    /// once per aggregation run, never per iteration.
+    pub fn export(&self, em_iterations: usize) -> ProbabilisticAnswerSet {
+        ProbabilisticAnswerSet::new(
+            AssignmentMatrix::from_normalized(self.assignment.clone()),
+            self.confusions.clone(),
+            self.priors.clone(),
+            em_iterations,
+        )
+    }
+}
+
+/// Refreshes the cached log-confusion rows of one worker after its M-step.
+pub(crate) fn refresh_worker_logs(
+    log_confusions: &mut [f64],
+    confusion: &ConfusionMatrix,
+    worker: usize,
+    num_labels: usize,
+) {
+    let base = worker * num_labels * num_labels;
+    let table = &mut log_confusions[base..base + num_labels * num_labels];
+    for (i, lc) in table.iter_mut().enumerate() {
+        let p = confusion.matrix().as_slice()[i];
+        *lc = p.max(LOG_FLOOR).ln();
+    }
+}
+
+thread_local! {
+    static POOL: RefCell<EmWorkspace> = RefCell::new(EmWorkspace::new());
+}
+
+/// Runs `f` with this thread's pooled [`EmWorkspace`]. The pool is what turns
+/// the per-hypothesis aggregation runs of a parallel fan-out into
+/// allocation-free reuse: every rayon worker thread keeps one warm workspace.
+///
+/// Re-entrant calls (a public wrapper invoked from inside another workspace
+/// scope) fall back to a fresh scratch workspace instead of panicking on the
+/// `RefCell` borrow.
+pub fn with_workspace<R>(f: impl FnOnce(&mut EmWorkspace) -> R) -> R {
+    POOL.with(|cell| match cell.try_borrow_mut() {
+        Ok(mut ws) => f(&mut ws),
+        Err(_) => f(&mut EmWorkspace::new()),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ensure_shape_is_idempotent_and_resizes() {
+        let mut ws = EmWorkspace::new();
+        ws.ensure_shape(4, 3, 2);
+        assert_eq!(ws.assignment.rows(), 4);
+        assert_eq!(ws.confusions.len(), 3);
+        assert_eq!(ws.log_confusions.len(), 3 * 4);
+        let before = ws.assignment.as_slice().as_ptr();
+        ws.ensure_shape(4, 3, 2);
+        assert_eq!(before, ws.assignment.as_slice().as_ptr(), "no realloc");
+        ws.ensure_shape(5, 3, 2);
+        assert_eq!(ws.assignment.rows(), 5);
+    }
+
+    #[test]
+    fn seed_copies_state_and_builds_log_tables() {
+        let answers = AnswerSet::new(2, 2, 2);
+        let confusions = vec![ConfusionMatrix::diagonal(2, 0.9); 2];
+        let priors = vec![0.25, 0.75];
+        let mut ws = EmWorkspace::new();
+        ws.seed(&answers, &confusions, &priors);
+        assert_eq!(ws.priors(), &[0.25, 0.75]);
+        assert!((ws.log_priors[1] - 0.75f64.ln()).abs() < 1e-12);
+        // log table entry for worker 1, F(0, 0) = 0.9
+        assert!((ws.log_confusions[4] - 0.9f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn with_workspace_is_reentrant() {
+        let out = with_workspace(|outer| {
+            outer.ensure_shape(2, 2, 2);
+            with_workspace(|inner| {
+                inner.ensure_shape(3, 1, 2);
+                inner.num_objects
+            })
+        });
+        assert_eq!(out, 3);
+    }
+}

@@ -1,0 +1,104 @@
+//! Counting-allocator proof of the workspace contract: once the
+//! [`EmWorkspace`] buffers are warm, a full EM run — and a delta-scoped
+//! hypothesis run — performs **zero heap allocations**. This is the
+//! ISSUE-2 acceptance criterion for the per-iteration allocation behaviour
+//! of the hypothesis fan-out, asserted rather than claimed.
+
+use crowdval_aggregation::{
+    run_delta_em_in_workspace, run_em_in_workspace, Aggregator, EmConfig, EmWorkspace,
+    IncrementalEm,
+};
+use crowdval_model::{ExpertValidation, HypothesisOverlay, LabelId, ObjectId};
+use crowdval_sim::SyntheticConfig;
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// System allocator wrapper that counts every allocation and reallocation.
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Ordering::SeqCst);
+        System.realloc(ptr, layout, new_size)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+fn allocations() -> usize {
+    ALLOCATIONS.load(Ordering::SeqCst)
+}
+
+/// One combined test (the counter is process-global, so the two phases must
+/// not run concurrently as separate `#[test]`s).
+#[test]
+fn warm_workspace_em_runs_are_allocation_free() {
+    let synth = SyntheticConfig {
+        num_objects: 30,
+        ..SyntheticConfig::paper_default(17)
+    }
+    .generate();
+    let answers = synth.dataset.answers().clone();
+    let truth = synth.dataset.ground_truth().clone();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    for o in 0..5 {
+        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+    }
+    let iem = IncrementalEm::default();
+    let current = iem.conclude(&answers, &expert, None);
+    let config = EmConfig::paper_default();
+
+    // ---- exact path -------------------------------------------------------
+    let mut ws = EmWorkspace::new();
+    // Warm-up run sizes every buffer (this run may allocate).
+    ws.seed(&answers, current.confusions(), current.priors());
+    run_em_in_workspace(&answers, &expert, &mut ws, &config);
+
+    // Measured run: seeding copies in place and the whole E/M loop reuses
+    // the warm buffers — zero allocations.
+    let before = allocations();
+    ws.seed(&answers, current.confusions(), current.priors());
+    let iterations = run_em_in_workspace(&answers, &expert, &mut ws, &config);
+    let exact_allocs = allocations() - before;
+    assert!(iterations >= 1);
+    assert_eq!(
+        exact_allocs, 0,
+        "warm exact EM run allocated {exact_allocs} times"
+    );
+
+    // ---- delta path -------------------------------------------------------
+    let object = ObjectId(10);
+    let hypothesis = HypothesisOverlay::new(&expert, object, LabelId(1));
+    // Warm-up (frontier queues size themselves here).
+    ws.seed_from(&answers, &current);
+    run_delta_em_in_workspace(&answers, &hypothesis, &mut ws, &config, object);
+
+    let before = allocations();
+    ws.seed_from(&answers, &current);
+    let iterations = run_delta_em_in_workspace(&answers, &hypothesis, &mut ws, &config, object);
+    let delta_allocs = allocations() - before;
+    assert!(iterations >= 1);
+    assert_eq!(
+        delta_allocs, 0,
+        "warm delta EM run allocated {delta_allocs} times"
+    );
+
+    // Exporting the result is the one place that allocates — by design,
+    // once per aggregation run rather than per iteration.
+    let before = allocations();
+    let p = ws.export(iterations);
+    assert!(allocations() > before, "export clones out of the workspace");
+    assert_eq!(p.assignment().prob(object, LabelId(1)), 1.0);
+}

@@ -10,7 +10,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use crowdval_aggregation::{Aggregator, BatchEm, IncrementalEm};
 use crowdval_core::{
-    EntropyBaseline, HybridStrategy, RandomSelection, ScoringContext, ScoringEngine,
+    EntropyBaseline, HybridStrategy, RandomSelection, ScoringContext, ScoringEngine, ScoringMode,
     SelectionStrategy, StrategyContext, UncertaintyDriven, WorkerDriven,
 };
 use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
@@ -120,7 +120,8 @@ fn bench_fanout(c: &mut Criterion) {
     }
 }
 
-/// Warm-started (i-EM) vs. cold-restart (batch EM) hypothesis evaluation.
+/// Warm-started (i-EM, exact and delta-scoped) vs. cold-restart (batch EM)
+/// hypothesis evaluation.
 fn bench_hypothesis(c: &mut Criterion) {
     let fixture = Fixture::with_candidates(64, 70_001);
     let cold = BatchEm::default();
@@ -128,7 +129,7 @@ fn bench_hypothesis(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("scoring_engine_hypothesis");
     group.sample_size(10);
-    group.bench_function("warm_started_iem", |b| {
+    group.bench_function("warm_started_iem_delta", |b| {
         b.iter(|| {
             ScoringEngine::conditional_entropy_of(
                 &fixture.aggregator,
@@ -136,6 +137,19 @@ fn bench_hypothesis(c: &mut Criterion) {
                 &fixture.expert,
                 &fixture.current,
                 object,
+                ScoringMode::Delta,
+            )
+        })
+    });
+    group.bench_function("warm_started_iem_exact", |b| {
+        b.iter(|| {
+            ScoringEngine::conditional_entropy_of(
+                &fixture.aggregator,
+                &fixture.answers,
+                &fixture.expert,
+                &fixture.current,
+                object,
+                ScoringMode::Exact,
             )
         })
     });
@@ -147,6 +161,7 @@ fn bench_hypothesis(c: &mut Criterion) {
                 &fixture.expert,
                 &fixture.current,
                 object,
+                ScoringMode::Exact,
             )
         })
     });

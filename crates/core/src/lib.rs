@@ -46,7 +46,7 @@ pub use goal::ValidationGoal;
 pub use metrics::{ValidationStep, ValidationTrace};
 pub use partition::{partition_answer_matrix, Block, Partition};
 pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProcessBuilder};
-pub use scoring::{ScoringContext, ScoringEngine};
+pub use scoring::{ScoringContext, ScoringEngine, ScoringMode};
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
     StrategyKind, UncertaintyDriven, ValidationObservation, WorkerDriven,

@@ -5,26 +5,54 @@
 //! once, *"what would happen if the expert validated this object?"* — and
 //! answering each hypothesis with a full (warm-started) aggregation run. This
 //! module centralizes that hot path so every strategy shares one
-//! implementation of its three ingredients:
+//! implementation of its four ingredients:
 //!
 //! 1. **Entropy pre-filter** (§5.4 "Reducing the number of considered
 //!    objects"): candidates are ranked by their current label entropy and
 //!    only the top [`ScoringEngine::shortlist_limit`] enter the expensive
 //!    evaluation. An object whose distribution is already a point mass
 //!    cannot yield information gain, so the filter is loss-free in the limit
-//!    and a large constant-factor win in practice.
+//!    and a large constant-factor win in practice. Per-object entropies are
+//!    computed once per selection step (and the total uncertainty `H(P)` is
+//!    hoisted out of the per-candidate loop — it is candidate-independent),
+//!    and the entropy sort uses [`f64::total_cmp`] so a NaN entropy can
+//!    never silently destabilize the shortlist order.
 //! 2. **Warm-started hypothesis aggregation** (§5.2 Eq. 8–9, §4.1): each
 //!    hypothesis `e(o) = l` is evaluated by re-running the aggregation via
-//!    [`Aggregator::conclude_warm`], reusing the confusion matrices and
-//!    priors of the current probabilistic answer set (`C⁰_s = C^q_{s−1}`,
-//!    the view-maintenance principle) instead of restarting EM from scratch.
-//!    Labels whose current probability is negligible are skipped — they
-//!    contribute almost nothing to the expectation but would cost a full
-//!    aggregation run each.
-//! 3. **Parallel fan-out** (§5.4 "Parallelization"): per-candidate scores
+//!    [`Aggregator::conclude_hypothesis`], reusing the confusion matrices
+//!    and priors of the current probabilistic answer set
+//!    (`C⁰_s = C^q_{s−1}`, the view-maintenance principle) instead of
+//!    restarting EM from scratch. The hypothesis is a borrowed
+//!    [`HypothesisOverlay`] — the real validations plus one pinned
+//!    `(object, label)` pair — so the fan-out never clones the
+//!    `ExpertValidation`. Labels whose current probability is negligible
+//!    ([`NEGLIGIBLE_WEIGHT`]) are skipped — they contribute almost nothing
+//!    to the expectation but would cost a full aggregation run each.
+//! 3. **Delta propagation** ([`ScoringMode`], §5.4 "view maintenance"
+//!    applied within one aggregation run): in the default
+//!    [`ScoringMode::Delta`], the warm-started evaluation first
+//!    re-estimates only the *neighborhood* of the pinned object — the dirty
+//!    set is seeded with the workers who answered it, their confusion rows
+//!    are re-estimated, the E-step is re-run over the objects those workers
+//!    touched, and the frontier expands until assignment changes fall below
+//!    the EM tolerance — then an Aitken-accelerated full-corpus polish
+//!    certifies the *same* convergence criterion as the exact path. This
+//!    agrees with the exact path within the EM tolerance (property-tested)
+//!    and produces the same selection order on the paper-default scenarios;
+//!    [`ScoringMode::Exact`] is the escape hatch for callers that need the
+//!    full-corpus reference trajectory — e.g. experiments that diff
+//!    absolute scores across aggregators. Two situations always take the
+//!    exact path regardless of the configured mode: the §5.5 leave-one-out
+//!    confirmation sweep (which *removes* a validation rather than pinning
+//!    one, so it runs via [`Aggregator::conclude_warm`]), and hypothesis
+//!    evaluations with fewer than two validation anchors, where the
+//!    Dawid–Skene label orientation is still fragile.
+//! 4. **Parallel fan-out** (§5.4 "Parallelization"): per-candidate scores
 //!    are independent, so the engine distributes them across threads with
 //!    [`crate::parallel::score_candidates`], preserving candidate order so
-//!    serial and parallel scoring produce identical rankings.
+//!    serial and parallel scoring produce identical rankings. Each worker
+//!    thread keeps one warm EM workspace, so the fan-out performs zero heap
+//!    allocations per EM iteration.
 //!
 //! The concrete scores built on top of these primitives:
 //!
@@ -40,13 +68,21 @@
 
 use crate::parallel::score_candidates;
 use crowdval_aggregation::Aggregator;
-use crowdval_model::{AnswerSet, ExpertValidation, LabelId, ObjectId, ProbabilisticAnswerSet};
+pub use crowdval_aggregation::ScoringMode;
+use crowdval_model::{
+    AnswerSet, ExpertValidation, HypothesisOverlay, LabelId, ObjectId, ProbabilisticAnswerSet,
+};
 use crowdval_spammer::SpammerDetector;
 use serde::{Deserialize, Serialize};
 
 /// Labels whose current assignment probability is at or below this weight are
 /// skipped during hypothesis evaluation (§5.2: they contribute almost nothing
 /// to the expectation but would cost one aggregation run each).
+///
+/// This is the *single* negligibility threshold of the scoring hot path: both
+/// the conditional-entropy expectation (Eq. 8) and the expected-detection
+/// expectation (Eq. 13) skip labels by this constant, so the two scores agree
+/// on which hypotheses are worth an aggregation run.
 pub const NEGLIGIBLE_WEIGHT: f64 = 1e-6;
 
 /// Default width of the entropy pre-filter shortlist.
@@ -81,12 +117,16 @@ pub struct ScoringEngine {
     /// Upper bound on the number of candidates whose hypothesis score is
     /// evaluated exactly; `None` evaluates every candidate.
     shortlist_limit: Option<usize>,
+    /// How each hypothesis aggregation is scoped (delta-propagating by
+    /// default, [`ScoringMode::Exact`] as the reference escape hatch).
+    mode: ScoringMode,
 }
 
 impl Default for ScoringEngine {
     fn default() -> Self {
         Self {
             shortlist_limit: Some(DEFAULT_SHORTLIST),
+            mode: ScoringMode::default(),
         }
     }
 }
@@ -102,6 +142,7 @@ impl ScoringEngine {
     pub fn exhaustive() -> Self {
         Self {
             shortlist_limit: None,
+            mode: ScoringMode::default(),
         }
     }
 
@@ -109,12 +150,24 @@ impl ScoringEngine {
     pub fn with_shortlist(limit: usize) -> Self {
         Self {
             shortlist_limit: Some(limit),
+            mode: ScoringMode::default(),
         }
+    }
+
+    /// The same engine with an explicit [`ScoringMode`].
+    pub fn with_mode(mut self, mode: ScoringMode) -> Self {
+        self.mode = mode;
+        self
     }
 
     /// The configured pre-filter width (`None` = exhaustive).
     pub fn shortlist_limit(&self) -> Option<usize> {
         self.shortlist_limit
+    }
+
+    /// The configured hypothesis-scoping mode.
+    pub fn mode(&self) -> ScoringMode {
+        self.mode
     }
 
     // -----------------------------------------------------------------------
@@ -124,6 +177,11 @@ impl ScoringEngine {
     /// Returns the candidates that survive the entropy pre-filter: the
     /// `shortlist_limit` candidates with the highest current label entropy
     /// (ties broken toward the smaller object id, preserving determinism).
+    ///
+    /// Entropies are computed once per call and sorted with
+    /// [`f64::total_cmp`], so the order is total even if an entropy is NaN
+    /// (NaNs sort below every real entropy instead of short-circuiting the
+    /// comparator).
     pub fn shortlist(
         &self,
         current: &ProbabilisticAnswerSet,
@@ -131,15 +189,13 @@ impl ScoringEngine {
     ) -> Vec<ObjectId> {
         match self.shortlist_limit {
             Some(limit) if candidates.len() > limit => {
+                // Cache each candidate's entropy once; the sort must not
+                // re-invoke `object_uncertainty` per comparison.
                 let mut by_entropy: Vec<(ObjectId, f64)> = candidates
                     .iter()
                     .map(|&o| (o, current.object_uncertainty(o)))
                     .collect();
-                by_entropy.sort_by(|a, b| {
-                    b.1.partial_cmp(&a.1)
-                        .unwrap_or(std::cmp::Ordering::Equal)
-                        .then(a.0.cmp(&b.0))
-                });
+                by_entropy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
             }
             _ => candidates.to_vec(),
@@ -151,8 +207,9 @@ impl ScoringEngine {
     // -----------------------------------------------------------------------
 
     /// Evaluates a single hypothesis `e(object) = label`: re-runs the
-    /// aggregation with the hypothetical validation added, warm-starting from
-    /// `current`.
+    /// aggregation with the hypothetical validation overlaid (no
+    /// `ExpertValidation` clone), warm-starting from `current` and scoped by
+    /// `mode`.
     pub fn evaluate_hypothesis(
         aggregator: &dyn Aggregator,
         answers: &AnswerSet,
@@ -160,10 +217,10 @@ impl ScoringEngine {
         current: &ProbabilisticAnswerSet,
         object: ObjectId,
         label: LabelId,
+        mode: ScoringMode,
     ) -> ProbabilisticAnswerSet {
-        let mut hypothetical = expert.clone();
-        hypothetical.set(object, label);
-        aggregator.conclude_warm(answers, &hypothetical, current)
+        let hypothesis = HypothesisOverlay::new(expert, object, label);
+        aggregator.conclude_hypothesis(answers, &hypothesis, current, mode)
     }
 
     /// Conditional uncertainty `H(P | o) = Σ_l U(o, l) · H(P_l)` (Eq. 8),
@@ -175,6 +232,7 @@ impl ScoringEngine {
         expert: &ExpertValidation,
         current: &ProbabilisticAnswerSet,
         object: ObjectId,
+        mode: ScoringMode,
     ) -> f64 {
         let mut expected = 0.0;
         for l in 0..answers.num_labels() {
@@ -183,8 +241,9 @@ impl ScoringEngine {
             if weight <= NEGLIGIBLE_WEIGHT {
                 continue;
             }
-            let hypothesis =
-                Self::evaluate_hypothesis(aggregator, answers, expert, current, object, label);
+            let hypothesis = Self::evaluate_hypothesis(
+                aggregator, answers, expert, current, object, label, mode,
+            );
             expected += weight * hypothesis.uncertainty();
         }
         expected
@@ -192,19 +251,27 @@ impl ScoringEngine {
 
     /// Information gain `IG(o) = H(P) − H(P | o)` (Eq. 9): the expected
     /// reduction of the answer-set uncertainty if the expert validates `o`.
+    ///
+    /// Note for bulk scoring: `H(P)` is candidate-independent —
+    /// [`ScoringEngine::information_gain_scores`] hoists it out of the
+    /// per-candidate loop instead of calling this per candidate.
     pub fn information_gain_of(
         aggregator: &dyn Aggregator,
         answers: &AnswerSet,
         expert: &ExpertValidation,
         current: &ProbabilisticAnswerSet,
         object: ObjectId,
+        mode: ScoringMode,
     ) -> f64 {
         current.uncertainty()
-            - Self::conditional_entropy_of(aggregator, answers, expert, current, object)
+            - Self::conditional_entropy_of(aggregator, answers, expert, current, object, mode)
     }
 
     /// Expected number of faulty-worker detections from validating `object`:
-    /// `R(W | o) = Σ_l U(o, l) · R(W | o = l)` (Eq. 13).
+    /// `R(W | o) = Σ_l U(o, l) · R(W | o = l)` (Eq. 13). Labels are skipped
+    /// by the same [`NEGLIGIBLE_WEIGHT`] threshold as the conditional
+    /// entropy, so both expectations agree on which hypotheses are
+    /// evaluated.
     pub fn expected_detections_of(
         detector: &SpammerDetector,
         answers: &AnswerSet,
@@ -217,7 +284,7 @@ impl ScoringEngine {
         for l in 0..answers.num_labels() {
             let label = LabelId(l);
             let weight = current.assignment().prob(object, label);
-            if weight <= 0.0 {
+            if weight <= NEGLIGIBLE_WEIGHT {
                 continue;
             }
             let detections =
@@ -232,15 +299,27 @@ impl ScoringEngine {
     // -----------------------------------------------------------------------
 
     /// Information gain of every shortlisted candidate, in shortlist order.
-    /// Serial and parallel execution produce identical results.
+    /// Serial and parallel execution produce identical results. The total
+    /// uncertainty `H(P)` is computed once for the whole sweep, not per
+    /// candidate.
     pub fn information_gain_scores(
         &self,
         ctx: &ScoringContext<'_>,
         candidates: &[ObjectId],
     ) -> Vec<(ObjectId, f64)> {
         let shortlist = self.shortlist(ctx.current, candidates);
+        let total_uncertainty = ctx.current.uncertainty();
+        let mode = self.mode;
         score_candidates(&shortlist, ctx.parallel, |o| {
-            Self::information_gain_of(ctx.aggregator, ctx.answers, ctx.expert, ctx.current, o)
+            total_uncertainty
+                - Self::conditional_entropy_of(
+                    ctx.aggregator,
+                    ctx.answers,
+                    ctx.expert,
+                    ctx.current,
+                    o,
+                    mode,
+                )
         })
     }
 
@@ -263,6 +342,10 @@ impl ScoringEngine {
     /// objects whose reconstructed label disagrees with the expert's. Runs
     /// the per-object re-aggregations through the same parallel fan-out as
     /// candidate scoring.
+    ///
+    /// This sweep always uses the exact path ([`Aggregator::conclude_warm`]):
+    /// removing a validation un-clamps an object, which the pin-seeded delta
+    /// frontier does not model.
     pub fn leave_one_out_disagreements(&self, ctx: &ScoringContext<'_>) -> Vec<ObjectId> {
         let validated: Vec<ObjectId> = ctx.expert.iter().map(|(o, _)| o).collect();
         let disagree = score_candidates(&validated, ctx.parallel, |o| {
@@ -322,6 +405,29 @@ mod tests {
     }
 
     #[test]
+    fn shortlist_order_is_total_even_with_nan_entropies() {
+        let mut fixture = context_fixture(6, 4, 2, 13);
+        // A poisoned (NaN) distribution must sort below every real entropy
+        // instead of short-circuiting the comparator.
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(1), &[f64::NAN, f64::NAN]);
+        fixture
+            .current
+            .assignment_mut()
+            .set_distribution(ObjectId(4), &[0.5, 0.5]);
+        let candidates: Vec<ObjectId> = (0..6).map(ObjectId).collect();
+        let short = ScoringEngine::with_shortlist(3).shortlist(&fixture.current, &candidates);
+        assert_eq!(short.len(), 3);
+        assert!(short.contains(&ObjectId(4)), "max-entropy object dropped");
+        assert!(
+            !short.contains(&ObjectId(1)),
+            "NaN entropy outranked real entropies: {short:?}"
+        );
+    }
+
+    #[test]
     fn serial_and_parallel_rankings_are_identical() {
         let fixture = context_fixture(12, 6, 2, 13);
         let candidates: Vec<ObjectId> = (0..12).map(ObjectId).collect();
@@ -353,15 +459,18 @@ mod tests {
     #[test]
     fn hypothesis_evaluation_pins_the_hypothetical_label() {
         let fixture = context_fixture(8, 4, 2, 17);
-        let p = ScoringEngine::evaluate_hypothesis(
-            &fixture.aggregator,
-            &fixture.answers,
-            &fixture.expert,
-            &fixture.current,
-            ObjectId(3),
-            LabelId(1),
-        );
-        assert_eq!(p.assignment().prob(ObjectId(3), LabelId(1)), 1.0);
+        for mode in [ScoringMode::Exact, ScoringMode::Delta] {
+            let p = ScoringEngine::evaluate_hypothesis(
+                &fixture.aggregator,
+                &fixture.answers,
+                &fixture.expert,
+                &fixture.current,
+                ObjectId(3),
+                LabelId(1),
+                mode,
+            );
+            assert_eq!(p.assignment().prob(ObjectId(3), LabelId(1)), 1.0);
+        }
         // The original state is untouched.
         assert!(fixture.expert.get(ObjectId(3)).is_none());
     }
@@ -372,7 +481,7 @@ mod tests {
         use crowdval_sim::{PopulationMix, SyntheticConfig};
         // A reliable crowd keeps the EM single-basin, so the warm start and
         // the cold restart must converge to the same fixed point (within the
-        // EM convergence tolerance).
+        // EM convergence tolerance) — in both scoring modes.
         let synth = SyntheticConfig {
             num_objects: 16,
             num_workers: 8,
@@ -398,28 +507,31 @@ mod tests {
                 if current.assignment().prob(object, label) <= NEGLIGIBLE_WEIGHT {
                     continue;
                 }
-                let warm = ScoringEngine::evaluate_hypothesis(
-                    &warm_aggregator,
-                    &answers,
-                    &expert,
-                    &current,
-                    object,
-                    label,
-                );
                 let mut hypothetical = expert.clone();
                 hypothetical.set(object, label);
                 let cold = cold_aggregator.conclude(&answers, &hypothetical, None);
-                let diff = warm.assignment().max_abs_diff(cold.assignment());
-                assert!(
-                    diff <= tolerance,
-                    "hypothesis ({object}, {label}): warm/cold assignments differ by {diff}"
-                );
-                assert!(
-                    (warm.uncertainty() - cold.uncertainty()).abs() <= tolerance * 16.0,
-                    "hypothesis ({object}, {label}): warm H {} vs cold H {}",
-                    warm.uncertainty(),
-                    cold.uncertainty()
-                );
+                for mode in [ScoringMode::Exact, ScoringMode::Delta] {
+                    let warm = ScoringEngine::evaluate_hypothesis(
+                        &warm_aggregator,
+                        &answers,
+                        &expert,
+                        &current,
+                        object,
+                        label,
+                        mode,
+                    );
+                    let diff = warm.assignment().max_abs_diff(cold.assignment());
+                    assert!(
+                        diff <= tolerance,
+                        "hypothesis ({object}, {label}, {mode:?}): warm/cold assignments differ by {diff}"
+                    );
+                    assert!(
+                        (warm.uncertainty() - cold.uncertainty()).abs() <= tolerance * 16.0,
+                        "hypothesis ({object}, {label}, {mode:?}): warm H {} vs cold H {}",
+                        warm.uncertainty(),
+                        cold.uncertainty()
+                    );
+                }
             }
         }
     }

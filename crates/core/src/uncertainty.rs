@@ -1,7 +1,7 @@
 //! Uncertainty of a probabilistic answer set and the information gain of a
 //! hypothetical validation (paper §4.2 and §5.2, Eq. 6–9).
 
-use crowdval_aggregation::Aggregator;
+use crowdval_aggregation::{Aggregator, ScoringMode};
 use crowdval_model::{AnswerSet, ExpertValidation, ObjectId, ProbabilisticAnswerSet};
 
 /// Total uncertainty `H(P) = Σ_o H(o)` (Eq. 7).
@@ -16,7 +16,11 @@ pub fn total_uncertainty(p: &ProbabilisticAnswerSet) -> f64 {
 /// Thin wrapper over [`crate::scoring::ScoringEngine::conditional_entropy_of`],
 /// which owns the warm-started hypothesis evaluation (labels with negligible
 /// probability are skipped there: they contribute almost nothing to the
-/// expectation but would cost a full aggregation run each).
+/// expectation but would cost a full aggregation run each). Runs in
+/// [`ScoringMode::Exact`]: these free functions are the reference
+/// definitions of Eq. 8–9, so they keep full-corpus semantics; bulk scoring
+/// goes through [`crate::scoring::ScoringEngine`], which defaults to the
+/// delta-scoped mode.
 pub fn conditional_entropy(
     answers: &AnswerSet,
     expert: &ExpertValidation,
@@ -25,7 +29,12 @@ pub fn conditional_entropy(
     object: ObjectId,
 ) -> f64 {
     crate::scoring::ScoringEngine::conditional_entropy_of(
-        aggregator, answers, expert, current, object,
+        aggregator,
+        answers,
+        expert,
+        current,
+        object,
+        ScoringMode::Exact,
     )
 }
 
@@ -38,7 +47,14 @@ pub fn information_gain(
     aggregator: &dyn Aggregator,
     object: ObjectId,
 ) -> f64 {
-    crate::scoring::ScoringEngine::information_gain_of(aggregator, answers, expert, current, object)
+    crate::scoring::ScoringEngine::information_gain_of(
+        aggregator,
+        answers,
+        expert,
+        current,
+        object,
+        ScoringMode::Exact,
+    )
 }
 
 #[cfg(test)]

@@ -33,6 +33,21 @@ impl AssignmentMatrix {
         Self { matrix }
     }
 
+    /// Wraps a matrix whose rows are already probability distributions,
+    /// without re-normalizing. Used by the EM workspace, whose E-step
+    /// normalizes rows in place: re-normalizing here would divide by a
+    /// float sum ≈ 1.0 and perturb the converged values.
+    ///
+    /// # Panics
+    /// Debug-panics if the matrix is not row-stochastic (within 1e-6).
+    pub fn from_normalized(matrix: Matrix) -> Self {
+        debug_assert!(
+            matrix.is_row_stochastic(1e-6),
+            "from_normalized requires row-stochastic input"
+        );
+        Self { matrix }
+    }
+
     /// Number of objects.
     pub fn num_objects(&self) -> usize {
         self.matrix.rows()

@@ -20,6 +20,7 @@ pub mod expert;
 pub mod ground_truth;
 pub mod ids;
 pub mod io;
+pub mod overlay;
 pub mod probabilistic;
 
 pub use answer_matrix::AnswerMatrix;
@@ -31,4 +32,5 @@ pub use error::ModelError;
 pub use expert::ExpertValidation;
 pub use ground_truth::GroundTruth;
 pub use ids::{LabelId, ObjectId, WorkerId};
+pub use overlay::{HypothesisOverlay, ValidationView};
 pub use probabilistic::ProbabilisticAnswerSet;

@@ -1,0 +1,192 @@
+//! Borrowed validation views for hypothesis evaluation (paper §5.2, §5.4).
+//!
+//! The guidance hot path asks, for every `(candidate, plausible label)` pair,
+//! *"what would the aggregation conclude if the expert validated this
+//! object?"*. Materializing that question as an [`ExpertValidation`] clone
+//! per hypothesis costs an `O(objects)` allocation before a single EM
+//! iteration has run. A [`HypothesisOverlay`] instead borrows the real
+//! validation function and overlays exactly one pinned `(object, label)`
+//! pair, so the `O(candidates × labels)` fan-out of a validation step
+//! allocates nothing per hypothesis.
+//!
+//! The aggregation algorithms are generic over [`ValidationView`], the
+//! read-only interface shared by [`ExpertValidation`] and
+//! [`HypothesisOverlay`].
+
+use crate::expert::ExpertValidation;
+use crate::ids::{LabelId, ObjectId};
+
+/// Read-only view of a validation function `e : O → L ∪ {⊥}` — everything the
+/// EM estimators need to clamp validated objects and anchor label
+/// orientations.
+pub trait ValidationView: Sync {
+    /// The expert's (possibly hypothetical) label for `object`, if any.
+    fn validated(&self, object: ObjectId) -> Option<LabelId>;
+
+    /// Number of objects in the view's domain.
+    fn domain_len(&self) -> usize;
+
+    /// Number of validated objects, pinned hypotheses included.
+    fn validated_count(&self) -> usize;
+
+    /// `(object, label)` pairs of every validated object, in object order.
+    /// Allocates; callers on the EM hot loop should use [`Self::validated`]
+    /// instead (this is only needed by the once-per-run label-switching
+    /// anchor check).
+    fn validated_pairs(&self) -> Vec<(ObjectId, LabelId)>;
+}
+
+impl ValidationView for ExpertValidation {
+    fn validated(&self, object: ObjectId) -> Option<LabelId> {
+        self.get(object)
+    }
+
+    fn domain_len(&self) -> usize {
+        self.num_objects()
+    }
+
+    fn validated_count(&self) -> usize {
+        self.count()
+    }
+
+    fn validated_pairs(&self) -> Vec<(ObjectId, LabelId)> {
+        self.iter().collect()
+    }
+}
+
+/// A borrowed [`ExpertValidation`] with one additional hypothetical
+/// validation pinned on top — the zero-allocation substitute for
+/// `expert.clone(); clone.set(object, label)` in the hypothesis fan-out.
+///
+/// The pinned pair shadows the base: if the base already validates the
+/// pinned object, the overlay reports the pinned label.
+#[derive(Debug, Clone, Copy)]
+pub struct HypothesisOverlay<'a> {
+    base: &'a ExpertValidation,
+    object: ObjectId,
+    label: LabelId,
+}
+
+impl<'a> HypothesisOverlay<'a> {
+    /// Overlays the hypothesis `e(object) = label` on `base`.
+    pub fn new(base: &'a ExpertValidation, object: ObjectId, label: LabelId) -> Self {
+        Self {
+            base,
+            object,
+            label,
+        }
+    }
+
+    /// The underlying validation function.
+    pub fn base(&self) -> &'a ExpertValidation {
+        self.base
+    }
+
+    /// The pinned object.
+    pub fn object(&self) -> ObjectId {
+        self.object
+    }
+
+    /// The pinned label.
+    pub fn label(&self) -> LabelId {
+        self.label
+    }
+
+    /// Materializes the overlay as an owned [`ExpertValidation`] — the slow
+    /// path used by aggregators without a native overlay implementation.
+    pub fn materialize(&self) -> ExpertValidation {
+        let mut out = self.base.clone();
+        out.set(self.object, self.label);
+        out
+    }
+}
+
+impl ValidationView for HypothesisOverlay<'_> {
+    fn validated(&self, object: ObjectId) -> Option<LabelId> {
+        if object == self.object {
+            Some(self.label)
+        } else {
+            self.base.get(object)
+        }
+    }
+
+    fn domain_len(&self) -> usize {
+        self.base.num_objects()
+    }
+
+    fn validated_count(&self) -> usize {
+        if self.base.is_validated(self.object) {
+            self.base.count()
+        } else {
+            self.base.count() + 1
+        }
+    }
+
+    fn validated_pairs(&self) -> Vec<(ObjectId, LabelId)> {
+        let mut pairs: Vec<(ObjectId, LabelId)> = self.base.iter().collect();
+        match pairs.binary_search_by_key(&self.object, |&(o, _)| o) {
+            Ok(pos) => pairs[pos].1 = self.label,
+            Err(pos) => pairs.insert(pos, (self.object, self.label)),
+        }
+        pairs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlay_shadows_the_base() {
+        let mut base = ExpertValidation::empty(4);
+        base.set(ObjectId(0), LabelId(1));
+        base.set(ObjectId(2), LabelId(0));
+        let overlay = HypothesisOverlay::new(&base, ObjectId(1), LabelId(0));
+        assert_eq!(overlay.validated(ObjectId(0)), Some(LabelId(1)));
+        assert_eq!(overlay.validated(ObjectId(1)), Some(LabelId(0)));
+        assert_eq!(overlay.validated(ObjectId(3)), None);
+        assert_eq!(overlay.validated_count(), 3);
+        assert_eq!(overlay.domain_len(), 4);
+        assert_eq!(
+            overlay.validated_pairs(),
+            vec![
+                (ObjectId(0), LabelId(1)),
+                (ObjectId(1), LabelId(0)),
+                (ObjectId(2), LabelId(0)),
+            ]
+        );
+    }
+
+    #[test]
+    fn overlay_overrides_an_existing_validation() {
+        let mut base = ExpertValidation::empty(3);
+        base.set(ObjectId(1), LabelId(0));
+        let overlay = HypothesisOverlay::new(&base, ObjectId(1), LabelId(1));
+        assert_eq!(overlay.validated(ObjectId(1)), Some(LabelId(1)));
+        assert_eq!(overlay.validated_count(), 1);
+        assert_eq!(overlay.validated_pairs(), vec![(ObjectId(1), LabelId(1))]);
+        // The base is untouched.
+        assert_eq!(base.get(ObjectId(1)), Some(LabelId(0)));
+    }
+
+    #[test]
+    fn materialize_matches_clone_and_set() {
+        let mut base = ExpertValidation::empty(3);
+        base.set(ObjectId(0), LabelId(1));
+        let overlay = HypothesisOverlay::new(&base, ObjectId(2), LabelId(0));
+        let owned = overlay.materialize();
+        let mut expected = base.clone();
+        expected.set(ObjectId(2), LabelId(0));
+        assert_eq!(owned, expected);
+    }
+
+    #[test]
+    fn expert_validation_view_agrees_with_its_accessors() {
+        let mut e = ExpertValidation::empty(3);
+        e.set(ObjectId(2), LabelId(1));
+        assert_eq!(ValidationView::validated(&e, ObjectId(2)), Some(LabelId(1)));
+        assert_eq!(e.domain_len(), 3);
+        assert_eq!(ValidationView::validated_count(&e), 1);
+        assert_eq!(e.validated_pairs(), vec![(ObjectId(2), LabelId(1))]);
+    }
+}

@@ -223,6 +223,22 @@ impl Matrix {
         }
     }
 
+    /// Overwrites every entry with `value`, in place (allocation-free reset
+    /// of a scratch buffer).
+    pub fn fill(&mut self, value: f64) {
+        self.data.fill(value);
+    }
+
+    /// Copies the contents of `other` into `self`, in place.
+    ///
+    /// # Panics
+    /// Panics if the dimensions differ.
+    pub fn copy_from(&mut self, other: &Matrix) {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data.copy_from_slice(&other.data);
+    }
+
     /// Normalizes every row so it sums to one.
     ///
     /// Rows that sum to zero (or to a non-finite value) are replaced with the

@@ -69,19 +69,19 @@ pub use crowdval_spammer as spammer;
 /// Commonly used types, ready for a single glob import.
 pub mod prelude {
     pub use crowdval_aggregation::{
-        aggregate_combined, Aggregator, BatchEm, EmConfig, ExpertIntegration, IncrementalEm,
-        InitStrategy, MajorityVoting,
+        aggregate_combined, Aggregator, BatchEm, EmConfig, EmWorkspace, ExpertIntegration,
+        IncrementalEm, InitStrategy, MajorityVoting, ScoringMode,
     };
     pub use crowdval_core::{
         partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, ExpertSource,
         HybridStrategy, ProcessConfig, RandomSelection, ScoringContext, ScoringEngine,
-        SelectionStrategy, StrategyKind, UncertaintyDriven, ValidationGoal, ValidationProcess,
-        ValidationTrace, WorkerDriven,
+        SelectionStrategy, StrategyContext, StrategyKind, UncertaintyDriven, ValidationGoal,
+        ValidationProcess, ValidationTrace, WorkerDriven,
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,
-        DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ObjectId,
-        ProbabilisticAnswerSet, WorkerId,
+        DeterministicAssignment, ExpertValidation, GroundTruth, HypothesisOverlay, LabelId,
+        ObjectId, ProbabilisticAnswerSet, ValidationView, WorkerId,
     };
     pub use crowdval_sim::{
         all_replicas, replica, PopulationMix, ReplicaName, SimulatedExpert, SyntheticConfig,

@@ -1,0 +1,129 @@
+//! Selection-order regressions for the guidance hot path: on the
+//! paper-default scenario the guided validation must pick the same object
+//! sequence regardless of execution mode (serial vs. parallel fan-out, §5.4)
+//! and scoring mode (exact vs. delta-propagating hypothesis aggregation).
+//! A silent reordering here would invalidate every effort-vs-precision
+//! comparison between experiment runs.
+
+use crowd_validation::prelude::*;
+use crowdval_spammer::SpammerDetector;
+
+/// Runs `steps` guided validations with the uncertainty-driven strategy and
+/// returns the selected object sequence.
+fn selection_sequence(parallel: bool, mode: ScoringMode, steps: usize) -> Vec<ObjectId> {
+    let synth = SyntheticConfig {
+        num_objects: 24,
+        ..SyntheticConfig::paper_default(4242)
+    }
+    .generate();
+    let answers = synth.dataset.answers().clone();
+    let truth = synth.dataset.ground_truth().clone();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    let aggregator = IncrementalEm::default();
+    let detector = SpammerDetector::default();
+    let mut current = aggregator.conclude(&answers, &expert, None);
+    let mut strategy =
+        UncertaintyDriven::with_engine(ScoringEngine::with_shortlist(10).with_mode(mode));
+
+    let mut picked = Vec::new();
+    for _ in 0..steps {
+        let candidates = expert.unvalidated_objects();
+        let ctx = StrategyContext {
+            answers: &answers,
+            expert: &expert,
+            current: &current,
+            aggregator: &aggregator,
+            detector: &detector,
+            candidates: &candidates,
+            parallel,
+        };
+        let Some(object) = strategy.select(&ctx) else {
+            break;
+        };
+        picked.push(object);
+        expert.set(object, truth.label(object));
+        current = aggregator.conclude_warm(&answers, &expert, &current);
+    }
+    picked
+}
+
+/// Serial/parallel × exact/delta must agree on the full selection sequence.
+#[test]
+fn serial_parallel_and_delta_select_identical_sequences() {
+    let steps = 6;
+    let reference = selection_sequence(false, ScoringMode::Exact, steps);
+    assert_eq!(
+        reference.len(),
+        steps,
+        "reference run selected fewer objects than requested"
+    );
+    let parallel_exact = selection_sequence(true, ScoringMode::Exact, steps);
+    let serial_delta = selection_sequence(false, ScoringMode::Delta, steps);
+    let parallel_delta = selection_sequence(true, ScoringMode::Delta, steps);
+    assert_eq!(
+        reference, parallel_exact,
+        "parallel fan-out changed the exact selection order"
+    );
+    assert_eq!(
+        reference, serial_delta,
+        "delta scoring changed the selection order"
+    );
+    assert_eq!(
+        reference, parallel_delta,
+        "parallel delta scoring changed the selection order"
+    );
+}
+
+/// The delta-scoped engine must produce information-gain *rankings* that
+/// agree with the exact engine on the paper-default scenario — not just the
+/// argmax (a weaker property that could mask systematic score drift).
+#[test]
+fn delta_and_exact_information_gain_rankings_agree() {
+    let synth = SyntheticConfig {
+        num_objects: 20,
+        ..SyntheticConfig::paper_default(77)
+    }
+    .generate();
+    let answers = synth.dataset.answers().clone();
+    let truth = synth.dataset.ground_truth().clone();
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    for o in 0..4 {
+        expert.set(ObjectId(o), truth.label(ObjectId(o)));
+    }
+    let aggregator = IncrementalEm::default();
+    let detector = SpammerDetector::default();
+    let current = aggregator.conclude(&answers, &expert, None);
+    let candidates = expert.unvalidated_objects();
+    let ctx = ScoringContext {
+        answers: &answers,
+        expert: &expert,
+        current: &current,
+        aggregator: &aggregator,
+        detector: &detector,
+        parallel: false,
+    };
+
+    let exact_scores = ScoringEngine::exhaustive()
+        .with_mode(ScoringMode::Exact)
+        .information_gain_scores(&ctx, &candidates);
+    let delta_scores = ScoringEngine::exhaustive()
+        .with_mode(ScoringMode::Delta)
+        .information_gain_scores(&ctx, &candidates);
+
+    let ranking = |scores: &[(ObjectId, f64)]| {
+        let mut order: Vec<(ObjectId, f64)> = scores.to_vec();
+        order.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        order.into_iter().map(|(o, _)| o).collect::<Vec<_>>()
+    };
+    assert_eq!(
+        ranking(&exact_scores),
+        ranking(&delta_scores),
+        "delta scoring reordered the information-gain ranking"
+    );
+    for ((o1, s1), (_, s2)) in exact_scores.iter().zip(&delta_scores) {
+        assert!(
+            (s1 - s2).abs() < 1e-2,
+            "IG of {o1} drifted between modes: exact {s1} vs delta {s2}"
+        );
+    }
+}
