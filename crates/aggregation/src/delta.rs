@@ -49,13 +49,14 @@ use crate::em::{
 use crate::workspace::{refresh_worker_logs, EmWorkspace};
 use crowdval_model::{AnswerSet, ObjectId, ValidationView};
 
-/// Runs a delta-scoped re-estimation inside the workspace. The workspace must
-/// hold the full warm-start state ([`EmWorkspace::seed_from`] with the
-/// previous probabilistic answer set); `seed_object` is the object whose
-/// (hypothetical) validation in `view` differs from that state. On return the
-/// workspace holds the updated assignment/confusions/priors; the return value
-/// is the number of delta iterations (propagation sweeps and polish
-/// iterations both count). Allocation-free once the workspace is warm.
+/// Runs a delta-scoped re-estimation inside the workspace, seeded at one
+/// pinned object. The workspace must hold the full warm-start state
+/// ([`EmWorkspace::seed_from`] with the previous probabilistic answer set);
+/// `seed_object` is the object whose (hypothetical) validation in `view`
+/// differs from that state. On return the workspace holds the updated
+/// assignment/confusions/priors; the return value is the number of delta
+/// iterations (propagation sweeps and polish iterations both count).
+/// Allocation-free once the workspace is warm.
 pub fn run_delta_em_in_workspace<V: ValidationView>(
     answers: &AnswerSet,
     view: &V,
@@ -63,16 +64,42 @@ pub fn run_delta_em_in_workspace<V: ValidationView>(
     config: &EmConfig,
     seed_object: ObjectId,
 ) -> usize {
+    run_delta_em_from_dirty(answers, view, ws, config, &[seed_object])
+}
+
+/// The arrival-centric generalization of the delta path: seeds the dirty set
+/// with an arbitrary list of touched objects instead of a single pinned
+/// hypothesis. Streaming ingestion uses this with the objects that received
+/// new votes (new objects included — their workspace rows start at the
+/// priors and are recomputed here), after which the frontier expands through
+/// the answering workers exactly as in the pin-seeded case, and the same
+/// Aitken-polished full-map phase certifies the exact path's convergence
+/// criterion.
+///
+/// `seeds` must not contain duplicates (the session deduplicates while
+/// recording arrivals); an empty seed list degenerates to the polish phase
+/// alone, which still certifies convergence of the warm-start state.
+pub fn run_delta_em_from_dirty<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    config: &EmConfig,
+    seeds: &[ObjectId],
+) -> usize {
     ws.changed_objects.clear();
     ws.next_changed.clear();
     ws.dirty_workers.clear();
 
-    // Sweep 1 (mirrors the exact path's initial E-step, scoped to the seed):
-    // re-clamp the pinned object's row under `view`.
+    // Sweep 1 (mirrors the exact path's initial E-step, scoped to the
+    // seeds): recompute each touched object's row under `view` — clamping
+    // validated seeds, re-deriving the posterior of the rest from the cached
+    // log tables.
     let mut iterations = 1;
     ws.stat_iterations += 1;
-    recompute_object_row(answers, view, ws, seed_object);
-    ws.changed_objects.push(seed_object);
+    for &seed in seeds {
+        recompute_object_row(answers, view, ws, seed);
+        ws.changed_objects.push(seed);
+    }
 
     // Phase 2: scoped M+E rounds, capped low. Local perturbations drain the
     // frontier in a handful of rounds; when the perturbation goes global the
@@ -217,7 +244,7 @@ fn scoped_rounds<V: ValidationView>(
         // M-step's work list.
         for i in 0..ws.changed_objects.len() {
             let o = ws.changed_objects[i];
-            for &(w, _) in answers.matrix().answers_for_object(o) {
+            for (w, _) in answers.matrix().answers_for_object(o) {
                 if !ws.worker_dirty[w.index()] {
                     ws.worker_dirty[w.index()] = true;
                     ws.dirty_workers.push(w);
@@ -264,7 +291,7 @@ fn scoped_rounds<V: ValidationView>(
         ws.next_changed.clear();
         for wi in 0..ws.dirty_workers.len() {
             let w = ws.dirty_workers[wi];
-            for &(o, _) in answers.matrix().answers_for_worker(w) {
+            for (o, _) in answers.matrix().answers_for_worker(w) {
                 if ws.object_dirty[o.index()] {
                     continue;
                 }
@@ -287,7 +314,7 @@ fn scoped_rounds<V: ValidationView>(
         // clear), then promote the new frontier.
         for wi in 0..ws.dirty_workers.len() {
             let w = ws.dirty_workers[wi];
-            for &(o, _) in answers.matrix().answers_for_worker(w) {
+            for (o, _) in answers.matrix().answers_for_worker(w) {
                 ws.object_dirty[o.index()] = false;
             }
             ws.worker_dirty[w.index()] = false;
@@ -332,8 +359,14 @@ fn recompute_object_row<V: ValidationView>(
         row.fill(0.0);
         row[validated.index()] = 1.0;
     } else {
-        let votes = answers.matrix().answers_for_object(object);
-        posterior_row(m, votes, log_confusions, log_priors, log_scores, row);
+        posterior_row(
+            m,
+            answers.matrix().answers_for_object(object),
+            log_confusions,
+            log_priors,
+            log_scores,
+            row,
+        );
     }
     let mut delta = 0.0f64;
     for l in 0..m {

@@ -25,21 +25,24 @@ use crowdval_model::{
 use crowdval_numerics::Matrix;
 
 /// Computes one object's posterior label distribution into `row` from the
-/// cached log tables (Eq. 1–3, log domain). `scores` is the per-label
-/// log-score scratch. The row is normalized in place exactly as
+/// cached log tables (Eq. 1–3, log domain). `votes` is a cheaply clonable
+/// vote iterator (the paged-arena rows hand these out); `scores` is the
+/// per-label log-score scratch. The row is normalized in place exactly as
 /// [`Matrix::normalize_rows`] would.
 #[inline]
-pub(crate) fn posterior_row(
+pub(crate) fn posterior_row<I>(
     m: usize,
-    votes: &[(WorkerId, LabelId)],
+    votes: I,
     log_confusions: &[f64],
     log_priors: &[f64],
     scores: &mut [f64],
     row: &mut [f64],
-) {
+) where
+    I: Iterator<Item = (WorkerId, LabelId)> + Clone,
+{
     for (l, score) in scores.iter_mut().enumerate() {
         *score = log_priors[l];
-        for &(w, answered) in votes {
+        for (w, answered) in votes.clone() {
             *score += log_confusions[w.index() * m * m + l * m + answered.index()];
         }
     }
@@ -93,8 +96,14 @@ pub(crate) fn expectation_step_ws<V: ValidationView>(
             row[validated.index()] = 1.0;
             continue;
         }
-        let votes = answers.matrix().answers_for_object(o);
-        posterior_row(m, votes, log_confusions, log_priors, log_scores, row);
+        posterior_row(
+            m,
+            answers.matrix().answers_for_object(o),
+            log_confusions,
+            log_priors,
+            log_scores,
+            row,
+        );
     }
 }
 
@@ -111,7 +120,7 @@ pub(crate) fn m_step_worker(
     m: usize,
 ) {
     counts.fill(0.0);
-    for &(o, answered) in answers.matrix().answers_for_worker(worker) {
+    for (o, answered) in answers.matrix().answers_for_worker(worker) {
         for true_label in 0..m {
             counts[(true_label, answered.index())] += assignment[(o.index(), true_label)];
         }
@@ -458,7 +467,7 @@ fn crowd_posterior_at(
     let mut log_scores = vec![0.0f64; m];
     for (l, score) in log_scores.iter_mut().enumerate() {
         *score = priors[l].max(LOG_FLOOR).ln();
-        for &(w, answered) in votes {
+        for (w, answered) in votes.clone() {
             *score += confusions[w.index()]
                 .prob(LabelId(l), answered)
                 .max(LOG_FLOOR)
@@ -506,7 +515,7 @@ pub fn log_likelihood(
         let votes = answers.matrix().answers_for_object(o);
         if let Some(validated) = expert.get(o) {
             total += priors[validated.index()].max(LOG_FLOOR).ln();
-            for &(w, a) in votes {
+            for (w, a) in votes {
                 total += confusions[w.index()].prob(validated, a).max(LOG_FLOOR).ln();
             }
             continue;
@@ -514,7 +523,7 @@ pub fn log_likelihood(
         let mut log_terms = vec![0.0f64; m];
         for (l, term) in log_terms.iter_mut().enumerate() {
             *term = priors[l].max(LOG_FLOOR).ln();
-            for &(w, a) in votes {
+            for (w, a) in votes.clone() {
                 *term += confusions[w.index()]
                     .prob(LabelId(l), a)
                     .max(LOG_FLOOR)

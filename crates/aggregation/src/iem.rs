@@ -14,12 +14,14 @@
 //!    fewer EM iterations (evaluated in Fig. 8).
 
 use crate::config::EmConfig;
-use crate::delta::run_delta_em_in_workspace;
-use crate::em::{run_em_from_assignment, run_em_from_confusions, run_warm_em};
+use crate::delta::{run_delta_em_from_dirty, run_delta_em_in_workspace};
+use crate::em::{run_em_from_assignment, run_em_from_confusions, run_em_in_workspace, run_warm_em};
 use crate::init::InitStrategy;
 use crate::workspace::with_workspace;
 use crate::{Aggregator, ScoringMode};
-use crowdval_model::{AnswerSet, ExpertValidation, HypothesisOverlay, ProbabilisticAnswerSet};
+use crowdval_model::{
+    AnswerSet, ExpertValidation, HypothesisOverlay, ObjectId, ProbabilisticAnswerSet,
+};
 
 /// The incremental EM aggregator.
 #[derive(Debug, Clone, Copy)]
@@ -167,6 +169,41 @@ impl Aggregator for IncrementalEm {
         }
     }
 
+    /// Native arrival support (§5.4 view maintenance for vote arrival): the
+    /// workspace is seeded from the previous state even across *growth* (new
+    /// objects get prior rows, new workers uniform confusions), the delta
+    /// path's dirty set starts at the touched objects instead of a pinned
+    /// hypothesis, and the Aitken-polished full-map phase certifies the
+    /// exact path's convergence criterion. Below two validation anchors the
+    /// label orientation is still fragile, so the scoped rounds are skipped
+    /// in favour of a plain warm full-EM from the same grown seed.
+    fn conclude_arrival(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+        touched: &[ObjectId],
+    ) -> ProbabilisticAnswerSet {
+        let grown_compatible = previous.num_objects() > 0
+            && previous.num_objects() <= answers.num_objects()
+            && previous.num_workers() <= answers.num_workers()
+            && previous.num_labels() == answers.num_labels();
+        if !grown_compatible {
+            return self.cold_start(answers, expert);
+        }
+        with_workspace(|ws| {
+            ws.seed_from_grown(answers, previous);
+            let iterations = if expert.count() < 2 {
+                run_em_in_workspace(answers, expert, ws, &self.config)
+            } else {
+                run_delta_em_from_dirty(answers, expert, ws, &self.config, touched)
+            };
+            let iterations =
+                crate::em::realign_in_workspace(answers, expert, ws, iterations, &self.config);
+            ws.export(iterations)
+        })
+    }
+
     fn name(&self) -> &'static str {
         "i-em"
     }
@@ -286,5 +323,125 @@ mod tests {
     #[test]
     fn aggregator_name() {
         assert_eq!(IncrementalEm::default().name(), "i-em");
+    }
+
+    /// The arrival path, seeded only with the touched objects, must land on
+    /// the same fixed point as a full warm re-aggregation of the same data.
+    #[test]
+    fn conclude_arrival_matches_full_warm_start() {
+        use crowdval_model::{LabelId, Vote};
+        let synth = SyntheticConfig {
+            num_objects: 24,
+            ..SyntheticConfig::paper_default(55)
+        }
+        .generate();
+        let full = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth();
+
+        // Hold back the last votes of four objects, aggregate, then let them
+        // arrive.
+        let mut answers = full.clone();
+        let touched: Vec<ObjectId> = (0..4).map(ObjectId).collect();
+        let mut held_back: Vec<Vote> = Vec::new();
+        for &o in &touched {
+            for w in 0..3 {
+                let worker = crowdval_model::WorkerId(w);
+                if let Some(l) = answers.remove_answer(o, worker) {
+                    held_back.push(Vote::new(o, worker, l));
+                }
+            }
+        }
+        let mut expert = ExpertValidation::empty(full.num_objects());
+        expert.set(ObjectId(10), truth.label(ObjectId(10)));
+        expert.set(ObjectId(11), truth.label(ObjectId(11)));
+        let iem = IncrementalEm::default();
+        let before = iem.conclude(&answers, &expert, None);
+
+        for vote in &held_back {
+            answers.record_arrival(*vote).unwrap();
+        }
+        let arrival = iem.conclude_arrival(&answers, &expert, &before, &touched);
+        let warm = iem.conclude_warm(&answers, &expert, &before);
+
+        assert!(is_valid_probabilistic_answer_set(&arrival));
+        let config = EmConfig::paper_default();
+        if arrival.em_iterations() < config.max_iterations
+            && warm.em_iterations() < config.max_iterations
+        {
+            let diff = arrival.assignment().max_abs_diff(warm.assignment());
+            assert!(
+                diff <= 100.0 * config.tolerance,
+                "arrival-seeded delta diverged from the full warm start by {diff}"
+            );
+        }
+        // Validations stay pinned through the arrival.
+        assert_eq!(
+            arrival
+                .assignment()
+                .prob(ObjectId(10), truth.label(ObjectId(10))),
+            1.0
+        );
+        let _ = LabelId(0);
+    }
+
+    /// The arrival path absorbs *growth*: a previous state covering fewer
+    /// objects and workers seeds the grown corpus without a cold restart.
+    #[test]
+    fn conclude_arrival_absorbs_new_objects_and_workers() {
+        use crowdval_model::Vote;
+        let synth = SyntheticConfig {
+            num_objects: 20,
+            num_workers: 12,
+            reliability: 0.85,
+            mix: crowdval_sim::PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(56)
+        }
+        .generate();
+        let full = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth();
+
+        // Previous state: only the first 16 objects and 9 workers exist.
+        let mut early = crowdval_model::AnswerSet::new(0, 0, full.num_labels());
+        let mut late: Vec<Vote> = Vec::new();
+        for (o, w, l) in full.matrix().iter() {
+            let vote = Vote::new(o, w, l);
+            if o.index() < 16 && w.index() < 9 {
+                early.record_arrival(vote).unwrap();
+            } else {
+                late.push(vote);
+            }
+        }
+        let mut expert = ExpertValidation::empty(16);
+        expert.set(ObjectId(0), truth.label(ObjectId(0)));
+        expert.set(ObjectId(1), truth.label(ObjectId(1)));
+        let iem = IncrementalEm::default();
+        let before = iem.conclude(&early, &expert, None);
+
+        let mut grown = early.clone();
+        let mut touched: Vec<ObjectId> = Vec::new();
+        for vote in &late {
+            grown.record_arrival(*vote).unwrap();
+            touched.push(vote.object);
+        }
+        touched.sort();
+        touched.dedup();
+        expert.ensure_domain(grown.num_objects());
+        let arrival = iem.conclude_arrival(&grown, &expert, &before, &touched);
+
+        assert_eq!(arrival.num_objects(), 20);
+        assert_eq!(arrival.num_workers(), 12);
+        assert!(is_valid_probabilistic_answer_set(&arrival));
+        // New objects got real posteriors, not the prior placeholder rows.
+        let cold = iem.conclude(&grown, &expert, None);
+        let config = EmConfig::paper_default();
+        if arrival.em_iterations() < config.max_iterations
+            && cold.em_iterations() < config.max_iterations
+        {
+            let diff = arrival.assignment().max_abs_diff(cold.assignment());
+            assert!(
+                diff <= 100.0 * config.tolerance,
+                "grown arrival state diverged from the cold rebuild by {diff}"
+            );
+        }
     }
 }

@@ -27,7 +27,7 @@ pub mod majority;
 pub mod workspace;
 
 pub use config::EmConfig;
-pub use delta::run_delta_em_in_workspace;
+pub use delta::{run_delta_em_from_dirty, run_delta_em_in_workspace};
 pub use em::{run_em_in_workspace, run_warm_em, BatchEm};
 pub use iem::IncrementalEm;
 pub use init::InitStrategy;
@@ -35,7 +35,9 @@ pub use integration::{aggregate_combined, ExpertIntegration};
 pub use majority::MajorityVoting;
 pub use workspace::{with_workspace, EmWorkspace};
 
-use crowdval_model::{AnswerSet, ExpertValidation, HypothesisOverlay, ProbabilisticAnswerSet};
+use crowdval_model::{
+    AnswerSet, ExpertValidation, HypothesisOverlay, ObjectId, ProbabilisticAnswerSet,
+};
 use serde::{Deserialize, Serialize};
 
 /// How warm-started hypothesis evaluations are scoped (§5.4, view
@@ -111,6 +113,31 @@ pub trait Aggregator: Send + Sync {
     ) -> ProbabilisticAnswerSet {
         let _ = mode;
         self.conclude_warm(answers, &hypothesis.materialize(), previous)
+    }
+
+    /// Arrival entry point of the streaming ingestion path (§5.4 view
+    /// maintenance applied to *vote arrival*): re-aggregates after new votes
+    /// landed on `touched` objects, warm-starting from `previous` even when
+    /// the answer set has **grown** (new objects and/or workers since
+    /// `previous` was computed).
+    ///
+    /// Incremental aggregators should scope the re-estimation to the touched
+    /// neighborhood (the dirty set starts at `touched`, not at a pinned
+    /// hypothesis) and must still certify the same convergence criterion as
+    /// a full re-aggregation. The default ignores `touched` and forwards to
+    /// [`Aggregator::conclude`] with `Some(previous)`, preserving each
+    /// aggregator's batch semantics (batch aggregators keep restarting —
+    /// which is exactly the rebuild-from-scratch baseline the ingestion
+    /// bench compares against).
+    fn conclude_arrival(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+        touched: &[ObjectId],
+    ) -> ProbabilisticAnswerSet {
+        let _ = touched;
+        self.conclude(answers, expert, Some(previous))
     }
 
     /// Human-readable name used in experiment reports.

@@ -24,15 +24,15 @@ impl MajorityVoting {
         let m = answers.num_labels();
         let mut raw = Matrix::zeros(n, m);
         for o in answers.objects() {
-            let votes = answers.matrix().answers_for_object(o);
-            if votes.is_empty() {
+            let mut any_vote = false;
+            for (_, l) in answers.matrix().answers_for_object(o) {
+                raw[(o.index(), l.index())] += 1.0;
+                any_vote = true;
+            }
+            if !any_vote {
                 // No evidence at all: uniform.
                 for l in 0..m {
                     raw[(o.index(), l)] = 1.0;
-                }
-            } else {
-                for &(_, l) in votes {
-                    raw[(o.index(), l.index())] += 1.0;
                 }
             }
         }

@@ -165,6 +165,61 @@ impl EmWorkspace {
         self.recompute_col_sums();
     }
 
+    /// [`EmWorkspace::seed_from`] for a *grown* answer set: the previous
+    /// probabilistic answer set may cover fewer objects and/or workers than
+    /// `answers` (streaming arrival of new objects or workers mid-session).
+    /// Known workers keep their confusion matrices, new workers start
+    /// uniform; known objects keep their assignment rows, new objects start
+    /// at the previous label priors (the best prior-only estimate — their
+    /// actual posterior is recomputed by the dirty-seeded delta pass).
+    ///
+    /// # Panics
+    /// Panics if `previous` covers *more* objects/workers than `answers` or
+    /// disagrees on the label count — id spaces only grow.
+    pub fn seed_from_grown(&mut self, answers: &AnswerSet, previous: &ProbabilisticAnswerSet) {
+        let (n, k, m) = (
+            answers.num_objects(),
+            answers.num_workers(),
+            answers.num_labels(),
+        );
+        assert!(
+            previous.num_objects() <= n && previous.num_workers() <= k,
+            "previous state covers more objects/workers than the grown answer set"
+        );
+        assert_eq!(previous.num_labels(), m, "label spaces cannot grow");
+        if previous.num_objects() == n && previous.num_workers() == k {
+            self.seed_from(answers, previous);
+            return;
+        }
+        self.ensure_shape(n, k, m);
+        for (w, confusion) in previous.confusions().iter().enumerate() {
+            self.confusions[w]
+                .matrix_mut()
+                .copy_from(confusion.matrix());
+        }
+        for confusion in self.confusions.iter_mut().skip(previous.num_workers()) {
+            confusion
+                .matrix_mut()
+                .copy_from(ConfusionMatrix::uniform(m.max(1)).matrix());
+        }
+        self.priors.copy_from_slice(previous.priors());
+        let prev_rows = previous.num_objects();
+        let prev = previous.assignment().matrix().as_slice();
+        for o in 0..prev_rows {
+            self.assignment
+                .row_mut(o)
+                .copy_from_slice(&prev[o * m..(o + 1) * m]);
+        }
+        for o in prev_rows..n {
+            let EmWorkspace {
+                assignment, priors, ..
+            } = self;
+            assignment.row_mut(o).copy_from_slice(priors);
+        }
+        self.refresh_log_tables();
+        self.recompute_col_sums();
+    }
+
     /// Recomputes the cached log-confusion tables and log-priors for every
     /// worker (once per seed / per full M-step, *not* per vote).
     pub(crate) fn refresh_log_tables(&mut self) {

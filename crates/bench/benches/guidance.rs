@@ -63,6 +63,7 @@ impl Fixture {
             aggregator: &self.aggregator,
             detector: &self.detector,
             parallel,
+            entropy_cache: None,
         }
     }
 
@@ -75,6 +76,7 @@ impl Fixture {
             detector: &self.detector,
             candidates: &self.candidates,
             parallel,
+            entropy_cache: None,
         }
     }
 }

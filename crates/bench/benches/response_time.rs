@@ -37,6 +37,7 @@ fn bench_response_time(c: &mut Criterion) {
                         detector: &detector,
                         candidates: &candidates,
                         parallel,
+                        entropy_cache: None,
                     };
                     UncertaintyDriven::exhaustive().select(&ctx)
                 })

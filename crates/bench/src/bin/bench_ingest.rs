@@ -1,0 +1,249 @@
+//! Streaming-ingestion benchmark: measures how fast a validation session
+//! absorbs an arriving vote stream compared to rebuilding the aggregation
+//! from scratch on every batch, and records the result as
+//! `BENCH_ingest.json` so the view-maintenance win is a tracked number
+//! rather than a claim.
+//!
+//! Paths compared (single-threaded on purpose — the win must be algorithmic,
+//! not core-count):
+//!
+//! * `incremental` — [`ValidationSession::ingest`]: the matrix grows in
+//!   place, the delta path's dirty set is seeded from the touched objects,
+//!   frontier-scoped EM rounds plus the Aitken-polished full-map phase
+//!   certify the batch path's convergence criterion, and only the moved
+//!   entropy-shortlist entries are invalidated.
+//! * `rebuild` — the pre-session shape of the pipeline: append the batch to
+//!   an answer set and re-run the full cold aggregation
+//!   (majority-vote-initialized EM) over everything seen so far.
+//!
+//! Also reported: the guidance latency (one `select_next` over the grown
+//! candidate set) at steady state, since the point of ingestion being cheap
+//! is that the expert never waits.
+//!
+//! Usage: `bench_ingest [--quick] [--check] [--out <path>]`
+//!
+//! `--quick` shrinks the stream for CI smoke runs; `--check` exits non-zero
+//! if incremental ingestion is slower than rebuild-from-scratch — judged by
+//! the deterministic EM-iteration totals plus a noise-tolerant wall-clock
+//! comparison (the CI `ingest-smoke` gate).
+
+use crowdval_aggregation::{Aggregator, IncrementalEm};
+use crowdval_core::{ProcessConfig, ScoringEngine, UncertaintyDriven, ValidationSessionBuilder};
+use crowdval_model::{AnswerSet, ExpertValidation, ObjectId};
+use crowdval_sim::{StreamingConfig, SyntheticConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+#[derive(Debug, Serialize)]
+struct PathReport {
+    /// Votes absorbed per second of wall time, across all batches.
+    votes_per_sec: f64,
+    /// Votes per second over the steady-state window (second half of the
+    /// stream, where the corpus is large and warm).
+    votes_per_sec_steady: f64,
+    /// Total wall time across all batches, in seconds.
+    wall_seconds: f64,
+    /// Total EM iterations spent integrating the stream.
+    em_iterations: usize,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scenario: String,
+    total_votes: usize,
+    initial_votes: usize,
+    batches: usize,
+    batch_size: usize,
+    final_objects: usize,
+    final_workers: usize,
+    incremental: PathReport,
+    rebuild: PathReport,
+    /// Headline number: incremental vs rebuild ingest throughput at steady
+    /// state.
+    speedup_steady_state: f64,
+    /// Incremental vs rebuild across the whole stream.
+    speedup_overall: f64,
+    /// One guided selection (entropy shortlist + information-gain fan-out)
+    /// on the fully grown session, in milliseconds — the latency the expert
+    /// sees right after an arrival batch.
+    guidance_latency_ms: f64,
+    /// Entropy-shortlist entries invalidated by the last arrival batch
+    /// (out of `final_objects`) — how local the update stayed.
+    last_batch_invalidated_entries: usize,
+}
+
+fn path_report(batch_walls: &[f64], batch_votes: &[usize], em_iterations: usize) -> PathReport {
+    let wall: f64 = batch_walls.iter().sum();
+    let votes: usize = batch_votes.iter().sum();
+    let steady_from = batch_walls.len() / 2;
+    let steady_wall: f64 = batch_walls[steady_from..].iter().sum();
+    let steady_votes: usize = batch_votes[steady_from..].iter().sum();
+    PathReport {
+        votes_per_sec: votes as f64 / wall.max(1e-12),
+        votes_per_sec_steady: steady_votes as f64 / steady_wall.max(1e-12),
+        wall_seconds: wall,
+        em_iterations,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    let (num_objects, num_workers, batch_size) = if quick { (60, 20, 60) } else { (150, 32, 100) };
+    let stream_cfg = StreamingConfig {
+        base: SyntheticConfig {
+            num_objects,
+            num_workers,
+            ..SyntheticConfig::paper_default(90_000)
+        },
+        // 0.3 (not 0.25) so the session's doubling re-anchor fires at 60 %
+        // of the stream — before the steady-state window — instead of on the
+        // very last batch (2^k x 0.25 hits 1.0 exactly).
+        initial_fraction: 0.3,
+        batch_size,
+        late_object_fraction: 0.3,
+        late_worker_fraction: 0.25,
+    };
+    let scenario = stream_cfg.generate();
+    let truth = scenario.truth.clone();
+
+    // Two early validations anchor the label orientation on both paths (the
+    // delta path engages its scoped rounds from the second anchor on, so
+    // the anchors must be two *distinct* objects).
+    let mut anchor_objects: Vec<ObjectId> = Vec::new();
+    for vote in &scenario.initial {
+        if !anchor_objects.contains(&vote.object) {
+            anchor_objects.push(vote.object);
+        }
+        if anchor_objects.len() == 2 {
+            break;
+        }
+    }
+    assert_eq!(anchor_objects.len(), 2, "stream too small to anchor");
+
+    // ---------------------------------------------------------------------
+    // Incremental path: one session, ingest batch by batch.
+    // ---------------------------------------------------------------------
+    let mut session = ValidationSessionBuilder::empty(scenario.num_labels)
+        .strategy(Box::new(UncertaintyDriven::with_engine(
+            ScoringEngine::with_shortlist(16),
+        )))
+        .config(ProcessConfig::default())
+        .build();
+    session
+        .ingest(&scenario.initial)
+        .expect("initial snapshot ingests");
+    for &o in &anchor_objects {
+        session.integrate(o, truth.label(o));
+    }
+    let mut inc_walls = Vec::new();
+    let mut batch_votes = Vec::new();
+    let mut inc_iterations = 0usize;
+    let mut last_invalidated = 0usize;
+    for batch in &scenario.batches {
+        let start = Instant::now();
+        let update = session.ingest(batch).expect("stream batches ingest");
+        inc_walls.push(start.elapsed().as_secs_f64());
+        batch_votes.push(batch.len());
+        inc_iterations += update.em_iterations;
+        last_invalidated = update.invalidated_entries;
+    }
+    let guidance_start = Instant::now();
+    let _selected = session.select_next();
+    let guidance_latency_ms = guidance_start.elapsed().as_secs_f64() * 1e3;
+    let incremental = path_report(&inc_walls, &batch_votes, inc_iterations);
+
+    // ---------------------------------------------------------------------
+    // Rebuild path: append the batch, re-aggregate everything from scratch.
+    // ---------------------------------------------------------------------
+    let aggregator = IncrementalEm::default();
+    let mut answers = AnswerSet::new(0, 0, scenario.num_labels);
+    for &vote in &scenario.initial {
+        answers
+            .record_arrival(vote)
+            .expect("initial votes are valid");
+    }
+    let mut expert = ExpertValidation::empty(answers.num_objects());
+    for &o in &anchor_objects {
+        expert.set(o, truth.label(o));
+    }
+    let mut reb_walls = Vec::new();
+    let mut reb_iterations = 0usize;
+    for batch in &scenario.batches {
+        let start = Instant::now();
+        for &vote in batch {
+            answers
+                .record_arrival(vote)
+                .expect("stream votes are valid");
+        }
+        expert.ensure_domain(answers.num_objects());
+        let state = aggregator.conclude(&answers, &expert, None);
+        reb_walls.push(start.elapsed().as_secs_f64());
+        reb_iterations += state.em_iterations();
+    }
+    let rebuild = path_report(&reb_walls, &batch_votes, reb_iterations);
+
+    let report = BenchReport {
+        scenario: format!(
+            "paper-default stream, seed 90000, single-threaded{}",
+            if quick { " (quick)" } else { "" }
+        ),
+        total_votes: scenario.total_votes(),
+        initial_votes: scenario.initial.len(),
+        batches: scenario.batches.len(),
+        batch_size,
+        final_objects: session.answers().num_objects(),
+        final_workers: session.answers().num_workers(),
+        speedup_steady_state: incremental.votes_per_sec_steady
+            / rebuild.votes_per_sec_steady.max(1e-12),
+        speedup_overall: incremental.votes_per_sec / rebuild.votes_per_sec.max(1e-12),
+        guidance_latency_ms,
+        last_batch_invalidated_entries: last_invalidated,
+        incremental,
+        rebuild,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, &json).expect("write BENCH_ingest.json");
+    println!("{json}");
+    println!(
+        "\nincremental {:.0}/s | rebuild {:.0}/s  (steady-state {:.2}x, overall {:.2}x) | guidance {:.1} ms -> {}",
+        report.incremental.votes_per_sec_steady,
+        report.rebuild.votes_per_sec_steady,
+        report.speedup_steady_state,
+        report.speedup_overall,
+        report.guidance_latency_ms,
+        out_path
+    );
+
+    if check {
+        // Two-part gate: the EM-iteration comparison is deterministic (no
+        // wall-clock noise on a shared CI runner), the throughput comparison
+        // keeps a 20 % noise margin so only a real regression trips it.
+        let mut failed = false;
+        if report.incremental.em_iterations > report.rebuild.em_iterations {
+            eprintln!(
+                "FAIL: incremental ingestion spends more EM iterations than rebuild ({} > {})",
+                report.incremental.em_iterations, report.rebuild.em_iterations
+            );
+            failed = true;
+        }
+        if report.speedup_steady_state < 0.8 {
+            eprintln!(
+                "FAIL: incremental ingestion is slower than rebuild beyond the noise margin ({:.2}x < 0.8x)",
+                report.speedup_steady_state
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+}

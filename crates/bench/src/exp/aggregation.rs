@@ -166,6 +166,7 @@ pub fn fig07_guidance_consistency() -> Report {
                         detector: &detector,
                         candidates: &candidates,
                         parallel: true,
+                        entropy_cache: None,
                     };
                     let mut s = strategy;
                     s.select(&ctx)
@@ -225,6 +226,7 @@ pub fn fig08_iteration_reduction() -> Report {
                     detector: &detector,
                     candidates: &candidates,
                     parallel: false,
+                    entropy_cache: None,
                 };
                 strategy.select(&ctx).expect("candidates remain")
             };

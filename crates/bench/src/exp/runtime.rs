@@ -46,6 +46,7 @@ pub fn fig04_response_time() -> Report {
                     detector: &detector,
                     candidates: &candidates,
                     parallel,
+                    entropy_cache: None,
                 };
                 let start = Instant::now();
                 let _ = strategy.select(&ctx);

@@ -55,6 +55,7 @@ impl ConfirmationCheck {
             aggregator,
             detector: &detector,
             parallel: false,
+            entropy_cache: None,
         })
     }
 

@@ -12,9 +12,14 @@
 //! * [`strategy`] — the guidance strategies: random, highest-entropy
 //!   baseline, uncertainty-driven (information gain), worker-driven
 //!   (expected spammer detections) and the dynamically weighted hybrid;
-//! * [`process`] — the validation process itself (Algorithm 1), both as an
-//!   interactive engine (`select_next` / `integrate`) and as a batch run
-//!   against an expert source;
+//! * [`session`] — the incremental validation session (Algorithm 1 as an
+//!   event-driven core): streaming vote ingestion with arrival-centric
+//!   delta re-aggregation, plus the interactive `select_next` / `integrate`
+//!   loop;
+//! * [`process`] — the batch facade over the session ("ingest everything,
+//!   then validate"), preserving the historical `ValidationProcess` API;
+//! * [`shortlist`] — the incrementally invalidated per-object entropy cache
+//!   behind the §5.4 pre-filter;
 //! * [`confirmation`] — the leave-one-out confirmation check that catches
 //!   erroneous expert validations (§5.5);
 //! * [`partition`] — sparse-matrix partitioning of large answer matrices
@@ -36,6 +41,8 @@ pub mod parallel;
 pub mod partition;
 pub mod process;
 pub mod scoring;
+pub mod session;
+pub mod shortlist;
 pub mod strategy;
 pub mod uncertainty;
 
@@ -47,6 +54,8 @@ pub use metrics::{ValidationStep, ValidationTrace};
 pub use partition::{partition_answer_matrix, Block, Partition};
 pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProcessBuilder};
 pub use scoring::{ScoringContext, ScoringEngine, ScoringMode};
+pub use session::{SessionUpdate, ValidationSession, ValidationSessionBuilder};
+pub use shortlist::EntropyShortlist;
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
     StrategyKind, UncertaintyDriven, ValidationObservation, WorkerDriven,

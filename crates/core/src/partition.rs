@@ -36,7 +36,6 @@ impl Block {
             filled += answers
                 .matrix()
                 .answers_for_object(o)
-                .iter()
                 .filter(|(w, _)| workers.contains(w))
                 .count();
         }
@@ -103,10 +102,10 @@ pub fn partition_answer_matrix(answers: &AnswerSet, max_block_size: usize) -> Pa
             assigned[o] = true;
             let object = ObjectId(o);
             block_objects.push(object);
-            for &(w, _) in answers.matrix().answers_for_object(object) {
+            for (w, _) in answers.matrix().answers_for_object(object) {
                 // Expand the frontier with the objects this worker answered.
                 if block_workers.insert(w) {
-                    for &(other, _) in answers.matrix().answers_for_worker(w) {
+                    for (other, _) in answers.matrix().answers_for_worker(w) {
                         if !assigned[other.index()] {
                             let overlap = shared_workers(answers, other, &block_workers);
                             frontier.push((overlap, other.index()));
@@ -127,7 +126,6 @@ fn shared_workers(answers: &AnswerSet, object: ObjectId, workers: &BTreeSet<Work
     answers
         .matrix()
         .answers_for_object(object)
-        .iter()
         .filter(|(w, _)| workers.contains(w))
         .count()
 }

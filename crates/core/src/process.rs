@@ -1,7 +1,15 @@
-//! The guided answer-validation process (paper §3.2 and Algorithm 1).
+//! The guided answer-validation process (paper §3.2 and Algorithm 1) — the
+//! **batch facade** over the incremental session core.
 //!
-//! [`ValidationProcess`] is the engine that ties everything together. It can
-//! be driven in two ways:
+//! [`ValidationProcess`] is the historical entry point: build it from a fully
+//! collected [`AnswerSet`] and validate. Since the streaming refactor it is a
+//! thin wrapper around [`crate::session::ValidationSession`] — "ingest
+//! everything at build time, then run" — so the two pipelines share one
+//! engine and cannot drift apart. Workloads where votes keep arriving during
+//! validation should use the session directly
+//! ([`crate::session::ValidationSession::ingest`]).
+//!
+//! The process can be driven in two ways:
 //!
 //! * **interactively** — call [`ValidationProcess::select_next`] to get the
 //!   object the expert should look at, obtain the expert's label out of band,
@@ -14,15 +22,16 @@
 
 use crate::confirmation::ConfirmationCheck;
 use crate::goal::ValidationGoal;
-use crate::metrics::{ValidationStep, ValidationTrace};
+use crate::metrics::ValidationTrace;
 use crate::scoring::ScoringContext;
-use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
+use crate::session::ValidationSession;
+use crate::strategy::SelectionStrategy;
 use crowdval_aggregation::Aggregator;
 use crowdval_model::{
     AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ObjectId,
     ProbabilisticAnswerSet, WorkerId,
 };
-use crowdval_spammer::{FaultyWorkerHandler, SpammerDetector};
+use crowdval_spammer::SpammerDetector;
 use serde::{Deserialize, Serialize};
 
 /// Where expert labels come from in batch mode.
@@ -76,12 +85,7 @@ impl Default for ProcessConfig {
 
 /// Builder for [`ValidationProcess`].
 pub struct ValidationProcessBuilder {
-    answers: AnswerSet,
-    aggregator: Box<dyn Aggregator>,
-    strategy: Box<dyn SelectionStrategy>,
-    detector: SpammerDetector,
-    config: ProcessConfig,
-    ground_truth: Option<GroundTruth>,
+    inner: crate::session::ValidationSessionBuilder,
 }
 
 impl ValidationProcessBuilder {
@@ -89,73 +93,53 @@ impl ValidationProcessBuilder {
     /// aggregation and the hybrid guidance strategy.
     pub fn new(answers: AnswerSet) -> Self {
         Self {
-            answers,
-            aggregator: Box::new(crowdval_aggregation::IncrementalEm::default()),
-            strategy: Box::new(crate::strategy::HybridStrategy::new(0)),
-            detector: SpammerDetector::default(),
-            config: ProcessConfig::default(),
-            ground_truth: None,
+            inner: crate::session::ValidationSessionBuilder::new(answers),
         }
     }
 
     /// Replaces the aggregator (the *conclude* step).
     pub fn aggregator(mut self, aggregator: Box<dyn Aggregator>) -> Self {
-        self.aggregator = aggregator;
+        self.inner = self.inner.aggregator(aggregator);
         self
     }
 
     /// Replaces the guidance strategy (the *select* step).
     pub fn strategy(mut self, strategy: Box<dyn SelectionStrategy>) -> Self {
-        self.strategy = strategy;
+        self.inner = self.inner.strategy(strategy);
         self
     }
 
     /// Replaces the faulty-worker detector.
     pub fn detector(mut self, detector: SpammerDetector) -> Self {
-        self.detector = detector;
+        self.inner = self.inner.detector(detector);
         self
     }
 
     /// Sets the run-time options.
     pub fn config(mut self, config: ProcessConfig) -> Self {
-        self.config = config;
+        self.inner = self.inner.config(config);
         self
     }
 
     /// Attaches a reference ground truth; enables precision tracking and
     /// precision-based goals (evaluation mode).
     pub fn ground_truth(mut self, truth: GroundTruth) -> Self {
-        self.ground_truth = Some(truth);
+        self.inner = self.inner.ground_truth(truth);
         self
     }
 
     /// Builds the process and runs the initial aggregation.
     pub fn build(self) -> ValidationProcess {
-        ValidationProcess::new(
-            self.answers,
-            self.aggregator,
-            self.strategy,
-            self.detector,
-            self.config,
-            self.ground_truth,
-        )
+        ValidationProcess {
+            session: self.inner.build(),
+        }
     }
 }
 
-/// The validation-process engine (Algorithm 1).
+/// The validation-process engine (Algorithm 1): the batch facade over
+/// [`ValidationSession`].
 pub struct ValidationProcess {
-    answers: AnswerSet,
-    active_answers: AnswerSet,
-    aggregator: Box<dyn Aggregator>,
-    strategy: Option<Box<dyn SelectionStrategy>>,
-    detector: SpammerDetector,
-    handler: FaultyWorkerHandler,
-    config: ProcessConfig,
-    ground_truth: Option<GroundTruth>,
-    expert: ExpertValidation,
-    current: ProbabilisticAnswerSet,
-    trace: ValidationTrace,
-    iteration: usize,
+    session: ValidationSession,
 }
 
 impl ValidationProcess {
@@ -169,29 +153,15 @@ impl ValidationProcess {
         config: ProcessConfig,
         ground_truth: Option<GroundTruth>,
     ) -> Self {
-        let expert = ExpertValidation::empty(answers.num_objects());
-        let current = aggregator.conclude(&answers, &expert, None);
-        let initial_precision = ground_truth
-            .as_ref()
-            .map(|g| g.precision(&current.instantiate()));
-        let trace = ValidationTrace::new(
-            answers.num_objects(),
-            current.uncertainty(),
-            initial_precision,
-        );
         Self {
-            active_answers: answers.clone(),
-            answers,
-            aggregator,
-            strategy: Some(strategy),
-            detector,
-            handler: FaultyWorkerHandler::new(),
-            config,
-            ground_truth,
-            expert,
-            current,
-            trace,
-            iteration: 0,
+            session: ValidationSession::new(
+                answers,
+                aggregator,
+                strategy,
+                detector,
+                config,
+                ground_truth,
+            ),
         }
     }
 
@@ -200,97 +170,81 @@ impl ValidationProcess {
         ValidationProcessBuilder::new(answers)
     }
 
+    /// The underlying incremental session. Escape hatch for callers that
+    /// want to start in batch mode and switch to streaming ingestion.
+    pub fn session(&self) -> &ValidationSession {
+        &self.session
+    }
+
+    /// Mutable access to the underlying session (e.g. to
+    /// [`ValidationSession::ingest`] more votes mid-run).
+    pub fn session_mut(&mut self) -> &mut ValidationSession {
+        &mut self.session
+    }
+
+    /// Consumes the facade, yielding the session.
+    pub fn into_session(self) -> ValidationSession {
+        self.session
+    }
+
     /// The original (unfiltered) answer set.
     pub fn answers(&self) -> &AnswerSet {
-        &self.answers
+        self.session.answers()
     }
 
     /// The expert validations collected so far.
     pub fn expert(&self) -> &ExpertValidation {
-        &self.expert
+        self.session.expert()
     }
 
     /// The current probabilistic answer set.
     pub fn current(&self) -> &ProbabilisticAnswerSet {
-        &self.current
+        self.session.current()
     }
 
     /// The validation trace accumulated so far.
     pub fn trace(&self) -> &ValidationTrace {
-        &self.trace
+        self.session.trace()
     }
 
     /// Workers currently excluded as suspected faulty.
     pub fn excluded_workers(&self) -> Vec<WorkerId> {
-        self.handler.excluded()
+        self.session.excluded_workers()
     }
 
     /// Number of validations performed so far.
     pub fn iterations(&self) -> usize {
-        self.iteration
+        self.session.iterations()
     }
 
     /// The deterministic assignment assumed correct at this point: the
     /// most-probable labels, with validated objects pinned to the expert's
     /// label (the *filter* step plus Algorithm 1 line 17).
     pub fn deterministic_assignment(&self) -> DeterministicAssignment {
-        let mut d = self.current.instantiate();
-        for (o, l) in self.expert.iter() {
-            d.set_label(o, l);
-        }
-        d
+        self.session.deterministic_assignment()
     }
 
     /// Precision of the current deterministic assignment against the
     /// reference ground truth, when one was provided.
     pub fn precision(&self) -> Option<f64> {
-        self.ground_truth
-            .as_ref()
-            .map(|g| g.precision(&self.deterministic_assignment()))
+        self.session.precision()
     }
 
     /// Current uncertainty `H(P)`.
     pub fn uncertainty(&self) -> f64 {
-        self.current.uncertainty()
+        self.session.uncertainty()
     }
 
     /// Whether the configured goal or budget has been reached.
     pub fn is_finished(&self) -> bool {
-        let budget_exhausted = self.config.budget.is_some_and(|b| self.trace.len() >= b);
-        let nothing_left = self.expert.count() >= self.answers.num_objects();
-        let goal_reached = self
-            .config
-            .goal
-            .is_satisfied(self.uncertainty(), self.precision());
-        budget_exhausted || nothing_left || goal_reached
+        self.session.is_finished()
     }
 
     /// Step (1) of the validation process: selects the object for which
     /// expert feedback should be sought next. Returns `None` when every
     /// object has been validated.
     pub fn select_next(&mut self) -> Option<ObjectId> {
-        let candidates = self.expert.unvalidated_objects();
-        if candidates.is_empty() {
-            return None;
-        }
-        let mut strategy = self
-            .strategy
-            .take()
-            .expect("strategy always present outside select");
-        let picked = {
-            let ctx = StrategyContext {
-                answers: &self.active_answers,
-                expert: &self.expert,
-                current: &self.current,
-                aggregator: self.aggregator.as_ref(),
-                detector: &self.detector,
-                candidates: &candidates,
-                parallel: self.config.parallel,
-            };
-            strategy.select(&ctx)
-        };
-        self.strategy = Some(strategy);
-        picked
+        self.session.select_next()
     }
 
     /// Steps (2)–(4) of the validation process: integrates the expert's
@@ -298,123 +252,27 @@ impl ValidationProcess {
     /// records a trace step. Returns the objects flagged by the confirmation
     /// check (empty when the check is disabled or not due).
     pub fn integrate(&mut self, object: ObjectId, label: LabelId) -> Vec<ObjectId> {
-        self.iteration += 1;
-        // Error rate of the previous estimate on the validated object
-        // (Algorithm 1 line 10).
-        let error_rate = 1.0 - self.current.assignment().prob(object, label);
-
-        // Update the validation function first so detection sees the newest
-        // ground truth (Algorithm 1 lines 11–15).
-        self.expert.set(object, label);
-        let detection = self
-            .detector
-            .detect(&self.answers, &self.expert, self.current.priors());
-        let faulty_ratio = if self.answers.num_workers() == 0 {
-            0.0
-        } else {
-            detection.num_faulty() as f64 / self.answers.num_workers() as f64
-        };
-        let strategy = self.strategy.as_mut().expect("strategy present");
-        if self.config.handle_faulty_workers && strategy.handle_spammers_now() {
-            self.handler.apply(&detection);
-            self.active_answers = self.handler.filtered_answers(&self.answers);
-        }
-        strategy.observe(&ValidationObservation {
-            error_rate,
-            faulty_ratio,
-            coverage: self.expert.coverage(),
-        });
-        let strategy_kind = strategy.last_kind();
-
-        // Conclude: update the probabilistic answer set (line 16).
-        self.current =
-            self.aggregator
-                .conclude(&self.active_answers, &self.expert, Some(&self.current));
-
-        self.record_step(object, label, strategy_kind, error_rate);
-
-        // Confirmation check for erroneous validations (§5.5), fanned out
-        // through the scoring engine like every other hypothesis sweep.
-        match self.config.confirmation_check {
-            Some(check) if check.is_due(self.iteration) => {
-                check.flag_suspicious_in(&self.scoring_context())
-            }
-            _ => Vec::new(),
-        }
+        self.session.integrate(object, label)
     }
 
     /// The scoring view of the current validation state: what the guidance
     /// strategies and the confirmation check hand to the
     /// [`crate::scoring::ScoringEngine`].
     pub fn scoring_context(&self) -> ScoringContext<'_> {
-        ScoringContext {
-            answers: &self.active_answers,
-            expert: &self.expert,
-            current: &self.current,
-            aggregator: self.aggregator.as_ref(),
-            detector: &self.detector,
-            parallel: self.config.parallel,
-        }
+        self.session.scoring_context()
     }
 
     /// Replaces a previously given validation after the expert reconsidered a
     /// flagged object. Counts as one additional unit of expert effort.
     pub fn revalidate(&mut self, object: ObjectId, label: LabelId) {
-        self.iteration += 1;
-        let error_rate = 1.0 - self.current.assignment().prob(object, label);
-        self.expert.set(object, label);
-        self.current =
-            self.aggregator
-                .conclude(&self.active_answers, &self.expert, Some(&self.current));
-        let kind = self
-            .strategy
-            .as_ref()
-            .map_or(StrategyKind::Hybrid, |s| s.last_kind());
-        self.record_step(object, label, kind, error_rate);
-    }
-
-    fn record_step(
-        &mut self,
-        object: ObjectId,
-        label: LabelId,
-        strategy: StrategyKind,
-        error_rate: f64,
-    ) {
-        let precision = self.precision();
-        self.trace.steps.push(ValidationStep {
-            iteration: self.iteration,
-            object,
-            label,
-            strategy,
-            uncertainty: self.current.uncertainty(),
-            precision,
-            error_rate,
-            excluded_workers: self.handler.num_excluded(),
-            em_iterations: self.current.em_iterations(),
-        });
+        self.session.revalidate(object, label)
     }
 
     /// Batch mode: runs the validation loop against an expert source until
     /// the goal is reached, the budget is exhausted, or every object has been
     /// validated. Returns the trace.
     pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
-        while !self.is_finished() {
-            let Some(object) = self.select_next() else {
-                break;
-            };
-            let label = expert_source.provide_label(object);
-            let flagged = self.integrate(object, label);
-            for suspicious in flagged {
-                if self.is_finished() {
-                    break;
-                }
-                let corrected = expert_source.reconsider(suspicious);
-                if self.expert.get(suspicious) != Some(corrected) {
-                    self.revalidate(suspicious, corrected);
-                }
-            }
-        }
-        &self.trace
+        self.session.run(expert_source)
     }
 }
 
@@ -635,5 +493,28 @@ mod tests {
             process.excluded_workers().len(),
             process.trace().steps.last().unwrap().excluded_workers
         );
+    }
+
+    #[test]
+    fn facade_exposes_the_session_for_streaming_continuation() {
+        let synth = synthetic(308);
+        let truth = synth.dataset.ground_truth().clone();
+        let mut process = ValidationProcess::builder(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .ground_truth(truth.clone())
+            .build();
+        let o = process.select_next().unwrap();
+        process.integrate(o, truth.label(o));
+        // Switch to streaming: a brand-new object arrives with a few votes.
+        let new_object = ObjectId(process.answers().num_objects());
+        let votes: Vec<crowdval_model::Vote> = (0..3)
+            .map(|w| crowdval_model::Vote::new(new_object, crowdval_model::WorkerId(w), LabelId(0)))
+            .collect();
+        let update = process.session_mut().ingest(&votes).unwrap();
+        assert_eq!(update.new_objects, 1);
+        assert_eq!(process.answers().num_objects(), 31);
+        assert!(process.session().votes_ingested() == 3);
+        let session = process.into_session();
+        assert_eq!(session.iterations(), 1);
     }
 }

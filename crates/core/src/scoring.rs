@@ -67,6 +67,7 @@
 //!   warm-started hypothesis evaluation with the hypothesis *removed*.
 
 use crate::parallel::score_candidates;
+use crate::shortlist::EntropyShortlist;
 use crowdval_aggregation::Aggregator;
 pub use crowdval_aggregation::ScoringMode;
 use crowdval_model::{
@@ -107,6 +108,12 @@ pub struct ScoringContext<'a> {
     pub detector: &'a SpammerDetector,
     /// Whether per-candidate scoring may use multiple threads.
     pub parallel: bool,
+    /// Incrementally maintained per-object entropies for the pre-filter
+    /// (§5.4). `None` recomputes entropies from `current` on every call; the
+    /// streaming session passes its refreshed [`EntropyShortlist`] so the
+    /// pre-filter re-ranks from cached values that are bit-identical to the
+    /// from-scratch computation.
+    pub entropy_cache: Option<&'a EntropyShortlist>,
 }
 
 /// Configuration-carrying engine for the select→conclude hot path. Cheap to
@@ -187,14 +194,31 @@ impl ScoringEngine {
         current: &ProbabilisticAnswerSet,
         candidates: &[ObjectId],
     ) -> Vec<ObjectId> {
+        self.shortlist_by(candidates, |o| current.object_uncertainty(o))
+    }
+
+    /// [`ScoringEngine::shortlist`] reading entropies from a context: the
+    /// cached values when an [`EntropyShortlist`] is attached (bit-identical
+    /// to the direct computation — see the cache's invariants), the direct
+    /// computation otherwise.
+    pub fn shortlist_in(&self, ctx: &ScoringContext<'_>, candidates: &[ObjectId]) -> Vec<ObjectId> {
+        match ctx.entropy_cache {
+            Some(cache) => self.shortlist_by(candidates, |o| cache.entropy(o)),
+            None => self.shortlist(ctx.current, candidates),
+        }
+    }
+
+    fn shortlist_by(
+        &self,
+        candidates: &[ObjectId],
+        entropy_of: impl Fn(ObjectId) -> f64,
+    ) -> Vec<ObjectId> {
         match self.shortlist_limit {
             Some(limit) if candidates.len() > limit => {
                 // Cache each candidate's entropy once; the sort must not
-                // re-invoke `object_uncertainty` per comparison.
-                let mut by_entropy: Vec<(ObjectId, f64)> = candidates
-                    .iter()
-                    .map(|&o| (o, current.object_uncertainty(o)))
-                    .collect();
+                // re-invoke the entropy source per comparison.
+                let mut by_entropy: Vec<(ObjectId, f64)> =
+                    candidates.iter().map(|&o| (o, entropy_of(o))).collect();
                 by_entropy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
                 by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
             }
@@ -307,7 +331,7 @@ impl ScoringEngine {
         ctx: &ScoringContext<'_>,
         candidates: &[ObjectId],
     ) -> Vec<(ObjectId, f64)> {
-        let shortlist = self.shortlist(ctx.current, candidates);
+        let shortlist = self.shortlist_in(ctx, candidates);
         let total_uncertainty = ctx.current.uncertainty();
         let mode = self.mode;
         score_candidates(&shortlist, ctx.parallel, |o| {
@@ -439,6 +463,7 @@ mod tests {
             aggregator: &fixture.aggregator,
             detector: &fixture.detector,
             parallel: false,
+            entropy_cache: None,
         };
         let parallel_ctx = ScoringContext {
             parallel: true,
@@ -567,6 +592,7 @@ mod tests {
             aggregator: &aggregator,
             detector: &detector,
             parallel: false,
+            entropy_cache: None,
         };
         let flagged = ScoringEngine::new().leave_one_out_disagreements(&ctx);
         assert!(

@@ -1,0 +1,730 @@
+//! Incremental validation sessions: the event-driven core of the validation
+//! process (paper §3.2 / Algorithm 1, extended with §5.4's view maintenance
+//! applied to **vote arrival**).
+//!
+//! The paper's setting is a live crowdsourcing platform: answers keep
+//! arriving *while* the expert validates. A [`ValidationSession`] models
+//! exactly that. It owns the growing answer set, the expert validation
+//! function, the current probabilistic answer set and the guidance state, and
+//! is driven by two kinds of events:
+//!
+//! * **vote arrival** — [`ValidationSession::ingest`] absorbs a batch of
+//!   [`Vote`]s, growing the answer matrix in place (new votes, new objects
+//!   and new workers mid-session are all fine), then re-aggregates through
+//!   the arrival-centric delta path
+//!   ([`crowdval_aggregation::Aggregator::conclude_arrival`]): the dirty set
+//!   is seeded from the touched objects instead of a pinned hypothesis, the
+//!   frontier expands through the answering workers, and the same
+//!   Aitken-polished full-map phase certifies the batch path's convergence
+//!   criterion. Only the entropy-shortlist entries of assignment rows that
+//!   actually moved are invalidated, so the next selection step re-ranks
+//!   incrementally.
+//! * **expert validation** — [`ValidationSession::select_next`] /
+//!   [`ValidationSession::integrate`], unchanged from the batch pipeline
+//!   (Algorithm 1 steps 1–4), except that spammer exclusion now flips
+//!   tombstone bits on the active answer view instead of copying the matrix.
+//!
+//! The historical batch API survives as a thin facade:
+//! [`crate::process::ValidationProcess`] is "ingest everything at build time,
+//! then validate" over this session core.
+
+use crate::metrics::{ValidationStep, ValidationTrace};
+use crate::process::{ExpertSource, ProcessConfig};
+use crate::scoring::ScoringContext;
+use crate::shortlist::EntropyShortlist;
+use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
+use crowdval_aggregation::Aggregator;
+use crowdval_model::{
+    AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ModelError,
+    ObjectId, ProbabilisticAnswerSet, Vote, WorkerId,
+};
+use crowdval_spammer::{FaultyWorkerHandler, SpammerDetector};
+use serde::{Deserialize, Serialize};
+
+/// What one [`ValidationSession::ingest`] call did to the session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionUpdate {
+    /// Votes absorbed by this batch.
+    pub votes_ingested: usize,
+    /// Objects that entered the session with this batch.
+    pub new_objects: usize,
+    /// Workers that entered the session with this batch.
+    pub new_workers: usize,
+    /// Distinct objects that received votes in this batch (the delta seed
+    /// set), in id order.
+    pub touched_objects: Vec<ObjectId>,
+    /// EM iterations the re-aggregation spent.
+    pub em_iterations: usize,
+    /// Entropy-shortlist entries invalidated by *this* re-aggregation (rows
+    /// of the assignment that actually moved in this update, growth rows
+    /// included — not counting entries still dirty from earlier updates).
+    pub invalidated_entries: usize,
+    /// Uncertainty `H(P)` after the update.
+    pub uncertainty: f64,
+}
+
+/// Builder for [`ValidationSession`].
+pub struct ValidationSessionBuilder {
+    answers: AnswerSet,
+    aggregator: Box<dyn Aggregator>,
+    strategy: Box<dyn SelectionStrategy>,
+    detector: SpammerDetector,
+    config: ProcessConfig,
+    ground_truth: Option<GroundTruth>,
+}
+
+impl ValidationSessionBuilder {
+    /// Starts a builder from an initial answer set (possibly empty) with the
+    /// paper's default components: i-EM aggregation and the hybrid guidance
+    /// strategy.
+    pub fn new(answers: AnswerSet) -> Self {
+        Self {
+            answers,
+            aggregator: Box::new(crowdval_aggregation::IncrementalEm::default()),
+            strategy: Box::new(crate::strategy::HybridStrategy::new(0)),
+            detector: SpammerDetector::default(),
+            config: ProcessConfig::default(),
+            ground_truth: None,
+        }
+    }
+
+    /// Starts a builder for a session with no initial votes at all — the
+    /// pure streaming case, where everything arrives through
+    /// [`ValidationSession::ingest`].
+    pub fn empty(num_labels: usize) -> Self {
+        Self::new(AnswerSet::new(0, 0, num_labels))
+    }
+
+    /// Replaces the aggregator (the *conclude* step).
+    pub fn aggregator(mut self, aggregator: Box<dyn Aggregator>) -> Self {
+        self.aggregator = aggregator;
+        self
+    }
+
+    /// Replaces the guidance strategy (the *select* step).
+    pub fn strategy(mut self, strategy: Box<dyn SelectionStrategy>) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Replaces the faulty-worker detector.
+    pub fn detector(mut self, detector: SpammerDetector) -> Self {
+        self.detector = detector;
+        self
+    }
+
+    /// Sets the run-time options.
+    pub fn config(mut self, config: ProcessConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Attaches a reference ground truth; enables precision tracking and
+    /// precision-based goals (evaluation mode). The truth may cover more
+    /// objects than the session has seen — streaming scenarios know the full
+    /// eventual object set up front — and precision is measured over the
+    /// overlap.
+    pub fn ground_truth(mut self, truth: GroundTruth) -> Self {
+        self.ground_truth = Some(truth);
+        self
+    }
+
+    /// Builds the session and runs the initial aggregation.
+    pub fn build(self) -> ValidationSession {
+        ValidationSession::new(
+            self.answers,
+            self.aggregator,
+            self.strategy,
+            self.detector,
+            self.config,
+            self.ground_truth,
+        )
+    }
+}
+
+/// The incremental validation-session engine (Algorithm 1 + streaming
+/// ingestion).
+pub struct ValidationSession {
+    /// The full vote stream seen so far (never masked — the detector needs
+    /// every worker's answers against the expert validations).
+    answers: AnswerSet,
+    /// The aggregation view: same votes, with suspected faulty workers
+    /// hidden behind tombstone bits (§5.3).
+    active_answers: AnswerSet,
+    aggregator: Box<dyn Aggregator>,
+    strategy: Option<Box<dyn SelectionStrategy>>,
+    detector: SpammerDetector,
+    handler: FaultyWorkerHandler,
+    config: ProcessConfig,
+    ground_truth: Option<GroundTruth>,
+    expert: ExpertValidation,
+    current: ProbabilisticAnswerSet,
+    shortlist: EntropyShortlist,
+    trace: ValidationTrace,
+    iteration: usize,
+    votes_ingested: usize,
+    /// Corpus size (visible answers) at the last *cold* aggregation — the
+    /// doubling trigger for re-anchoring (see [`ValidationSession::ingest`]).
+    answers_at_last_cold: usize,
+}
+
+impl ValidationSession {
+    /// Creates the session and performs the initial aggregation (`P_0`,
+    /// `d_0`) over whatever votes are already present.
+    pub fn new(
+        answers: AnswerSet,
+        aggregator: Box<dyn Aggregator>,
+        strategy: Box<dyn SelectionStrategy>,
+        detector: SpammerDetector,
+        config: ProcessConfig,
+        ground_truth: Option<GroundTruth>,
+    ) -> Self {
+        let expert = ExpertValidation::empty(answers.num_objects());
+        let answers_at_last_cold = answers.matrix().num_answers();
+        let current = aggregator.conclude(&answers, &expert, None);
+        let initial_precision = ground_truth
+            .as_ref()
+            .map(|g| Self::overlap_precision(g, &current.instantiate()));
+        let trace = ValidationTrace::new(
+            answers.num_objects(),
+            current.uncertainty(),
+            initial_precision,
+        );
+        let mut shortlist = EntropyShortlist::new();
+        shortlist.ensure_len(answers.num_objects());
+        Self {
+            active_answers: answers.clone(),
+            answers,
+            aggregator,
+            strategy: Some(strategy),
+            detector,
+            handler: FaultyWorkerHandler::new(),
+            config,
+            ground_truth,
+            expert,
+            current,
+            shortlist,
+            trace,
+            iteration: 0,
+            votes_ingested: 0,
+            answers_at_last_cold,
+        }
+    }
+
+    /// Convenience entry point for the builder.
+    pub fn builder(answers: AnswerSet) -> ValidationSessionBuilder {
+        ValidationSessionBuilder::new(answers)
+    }
+
+    // -----------------------------------------------------------------------
+    // Streaming ingestion
+    // -----------------------------------------------------------------------
+
+    /// Absorbs a batch of arriving votes: grows the answer matrix in place
+    /// (new objects and workers welcome), seeds the delta path's dirty set
+    /// with the touched objects, re-aggregates with the same convergence
+    /// certificate as a full re-estimation, and invalidates only the
+    /// entropy-shortlist entries whose assignment rows moved.
+    ///
+    /// Returns what changed. Fails only on a label outside the session's
+    /// fixed label space; the session state is untouched by vote batches
+    /// that fail validation up front.
+    pub fn ingest(&mut self, votes: &[Vote]) -> Result<SessionUpdate, ModelError> {
+        // Validate the whole batch before mutating anything.
+        for vote in votes {
+            if vote.label.index() >= self.answers.num_labels() {
+                return Err(ModelError::LabelOutOfRange {
+                    label: vote.label.index(),
+                    num_labels: self.answers.num_labels(),
+                });
+            }
+        }
+        if votes.is_empty() {
+            return Ok(SessionUpdate {
+                votes_ingested: 0,
+                new_objects: 0,
+                new_workers: 0,
+                touched_objects: Vec::new(),
+                em_iterations: 0,
+                invalidated_entries: 0,
+                uncertainty: self.current.uncertainty(),
+            });
+        }
+        let prev_objects = self.answers.num_objects();
+        let prev_workers = self.answers.num_workers();
+
+        let mut touched: Vec<ObjectId> = Vec::with_capacity(votes.len());
+        for &vote in votes {
+            self.answers
+                .record_arrival(vote)
+                .expect("labels were validated above");
+            self.active_answers
+                .record_arrival(vote)
+                .expect("labels were validated above");
+            touched.push(vote.object);
+        }
+        touched.sort();
+        touched.dedup();
+        self.votes_ingested += votes.len();
+
+        let num_objects = self.answers.num_objects();
+        self.expert.ensure_domain(num_objects);
+        self.trace.num_objects = num_objects;
+
+        // Arrival-centric re-aggregation over the active (masked) view, warm
+        // from the pre-arrival state even across growth — unless the corpus
+        // has *doubled* since the last cold initialization. Warm starts
+        // inherit whatever the early, data-starved stream taught the model
+        // (EM hysteresis: a basin locked in on 5 % of the votes survives
+        // every later warm start), so the session re-anchors with one cold
+        // majority-vote-initialized aggregation per corpus doubling. The
+        // doubling schedule keeps the amortized extra cost constant — cold
+        // re-anchors become exponentially rare as the stream grows — while
+        // bounding hysteresis: the warm state always descends from a cold
+        // init on at least half the current corpus.
+        let total_answers = self.active_answers.matrix().num_answers();
+        let next = if total_answers >= 2 * self.answers_at_last_cold.max(1) {
+            self.answers_at_last_cold = total_answers;
+            self.aggregator
+                .conclude(&self.active_answers, &self.expert, None)
+        } else {
+            self.aggregator.conclude_arrival(
+                &self.active_answers,
+                &self.expert,
+                &self.current,
+                &touched,
+            )
+        };
+        let invalidated = self
+            .shortlist
+            .invalidate_changed(self.current.assignment(), next.assignment());
+        self.current = next;
+
+        Ok(SessionUpdate {
+            votes_ingested: votes.len(),
+            new_objects: num_objects - prev_objects,
+            new_workers: self.answers.num_workers() - prev_workers,
+            touched_objects: touched,
+            em_iterations: self.current.em_iterations(),
+            invalidated_entries: invalidated,
+            uncertainty: self.current.uncertainty(),
+        })
+    }
+
+    /// Total votes absorbed through [`ValidationSession::ingest`].
+    pub fn votes_ingested(&self) -> usize {
+        self.votes_ingested
+    }
+
+    // -----------------------------------------------------------------------
+    // Accessors
+    // -----------------------------------------------------------------------
+
+    /// The full (unfiltered) answer set ingested so far.
+    pub fn answers(&self) -> &AnswerSet {
+        &self.answers
+    }
+
+    /// The expert validations collected so far.
+    pub fn expert(&self) -> &ExpertValidation {
+        &self.expert
+    }
+
+    /// The current probabilistic answer set.
+    pub fn current(&self) -> &ProbabilisticAnswerSet {
+        &self.current
+    }
+
+    /// The validation trace accumulated so far.
+    pub fn trace(&self) -> &ValidationTrace {
+        &self.trace
+    }
+
+    /// Workers currently excluded as suspected faulty.
+    pub fn excluded_workers(&self) -> Vec<WorkerId> {
+        self.handler.excluded()
+    }
+
+    /// Number of validations performed so far.
+    pub fn iterations(&self) -> usize {
+        self.iteration
+    }
+
+    /// The deterministic assignment assumed correct at this point: the
+    /// most-probable labels, with validated objects pinned to the expert's
+    /// label (the *filter* step plus Algorithm 1 line 17).
+    pub fn deterministic_assignment(&self) -> DeterministicAssignment {
+        let mut d = self.current.instantiate();
+        for (o, l) in self.expert.iter() {
+            d.set_label(o, l);
+        }
+        d
+    }
+
+    /// Precision of the current deterministic assignment against the
+    /// reference ground truth, when one was provided — measured over the
+    /// objects both cover (mid-stream, the truth may span objects the
+    /// session has not seen yet).
+    pub fn precision(&self) -> Option<f64> {
+        self.ground_truth
+            .as_ref()
+            .map(|g| Self::overlap_precision(g, &self.deterministic_assignment()))
+    }
+
+    fn overlap_precision(truth: &GroundTruth, assignment: &DeterministicAssignment) -> f64 {
+        if assignment.len() <= truth.len() {
+            truth.prefix_precision(assignment)
+        } else {
+            let covered = truth.len();
+            if covered == 0 {
+                return 1.0;
+            }
+            let correct = (0..covered)
+                .filter(|&o| assignment.label(ObjectId(o)) == truth.label(ObjectId(o)))
+                .count();
+            correct as f64 / covered as f64
+        }
+    }
+
+    /// Current uncertainty `H(P)`.
+    pub fn uncertainty(&self) -> f64 {
+        self.current.uncertainty()
+    }
+
+    /// Whether the configured goal or budget has been reached.
+    pub fn is_finished(&self) -> bool {
+        let budget_exhausted = self.config.budget.is_some_and(|b| self.trace.len() >= b);
+        let nothing_left = self.expert.count() >= self.answers.num_objects();
+        let goal_reached = self
+            .config
+            .goal
+            .is_satisfied(self.uncertainty(), self.precision());
+        budget_exhausted || nothing_left || goal_reached
+    }
+
+    // -----------------------------------------------------------------------
+    // Expert-validation events (Algorithm 1)
+    // -----------------------------------------------------------------------
+
+    /// Step (1) of the validation process: selects the object for which
+    /// expert feedback should be sought next. Returns `None` when every
+    /// object has been validated.
+    pub fn select_next(&mut self) -> Option<ObjectId> {
+        let candidates = self.expert.unvalidated_objects();
+        if candidates.is_empty() {
+            return None;
+        }
+        // Bring the entropy cache up to date once; the strategies then
+        // re-rank from cached values instead of recomputing every entropy.
+        self.shortlist.refresh(&self.current);
+        let mut strategy = self
+            .strategy
+            .take()
+            .expect("strategy always present outside select");
+        let picked = {
+            let ctx = StrategyContext {
+                answers: &self.active_answers,
+                expert: &self.expert,
+                current: &self.current,
+                aggregator: self.aggregator.as_ref(),
+                detector: &self.detector,
+                candidates: &candidates,
+                parallel: self.config.parallel,
+                entropy_cache: Some(&self.shortlist),
+            };
+            strategy.select(&ctx)
+        };
+        self.strategy = Some(strategy);
+        picked
+    }
+
+    /// Steps (2)–(4) of the validation process: integrates the expert's
+    /// label for `object`, updates worker exclusions, re-aggregates and
+    /// records a trace step. Returns the objects flagged by the confirmation
+    /// check (empty when the check is disabled or not due).
+    pub fn integrate(&mut self, object: ObjectId, label: LabelId) -> Vec<ObjectId> {
+        self.iteration += 1;
+        // Error rate of the previous estimate on the validated object
+        // (Algorithm 1 line 10).
+        let error_rate = 1.0 - self.current.assignment().prob(object, label);
+
+        // Update the validation function first so detection sees the newest
+        // ground truth (Algorithm 1 lines 11–15).
+        self.expert.set(object, label);
+        let detection = self
+            .detector
+            .detect(&self.answers, &self.expert, self.current.priors());
+        let faulty_ratio = if self.answers.num_workers() == 0 {
+            0.0
+        } else {
+            detection.num_faulty() as f64 / self.answers.num_workers() as f64
+        };
+        let strategy = self.strategy.as_mut().expect("strategy present");
+        if self.config.handle_faulty_workers && strategy.handle_spammers_now() {
+            self.handler.apply(&detection);
+            // Tombstone flips on the shared active view — no matrix copy.
+            self.active_answers
+                .set_excluded_workers(&self.handler.excluded());
+        }
+        strategy.observe(&ValidationObservation {
+            error_rate,
+            faulty_ratio,
+            coverage: self.expert.coverage(),
+        });
+        let strategy_kind = strategy.last_kind();
+
+        // Conclude: update the probabilistic answer set (line 16).
+        self.reaggregate();
+
+        self.record_step(object, label, strategy_kind, error_rate);
+
+        // Confirmation check for erroneous validations (§5.5), fanned out
+        // through the scoring engine like every other hypothesis sweep.
+        match self.config.confirmation_check {
+            Some(check) if check.is_due(self.iteration) => {
+                check.flag_suspicious_in(&self.scoring_context())
+            }
+            _ => Vec::new(),
+        }
+    }
+
+    /// Warm full re-aggregation over the active view, diffing assignments
+    /// into the entropy cache.
+    fn reaggregate(&mut self) {
+        let next =
+            self.aggregator
+                .conclude(&self.active_answers, &self.expert, Some(&self.current));
+        self.shortlist
+            .invalidate_changed(self.current.assignment(), next.assignment());
+        self.current = next;
+    }
+
+    /// The scoring view of the current validation state: what the guidance
+    /// strategies and the confirmation check hand to the
+    /// [`crate::scoring::ScoringEngine`]. No entropy cache is attached — the
+    /// caller cannot prove it refreshed — so entropies are recomputed on
+    /// demand; [`ValidationSession::select_next`] wires the cache in on the
+    /// hot path.
+    pub fn scoring_context(&self) -> ScoringContext<'_> {
+        ScoringContext {
+            answers: &self.active_answers,
+            expert: &self.expert,
+            current: &self.current,
+            aggregator: self.aggregator.as_ref(),
+            detector: &self.detector,
+            parallel: self.config.parallel,
+            entropy_cache: None,
+        }
+    }
+
+    /// Replaces a previously given validation after the expert reconsidered a
+    /// flagged object. Counts as one additional unit of expert effort.
+    pub fn revalidate(&mut self, object: ObjectId, label: LabelId) {
+        self.iteration += 1;
+        let error_rate = 1.0 - self.current.assignment().prob(object, label);
+        self.expert.set(object, label);
+        self.reaggregate();
+        let kind = self
+            .strategy
+            .as_ref()
+            .map_or(StrategyKind::Hybrid, |s| s.last_kind());
+        self.record_step(object, label, kind, error_rate);
+    }
+
+    fn record_step(
+        &mut self,
+        object: ObjectId,
+        label: LabelId,
+        strategy: StrategyKind,
+        error_rate: f64,
+    ) {
+        let precision = self.precision();
+        self.trace.steps.push(ValidationStep {
+            iteration: self.iteration,
+            object,
+            label,
+            strategy,
+            uncertainty: self.current.uncertainty(),
+            precision,
+            error_rate,
+            excluded_workers: self.handler.num_excluded(),
+            em_iterations: self.current.em_iterations(),
+        });
+    }
+
+    /// Batch mode: runs the validation loop against an expert source until
+    /// the goal is reached, the budget is exhausted, or every object has been
+    /// validated. Returns the trace.
+    pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
+        while !self.is_finished() {
+            let Some(object) = self.select_next() else {
+                break;
+            };
+            let label = expert_source.provide_label(object);
+            let flagged = self.integrate(object, label);
+            for suspicious in flagged {
+                if self.is_finished() {
+                    break;
+                }
+                let corrected = expert_source.reconsider(suspicious);
+                if self.expert.get(suspicious) != Some(corrected) {
+                    self.revalidate(suspicious, corrected);
+                }
+            }
+        }
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::EntropyBaseline;
+    use crowdval_model::LabelId;
+    use crowdval_sim::{PopulationMix, SyntheticConfig};
+
+    fn votes_of(answers: &AnswerSet) -> Vec<Vote> {
+        answers
+            .matrix()
+            .iter()
+            .map(|(o, w, l)| Vote::new(o, w, l))
+            .collect()
+    }
+
+    fn reliable_synth(seed: u64, objects: usize) -> crowdval_sim::SyntheticDataset {
+        SyntheticConfig {
+            num_objects: objects,
+            num_workers: 12,
+            reliability: 0.85,
+            mix: PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate()
+    }
+
+    #[test]
+    fn empty_session_accepts_streamed_votes() {
+        let synth = reliable_synth(11, 16);
+        let votes = votes_of(synth.dataset.answers());
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        assert_eq!(session.answers().num_objects(), 0);
+        let update = session.ingest(&votes).unwrap();
+        assert_eq!(update.votes_ingested, votes.len());
+        assert_eq!(update.new_objects, 16);
+        assert_eq!(update.new_workers, 12);
+        assert_eq!(session.answers().num_objects(), 16);
+        assert_eq!(session.expert().num_objects(), 16);
+        assert!(session.uncertainty().is_finite());
+    }
+
+    #[test]
+    fn incremental_ingestion_matches_batch_build() {
+        let synth = reliable_synth(23, 20);
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let votes = votes_of(&answers);
+
+        // Batch: everything known up front.
+        let batch = crowdval_aggregation::IncrementalEm::default().conclude(
+            &answers,
+            &ExpertValidation::empty(20),
+            None,
+        );
+
+        // Streaming: three uneven batches through a session.
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .ground_truth(truth)
+            .build();
+        for chunk in votes.chunks(votes.len() / 3 + 1) {
+            session.ingest(chunk).unwrap();
+        }
+        let diff = batch
+            .assignment()
+            .max_abs_diff(session.current().assignment());
+        assert!(
+            diff <= 1e-2,
+            "streamed posterior diverged from the batch build by {diff}"
+        );
+        // Precision over the overlap is available mid-stream.
+        assert!(session.precision().unwrap() > 0.8);
+    }
+
+    #[test]
+    fn ingest_grows_mid_validation_and_guidance_continues() {
+        let synth = reliable_synth(31, 24);
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let votes = votes_of(&answers);
+        let (first, rest) = votes.split_at(votes.len() / 2);
+
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .ground_truth(truth.clone())
+            .build();
+        session.ingest(first).unwrap();
+
+        // Two validations before the rest of the stream arrives.
+        for _ in 0..2 {
+            let o = session.select_next().expect("candidates exist");
+            session.integrate(o, truth.label(o));
+        }
+        let before = session.answers().num_objects();
+        let update = session.ingest(rest).unwrap();
+        assert!(session.answers().num_objects() >= before);
+        assert!(update.em_iterations >= 1);
+        // Validations survive the arrival and stay pinned.
+        for (o, l) in session.expert().iter() {
+            assert_eq!(session.current().assignment().prob(o, l), 1.0);
+        }
+        // Guidance keeps working on the grown candidate set.
+        let next = session.select_next().expect("candidates exist");
+        assert!(next.index() < session.answers().num_objects());
+        assert!(session.expert().get(next).is_none());
+    }
+
+    #[test]
+    fn bad_labels_are_rejected_atomically() {
+        let mut session = ValidationSessionBuilder::empty(2).build();
+        let batch = [
+            Vote::new(ObjectId(0), WorkerId(0), LabelId(0)),
+            Vote::new(ObjectId(1), WorkerId(0), LabelId(7)),
+        ];
+        assert!(session.ingest(&batch).is_err());
+        // Nothing was absorbed: the first (valid) vote must not have landed.
+        assert_eq!(session.answers().num_objects(), 0);
+        assert_eq!(session.votes_ingested(), 0);
+    }
+
+    #[test]
+    fn empty_batches_are_cheap_noops() {
+        let mut session = ValidationSessionBuilder::empty(2).build();
+        let update = session.ingest(&[]).unwrap();
+        assert_eq!(update.votes_ingested, 0);
+        assert_eq!(update.touched_objects, Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn worker_churn_mid_session_is_absorbed() {
+        let synth = reliable_synth(47, 12);
+        let answers = synth.dataset.answers().clone();
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        // First only workers 0..6 vote; then the rest join.
+        let votes = votes_of(&answers);
+        let (early, late): (Vec<Vote>, Vec<Vote>) =
+            votes.iter().partition(|v| v.worker.index() < 6);
+        session.ingest(&early).unwrap();
+        assert_eq!(session.answers().num_workers(), 6);
+        let update = session.ingest(&late).unwrap();
+        assert_eq!(update.new_workers, 6);
+        assert_eq!(session.answers().num_workers(), 12);
+        assert_eq!(
+            session.current().num_workers(),
+            session.answers().num_workers()
+        );
+    }
+}

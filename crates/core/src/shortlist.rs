@@ -1,0 +1,206 @@
+//! Incrementally maintained per-object entropy cache for the §5.4 entropy
+//! pre-filter.
+//!
+//! Every selection step ranks the candidate objects by their current label
+//! entropy before the expensive hypothesis fan-out. The batch pipeline
+//! recomputed every entropy from scratch per step — `O(objects × labels)`
+//! `ln()` calls even when a delta-scoped update moved only a handful of
+//! assignment rows. An [`EntropyShortlist`] instead caches the entropies and
+//! invalidates **only the affected entries**: after each re-aggregation the
+//! session diffs the old and new assignment matrices row-wise
+//! ([`EntropyShortlist::invalidate_changed`]) and marks exactly the rows
+//! whose distribution moved; [`EntropyShortlist::refresh`] then recomputes
+//! the dirty entries and nothing else.
+//!
+//! Rows are marked dirty on *any* bitwise change, so a cached entry is always
+//! bit-identical to what [`ProbabilisticAnswerSet::object_uncertainty`] would
+//! return — strategies re-rank incrementally without the shortlist order ever
+//! diverging from the from-scratch computation.
+
+use crowdval_model::{AssignmentMatrix, ObjectId, ProbabilisticAnswerSet};
+
+/// Cached per-object entropies with row-level invalidation.
+#[derive(Debug, Clone, Default)]
+pub struct EntropyShortlist {
+    entropies: Vec<f64>,
+    dirty: Vec<bool>,
+}
+
+impl EntropyShortlist {
+    /// An empty cache; entries appear (dirty) as the object space grows.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of objects currently covered.
+    pub fn len(&self) -> usize {
+        self.entropies.len()
+    }
+
+    /// True when no object is covered yet.
+    pub fn is_empty(&self) -> bool {
+        self.entropies.is_empty()
+    }
+
+    /// Grows the cache to cover `num_objects` objects; new entries start
+    /// dirty.
+    pub fn ensure_len(&mut self, num_objects: usize) {
+        if num_objects > self.entropies.len() {
+            self.entropies.resize(num_objects, 0.0);
+            self.dirty.resize(num_objects, true);
+        }
+    }
+
+    /// Marks one object's entry for recomputation.
+    pub fn invalidate(&mut self, object: ObjectId) {
+        self.ensure_len(object.index() + 1);
+        self.dirty[object.index()] = true;
+    }
+
+    /// Marks every entry for recomputation.
+    pub fn invalidate_all(&mut self) {
+        self.dirty.fill(true);
+    }
+
+    /// Diffs two assignment matrices row-wise and marks exactly the objects
+    /// whose label distribution changed (any bitwise difference counts — the
+    /// cache must stay exact, not merely approximately fresh). Objects
+    /// beyond `previous` (stream growth) are marked dirty unconditionally.
+    ///
+    /// Returns the number of rows *this* diff changed (growth rows
+    /// included) — independent of entries still dirty from earlier
+    /// invalidations, so ingestion can report how local one update stayed.
+    pub fn invalidate_changed(
+        &mut self,
+        previous: &AssignmentMatrix,
+        next: &AssignmentMatrix,
+    ) -> usize {
+        let m = next.num_labels();
+        self.ensure_len(next.num_objects());
+        let prev = previous.matrix().as_slice();
+        let cur = next.matrix().as_slice();
+        let shared = previous.num_objects().min(next.num_objects());
+        let mut changed = 0usize;
+        for o in 0..shared {
+            let range = o * m..(o + 1) * m;
+            if prev[range.clone()] != cur[range] {
+                self.dirty[o] = true;
+                changed += 1;
+            }
+        }
+        for o in shared..next.num_objects() {
+            self.dirty[o] = true;
+            changed += 1;
+        }
+        changed
+    }
+
+    /// Recomputes every dirty entry from `current` and clears the dirty
+    /// flags. Call once per selection step, before reading entropies.
+    pub fn refresh(&mut self, current: &ProbabilisticAnswerSet) {
+        self.ensure_len(current.num_objects());
+        for o in 0..current.num_objects() {
+            if self.dirty[o] {
+                self.entropies[o] = current.object_uncertainty(ObjectId(o));
+                self.dirty[o] = false;
+            }
+        }
+    }
+
+    /// The cached entropy of one object. Panics if the object is out of
+    /// range; stale unless [`EntropyShortlist::refresh`] ran after the last
+    /// invalidation.
+    pub fn entropy(&self, object: ObjectId) -> f64 {
+        self.entropies[object.index()]
+    }
+
+    /// Number of entries currently marked dirty (diagnostics; the ingest
+    /// bench reports how much of the cache an arrival batch invalidated).
+    pub fn dirty_count(&self) -> usize {
+        self.dirty.iter().filter(|&&d| d).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crowdval_model::LabelId;
+
+    fn state(rows: &[&[f64]]) -> ProbabilisticAnswerSet {
+        let m = rows[0].len();
+        let mut assignment = AssignmentMatrix::uniform(rows.len(), m);
+        for (o, row) in rows.iter().enumerate() {
+            assignment.set_distribution(ObjectId(o), row);
+        }
+        ProbabilisticAnswerSet::new(assignment, Vec::new(), vec![1.0 / m as f64; m], 0)
+    }
+
+    #[test]
+    fn cached_entropies_match_direct_computation() {
+        let p = state(&[&[0.5, 0.5], &[0.9, 0.1], &[1.0, 0.0]]);
+        let mut cache = EntropyShortlist::new();
+        cache.refresh(&p);
+        for o in 0..3 {
+            assert_eq!(
+                cache.entropy(ObjectId(o)),
+                p.object_uncertainty(ObjectId(o))
+            );
+        }
+        assert_eq!(cache.dirty_count(), 0);
+    }
+
+    #[test]
+    fn only_changed_rows_are_invalidated() {
+        let a = state(&[&[0.5, 0.5], &[0.9, 0.1], &[0.2, 0.8]]);
+        let mut b = a.clone();
+        b.assignment_mut()
+            .set_distribution(ObjectId(1), &[0.6, 0.4]);
+        let mut cache = EntropyShortlist::new();
+        cache.refresh(&a);
+        let changed = cache.invalidate_changed(a.assignment(), b.assignment());
+        assert_eq!(changed, 1);
+        assert_eq!(cache.dirty_count(), 1);
+        cache.refresh(&b);
+        for o in 0..3 {
+            assert_eq!(
+                cache.entropy(ObjectId(o)),
+                b.object_uncertainty(ObjectId(o))
+            );
+        }
+        // The per-diff count is independent of entries left dirty earlier.
+        cache.invalidate(ObjectId(2));
+        let changed = cache.invalidate_changed(b.assignment(), a.assignment());
+        assert_eq!(changed, 1, "pre-existing dirt must not inflate the count");
+        assert_eq!(cache.dirty_count(), 2);
+    }
+
+    #[test]
+    fn growth_marks_new_objects_dirty() {
+        let a = state(&[&[0.5, 0.5]]);
+        let b = state(&[&[0.5, 0.5], &[0.7, 0.3]]);
+        let mut cache = EntropyShortlist::new();
+        cache.refresh(&a);
+        assert_eq!(cache.invalidate_changed(a.assignment(), b.assignment()), 1);
+        assert_eq!(cache.dirty_count(), 1);
+        cache.refresh(&b);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(
+            cache.entropy(ObjectId(1)),
+            b.object_uncertainty(ObjectId(1))
+        );
+        let _ = LabelId(0);
+    }
+
+    #[test]
+    fn explicit_invalidation_forces_recompute() {
+        let p = state(&[&[0.5, 0.5], &[0.9, 0.1]]);
+        let mut cache = EntropyShortlist::new();
+        cache.refresh(&p);
+        cache.invalidate(ObjectId(0));
+        assert_eq!(cache.dirty_count(), 1);
+        cache.invalidate_all();
+        assert_eq!(cache.dirty_count(), 2);
+        cache.refresh(&p);
+        assert_eq!(cache.dirty_count(), 0);
+    }
+}

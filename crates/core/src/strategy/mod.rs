@@ -44,6 +44,10 @@ pub struct StrategyContext<'a> {
     /// Whether per-candidate scoring may use multiple threads (§5.4
     /// "Parallelization").
     pub parallel: bool,
+    /// Refreshed per-object entropy cache for the pre-filter, when the
+    /// caller maintains one (the streaming session does; ad-hoc contexts
+    /// pass `None` and entropies are recomputed from `current`).
+    pub entropy_cache: Option<&'a crate::shortlist::EntropyShortlist>,
 }
 
 impl<'a> StrategyContext<'a> {
@@ -57,6 +61,7 @@ impl<'a> StrategyContext<'a> {
             aggregator: self.aggregator,
             detector: self.detector,
             parallel: self.parallel,
+            entropy_cache: self.entropy_cache,
         }
     }
 }
@@ -161,6 +166,7 @@ pub(crate) mod tests_support {
                 detector: &self.detector,
                 candidates,
                 parallel: false,
+                entropy_cache: None,
             }
         }
 

@@ -3,25 +3,305 @@
 //! Each cell `M(o, w)` holds the label worker `w` gave to object `o`, or is
 //! empty (the paper's `⊥`) when the worker skipped the object. Because workers
 //! only answer a limited number of questions the matrix is sparse (§5.4), so
-//! we keep two adjacency lists — per object and per worker — instead of a
+//! we keep two adjacency views — per object and per worker — instead of a
 //! dense `n × k` grid.
+//!
+//! ## Storage: paged arenas
+//!
+//! Both adjacency views are stored in a *paged arena*: every row is a chain
+//! of fixed-size chunks carved out of one contiguous slab (a plain `Vec` of
+//! chunks, so appending amortizes like a vector while rows never move each
+//! other around). Compared to the previous `Vec<Vec<(id, label)>>` layout
+//! this removes the per-row heap allocation (one allocation per *slab
+//! doubling* instead of one per object/worker) and keeps each row's entries
+//! in cache-line-sized blocks, which is what the EM inner loops stream over
+//! on every iteration. Appending a vote is `O(row length)` worst case (the
+//! overwrite check scans the row) and `O(1)` amortized for fresh `(o, w)`
+//! pairs.
+//!
+//! Row entries are kept in **insertion order** (streaming arrival order), not
+//! sorted by id; every accessor returns a deterministic iterator over that
+//! order.
+//!
+//! ## Worker tombstones
+//!
+//! Excluding a suspected faulty worker (§5.3) no longer copies the matrix
+//! minus that worker's answers. Instead the matrix carries a per-worker
+//! *tombstone mask* consulted by iteration: [`AnswerMatrix::set_worker_excluded`]
+//! flips a bit, and [`AnswerMatrix::answers_for_object`],
+//! [`AnswerMatrix::answers_for_worker`], [`AnswerMatrix::iter`],
+//! [`AnswerMatrix::answer`] and the answer counts all behave as if the
+//! excluded workers' votes were gone. Exclusion and re-inclusion are `O(1)`
+//! plus a row-length count update — no `O(answers)` copy per excluded worker.
 
 use crate::error::ModelError;
 use crate::ids::{LabelId, ObjectId, WorkerId};
-use serde::{Deserialize, Serialize};
+use serde::{Deserialize, Serialize, Value};
 
-/// Sparse `objects × workers` matrix of label answers.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+/// Entries per chunk. Eight `(u32, u32)` pairs keep a chunk at 64 payload
+/// bytes — one cache line — plus the chain metadata.
+const CHUNK_CAP: usize = 8;
+
+/// Sentinel chunk index for "no chunk".
+const NONE_CHUNK: u32 = u32::MAX;
+
+/// One fixed-size page of a row chain.
+#[derive(Debug, Clone)]
+struct Chunk {
+    pairs: [(u32, u32); CHUNK_CAP],
+    len: u32,
+    next: u32,
+}
+
+impl Chunk {
+    fn empty() -> Self {
+        Self {
+            pairs: [(0, 0); CHUNK_CAP],
+            len: 0,
+            next: NONE_CHUNK,
+        }
+    }
+}
+
+/// A row's chain handle inside the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct RowRef {
+    head: u32,
+    tail: u32,
+    len: u32,
+}
+
+impl RowRef {
+    const EMPTY: RowRef = RowRef {
+        head: NONE_CHUNK,
+        tail: NONE_CHUNK,
+        len: 0,
+    };
+}
+
+/// Paged adjacency lists: rows of `(id, label)` pairs chained through a
+/// shared chunk slab. Appends amortize through the slab `Vec`; chunks freed
+/// by removals are recycled through a free list.
+#[derive(Debug, Clone, Default)]
+struct PagedAdjacency {
+    rows: Vec<RowRef>,
+    chunks: Vec<Chunk>,
+    free: Vec<u32>,
+}
+
+impl PagedAdjacency {
+    fn with_rows(rows: usize) -> Self {
+        Self {
+            rows: vec![RowRef::EMPTY; rows],
+            chunks: Vec::new(),
+            free: Vec::new(),
+        }
+    }
+
+    fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    fn ensure_rows(&mut self, rows: usize) {
+        if rows > self.rows.len() {
+            self.rows.resize(rows, RowRef::EMPTY);
+        }
+    }
+
+    fn row_len(&self, row: usize) -> usize {
+        self.rows.get(row).map_or(0, |r| r.len as usize)
+    }
+
+    fn alloc_chunk(&mut self) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.chunks[idx as usize] = Chunk::empty();
+            idx
+        } else {
+            self.chunks.push(Chunk::empty());
+            (self.chunks.len() - 1) as u32
+        }
+    }
+
+    /// Appends a pair to a row (no duplicate check).
+    fn push(&mut self, row: usize, id: u32, label: u32) {
+        let needs_chunk = {
+            let r = &self.rows[row];
+            r.head == NONE_CHUNK || self.chunks[r.tail as usize].len as usize == CHUNK_CAP
+        };
+        if needs_chunk {
+            let idx = self.alloc_chunk();
+            let r = &mut self.rows[row];
+            if r.head == NONE_CHUNK {
+                r.head = idx;
+            } else {
+                let old_tail = r.tail;
+                self.chunks[old_tail as usize].next = idx;
+            }
+            self.rows[row].tail = idx;
+        }
+        let tail = self.rows[row].tail as usize;
+        let chunk = &mut self.chunks[tail];
+        chunk.pairs[chunk.len as usize] = (id, label);
+        chunk.len += 1;
+        self.rows[row].len += 1;
+    }
+
+    /// Locates a pair by id: `(chunk index, position)`.
+    fn find(&self, row: usize, id: u32) -> Option<(u32, u32)> {
+        let mut chunk = self.rows.get(row)?.head;
+        while chunk != NONE_CHUNK {
+            let c = &self.chunks[chunk as usize];
+            for pos in 0..c.len {
+                if c.pairs[pos as usize].0 == id {
+                    return Some((chunk, pos));
+                }
+            }
+            chunk = c.next;
+        }
+        None
+    }
+
+    fn get(&self, row: usize, id: u32) -> Option<u32> {
+        self.find(row, id)
+            .map(|(chunk, pos)| self.chunks[chunk as usize].pairs[pos as usize].1)
+    }
+
+    /// Inserts or overwrites a pair; returns `true` when the pair is new.
+    fn set(&mut self, row: usize, id: u32, label: u32) -> bool {
+        if let Some((chunk, pos)) = self.find(row, id) {
+            self.chunks[chunk as usize].pairs[pos as usize].1 = label;
+            false
+        } else {
+            self.push(row, id, label);
+            true
+        }
+    }
+
+    /// Removes a pair by id (swap-remove with the row's last entry, so the
+    /// relative order of the remaining entries may change). Emptied tail
+    /// chunks are unlinked and recycled.
+    fn remove(&mut self, row: usize, id: u32) -> Option<u32> {
+        let (chunk, pos) = self.find(row, id)?;
+        let label = self.chunks[chunk as usize].pairs[pos as usize].1;
+        let tail = self.rows[row].tail;
+        let last = self.chunks[tail as usize].len - 1;
+        self.chunks[chunk as usize].pairs[pos as usize] =
+            self.chunks[tail as usize].pairs[last as usize];
+        self.chunks[tail as usize].len -= 1;
+        self.rows[row].len -= 1;
+        if self.chunks[tail as usize].len == 0 {
+            if self.rows[row].head == tail {
+                self.rows[row] = RowRef::EMPTY;
+            } else {
+                // Walk the (short) chain to unlink the emptied tail.
+                let mut pred = self.rows[row].head;
+                while self.chunks[pred as usize].next != tail {
+                    pred = self.chunks[pred as usize].next;
+                }
+                self.chunks[pred as usize].next = NONE_CHUNK;
+                self.rows[row].tail = pred;
+            }
+            self.free.push(tail);
+        }
+        Some(label)
+    }
+
+    fn row_pairs(&self, row: usize) -> PairIter<'_> {
+        PairIter {
+            chunks: &self.chunks,
+            chunk: self.rows.get(row).map_or(NONE_CHUNK, |r| r.head),
+            pos: 0,
+        }
+    }
+
+    fn rows_equal(&self, other: &Self, row: usize) -> bool {
+        self.row_len(row) == other.row_len(row) && self.row_pairs(row).eq(other.row_pairs(row))
+    }
+}
+
+/// Chain-walking iterator over a row's raw `(id, label)` pairs.
+#[derive(Debug, Clone)]
+struct PairIter<'a> {
+    chunks: &'a [Chunk],
+    chunk: u32,
+    pos: u32,
+}
+
+impl Iterator for PairIter<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        loop {
+            if self.chunk == NONE_CHUNK {
+                return None;
+            }
+            let c = &self.chunks[self.chunk as usize];
+            if self.pos < c.len {
+                let pair = c.pairs[self.pos as usize];
+                self.pos += 1;
+                return Some(pair);
+            }
+            self.chunk = c.next;
+            self.pos = 0;
+        }
+    }
+}
+
+/// Iterator over the `(worker, label)` votes of one object, in arrival
+/// order, with tombstoned workers filtered out.
+#[derive(Debug, Clone)]
+pub struct ObjectVotes<'a> {
+    pairs: PairIter<'a>,
+    excluded: &'a [bool],
+}
+
+impl Iterator for ObjectVotes<'_> {
+    type Item = (WorkerId, LabelId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(WorkerId, LabelId)> {
+        for (id, label) in self.pairs.by_ref() {
+            if !self.excluded[id as usize] {
+                return Some((WorkerId(id as usize), LabelId(label as usize)));
+            }
+        }
+        None
+    }
+}
+
+/// Iterator over the `(object, label)` votes of one worker, in arrival
+/// order. Empty when the worker is tombstoned.
+#[derive(Debug, Clone)]
+pub struct WorkerVotes<'a> {
+    pairs: PairIter<'a>,
+}
+
+impl Iterator for WorkerVotes<'_> {
+    type Item = (ObjectId, LabelId);
+
+    #[inline]
+    fn next(&mut self) -> Option<(ObjectId, LabelId)> {
+        self.pairs
+            .next()
+            .map(|(id, label)| (ObjectId(id as usize), LabelId(label as usize)))
+    }
+}
+
+/// Sparse `objects × workers` matrix of label answers over paged arenas, with
+/// a per-worker tombstone mask for cheap exclusion (see the module docs).
+#[derive(Debug, Clone)]
 pub struct AnswerMatrix {
-    num_objects: usize,
-    num_workers: usize,
-    /// For every object: the `(worker, label)` pairs that answered it, kept
-    /// sorted by worker for deterministic iteration.
-    by_object: Vec<Vec<(WorkerId, LabelId)>>,
-    /// For every worker: the `(object, label)` pairs they answered, kept
-    /// sorted by object for deterministic iteration.
-    by_worker: Vec<Vec<(ObjectId, LabelId)>>,
-    num_answers: usize,
+    /// For every object: chain of `(worker, label)` pairs in arrival order.
+    by_object: PagedAdjacency,
+    /// For every worker: chain of `(object, label)` pairs in arrival order.
+    by_worker: PagedAdjacency,
+    /// Tombstone mask: `true` marks a worker whose answers are hidden.
+    excluded: Vec<bool>,
+    /// All recorded answers, tombstoned ones included.
+    recorded_answers: usize,
+    /// Answers hidden behind the tombstone mask.
+    hidden_answers: usize,
 }
 
 impl AnswerMatrix {
@@ -29,36 +309,52 @@ impl AnswerMatrix {
     /// workers.
     pub fn new(num_objects: usize, num_workers: usize) -> Self {
         Self {
-            num_objects,
-            num_workers,
-            by_object: vec![Vec::new(); num_objects],
-            by_worker: vec![Vec::new(); num_workers],
-            num_answers: 0,
+            by_object: PagedAdjacency::with_rows(num_objects),
+            by_worker: PagedAdjacency::with_rows(num_workers),
+            excluded: vec![false; num_workers],
+            recorded_answers: 0,
+            hidden_answers: 0,
         }
     }
 
     /// Number of objects (rows).
     pub fn num_objects(&self) -> usize {
-        self.num_objects
+        self.by_object.num_rows()
     }
 
     /// Number of workers (columns).
     pub fn num_workers(&self) -> usize {
-        self.num_workers
+        self.by_worker.num_rows()
     }
 
-    /// Total number of non-empty cells.
+    /// Number of visible (non-tombstoned) answers.
     pub fn num_answers(&self) -> usize {
-        self.num_answers
+        self.recorded_answers - self.hidden_answers
+    }
+
+    /// Number of recorded answers including those of tombstoned workers.
+    pub fn num_recorded_answers(&self) -> usize {
+        self.recorded_answers
     }
 
     /// Fraction of filled cells, in `[0, 1]`. An empty matrix has density 0.
     pub fn density(&self) -> f64 {
-        let cells = self.num_objects * self.num_workers;
+        let cells = self.num_objects() * self.num_workers();
         if cells == 0 {
             0.0
         } else {
-            self.num_answers as f64 / cells as f64
+            self.num_answers() as f64 / cells as f64
+        }
+    }
+
+    /// Grows the id spaces so the matrix covers at least `num_objects`
+    /// objects and `num_workers` workers. Existing answers are untouched;
+    /// shrinking is not supported (smaller values are no-ops).
+    pub fn ensure_shape(&mut self, num_objects: usize, num_workers: usize) {
+        self.by_object.ensure_rows(num_objects);
+        self.by_worker.ensure_rows(num_workers);
+        if num_workers > self.excluded.len() {
+            self.excluded.resize(num_workers, false);
         }
     }
 
@@ -69,113 +365,251 @@ impl AnswerMatrix {
         worker: WorkerId,
         label: LabelId,
     ) -> Result<(), ModelError> {
-        if object.index() >= self.num_objects {
+        if object.index() >= self.num_objects() {
             return Err(ModelError::ObjectOutOfRange {
                 object: object.index(),
-                num_objects: self.num_objects,
+                num_objects: self.num_objects(),
             });
         }
-        if worker.index() >= self.num_workers {
+        if worker.index() >= self.num_workers() {
             return Err(ModelError::WorkerOutOfRange {
                 worker: worker.index(),
-                num_workers: self.num_workers,
+                num_workers: self.num_workers(),
             });
         }
-
-        let obj_answers = &mut self.by_object[object.index()];
-        match obj_answers.binary_search_by_key(&worker, |(w, _)| *w) {
-            Ok(pos) => obj_answers[pos].1 = label,
-            Err(pos) => {
-                obj_answers.insert(pos, (worker, label));
-                self.num_answers += 1;
+        let inserted =
+            self.by_object
+                .set(object.index(), worker.index() as u32, label.index() as u32);
+        if inserted {
+            self.by_worker
+                .push(worker.index(), object.index() as u32, label.index() as u32);
+            self.recorded_answers += 1;
+            if self.excluded[worker.index()] {
+                self.hidden_answers += 1;
             }
-        }
-
-        let worker_answers = &mut self.by_worker[worker.index()];
-        match worker_answers.binary_search_by_key(&object, |(o, _)| *o) {
-            Ok(pos) => worker_answers[pos].1 = label,
-            Err(pos) => worker_answers.insert(pos, (object, label)),
+        } else {
+            self.by_worker
+                .set(worker.index(), object.index() as u32, label.index() as u32);
         }
         Ok(())
     }
 
     /// Removes worker `w`'s answer for object `o`, returning the label if an
-    /// answer was present.
+    /// answer was present (tombstoned or not).
     pub fn remove_answer(&mut self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
-        let obj_answers = self.by_object.get_mut(object.index())?;
-        let pos = obj_answers
-            .binary_search_by_key(&worker, |(w, _)| *w)
-            .ok()?;
-        let (_, label) = obj_answers.remove(pos);
-        let worker_answers = &mut self.by_worker[worker.index()];
-        if let Ok(pos) = worker_answers.binary_search_by_key(&object, |(o, _)| *o) {
-            worker_answers.remove(pos);
+        let label = self
+            .by_object
+            .remove(object.index(), worker.index() as u32)?;
+        self.by_worker.remove(worker.index(), object.index() as u32);
+        self.recorded_answers -= 1;
+        if self.excluded[worker.index()] {
+            self.hidden_answers -= 1;
         }
-        self.num_answers -= 1;
-        Some(label)
+        Some(LabelId(label as usize))
     }
 
-    /// The label worker `w` gave to object `o`, or `None` (the paper's `⊥`).
+    /// The label worker `w` gave to object `o`, or `None` (the paper's `⊥`,
+    /// also reported for tombstoned workers).
     pub fn answer(&self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
-        let obj_answers = self.by_object.get(object.index())?;
-        obj_answers
-            .binary_search_by_key(&worker, |(w, _)| *w)
-            .ok()
-            .map(|pos| obj_answers[pos].1)
-    }
-
-    /// All `(worker, label)` answers recorded for an object, sorted by worker.
-    pub fn answers_for_object(&self, object: ObjectId) -> &[(WorkerId, LabelId)] {
+        if self.excluded.get(worker.index()).copied().unwrap_or(false) {
+            return None;
+        }
         self.by_object
-            .get(object.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+            .get(object.index(), worker.index() as u32)
+            .map(|l| LabelId(l as usize))
     }
 
-    /// All `(object, label)` answers recorded for a worker, sorted by object.
-    pub fn answers_for_worker(&self, worker: WorkerId) -> &[(ObjectId, LabelId)] {
-        self.by_worker
-            .get(worker.index())
-            .map(Vec::as_slice)
-            .unwrap_or(&[])
+    /// All `(worker, label)` answers recorded for an object, in arrival
+    /// order, skipping tombstoned workers.
+    pub fn answers_for_object(&self, object: ObjectId) -> ObjectVotes<'_> {
+        ObjectVotes {
+            pairs: self.by_object.row_pairs(object.index()),
+            excluded: &self.excluded,
+        }
     }
 
-    /// Number of answers given for an object.
+    /// All `(object, label)` answers recorded by a worker, in arrival order.
+    /// Empty when the worker is tombstoned.
+    pub fn answers_for_worker(&self, worker: WorkerId) -> WorkerVotes<'_> {
+        let pairs = if self.excluded.get(worker.index()).copied().unwrap_or(false) {
+            PairIter {
+                chunks: &self.by_worker.chunks,
+                chunk: NONE_CHUNK,
+                pos: 0,
+            }
+        } else {
+            self.by_worker.row_pairs(worker.index())
+        };
+        WorkerVotes { pairs }
+    }
+
+    /// Number of visible answers given for an object.
     pub fn object_answer_count(&self, object: ObjectId) -> usize {
-        self.answers_for_object(object).len()
+        if self.hidden_answers == 0 {
+            self.by_object.row_len(object.index())
+        } else {
+            self.answers_for_object(object).count()
+        }
     }
 
-    /// Number of answers given by a worker.
+    /// Number of visible answers given by a worker (0 when tombstoned).
     pub fn worker_answer_count(&self, worker: WorkerId) -> usize {
-        self.answers_for_worker(worker).len()
+        if self.excluded.get(worker.index()).copied().unwrap_or(false) {
+            0
+        } else {
+            self.by_worker.row_len(worker.index())
+        }
     }
 
-    /// Iterator over all `(object, worker, label)` triples in object order.
+    /// Iterator over all visible `(object, worker, label)` triples in object
+    /// order (arrival order within an object).
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, WorkerId, LabelId)> + '_ {
-        self.by_object
+        (0..self.num_objects()).flat_map(move |o| {
+            self.answers_for_object(ObjectId(o))
+                .map(move |(w, l)| (ObjectId(o), w, l))
+        })
+    }
+
+    /// Largest label index used anywhere in the matrix (tombstoned answers
+    /// included — the label range must stay valid across re-inclusion), or
+    /// `None` when empty.
+    pub fn max_label_index(&self) -> Option<usize> {
+        (0..self.num_objects())
+            .flat_map(|o| self.by_object.row_pairs(o))
+            .map(|(_, l)| l as usize)
+            .max()
+    }
+
+    // -----------------------------------------------------------------------
+    // Worker tombstones (§5.3 exclusion without copies)
+    // -----------------------------------------------------------------------
+
+    /// Sets or clears the tombstone of one worker. `O(1)` plus the count
+    /// update; no answers are copied or moved.
+    pub fn set_worker_excluded(&mut self, worker: WorkerId, excluded: bool) {
+        let w = worker.index();
+        if w >= self.excluded.len() || self.excluded[w] == excluded {
+            return;
+        }
+        self.excluded[w] = excluded;
+        let row = self.by_worker.row_len(w);
+        if excluded {
+            self.hidden_answers += row;
+        } else {
+            self.hidden_answers -= row;
+        }
+    }
+
+    /// Whether a worker is currently tombstoned.
+    pub fn is_worker_excluded(&self, worker: WorkerId) -> bool {
+        self.excluded.get(worker.index()).copied().unwrap_or(false)
+    }
+
+    /// Currently tombstoned workers, in id order.
+    pub fn excluded_workers(&self) -> Vec<WorkerId> {
+        self.excluded
             .iter()
             .enumerate()
-            .flat_map(|(o, answers)| answers.iter().map(move |&(w, l)| (ObjectId(o), w, l)))
+            .filter_map(|(w, &e)| e.then_some(WorkerId(w)))
+            .collect()
     }
 
-    /// Largest label index used anywhere in the matrix, or `None` when empty.
-    pub fn max_label_index(&self) -> Option<usize> {
-        self.iter().map(|(_, _, l)| l.index()).max()
+    /// Number of tombstoned workers.
+    pub fn num_excluded_workers(&self) -> usize {
+        self.excluded.iter().filter(|&&e| e).count()
     }
 
-    /// Returns a copy of the matrix with every answer by `worker` removed.
-    /// Used when suspected faulty workers are (temporarily) excluded (§5.3).
+    /// Clears every tombstone.
+    pub fn clear_exclusions(&mut self) {
+        self.excluded.fill(false);
+        self.hidden_answers = 0;
+    }
+
+    /// Returns a copy of the matrix with every answer by `worker` hidden
+    /// behind the tombstone mask. Used when suspected faulty workers are
+    /// (temporarily) excluded (§5.3). The copy shares nothing with `self`,
+    /// but the exclusion itself is a mask flip, not an answer-by-answer
+    /// removal.
     pub fn without_worker(&self, worker: WorkerId) -> AnswerMatrix {
         let mut out = self.clone();
-        let answered: Vec<ObjectId> = out
-            .answers_for_worker(worker)
-            .iter()
-            .map(|&(o, _)| o)
-            .collect();
-        for o in answered {
-            out.remove_answer(o, worker);
-        }
+        out.set_worker_excluded(worker, true);
         out
+    }
+}
+
+impl PartialEq for AnswerMatrix {
+    /// Two matrices are equal when they have the same shape, the same
+    /// tombstone mask, and every object row contains the same votes in the
+    /// same arrival order.
+    fn eq(&self, other: &Self) -> bool {
+        self.num_objects() == other.num_objects()
+            && self.num_workers() == other.num_workers()
+            && self.excluded == other.excluded
+            && self.recorded_answers == other.recorded_answers
+            && (0..self.num_objects()).all(|o| self.by_object.rows_equal(&other.by_object, o))
+    }
+}
+
+impl Eq for AnswerMatrix {}
+
+impl Serialize for AnswerMatrix {
+    fn to_value(&self) -> Value {
+        let answers: Vec<Value> = (0..self.num_objects())
+            .flat_map(|o| {
+                self.by_object.row_pairs(o).map(move |(w, l)| {
+                    Value::Array(vec![
+                        Value::UInt(o as u64),
+                        Value::UInt(w as u64),
+                        Value::UInt(l as u64),
+                    ])
+                })
+            })
+            .collect();
+        let excluded: Vec<Value> = self
+            .excluded
+            .iter()
+            .enumerate()
+            .filter_map(|(w, &e)| e.then_some(Value::UInt(w as u64)))
+            .collect();
+        Value::Object(vec![
+            (
+                "num_objects".to_string(),
+                Value::UInt(self.num_objects() as u64),
+            ),
+            (
+                "num_workers".to_string(),
+                Value::UInt(self.num_workers() as u64),
+            ),
+            ("answers".to_string(), Value::Array(answers)),
+            ("excluded".to_string(), Value::Array(excluded)),
+        ])
+    }
+}
+
+impl Deserialize for AnswerMatrix {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected answer-matrix object"))?;
+        let num_objects = usize::from_value(serde::get_field(entries, "num_objects")?)?;
+        let num_workers = usize::from_value(serde::get_field(entries, "num_workers")?)?;
+        let mut matrix = AnswerMatrix::new(num_objects, num_workers);
+        let answers = serde::get_field(entries, "answers")?
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected answers array"))?;
+        for triple in answers {
+            let (o, w, l) = <(usize, usize, usize)>::from_value(triple)?;
+            matrix
+                .set_answer(ObjectId(o), WorkerId(w), LabelId(l))
+                .map_err(|e| serde::Error::custom(e.to_string()))?;
+        }
+        let excluded = serde::get_field(entries, "excluded")?
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected excluded array"))?;
+        for w in excluded {
+            matrix.set_worker_excluded(WorkerId(usize::from_value(w)?), true);
+        }
+        Ok(matrix)
     }
 }
 
@@ -227,8 +661,8 @@ mod tests {
         assert_eq!(m.remove_answer(ObjectId(0), WorkerId(1)), Some(LabelId(0)));
         assert_eq!(m.remove_answer(ObjectId(0), WorkerId(1)), None);
         assert_eq!(m.num_answers(), 2);
-        assert_eq!(m.answers_for_worker(WorkerId(1)).len(), 1);
-        assert_eq!(m.answers_for_object(ObjectId(0)).len(), 1);
+        assert_eq!(m.answers_for_worker(WorkerId(1)).count(), 1);
+        assert_eq!(m.answers_for_object(ObjectId(0)).count(), 1);
     }
 
     #[test]
@@ -262,5 +696,114 @@ mod tests {
     fn max_label_index_tracks_answers() {
         assert_eq!(AnswerMatrix::new(2, 2).max_label_index(), None);
         assert_eq!(small().max_label_index(), Some(1));
+    }
+
+    #[test]
+    fn rows_spill_across_chunks() {
+        let workers = 3 * CHUNK_CAP + 1;
+        let mut m = AnswerMatrix::new(2, workers);
+        for w in 0..workers {
+            m.set_answer(ObjectId(1), WorkerId(w), LabelId(w % 2))
+                .unwrap();
+        }
+        assert_eq!(m.object_answer_count(ObjectId(1)), workers);
+        let collected: Vec<_> = m.answers_for_object(ObjectId(1)).collect();
+        assert_eq!(collected.len(), workers);
+        // Arrival order preserved across chunk boundaries.
+        for (i, &(w, l)) in collected.iter().enumerate() {
+            assert_eq!(w, WorkerId(i));
+            assert_eq!(l, LabelId(i % 2));
+        }
+        // Overwrite deep inside the chain.
+        m.set_answer(ObjectId(1), WorkerId(CHUNK_CAP + 2), LabelId(1))
+            .unwrap();
+        assert_eq!(m.object_answer_count(ObjectId(1)), workers);
+        assert_eq!(
+            m.answer(ObjectId(1), WorkerId(CHUNK_CAP + 2)),
+            Some(LabelId(1))
+        );
+    }
+
+    #[test]
+    fn remove_recycles_emptied_chunks() {
+        let mut m = AnswerMatrix::new(1, 2 * CHUNK_CAP);
+        for w in 0..2 * CHUNK_CAP {
+            m.set_answer(ObjectId(0), WorkerId(w), LabelId(0)).unwrap();
+        }
+        for w in 0..2 * CHUNK_CAP {
+            assert_eq!(m.remove_answer(ObjectId(0), WorkerId(w)), Some(LabelId(0)));
+        }
+        assert_eq!(m.num_answers(), 0);
+        assert_eq!(m.object_answer_count(ObjectId(0)), 0);
+        // The arena can be refilled after full removal.
+        m.set_answer(ObjectId(0), WorkerId(1), LabelId(1)).unwrap();
+        assert_eq!(m.answer(ObjectId(0), WorkerId(1)), Some(LabelId(1)));
+    }
+
+    #[test]
+    fn tombstones_hide_answers_without_removing_them() {
+        let mut m = small();
+        m.set_worker_excluded(WorkerId(1), true);
+        assert_eq!(m.num_answers(), 1);
+        assert_eq!(m.num_recorded_answers(), 3);
+        assert_eq!(m.worker_answer_count(WorkerId(1)), 0);
+        assert_eq!(m.object_answer_count(ObjectId(0)), 1);
+        assert_eq!(m.answer(ObjectId(0), WorkerId(1)), None);
+        assert_eq!(m.answers_for_worker(WorkerId(1)).count(), 0);
+        assert_eq!(m.iter().count(), 1);
+        assert_eq!(m.excluded_workers(), vec![WorkerId(1)]);
+        // Re-inclusion restores everything.
+        m.set_worker_excluded(WorkerId(1), false);
+        assert_eq!(m.num_answers(), 3);
+        assert_eq!(m.worker_answer_count(WorkerId(1)), 2);
+        assert_eq!(m.answer(ObjectId(0), WorkerId(1)), Some(LabelId(0)));
+        assert_eq!(m.num_excluded_workers(), 0);
+    }
+
+    #[test]
+    fn tombstones_account_for_votes_recorded_while_excluded() {
+        let mut m = AnswerMatrix::new(2, 2);
+        m.set_worker_excluded(WorkerId(0), true);
+        m.set_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        assert_eq!(m.num_answers(), 0);
+        m.set_worker_excluded(WorkerId(0), false);
+        assert_eq!(m.num_answers(), 1);
+    }
+
+    #[test]
+    fn ensure_shape_grows_id_spaces() {
+        let mut m = small();
+        m.ensure_shape(5, 4);
+        assert_eq!(m.num_objects(), 5);
+        assert_eq!(m.num_workers(), 4);
+        assert_eq!(m.num_answers(), 3);
+        m.set_answer(ObjectId(4), WorkerId(3), LabelId(0)).unwrap();
+        assert_eq!(m.num_answers(), 4);
+        // Shrinking is a no-op.
+        m.ensure_shape(1, 1);
+        assert_eq!(m.num_objects(), 5);
+    }
+
+    #[test]
+    fn equality_is_shape_votes_and_mask() {
+        let a = small();
+        let mut b = small();
+        assert_eq!(a, b);
+        b.set_worker_excluded(WorkerId(0), true);
+        assert_ne!(a, b);
+        b.set_worker_excluded(WorkerId(0), false);
+        assert_eq!(a, b);
+        b.set_answer(ObjectId(1), WorkerId(0), LabelId(0)).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_round_trips_votes_and_mask() {
+        let mut m = small();
+        m.set_worker_excluded(WorkerId(0), true);
+        let restored = AnswerMatrix::from_value(&m.to_value()).unwrap();
+        assert_eq!(m, restored);
+        assert_eq!(restored.num_answers(), m.num_answers());
+        assert!(restored.is_worker_excluded(WorkerId(0)));
     }
 }

@@ -113,6 +113,31 @@ impl AnswerSet {
         self.matrix.set_answer(object, worker, label)
     }
 
+    /// Records a streaming vote, growing the object/worker id spaces on
+    /// demand (the label space is fixed at construction — a classification
+    /// task does not sprout new classes mid-stream). This is the ingestion
+    /// entry point of the validation session: unlike
+    /// [`AnswerSet::record_answer`], out-of-range object and worker ids mean
+    /// *new arrivals*, not errors.
+    pub fn record_arrival(&mut self, vote: crate::vote::Vote) -> Result<(), ModelError> {
+        if vote.label.index() >= self.num_labels {
+            return Err(ModelError::LabelOutOfRange {
+                label: vote.label.index(),
+                num_labels: self.num_labels,
+            });
+        }
+        self.matrix.ensure_shape(
+            self.matrix.num_objects().max(vote.object.index() + 1),
+            self.matrix.num_workers().max(vote.worker.index() + 1),
+        );
+        self.matrix.set_answer(vote.object, vote.worker, vote.label)
+    }
+
+    /// Grows the object/worker id spaces (no-op when already large enough).
+    pub fn ensure_shape(&mut self, num_objects: usize, num_workers: usize) {
+        self.matrix.ensure_shape(num_objects, num_workers);
+    }
+
     /// Removes worker `w`'s answer for object `o`, returning the label if an
     /// answer was present.
     pub fn remove_answer(&mut self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {
@@ -135,17 +160,30 @@ impl AnswerSet {
     }
 
     /// Returns a copy of this answer set with every answer of the given
-    /// workers removed, used when suspected faulty workers are excluded from
-    /// aggregation (§5.3).
+    /// workers hidden behind the tombstone mask, used when suspected faulty
+    /// workers are excluded from aggregation (§5.3). One matrix copy total —
+    /// each exclusion is a mask flip, not an answer-by-answer removal.
     pub fn excluding_workers(&self, excluded: &[WorkerId]) -> AnswerSet {
         let mut matrix = self.matrix.clone();
         for &w in excluded {
-            matrix = matrix.without_worker(w);
+            matrix.set_worker_excluded(w, true);
         }
         AnswerSet {
             num_labels: self.num_labels,
             label_names: self.label_names.clone(),
             matrix,
+        }
+    }
+
+    /// Replaces the set of tombstoned workers in place: workers in `excluded`
+    /// are hidden from iteration, everyone else is visible. `O(workers)` mask
+    /// diff, no matrix copy — the streaming session uses this to track
+    /// detection outcomes without rebuilding its active view.
+    pub fn set_excluded_workers(&mut self, excluded: &[WorkerId]) {
+        for w in 0..self.num_workers() {
+            let worker = WorkerId(w);
+            self.matrix
+                .set_worker_excluded(worker, excluded.contains(&worker));
         }
     }
 }

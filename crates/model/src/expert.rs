@@ -23,6 +23,15 @@ impl ExpertValidation {
         self.labels.len()
     }
 
+    /// Grows the function's domain to at least `num_objects` objects (new
+    /// objects start unvalidated). Streaming ingestion calls this when votes
+    /// for previously unseen objects arrive; shrinking is not supported.
+    pub fn ensure_domain(&mut self, num_objects: usize) {
+        if num_objects > self.labels.len() {
+            self.labels.resize(num_objects, None);
+        }
+    }
+
     /// The expert's label for `object`, if any.
     pub fn get(&self, object: ObjectId) -> Option<LabelId> {
         self.labels[object.index()]

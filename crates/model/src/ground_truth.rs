@@ -61,6 +61,28 @@ impl GroundTruth {
         correct as f64 / self.labels.len() as f64
     }
 
+    /// Precision of a deterministic assignment that covers only a *prefix*
+    /// of the ground truth's objects — the streaming-session case, where the
+    /// reference truth spans the full eventual object set while the session
+    /// has only seen part of the stream. Equals [`GroundTruth::precision`]
+    /// when the assignment covers every object.
+    ///
+    /// # Panics
+    /// Panics if the assignment covers *more* objects than the ground truth.
+    pub fn prefix_precision(&self, assignment: &DeterministicAssignment) -> f64 {
+        assert!(
+            assignment.len() <= self.labels.len(),
+            "assignment covers objects beyond the ground truth"
+        );
+        if assignment.is_empty() {
+            return 1.0;
+        }
+        let correct = (0..assignment.len())
+            .filter(|&o| assignment.label(ObjectId(o)) == self.labels[o])
+            .count();
+        correct as f64 / assignment.len() as f64
+    }
+
     /// Percentage-of-precision-improvement `R_i = (P_i − P_0) / (1 − P_0)`
     /// (paper §6.1). When the initial precision is already perfect the
     /// improvement is defined as 1 if precision stayed perfect, 0 otherwise.

@@ -22,8 +22,9 @@ pub mod ids;
 pub mod io;
 pub mod overlay;
 pub mod probabilistic;
+pub mod vote;
 
-pub use answer_matrix::AnswerMatrix;
+pub use answer_matrix::{AnswerMatrix, ObjectVotes, WorkerVotes};
 pub use answer_set::AnswerSet;
 pub use assignment::{AssignmentMatrix, DeterministicAssignment};
 pub use confusion::ConfusionMatrix;
@@ -34,3 +35,4 @@ pub use ground_truth::GroundTruth;
 pub use ids::{LabelId, ObjectId, WorkerId};
 pub use overlay::{HypothesisOverlay, ValidationView};
 pub use probabilistic::ProbabilisticAnswerSet;
+pub use vote::Vote;

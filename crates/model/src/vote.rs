@@ -1,0 +1,46 @@
+//! A single crowd vote in flight (§3 / §5.4 view maintenance).
+//!
+//! The batch pipeline receives an [`crate::AnswerSet`] that was fully built
+//! before validation starts. The streaming ingestion path instead receives
+//! votes *while* the expert validates; a [`Vote`] is the unit of that stream.
+//! Object and worker ids beyond the current answer-set bounds denote new
+//! arrivals (a fresh question entering the task, a new worker joining the
+//! crowd) and grow the id spaces on ingestion
+//! ([`crate::AnswerSet::record_arrival`]).
+
+use crate::ids::{LabelId, ObjectId, WorkerId};
+use serde::{Deserialize, Serialize};
+
+/// One `(object, worker, label)` answer arriving from the crowd.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vote {
+    /// The object (question) the vote is about; may be a new object.
+    pub object: ObjectId,
+    /// The worker who cast the vote; may be a new worker.
+    pub worker: WorkerId,
+    /// The label the worker chose.
+    pub label: LabelId,
+}
+
+impl Vote {
+    /// Convenience constructor.
+    pub fn new(object: ObjectId, worker: WorkerId, label: LabelId) -> Self {
+        Self {
+            object,
+            worker,
+            label,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vote_round_trips_through_serde() {
+        let v = Vote::new(ObjectId(3), WorkerId(1), LabelId(0));
+        let restored = Vote::from_value(&v.to_value()).unwrap();
+        assert_eq!(v, restored);
+    }
+}

@@ -35,8 +35,7 @@ pub fn augment_with_answers(
             .answers()
             .matrix()
             .answers_for_object(o)
-            .iter()
-            .map(|&(w, _)| w)
+            .map(|(w, _)| w)
             .collect();
         if existing.len() >= target_answers_per_object {
             continue;
@@ -80,8 +79,7 @@ pub fn thin_to_answers_per_object(
             .answers()
             .matrix()
             .answers_for_object(o)
-            .iter()
-            .map(|&(w, _)| w)
+            .map(|(w, _)| w)
             .collect();
         if answered.len() <= answers_per_object {
             continue;
@@ -125,13 +123,13 @@ mod tests {
         let src = sparse_source();
         let augmented = augment_with_answers(&src, 20, 2);
         for o in augmented.answers().objects() {
-            let workers: Vec<_> = augmented
+            let mut workers: Vec<_> = augmented
                 .answers()
                 .matrix()
                 .answers_for_object(o)
-                .iter()
-                .map(|&(w, _)| w)
+                .map(|(w, _)| w)
                 .collect();
+            workers.sort();
             let mut dedup = workers.clone();
             dedup.dedup();
             assert_eq!(workers.len(), dedup.len());

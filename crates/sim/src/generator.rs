@@ -300,7 +300,7 @@ mod tests {
         let mut correct = 0;
         for o in answers.objects() {
             let mut counts = vec![0usize; answers.num_labels()];
-            for &(_, l) in answers.matrix().answers_for_object(o) {
+            for (_, l) in answers.matrix().answers_for_object(o) {
                 counts[l.index()] += 1;
             }
             let max = counts

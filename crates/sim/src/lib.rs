@@ -21,6 +21,7 @@ pub mod expert_sim;
 pub mod generator;
 pub mod population;
 pub mod replicas;
+pub mod streaming;
 pub mod worker_profile;
 
 pub use augment::augment_with_answers;
@@ -29,4 +30,5 @@ pub use expert_sim::SimulatedExpert;
 pub use generator::{SyntheticConfig, SyntheticDataset};
 pub use population::PopulationMix;
 pub use replicas::{all_replicas, replica, ReplicaName};
+pub use streaming::{StreamingConfig, StreamingScenario};
 pub use worker_profile::{WorkerKind, WorkerProfile};

@@ -1,0 +1,235 @@
+//! Streaming scenario generation: arrival schedules over synthetic crowds.
+//!
+//! The batch generator ([`crate::generator`]) materializes a finished answer
+//! matrix. Live platforms never see that matrix at once — votes arrive over
+//! time, new questions open mid-run, and workers join (and drift away) while
+//! the expert validates (§3, §5.4 view maintenance). A [`StreamingConfig`]
+//! turns a synthetic dataset into exactly that shape: a deterministic
+//! *arrival schedule* over the dataset's votes, split into an initial
+//! snapshot plus a sequence of ingestion batches, with configurable object
+//! and worker churn.
+//!
+//! The schedule is simulated with per-entity activation times: every object
+//! and every worker is either present from the start or activates at a
+//! random point of the stream (the churn knobs), and a vote becomes visible
+//! at `max(object activation, worker activation, jitter)`. Sorting by that
+//! arrival time yields the stream; everything is deterministic given the
+//! seed.
+
+use crate::generator::{SyntheticConfig, SyntheticDataset};
+use crowdval_model::{GroundTruth, Vote};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a streaming arrival schedule over a synthetic dataset.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamingConfig {
+    /// The underlying crowd and task (objects, workers, reliability, mix).
+    pub base: SyntheticConfig,
+    /// Fraction of the vote stream already present when the session starts
+    /// (the "warm snapshot"); `0.0` starts from an empty session.
+    pub initial_fraction: f64,
+    /// Votes per arrival batch after the initial snapshot.
+    pub batch_size: usize,
+    /// Fraction of objects that enter the task only after the stream
+    /// started (new questions opening mid-session).
+    pub late_object_fraction: f64,
+    /// Fraction of workers that join only after the stream started (worker
+    /// churn: their votes — including votes on old objects — arrive late).
+    pub late_worker_fraction: f64,
+}
+
+impl StreamingConfig {
+    /// The paper-default crowd as a stream: a quarter of the votes up front,
+    /// moderate object and worker churn.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            base: SyntheticConfig::paper_default(seed),
+            initial_fraction: 0.25,
+            batch_size: 50,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+    }
+
+    /// Generates the dataset and lays its votes out on the arrival schedule.
+    pub fn generate(&self) -> StreamingScenario {
+        assert!(
+            (0.0..=1.0).contains(&self.initial_fraction),
+            "initial_fraction must be in [0, 1]"
+        );
+        assert!(self.batch_size > 0, "batches must hold at least one vote");
+        let synth = self.base.generate();
+        // A distinct stream from the answer-content stream: arrival times
+        // must not correlate with the votes themselves.
+        let mut rng = StdRng::seed_from_u64(self.base.seed.wrapping_add(0x5eed_517e));
+
+        let activation = |rng: &mut StdRng, count: usize, late_fraction: f64| -> Vec<f64> {
+            (0..count)
+                .map(|_| {
+                    if rng.random_range(0.0..1.0) < late_fraction {
+                        rng.random_range(0.0..1.0)
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        };
+        let object_act = activation(
+            &mut rng,
+            synth.dataset.answers().num_objects(),
+            self.late_object_fraction,
+        );
+        let worker_act = activation(
+            &mut rng,
+            synth.dataset.answers().num_workers(),
+            self.late_worker_fraction,
+        );
+
+        let mut timed: Vec<(f64, Vote)> = synth
+            .dataset
+            .answers()
+            .matrix()
+            .iter()
+            .map(|(o, w, l)| {
+                let jitter = rng.random_range(0.0..1.0);
+                let t = object_act[o.index()].max(worker_act[w.index()]).max(jitter);
+                (t, Vote::new(o, w, l))
+            })
+            .collect();
+        timed.sort_by(|a, b| {
+            a.0.total_cmp(&b.0)
+                .then(a.1.object.cmp(&b.1.object))
+                .then(a.1.worker.cmp(&b.1.worker))
+        });
+        let stream: Vec<Vote> = timed.into_iter().map(|(_, v)| v).collect();
+
+        let initial_len = (self.initial_fraction * stream.len() as f64).floor() as usize;
+        let initial = stream[..initial_len].to_vec();
+        let batches: Vec<Vec<Vote>> = stream[initial_len..]
+            .chunks(self.batch_size)
+            .map(<[Vote]>::to_vec)
+            .collect();
+
+        StreamingScenario {
+            truth: synth.dataset.ground_truth().clone(),
+            num_labels: synth.dataset.answers().num_labels(),
+            initial,
+            batches,
+            synth,
+            config: self.clone(),
+        }
+    }
+}
+
+/// A synthetic dataset laid out as a vote stream.
+#[derive(Debug, Clone)]
+pub struct StreamingScenario {
+    /// Ground truth over the full eventual object set (known to the
+    /// evaluation, not to the session).
+    pub truth: GroundTruth,
+    /// Label-space size the session must be created with.
+    pub num_labels: usize,
+    /// Votes present before the session starts.
+    pub initial: Vec<Vote>,
+    /// Arrival batches, in stream order.
+    pub batches: Vec<Vec<Vote>>,
+    /// The underlying batch dataset (hidden worker profiles included), for
+    /// baselines that get to see everything at once.
+    pub synth: SyntheticDataset,
+    /// The configuration that produced this scenario.
+    pub config: StreamingConfig,
+}
+
+impl StreamingScenario {
+    /// Total votes across the snapshot and every batch.
+    pub fn total_votes(&self) -> usize {
+        self.initial.len() + self.batches.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// The whole stream flattened back into one vote list, in arrival order.
+    pub fn all_votes(&self) -> Vec<Vote> {
+        let mut all = self.initial.clone();
+        for batch in &self.batches {
+            all.extend_from_slice(batch);
+        }
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn schedule_is_deterministic_and_complete() {
+        let cfg = StreamingConfig::paper_default(9);
+        let a = cfg.generate();
+        let b = cfg.generate();
+        assert_eq!(a.initial, b.initial);
+        assert_eq!(a.batches, b.batches);
+        // Every vote of the batch dataset appears exactly once.
+        assert_eq!(
+            a.total_votes(),
+            a.synth.dataset.answers().matrix().num_answers()
+        );
+        let seen: BTreeSet<(usize, usize)> = a
+            .all_votes()
+            .iter()
+            .map(|v| (v.object.index(), v.worker.index()))
+            .collect();
+        assert_eq!(
+            seen.len(),
+            a.total_votes(),
+            "duplicate (object, worker) vote"
+        );
+    }
+
+    #[test]
+    fn initial_fraction_and_batch_size_shape_the_stream() {
+        let cfg = StreamingConfig {
+            initial_fraction: 0.5,
+            batch_size: 100,
+            ..StreamingConfig::paper_default(10)
+        };
+        let s = cfg.generate();
+        assert_eq!(s.initial.len(), s.total_votes() / 2);
+        for batch in &s.batches[..s.batches.len() - 1] {
+            assert_eq!(batch.len(), 100);
+        }
+    }
+
+    #[test]
+    fn churn_delays_late_entities_past_the_snapshot() {
+        let cfg = StreamingConfig {
+            initial_fraction: 0.2,
+            late_object_fraction: 0.5,
+            late_worker_fraction: 0.5,
+            ..StreamingConfig::paper_default(11)
+        };
+        let s = cfg.generate();
+        let initial_objects: BTreeSet<usize> = s.initial.iter().map(|v| v.object.index()).collect();
+        let initial_workers: BTreeSet<usize> = s.initial.iter().map(|v| v.worker.index()).collect();
+        let all_objects = s.synth.dataset.answers().num_objects();
+        let all_workers = s.synth.dataset.answers().num_workers();
+        // With heavy churn the snapshot cannot have seen everyone.
+        assert!(initial_objects.len() < all_objects, "no object churn");
+        assert!(initial_workers.len() < all_workers, "no worker churn");
+    }
+
+    #[test]
+    fn zero_initial_fraction_streams_everything() {
+        let cfg = StreamingConfig {
+            initial_fraction: 0.0,
+            ..StreamingConfig::paper_default(12)
+        };
+        let s = cfg.generate();
+        assert!(s.initial.is_empty());
+        assert_eq!(
+            s.batches.iter().map(Vec::len).sum::<usize>(),
+            s.total_votes()
+        );
+    }
+}

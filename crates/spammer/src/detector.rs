@@ -142,7 +142,7 @@ impl SpammerDetector {
         let m = answers.num_labels();
         let mut counts = Matrix::zeros(m, m);
         let mut observed = 0usize;
-        for &(o, answered) in answers.matrix().answers_for_worker(worker) {
+        for (o, answered) in answers.matrix().answers_for_worker(worker) {
             if let Some(truth) = expert.get(o) {
                 counts[(truth.index(), answered.index())] += 1.0;
                 observed += 1;

@@ -1,0 +1,103 @@
+//! Streaming validation session: votes keep arriving while the expert works.
+//!
+//! The batch examples build a finished answer set and then validate. This
+//! example drives the other production shape (§3, §5.4 view maintenance):
+//! a [`ValidationSession`] starts from a *partial* snapshot of the vote
+//! stream, absorbs arrival batches — new votes, new objects and new workers
+//! mid-session — through `ingest`, and interleaves expert validations with
+//! the arrivals. Each ingest re-aggregates incrementally (the delta path's
+//! dirty set is seeded from the touched objects) and invalidates only the
+//! entropy-shortlist entries that actually moved.
+//!
+//! Run with: `cargo run --example streaming_session`
+
+use crowd_validation::prelude::*;
+use crowd_validation::sim::StreamingConfig;
+
+fn main() {
+    // A paper-default crowd laid out as an arrival schedule: a quarter of
+    // the votes up front, then batches of 80, with 30 % of the objects and
+    // 25 % of the workers entering only mid-stream.
+    let scenario = StreamingConfig {
+        base: SyntheticConfig {
+            num_objects: 60,
+            ..SyntheticConfig::paper_default(7)
+        },
+        initial_fraction: 0.25,
+        batch_size: 80,
+        late_object_fraction: 0.3,
+        late_worker_fraction: 0.25,
+    }
+    .generate();
+    let truth = scenario.truth.clone();
+    let mut expert = SimulatedExpert::perfect(truth.clone(), scenario.num_labels);
+
+    let mut session = ValidationSessionBuilder::empty(scenario.num_labels)
+        .strategy(Box::new(HybridStrategy::new(42)))
+        .config(ProcessConfig {
+            budget: Some(20),
+            ..ProcessConfig::default()
+        })
+        .ground_truth(truth)
+        .build();
+
+    let snapshot = session
+        .ingest(&scenario.initial)
+        .expect("initial snapshot ingests");
+    println!(
+        "snapshot: {} votes | {} objects, {} workers | H(P) = {:.2}",
+        snapshot.votes_ingested, snapshot.new_objects, snapshot.new_workers, snapshot.uncertainty
+    );
+
+    println!("\n      batch |    votes | +objects | +workers |  EM it | dirty H-cache |   H(P)  | precision");
+    for (i, batch) in scenario.batches.iter().enumerate() {
+        let update = session.ingest(batch).expect("stream batches ingest");
+        println!(
+            "  arrival {i:>2} | {:>8} | {:>8} | {:>8} | {:>6} | {:>13} | {:>7.2} | {:>9.3}",
+            update.votes_ingested,
+            update.new_objects,
+            update.new_workers,
+            update.em_iterations,
+            update.invalidated_entries,
+            update.uncertainty,
+            session.precision().unwrap_or(f64::NAN),
+        );
+
+        // The expert validates two objects between arrival batches — the
+        // interleaving a live platform actually sees.
+        for _ in 0..2 {
+            if session.is_finished() {
+                break;
+            }
+            let Some(object) = session.select_next() else {
+                break;
+            };
+            let label = expert.validate(object);
+            session.integrate(object, label);
+            println!(
+                "  validate   | {object:>8} | {:>8} | {:>8} | {:>6} | {:>13} | {:>7.2} | {:>9.3}",
+                "-",
+                "-",
+                session.current().em_iterations(),
+                "-",
+                session.uncertainty(),
+                session.precision().unwrap_or(f64::NAN),
+            );
+        }
+    }
+
+    let trace = session.trace();
+    println!(
+        "\nfinal: {} objects, {} workers, {} votes ingested | {} validations | precision {:.3} (started {:.3})",
+        session.answers().num_objects(),
+        session.answers().num_workers(),
+        session.votes_ingested(),
+        trace.len(),
+        session.precision().unwrap_or(f64::NAN),
+        trace.initial_precision.unwrap_or(f64::NAN),
+    );
+    assert!(
+        session.expert().count() <= 20,
+        "budget must cap expert effort"
+    );
+}

@@ -73,19 +73,20 @@ pub mod prelude {
         IncrementalEm, InitStrategy, MajorityVoting, ScoringMode,
     };
     pub use crowdval_core::{
-        partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, ExpertSource,
-        HybridStrategy, ProcessConfig, RandomSelection, ScoringContext, ScoringEngine,
-        SelectionStrategy, StrategyContext, StrategyKind, UncertaintyDriven, ValidationGoal,
-        ValidationProcess, ValidationTrace, WorkerDriven,
+        partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, EntropyShortlist,
+        ExpertSource, HybridStrategy, ProcessConfig, RandomSelection, ScoringContext,
+        ScoringEngine, SelectionStrategy, SessionUpdate, StrategyContext, StrategyKind,
+        UncertaintyDriven, ValidationGoal, ValidationProcess, ValidationSession,
+        ValidationSessionBuilder, ValidationTrace, WorkerDriven,
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,
         DeterministicAssignment, ExpertValidation, GroundTruth, HypothesisOverlay, LabelId,
-        ObjectId, ProbabilisticAnswerSet, ValidationView, WorkerId,
+        ObjectId, ProbabilisticAnswerSet, ValidationView, Vote, WorkerId,
     };
     pub use crowdval_sim::{
-        all_replicas, replica, PopulationMix, ReplicaName, SimulatedExpert, SyntheticConfig,
-        SyntheticDataset, WorkerKind, WorkerProfile,
+        all_replicas, replica, PopulationMix, ReplicaName, SimulatedExpert, StreamingConfig,
+        StreamingScenario, SyntheticConfig, SyntheticDataset, WorkerKind, WorkerProfile,
     };
     pub use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler, SpammerDetector};
 }

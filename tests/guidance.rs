@@ -36,6 +36,7 @@ fn selection_sequence(parallel: bool, mode: ScoringMode, steps: usize) -> Vec<Ob
             detector: &detector,
             candidates: &candidates,
             parallel,
+            entropy_cache: None,
         };
         let Some(object) = strategy.select(&ctx) else {
             break;
@@ -101,6 +102,7 @@ fn delta_and_exact_information_gain_rankings_agree() {
         aggregator: &aggregator,
         detector: &detector,
         parallel: false,
+        entropy_cache: None,
     };
 
     let exact_scores = ScoringEngine::exhaustive()
