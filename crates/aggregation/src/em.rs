@@ -647,6 +647,13 @@ impl Aggregator for BatchEm {
     fn name(&self) -> &'static str {
         "batch-em"
     }
+
+    fn snapshot_state(&self) -> Option<crate::AggregatorState> {
+        Some(crate::AggregatorState::BatchEm {
+            config: self.config,
+            init: self.init,
+        })
+    }
 }
 
 /// Convenience helper used by examples and tests: batch EM without any expert

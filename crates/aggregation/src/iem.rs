@@ -52,6 +52,11 @@ impl IncrementalEm {
         &self.config
     }
 
+    /// The configured cold-start initialization.
+    pub fn cold_start_strategy(&self) -> InitStrategy {
+        self.cold_start
+    }
+
     /// The explicit warm start at the heart of i-EM: estimation resumes from
     /// the confusion matrices and priors of the previous probabilistic answer
     /// set (`C⁰_s = C^q_{s−1}`, view-maintenance principle). Falls back to a
@@ -206,6 +211,13 @@ impl Aggregator for IncrementalEm {
 
     fn name(&self) -> &'static str {
         "i-em"
+    }
+
+    fn snapshot_state(&self) -> Option<crate::AggregatorState> {
+        Some(crate::AggregatorState::IncrementalEm {
+            config: self.config,
+            cold_start: self.cold_start,
+        })
     }
 }
 

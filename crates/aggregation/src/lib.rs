@@ -142,4 +142,46 @@ pub trait Aggregator: Send + Sync {
 
     /// Human-readable name used in experiment reports.
     fn name(&self) -> &'static str;
+
+    /// Serializable configuration state for session snapshots, when this
+    /// aggregator supports checkpointing. All built-in aggregators do;
+    /// custom implementations may return `None`, in which case sessions
+    /// using them refuse to snapshot (with a typed error, not a panic).
+    fn snapshot_state(&self) -> Option<AggregatorState> {
+        None
+    }
+}
+
+/// Serializable description of a built-in aggregator: everything needed to
+/// rebuild the trait object on snapshot restore. The built-in aggregators
+/// are stateless between calls (all estimation state lives in the
+/// [`crowdval_model::ProbabilisticAnswerSet`] threaded through the session),
+/// so configuration alone reproduces their behaviour bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AggregatorState {
+    /// [`IncrementalEm`] with its hyper-parameters and cold-start policy.
+    IncrementalEm {
+        config: EmConfig,
+        cold_start: InitStrategy,
+    },
+    /// [`BatchEm`] with its hyper-parameters and initialization.
+    BatchEm {
+        config: EmConfig,
+        init: InitStrategy,
+    },
+    /// [`MajorityVoting`] (configuration-free).
+    MajorityVoting,
+}
+
+impl AggregatorState {
+    /// Rebuilds the described aggregator.
+    pub fn into_aggregator(self) -> Box<dyn Aggregator> {
+        match self {
+            AggregatorState::IncrementalEm { config, cold_start } => {
+                Box::new(IncrementalEm::with_cold_start(config, cold_start))
+            }
+            AggregatorState::BatchEm { config, init } => Box::new(BatchEm::with_init(config, init)),
+            AggregatorState::MajorityVoting => Box::new(MajorityVoting),
+        }
+    }
 }

@@ -70,6 +70,10 @@ impl Aggregator for MajorityVoting {
     fn name(&self) -> &'static str {
         "majority-voting"
     }
+
+    fn snapshot_state(&self) -> Option<crate::AggregatorState> {
+        Some(crate::AggregatorState::MajorityVoting)
+    }
 }
 
 /// Free-function convenience wrapper around [`MajorityVoting::vote`].

@@ -141,7 +141,9 @@ fn main() {
         .ingest(&scenario.initial)
         .expect("initial snapshot ingests");
     for &o in &anchor_objects {
-        session.integrate(o, truth.label(o));
+        session
+            .integrate(o, truth.label(o))
+            .expect("truth labels are in range");
     }
     let mut inc_walls = Vec::new();
     let mut batch_votes = Vec::new();

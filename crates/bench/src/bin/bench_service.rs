@@ -1,0 +1,260 @@
+//! Service-layer benchmark: measures the request throughput/latency of the
+//! [`crowdval_service::ValidationService`] front door — vote submission,
+//! guidance and snapshotting — and records the result as
+//! `BENCH_service.json` so the cost of the protocol boundary (external-id
+//! interning, envelope dispatch, snapshot serialization) is a tracked
+//! number rather than a claim.
+//!
+//! The scenario mirrors `bench_ingest`'s paper-default stream (same corpus
+//! scale, single-threaded) so the headline numbers are comparable: a
+//! guidance request through the service should cost what a
+//! `select_next` costs in-process, give or take the boundary overhead.
+//!
+//! Usage: `bench_service [--quick] [--check] [--out <path>] [--ingest <path>]`
+//!
+//! `--quick` trims the repetition counts for CI smoke runs; `--check` exits
+//! non-zero when the guidance p50 through the service regresses to more
+//! than 2x the in-process guidance latency recorded in the committed
+//! `BENCH_ingest.json` (the CI `service-smoke` gate).
+
+use crowdval_service::{
+    ClientVote, Request, RequestEnvelope, Response, StrategyChoice, TaskConfig, ValidationService,
+};
+use crowdval_sim::{StreamingConfig, SyntheticConfig};
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+
+const LABELS: [&str; 2] = ["neg", "pos"];
+const TASK: &str = "bench";
+
+/// The slice of `BENCH_ingest.json` the regression gate reads.
+#[derive(Debug, Deserialize)]
+struct IngestReference {
+    guidance_latency_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct PathReport {
+    requests: usize,
+    requests_per_sec: f64,
+    p50_ms: f64,
+    mean_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scenario: String,
+    total_votes: usize,
+    batches: usize,
+    final_objects: usize,
+    final_workers: usize,
+    /// `SubmitVotes` envelopes (one per arrival batch).
+    submit: PathReport,
+    /// Votes absorbed per second across all submit requests.
+    submit_votes_per_sec: f64,
+    /// `RequestGuidance` + `SubmitValidation` pairs on the grown corpus.
+    guidance: PathReport,
+    /// `Snapshot` requests on the grown corpus (serialization included).
+    snapshot: PathReport,
+    /// In-process guidance latency from `BENCH_ingest.json`, when present.
+    ingest_guidance_latency_ms: Option<f64>,
+    /// `guidance.p50_ms / ingest_guidance_latency_ms` — the boundary
+    /// overhead factor the `--check` gate bounds at 2x.
+    guidance_overhead_factor: Option<f64>,
+}
+
+fn path_report(walls_ms: &mut [f64]) -> PathReport {
+    let mean = walls_ms.iter().sum::<f64>() / walls_ms.len().max(1) as f64;
+    walls_ms.sort_by(f64::total_cmp);
+    let p50 = walls_ms
+        .get(walls_ms.len() / 2)
+        .copied()
+        .unwrap_or(f64::NAN);
+    PathReport {
+        requests: walls_ms.len(),
+        requests_per_sec: 1000.0 / mean.max(1e-12),
+        p50_ms: p50,
+        mean_ms: mean,
+    }
+}
+
+fn send(service: &mut ValidationService, request: Request) -> Response {
+    service
+        .handle(&RequestEnvelope::v1(request))
+        .expect("benchmark requests are well-formed")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let out_path = flag("--out").unwrap_or_else(|| "BENCH_service.json".to_string());
+    let ingest_path = flag("--ingest").unwrap_or_else(|| "BENCH_ingest.json".to_string());
+
+    // Same corpus scale as the committed full bench_ingest run, so the
+    // guidance comparison is apples-to-apples; --quick only trims the
+    // repetition counts.
+    let (guidance_rounds, snapshot_rounds) = if quick { (6, 10) } else { (15, 30) };
+    let scenario = StreamingConfig {
+        base: SyntheticConfig {
+            num_objects: 150,
+            num_workers: 32,
+            ..SyntheticConfig::paper_default(91000)
+        },
+        initial_fraction: 0.3,
+        batch_size: 100,
+        late_object_fraction: 0.25,
+        late_worker_fraction: 0.2,
+    }
+    .generate();
+    let truth = scenario.truth.clone();
+    let rename = |votes: &[crowdval_model::Vote]| -> Vec<ClientVote> {
+        votes
+            .iter()
+            .map(|v| ClientVote {
+                worker: format!("w{}", v.worker.index()),
+                object: format!("obj{}", v.object.index()),
+                label: LABELS[v.label.index()].to_string(),
+            })
+            .collect()
+    };
+
+    let mut service = ValidationService::new();
+    send(
+        &mut service,
+        Request::CreateTask {
+            task: TASK.into(),
+            labels: LABELS.iter().map(|&l| l.to_string()).collect(),
+            // Mirror bench_ingest's in-process configuration (uncertainty
+            // guidance, shortlist 16, two validation anchors) so the p50
+            // comparison isolates the protocol boundary, not config drift.
+            config: TaskConfig {
+                strategy: StrategyChoice::UncertaintyDriven,
+                seed: 7,
+                shortlist: Some(16),
+                ..TaskConfig::default()
+            },
+        },
+    );
+
+    // --- SubmitVotes: the whole arrival schedule, one envelope per batch.
+    let mut submit_walls: Vec<f64> = Vec::new();
+    let mut total_votes = 0usize;
+    let mut all_batches = vec![rename(&scenario.initial)];
+    all_batches.extend(scenario.batches.iter().map(|b| rename(b)));
+    let mut anchored = false;
+    for batch in &all_batches {
+        total_votes += batch.len();
+        let start = Instant::now();
+        send(
+            &mut service,
+            Request::SubmitVotes {
+                task: TASK.into(),
+                votes: batch.clone(),
+            },
+        );
+        submit_walls.push(start.elapsed().as_secs_f64() * 1000.0);
+        if !anchored {
+            // Two truth-label anchors right after the initial snapshot, like
+            // bench_ingest — below two validations the hypothesis scorer
+            // falls back to the exact path and the comparison would measure
+            // that, not the boundary.
+            let mut anchor_objects: Vec<crowdval_model::ObjectId> = Vec::new();
+            for vote in &scenario.initial {
+                if !anchor_objects.contains(&vote.object) {
+                    anchor_objects.push(vote.object);
+                }
+                if anchor_objects.len() == 2 {
+                    break;
+                }
+            }
+            for o in anchor_objects {
+                send(
+                    &mut service,
+                    Request::SubmitValidation {
+                        task: TASK.into(),
+                        object: format!("obj{}", o.index()),
+                        label: LABELS[truth.label(o).index()].to_string(),
+                    },
+                );
+            }
+            anchored = true;
+        }
+    }
+    let submit_wall_total: f64 = submit_walls.iter().sum();
+
+    // --- Guidance on the fully grown, anchored corpus: the latency the
+    // expert waits on (bench_ingest measures the same point in-process).
+    let mut guidance_walls: Vec<f64> = Vec::new();
+    for _ in 0..guidance_rounds {
+        let start = Instant::now();
+        let reply = send(&mut service, Request::RequestGuidance { task: TASK.into() });
+        guidance_walls.push(start.elapsed().as_secs_f64() * 1000.0);
+        let Response::Guidance {
+            object: Some(_), ..
+        } = reply
+        else {
+            break;
+        };
+    }
+
+    // --- Snapshot: checkpoint the grown task repeatedly.
+    let mut snapshot_walls: Vec<f64> = Vec::new();
+    for _ in 0..snapshot_rounds {
+        let start = Instant::now();
+        send(&mut service, Request::Snapshot { task: TASK.into() });
+        snapshot_walls.push(start.elapsed().as_secs_f64() * 1000.0);
+    }
+
+    let ingest_reference: Option<f64> = std::fs::read_to_string(&ingest_path)
+        .ok()
+        .and_then(|text| serde_json::from_str::<IngestReference>(&text).ok())
+        .map(|r| r.guidance_latency_ms);
+
+    let guidance = path_report(&mut guidance_walls);
+    let overhead = ingest_reference.map(|ms| guidance.p50_ms / ms);
+    let report = BenchReport {
+        scenario: "paper-default stream, seed 91000, single-threaded, through the service"
+            .to_string(),
+        total_votes,
+        batches: all_batches.len(),
+        final_objects: scenario.synth.dataset.answers().num_objects(),
+        final_workers: scenario.synth.dataset.answers().num_workers(),
+        submit: path_report(&mut submit_walls),
+        submit_votes_per_sec: total_votes as f64 / (submit_wall_total / 1000.0).max(1e-12),
+        guidance,
+        snapshot: path_report(&mut snapshot_walls),
+        ingest_guidance_latency_ms: ingest_reference,
+        guidance_overhead_factor: overhead,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("report written");
+    println!("{json}");
+
+    if check {
+        match overhead {
+            Some(factor) if factor > 2.0 => {
+                eprintln!(
+                    "FAIL: guidance p50 through the service is {factor:.2}x the in-process \
+                     latency recorded in {ingest_path} (gate: 2x)"
+                );
+                std::process::exit(1);
+            }
+            Some(factor) => {
+                println!("check passed: guidance overhead factor {factor:.2} <= 2x");
+            }
+            None => {
+                eprintln!(
+                    "WARN: {ingest_path} missing or unreadable; skipping the guidance \
+                     regression gate"
+                );
+            }
+        }
+    }
+}

@@ -48,7 +48,9 @@ pub fn fig05_integration_modes() -> Report {
             break;
         };
         let label = expert.validate(object);
-        process.integrate(object, label);
+        process
+            .integrate(object, label)
+            .expect("simulated labels are in range");
         if step % (n / 20).max(1) == 0 {
             let separate = process.precision().unwrap();
             let combined_state =
@@ -92,7 +94,9 @@ pub fn fig06_probability_histogram() -> Report {
             .build();
         let mut expert = SimulatedExpert::perfect(truth.clone(), 2);
         let mut provide = |o: ObjectId| expert.validate(o);
-        process.run(&mut provide);
+        process
+            .run(&mut provide)
+            .expect("simulated labels are in range");
         let mut histogram = Histogram::new(0.0, 1.0, 10);
         for (o, correct) in truth.iter() {
             histogram.add(process.current().assignment().prob(o, correct));

@@ -139,7 +139,9 @@ pub fn run_guided(
         settings.mistake_probability,
         settings.seed ^ 0x9e37_79b9,
     );
-    process.run(&mut expert);
+    process
+        .run(&mut expert)
+        .expect("simulated labels are in range");
     (process.trace().clone(), expert.erred_on)
 }
 

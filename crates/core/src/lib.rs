@@ -43,6 +43,7 @@ pub mod process;
 pub mod scoring;
 pub mod session;
 pub mod shortlist;
+pub mod snapshot;
 pub mod strategy;
 pub mod uncertainty;
 
@@ -56,8 +57,9 @@ pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProc
 pub use scoring::{ScoringContext, ScoringEngine, ScoringMode};
 pub use session::{SessionUpdate, ValidationSession, ValidationSessionBuilder};
 pub use shortlist::EntropyShortlist;
+pub use snapshot::{SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
-    StrategyKind, UncertaintyDriven, ValidationObservation, WorkerDriven,
+    StrategyKind, StrategyState, UncertaintyDriven, ValidationObservation, WorkerDriven,
 };
 pub use uncertainty::{conditional_entropy, information_gain, total_uncertainty};

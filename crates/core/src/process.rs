@@ -128,7 +128,22 @@ impl ValidationProcessBuilder {
         self
     }
 
+    /// Builds the process and runs the initial aggregation, validating
+    /// label-count consistency between the answer set, the ground truth and
+    /// the configured goal up front (see
+    /// [`crate::session::ValidationSessionBuilder::try_build`]).
+    pub fn try_build(self) -> Result<ValidationProcess, crowdval_model::ModelError> {
+        Ok(ValidationProcess {
+            session: self.inner.try_build()?,
+        })
+    }
+
     /// Builds the process and runs the initial aggregation.
+    ///
+    /// # Panics
+    /// Panics when the parts are inconsistent (see
+    /// [`ValidationProcessBuilder::try_build`] for the non-panicking
+    /// variant).
     pub fn build(self) -> ValidationProcess {
         ValidationProcess {
             session: self.inner.build(),
@@ -250,8 +265,14 @@ impl ValidationProcess {
     /// Steps (2)–(4) of the validation process: integrates the expert's
     /// label for `object`, updates worker exclusions, re-aggregates and
     /// records a trace step. Returns the objects flagged by the confirmation
-    /// check (empty when the check is disabled or not due).
-    pub fn integrate(&mut self, object: ObjectId, label: LabelId) -> Vec<ObjectId> {
+    /// check (empty when the check is disabled or not due). Out-of-range
+    /// objects and labels are rejected with a typed error instead of
+    /// panicking.
+    pub fn integrate(
+        &mut self,
+        object: ObjectId,
+        label: LabelId,
+    ) -> Result<Vec<ObjectId>, crowdval_model::ModelError> {
         self.session.integrate(object, label)
     }
 
@@ -264,14 +285,28 @@ impl ValidationProcess {
 
     /// Replaces a previously given validation after the expert reconsidered a
     /// flagged object. Counts as one additional unit of expert effort.
-    pub fn revalidate(&mut self, object: ObjectId, label: LabelId) {
+    pub fn revalidate(
+        &mut self,
+        object: ObjectId,
+        label: LabelId,
+    ) -> Result<(), crowdval_model::ModelError> {
         self.session.revalidate(object, label)
+    }
+
+    /// Checkpoints the underlying session
+    /// (see [`ValidationSession::snapshot`]).
+    pub fn snapshot(&self) -> Result<crate::snapshot::SessionSnapshot, crowdval_model::ModelError> {
+        self.session.snapshot()
     }
 
     /// Batch mode: runs the validation loop against an expert source until
     /// the goal is reached, the budget is exhausted, or every object has been
-    /// validated. Returns the trace.
-    pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
+    /// validated. Returns the trace. Fails when the expert source hands back
+    /// an out-of-range label.
+    pub fn run(
+        &mut self,
+        expert_source: &mut dyn ExpertSource,
+    ) -> Result<&ValidationTrace, crowdval_model::ModelError> {
         self.session.run(expert_source)
     }
 }
@@ -317,7 +352,7 @@ mod tests {
         for _ in 0..10 {
             let o = process.select_next().expect("candidates remain");
             let l = expert.validate(o);
-            process.integrate(o, l);
+            process.integrate(o, l).unwrap();
         }
         assert_eq!(process.iterations(), 10);
         assert_eq!(process.trace().len(), 10);
@@ -347,7 +382,7 @@ mod tests {
             .ground_truth(synth.dataset.ground_truth().clone())
             .build();
         let mut source = OracleSource(oracle(&synth));
-        let trace = process.run(&mut source);
+        let trace = process.run(&mut source).unwrap();
         assert_eq!(trace.final_precision(), Some(1.0));
         // Guided validation should not need to validate every single object.
         assert!(trace.len() <= 30);
@@ -365,7 +400,7 @@ mod tests {
             .ground_truth(synth.dataset.ground_truth().clone())
             .build();
         let mut source = OracleSource(oracle(&synth));
-        let steps = process.run(&mut source).len();
+        let steps = process.run(&mut source).unwrap().len();
         assert_eq!(steps, 7);
         assert!(process.is_finished());
     }
@@ -381,7 +416,7 @@ mod tests {
             })
             .build();
         let mut source = OracleSource(oracle(&synth));
-        let steps = process.run(&mut source).len();
+        let steps = process.run(&mut source).unwrap().len();
         assert!(process.uncertainty() <= 1.0 || steps == 30);
     }
 
@@ -431,7 +466,7 @@ mod tests {
             truth: truth.clone(),
             calls: 0,
         };
-        process.run(&mut source);
+        process.run(&mut source).unwrap();
         // Every validated object ends up with the correct label despite the
         // injected mistake.
         for (o, l) in process.expert().iter() {
@@ -453,7 +488,7 @@ mod tests {
         let mut expert = oracle(&synth);
         while let Some(o) = process.select_next() {
             let l = expert.validate(o);
-            process.integrate(o, l);
+            process.integrate(o, l).unwrap();
         }
         assert_eq!(process.expert().count(), 5);
         assert!(process.is_finished());
@@ -478,7 +513,7 @@ mod tests {
             .ground_truth(synth.dataset.ground_truth().clone())
             .build();
         let mut source = OracleSource(oracle(&synth));
-        process.run(&mut source);
+        process.run(&mut source).unwrap();
         // With 35 % spammers and the worker-driven strategy, at least one
         // worker should have been excluded at some point.
         let max_excluded = process
@@ -504,7 +539,7 @@ mod tests {
             .ground_truth(truth.clone())
             .build();
         let o = process.select_next().unwrap();
-        process.integrate(o, truth.label(o));
+        process.integrate(o, truth.label(o)).unwrap();
         // Switch to streaming: a brand-new object arrives with a few votes.
         let new_object = ObjectId(process.answers().num_objects());
         let votes: Vec<crowdval_model::Vote> = (0..3)

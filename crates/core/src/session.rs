@@ -32,6 +32,7 @@ use crate::metrics::{ValidationStep, ValidationTrace};
 use crate::process::{ExpertSource, ProcessConfig};
 use crate::scoring::ScoringContext;
 use crate::shortlist::EntropyShortlist;
+use crate::snapshot::SessionSnapshot;
 use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
 use crowdval_aggregation::Aggregator;
 use crowdval_model::{
@@ -129,16 +130,80 @@ impl ValidationSessionBuilder {
         self
     }
 
-    /// Builds the session and runs the initial aggregation.
-    pub fn build(self) -> ValidationSession {
-        ValidationSession::new(
+    /// Builds the session and runs the initial aggregation, after checking
+    /// that the parts agree with each other — label-count consistency
+    /// between the answer set, the ground truth and the configured goal is
+    /// verified *here*, not deep inside the first aggregation (or worse,
+    /// the first validation that touches the inconsistent object).
+    ///
+    /// Checks performed:
+    ///
+    /// * every ground-truth label is inside the answer set's label space
+    ///   (otherwise a simulated expert would eventually feed an
+    ///   out-of-range label into [`ValidationSession::integrate`]);
+    /// * [`crate::goal::ValidationGoal::TargetPrecision`] is a finite value
+    ///   in `[0, 1]` and a ground truth is attached (without one the goal
+    ///   can never be evaluated and the run would only stop on budget);
+    /// * [`crate::goal::ValidationGoal::MaxUncertainty`] is finite and
+    ///   non-negative.
+    pub fn try_build(self) -> Result<ValidationSession, ModelError> {
+        let num_labels = self.answers.num_labels();
+        if let Some(truth) = &self.ground_truth {
+            if let Some(max_label) = truth.max_label_index() {
+                if max_label >= num_labels {
+                    return Err(ModelError::LabelOutOfRange {
+                        label: max_label,
+                        num_labels,
+                    });
+                }
+            }
+        }
+        match self.config.goal {
+            crate::goal::ValidationGoal::TargetPrecision(target) => {
+                if !(0.0..=1.0).contains(&target) {
+                    return Err(ModelError::InvalidConfig {
+                        message: format!("target precision {target} outside [0, 1]"),
+                    });
+                }
+                if self.ground_truth.is_none() {
+                    return Err(ModelError::InvalidConfig {
+                        message: "TargetPrecision goal requires a ground truth \
+                                  (evaluation mode); without one the goal can never \
+                                  be satisfied"
+                            .to_string(),
+                    });
+                }
+            }
+            crate::goal::ValidationGoal::MaxUncertainty(threshold) => {
+                if !threshold.is_finite() || threshold < 0.0 {
+                    return Err(ModelError::InvalidConfig {
+                        message: format!(
+                            "uncertainty threshold {threshold} must be finite and ≥ 0"
+                        ),
+                    });
+                }
+            }
+            crate::goal::ValidationGoal::ExhaustBudget => {}
+        }
+        Ok(ValidationSession::new(
             self.answers,
             self.aggregator,
             self.strategy,
             self.detector,
             self.config,
             self.ground_truth,
-        )
+        ))
+    }
+
+    /// Builds the session and runs the initial aggregation.
+    ///
+    /// # Panics
+    /// Panics when the parts are inconsistent (see
+    /// [`ValidationSessionBuilder::try_build`] for the checks and the
+    /// non-panicking variant).
+    pub fn build(self) -> ValidationSession {
+        self.try_build()
+            .unwrap_or_else(|e| panic!("invalid validation session: {e}"))
     }
 }
 
@@ -442,7 +507,17 @@ impl ValidationSession {
     /// label for `object`, updates worker exclusions, re-aggregates and
     /// records a trace step. Returns the objects flagged by the confirmation
     /// check (empty when the check is disabled or not due).
-    pub fn integrate(&mut self, object: ObjectId, label: LabelId) -> Vec<ObjectId> {
+    ///
+    /// Out-of-range objects and labels are rejected up front with a typed
+    /// error — the session state is untouched by a failed call. (They used
+    /// to panic deep inside the posterior lookup; a service front-end must
+    /// be able to refuse a malformed validation without dying.)
+    pub fn integrate(
+        &mut self,
+        object: ObjectId,
+        label: LabelId,
+    ) -> Result<Vec<ObjectId>, ModelError> {
+        self.check_validation_target(object, label)?;
         self.iteration += 1;
         // Error rate of the previous estimate on the validated object
         // (Algorithm 1 line 10).
@@ -480,12 +555,30 @@ impl ValidationSession {
 
         // Confirmation check for erroneous validations (§5.5), fanned out
         // through the scoring engine like every other hypothesis sweep.
-        match self.config.confirmation_check {
+        Ok(match self.config.confirmation_check {
             Some(check) if check.is_due(self.iteration) => {
                 check.flag_suspicious_in(&self.scoring_context())
             }
             _ => Vec::new(),
+        })
+    }
+
+    /// Range-checks a `(object, label)` validation against the session's
+    /// current id spaces.
+    fn check_validation_target(&self, object: ObjectId, label: LabelId) -> Result<(), ModelError> {
+        if object.index() >= self.answers.num_objects() {
+            return Err(ModelError::ObjectOutOfRange {
+                object: object.index(),
+                num_objects: self.answers.num_objects(),
+            });
         }
+        if label.index() >= self.answers.num_labels() {
+            return Err(ModelError::LabelOutOfRange {
+                label: label.index(),
+                num_labels: self.answers.num_labels(),
+            });
+        }
+        Ok(())
     }
 
     /// Warm full re-aggregation over the active view, diffing assignments
@@ -519,7 +612,10 @@ impl ValidationSession {
 
     /// Replaces a previously given validation after the expert reconsidered a
     /// flagged object. Counts as one additional unit of expert effort.
-    pub fn revalidate(&mut self, object: ObjectId, label: LabelId) {
+    /// Rejects out-of-range objects and labels like
+    /// [`ValidationSession::integrate`].
+    pub fn revalidate(&mut self, object: ObjectId, label: LabelId) -> Result<(), ModelError> {
+        self.check_validation_target(object, label)?;
         self.iteration += 1;
         let error_rate = 1.0 - self.current.assignment().prob(object, label);
         self.expert.set(object, label);
@@ -529,6 +625,7 @@ impl ValidationSession {
             .as_ref()
             .map_or(StrategyKind::Hybrid, |s| s.last_kind());
         self.record_step(object, label, kind, error_rate);
+        Ok(())
     }
 
     fn record_step(
@@ -555,24 +652,196 @@ impl ValidationSession {
     /// Batch mode: runs the validation loop against an expert source until
     /// the goal is reached, the budget is exhausted, or every object has been
     /// validated. Returns the trace.
-    pub fn run(&mut self, expert_source: &mut dyn ExpertSource) -> &ValidationTrace {
+    ///
+    /// Fails (leaving the session at the step that failed) when the expert
+    /// source hands back a label outside the session's label space.
+    pub fn run(
+        &mut self,
+        expert_source: &mut dyn ExpertSource,
+    ) -> Result<&ValidationTrace, ModelError> {
         while !self.is_finished() {
             let Some(object) = self.select_next() else {
                 break;
             };
             let label = expert_source.provide_label(object);
-            let flagged = self.integrate(object, label);
+            let flagged = self.integrate(object, label)?;
             for suspicious in flagged {
                 if self.is_finished() {
                     break;
                 }
                 let corrected = expert_source.reconsider(suspicious);
                 if self.expert.get(suspicious) != Some(corrected) {
-                    self.revalidate(suspicious, corrected);
+                    self.revalidate(suspicious, corrected)?;
                 }
             }
         }
-        &self.trace
+        Ok(&self.trace)
+    }
+
+    // -----------------------------------------------------------------------
+    // Snapshot / restore
+    // -----------------------------------------------------------------------
+
+    /// Checkpoints the complete session state into a serializable
+    /// [`SessionSnapshot`]. Fails with
+    /// [`ModelError::SnapshotUnsupported`] when the session was built with a
+    /// custom aggregator or strategy that does not implement state
+    /// snapshots; every built-in component does.
+    ///
+    /// A session restored from the snapshot
+    /// ([`ValidationSession::restore`]) resumes **bit-identically**: the
+    /// same selection order, the same posterior floats, the same trace as
+    /// the uninterrupted run — RNG streams of roulette-wheel strategies
+    /// included.
+    pub fn snapshot(&self) -> Result<SessionSnapshot, ModelError> {
+        let aggregator =
+            self.aggregator
+                .snapshot_state()
+                .ok_or(ModelError::SnapshotUnsupported {
+                    component: "aggregator",
+                })?;
+        let strategy = self
+            .strategy
+            .as_ref()
+            .expect("strategy always present outside select")
+            .snapshot_state()
+            .ok_or(ModelError::SnapshotUnsupported {
+                component: "selection strategy",
+            })?;
+        Ok(SessionSnapshot {
+            format_version: crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+            answers: self.answers.clone(),
+            expert: self.expert.clone(),
+            handler: self.handler.clone(),
+            detector: *self.detector.config(),
+            config: self.config,
+            ground_truth: self.ground_truth.clone(),
+            current: self.current.clone(),
+            trace: self.trace.clone(),
+            iteration: self.iteration,
+            votes_ingested: self.votes_ingested,
+            answers_at_last_cold: self.answers_at_last_cold,
+            aggregator,
+            strategy,
+        })
+    }
+
+    /// Rebuilds a session from a [`SessionSnapshot`], validating that the
+    /// snapshot's parts agree with each other before touching anything. The
+    /// restored session continues exactly where the snapshotted one left
+    /// off — no re-aggregation happens on restore; the stored posterior *is*
+    /// the warm-start state.
+    pub fn restore(snapshot: SessionSnapshot) -> Result<ValidationSession, ModelError> {
+        if snapshot.format_version != crate::snapshot::SNAPSHOT_FORMAT_VERSION {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "snapshot format v{} not supported (this build reads v{})",
+                    snapshot.format_version,
+                    crate::snapshot::SNAPSHOT_FORMAT_VERSION
+                ),
+            });
+        }
+        let answers = snapshot.answers;
+        if snapshot.current.num_objects() != answers.num_objects()
+            || snapshot.current.num_workers() != answers.num_workers()
+            || snapshot.current.num_labels() != answers.num_labels()
+        {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "posterior shape {}x{}x{} does not match the answer set's {}x{}x{}",
+                    snapshot.current.num_objects(),
+                    snapshot.current.num_workers(),
+                    snapshot.current.num_labels(),
+                    answers.num_objects(),
+                    answers.num_workers(),
+                    answers.num_labels(),
+                ),
+            });
+        }
+        if snapshot.expert.num_objects() != answers.num_objects() {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "expert domain covers {} objects, answer set has {}",
+                    snapshot.expert.num_objects(),
+                    answers.num_objects()
+                ),
+            });
+        }
+        for (_, label) in snapshot.expert.iter() {
+            if label.index() >= answers.num_labels() {
+                return Err(ModelError::LabelOutOfRange {
+                    label: label.index(),
+                    num_labels: answers.num_labels(),
+                });
+            }
+        }
+        if let Some(truth) = &snapshot.ground_truth {
+            if let Some(max_label) = truth.max_label_index() {
+                if max_label >= answers.num_labels() {
+                    return Err(ModelError::LabelOutOfRange {
+                        label: max_label,
+                        num_labels: answers.num_labels(),
+                    });
+                }
+            }
+        }
+        // Deep consistency of deserialized internals. Snapshots cross the
+        // service's trust boundary, so everything the EM kernels index into
+        // must be proven in-range here — a malformed snapshot must be a
+        // typed error, never a later panic.
+        if let Some(max_label) = answers.matrix().max_label_index() {
+            if max_label >= answers.num_labels() {
+                return Err(ModelError::LabelOutOfRange {
+                    label: max_label,
+                    num_labels: answers.num_labels(),
+                });
+            }
+        }
+        if snapshot.current.priors().len() != answers.num_labels() {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "posterior carries {} label priors, answer set has {} labels",
+                    snapshot.current.priors().len(),
+                    answers.num_labels()
+                ),
+            });
+        }
+        for (w, confusion) in snapshot.current.confusions().iter().enumerate() {
+            let m = confusion.matrix();
+            if m.rows() != answers.num_labels() || m.cols() != answers.num_labels() {
+                return Err(ModelError::InvalidSnapshot {
+                    message: format!(
+                        "worker {w}'s confusion matrix is {}x{}, expected {}x{}",
+                        m.rows(),
+                        m.cols(),
+                        answers.num_labels(),
+                        answers.num_labels()
+                    ),
+                });
+            }
+        }
+        // The active view is derived state: full stream + tombstones.
+        let mut active_answers = answers.clone();
+        active_answers.set_excluded_workers(&snapshot.handler.excluded());
+        let mut shortlist = EntropyShortlist::new();
+        shortlist.ensure_len(answers.num_objects());
+        Ok(ValidationSession {
+            answers,
+            active_answers,
+            aggregator: snapshot.aggregator.into_aggregator(),
+            strategy: Some(snapshot.strategy.into_strategy()),
+            detector: SpammerDetector::new(snapshot.detector),
+            handler: snapshot.handler,
+            config: snapshot.config,
+            ground_truth: snapshot.ground_truth,
+            expert: snapshot.expert,
+            current: snapshot.current,
+            shortlist,
+            trace: snapshot.trace,
+            iteration: snapshot.iteration,
+            votes_ingested: snapshot.votes_ingested,
+            answers_at_last_cold: snapshot.answers_at_last_cold,
+        })
     }
 }
 
@@ -669,7 +938,7 @@ mod tests {
         // Two validations before the rest of the stream arrives.
         for _ in 0..2 {
             let o = session.select_next().expect("candidates exist");
-            session.integrate(o, truth.label(o));
+            session.integrate(o, truth.label(o)).unwrap();
         }
         let before = session.answers().num_objects();
         let update = session.ingest(rest).unwrap();
@@ -704,6 +973,187 @@ mod tests {
         let update = session.ingest(&[]).unwrap();
         assert_eq!(update.votes_ingested, 0);
         assert_eq!(update.touched_objects, Vec::<ObjectId>::new());
+    }
+
+    #[test]
+    fn integrate_rejects_out_of_range_targets_without_mutation() {
+        let synth = reliable_synth(61, 8);
+        let mut session = ValidationSessionBuilder::new(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        let before = session.current().clone();
+        assert!(matches!(
+            session.integrate(ObjectId(99), LabelId(0)),
+            Err(ModelError::ObjectOutOfRange { .. })
+        ));
+        assert!(matches!(
+            session.integrate(ObjectId(0), LabelId(9)),
+            Err(ModelError::LabelOutOfRange { .. })
+        ));
+        assert!(matches!(
+            session.revalidate(ObjectId(99), LabelId(0)),
+            Err(ModelError::ObjectOutOfRange { .. })
+        ));
+        // Nothing moved: no iteration counted, no trace step, same posterior.
+        assert_eq!(session.iterations(), 0);
+        assert_eq!(session.trace().len(), 0);
+        assert_eq!(session.expert().count(), 0);
+        assert_eq!(session.current(), &before);
+    }
+
+    #[test]
+    fn try_build_validates_label_count_consistency() {
+        use crate::goal::ValidationGoal;
+        let synth = reliable_synth(67, 8);
+        let answers = synth.dataset.answers().clone();
+
+        // Ground truth speaking a wider label space than the answer set.
+        let bad_truth = GroundTruth::new(vec![LabelId(5); answers.num_objects()]);
+        let err = ValidationSessionBuilder::new(answers.clone())
+            .ground_truth(bad_truth)
+            .try_build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ModelError::LabelOutOfRange { label: 5, .. }));
+
+        // Precision goal without a ground truth can never be evaluated.
+        let err = ValidationSessionBuilder::new(answers.clone())
+            .config(ProcessConfig {
+                goal: ValidationGoal::TargetPrecision(0.9),
+                ..ProcessConfig::default()
+            })
+            .try_build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ModelError::InvalidConfig { .. }));
+
+        // Out-of-range precision target.
+        let err = ValidationSessionBuilder::new(answers.clone())
+            .config(ProcessConfig {
+                goal: ValidationGoal::TargetPrecision(1.5),
+                ..ProcessConfig::default()
+            })
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .try_build()
+            .err()
+            .expect("expected a build error");
+        assert!(matches!(err, ModelError::InvalidConfig { .. }));
+
+        // A consistent configuration builds.
+        assert!(ValidationSessionBuilder::new(answers)
+            .ground_truth(synth.dataset.ground_truth().clone())
+            .try_build()
+            .is_ok());
+    }
+
+    #[test]
+    fn snapshot_restore_resumes_bit_identically_mid_run() {
+        let synth = reliable_synth(71, 20);
+        let answers = synth.dataset.answers().clone();
+        let truth = synth.dataset.ground_truth().clone();
+        let votes = votes_of(&answers);
+        let (first, rest) = votes.split_at(votes.len() * 2 / 3);
+
+        // The hybrid strategy exercises the RNG checkpoint.
+        let build = || {
+            ValidationSessionBuilder::empty(2)
+                .strategy(Box::new(crate::strategy::HybridStrategy::new(13)))
+                .ground_truth(truth.clone())
+                .build()
+        };
+        let drive = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            for _ in 0..3 {
+                let o = session.select_next().expect("candidates exist");
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        // Uninterrupted reference run.
+        let mut reference = build();
+        let mut ref_picks = Vec::new();
+        reference.ingest(first).unwrap();
+        drive(&mut reference, &mut ref_picks);
+        reference.ingest(rest).unwrap();
+        drive(&mut reference, &mut ref_picks);
+
+        // Interrupted run: snapshot after the first drive, restore, continue.
+        let mut session = build();
+        let mut picks = Vec::new();
+        session.ingest(first).unwrap();
+        drive(&mut session, &mut picks);
+        let snapshot = session.snapshot().unwrap();
+        drop(session);
+        let mut restored = ValidationSession::restore(snapshot).unwrap();
+        restored.ingest(rest).unwrap();
+        drive(&mut restored, &mut picks);
+
+        assert_eq!(picks, ref_picks, "selection order diverged after restore");
+        assert_eq!(
+            restored.current(),
+            reference.current(),
+            "posterior diverged after restore"
+        );
+        assert_eq!(restored.trace(), reference.trace());
+        assert_eq!(restored.iterations(), reference.iterations());
+        assert_eq!(restored.votes_ingested(), reference.votes_ingested());
+    }
+
+    #[test]
+    fn restore_rejects_inconsistent_snapshots() {
+        let synth = reliable_synth(73, 10);
+        let session = ValidationSessionBuilder::new(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        let good = session.snapshot().unwrap();
+
+        let mut wrong_version = good.clone();
+        wrong_version.format_version += 1;
+        assert!(matches!(
+            ValidationSession::restore(wrong_version),
+            Err(ModelError::InvalidSnapshot { .. })
+        ));
+
+        let mut wrong_shape = good.clone();
+        wrong_shape.current = crowdval_model::ProbabilisticAnswerSet::uninformed(3, 2, 2);
+        assert!(matches!(
+            ValidationSession::restore(wrong_shape),
+            Err(ModelError::InvalidSnapshot { .. })
+        ));
+
+        let mut wrong_expert = good.clone();
+        wrong_expert.expert = ExpertValidation::empty(1);
+        assert!(matches!(
+            ValidationSession::restore(wrong_expert),
+            Err(ModelError::InvalidSnapshot { .. })
+        ));
+
+        // Deep posterior inconsistencies the EM kernels would index into.
+        let mut wrong_confusions = good.clone();
+        wrong_confusions.current = crowdval_model::ProbabilisticAnswerSet::new(
+            good.current.assignment().clone(),
+            vec![crowdval_model::ConfusionMatrix::uniform(1); good.current.num_workers()],
+            good.current.priors().to_vec(),
+            good.current.em_iterations(),
+        );
+        assert!(matches!(
+            ValidationSession::restore(wrong_confusions),
+            Err(ModelError::InvalidSnapshot { .. })
+        ));
+
+        let mut wrong_priors = good.clone();
+        wrong_priors.current = crowdval_model::ProbabilisticAnswerSet::new(
+            good.current.assignment().clone(),
+            good.current.confusions().to_vec(),
+            vec![1.0; 7],
+            good.current.em_iterations(),
+        );
+        assert!(matches!(
+            ValidationSession::restore(wrong_priors),
+            Err(ModelError::InvalidSnapshot { .. })
+        ));
+
+        assert!(ValidationSession::restore(good).is_ok());
     }
 
     #[test]

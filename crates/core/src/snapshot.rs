@@ -1,0 +1,94 @@
+//! Session checkpointing: serializable snapshots of a full
+//! [`crate::session::ValidationSession`].
+//!
+//! A [`SessionSnapshot`] captures everything a session needs to resume
+//! **bit-identically** to an uninterrupted run: the raw vote stream, the
+//! expert validation function, the worker-exclusion state, the current
+//! probabilistic answer set (so the restored session warm-starts from the
+//! exact floats the live one held), the accumulated trace and counters, and
+//! the configuration state of the aggregator and the selection strategy —
+//! RNG streams included, so even roulette-wheel strategies resume mid-draw.
+//!
+//! What is *not* stored is anything derivable: the masked active answer view
+//! is rebuilt from the vote stream plus the exclusion set, and the entropy
+//! shortlist is rebuilt dirty and recomputes its cached values from the
+//! restored posterior (the cache is bitwise-exact with respect to the
+//! posterior, so recomputation cannot drift — see [`crate::shortlist`]).
+//!
+//! Snapshots are plain serde values: ship them through `serde_json` for the
+//! service's crash-recovery path ([`crowdval-service`'s `Snapshot`/`Restore`
+//! requests) or keep them in memory for cheap forking of what-if sessions.
+
+use crate::metrics::ValidationTrace;
+use crate::process::ProcessConfig;
+use crate::strategy::StrategyState;
+use crowdval_aggregation::AggregatorState;
+use crowdval_model::{AnswerSet, ExpertValidation, GroundTruth, ProbabilisticAnswerSet};
+use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler};
+use serde::{Deserialize, Serialize};
+
+/// Version tag written into every snapshot; bumped when the layout changes
+/// so a restore can reject snapshots from an incompatible build instead of
+/// misinterpreting them.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+
+/// A complete, serializable checkpoint of a validation session. Produce one
+/// with [`crate::session::ValidationSession::snapshot`], resume with
+/// [`crate::session::ValidationSession::restore`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionSnapshot {
+    /// Snapshot layout version ([`SNAPSHOT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// The full vote stream seen so far (unmasked — exclusions live in
+    /// `handler`).
+    pub answers: AnswerSet,
+    /// Expert validations collected so far.
+    pub expert: ExpertValidation,
+    /// Worker-exclusion state (§5.3), including the audit counter.
+    pub handler: FaultyWorkerHandler,
+    /// The faulty-worker detector's thresholds.
+    pub detector: DetectorConfig,
+    /// Run-time options.
+    pub config: ProcessConfig,
+    /// Reference ground truth, when the session runs in evaluation mode.
+    pub ground_truth: Option<GroundTruth>,
+    /// The current probabilistic answer set — the warm-start seed of every
+    /// post-restore aggregation.
+    pub current: ProbabilisticAnswerSet,
+    /// The validation trace accumulated so far.
+    pub trace: ValidationTrace,
+    /// Validations performed so far.
+    pub iteration: usize,
+    /// Votes absorbed through streaming ingestion so far.
+    pub votes_ingested: usize,
+    /// Corpus size at the last cold re-anchor (the doubling trigger).
+    pub answers_at_last_cold: usize,
+    /// The aggregator's configuration state.
+    pub aggregator: AggregatorState,
+    /// The selection strategy's configuration + mutable state.
+    pub strategy: StrategyState,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        use crate::strategy::EntropyBaseline;
+        let synth = crowdval_sim::SyntheticConfig {
+            num_objects: 10,
+            ..crowdval_sim::SyntheticConfig::paper_default(21)
+        }
+        .generate();
+        let session =
+            crate::session::ValidationSessionBuilder::new(synth.dataset.answers().clone())
+                .strategy(Box::new(EntropyBaseline))
+                .build();
+        let snapshot = session.snapshot().unwrap();
+        assert_eq!(snapshot.format_version, SNAPSHOT_FORMAT_VERSION);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let reread: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        assert_eq!(snapshot, reread);
+    }
+}

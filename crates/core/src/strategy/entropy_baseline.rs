@@ -30,6 +30,10 @@ impl SelectionStrategy for EntropyBaseline {
     fn name(&self) -> &'static str {
         "entropy-baseline"
     }
+
+    fn snapshot_state(&self) -> Option<crate::strategy::StrategyState> {
+        Some(crate::strategy::StrategyState::EntropyBaseline)
+    }
 }
 
 #[cfg(test)]

@@ -55,6 +55,24 @@ impl HybridStrategy {
         self.z
     }
 
+    /// Rebuilds a hybrid strategy from snapshotted state
+    /// ([`crate::strategy::StrategyState::Hybrid`]), resuming the roulette
+    /// RNG stream mid-sequence.
+    pub(crate) fn from_state(
+        engine: crate::scoring::ScoringEngine,
+        rng_state: u64,
+        weight: f64,
+        last_kind: StrategyKind,
+    ) -> Self {
+        Self {
+            uncertainty: UncertaintyDriven::with_engine(engine),
+            worker: WorkerDriven,
+            rng: StdRng::seed_from_u64(rng_state),
+            z: weight,
+            last_kind,
+        }
+    }
+
     /// Computes the Eq. 15 score from an observation.
     pub fn weighting_score(observation: &ValidationObservation) -> f64 {
         let f = observation.coverage.clamp(0.0, 1.0);
@@ -95,6 +113,15 @@ impl SelectionStrategy for HybridStrategy {
 
     fn name(&self) -> &'static str {
         "hybrid"
+    }
+
+    fn snapshot_state(&self) -> Option<crate::strategy::StrategyState> {
+        Some(crate::strategy::StrategyState::Hybrid {
+            engine: *self.uncertainty.engine(),
+            rng_state: self.rng.state(),
+            weight: self.z,
+            last_kind: self.last_kind,
+        })
     }
 }
 

@@ -112,6 +112,68 @@ pub trait SelectionStrategy {
 
     /// Stable name used in reports.
     fn name(&self) -> &'static str;
+
+    /// Serializable state for session snapshots, when the strategy supports
+    /// checkpointing. All built-in strategies do — including their RNG
+    /// streams, so a restored session reproduces the exact selection
+    /// sequence of an uninterrupted run. Custom strategies may return
+    /// `None`, in which case the owning session refuses to snapshot (with a
+    /// typed error, not a panic).
+    fn snapshot_state(&self) -> Option<StrategyState> {
+        None
+    }
+}
+
+/// Serializable state of a built-in selection strategy: configuration plus
+/// whatever mutable state the strategy carries across selections (RNG
+/// streams, the hybrid weighting score). Restoring through
+/// [`StrategyState::into_strategy`] resumes the selection sequence
+/// bit-identically.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum StrategyState {
+    /// [`RandomSelection`] with its RNG mid-stream state.
+    Random { rng_state: u64 },
+    /// [`EntropyBaseline`] (stateless).
+    EntropyBaseline,
+    /// [`UncertaintyDriven`] with its scoring-engine configuration.
+    UncertaintyDriven {
+        engine: crate::scoring::ScoringEngine,
+    },
+    /// [`WorkerDriven`] (stateless).
+    WorkerDriven,
+    /// [`HybridStrategy`]: scoring engine, roulette RNG mid-stream state,
+    /// the current Eq. 15 weight and the branch taken last.
+    Hybrid {
+        engine: crate::scoring::ScoringEngine,
+        rng_state: u64,
+        weight: f64,
+        last_kind: StrategyKind,
+    },
+}
+
+impl StrategyState {
+    /// Rebuilds the described strategy, resuming exactly where the
+    /// snapshotted one left off.
+    pub fn into_strategy(self) -> Box<dyn SelectionStrategy> {
+        match self {
+            StrategyState::Random { rng_state } => {
+                Box::new(RandomSelection::from_rng_state(rng_state))
+            }
+            StrategyState::EntropyBaseline => Box::new(EntropyBaseline),
+            StrategyState::UncertaintyDriven { engine } => {
+                Box::new(UncertaintyDriven::with_engine(engine))
+            }
+            StrategyState::WorkerDriven => Box::new(WorkerDriven),
+            StrategyState::Hybrid {
+                engine,
+                rng_state,
+                weight,
+                last_kind,
+            } => Box::new(HybridStrategy::from_state(
+                engine, rng_state, weight, last_kind,
+            )),
+        }
+    }
 }
 
 /// Selects the argmax of a per-candidate score with deterministic tie-breaks

@@ -19,6 +19,15 @@ impl RandomSelection {
             rng: StdRng::seed_from_u64(seed),
         }
     }
+
+    /// Rebuilds a selector from a snapshotted RNG state
+    /// ([`crate::strategy::StrategyState::Random`]), resuming the draw
+    /// stream mid-sequence.
+    pub(crate) fn from_rng_state(state: u64) -> Self {
+        Self {
+            rng: StdRng::seed_from_u64(state),
+        }
+    }
 }
 
 impl SelectionStrategy for RandomSelection {
@@ -36,6 +45,12 @@ impl SelectionStrategy for RandomSelection {
 
     fn name(&self) -> &'static str {
         "random"
+    }
+
+    fn snapshot_state(&self) -> Option<crate::strategy::StrategyState> {
+        Some(crate::strategy::StrategyState::Random {
+            rng_state: self.rng.state(),
+        })
     }
 }
 

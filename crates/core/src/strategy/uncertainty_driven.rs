@@ -76,6 +76,12 @@ impl SelectionStrategy for UncertaintyDriven {
         StrategyKind::UncertaintyDriven
     }
 
+    fn snapshot_state(&self) -> Option<crate::strategy::StrategyState> {
+        Some(crate::strategy::StrategyState::UncertaintyDriven {
+            engine: self.engine,
+        })
+    }
+
     fn name(&self) -> &'static str {
         "uncertainty-driven"
     }

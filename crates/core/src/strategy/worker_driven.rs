@@ -57,6 +57,10 @@ impl SelectionStrategy for WorkerDriven {
     fn name(&self) -> &'static str {
         "worker-driven"
     }
+
+    fn snapshot_state(&self) -> Option<crate::strategy::StrategyState> {
+        Some(crate::strategy::StrategyState::WorkerDriven)
+    }
 }
 
 #[cfg(test)]

@@ -552,19 +552,76 @@ impl PartialEq for AnswerMatrix {
 
 impl Eq for AnswerMatrix {}
 
-impl Serialize for AnswerMatrix {
-    fn to_value(&self) -> Value {
-        let answers: Vec<Value> = (0..self.num_objects())
-            .flat_map(|o| {
-                self.by_object.row_pairs(o).map(move |(w, l)| {
-                    Value::Array(vec![
-                        Value::UInt(o as u64),
-                        Value::UInt(w as u64),
-                        Value::UInt(l as u64),
-                    ])
-                })
+/// Renders one adjacency view as row lists of `[id, label]` pairs, in the
+/// exact chain (arrival) order.
+fn adjacency_to_value(adj: &PagedAdjacency) -> Value {
+    Value::Array(
+        (0..adj.num_rows())
+            .map(|row| {
+                Value::Array(
+                    adj.row_pairs(row)
+                        .map(|(id, l)| {
+                            Value::Array(vec![Value::UInt(id as u64), Value::UInt(l as u64)])
+                        })
+                        .collect(),
+                )
             })
-            .collect();
+            .collect(),
+    )
+}
+
+/// Rebuilds one adjacency view from serialized row lists, preserving the
+/// within-row order and rejecting duplicate ids inside a row.
+fn adjacency_from_value(
+    value: &Value,
+    rows: usize,
+    ids: usize,
+    what: &str,
+) -> Result<PagedAdjacency, serde::Error> {
+    let row_values = value
+        .as_array()
+        .ok_or_else(|| serde::Error::custom(format!("expected {what} row array")))?;
+    if row_values.len() != rows {
+        return Err(serde::Error::custom(format!(
+            "{what}: expected {rows} rows, got {}",
+            row_values.len()
+        )));
+    }
+    let mut adj = PagedAdjacency::with_rows(rows);
+    let mut seen: std::collections::HashSet<u32> = std::collections::HashSet::new();
+    for (row, pairs) in row_values.iter().enumerate() {
+        let pairs = pairs
+            .as_array()
+            .ok_or_else(|| serde::Error::custom(format!("expected {what} pair array")))?;
+        seen.clear();
+        for pair in pairs {
+            let (id, label) = <(usize, usize)>::from_value(pair)?;
+            if id >= ids {
+                return Err(serde::Error::custom(format!(
+                    "{what}: id {id} out of range (< {ids})"
+                )));
+            }
+            if !seen.insert(id as u32) {
+                return Err(serde::Error::custom(format!(
+                    "{what}: duplicate id {id} in row {row}"
+                )));
+            }
+            adj.push(row, id as u32, label as u32);
+        }
+    }
+    Ok(adj)
+}
+
+impl Serialize for AnswerMatrix {
+    /// Serializes **both** adjacency views with their exact within-row
+    /// (arrival) order. A rebuild through `set_answer` from object-major
+    /// triples would reconstruct the same *content* but scramble the
+    /// by-worker rows into object-major order — and because the EM kernels
+    /// stream per-worker votes in row order, float summation order (and so
+    /// the last ULP of the estimates) would change. Snapshot/restore
+    /// promises bit-identical resumption, so the layout that determines
+    /// iteration order is part of the format.
+    fn to_value(&self) -> Value {
         let excluded: Vec<Value> = self
             .excluded
             .iter()
@@ -580,7 +637,8 @@ impl Serialize for AnswerMatrix {
                 "num_workers".to_string(),
                 Value::UInt(self.num_workers() as u64),
             ),
-            ("answers".to_string(), Value::Array(answers)),
+            ("by_object".to_string(), adjacency_to_value(&self.by_object)),
+            ("by_worker".to_string(), adjacency_to_value(&self.by_worker)),
             ("excluded".to_string(), Value::Array(excluded)),
         ])
     }
@@ -593,21 +651,66 @@ impl Deserialize for AnswerMatrix {
             .ok_or_else(|| serde::Error::custom("expected answer-matrix object"))?;
         let num_objects = usize::from_value(serde::get_field(entries, "num_objects")?)?;
         let num_workers = usize::from_value(serde::get_field(entries, "num_workers")?)?;
-        let mut matrix = AnswerMatrix::new(num_objects, num_workers);
-        let answers = serde::get_field(entries, "answers")?
-            .as_array()
-            .ok_or_else(|| serde::Error::custom("expected answers array"))?;
-        for triple in answers {
-            let (o, w, l) = <(usize, usize, usize)>::from_value(triple)?;
-            matrix
-                .set_answer(ObjectId(o), WorkerId(w), LabelId(l))
-                .map_err(|e| serde::Error::custom(e.to_string()))?;
+        let by_object = adjacency_from_value(
+            serde::get_field(entries, "by_object")?,
+            num_objects,
+            num_workers,
+            "by_object",
+        )?;
+        let by_worker = adjacency_from_value(
+            serde::get_field(entries, "by_worker")?,
+            num_workers,
+            num_objects,
+            "by_worker",
+        )?;
+        // The two views must describe the same vote set. One hash map over
+        // the object view, one linear sweep over the worker view — O(votes)
+        // total; with per-row uniqueness already enforced, equal counts plus
+        // worker⊆object membership make the two views a bijection.
+        let mut votes: std::collections::HashMap<(u32, u32), u32> =
+            std::collections::HashMap::new();
+        let mut recorded_answers = 0usize;
+        for o in 0..num_objects {
+            for (w, l) in by_object.row_pairs(o) {
+                votes.insert((o as u32, w), l);
+                recorded_answers += 1;
+            }
         }
+        let mut worker_total = 0usize;
+        for w in 0..num_workers {
+            for (o, l) in by_worker.row_pairs(w) {
+                if votes.get(&(o, w as u32)) != Some(&l) {
+                    return Err(serde::Error::custom(format!(
+                        "adjacency views disagree on object {o} / worker {w}"
+                    )));
+                }
+                worker_total += 1;
+            }
+        }
+        if worker_total != recorded_answers {
+            return Err(serde::Error::custom(format!(
+                "adjacency views hold different vote counts \
+                 ({recorded_answers} by object, {worker_total} by worker)"
+            )));
+        }
+        let mut matrix = AnswerMatrix {
+            by_object,
+            by_worker,
+            excluded: vec![false; num_workers],
+            recorded_answers,
+            hidden_answers: 0,
+        };
         let excluded = serde::get_field(entries, "excluded")?
             .as_array()
             .ok_or_else(|| serde::Error::custom("expected excluded array"))?;
         for w in excluded {
-            matrix.set_worker_excluded(WorkerId(usize::from_value(w)?), true);
+            let w = usize::from_value(w)?;
+            if w >= num_workers {
+                return Err(serde::Error::custom(format!(
+                    "excluded worker {w} out of range"
+                )));
+            }
+            matrix.set_worker_excluded(WorkerId(w), true);
         }
         Ok(matrix)
     }
@@ -805,5 +908,42 @@ mod tests {
         assert_eq!(m, restored);
         assert_eq!(restored.num_answers(), m.num_answers());
         assert!(restored.is_worker_excluded(WorkerId(0)));
+    }
+
+    #[test]
+    fn serde_preserves_both_adjacency_orders() {
+        // Interleaved arrival: the by-worker rows are NOT object-major.
+        let mut m = AnswerMatrix::new(3, 2);
+        m.set_answer(ObjectId(2), WorkerId(0), LabelId(1)).unwrap();
+        m.set_answer(ObjectId(0), WorkerId(1), LabelId(0)).unwrap();
+        m.set_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        m.set_answer(ObjectId(1), WorkerId(0), LabelId(1)).unwrap();
+        let restored = AnswerMatrix::from_value(&m.to_value()).unwrap();
+        for o in 0..3 {
+            let a: Vec<_> = m.answers_for_object(ObjectId(o)).collect();
+            let b: Vec<_> = restored.answers_for_object(ObjectId(o)).collect();
+            assert_eq!(a, b, "object {o} row order changed");
+        }
+        for w in 0..2 {
+            let a: Vec<_> = m.answers_for_worker(WorkerId(w)).collect();
+            let b: Vec<_> = restored.answers_for_worker(WorkerId(w)).collect();
+            assert_eq!(a, b, "worker {w} row order changed");
+        }
+    }
+
+    #[test]
+    fn serde_rejects_inconsistent_adjacency_views() {
+        let m = small();
+        let value = m.to_value();
+        // Tamper: drop the by_worker rows entirely.
+        let Value::Object(mut entries) = value else {
+            panic!("expected object");
+        };
+        for (key, v) in &mut entries {
+            if key == "by_worker" {
+                *v = Value::Array(vec![Value::Array(vec![]), Value::Array(vec![])]);
+            }
+        }
+        assert!(AnswerMatrix::from_value(&Value::Object(entries)).is_err());
     }
 }

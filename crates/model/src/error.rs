@@ -21,6 +21,19 @@ pub enum ModelError {
     Parse { line: usize, message: String },
     /// An I/O error while reading or writing dataset files.
     Io(String),
+    /// An external string id was registered twice in an [`crate::IdInterner`]
+    /// namespace that requires distinct names (e.g. a task's label set).
+    DuplicateId { id: String },
+    /// A component (a custom aggregator or selection strategy) does not
+    /// support state snapshots, so the owning session cannot be checkpointed.
+    SnapshotUnsupported { component: &'static str },
+    /// A snapshot's parts disagree with each other (e.g. a posterior whose
+    /// shape does not match the answer set it claims to describe).
+    InvalidSnapshot { message: String },
+    /// A run-time configuration is internally inconsistent (e.g. a target
+    /// precision outside `[0, 1]`), caught at build time instead of failing
+    /// deep inside the first aggregation.
+    InvalidConfig { message: String },
 }
 
 impl fmt::Display for ModelError {
@@ -61,6 +74,21 @@ impl fmt::Display for ModelError {
                 write!(f, "parse error on line {line}: {message}")
             }
             ModelError::Io(message) => write!(f, "I/O error: {message}"),
+            ModelError::DuplicateId { id } => {
+                write!(f, "duplicate external id {id:?}")
+            }
+            ModelError::SnapshotUnsupported { component } => {
+                write!(
+                    f,
+                    "component {component:?} does not support state snapshots"
+                )
+            }
+            ModelError::InvalidSnapshot { message } => {
+                write!(f, "invalid snapshot: {message}")
+            }
+            ModelError::InvalidConfig { message } => {
+                write!(f, "invalid configuration: {message}")
+            }
         }
     }
 }

@@ -33,6 +33,13 @@ impl GroundTruth {
         self.labels[object.index()]
     }
 
+    /// Largest label index appearing in the truth, or `None` when empty.
+    /// Lets builders validate label-space consistency up front instead of
+    /// failing deep inside the first aggregation.
+    pub fn max_label_index(&self) -> Option<usize> {
+        self.labels.iter().map(|l| l.index()).max()
+    }
+
     /// Iterator over `(object, correct label)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (ObjectId, LabelId)> + '_ {
         self.labels

@@ -1,0 +1,170 @@
+//! External-id interning: stable client-facing string ids mapped to the
+//! dense internal indices the aggregation kernels run on.
+//!
+//! Everything inside the engine speaks [`crate::ObjectId`] /
+//! [`crate::WorkerId`] / [`crate::LabelId`] — dense zero-based indices whose
+//! *assignment order* depends on arrival order (streaming sessions grow the
+//! id spaces as votes land). That ordering is an implementation detail a
+//! service client must never see: the public contract of the validation
+//! service is phrased entirely in stable string ids ("worker `alice`",
+//! "object `img-0093`"), and an [`IdInterner`] per id space performs the
+//! translation at the boundary.
+//!
+//! The interner is deliberately append-only: dense indices are handed out in
+//! first-seen order and never reused or reshuffled, so `intern` is stable
+//! across the lifetime of a task and the mapping round-trips losslessly
+//! through serde (serialization keeps the assignment order, which is what
+//! makes session snapshots resume bit-identically — the restored task
+//! re-associates every external id with the same dense index).
+
+use crate::error::ModelError;
+use serde::{Deserialize, Serialize, Value};
+use std::collections::HashMap;
+
+/// Bidirectional map between external string ids and dense `usize` indices,
+/// assigning indices in first-seen order.
+#[derive(Debug, Clone, Default)]
+pub struct IdInterner {
+    names: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl IdInterner {
+    /// An empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds an interner from a fixed name list (index = position). Fails
+    /// on duplicates — a fixed namespace such as a task's label set must be
+    /// unambiguous.
+    pub fn from_names<S: Into<String>>(names: Vec<S>) -> Result<Self, ModelError> {
+        let mut interner = Self::new();
+        for name in names {
+            let name = name.into();
+            if interner.index.contains_key(&name) {
+                return Err(ModelError::DuplicateId { id: name });
+            }
+            interner.intern(&name);
+        }
+        Ok(interner)
+    }
+
+    /// Number of interned ids.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// True when nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// The dense index of `name`, registering it (next free index) when
+    /// unseen. First-seen order determines the index; re-interning is a
+    /// lookup.
+    pub fn intern(&mut self, name: &str) -> usize {
+        if let Some(&idx) = self.index.get(name) {
+            return idx;
+        }
+        let idx = self.names.len();
+        self.names.push(name.to_string());
+        self.index.insert(name.to_string(), idx);
+        idx
+    }
+
+    /// The dense index of `name`, if it has been interned.
+    pub fn get(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// The external name assigned to a dense index.
+    pub fn name(&self, index: usize) -> Option<&str> {
+        self.names.get(index).map(String::as_str)
+    }
+
+    /// All names in index order (position = dense index).
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Iterator over `(index, name)` pairs in index order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.names.iter().enumerate().map(|(i, n)| (i, n.as_str()))
+    }
+}
+
+impl PartialEq for IdInterner {
+    /// Two interners are equal when they assign the same indices to the same
+    /// names (the lookup map is derived state).
+    fn eq(&self, other: &Self) -> bool {
+        self.names == other.names
+    }
+}
+
+impl Eq for IdInterner {}
+
+impl Serialize for IdInterner {
+    fn to_value(&self) -> Value {
+        Value::Array(self.names.iter().map(|n| Value::Str(n.clone())).collect())
+    }
+}
+
+impl Deserialize for IdInterner {
+    fn from_value(value: &Value) -> Result<Self, serde::Error> {
+        let items = value
+            .as_array()
+            .ok_or_else(|| serde::Error::custom("expected interner name array"))?;
+        let mut names = Vec::with_capacity(items.len());
+        for item in items {
+            names.push(
+                item.as_str()
+                    .ok_or_else(|| serde::Error::custom("interner names must be strings"))?
+                    .to_string(),
+            );
+        }
+        IdInterner::from_names(names).map_err(|e| serde::Error::custom(e.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_indices_in_first_seen_order() {
+        let mut i = IdInterner::new();
+        assert_eq!(i.intern("alice"), 0);
+        assert_eq!(i.intern("bob"), 1);
+        assert_eq!(i.intern("alice"), 0);
+        assert_eq!(i.len(), 2);
+        assert_eq!(i.get("bob"), Some(1));
+        assert_eq!(i.get("carol"), None);
+        assert_eq!(i.name(0), Some("alice"));
+        assert_eq!(i.name(5), None);
+    }
+
+    #[test]
+    fn from_names_rejects_duplicates() {
+        assert!(IdInterner::from_names(vec!["yes", "no"]).is_ok());
+        assert!(matches!(
+            IdInterner::from_names(vec!["yes", "yes"]),
+            Err(ModelError::DuplicateId { .. })
+        ));
+    }
+
+    #[test]
+    fn serde_round_trip_preserves_assignment_order() {
+        let mut i = IdInterner::new();
+        i.intern("w-9");
+        i.intern("w-2");
+        i.intern("w-5");
+        let restored = IdInterner::from_value(&i.to_value()).unwrap();
+        assert_eq!(i, restored);
+        assert_eq!(restored.get("w-2"), Some(1));
+        assert_eq!(
+            restored.iter().collect::<Vec<_>>(),
+            vec![(0, "w-9"), (1, "w-2"), (2, "w-5")]
+        );
+    }
+}

@@ -19,6 +19,7 @@ pub mod error;
 pub mod expert;
 pub mod ground_truth;
 pub mod ids;
+pub mod interner;
 pub mod io;
 pub mod overlay;
 pub mod probabilistic;
@@ -33,6 +34,7 @@ pub use error::ModelError;
 pub use expert::ExpertValidation;
 pub use ground_truth::GroundTruth;
 pub use ids::{LabelId, ObjectId, WorkerId};
+pub use interner::IdInterner;
 pub use overlay::{HypothesisOverlay, ValidationView};
 pub use probabilistic::ProbabilisticAnswerSet;
 pub use vote::Vote;

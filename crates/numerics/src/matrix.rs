@@ -10,11 +10,36 @@ use std::fmt;
 use std::ops::{Index, IndexMut};
 
 /// Dense row-major matrix of `f64` values.
-#[derive(Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Clone, PartialEq, Serialize)]
 pub struct Matrix {
     rows: usize,
     cols: usize,
     data: Vec<f64>,
+}
+
+/// Manual deserialization so the shape invariant (`data.len() == rows *
+/// cols`) is enforced at the trust boundary — session snapshots arrive from
+/// untrusted service clients, and a matrix claiming more cells than it
+/// carries would turn every indexed read into an out-of-bounds panic.
+impl Deserialize for Matrix {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::Error> {
+        let entries = value
+            .as_object()
+            .ok_or_else(|| serde::Error::custom("expected matrix object"))?;
+        let rows = usize::from_value(serde::get_field(entries, "rows")?)?;
+        let cols = usize::from_value(serde::get_field(entries, "cols")?)?;
+        let data = Vec::<f64>::from_value(serde::get_field(entries, "data")?)?;
+        let expected = rows
+            .checked_mul(cols)
+            .ok_or_else(|| serde::Error::custom("matrix shape overflows"))?;
+        if data.len() != expected {
+            return Err(serde::Error::custom(format!(
+                "matrix claims {rows}x{cols} = {expected} cells but carries {}",
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
 }
 
 impl Matrix {

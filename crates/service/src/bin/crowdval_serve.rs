@@ -1,0 +1,53 @@
+//! JSON-lines driver for the validation service.
+//!
+//! Reads one [`RequestEnvelope`] per stdin line, writes one [`Reply`] per
+//! stdout line — `{"Ok": …}` on success, `{"Err": …}` on any failure,
+//! including lines that do not parse at all. The process never dies on bad
+//! input: unparseable lines yield `ServiceError::MalformedRequest`, and the
+//! service itself guarantees no request can panic it.
+//!
+//! Blank lines and `#`-prefixed comment lines are skipped, so scripted
+//! conversations (see `crates/service/tests/data/`) can be annotated.
+//!
+//! Usage:
+//!
+//! ```text
+//! crowdval-serve < conversation.jsonl > transcript.jsonl
+//! ```
+
+use crowdval_service::{Reply, RequestEnvelope, ServiceError, ValidationService};
+use std::io::{self, BufRead, Write};
+
+fn main() {
+    let stdin = io::stdin();
+    let stdout = io::stdout();
+    let mut out = stdout.lock();
+    let mut service = ValidationService::new();
+
+    for line in stdin.lock().lines() {
+        let line = match line {
+            Ok(line) => line,
+            Err(_) => break, // stdin closed or unreadable: clean shutdown
+        };
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
+            Ok(envelope) => service.reply(&envelope),
+            Err(e) => Reply::Err(ServiceError::MalformedRequest {
+                message: e.to_string(),
+            }),
+        };
+        match serde_json::to_string(&reply) {
+            Ok(json) => {
+                if writeln!(out, "{json}").is_err() {
+                    break; // downstream closed the pipe
+                }
+            }
+            Err(e) => {
+                eprintln!("failed to serialize reply: {e}");
+            }
+        }
+    }
+}

@@ -1,0 +1,40 @@
+//! # crowdval-service
+//!
+//! The **multi-tenant front door** of the crowd-validation engine: a
+//! [`ValidationService`] hosts any number of named validation tasks — each
+//! an independent [`crowdval_core::ValidationSession`] running the paper's
+//! guided-validation loop (SIGMOD 2015, §3–§5) — and drives them through a
+//! versioned, serde-serializable command protocol.
+//!
+//! Three design rules separate this surface from the in-process Rust API:
+//!
+//! 1. **Versioned protocol, typed failures.** Requests arrive in a
+//!    [`RequestEnvelope`] stamped with [`protocol::PROTOCOL_VERSION`]; every
+//!    malformed or inapplicable input maps to a [`ServiceError`] variant. No
+//!    request can panic the service — the engine's fallible surface
+//!    (`try_build` / `ingest` / `integrate` / `restore`) carries errors as
+//!    values all the way out.
+//! 2. **Stable external ids.** Clients name workers, objects and labels
+//!    with strings; per-task [`crowdval_model::IdInterner`]s translate to
+//!    the dense indices the EM kernels run on. Index-assignment order (an
+//!    artifact of arrival order under streaming churn) never leaks into the
+//!    client contract.
+//! 3. **Snapshot/restore.** A task checkpoints into a serializable
+//!    [`TaskSnapshot`] — session state, posterior floats, strategy RNG
+//!    streams and id mappings included — and a restored task resumes
+//!    **bit-identically** to an uninterrupted run: same selection order,
+//!    same posterior, same trace.
+//!
+//! The `crowdval-serve` binary wraps the service in a JSON-lines loop (one
+//! request envelope per stdin line, one [`Reply`] per stdout line) for
+//! scripting and smoke testing; production embeddings would put the same
+//! `ValidationService` behind their transport of choice.
+
+pub mod protocol;
+pub mod service;
+
+pub use protocol::{
+    ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
+    StrategyChoice, TaskConfig, TaskSnapshot, PROTOCOL_VERSION,
+};
+pub use service::ValidationService;

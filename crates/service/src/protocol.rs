@@ -1,0 +1,352 @@
+//! The versioned request/response protocol of the validation service.
+//!
+//! Every message is a plain serde value (and therefore one JSON object per
+//! line under the `crowdval-serve` driver). Requests travel inside a
+//! [`RequestEnvelope`] carrying the protocol version; the service refuses
+//! versions it does not speak with a typed error instead of guessing. The
+//! eight request kinds map onto the paper's validation loop (§3.2,
+//! Algorithm 1):
+//!
+//! | Request | Paper step | Session call |
+//! |---|---|---|
+//! | [`Request::CreateTask`] | — | `ValidationSessionBuilder::try_build` |
+//! | [`Request::SubmitVotes`] | vote arrival (§5.4) | `ingest` |
+//! | [`Request::RequestGuidance`] | select (step 1) | `select_next` |
+//! | [`Request::SubmitValidation`] | conclude/filter (steps 2–4) | `integrate` |
+//! | [`Request::QueryPosterior`] | read `P` / `d` | `current` / `deterministic_assignment` |
+//! | [`Request::Snapshot`] | — | `snapshot` |
+//! | [`Request::Restore`] | — | `restore` |
+//! | [`Request::CloseTask`] | — | drop |
+//!
+//! Clients speak **stable string ids** for workers, objects and labels; the
+//! per-task [`crowdval_model::IdInterner`]s translate to the dense internal
+//! indices at the boundary, so mid-session churn (new workers and objects
+//! arriving in any order) never leaks index-assignment order into the
+//! contract.
+
+use crowdval_core::snapshot::SessionSnapshot;
+use crowdval_model::IdInterner;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The protocol version this build speaks. Bumped on any incompatible
+/// change to the request/response shapes.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// A request plus the protocol version the client speaks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RequestEnvelope {
+    /// Protocol version; must equal [`PROTOCOL_VERSION`].
+    pub version: u32,
+    /// The request proper.
+    pub request: Request,
+}
+
+impl RequestEnvelope {
+    /// Wraps a request in the current protocol version.
+    pub fn v1(request: Request) -> Self {
+        Self {
+            version: PROTOCOL_VERSION,
+            request,
+        }
+    }
+}
+
+/// One vote as a client submits it: stable string ids only.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ClientVote {
+    /// The answering worker's external id.
+    pub worker: String,
+    /// The answered object's external id.
+    pub object: String,
+    /// The answered label — must be one of the task's labels.
+    pub label: String,
+}
+
+/// Which guidance strategy a task runs (paper §5.2–§5.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StrategyChoice {
+    /// Dynamically weighted hybrid (§5.4) — the paper's default.
+    #[default]
+    Hybrid,
+    /// Information-gain maximization (§5.2).
+    UncertaintyDriven,
+    /// Expected spammer detections (§5.3).
+    WorkerDriven,
+    /// Highest-entropy baseline.
+    EntropyBaseline,
+    /// Uniform random baseline.
+    Random,
+}
+
+/// Per-task configuration supplied at creation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TaskConfig {
+    /// Guidance strategy for [`Request::RequestGuidance`].
+    pub strategy: StrategyChoice,
+    /// Seed of the strategy's RNG stream (hybrid roulette / random picks);
+    /// fixing it makes a task's guidance sequence reproducible.
+    pub seed: u64,
+    /// Expert-effort budget `b`; `None` allows validating every object.
+    pub budget: Option<usize>,
+    /// Whether detected faulty workers are excluded from aggregation (§5.3).
+    pub handle_faulty_workers: bool,
+    /// Width of the entropy pre-filter shortlist for hypothesis scoring
+    /// (§5.4) — the latency/quality knob of guidance requests. `None` uses
+    /// the engine default.
+    pub shortlist: Option<usize>,
+}
+
+impl Default for TaskConfig {
+    fn default() -> Self {
+        Self {
+            strategy: StrategyChoice::default(),
+            seed: 0,
+            budget: None,
+            handle_faulty_workers: true,
+            shortlist: None,
+        }
+    }
+}
+
+/// The service's command vocabulary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Request {
+    /// Registers a new named task with a fixed label set. The label list
+    /// doubles as the label-id namespace: labels are fixed for the lifetime
+    /// of the task (a classification task does not sprout new classes
+    /// mid-stream), while workers and objects may churn freely.
+    CreateTask {
+        task: String,
+        labels: Vec<String>,
+        config: TaskConfig,
+    },
+    /// Streams a batch of crowd votes into a task. Unknown workers and
+    /// objects are registered on first sight; unknown labels fail the whole
+    /// batch atomically (nothing is ingested).
+    SubmitVotes {
+        task: String,
+        votes: Vec<ClientVote>,
+    },
+    /// Asks the task's guidance strategy which object the expert should
+    /// validate next.
+    RequestGuidance { task: String },
+    /// Integrates one expert validation.
+    SubmitValidation {
+        task: String,
+        object: String,
+        label: String,
+    },
+    /// Reads the current posterior and deterministic label of one object.
+    QueryPosterior { task: String, object: String },
+    /// Checkpoints a task into a serializable [`TaskSnapshot`].
+    Snapshot { task: String },
+    /// Recreates a task from a snapshot (crash recovery / migration). The
+    /// restored task resumes bit-identically to an uninterrupted one.
+    Restore {
+        task: String,
+        snapshot: Box<TaskSnapshot>,
+    },
+    /// Removes a task, returning a final summary.
+    CloseTask { task: String },
+}
+
+/// A complete, serializable checkpoint of one task: the session state plus
+/// the three external-id mappings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskSnapshot {
+    /// Protocol version that produced the snapshot.
+    pub protocol_version: u32,
+    /// Object external-id mapping, in dense-index order.
+    pub objects: IdInterner,
+    /// Worker external-id mapping, in dense-index order.
+    pub workers: IdInterner,
+    /// Label external-id mapping (fixed at task creation).
+    pub labels: IdInterner,
+    /// The full session checkpoint.
+    pub session: SessionSnapshot,
+}
+
+/// One label's posterior probability, by external label id.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LabelProbability {
+    pub label: String,
+    pub probability: f64,
+}
+
+/// Successful replies, one variant per request kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Response {
+    /// Reply to [`Request::CreateTask`].
+    TaskCreated { task: String, num_labels: usize },
+    /// Reply to [`Request::SubmitVotes`]: what the batch did to the session.
+    VotesAccepted {
+        task: String,
+        votes: usize,
+        new_objects: usize,
+        new_workers: usize,
+        em_iterations: usize,
+        uncertainty: f64,
+    },
+    /// Reply to [`Request::RequestGuidance`]; `object` is `None` when every
+    /// known object has been validated (or the task holds no objects yet).
+    Guidance {
+        task: String,
+        object: Option<String>,
+    },
+    /// Reply to [`Request::SubmitValidation`]. `flagged` lists objects whose
+    /// earlier validations the §5.5 confirmation check now doubts.
+    ValidationAccepted {
+        task: String,
+        object: String,
+        flagged: Vec<String>,
+        uncertainty: f64,
+        validations: usize,
+    },
+    /// Reply to [`Request::QueryPosterior`]. `label` is the current
+    /// deterministic label (expert-pinned when validated).
+    Posterior {
+        task: String,
+        object: String,
+        label: String,
+        validated: bool,
+        probabilities: Vec<LabelProbability>,
+    },
+    /// Reply to [`Request::Snapshot`].
+    Snapshot {
+        task: String,
+        snapshot: Box<TaskSnapshot>,
+    },
+    /// Reply to [`Request::Restore`].
+    Restored {
+        task: String,
+        objects: usize,
+        workers: usize,
+        validations: usize,
+    },
+    /// Reply to [`Request::CloseTask`].
+    TaskClosed {
+        task: String,
+        votes: usize,
+        validations: usize,
+    },
+}
+
+/// Typed failures. Every malformed or inapplicable request maps to one of
+/// these — no panic is reachable from any request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ServiceError {
+    /// The envelope spoke a protocol version this build does not.
+    UnsupportedVersion { requested: u32, supported: u32 },
+    /// A request line could not be parsed at all (serve driver only).
+    MalformedRequest { message: String },
+    /// The named task does not exist.
+    TaskNotFound { task: String },
+    /// A task with this name already exists (`CreateTask` / `Restore`).
+    TaskExists { task: String },
+    /// The task-creation input was invalid (empty name, empty or duplicate
+    /// label set, inconsistent config).
+    InvalidTask { message: String },
+    /// A label id outside the task's fixed label set.
+    UnknownLabel { task: String, label: String },
+    /// An object id the task has never seen a vote for.
+    UnknownObject { task: String, object: String },
+    /// A snapshot that does not describe a consistent task state.
+    InvalidSnapshot { message: String },
+    /// An engine-level error surfaced through the model's typed errors.
+    Model { message: String },
+}
+
+impl fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServiceError::UnsupportedVersion {
+                requested,
+                supported,
+            } => write!(
+                f,
+                "protocol version {requested} not supported (this service speaks v{supported})"
+            ),
+            ServiceError::MalformedRequest { message } => {
+                write!(f, "malformed request: {message}")
+            }
+            ServiceError::TaskNotFound { task } => write!(f, "no task named {task:?}"),
+            ServiceError::TaskExists { task } => {
+                write!(f, "a task named {task:?} already exists")
+            }
+            ServiceError::InvalidTask { message } => write!(f, "invalid task: {message}"),
+            ServiceError::UnknownLabel { task, label } => {
+                write!(f, "task {task:?} has no label {label:?}")
+            }
+            ServiceError::UnknownObject { task, object } => {
+                write!(f, "task {task:?} has no object {object:?}")
+            }
+            ServiceError::InvalidSnapshot { message } => {
+                write!(f, "invalid snapshot: {message}")
+            }
+            ServiceError::Model { message } => write!(f, "model error: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+impl From<crowdval_model::ModelError> for ServiceError {
+    fn from(err: crowdval_model::ModelError) -> Self {
+        ServiceError::Model {
+            message: err.to_string(),
+        }
+    }
+}
+
+/// What the serve driver writes per request line: the response or the typed
+/// error, externally tagged (`{"Ok": …}` / `{"Err": …}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Reply {
+    Ok(Response),
+    Err(ServiceError),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelope_round_trips_through_json() {
+        let envelope = RequestEnvelope::v1(Request::SubmitVotes {
+            task: "t".into(),
+            votes: vec![ClientVote {
+                worker: "alice".into(),
+                object: "img-7".into(),
+                label: "cat".into(),
+            }],
+        });
+        let json = serde_json::to_string(&envelope).unwrap();
+        let reread: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(envelope, reread);
+    }
+
+    #[test]
+    fn errors_render_messages() {
+        let e = ServiceError::UnsupportedVersion {
+            requested: 9,
+            supported: PROTOCOL_VERSION,
+        };
+        assert!(e.to_string().contains("version 9"));
+        let e = ServiceError::UnknownLabel {
+            task: "t".into(),
+            label: "dog".into(),
+        };
+        assert!(e.to_string().contains("dog"));
+    }
+
+    #[test]
+    fn model_errors_convert() {
+        let err: ServiceError = crowdval_model::ModelError::LabelOutOfRange {
+            label: 7,
+            num_labels: 2,
+        }
+        .into();
+        assert!(matches!(err, ServiceError::Model { .. }));
+    }
+}

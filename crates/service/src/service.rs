@@ -1,0 +1,660 @@
+//! The multi-tenant validation service: a registry of named tasks, each
+//! wrapping one [`ValidationSession`], driven through the versioned command
+//! protocol of [`crate::protocol`].
+//!
+//! Invariants the service maintains:
+//!
+//! * **No panic is reachable from any request.** Every malformed input —
+//!   wrong protocol version, unknown task, unknown label, inconsistent
+//!   snapshot — maps to a [`ServiceError`]; the underlying session's
+//!   fallible surface (`try_build`, `ingest`, `integrate`, `restore`)
+//!   carries the rest.
+//! * **External ids are the contract.** Workers, objects and labels are
+//!   interned per task in first-seen order; the dense indices the engine
+//!   runs on never appear in a request or response. Because interning order
+//!   equals ingestion order, a task driven through the service reproduces
+//!   the exact selection order and posterior of a directly driven
+//!   [`ValidationSession`] fed the same votes.
+//! * **Atomic vote batches.** A `SubmitVotes` batch with any unknown label
+//!   fails before anything is interned or ingested.
+
+use crate::protocol::{
+    ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
+    StrategyChoice, TaskConfig, TaskSnapshot, PROTOCOL_VERSION,
+};
+use crowdval_core::{
+    EntropyBaseline, HybridStrategy, ProcessConfig, RandomSelection, SelectionStrategy,
+    UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
+};
+use crowdval_model::{IdInterner, LabelId, ObjectId, Vote, WorkerId};
+use std::collections::BTreeMap;
+
+/// One tenant: a validation session plus its three external-id mappings.
+struct TaskState {
+    objects: IdInterner,
+    workers: IdInterner,
+    labels: IdInterner,
+    session: ValidationSession,
+}
+
+impl TaskState {
+    /// Maps a dense object index back to its external id. The interner
+    /// covers every object the session knows (votes are the only way
+    /// objects enter), so the lookup cannot fail for engine-produced ids.
+    fn object_name(&self, object: ObjectId) -> String {
+        self.objects
+            .name(object.index())
+            .unwrap_or("<unknown>")
+            .to_string()
+    }
+}
+
+/// A registry of named validation tasks behind the versioned protocol.
+///
+/// ```
+/// use crowdval_service::{Request, RequestEnvelope, Response, TaskConfig, ValidationService};
+///
+/// let mut service = ValidationService::new();
+/// let reply = service.handle(&RequestEnvelope::v1(Request::CreateTask {
+///     task: "moderation".into(),
+///     labels: vec!["ok".into(), "spam".into()],
+///     config: TaskConfig::default(),
+/// }));
+/// assert!(matches!(reply, Ok(Response::TaskCreated { .. })));
+/// ```
+#[derive(Default)]
+pub struct ValidationService {
+    tasks: BTreeMap<String, TaskState>,
+}
+
+impl ValidationService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live tasks.
+    pub fn num_tasks(&self) -> usize {
+        self.tasks.len()
+    }
+
+    /// Names of the live tasks, sorted.
+    pub fn task_names(&self) -> Vec<String> {
+        self.tasks.keys().cloned().collect()
+    }
+
+    /// Handles one enveloped request, checking the protocol version first.
+    pub fn handle(&mut self, envelope: &RequestEnvelope) -> Result<Response, ServiceError> {
+        if envelope.version != PROTOCOL_VERSION {
+            return Err(ServiceError::UnsupportedVersion {
+                requested: envelope.version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        self.handle_request(&envelope.request)
+    }
+
+    /// Convenience wrapper turning the result into a serializable
+    /// [`Reply`] — what the JSON-lines driver writes per input line.
+    pub fn reply(&mut self, envelope: &RequestEnvelope) -> Reply {
+        match self.handle(envelope) {
+            Ok(response) => Reply::Ok(response),
+            Err(error) => Reply::Err(error),
+        }
+    }
+
+    /// Handles one request (version already checked).
+    pub fn handle_request(&mut self, request: &Request) -> Result<Response, ServiceError> {
+        match request {
+            Request::CreateTask {
+                task,
+                labels,
+                config,
+            } => self.create_task(task, labels, *config),
+            Request::SubmitVotes { task, votes } => self.submit_votes(task, votes),
+            Request::RequestGuidance { task } => self.request_guidance(task),
+            Request::SubmitValidation {
+                task,
+                object,
+                label,
+            } => self.submit_validation(task, object, label),
+            Request::QueryPosterior { task, object } => self.query_posterior(task, object),
+            Request::Snapshot { task } => self.snapshot(task),
+            Request::Restore { task, snapshot } => self.restore(task, snapshot),
+            Request::CloseTask { task } => self.close_task(task),
+        }
+    }
+
+    fn task_mut(&mut self, task: &str) -> Result<&mut TaskState, ServiceError> {
+        self.tasks
+            .get_mut(task)
+            .ok_or_else(|| ServiceError::TaskNotFound {
+                task: task.to_string(),
+            })
+    }
+
+    fn create_task(
+        &mut self,
+        task: &str,
+        labels: &[String],
+        config: TaskConfig,
+    ) -> Result<Response, ServiceError> {
+        if task.is_empty() {
+            return Err(ServiceError::InvalidTask {
+                message: "task name must not be empty".to_string(),
+            });
+        }
+        if self.tasks.contains_key(task) {
+            return Err(ServiceError::TaskExists {
+                task: task.to_string(),
+            });
+        }
+        if labels.is_empty() {
+            return Err(ServiceError::InvalidTask {
+                message: "a task needs at least one label".to_string(),
+            });
+        }
+        let label_interner =
+            IdInterner::from_names(labels.to_vec()).map_err(|e| ServiceError::InvalidTask {
+                message: e.to_string(),
+            })?;
+        let session = ValidationSessionBuilder::empty(labels.len())
+            .strategy(build_strategy(config))
+            .config(ProcessConfig {
+                budget: config.budget,
+                handle_faulty_workers: config.handle_faulty_workers,
+                ..ProcessConfig::default()
+            })
+            .try_build()?;
+        self.tasks.insert(
+            task.to_string(),
+            TaskState {
+                objects: IdInterner::new(),
+                workers: IdInterner::new(),
+                labels: label_interner,
+                session,
+            },
+        );
+        Ok(Response::TaskCreated {
+            task: task.to_string(),
+            num_labels: labels.len(),
+        })
+    }
+
+    fn submit_votes(&mut self, task: &str, votes: &[ClientVote]) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        // Resolve every label before interning anything: a batch with an
+        // unknown label must leave the task untouched.
+        let mut resolved_labels = Vec::with_capacity(votes.len());
+        for vote in votes {
+            let label =
+                state
+                    .labels
+                    .get(&vote.label)
+                    .ok_or_else(|| ServiceError::UnknownLabel {
+                        task: task_name.clone(),
+                        label: vote.label.clone(),
+                    })?;
+            resolved_labels.push(label);
+        }
+        // From here on nothing can fail: labels are in range by
+        // construction and interning only appends.
+        let dense: Vec<Vote> = votes
+            .iter()
+            .zip(resolved_labels)
+            .map(|(vote, label)| {
+                Vote::new(
+                    ObjectId(state.objects.intern(&vote.object)),
+                    WorkerId(state.workers.intern(&vote.worker)),
+                    LabelId(label),
+                )
+            })
+            .collect();
+        let update = state.session.ingest(&dense)?;
+        Ok(Response::VotesAccepted {
+            task: task_name,
+            votes: update.votes_ingested,
+            new_objects: update.new_objects,
+            new_workers: update.new_workers,
+            em_iterations: update.em_iterations,
+            uncertainty: update.uncertainty,
+        })
+    }
+
+    fn request_guidance(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let object = state.session.select_next().map(|o| state.object_name(o));
+        Ok(Response::Guidance {
+            task: task_name,
+            object,
+        })
+    }
+
+    fn submit_validation(
+        &mut self,
+        task: &str,
+        object: &str,
+        label: &str,
+    ) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let object_idx = state
+            .objects
+            .get(object)
+            .ok_or_else(|| ServiceError::UnknownObject {
+                task: task_name.clone(),
+                object: object.to_string(),
+            })?;
+        let label_idx = state
+            .labels
+            .get(label)
+            .ok_or_else(|| ServiceError::UnknownLabel {
+                task: task_name.clone(),
+                label: label.to_string(),
+            })?;
+        let flagged = state
+            .session
+            .integrate(ObjectId(object_idx), LabelId(label_idx))?;
+        let flagged = flagged.into_iter().map(|o| state.object_name(o)).collect();
+        Ok(Response::ValidationAccepted {
+            task: task_name,
+            object: object.to_string(),
+            flagged,
+            uncertainty: state.session.uncertainty(),
+            validations: state.session.iterations(),
+        })
+    }
+
+    fn query_posterior(&mut self, task: &str, object: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let object_idx = state
+            .objects
+            .get(object)
+            .ok_or_else(|| ServiceError::UnknownObject {
+                task: task_name.clone(),
+                object: object.to_string(),
+            })?;
+        let o = ObjectId(object_idx);
+        let assignment = state.session.current().assignment();
+        let probabilities = state
+            .labels
+            .iter()
+            .map(|(l, name)| LabelProbability {
+                label: name.to_string(),
+                probability: assignment.prob(o, LabelId(l)),
+            })
+            .collect();
+        let validated = state.session.expert().get(o);
+        let label = validated.unwrap_or_else(|| assignment.most_likely(o).0);
+        Ok(Response::Posterior {
+            task: task_name,
+            object: object.to_string(),
+            label: state
+                .labels
+                .name(label.index())
+                .unwrap_or("<unknown>")
+                .to_string(),
+            validated: validated.is_some(),
+            probabilities,
+        })
+    }
+
+    fn snapshot(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let session = state.session.snapshot()?;
+        Ok(Response::Snapshot {
+            task: task_name,
+            snapshot: Box::new(TaskSnapshot {
+                protocol_version: PROTOCOL_VERSION,
+                objects: state.objects.clone(),
+                workers: state.workers.clone(),
+                labels: state.labels.clone(),
+                session,
+            }),
+        })
+    }
+
+    fn restore(&mut self, task: &str, snapshot: &TaskSnapshot) -> Result<Response, ServiceError> {
+        if task.is_empty() {
+            return Err(ServiceError::InvalidTask {
+                message: "task name must not be empty".to_string(),
+            });
+        }
+        if self.tasks.contains_key(task) {
+            return Err(ServiceError::TaskExists {
+                task: task.to_string(),
+            });
+        }
+        if snapshot.protocol_version != PROTOCOL_VERSION {
+            return Err(ServiceError::UnsupportedVersion {
+                requested: snapshot.protocol_version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        let answers = &snapshot.session.answers;
+        if snapshot.objects.len() != answers.num_objects()
+            || snapshot.workers.len() != answers.num_workers()
+            || snapshot.labels.len() != answers.num_labels()
+        {
+            return Err(ServiceError::InvalidSnapshot {
+                message: format!(
+                    "interners name {} objects / {} workers / {} labels, \
+                     session holds {} / {} / {}",
+                    snapshot.objects.len(),
+                    snapshot.workers.len(),
+                    snapshot.labels.len(),
+                    answers.num_objects(),
+                    answers.num_workers(),
+                    answers.num_labels(),
+                ),
+            });
+        }
+        let session = ValidationSession::restore(snapshot.session.clone())?;
+        self.tasks.insert(
+            task.to_string(),
+            TaskState {
+                objects: snapshot.objects.clone(),
+                workers: snapshot.workers.clone(),
+                labels: snapshot.labels.clone(),
+                session,
+            },
+        );
+        Ok(Response::Restored {
+            task: task.to_string(),
+            objects: snapshot.objects.len(),
+            workers: snapshot.workers.len(),
+            validations: snapshot.session.iteration,
+        })
+    }
+
+    fn close_task(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let state = self
+            .tasks
+            .remove(task)
+            .ok_or_else(|| ServiceError::TaskNotFound {
+                task: task.to_string(),
+            })?;
+        Ok(Response::TaskClosed {
+            task: task.to_string(),
+            votes: state.session.answers().matrix().num_answers(),
+            validations: state.session.iterations(),
+        })
+    }
+}
+
+/// Builds the session strategy for a [`TaskConfig`].
+fn build_strategy(config: TaskConfig) -> Box<dyn SelectionStrategy> {
+    let uncertainty = match config.shortlist {
+        Some(limit) => UncertaintyDriven::with_max_evaluated(limit),
+        None => UncertaintyDriven::new(),
+    };
+    match config.strategy {
+        StrategyChoice::Hybrid => {
+            Box::new(HybridStrategy::with_uncertainty(uncertainty, config.seed))
+        }
+        StrategyChoice::UncertaintyDriven => Box::new(uncertainty),
+        StrategyChoice::WorkerDriven => Box::new(WorkerDriven),
+        StrategyChoice::EntropyBaseline => Box::new(EntropyBaseline),
+        StrategyChoice::Random => Box::new(RandomSelection::new(config.seed)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn create(service: &mut ValidationService, task: &str) {
+        let reply = service.handle(&RequestEnvelope::v1(Request::CreateTask {
+            task: task.into(),
+            labels: vec!["yes".into(), "no".into()],
+            config: TaskConfig {
+                strategy: StrategyChoice::EntropyBaseline,
+                ..TaskConfig::default()
+            },
+        }));
+        assert!(matches!(reply, Ok(Response::TaskCreated { .. })));
+    }
+
+    fn vote(worker: &str, object: &str, label: &str) -> ClientVote {
+        ClientVote {
+            worker: worker.into(),
+            object: object.into(),
+            label: label.into(),
+        }
+    }
+
+    #[test]
+    fn version_mismatch_is_refused() {
+        let mut service = ValidationService::new();
+        let reply = service.handle(&RequestEnvelope {
+            version: 99,
+            request: Request::RequestGuidance { task: "t".into() },
+        });
+        assert!(matches!(
+            reply,
+            Err(ServiceError::UnsupportedVersion { requested: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_task_and_duplicate_create_are_typed_errors() {
+        let mut service = ValidationService::new();
+        assert!(matches!(
+            service.handle_request(&Request::RequestGuidance { task: "t".into() }),
+            Err(ServiceError::TaskNotFound { .. })
+        ));
+        create(&mut service, "t");
+        let reply = service.handle_request(&Request::CreateTask {
+            task: "t".into(),
+            labels: vec!["a".into()],
+            config: TaskConfig::default(),
+        });
+        assert!(matches!(reply, Err(ServiceError::TaskExists { .. })));
+        assert_eq!(service.task_names(), vec!["t".to_string()]);
+    }
+
+    #[test]
+    fn create_rejects_bad_label_sets() {
+        let mut service = ValidationService::new();
+        assert!(matches!(
+            service.handle_request(&Request::CreateTask {
+                task: "t".into(),
+                labels: vec![],
+                config: TaskConfig::default(),
+            }),
+            Err(ServiceError::InvalidTask { .. })
+        ));
+        assert!(matches!(
+            service.handle_request(&Request::CreateTask {
+                task: "t".into(),
+                labels: vec!["dup".into(), "dup".into()],
+                config: TaskConfig::default(),
+            }),
+            Err(ServiceError::InvalidTask { .. })
+        ));
+        assert_eq!(service.num_tasks(), 0);
+    }
+
+    #[test]
+    fn unknown_labels_fail_vote_batches_atomically() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        let reply = service.handle_request(&Request::SubmitVotes {
+            task: "t".into(),
+            votes: vec![vote("w1", "o1", "yes"), vote("w1", "o2", "maybe")],
+        });
+        assert!(matches!(reply, Err(ServiceError::UnknownLabel { .. })));
+        // Nothing was interned: the valid first vote's object is unknown too.
+        assert!(matches!(
+            service.handle_request(&Request::QueryPosterior {
+                task: "t".into(),
+                object: "o1".into(),
+            }),
+            Err(ServiceError::UnknownObject { .. })
+        ));
+    }
+
+    #[test]
+    fn submit_guide_validate_query_round_trip() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        let votes: Vec<ClientVote> = (0..4)
+            .flat_map(|w| {
+                (0..6).map(move |o| {
+                    vote(
+                        &format!("w{w}"),
+                        &format!("obj-{o}"),
+                        if o % 2 == 0 { "yes" } else { "no" },
+                    )
+                })
+            })
+            .collect();
+        let reply = service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes,
+            })
+            .unwrap();
+        match reply {
+            Response::VotesAccepted {
+                votes,
+                new_objects,
+                new_workers,
+                ..
+            } => {
+                assert_eq!(votes, 24);
+                assert_eq!(new_objects, 6);
+                assert_eq!(new_workers, 4);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+
+        let guided = match service
+            .handle_request(&Request::RequestGuidance { task: "t".into() })
+            .unwrap()
+        {
+            Response::Guidance {
+                object: Some(object),
+                ..
+            } => object,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(guided.starts_with("obj-"));
+
+        let reply = service
+            .handle_request(&Request::SubmitValidation {
+                task: "t".into(),
+                object: guided.clone(),
+                label: "yes".into(),
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Response::ValidationAccepted { validations: 1, .. }
+        ));
+
+        match service
+            .handle_request(&Request::QueryPosterior {
+                task: "t".into(),
+                object: guided,
+            })
+            .unwrap()
+        {
+            Response::Posterior {
+                label,
+                validated,
+                probabilities,
+                ..
+            } => {
+                assert_eq!(label, "yes");
+                assert!(validated);
+                assert_eq!(probabilities.len(), 2);
+                let total: f64 = probabilities.iter().map(|p| p.probability).sum();
+                assert!((total - 1.0).abs() < 1e-9);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn snapshot_restore_round_trips_a_task() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes: (0..3)
+                    .flat_map(|w| {
+                        (0..4).map(move |o| vote(&format!("w{w}"), &format!("o{o}"), "yes"))
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        let snapshot = match service
+            .handle_request(&Request::Snapshot { task: "t".into() })
+            .unwrap()
+        {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        // Restoring over a live task is refused; into a fresh name works.
+        assert!(matches!(
+            service.handle_request(&Request::Restore {
+                task: "t".into(),
+                snapshot: snapshot.clone(),
+            }),
+            Err(ServiceError::TaskExists { .. })
+        ));
+        let reply = service
+            .handle_request(&Request::Restore {
+                task: "t2".into(),
+                snapshot,
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Response::Restored {
+                objects: 4,
+                workers: 3,
+                ..
+            }
+        ));
+        // The restored task answers queries about the external ids.
+        assert!(matches!(
+            service.handle_request(&Request::QueryPosterior {
+                task: "t2".into(),
+                object: "o2".into(),
+            }),
+            Ok(Response::Posterior { .. })
+        ));
+    }
+
+    #[test]
+    fn close_task_reports_a_summary_and_frees_the_name() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes: vec![vote("w", "o", "yes")],
+            })
+            .unwrap();
+        let reply = service
+            .handle_request(&Request::CloseTask { task: "t".into() })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Response::TaskClosed {
+                votes: 1,
+                validations: 0,
+                ..
+            }
+        ));
+        assert_eq!(service.num_tasks(), 0);
+        create(&mut service, "t");
+    }
+}

@@ -1,0 +1,289 @@
+//! Acceptance test of the service redesign: a scripted multi-tenant
+//! conversation — two concurrent tasks, interleaved vote submissions,
+//! guidance requests and validations, one snapshot+close+restore cycle —
+//! must reproduce the **exact** selection order and final posterior of
+//! equivalent, directly driven [`ValidationSession`]s.
+//!
+//! The direct reference mirrors the service's boundary behaviour with the
+//! same [`IdInterner`]s (external ids are interned in first-seen order on
+//! both paths), so the comparison is bit-level: the final
+//! [`SessionSnapshot`]s of the two paths are compared with `==`, covering
+//! the posterior floats, confusion matrices, traces, RNG streams and
+//! counters all at once.
+
+use crowdval_core::{HybridStrategy, ProcessConfig, ValidationSession, ValidationSessionBuilder};
+use crowdval_model::{GroundTruth, IdInterner, LabelId, ObjectId, Vote, WorkerId};
+use crowdval_service::{
+    ClientVote, Request, RequestEnvelope, Response, ServiceError, StrategyChoice, TaskConfig,
+    TaskSnapshot, ValidationService,
+};
+use crowdval_sim::{PopulationMix, StreamingConfig, SyntheticConfig};
+
+const LABEL_NAMES: [&str; 2] = ["neg", "pos"];
+
+/// One tenant's scripted workload: external-id vote batches plus the truth
+/// to validate against.
+struct Workload {
+    batches: Vec<Vec<ClientVote>>,
+    truth: GroundTruth,
+}
+
+impl Workload {
+    /// Lays a small synthetic crowd out on a PR-3 arrival schedule and
+    /// renames everything into task-scoped external ids.
+    fn generate(tag: &str, seed: u64) -> Self {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 16,
+                num_workers: 10,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.4,
+            batch_size: 40,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let rename = |votes: &[Vote]| -> Vec<ClientVote> {
+            votes
+                .iter()
+                .map(|v| ClientVote {
+                    worker: format!("{tag}-w{}", v.worker.index()),
+                    object: format!("{tag}-obj{}", v.object.index()),
+                    label: LABEL_NAMES[v.label.index()].to_string(),
+                })
+                .collect()
+        };
+        let mut batches = vec![rename(&scenario.initial)];
+        batches.extend(scenario.batches.iter().map(|b| rename(b)));
+        Workload {
+            batches,
+            truth: scenario.truth.clone(),
+        }
+    }
+
+    /// The expert's label for an external object id (oracle).
+    fn truth_label(&self, object_name: &str) -> String {
+        let idx: usize = object_name
+            .rsplit("obj")
+            .next()
+            .and_then(|s| s.parse().ok())
+            .expect("task-scoped object names end in the original index");
+        LABEL_NAMES[self.truth.label(ObjectId(idx)).index()].to_string()
+    }
+}
+
+/// The reference path: a directly driven session behind the same interners
+/// the service maintains per task.
+struct DirectRun {
+    objects: IdInterner,
+    workers: IdInterner,
+    labels: IdInterner,
+    session: ValidationSession,
+}
+
+impl DirectRun {
+    fn new(seed: u64) -> Self {
+        Self {
+            objects: IdInterner::new(),
+            workers: IdInterner::new(),
+            labels: IdInterner::from_names(LABEL_NAMES.to_vec()).unwrap(),
+            session: ValidationSessionBuilder::empty(LABEL_NAMES.len())
+                .strategy(Box::new(HybridStrategy::new(seed)))
+                .config(ProcessConfig::default())
+                .try_build()
+                .unwrap(),
+        }
+    }
+
+    fn submit(&mut self, votes: &[ClientVote]) {
+        let dense: Vec<Vote> = votes
+            .iter()
+            .map(|v| {
+                Vote::new(
+                    ObjectId(self.objects.intern(&v.object)),
+                    WorkerId(self.workers.intern(&v.worker)),
+                    LabelId(self.labels.get(&v.label).unwrap()),
+                )
+            })
+            .collect();
+        self.session.ingest(&dense).unwrap();
+    }
+
+    fn guide_and_validate(&mut self, workload: &Workload) -> Option<String> {
+        let picked = self.session.select_next()?;
+        let name = self.objects.name(picked.index()).unwrap().to_string();
+        let label = workload.truth_label(&name);
+        self.session
+            .integrate(picked, LabelId(self.labels.get(&label).unwrap()))
+            .unwrap();
+        Some(name)
+    }
+}
+
+fn send(service: &mut ValidationService, request: Request) -> Response {
+    service
+        .handle(&RequestEnvelope::v1(request))
+        .expect("scripted request must succeed")
+}
+
+fn service_guide_and_validate(
+    service: &mut ValidationService,
+    task: &str,
+    workload: &Workload,
+) -> Option<String> {
+    let object = match send(service, Request::RequestGuidance { task: task.into() }) {
+        Response::Guidance { object, .. } => object?,
+        other => panic!("unexpected reply {other:?}"),
+    };
+    let label = workload.truth_label(&object);
+    send(
+        service,
+        Request::SubmitValidation {
+            task: task.into(),
+            object: object.clone(),
+            label,
+        },
+    );
+    Some(object)
+}
+
+fn take_snapshot(service: &mut ValidationService, task: &str) -> Box<TaskSnapshot> {
+    match send(service, Request::Snapshot { task: task.into() }) {
+        Response::Snapshot { snapshot, .. } => snapshot,
+        other => panic!("unexpected reply {other:?}"),
+    }
+}
+
+#[test]
+fn multi_tenant_conversation_matches_direct_sessions() {
+    let alpha = Workload::generate("a", 9001);
+    let beta = Workload::generate("b", 9002);
+    let (alpha_seed, beta_seed) = (11, 22);
+
+    let mut service = ValidationService::new();
+    for (task, seed) in [("alpha", alpha_seed), ("beta", beta_seed)] {
+        send(
+            &mut service,
+            Request::CreateTask {
+                task: task.into(),
+                labels: LABEL_NAMES.iter().map(|&l| l.to_string()).collect(),
+                config: TaskConfig {
+                    strategy: StrategyChoice::Hybrid,
+                    seed,
+                    ..TaskConfig::default()
+                },
+            },
+        );
+    }
+    let mut direct_alpha = DirectRun::new(alpha_seed);
+    let mut direct_beta = DirectRun::new(beta_seed);
+
+    let mut service_picks: Vec<String> = Vec::new();
+    let mut direct_picks: Vec<String> = Vec::new();
+
+    // Interleave the two tenants batch by batch; two validations per task
+    // between arrivals. The direct mirrors perform the identical engine
+    // call sequence per task — the *interleaving* across tasks exists only
+    // in the service, so isolation failures (shared state, cross-tenant
+    // index bleed) would surface as divergence.
+    let rounds = alpha.batches.len().max(beta.batches.len());
+    for round in 0..rounds {
+        if let Some(batch) = alpha.batches.get(round) {
+            send(
+                &mut service,
+                Request::SubmitVotes {
+                    task: "alpha".into(),
+                    votes: batch.clone(),
+                },
+            );
+            direct_alpha.submit(batch);
+        }
+        if let Some(batch) = beta.batches.get(round) {
+            send(
+                &mut service,
+                Request::SubmitVotes {
+                    task: "beta".into(),
+                    votes: batch.clone(),
+                },
+            );
+            direct_beta.submit(batch);
+        }
+        for _ in 0..2 {
+            if let Some(pick) = service_guide_and_validate(&mut service, "alpha", &alpha) {
+                service_picks.push(format!("alpha:{pick}"));
+            }
+            if let Some(pick) = direct_alpha.guide_and_validate(&alpha) {
+                direct_picks.push(format!("alpha:{pick}"));
+            }
+            if let Some(pick) = service_guide_and_validate(&mut service, "beta", &beta) {
+                service_picks.push(format!("beta:{pick}"));
+            }
+            if let Some(pick) = direct_beta.guide_and_validate(&beta) {
+                direct_picks.push(format!("beta:{pick}"));
+            }
+        }
+
+        // Mid-conversation crash drill for the alpha tenant: checkpoint,
+        // tear down, restore under the same name, keep going. The direct
+        // mirror does nothing here — a restore that is anything but
+        // bit-identical diverges for the rest of the conversation.
+        if round == 1 {
+            let snapshot = take_snapshot(&mut service, "alpha");
+            // The snapshot survives a JSON round trip (the crash-recovery
+            // path writes it to disk).
+            let json = serde_json::to_string(&snapshot).unwrap();
+            let snapshot: Box<TaskSnapshot> = serde_json::from_str(&json).unwrap();
+            send(
+                &mut service,
+                Request::CloseTask {
+                    task: "alpha".into(),
+                },
+            );
+            assert!(matches!(
+                service.handle_request(&Request::RequestGuidance {
+                    task: "alpha".into()
+                }),
+                Err(ServiceError::TaskNotFound { .. })
+            ));
+            send(
+                &mut service,
+                Request::Restore {
+                    task: "alpha".into(),
+                    snapshot,
+                },
+            );
+        }
+    }
+
+    assert_eq!(
+        service_picks, direct_picks,
+        "selection order diverged between the service and the direct sessions"
+    );
+
+    // Bit-level final-state comparison, per tenant: posterior, confusion
+    // matrices, priors, trace, counters, strategy RNG state — everything a
+    // snapshot captures.
+    let alpha_final = take_snapshot(&mut service, "alpha");
+    let beta_final = take_snapshot(&mut service, "beta");
+    assert_eq!(
+        alpha_final.session,
+        direct_alpha.session.snapshot().unwrap(),
+        "alpha diverged from its direct session"
+    );
+    assert_eq!(
+        beta_final.session,
+        direct_beta.session.snapshot().unwrap(),
+        "beta diverged from its direct session"
+    );
+    assert_eq!(alpha_final.objects, direct_alpha.objects);
+    assert_eq!(alpha_final.workers, direct_alpha.workers);
+    assert_eq!(beta_final.objects, direct_beta.objects);
+    assert_eq!(beta_final.workers, direct_beta.workers);
+
+    // Sanity: the conversation actually validated objects on both tenants.
+    assert!(service_picks.iter().any(|p| p.starts_with("alpha:")));
+    assert!(service_picks.iter().any(|p| p.starts_with("beta:")));
+}

@@ -1,0 +1,247 @@
+//! "No `Request` input can panic the service": property test driving a
+//! [`ValidationService`] with randomly generated — frequently malformed —
+//! request sequences. Every request must come back as `Ok(Response)` or
+//! `Err(ServiceError)`; a panic anywhere in the engine fails the test.
+//!
+//! The generator is adversarial on purpose: empty/odd task names and ids,
+//! unknown labels, wrong protocol versions, empty and duplicate label sets,
+//! restores of corrupted snapshots, queries against tasks that were never
+//! created or already closed. It also hammers the JSON boundary of the
+//! `crowdval-serve` driver with junk lines.
+
+use crowdval_service::{
+    ClientVote, Reply, Request, RequestEnvelope, ServiceError, StrategyChoice, TaskConfig,
+    TaskSnapshot, ValidationService, PROTOCOL_VERSION,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A short id from a deliberately collision-happy and occasionally weird
+/// pool (empty strings, unicode, whitespace).
+fn gen_id(rng: &mut StdRng) -> String {
+    const POOL: [&str; 12] = [
+        "",
+        "t",
+        "alpha",
+        "beta",
+        "obj-1",
+        "obj-2",
+        "w1",
+        "w2",
+        "yes",
+        "no",
+        "naïve id",
+        " \t ",
+    ];
+    POOL[rng.random_range(0..POOL.len())].to_string()
+}
+
+fn gen_labels(rng: &mut StdRng) -> Vec<String> {
+    let n = rng.random_range(0..4usize);
+    (0..n)
+        .map(|_| {
+            // Sometimes duplicate labels on purpose.
+            if rng.random_bool(0.3) {
+                "dup".to_string()
+            } else {
+                gen_id(rng)
+            }
+        })
+        .collect()
+}
+
+fn gen_votes(rng: &mut StdRng) -> Vec<ClientVote> {
+    let n = rng.random_range(0..6usize);
+    (0..n)
+        .map(|_| ClientVote {
+            worker: gen_id(rng),
+            object: gen_id(rng),
+            label: gen_id(rng),
+        })
+        .collect()
+}
+
+/// A corrupted variant of a (possibly genuine) snapshot — shallow field
+/// tampering plus deep inconsistencies in the posterior internals (wrong
+/// confusion shapes, wrong prior lengths, mismatched assignment dims), the
+/// class of malformed input a restore must refuse rather than index into.
+fn corrupt_snapshot(rng: &mut StdRng, snapshot: &mut TaskSnapshot) {
+    use crowdval_model::{AssignmentMatrix, ConfusionMatrix, ProbabilisticAnswerSet};
+    match rng.random_range(0..7u32) {
+        0 => snapshot.protocol_version = rng.random_range(0..3u32),
+        1 => snapshot.session.format_version = rng.random_range(0..3u32),
+        2 => snapshot.objects = crowdval_model::IdInterner::new(),
+        3 => {
+            snapshot.session.expert =
+                crowdval_model::ExpertValidation::empty(rng.random_range(0..5usize));
+        }
+        4 => {
+            // Confusion matrices of the wrong label count.
+            let current = &snapshot.session.current;
+            snapshot.session.current = ProbabilisticAnswerSet::new(
+                current.assignment().clone(),
+                vec![ConfusionMatrix::uniform(1); current.num_workers()],
+                current.priors().to_vec(),
+                current.em_iterations(),
+            );
+        }
+        5 => {
+            // Wrong prior length.
+            let current = &snapshot.session.current;
+            snapshot.session.current = ProbabilisticAnswerSet::new(
+                current.assignment().clone(),
+                current.confusions().to_vec(),
+                vec![1.0; rng.random_range(0..5u64) as usize],
+                current.em_iterations(),
+            );
+        }
+        _ => {
+            // Assignment over the wrong object/label space.
+            let current = &snapshot.session.current;
+            snapshot.session.current = ProbabilisticAnswerSet::new(
+                AssignmentMatrix::uniform(
+                    rng.random_range(0..4u64) as usize,
+                    rng.random_range(1..4u64) as usize,
+                ),
+                current.confusions().to_vec(),
+                current.priors().to_vec(),
+                current.em_iterations(),
+            );
+        }
+    }
+}
+
+fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Request {
+    match rng.random_range(0..8u32) {
+        0 => Request::CreateTask {
+            task: gen_id(rng),
+            labels: gen_labels(rng),
+            config: TaskConfig {
+                strategy: match rng.random_range(0..5u32) {
+                    0 => StrategyChoice::Hybrid,
+                    1 => StrategyChoice::UncertaintyDriven,
+                    2 => StrategyChoice::WorkerDriven,
+                    3 => StrategyChoice::EntropyBaseline,
+                    _ => StrategyChoice::Random,
+                },
+                seed: rng.random(),
+                budget: if rng.random_bool(0.5) {
+                    Some(rng.random_range(0..5u64) as usize)
+                } else {
+                    None
+                },
+                handle_faulty_workers: rng.random_bool(0.8),
+                shortlist: if rng.random_bool(0.3) {
+                    Some(rng.random_range(0..40u64) as usize)
+                } else {
+                    None
+                },
+            },
+        },
+        1 => Request::SubmitVotes {
+            task: gen_id(rng),
+            votes: gen_votes(rng),
+        },
+        2 => Request::RequestGuidance { task: gen_id(rng) },
+        3 => Request::SubmitValidation {
+            task: gen_id(rng),
+            object: gen_id(rng),
+            label: gen_id(rng),
+        },
+        4 => Request::QueryPosterior {
+            task: gen_id(rng),
+            object: gen_id(rng),
+        },
+        5 => Request::Snapshot { task: gen_id(rng) },
+        6 => {
+            // Restore a genuine snapshot (when one exists), often corrupted.
+            let mut snapshot = match last_snapshot {
+                Some(s) => Box::new(s.clone()),
+                None => return Request::Snapshot { task: gen_id(rng) },
+            };
+            if rng.random_bool(0.5) {
+                corrupt_snapshot(rng, &mut snapshot);
+            }
+            Request::Restore {
+                task: gen_id(rng),
+                snapshot,
+            }
+        }
+        _ => Request::CloseTask { task: gen_id(rng) },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Arbitrary request sequences never panic the service, and every reply
+    /// is a typed success or failure.
+    #[test]
+    fn arbitrary_request_sequences_never_panic(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut service = ValidationService::new();
+        let mut last_snapshot: Option<TaskSnapshot> = None;
+        for step in 0..60 {
+            let version = if rng.random_bool(0.9) {
+                PROTOCOL_VERSION
+            } else {
+                rng.random_range(0..5u32)
+            };
+            let request = gen_request(&mut rng, &last_snapshot);
+            let envelope = RequestEnvelope { version, request };
+            match service.handle(&envelope) {
+                Ok(response) => {
+                    if let crowdval_service::Response::Snapshot { snapshot, .. } = response {
+                        last_snapshot = Some(*snapshot);
+                    }
+                }
+                Err(error) => {
+                    // Errors must render without panicking too.
+                    let _ = error.to_string();
+                    if version != PROTOCOL_VERSION {
+                        prop_assert!(matches!(
+                            error,
+                            ServiceError::UnsupportedVersion { .. }
+                        ), "step {step}: wrong error for version mismatch");
+                    }
+                }
+            }
+        }
+    }
+
+    /// The JSON boundary never panics either: junk lines produce
+    /// `MalformedRequest`, valid envelopes produce a reply that serializes.
+    #[test]
+    fn json_boundary_never_panics(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut service = ValidationService::new();
+        const JUNK: [&str; 8] = [
+            "",
+            "{",
+            "null",
+            "42",
+            "{\"version\": 1}",
+            "{\"version\": \"one\", \"request\": {\"RequestGuidance\": {\"task\": 3}}}",
+            "{\"version\": 1, \"request\": {\"NoSuchRequest\": {}}}",
+            "[{\"version\": 1}]",
+        ];
+        for _ in 0..30 {
+            let reply = if rng.random_bool(0.5) {
+                let line = JUNK[rng.random_range(0..JUNK.len())];
+                match serde_json::from_str::<RequestEnvelope>(line) {
+                    Ok(envelope) => service.reply(&envelope),
+                    Err(e) => Reply::Err(ServiceError::MalformedRequest {
+                        message: e.to_string(),
+                    }),
+                }
+            } else {
+                let request = gen_request(&mut rng, &None);
+                service.reply(&RequestEnvelope::v1(request))
+            };
+            // Every reply serializes to a JSON line.
+            let json = serde_json::to_string(&reply).unwrap();
+            prop_assert!(!json.contains('\n'));
+        }
+    }
+}

@@ -23,7 +23,9 @@ fn precision_for_allocation(source: &SyntheticDataset, phi0: usize, validations:
         .build();
     let mut expert = SimulatedExpert::perfect(truth, 2);
     let mut provide = |o: ObjectId| expert.validate(o);
-    process.run(&mut provide);
+    process
+        .run(&mut provide)
+        .expect("simulated labels are in range");
     process.precision().unwrap()
 }
 

@@ -25,7 +25,9 @@ fn run_strategy(
         .build();
     let mut expert = SimulatedExpert::perfect(truth, data.dataset.answers().num_labels());
     let mut provide = |o: ObjectId| expert.validate(o);
-    process.run(&mut provide);
+    process
+        .run(&mut provide)
+        .expect("simulated labels are in range");
     process.trace().clone()
 }
 

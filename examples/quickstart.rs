@@ -47,7 +47,9 @@ fn main() {
             break;
         };
         let label = expert.validate(object);
-        process.integrate(object, label);
+        process
+            .integrate(object, label)
+            .expect("simulated labels are in range");
         let step = process.trace().steps.last().unwrap();
         println!(
             " {:>4}  {:>6}  {:<20} {:>8.3}   {:>10.3}",

@@ -1,0 +1,148 @@
+//! The service front door: drive two concurrent validation tasks through
+//! the versioned request/response protocol, checkpoint one mid-flight and
+//! restore it — everything a deployment would do over a transport, here
+//! in-process.
+//!
+//! Run with `cargo run --release --example service_api`.
+
+use crowd_validation::prelude::*;
+use crowd_validation::service::{
+    ClientVote, Request, RequestEnvelope, Response, StrategyChoice, TaskConfig, ValidationService,
+};
+
+fn send(service: &mut ValidationService, request: Request) -> Response {
+    service
+        .handle(&RequestEnvelope::v1(request))
+        .expect("example requests are well-formed")
+}
+
+fn main() {
+    let mut service = ValidationService::new();
+
+    // Two tenants with different label vocabularies and guidance setups.
+    for (task, labels, strategy) in [
+        (
+            "reviews",
+            vec!["negative", "positive"],
+            StrategyChoice::Hybrid,
+        ),
+        (
+            "listings",
+            vec!["valid", "fraud"],
+            StrategyChoice::UncertaintyDriven,
+        ),
+    ] {
+        send(
+            &mut service,
+            Request::CreateTask {
+                task: task.into(),
+                labels: labels.into_iter().map(String::from).collect(),
+                config: TaskConfig {
+                    strategy,
+                    seed: 42,
+                    ..TaskConfig::default()
+                },
+            },
+        );
+    }
+
+    // Simulate two crowds and stream their votes in, external ids only.
+    for (task, labels, seed) in [
+        ("reviews", ["negative", "positive"], 1u64),
+        ("listings", ["valid", "fraud"], 2u64),
+    ] {
+        let synth = SyntheticConfig {
+            num_objects: 20,
+            num_workers: 12,
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        let votes: Vec<ClientVote> = synth
+            .dataset
+            .answers()
+            .matrix()
+            .iter()
+            .map(|(o, w, l)| ClientVote {
+                worker: format!("crowd-{}", w.index()),
+                object: format!("{task}-item-{}", o.index()),
+                label: labels[l.index()].to_string(),
+            })
+            .collect();
+        let reply = send(
+            &mut service,
+            Request::SubmitVotes {
+                task: task.into(),
+                votes,
+            },
+        );
+        if let Response::VotesAccepted {
+            votes,
+            new_objects,
+            uncertainty,
+            ..
+        } = reply
+        {
+            println!("[{task}] ingested {votes} votes over {new_objects} objects, H(P) = {uncertainty:.3}");
+        }
+    }
+
+    // Ask each tenant's strategy where the expert helps most, validate.
+    for (task, label) in [("reviews", "positive"), ("listings", "valid")] {
+        if let Response::Guidance {
+            object: Some(object),
+            ..
+        } = send(&mut service, Request::RequestGuidance { task: task.into() })
+        {
+            println!("[{task}] expert should look at {object}");
+            send(
+                &mut service,
+                Request::SubmitValidation {
+                    task: task.into(),
+                    object,
+                    label: label.into(),
+                },
+            );
+        }
+    }
+
+    // Crash drill: checkpoint `reviews`, drop it, restore it, resume.
+    let Response::Snapshot { snapshot, .. } = send(
+        &mut service,
+        Request::Snapshot {
+            task: "reviews".into(),
+        },
+    ) else {
+        unreachable!("snapshot reply");
+    };
+    let serialized = serde_json::to_string(&snapshot).expect("snapshot serializes");
+    println!("snapshot of `reviews`: {} bytes of JSON", serialized.len());
+    send(
+        &mut service,
+        Request::CloseTask {
+            task: "reviews".into(),
+        },
+    );
+    let snapshot = serde_json::from_str(&serialized).expect("snapshot parses");
+    send(
+        &mut service,
+        Request::Restore {
+            task: "reviews".into(),
+            snapshot,
+        },
+    );
+    if let Response::Posterior {
+        object,
+        label,
+        validated,
+        ..
+    } = send(
+        &mut service,
+        Request::QueryPosterior {
+            task: "reviews".into(),
+            object: "reviews-item-0".into(),
+        },
+    ) {
+        println!("restored `reviews` still answers: {object} -> {label} (validated: {validated})");
+    }
+    println!("live tasks: {:?}", service.task_names());
+}

@@ -49,7 +49,9 @@ fn main() {
             break;
         };
         let label = expert.validate(object);
-        process.integrate(object, label);
+        process
+            .integrate(object, label)
+            .expect("simulated labels are in range");
 
         let step = process.trace().steps.last().unwrap();
         if step.iteration.is_multiple_of(6) {
@@ -87,7 +89,9 @@ fn main() {
         .build();
     let mut expert2 = SimulatedExpert::perfect(truth, 2);
     let mut provide = |o: ObjectId| expert2.validate(o);
-    without_handling.run(&mut provide);
+    without_handling
+        .run(&mut provide)
+        .expect("simulated labels are in range");
     println!(
         "\nresult precision with spammer handling   : {:.3}",
         process.precision().unwrap()

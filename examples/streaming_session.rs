@@ -73,7 +73,9 @@ fn main() {
                 break;
             };
             let label = expert.validate(object);
-            session.integrate(object, label);
+            session
+                .integrate(object, label)
+                .expect("simulated labels are in range");
             println!(
                 "  validate   | {object:>8} | {:>8} | {:>8} | {:>6} | {:>13} | {:>7.2} | {:>9.3}",
                 "-",

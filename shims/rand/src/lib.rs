@@ -132,6 +132,18 @@ pub mod rngs {
         state: u64,
     }
 
+    impl StdRng {
+        /// The generator's current internal state. Together with
+        /// [`super::SeedableRng::seed_from_u64`] (which installs a state
+        /// verbatim) this makes the stream checkpointable: a generator
+        /// rebuilt from `state()` continues with exactly the draws the
+        /// original would have produced. Snapshot/restore of validation
+        /// sessions relies on this.
+        pub fn state(&self) -> u64 {
+            self.state
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);

@@ -37,7 +37,7 @@
 //! while !process.is_finished() {
 //!     let Some(object) = process.select_next() else { break };
 //!     let label = expert.validate(object);
-//!     process.integrate(object, label);
+//!     process.integrate(object, label).expect("oracle labels are in range");
 //! }
 //!
 //! let result = process.deterministic_assignment();
@@ -53,6 +53,7 @@
 //! | [`crowdval_aggregation`] | majority voting, batch EM, incremental i-EM |
 //! | [`crowdval_spammer`] | spammer scores, sloppy-worker detection, exclusion handling |
 //! | [`crowdval_core`] | uncertainty, guidance strategies, the validation process, cost model |
+//! | [`crowdval_service`] | the multi-tenant service API: versioned protocol, external-id interning, snapshot/restore |
 //! | [`crowdval_sim`] | worker simulation, synthetic datasets, dataset replicas, simulated experts |
 //! | [`crowdval_numerics`] | matrices, rank-one distance, entropy, statistics |
 //!
@@ -63,6 +64,7 @@ pub use crowdval_aggregation as aggregation;
 pub use crowdval_core as core;
 pub use crowdval_model as model;
 pub use crowdval_numerics as numerics;
+pub use crowdval_service as service;
 pub use crowdval_sim as sim;
 pub use crowdval_spammer as spammer;
 
@@ -81,8 +83,8 @@ pub mod prelude {
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,
-        DeterministicAssignment, ExpertValidation, GroundTruth, HypothesisOverlay, LabelId,
-        ObjectId, ProbabilisticAnswerSet, ValidationView, Vote, WorkerId,
+        DeterministicAssignment, ExpertValidation, GroundTruth, HypothesisOverlay, IdInterner,
+        LabelId, ModelError, ObjectId, ProbabilisticAnswerSet, ValidationView, Vote, WorkerId,
     };
     pub use crowdval_sim::{
         all_replicas, replica, PopulationMix, ReplicaName, SimulatedExpert, StreamingConfig,

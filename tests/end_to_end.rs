@@ -27,7 +27,7 @@ fn run_to_budget(
         .build();
     let mut expert = SimulatedExpert::perfect(truth, data.dataset.answers().num_labels());
     let mut provide = |o: ObjectId| expert.validate(o);
-    process.run(&mut provide);
+    process.run(&mut provide).unwrap();
     process.trace().clone()
 }
 
@@ -143,7 +143,7 @@ fn spammer_heavy_crowds_are_cleaned_up_by_worker_driven_guidance() {
     let initial_precision = process.precision().unwrap();
     let mut expert = SimulatedExpert::perfect(truth.clone(), 2);
     let mut provide = |o: ObjectId| expert.validate(o);
-    process.run(&mut provide);
+    process.run(&mut provide).unwrap();
 
     // Result correctness went up, and by the end most true spammers are
     // detected (even if they were occasionally accompanied by false alarms
@@ -232,7 +232,7 @@ fn expert_validation_reaches_perfect_precision_where_more_crowd_answers_cannot()
         .build();
     let mut expert = SimulatedExpert::perfect(truth, 2);
     let mut provide = |o: ObjectId| expert.validate(o);
-    process.run(&mut provide);
+    process.run(&mut provide).unwrap();
 
     assert_eq!(process.precision(), Some(1.0));
     assert!(

@@ -250,7 +250,7 @@ proptest! {
                 anchors.sort();
                 anchors.dedup();
                 for &o in &anchors {
-                    session.integrate(o, truth.label(o));
+                    session.integrate(o, truth.label(o)).unwrap();
                 }
             }
         }
@@ -376,5 +376,101 @@ proptest! {
                 );
             }
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Snapshot/restore is transparent: interrupt a streaming validation
+    /// session at a random point of a PR-3 arrival schedule (object and
+    /// worker churn included), serialize the snapshot through JSON, restore,
+    /// and continue — the final posterior, the trace and the selection order
+    /// must be **bit-identical** to the uninterrupted session. The hybrid
+    /// strategy's roulette RNG makes this sensitive to any lost state: a
+    /// single skipped or replayed draw changes the selection sequence.
+    #[test]
+    fn snapshot_restore_is_transparent_mid_stream(
+        seed in any::<u64>(),
+        snap_numerator in any::<u64>(),
+        strategy_seed in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 14,
+                num_workers: 9,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+
+        let build = || {
+            ValidationSessionBuilder::empty(scenario.num_labels)
+                .strategy(Box::new(HybridStrategy::new(strategy_seed)))
+                .try_build()
+                .unwrap()
+        };
+        // One validation between arrival batches, once votes exist.
+        let validate = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        // Uninterrupted reference.
+        let mut reference = build();
+        let mut ref_picks = Vec::new();
+        reference.ingest(&scenario.initial).unwrap();
+        validate(&mut reference, &mut ref_picks);
+        for batch in &scenario.batches {
+            reference.ingest(batch).unwrap();
+            validate(&mut reference, &mut ref_picks);
+        }
+
+        // Interrupted run: snapshot after a random batch, restore from JSON.
+        let snap_after = (snap_numerator % (scenario.batches.len() as u64 + 1)) as usize;
+        let mut live = build();
+        let mut picks = Vec::new();
+        live.ingest(&scenario.initial).unwrap();
+        validate(&mut live, &mut picks);
+        for batch in &scenario.batches[..snap_after] {
+            live.ingest(batch).unwrap();
+            validate(&mut live, &mut picks);
+        }
+        let snapshot = live.snapshot().unwrap();
+        drop(live);
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let snapshot: crowd_validation::core::SessionSnapshot =
+            serde_json::from_str(&json).unwrap();
+        let mut restored = ValidationSession::restore(snapshot).unwrap();
+        for batch in &scenario.batches[snap_after..] {
+            restored.ingest(batch).unwrap();
+            validate(&mut restored, &mut picks);
+        }
+
+        prop_assert_eq!(picks, ref_picks);
+        prop_assert_eq!(restored.current(), reference.current());
+        prop_assert_eq!(restored.trace(), reference.trace());
+        prop_assert_eq!(restored.votes_ingested(), reference.votes_ingested());
+        prop_assert_eq!(
+            restored.excluded_workers(),
+            reference.excluded_workers()
+        );
+        // And the restored session still checkpoints cleanly.
+        prop_assert_eq!(
+            restored.snapshot().unwrap(),
+            reference.snapshot().unwrap()
+        );
     }
 }
