@@ -93,6 +93,41 @@ impl IncrementalEm {
     }
 }
 
+/// Objects whose assignment row differs between `previous` and `next` by
+/// more than `tolerance` in any label probability, in id order. Objects
+/// beyond `previous` (stream growth) are always reported as moved. This is
+/// the endpoint-diff definition of the converged dirty frontier: everything
+/// a re-aggregation moved beyond its convergence tolerance, whichever phase
+/// (scoped rounds or polish) moved it.
+pub fn moved_rows(
+    previous: &ProbabilisticAnswerSet,
+    next: &ProbabilisticAnswerSet,
+    tolerance: f64,
+) -> Vec<ObjectId> {
+    let m = next.num_labels();
+    if previous.num_labels() != m {
+        // Incompatible label spaces (the arrival fell back to a cold start):
+        // everything moved.
+        return (0..next.num_objects()).map(ObjectId).collect();
+    }
+    let prev = previous.assignment().matrix().as_slice();
+    let cur = next.assignment().matrix().as_slice();
+    let shared = previous.num_objects().min(next.num_objects());
+    let mut moved = Vec::new();
+    for o in 0..shared {
+        let range = o * m..(o + 1) * m;
+        let drifted = prev[range.clone()]
+            .iter()
+            .zip(&cur[range])
+            .any(|(p, c)| (p - c).abs() > tolerance);
+        if drifted {
+            moved.push(ObjectId(o));
+        }
+    }
+    moved.extend((shared..next.num_objects()).map(ObjectId));
+    moved
+}
+
 impl Default for IncrementalEm {
     fn default() -> Self {
         Self::new(EmConfig::paper_default())
@@ -207,6 +242,33 @@ impl Aggregator for IncrementalEm {
                 crate::em::realign_in_workspace(answers, expert, ws, iterations, &self.config);
             ws.export(iterations)
         })
+    }
+
+    /// Arrival with the converged dirty frontier: the endpoint diff between
+    /// the previous state and the re-aggregated one, thresholded at the EM
+    /// convergence tolerance. Rows the frontier-scoped rounds and the
+    /// Aitken-polished finish genuinely moved show up here; rows that only
+    /// absorbed sub-tolerance drift (the residual every converged EM leaves
+    /// behind) do not — that drift is exactly what
+    /// [`Aggregator::drift_tolerance`] promises to bound.
+    fn conclude_arrival_tracked(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+        touched: &[ObjectId],
+        drift_threshold: f64,
+    ) -> crate::ArrivalOutcome {
+        let state = self.conclude_arrival(answers, expert, previous, touched);
+        let moved = moved_rows(previous, &state, drift_threshold.max(self.config.tolerance));
+        crate::ArrivalOutcome {
+            state,
+            moved: Some(moved),
+        }
+    }
+
+    fn drift_tolerance(&self) -> Option<f64> {
+        Some(self.config.tolerance)
     }
 
     fn name(&self) -> &'static str {

@@ -29,7 +29,7 @@ pub mod workspace;
 pub use config::EmConfig;
 pub use delta::{run_delta_em_from_dirty, run_delta_em_in_workspace};
 pub use em::{run_em_in_workspace, run_warm_em, BatchEm};
-pub use iem::IncrementalEm;
+pub use iem::{moved_rows, IncrementalEm};
 pub use init::InitStrategy;
 pub use integration::{aggregate_combined, ExpertIntegration};
 pub use majority::MajorityVoting;
@@ -56,6 +56,23 @@ pub enum ScoringMode {
     /// within that tolerance and is the default for the guidance hot path.
     #[default]
     Delta,
+}
+
+/// A [`Aggregator::conclude_arrival_tracked`] result: the re-aggregated
+/// state plus the *converged dirty frontier* — the objects whose assignment
+/// rows the re-aggregation actually moved beyond the aggregator's
+/// convergence tolerance.
+///
+/// `moved: None` means the aggregator cannot bound what it moved (batch
+/// restarts, unknown custom implementations); callers maintaining derived
+/// caches must then treat the whole corpus as dirty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArrivalOutcome {
+    /// The re-aggregated probabilistic answer set.
+    pub state: ProbabilisticAnswerSet,
+    /// Objects whose assignment row moved beyond the convergence tolerance
+    /// (growth rows included), in id order; `None` when unknown.
+    pub moved: Option<Vec<ObjectId>>,
 }
 
 /// The *conclude* step of the validation process: turn an answer set and the
@@ -138,6 +155,42 @@ pub trait Aggregator: Send + Sync {
     ) -> ProbabilisticAnswerSet {
         let _ = touched;
         self.conclude(answers, expert, Some(previous))
+    }
+
+    /// [`Aggregator::conclude_arrival`] plus the converged dirty frontier:
+    /// which assignment rows the re-aggregation *actually moved* beyond
+    /// `drift_threshold` (clamped up to the aggregator's own convergence
+    /// tolerance — below that, endpoint differences are indistinguishable
+    /// from convergence noise). Sessions maintaining score caches across
+    /// selection steps (§5.4 view maintenance applied *across* steps) use
+    /// the frontier as their invalidation region.
+    ///
+    /// The default forwards to [`Aggregator::conclude_arrival`] and reports
+    /// the frontier as unknown (`moved: None`) — the conservative answer
+    /// that forces cache-maintaining callers to invalidate globally.
+    fn conclude_arrival_tracked(
+        &self,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        previous: &ProbabilisticAnswerSet,
+        touched: &[ObjectId],
+        drift_threshold: f64,
+    ) -> ArrivalOutcome {
+        let _ = drift_threshold;
+        ArrivalOutcome {
+            state: self.conclude_arrival(answers, expert, previous, touched),
+            moved: None,
+        }
+    }
+
+    /// The largest assignment-probability drift a *converged* re-aggregation
+    /// can leave on rows outside its dirty frontier — the EM convergence
+    /// tolerance for the iterative aggregators. `None` (the default) means
+    /// the aggregator cannot bound the drift (e.g. batch restarts whose
+    /// trajectory ignores the previous state); callers maintaining derived
+    /// caches must then invalidate globally after every re-aggregation.
+    fn drift_tolerance(&self) -> Option<f64> {
+        None
     }
 
     /// Human-readable name used in experiment reports.

@@ -77,6 +77,7 @@ impl Fixture {
             candidates: &self.candidates,
             parallel,
             entropy_cache: None,
+            guidance_cache: None,
         }
     }
 }

@@ -38,6 +38,7 @@ fn bench_response_time(c: &mut Criterion) {
                         candidates: &candidates,
                         parallel,
                         entropy_cache: None,
+                        guidance_cache: None,
                     };
                     UncertaintyDriven::exhaustive().select(&ctx)
                 })

@@ -190,17 +190,34 @@ fn main() {
 
     // --- Guidance on the fully grown, anchored corpus: the latency the
     // expert waits on (bench_ingest measures the same point in-process).
+    // Each guided object is validated before the next request — without a
+    // state change in between, every repeat would be a pure exact-cache hit
+    // of the cross-step guidance cache and the p50 would measure a lookup,
+    // not the selection work the 2x boundary gate was built to bound.
     let mut guidance_walls: Vec<f64> = Vec::new();
     for _ in 0..guidance_rounds {
         let start = Instant::now();
         let reply = send(&mut service, Request::RequestGuidance { task: TASK.into() });
         guidance_walls.push(start.elapsed().as_secs_f64() * 1000.0);
         let Response::Guidance {
-            object: Some(_), ..
+            object: Some(object),
+            ..
         } = reply
         else {
             break;
         };
+        let index: usize = object
+            .strip_prefix("obj")
+            .and_then(|i| i.parse().ok())
+            .expect("bench object ids are obj<N>");
+        send(
+            &mut service,
+            Request::SubmitValidation {
+                task: TASK.into(),
+                object,
+                label: LABELS[truth.label(crowdval_model::ObjectId(index)).index()].to_string(),
+            },
+        );
     }
 
     // --- Snapshot: checkpoint the grown task repeatedly.

@@ -171,6 +171,7 @@ pub fn fig07_guidance_consistency() -> Report {
                         candidates: &candidates,
                         parallel: true,
                         entropy_cache: None,
+                        guidance_cache: None,
                     };
                     let mut s = strategy;
                     s.select(&ctx)
@@ -231,6 +232,7 @@ pub fn fig08_iteration_reduction() -> Report {
                     candidates: &candidates,
                     parallel: false,
                     entropy_cache: None,
+                    guidance_cache: None,
                 };
                 strategy.select(&ctx).expect("candidates remain")
             };

@@ -47,6 +47,7 @@ pub fn fig04_response_time() -> Report {
                     candidates: &candidates,
                     parallel,
                     entropy_cache: None,
+                    guidance_cache: None,
                 };
                 let start = Instant::now();
                 let _ = strategy.select(&ctx);

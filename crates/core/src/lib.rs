@@ -9,6 +9,9 @@
 //! * [`scoring`] — the shared hypothesis-scoring engine of the select step's
 //!   hot path: entropy pre-filter, warm-started "what-if" aggregation and
 //!   parallel fan-out (§5.2, §5.4);
+//! * [`guidance_cache`] — cross-step score caching with dirty-region
+//!   invalidation and lazy bound-based (CELF-style) selection, the §5.4
+//!   view-maintenance principle applied *across* selection steps;
 //! * [`strategy`] — the guidance strategies: random, highest-entropy
 //!   baseline, uncertainty-driven (information gain), worker-driven
 //!   (expected spammer detections) and the dynamically weighted hybrid;
@@ -36,6 +39,7 @@ pub mod confirmation;
 pub mod cost;
 pub mod effort;
 pub mod goal;
+pub mod guidance_cache;
 pub mod metrics;
 pub mod parallel;
 pub mod partition;
@@ -51,10 +55,11 @@ pub use confirmation::ConfirmationCheck;
 pub use cost::{BudgetAllocation, CostModel, CostPoint};
 pub use effort::{greedy_max_entropy_subset, joint_entropy_upper_bound};
 pub use goal::ValidationGoal;
+pub use guidance_cache::{GuidanceCache, GuidanceTelemetry, ScoreFamily};
 pub use metrics::{ValidationStep, ValidationTrace};
 pub use partition::{partition_answer_matrix, Block, Partition};
 pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProcessBuilder};
-pub use scoring::{ScoringContext, ScoringEngine, ScoringMode};
+pub use scoring::{LazySelection, ScoringContext, ScoringEngine, ScoringMode};
 pub use session::{SessionUpdate, ValidationSession, ValidationSessionBuilder};
 pub use shortlist::EntropyShortlist;
 pub use snapshot::{SessionSnapshot, SNAPSHOT_FORMAT_VERSION};

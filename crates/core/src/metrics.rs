@@ -6,6 +6,7 @@
 //! percentage of precision improvement `R_i = (P_i − P_0) / (1 − P_0)` and the
 //! uncertainty of the probabilistic answer set.
 
+use crate::guidance_cache::GuidanceTelemetry;
 use crate::strategy::StrategyKind;
 use crowdval_model::{GroundTruth, LabelId, ObjectId};
 use serde::{Deserialize, Serialize};
@@ -33,6 +34,11 @@ pub struct ValidationStep {
     pub excluded_workers: usize,
     /// EM iterations spent in this step's aggregation.
     pub em_iterations: usize,
+    /// Guidance telemetry of the selection that led to this validation:
+    /// candidates evaluated exactly vs served from the cross-step score
+    /// cache, and the hypothesis EM iterations the selection spent (zeros
+    /// when the cache is disabled or no selection preceded the step).
+    pub guidance: GuidanceTelemetry,
 }
 
 /// The full history of a validation run.
@@ -189,6 +195,7 @@ mod tests {
             error_rate: 0.1,
             excluded_workers: 0,
             em_iterations: 3,
+            guidance: GuidanceTelemetry::default(),
         }
     }
 

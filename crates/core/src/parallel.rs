@@ -18,10 +18,21 @@ pub fn score_candidates<F>(
 where
     F: Fn(ObjectId) -> f64 + Sync,
 {
+    map_candidates(candidates, parallel, score)
+}
+
+/// [`score_candidates`] generalized over the per-candidate result type —
+/// the lazy selection path fans out `(score, em_iterations)` pairs for the
+/// candidates it must evaluate unconditionally.
+pub fn map_candidates<T, F>(candidates: &[ObjectId], parallel: bool, f: F) -> Vec<(ObjectId, T)>
+where
+    T: Send,
+    F: Fn(ObjectId) -> T + Sync,
+{
     if parallel {
-        candidates.par_iter().map(|&o| (o, score(o))).collect()
+        candidates.par_iter().map(|&o| (o, f(o))).collect()
     } else {
-        candidates.iter().map(|&o| (o, score(o))).collect()
+        candidates.iter().map(|&o| (o, f(o))).collect()
     }
 }
 

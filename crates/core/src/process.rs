@@ -69,6 +69,13 @@ pub struct ProcessConfig {
     pub handle_faulty_workers: bool,
     /// Whether per-candidate scoring may use multiple threads.
     pub parallel: bool,
+    /// Whether guidance keeps a cross-step score cache with dirty-region
+    /// invalidation and lazy bound-based selection
+    /// ([`crate::guidance_cache`]). On by default; selection order is
+    /// bit-identical either way (property-tested) — `false` forces the
+    /// eager re-score-everything path, which the selection benchmark uses
+    /// as its baseline.
+    pub guidance_cache: bool,
 }
 
 impl Default for ProcessConfig {
@@ -79,6 +86,7 @@ impl Default for ProcessConfig {
             confirmation_check: None,
             handle_faulty_workers: true,
             parallel: false,
+            guidance_cache: true,
         }
     }
 }

@@ -66,8 +66,10 @@
 //!   re-aggregation without one validation at a time, which is the same
 //!   warm-started hypothesis evaluation with the hypothesis *removed*.
 
+use crate::guidance_cache::{CachedScore, GuidanceCache, GuidanceTelemetry, ScoreFamily};
 use crate::parallel::score_candidates;
 use crate::shortlist::EntropyShortlist;
+use crate::strategy::argmax_object;
 use crowdval_aggregation::Aggregator;
 pub use crowdval_aggregation::ScoringMode;
 use crowdval_model::{
@@ -75,6 +77,7 @@ use crowdval_model::{
 };
 use crowdval_spammer::SpammerDetector;
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// Labels whose current assignment probability is at or below this weight are
 /// skipped during hypothesis evaluation (§5.2: they contribute almost nothing
@@ -88,6 +91,34 @@ pub const NEGLIGIBLE_WEIGHT: f64 = 1e-6;
 
 /// Default width of the entropy pre-filter shortlist.
 pub const DEFAULT_SHORTLIST: usize = 32;
+
+/// Result of a lazy (cache-aware) selection: the picked object plus how the
+/// step was served.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LazySelection {
+    /// The exact argmax, `None` when there were no candidates.
+    pub selected: Option<ObjectId>,
+    /// How many candidates were evaluated exactly vs served from the cache.
+    pub telemetry: GuidanceTelemetry,
+}
+
+/// Argmax accumulator mirroring [`argmax_object`]'s comparison exactly:
+/// NaN scores act as `-∞`, ties break toward the smaller object id.
+fn consider(best: &mut Option<(ObjectId, f64)>, o: ObjectId, score: f64) {
+    let s = if score.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        score
+    };
+    match *best {
+        None => *best = Some((o, s)),
+        Some((bo, bs)) => {
+            if s > bs || (s == bs && o < bo) {
+                *best = Some((o, s));
+            }
+        }
+    }
+}
 
 /// Everything the engine needs to evaluate hypotheses against the current
 /// validation state. Borrowed wholesale from the validation process (or from
@@ -214,13 +245,26 @@ impl ScoringEngine {
         entropy_of: impl Fn(ObjectId) -> f64,
     ) -> Vec<ObjectId> {
         match self.shortlist_limit {
+            Some(0) => Vec::new(),
             Some(limit) if candidates.len() > limit => {
-                // Cache each candidate's entropy once; the sort must not
+                // Cache each candidate's entropy once; the ordering must not
                 // re-invoke the entropy source per comparison.
                 let mut by_entropy: Vec<(ObjectId, f64)> =
                     candidates.iter().map(|&o| (o, entropy_of(o))).collect();
-                by_entropy.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
-                by_entropy.into_iter().take(limit).map(|(o, _)| o).collect()
+                // The comparator is a total order even on NaN entropies
+                // (`total_cmp`; NaNs sort below every real entropy) and has
+                // no equal elements (the object-id tie-break is unique), so
+                // partitioning the top `limit` first and sorting only the
+                // kept prefix selects bitwise the same shortlist as the full
+                // sort did — in O(n + limit log limit) instead of
+                // O(n log n).
+                let cmp = |a: &(ObjectId, f64), b: &(ObjectId, f64)| {
+                    b.1.total_cmp(&a.1).then(a.0.cmp(&b.0))
+                };
+                by_entropy.select_nth_unstable_by(limit - 1, cmp);
+                by_entropy.truncate(limit);
+                by_entropy.sort_unstable_by(cmp);
+                by_entropy.into_iter().map(|(o, _)| o).collect()
             }
             _ => candidates.to_vec(),
         }
@@ -258,7 +302,22 @@ impl ScoringEngine {
         object: ObjectId,
         mode: ScoringMode,
     ) -> f64 {
+        Self::conditional_entropy_counting(aggregator, answers, expert, current, object, mode).0
+    }
+
+    /// [`ScoringEngine::conditional_entropy_of`] plus the number of EM
+    /// iterations its hypothesis evaluations spent — the telemetry the lazy
+    /// selection path reports per step.
+    pub fn conditional_entropy_counting(
+        aggregator: &dyn Aggregator,
+        answers: &AnswerSet,
+        expert: &ExpertValidation,
+        current: &ProbabilisticAnswerSet,
+        object: ObjectId,
+        mode: ScoringMode,
+    ) -> (f64, usize) {
         let mut expected = 0.0;
+        let mut em_iterations = 0;
         for l in 0..answers.num_labels() {
             let label = LabelId(l);
             let weight = current.assignment().prob(object, label);
@@ -268,9 +327,10 @@ impl ScoringEngine {
             let hypothesis = Self::evaluate_hypothesis(
                 aggregator, answers, expert, current, object, label, mode,
             );
+            em_iterations += hypothesis.em_iterations();
             expected += weight * hypothesis.uncertainty();
         }
-        expected
+        (expected, em_iterations)
     }
 
     /// Information gain `IG(o) = H(P) − H(P | o)` (Eq. 9): the expected
@@ -361,6 +421,248 @@ impl ScoringEngine {
         })
     }
 
+    // -----------------------------------------------------------------------
+    // (d) lazy bound-based selection over the guidance cache
+    // -----------------------------------------------------------------------
+
+    /// Selects the information-gain argmax over `candidates`, serving scores
+    /// from `cache` where possible (see [`crate::guidance_cache`] for the
+    /// exactness argument). With `cache: None` this is exactly the eager
+    /// path: score the whole shortlist, take the argmax.
+    ///
+    /// The cached path picks **the same object, bitwise**, as the eager
+    /// path: entries at the current cache version are values an evaluation
+    /// against the current state would reproduce; stale entries only order
+    /// the exact re-evaluations (descending bound, CELF-style) and justify
+    /// stopping once the best fresh score strictly dominates the next stale
+    /// bound (per-age slack from [`stale_bound_margin`]); the argmax comparison
+    /// (NaN as `-∞`, ties to the smaller id) mirrors the eager
+    /// [`crate::strategy::argmax_object`].
+    pub fn select_information_gain(
+        &self,
+        ctx: &ScoringContext<'_>,
+        candidates: &[ObjectId],
+        cache: Option<&RefCell<GuidanceCache>>,
+    ) -> LazySelection {
+        let Some(cell) = cache else {
+            let scores = self.information_gain_scores(ctx, candidates);
+            return LazySelection {
+                selected: argmax_object(&scores),
+                telemetry: GuidanceTelemetry {
+                    evaluated: scores.len(),
+                    ..GuidanceTelemetry::default()
+                },
+            };
+        };
+        let shortlist = self.shortlist_in(ctx, candidates);
+        let total_uncertainty = ctx.current.uncertainty();
+        // Per-step drift slack, scaled to the last observed best score
+        // (None until a reference exists: then nothing is skipped).
+        let margin = cell.borrow().stale_bound_margin(ctx.current.num_objects());
+        let mode = self.mode;
+        let mut cache = cell.borrow_mut();
+        let mut telemetry = GuidanceTelemetry::default();
+        let mut best: Option<(ObjectId, f64)> = None;
+        // Exact entries stand in for evaluations outright. Candidates with
+        // no usable entry (missing, invalidated, NaN, or no margin
+        // reference) must be evaluated unconditionally — they go through
+        // the parallel fan-out like the eager path, since no skip decision
+        // depends on their order. The rest queue with their aged stale
+        // bound (`value + age · margin`) for the serial lazy loop, whose
+        // early termination is inherently sequential.
+        let mut must_evaluate: Vec<ObjectId> = Vec::new();
+        let mut pending: Vec<(ObjectId, f64)> = Vec::new();
+        for &o in &shortlist {
+            match cache.lookup(ScoreFamily::InformationGain, o) {
+                CachedScore::Exact(v) => {
+                    telemetry.served_from_cache += 1;
+                    consider(&mut best, o, v);
+                }
+                CachedScore::Stale { value, age } if !value.is_nan() && margin.is_some() => {
+                    pending.push((o, value + age as f64 * margin.unwrap_or(0.0)));
+                }
+                _ => must_evaluate.push(o),
+            }
+        }
+        for (o, (conditional, em_iterations)) in
+            crate::parallel::map_candidates(&must_evaluate, ctx.parallel, |o| {
+                Self::conditional_entropy_counting(
+                    ctx.aggregator,
+                    ctx.answers,
+                    ctx.expert,
+                    ctx.current,
+                    o,
+                    mode,
+                )
+            })
+        {
+            let score = total_uncertainty - conditional;
+            cache.store(ScoreFamily::InformationGain, o, score);
+            telemetry.evaluated += 1;
+            telemetry.em_iterations += em_iterations;
+            consider(&mut best, o, score);
+        }
+        pending.sort_unstable_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+        // Two tripwires guard the diminishing-returns assumption the stale
+        // bounds rest on. The near-chance crowd can reorganize around a
+        // basin boundary and inflate every hypothesis's gain at once — a
+        // change no dirty-region diff sees coming. (1) The *reorganization
+        // ceiling*: in the diminishing regime the per-step best only
+        // declines, so skips are permitted only while the running best
+        // stays under the last step's best plus drift slack; a best beyond
+        // the ceiling turns the step into a full re-score. (2) The
+        // *self-violation check*: a freshly evaluated candidate landing
+        // above its own aged bound proves the bounds are broken this step,
+        // so the remaining candidates are all evaluated instead of skipped.
+        // A best that the stale landscape cannot explain — above every
+        // stale bound, or above the last step's best, beyond drift slack —
+        // is itself evidence of reorganization: domination becomes
+        // suspiciously easy exactly when the bounds are broken. And an
+        // information gain beyond `ln(labels)` exceeds what resolving the
+        // candidate's *own* entropy can yield, proving the validation would
+        // cascade through other objects (the near-chance crowd's
+        // basin-boundary regime) — long-range coupling that no dirty-region
+        // diff can see coming, so no skip is trusted there at all.
+        let max_stale_bound = pending
+            .iter()
+            .map(|&(_, b)| b)
+            .filter(|b| b.is_finite())
+            .fold(f64::NEG_INFINITY, f64::max);
+        let cascade_cap = (ctx.answers.num_labels().max(2) as f64).ln();
+        let ceiling = margin.and_then(|m| {
+            cache
+                .trusted_best_ceiling(m)
+                .map(|c| c.min(max_stale_bound + m).min(cascade_cap))
+        });
+        let mut bounds_trusted = true;
+        let mut stop_at = pending.len();
+        for (i, &(o, bound)) in pending.iter().enumerate() {
+            if let (Some((_, best_score)), Some(ceiling)) = (best, ceiling) {
+                if bounds_trusted
+                    && bound.is_finite()
+                    && best_score > bound
+                    && best_score <= ceiling
+                {
+                    // Every remaining candidate's bound is at most `bound`:
+                    // none can reach the current best.
+                    stop_at = i;
+                    break;
+                }
+            }
+            let (conditional, em_iterations) = Self::conditional_entropy_counting(
+                ctx.aggregator,
+                ctx.answers,
+                ctx.expert,
+                ctx.current,
+                o,
+                mode,
+            );
+            let score = total_uncertainty - conditional;
+            if bound.is_finite() && score > bound {
+                bounds_trusted = false;
+            }
+            cache.store(ScoreFamily::InformationGain, o, score);
+            telemetry.evaluated += 1;
+            telemetry.em_iterations += em_iterations;
+            consider(&mut best, o, score);
+        }
+        telemetry.served_from_cache += pending.len() - stop_at;
+        if std::env::var_os("CROWDVAL_GUIDANCE_DEBUG").is_some() {
+            eprintln!(
+                "select: best={:?} margin={margin:?} ceiling={ceiling:?} \
+                 cascade={cascade_cap:.3} pending={} stop_at={stop_at} trusted={bounds_trusted}",
+                best.map(|(_, s)| s),
+                pending.len(),
+            );
+        }
+        if let Some((_, best_score)) = best {
+            cache.note_best_ig(best_score);
+        }
+        cache.record_step(telemetry);
+        if std::env::var_os("CROWDVAL_GUIDANCE_PARANOID").is_some() {
+            // Verifier mode: every skipped candidate's fresh score must
+            // actually lose to the selected best — a violation is reported
+            // with its magnitude (so the drift threshold / margin pair can
+            // be recalibrated) and then **panics**, making any run under
+            // this flag a hard proof of the skip decisions it executed.
+            if let Some((bo, bs)) = best {
+                for &(o, bound) in &pending[stop_at..] {
+                    let (conditional, _) = Self::conditional_entropy_counting(
+                        ctx.aggregator,
+                        ctx.answers,
+                        ctx.expert,
+                        ctx.current,
+                        o,
+                        mode,
+                    );
+                    let fresh = total_uncertainty - conditional;
+                    assert!(
+                        !(fresh > bs || (fresh == bs && o < bo)),
+                        "PARANOID: skipped {o} fresh {fresh:.6} beats best {bo} {bs:.6} \
+                         (aged bound {bound:.6}, entry {:?}, rise {:+.6})",
+                        cache.lookup(ScoreFamily::InformationGain, o),
+                        fresh - bound
+                    );
+                }
+            }
+        }
+        LazySelection {
+            selected: best.map(|(o, _)| o),
+            telemetry,
+        }
+    }
+
+    /// Selects the expected-detection argmax over `candidates` (no entropy
+    /// pre-filter — a certain object can still expose faulty workers),
+    /// reusing cache entries only at an unchanged version. Detection scores
+    /// *grow* as validations accumulate, so stale entries are never trusted
+    /// as bounds — they are re-evaluated like misses; the cache still
+    /// short-circuits repeated guidance requests against an unchanged state.
+    pub fn select_detections(
+        &self,
+        ctx: &ScoringContext<'_>,
+        candidates: &[ObjectId],
+        cache: Option<&RefCell<GuidanceCache>>,
+    ) -> LazySelection {
+        let Some(cell) = cache else {
+            let scores = self.detection_scores(ctx, candidates);
+            return LazySelection {
+                selected: argmax_object(&scores),
+                telemetry: GuidanceTelemetry {
+                    evaluated: scores.len(),
+                    ..GuidanceTelemetry::default()
+                },
+            };
+        };
+        let mut cache = cell.borrow_mut();
+        let mut telemetry = GuidanceTelemetry::default();
+        let mut best: Option<(ObjectId, f64)> = None;
+        let mut must_evaluate: Vec<ObjectId> = Vec::new();
+        for &o in candidates {
+            match cache.lookup(ScoreFamily::Detections, o) {
+                CachedScore::Exact(v) => {
+                    telemetry.served_from_cache += 1;
+                    consider(&mut best, o, v);
+                }
+                _ => must_evaluate.push(o),
+            }
+        }
+        // The non-reusable candidates fan out in parallel like the eager
+        // path — there is no early termination to serialize here.
+        for (o, score) in crate::parallel::score_candidates(&must_evaluate, ctx.parallel, |o| {
+            Self::expected_detections_of(ctx.detector, ctx.answers, ctx.expert, ctx.current, o)
+        }) {
+            cache.store(ScoreFamily::Detections, o, score);
+            telemetry.evaluated += 1;
+            consider(&mut best, o, score);
+        }
+        cache.record_step(telemetry);
+        LazySelection {
+            selected: best.map(|(o, _)| o),
+            telemetry,
+        }
+    }
+
     /// Leave-one-out confirmation sweep (§5.5): for every validated object,
     /// re-aggregates without that validation (warm-started) and reports the
     /// objects whose reconstructed label disagrees with the expert's. Runs
@@ -397,6 +699,76 @@ impl ScoringEngine {
 mod tests {
     use super::*;
     use crate::strategy::tests_support::context_fixture;
+
+    #[test]
+    fn lazy_selection_matches_eager_argmax_and_serves_repeats_from_cache() {
+        let fixture = context_fixture(14, 6, 2, 47);
+        let candidates: Vec<ObjectId> = (0..14).map(ObjectId).collect();
+        let engine = ScoringEngine::with_shortlist(6);
+        let ctx = ScoringContext {
+            answers: &fixture.answers,
+            expert: &fixture.expert,
+            current: &fixture.current,
+            aggregator: &fixture.aggregator,
+            detector: &fixture.detector,
+            parallel: false,
+            entropy_cache: None,
+        };
+
+        let eager = engine.select_information_gain(&ctx, &candidates, None);
+        assert!(eager.selected.is_some());
+        assert_eq!(eager.telemetry.evaluated, 6);
+
+        // A cold cache evaluates everything and picks the same object.
+        let cache = RefCell::new(GuidanceCache::new());
+        let first = engine.select_information_gain(&ctx, &candidates, Some(&cache));
+        assert_eq!(first.selected, eager.selected);
+        assert_eq!(first.telemetry.evaluated, 6);
+        assert_eq!(first.telemetry.served_from_cache, 0);
+        assert!(first.telemetry.em_iterations > 0);
+
+        // Unchanged state: the repeat is served entirely from exact entries.
+        let second = engine.select_information_gain(&ctx, &candidates, Some(&cache));
+        assert_eq!(second.selected, eager.selected);
+        assert_eq!(second.telemetry.evaluated, 0);
+        assert_eq!(second.telemetry.served_from_cache, 6);
+
+        // After a version bump with no actual state change, the lazy loop
+        // works from stale bounds — and must still land on the same argmax.
+        cache.borrow_mut().bump_version();
+        let third = engine.select_information_gain(&ctx, &candidates, Some(&cache));
+        assert_eq!(third.selected, eager.selected);
+
+        // Detection family: same argmax as eager, exact repeats served.
+        let det_eager = engine.select_detections(&ctx, &candidates, None);
+        let det_first = engine.select_detections(&ctx, &candidates, Some(&cache));
+        assert_eq!(det_first.selected, det_eager.selected);
+        let det_second = engine.select_detections(&ctx, &candidates, Some(&cache));
+        assert_eq!(det_second.selected, det_eager.selected);
+        assert_eq!(det_second.telemetry.evaluated, 0);
+
+        // Telemetry accumulated across the recorded steps.
+        let totals = cache.borrow().totals();
+        assert!(totals.evaluated > 0 && totals.served_from_cache > 0);
+
+        // The parallel fan-out over must-evaluate candidates picks the same
+        // object from a cold cache.
+        let parallel_ctx = ScoringContext {
+            parallel: true,
+            ..ctx
+        };
+        let parallel_cache = RefCell::new(GuidanceCache::new());
+        let parallel =
+            engine.select_information_gain(&parallel_ctx, &candidates, Some(&parallel_cache));
+        assert_eq!(parallel.selected, eager.selected);
+        assert_eq!(parallel.telemetry.evaluated, 6);
+        assert_eq!(
+            engine
+                .select_detections(&parallel_ctx, &candidates, Some(&parallel_cache))
+                .selected,
+            det_eager.selected
+        );
+    }
 
     #[test]
     fn shortlist_keeps_the_most_uncertain_candidates() {

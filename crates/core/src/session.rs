@@ -28,6 +28,7 @@
 //! [`crate::process::ValidationProcess`] is "ingest everything at build time,
 //! then validate" over this session core.
 
+use crate::guidance_cache::{GuidanceCache, GuidanceTelemetry};
 use crate::metrics::{ValidationStep, ValidationTrace};
 use crate::process::{ExpertSource, ProcessConfig};
 use crate::scoring::ScoringContext;
@@ -41,6 +42,7 @@ use crowdval_model::{
 };
 use crowdval_spammer::{FaultyWorkerHandler, SpammerDetector};
 use serde::{Deserialize, Serialize};
+use std::cell::RefCell;
 
 /// What one [`ValidationSession::ingest`] call did to the session.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -60,6 +62,9 @@ pub struct SessionUpdate {
     /// of the assignment that actually moved in this update, growth rows
     /// included — not counting entries still dirty from earlier updates).
     pub invalidated_entries: usize,
+    /// Guidance-cache entries this arrival dropped (dirty-region
+    /// invalidation; 0 when the cache is disabled or was already empty).
+    pub guidance_invalidated: usize,
     /// Uncertainty `H(P)` after the update.
     pub uncertainty: f64,
 }
@@ -225,6 +230,16 @@ pub struct ValidationSession {
     expert: ExpertValidation,
     current: ProbabilisticAnswerSet,
     shortlist: EntropyShortlist,
+    /// Cross-step guidance score cache (§5.4 view maintenance across
+    /// selection steps). Interior mutability because the selection
+    /// strategies update it through a shared [`StrategyContext`]; dropped on
+    /// snapshot and rebuilt lazily on restore (exactness-on-miss makes that
+    /// safe — the first post-restore selection is a full re-score with the
+    /// same exact argmax).
+    guidance: RefCell<GuidanceCache>,
+    /// Telemetry of the most recent `select_next`, consumed into the trace
+    /// step of the validation that follows it.
+    last_guidance: GuidanceTelemetry,
     trace: ValidationTrace,
     iteration: usize,
     votes_ingested: usize,
@@ -269,6 +284,8 @@ impl ValidationSession {
             expert,
             current,
             shortlist,
+            guidance: RefCell::new(GuidanceCache::new()),
+            last_guidance: GuidanceTelemetry::default(),
             trace,
             iteration: 0,
             votes_ingested: 0,
@@ -312,6 +329,7 @@ impl ValidationSession {
                 touched_objects: Vec::new(),
                 em_iterations: 0,
                 invalidated_entries: 0,
+                guidance_invalidated: 0,
                 uncertainty: self.current.uncertainty(),
             });
         }
@@ -348,22 +366,51 @@ impl ValidationSession {
         // bounding hysteresis: the warm state always descends from a cold
         // init on at least half the current corpus.
         let total_answers = self.active_answers.matrix().num_answers();
-        let next = if total_answers >= 2 * self.answers_at_last_cold.max(1) {
+        let (next, moved) = if total_answers >= 2 * self.answers_at_last_cold.max(1) {
             self.answers_at_last_cold = total_answers;
-            self.aggregator
-                .conclude(&self.active_answers, &self.expert, None)
-        } else {
-            self.aggregator.conclude_arrival(
+            // Cold re-anchor: the trajectory restarts from a majority-vote
+            // init, so nothing about the previous state bounds what moved —
+            // the guidance cache must be invalidated globally.
+            (
+                self.aggregator
+                    .conclude(&self.active_answers, &self.expert, None),
+                None,
+            )
+        } else if self.config.guidance_cache {
+            let outcome = self.aggregator.conclude_arrival_tracked(
                 &self.active_answers,
                 &self.expert,
                 &self.current,
                 &touched,
+                crate::guidance_cache::GUIDANCE_DRIFT_THRESHOLD,
+            );
+            (outcome.state, outcome.moved)
+        } else {
+            // No guidance cache to maintain: skip the frontier diff.
+            (
+                self.aggregator.conclude_arrival(
+                    &self.active_answers,
+                    &self.expert,
+                    &self.current,
+                    &touched,
+                ),
+                None,
             )
         };
         let invalidated = self
             .shortlist
             .invalidate_changed(self.current.assignment(), next.assignment());
         self.current = next;
+        // No uncertainty-rise guard here: arrivals legitimately raise the
+        // total entropy (new objects enter at near-maximal uncertainty) and
+        // information gain is differential — an additive shift of `H(P)`
+        // moves every retained score equally, so the bounds stay ordered.
+        // The touched objects themselves need no extra invalidation: a new
+        // vote that moves its object's row beyond the drift threshold lands
+        // the object in `moved`; one that does not perturbs the hypothesis
+        // scores by far less than the lazy loop's stale-bound margin (the
+        // vote re-weights one worker's confusion row by `O(1/answers)`).
+        let guidance_invalidated = self.refresh_guidance_cache(moved.as_deref(), None);
 
         Ok(SessionUpdate {
             votes_ingested: votes.len(),
@@ -372,8 +419,61 @@ impl ValidationSession {
             touched_objects: touched,
             em_iterations: self.current.em_iterations(),
             invalidated_entries: invalidated,
+            guidance_invalidated,
             uncertainty: self.current.uncertainty(),
         })
+    }
+
+    /// Dirty-region maintenance of the cross-step guidance cache after a
+    /// state change. `moved` is the converged dirty frontier of the
+    /// re-aggregation — the rows that moved beyond
+    /// [`crate::guidance_cache::GUIDANCE_DRIFT_THRESHOLD`] — with `None`
+    /// meaning "unbounded change": the whole cache is dropped and the next
+    /// selection degenerates to a full re-score pass. Callers pass `None`
+    /// whenever they cannot bound what happened: an aggregator without a
+    /// drift tolerance, a cold re-anchor, a flipped worker exclusion, a
+    /// revalidation, or a total-uncertainty *increase* after a validation
+    /// (the model got more confused — exactly when retained scores stop
+    /// being trustworthy upper bounds).
+    ///
+    /// Below three validations everything is dropped each step as well: the
+    /// hypothesis scorer's label-orientation fallback switches between the
+    /// exact and delta paths around the two-anchor threshold, so scores
+    /// jump discontinuously.
+    ///
+    /// Detection scores are invalidated on *every* change: their evidence
+    /// base (the per-worker validation confusions) shifts globally with each
+    /// validation or arrival, and they grow over time, so stale entries are
+    /// not valid upper bounds.
+    ///
+    /// `extra` names objects to drop regardless of the frontier (the freshly
+    /// validated object — it leaves the candidate set, so its entry is dead
+    /// weight either way).
+    ///
+    /// Returns the number of entries dropped.
+    fn refresh_guidance_cache(
+        &mut self,
+        moved: Option<&[ObjectId]>,
+        extra: Option<&[ObjectId]>,
+    ) -> usize {
+        if !self.config.guidance_cache {
+            return 0;
+        }
+        let cache = self.guidance.get_mut();
+        let before = cache.retained_entries();
+        cache.bump_version();
+        cache.invalidate_detections();
+        if moved.is_none() || self.expert.count() < 3 {
+            cache.invalidate_all();
+        } else {
+            for &o in moved.unwrap_or(&[]) {
+                cache.invalidate_object(o);
+            }
+            for &o in extra.unwrap_or(&[]) {
+                cache.invalidate_object(o);
+            }
+        }
+        before - cache.retained_entries()
     }
 
     /// Total votes absorbed through [`ValidationSession::ingest`].
@@ -413,6 +513,20 @@ impl ValidationSession {
     /// Number of validations performed so far.
     pub fn iterations(&self) -> usize {
         self.iteration
+    }
+
+    /// Telemetry of the most recent `select_next` (zeros when the guidance
+    /// cache is disabled or no selection ran yet): candidates evaluated
+    /// exactly vs served from the cross-step cache, and the hypothesis EM
+    /// iterations the step spent.
+    pub fn last_guidance_telemetry(&self) -> GuidanceTelemetry {
+        self.last_guidance
+    }
+
+    /// Cumulative guidance telemetry across every selection step so far
+    /// (zeros when the guidance cache is disabled).
+    pub fn guidance_totals(&self) -> GuidanceTelemetry {
+        self.guidance.borrow().totals()
     }
 
     /// The deterministic assignment assumed correct at this point: the
@@ -482,6 +596,9 @@ impl ValidationSession {
         // Bring the entropy cache up to date once; the strategies then
         // re-rank from cached values instead of recomputing every entropy.
         self.shortlist.refresh(&self.current);
+        if self.config.guidance_cache {
+            self.guidance.get_mut().begin_step();
+        }
         let mut strategy = self
             .strategy
             .take()
@@ -496,10 +613,14 @@ impl ValidationSession {
                 candidates: &candidates,
                 parallel: self.config.parallel,
                 entropy_cache: Some(&self.shortlist),
+                guidance_cache: self.config.guidance_cache.then_some(&self.guidance),
             };
             strategy.select(&ctx)
         };
         self.strategy = Some(strategy);
+        if self.config.guidance_cache {
+            self.last_guidance = self.guidance.get_mut().last_step();
+        }
         picked
     }
 
@@ -519,6 +640,8 @@ impl ValidationSession {
     ) -> Result<Vec<ObjectId>, ModelError> {
         self.check_validation_target(object, label)?;
         self.iteration += 1;
+        let uncertainty_before = self.current.uncertainty();
+        let excluded_before = self.handler.num_excluded();
         // Error rate of the previous estimate on the validated object
         // (Algorithm 1 line 10).
         let error_rate = 1.0 - self.current.assignment().prob(object, label);
@@ -549,7 +672,20 @@ impl ValidationSession {
         let strategy_kind = strategy.last_kind();
 
         // Conclude: update the probabilistic answer set (line 16).
-        self.reaggregate();
+        let moved = self.reaggregate();
+        // A flipped exclusion changes the aggregation *view*, and a rising
+        // total uncertainty means the validation made the model more
+        // confused — in both cases nothing about the previous state bounds
+        // what happened to retained scores, so the region degrades to
+        // global.
+        let moved = if self.handler.num_excluded() != excluded_before
+            || self.current.uncertainty() > uncertainty_before
+        {
+            None
+        } else {
+            moved
+        };
+        self.refresh_guidance_cache(moved.as_deref(), Some(&[object]));
 
         self.record_step(object, label, strategy_kind, error_rate);
 
@@ -582,14 +718,31 @@ impl ValidationSession {
     }
 
     /// Warm full re-aggregation over the active view, diffing assignments
-    /// into the entropy cache.
-    fn reaggregate(&mut self) {
+    /// into the entropy cache. Returns the converged dirty frontier — the
+    /// rows that moved beyond the guidance drift threshold (clamped up to
+    /// the aggregator's own convergence tolerance) — or `None` when the
+    /// aggregator cannot bound its drift.
+    fn reaggregate(&mut self) -> Option<Vec<ObjectId>> {
         let next =
             self.aggregator
                 .conclude(&self.active_answers, &self.expert, Some(&self.current));
+        // The frontier diff only feeds the guidance cache — skip it (and
+        // its allocation) entirely when the cache is disabled.
+        let moved = if self.config.guidance_cache {
+            self.aggregator.drift_tolerance().map(|tol| {
+                crowdval_aggregation::moved_rows(
+                    &self.current,
+                    &next,
+                    tol.max(crate::guidance_cache::GUIDANCE_DRIFT_THRESHOLD),
+                )
+            })
+        } else {
+            None
+        };
         self.shortlist
             .invalidate_changed(self.current.assignment(), next.assignment());
         self.current = next;
+        moved
     }
 
     /// The scoring view of the current validation state: what the guidance
@@ -620,6 +773,9 @@ impl ValidationSession {
         let error_rate = 1.0 - self.current.assignment().prob(object, label);
         self.expert.set(object, label);
         self.reaggregate();
+        // Replacing a validation rewrites history — scores retained under
+        // the old validation are not bounds on anything. Global drop.
+        self.refresh_guidance_cache(None, None);
         let kind = self
             .strategy
             .as_ref()
@@ -636,6 +792,9 @@ impl ValidationSession {
         error_rate: f64,
     ) {
         let precision = self.precision();
+        // Consume the telemetry of the selection that led to this
+        // validation; a revalidation (no fresh selection) records zeros.
+        let guidance = std::mem::take(&mut self.last_guidance);
         self.trace.steps.push(ValidationStep {
             iteration: self.iteration,
             object,
@@ -646,6 +805,7 @@ impl ValidationSession {
             error_rate,
             excluded_workers: self.handler.num_excluded(),
             em_iterations: self.current.em_iterations(),
+            guidance,
         });
     }
 
@@ -837,6 +997,11 @@ impl ValidationSession {
             expert: snapshot.expert,
             current: snapshot.current,
             shortlist,
+            // The guidance cache is not part of the snapshot: it is rebuilt
+            // lazily, and exactness-on-miss means the restored session's
+            // first selection is a full re-score with the same exact argmax.
+            guidance: RefCell::new(GuidanceCache::new()),
+            last_guidance: GuidanceTelemetry::default(),
             trace: snapshot.trace,
             iteration: snapshot.iteration,
             votes_ingested: snapshot.votes_ingested,

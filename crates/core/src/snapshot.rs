@@ -10,10 +10,15 @@
 //! RNG streams included, so even roulette-wheel strategies resume mid-draw.
 //!
 //! What is *not* stored is anything derivable: the masked active answer view
-//! is rebuilt from the vote stream plus the exclusion set, and the entropy
+//! is rebuilt from the vote stream plus the exclusion set, the entropy
 //! shortlist is rebuilt dirty and recomputes its cached values from the
 //! restored posterior (the cache is bitwise-exact with respect to the
-//! posterior, so recomputation cannot drift — see [`crate::shortlist`]).
+//! posterior, so recomputation cannot drift — see [`crate::shortlist`]),
+//! and the cross-step guidance score cache is dropped outright and rebuilt
+//! lazily: a missing entry is always evaluated exactly, never estimated, so
+//! the restored session's first selection is a full re-score pass whose
+//! winner is the same exact argmax the warm-cached live session picks (see
+//! [`crate::guidance_cache`]).
 //!
 //! Snapshots are plain serde values: ship them through `serde_json` for the
 //! service's crash-recovery path ([`crowdval-service`'s `Snapshot`/`Restore`
@@ -29,8 +34,10 @@ use serde::{Deserialize, Serialize};
 
 /// Version tag written into every snapshot; bumped when the layout changes
 /// so a restore can reject snapshots from an incompatible build instead of
-/// misinterpreting them.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 1;
+/// misinterpreting them. v2: [`ProcessConfig`] gained the `guidance_cache`
+/// switch and [`crate::metrics::ValidationStep`] the per-step guidance
+/// telemetry.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
 
 /// A complete, serializable checkpoint of a validation session. Produce one
 /// with [`crate::session::ValidationSession::snapshot`], resume with

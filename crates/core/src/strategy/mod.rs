@@ -48,6 +48,14 @@ pub struct StrategyContext<'a> {
     /// caller maintains one (the streaming session does; ad-hoc contexts
     /// pass `None` and entropies are recomputed from `current`).
     pub entropy_cache: Option<&'a crate::shortlist::EntropyShortlist>,
+    /// Cross-step guidance score cache, when the caller maintains one (the
+    /// streaming session does). Strategies built on hypothesis scoring route
+    /// their selection through
+    /// [`crate::scoring::ScoringEngine::select_information_gain`] /
+    /// [`crate::scoring::ScoringEngine::select_detections`], which serve
+    /// scores from this cache where possible; `None` falls back to the
+    /// eager re-score-everything path.
+    pub guidance_cache: Option<&'a std::cell::RefCell<crate::guidance_cache::GuidanceCache>>,
 }
 
 impl<'a> StrategyContext<'a> {
@@ -229,6 +237,7 @@ pub(crate) mod tests_support {
                 candidates,
                 parallel: false,
                 entropy_cache: None,
+                guidance_cache: None,
             }
         }
 

@@ -14,7 +14,7 @@
 //! and parallel fan-out (§5.4) — to the shared
 //! [`crate::scoring::ScoringEngine`].
 
-use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
+use super::{SelectionStrategy, StrategyContext, StrategyKind};
 use crate::scoring::ScoringEngine;
 use crowdval_model::ObjectId;
 
@@ -68,8 +68,11 @@ impl SelectionStrategy for UncertaintyDriven {
         if ctx.candidates.is_empty() {
             return None;
         }
-        let scores = self.scores(ctx);
-        argmax_object(&scores)
+        // Lazy bound-based selection over the caller's guidance cache; with
+        // no cache attached this is exactly the eager score-then-argmax.
+        self.engine
+            .select_information_gain(&ctx.scoring(), ctx.candidates, ctx.guidance_cache)
+            .selected
     }
 
     fn last_kind(&self) -> StrategyKind {

@@ -6,7 +6,7 @@
 //! the number of workers that would be flagged as spammers or sloppy if the
 //! expert asserted label `l` for object `o` (Eq. 12).
 
-use super::{argmax_object, SelectionStrategy, StrategyContext, StrategyKind};
+use super::{SelectionStrategy, StrategyContext, StrategyKind};
 use crate::scoring::ScoringEngine;
 use crowdval_model::ObjectId;
 
@@ -42,8 +42,11 @@ impl SelectionStrategy for WorkerDriven {
         if ctx.candidates.is_empty() {
             return None;
         }
-        let scores = Self::scores(ctx);
-        argmax_object(&scores)
+        // Same argmax as the eager path; cache entries at an unchanged
+        // version short-circuit repeated guidance requests.
+        ScoringEngine::exhaustive()
+            .select_detections(&ctx.scoring(), ctx.candidates, ctx.guidance_cache)
+            .selected
     }
 
     fn last_kind(&self) -> StrategyKind {

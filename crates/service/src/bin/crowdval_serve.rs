@@ -23,6 +23,10 @@ fn main() {
     let stdout = io::stdout();
     let mut out = stdout.lock();
     let mut service = ValidationService::new();
+    // One reply buffer for the whole conversation: each line serializes into
+    // the cleared buffer instead of allocating a fresh `String` per reply,
+    // so steady-state serving does not churn the allocator per request.
+    let mut reply_buf: Vec<u8> = Vec::with_capacity(4096);
 
     for line in stdin.lock().lines() {
         let line = match line {
@@ -39,9 +43,11 @@ fn main() {
                 message: e.to_string(),
             }),
         };
-        match serde_json::to_string(&reply) {
-            Ok(json) => {
-                if writeln!(out, "{json}").is_err() {
+        reply_buf.clear();
+        match serde_json::to_writer(&mut reply_buf, &reply) {
+            Ok(()) => {
+                reply_buf.push(b'\n');
+                if out.write_all(&reply_buf).is_err() {
                     break; // downstream closed the pipe
                 }
             }

@@ -1,0 +1,113 @@
+//! Regenerates the committed service smoke conversation and its golden
+//! transcript (`crates/service/tests/data/`). Run after any change that
+//! shifts the wire output — protocol shapes, snapshot layout, EM floats:
+//!
+//! ```text
+//! cargo run --release -p crowdval-service --bin crowdval-regen-golden
+//! ```
+//!
+//! The conversation embeds a `TaskSnapshot` inside its `Restore` request
+//! (the crash drill restores exactly what the earlier `Snapshot` request
+//! returned). That embedded snapshot goes stale whenever the snapshot
+//! layout changes, so regeneration is two passes: replay the conversation
+//! up to the `Snapshot` request to capture a fresh snapshot, splice it into
+//! the `Restore` line, then replay the patched conversation end-to-end and
+//! write every reply as the new golden transcript.
+
+use crowdval_service::{
+    Reply, Request, RequestEnvelope, Response, ServiceError, ValidationService,
+};
+use std::path::PathBuf;
+
+/// Extracts the task name from a raw `Restore` request line. String-level
+/// on purpose: the embedded snapshot is usually stale against the current
+/// protocol types (that is the reason this tool exists), so a typed parse
+/// of the whole envelope cannot be relied on.
+fn restore_task_name(line: &str) -> Option<String> {
+    let rest = line.strip_prefix(r#"{"version":1,"request":{"Restore":{"task":""#)?;
+    let end = rest.find('"')?;
+    Some(rest[..end].to_string())
+}
+
+fn data_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("data")
+}
+
+fn main() {
+    let conversation_path = data_dir().join("conversation.jsonl");
+    let golden_path = data_dir().join("conversation.golden.jsonl");
+    let text = std::fs::read_to_string(&conversation_path).expect("read conversation.jsonl");
+
+    // Pass 1: replay up to (and including) the first Snapshot request to
+    // capture a snapshot consistent with the current build.
+    let mut service = ValidationService::new();
+    let mut fresh_snapshot = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let Ok(envelope) = serde_json::from_str::<RequestEnvelope>(trimmed) else {
+            continue; // deliberate junk lines and the stale Restore line
+        };
+        let is_snapshot = matches!(envelope.request, Request::Snapshot { .. });
+        if let Reply::Ok(Response::Snapshot { snapshot, .. }) = service.reply(&envelope) {
+            fresh_snapshot = Some(snapshot);
+        }
+        if is_snapshot {
+            break;
+        }
+    }
+    let fresh_snapshot = fresh_snapshot.expect("conversation contains a Snapshot request");
+
+    // Splice the fresh snapshot into the Restore line, preserving the
+    // requested task name and everything else verbatim. The embedded old
+    // snapshot is exactly what goes stale across layout changes, so the
+    // line frequently no longer parses as a typed request — the task name
+    // is therefore extracted from the raw JSON prefix instead.
+    let mut patched_lines: Vec<String> = Vec::new();
+    for line in text.lines() {
+        let trimmed = line.trim();
+        match restore_task_name(trimmed) {
+            Some(task) => {
+                let envelope = RequestEnvelope::v1(Request::Restore {
+                    task,
+                    snapshot: fresh_snapshot.clone(),
+                });
+                patched_lines.push(serde_json::to_string(&envelope).expect("envelope serializes"));
+            }
+            None => patched_lines.push(line.to_string()),
+        }
+    }
+    let patched = patched_lines.join("\n") + "\n";
+
+    // Pass 2: full replay of the patched conversation — the golden
+    // transcript is every reply, one line per non-comment request line,
+    // exactly as `crowdval-serve` would emit it.
+    let mut service = ValidationService::new();
+    let mut golden = String::new();
+    for line in patched.lines() {
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
+            Ok(envelope) => service.reply(&envelope),
+            Err(e) => Reply::Err(ServiceError::MalformedRequest {
+                message: e.to_string(),
+            }),
+        };
+        golden.push_str(&serde_json::to_string(&reply).expect("reply serializes"));
+        golden.push('\n');
+    }
+
+    std::fs::write(&conversation_path, patched).expect("write conversation.jsonl");
+    std::fs::write(&golden_path, golden).expect("write conversation.golden.jsonl");
+    println!(
+        "regenerated {} and {}",
+        conversation_path.display(),
+        golden_path.display()
+    );
+}

@@ -34,15 +34,45 @@ impl From<serde::Error> for Error {
 /// Serializes `value` as compact JSON.
 pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), None, 0);
+    write_value(&mut out, &value.to_value(), None, 0).expect("writing to a String cannot fail");
     Ok(out)
 }
 
 /// Serializes `value` as human-readable JSON (two-space indent).
 pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
     let mut out = String::new();
-    write_value(&mut out, &value.to_value(), Some(2), 0);
+    write_value(&mut out, &value.to_value(), Some(2), 0).expect("writing to a String cannot fail");
     Ok(out)
+}
+
+/// Serializes `value` as compact JSON into an [`std::io::Write`] sink —
+/// the real crate's buffer-reusing entry point. The JSON streams straight
+/// into the sink (no intermediate `String`), so callers reusing a cleared
+/// per-line buffer genuinely avoid per-value allocations.
+pub fn to_writer<W: std::io::Write, T: Serialize + ?Sized>(
+    writer: W,
+    value: &T,
+) -> Result<(), Error> {
+    struct IoSink<W: std::io::Write> {
+        writer: W,
+        error: Option<std::io::Error>,
+    }
+    impl<W: std::io::Write> fmt::Write for IoSink<W> {
+        fn write_str(&mut self, s: &str) -> fmt::Result {
+            self.writer.write_all(s.as_bytes()).map_err(|e| {
+                self.error = Some(e);
+                fmt::Error
+            })
+        }
+    }
+    let mut sink = IoSink {
+        writer,
+        error: None,
+    };
+    write_value(&mut sink, &value.to_value(), None, 0).map_err(|_| match sink.error {
+        Some(e) => Error::new(e),
+        None => Error::new("formatting failed"),
+    })
 }
 
 /// Parses JSON text into any deserializable type.
@@ -67,85 +97,91 @@ pub fn from_str<T: Deserialize>(text: &str) -> Result<T, Error> {
 // Writer
 // ---------------------------------------------------------------------------
 
-fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+fn write_value<W: fmt::Write>(
+    out: &mut W,
+    value: &Value,
+    indent: Option<usize>,
+    depth: usize,
+) -> fmt::Result {
     match value {
-        Value::Null => out.push_str("null"),
-        Value::Bool(true) => out.push_str("true"),
-        Value::Bool(false) => out.push_str("false"),
-        Value::Int(i) => out.push_str(&i.to_string()),
-        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Null => out.write_str("null"),
+        Value::Bool(true) => out.write_str("true"),
+        Value::Bool(false) => out.write_str("false"),
+        Value::Int(i) => write!(out, "{i}"),
+        Value::UInt(u) => write!(out, "{u}"),
         Value::Float(f) => {
             if f.is_finite() {
                 // Rust's shortest round-trip formatting; integral floats keep
                 // a `.0` so they read back as floats semantically (either way
                 // our reader coerces).
-                out.push_str(&f.to_string());
+                write!(out, "{f}")
             } else {
-                out.push_str("null");
+                out.write_str("null")
             }
         }
         Value::Str(s) => write_string(out, s),
         Value::Array(items) => {
             if items.is_empty() {
-                out.push_str("[]");
-                return;
+                return out.write_str("[]");
             }
-            out.push('[');
+            out.write_char('[')?;
             for (i, item) in items.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_value(out, item, indent, depth + 1);
+                newline_indent(out, indent, depth + 1)?;
+                write_value(out, item, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push(']');
+            newline_indent(out, indent, depth)?;
+            out.write_char(']')
         }
         Value::Object(entries) => {
             if entries.is_empty() {
-                out.push_str("{}");
-                return;
+                return out.write_str("{}");
             }
-            out.push('{');
+            out.write_char('{')?;
             for (i, (key, item)) in entries.iter().enumerate() {
                 if i > 0 {
-                    out.push(',');
+                    out.write_char(',')?;
                 }
-                newline_indent(out, indent, depth + 1);
-                write_string(out, key);
-                out.push(':');
+                newline_indent(out, indent, depth + 1)?;
+                write_string(out, key)?;
+                out.write_char(':')?;
                 if indent.is_some() {
-                    out.push(' ');
+                    out.write_char(' ')?;
                 }
-                write_value(out, item, indent, depth + 1);
+                write_value(out, item, indent, depth + 1)?;
             }
-            newline_indent(out, indent, depth);
-            out.push('}');
+            newline_indent(out, indent, depth)?;
+            out.write_char('}')
         }
     }
 }
 
-fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+fn newline_indent<W: fmt::Write>(out: &mut W, indent: Option<usize>, depth: usize) -> fmt::Result {
     if let Some(width) = indent {
-        out.push('\n');
-        out.push_str(&" ".repeat(width * depth));
+        out.write_char('\n')?;
+        for _ in 0..width * depth {
+            out.write_char(' ')?;
+        }
     }
+    Ok(())
 }
 
-fn write_string(out: &mut String, s: &str) {
-    out.push('"');
+fn write_string<W: fmt::Write>(out: &mut W, s: &str) -> fmt::Result {
+    out.write_char('"')?;
     for c in s.chars() {
         match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
-            c => out.push(c),
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
         }
     }
-    out.push('"');
+    out.write_char('"')
 }
 
 // ---------------------------------------------------------------------------

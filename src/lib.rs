@@ -76,10 +76,10 @@ pub mod prelude {
     };
     pub use crowdval_core::{
         partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, EntropyShortlist,
-        ExpertSource, HybridStrategy, ProcessConfig, RandomSelection, ScoringContext,
-        ScoringEngine, SelectionStrategy, SessionUpdate, StrategyContext, StrategyKind,
-        UncertaintyDriven, ValidationGoal, ValidationProcess, ValidationSession,
-        ValidationSessionBuilder, ValidationTrace, WorkerDriven,
+        ExpertSource, GuidanceCache, GuidanceTelemetry, HybridStrategy, ProcessConfig,
+        RandomSelection, ScoringContext, ScoringEngine, SelectionStrategy, SessionUpdate,
+        StrategyContext, StrategyKind, UncertaintyDriven, ValidationGoal, ValidationProcess,
+        ValidationSession, ValidationSessionBuilder, ValidationTrace, WorkerDriven,
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,

@@ -37,6 +37,7 @@ fn selection_sequence(parallel: bool, mode: ScoringMode, steps: usize) -> Vec<Ob
             candidates: &candidates,
             parallel,
             entropy_cache: None,
+            guidance_cache: None,
         };
         let Some(object) = strategy.select(&ctx) else {
             break;

@@ -380,6 +380,117 @@ proptest! {
 }
 
 proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Cross-step guidance caching is invisible in the selection order: a
+    /// session with the [`crowdval_core::guidance_cache`] lazy path enabled
+    /// picks **bit-identically** the same objects as one that eagerly
+    /// re-scores the entire shortlist every step, across random streaming
+    /// scenarios — paper-default worker mixes (spammers included), object
+    /// and worker churn, arrival batches interleaved with validations, runs
+    /// that cross the corpus-doubling cold re-anchor
+    /// (`initial_fraction 0.25` guarantees one mid-stream), and a
+    /// snapshot/restore of the cached session mid-budget (the cache is
+    /// dropped on snapshot, so the restored session's next selection is a
+    /// full re-score — which must *still* agree with the warm-cached
+    /// uninterrupted run).
+    ///
+    /// The budget is driven to exhaustion (every object validated), so the
+    /// comparison covers the volatile early phase, the settled tail, and
+    /// every invalidation guard in between.
+    #[test]
+    fn cached_selection_order_is_bit_identical_to_eager(
+        seed in any::<u64>(),
+        num_objects in 12usize..24,
+        num_workers in 8usize..16,
+        reliability in 0.6f64..0.9,
+        batch_size in 20usize..60,
+        snap_numerator in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects,
+                num_workers,
+                reliability,
+                ..SyntheticConfig::paper_default(seed)
+            },
+            // 0.25 makes the session's doubling re-anchor fire mid-stream,
+            // exercising the global-invalidation path.
+            initial_fraction: 0.25,
+            batch_size,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+
+        let build = |cached: bool| {
+            ValidationSessionBuilder::empty(scenario.num_labels)
+                .strategy(Box::new(UncertaintyDriven::with_engine(
+                    ScoringEngine::with_shortlist(8),
+                )))
+                .config(ProcessConfig {
+                    guidance_cache: cached,
+                    ..ProcessConfig::default()
+                })
+                .try_build()
+                .unwrap()
+        };
+        let validate = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            if let Some(o) = session.select_next() {
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        let mut eager = build(false);
+        let mut eager_picks = Vec::new();
+        let mut cached = build(true);
+        let mut cached_picks = Vec::new();
+        let total_steps = scenario.batches.len() + scenario.config.base.num_objects;
+        let snap_at = (snap_numerator % (total_steps as u64 + 1)) as usize;
+
+        // Identical schedules: ingest the initial snapshot, then one
+        // validation per arrival batch, then drain until every object is
+        // validated. The cached session is snapshotted/restored through
+        // JSON after `snap_at` validations.
+        eager.ingest(&scenario.initial).unwrap();
+        cached.ingest(&scenario.initial).unwrap();
+        let mut snapped = false;
+        for batch in &scenario.batches {
+            eager.ingest(batch).unwrap();
+            cached.ingest(batch).unwrap();
+            validate(&mut eager, &mut eager_picks);
+            validate(&mut cached, &mut cached_picks);
+            prop_assert_eq!(&cached_picks, &eager_picks);
+            if !snapped && cached_picks.len() >= snap_at {
+                snapped = true;
+                let json = serde_json::to_string(&cached.snapshot().unwrap()).unwrap();
+                let snapshot: crowd_validation::core::SessionSnapshot =
+                    serde_json::from_str(&json).unwrap();
+                cached = ValidationSession::restore(snapshot).unwrap();
+            }
+        }
+        while eager_picks.len() < eager.answers().num_objects() {
+            let before = eager_picks.len();
+            validate(&mut eager, &mut eager_picks);
+            validate(&mut cached, &mut cached_picks);
+            prop_assert_eq!(&cached_picks, &eager_picks);
+            if eager_picks.len() == before {
+                break;
+            }
+        }
+
+        prop_assert_eq!(&cached_picks, &eager_picks);
+        // The two paths performed identical operations, so the posteriors
+        // must be identical too — any divergence would mean the cache
+        // changed more than evaluation order.
+        prop_assert_eq!(cached.current(), eager.current());
+        prop_assert_eq!(cached.trace().len(), eager.trace().len());
+    }
+}
+
+proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
     /// Snapshot/restore is transparent: interrupt a streaming validation
