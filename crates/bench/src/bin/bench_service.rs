@@ -80,7 +80,7 @@ fn path_report(walls_ms: &mut [f64]) -> PathReport {
 
 fn send(service: &mut ValidationService, request: Request) -> Response {
     service
-        .handle(&RequestEnvelope::v1(request))
+        .handle(&RequestEnvelope::latest(request))
         .expect("benchmark requests are well-formed")
 }
 

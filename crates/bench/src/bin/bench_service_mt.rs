@@ -1,0 +1,512 @@
+//! Multi-tenant load generator for the sharded service runtime: drives an
+//! identical mixed request stream (create / vote batches / guidance /
+//! validation / snapshot / close, interleaved across many small tenant
+//! tasks) through the single-threaded [`ValidationService`] and through
+//! the [`ShardRuntime`] at shard counts {1, 2, 4}, and records throughput
+//! plus per-request-kind p50/p99 as `BENCH_service_mt.json`.
+//!
+//! Every run replays the **same pre-generated envelopes** (no request
+//! depends on an earlier reply), so the benchmark doubles as the
+//! determinism check of the sharded runtime: each tenant's final snapshot
+//! under concurrent dispatch must be bit-identical to the serial run's.
+//!
+//! Usage: `bench_service_mt [--quick] [--check] [--out <path>]`
+//!
+//! `--quick` trims the tenant count for CI smoke runs; `--check` exits
+//! non-zero on a determinism mismatch at any shard count or when 1-shard
+//! throughput falls below 0.9x the single-threaded serial loop (the CI
+//! `service-mt-smoke` gate — on the 1-CPU CI runner the dispatch layer
+//! must be near-free; multi-shard speedup needs cores and is reported,
+//! not gated).
+
+use crowdval_service::{
+    ClientVote, Dispatch, OverloadPolicy, Reply, ReplyOutcome, Request, RequestEnvelope, Response,
+    RuntimeConfig, ShardRuntime, ShardStats, StrategyChoice, TaskConfig, ValidationService,
+};
+use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::time::Instant;
+
+const LABELS: [&str; 2] = ["neg", "pos"];
+const VOTE_BATCHES: usize = 3;
+const GUIDANCE_ROUNDS: usize = 2;
+/// Walls are best-of-N: the gate compares a ratio of two measurements, and
+/// on a shared single-CPU runner each individual wall is ±25% noisy.
+const WALL_REPS: usize = 3;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Create,
+    SubmitVotes,
+    Guidance,
+    Validation,
+    Snapshot,
+    Close,
+}
+
+#[derive(Debug, Serialize)]
+struct KindReport {
+    requests: usize,
+    p50_ms: f64,
+    p99_ms: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct KindBreakdown {
+    create: KindReport,
+    submit_votes: KindReport,
+    guidance: KindReport,
+    validation: KindReport,
+    snapshot: KindReport,
+    close: KindReport,
+}
+
+#[derive(Debug, Serialize)]
+struct SerialReport {
+    wall_ms: f64,
+    requests_per_sec: f64,
+}
+
+#[derive(Debug, Serialize)]
+struct ShardRunReport {
+    shards: usize,
+    wall_ms: f64,
+    requests_per_sec: f64,
+    /// Every tenant snapshot bit-identical to the serial run's.
+    determinism_ok: bool,
+    /// Latency measured submit-to-reply (queue wait included), per kind.
+    kinds: KindBreakdown,
+    /// Final per-shard counters once every request was served.
+    shard_stats: Vec<ShardStats>,
+}
+
+#[derive(Debug, Serialize)]
+struct BenchReport {
+    scenario: String,
+    tasks: usize,
+    requests: usize,
+    serial: SerialReport,
+    runs: Vec<ShardRunReport>,
+    /// `runs[shards=1].requests_per_sec / serial.requests_per_sec` — the
+    /// dispatch-layer overhead the `--check` gate bounds at 0.9x.
+    one_shard_vs_serial: f64,
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn strategy_for(index: usize) -> StrategyChoice {
+    match index % 5 {
+        0 => StrategyChoice::Hybrid,
+        1 => StrategyChoice::UncertaintyDriven,
+        2 => StrategyChoice::WorkerDriven,
+        3 => StrategyChoice::EntropyBaseline,
+        _ => StrategyChoice::Random,
+    }
+}
+
+/// One tenant's scripted stream: create, vote batches, guidance/validation
+/// rounds (validating *fixed* objects so the stream is reply-independent),
+/// a snapshot, and — for every second tenant — a close.
+fn task_script(task: &str, index: usize) -> Vec<(Kind, Request)> {
+    let mut rng = 0x5eed_0000 + index as u64;
+    let mut script = vec![(
+        Kind::Create,
+        Request::CreateTask {
+            task: task.to_string(),
+            labels: LABELS.iter().map(|&l| l.to_string()).collect(),
+            config: TaskConfig {
+                strategy: strategy_for(index),
+                seed: index as u64,
+                shortlist: Some(8),
+                ..TaskConfig::default()
+            },
+        },
+    )];
+    for batch in 0..VOTE_BATCHES {
+        let votes = (0..12)
+            .map(|i| ClientVote {
+                worker: format!("w{}", i % 6),
+                object: format!("o{}", (i + batch) % 12),
+                label: LABELS[(splitmix(&mut rng) % 2) as usize].to_string(),
+            })
+            .collect();
+        script.push((
+            Kind::SubmitVotes,
+            Request::SubmitVotes {
+                task: task.to_string(),
+                votes,
+            },
+        ));
+    }
+    for round in 0..GUIDANCE_ROUNDS {
+        script.push((
+            Kind::Guidance,
+            Request::RequestGuidance {
+                task: task.to_string(),
+            },
+        ));
+        script.push((
+            Kind::Validation,
+            Request::SubmitValidation {
+                task: task.to_string(),
+                object: format!("o{round}"),
+                label: LABELS[(splitmix(&mut rng) % 2) as usize].to_string(),
+            },
+        ));
+    }
+    script.push((
+        Kind::Snapshot,
+        Request::Snapshot {
+            task: task.to_string(),
+        },
+    ));
+    if index.is_multiple_of(2) {
+        script.push((
+            Kind::Close,
+            Request::CloseTask {
+                task: task.to_string(),
+            },
+        ));
+    }
+    script
+}
+
+struct Workload {
+    envelopes: Vec<RequestEnvelope>,
+    kinds: Vec<Kind>,
+    /// Snapshot request id → tenant index, for the determinism diff.
+    snapshot_tenant: HashMap<u64, usize>,
+    tasks: usize,
+}
+
+/// Interleaves all tenant scripts round-robin into one global stream with
+/// sequential correlation ids — per-tenant order is stream order, which
+/// the sharded runtime preserves.
+fn build_workload(tasks: usize) -> Workload {
+    let scripts: Vec<Vec<(Kind, Request)>> = (0..tasks)
+        .map(|i| task_script(&format!("tenant-{i}"), i))
+        .collect();
+    let mut envelopes = Vec::new();
+    let mut kinds = Vec::new();
+    let mut snapshot_tenant = HashMap::new();
+    let mut cursors = vec![0usize; tasks];
+    let mut next_id = 1u64;
+    loop {
+        let mut progressed = false;
+        for (tenant, script) in scripts.iter().enumerate() {
+            if cursors[tenant] < script.len() {
+                let (kind, request) = script[cursors[tenant]].clone();
+                if kind == Kind::Snapshot {
+                    snapshot_tenant.insert(next_id, tenant);
+                }
+                envelopes.push(RequestEnvelope::new(next_id, request));
+                kinds.push(kind);
+                next_id += 1;
+                cursors[tenant] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+    Workload {
+        envelopes,
+        kinds,
+        snapshot_tenant,
+        tasks,
+    }
+}
+
+fn quantile_ms(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let index = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
+    sorted[index] * 1000.0
+}
+
+fn kind_report(latencies_s: &mut [f64]) -> KindReport {
+    latencies_s.sort_by(f64::total_cmp);
+    KindReport {
+        requests: latencies_s.len(),
+        p50_ms: quantile_ms(latencies_s, 0.50),
+        p99_ms: quantile_ms(latencies_s, 0.99),
+    }
+}
+
+fn breakdown(kinds: &[Kind], latencies_s: &[f64]) -> KindBreakdown {
+    let mut per_kind: HashMap<u8, Vec<f64>> = HashMap::new();
+    for (kind, &latency) in kinds.iter().zip(latencies_s) {
+        per_kind.entry(*kind as u8).or_default().push(latency);
+    }
+    let mut of = |kind: Kind| kind_report(per_kind.entry(kind as u8).or_default());
+    KindBreakdown {
+        create: of(Kind::Create),
+        submit_votes: of(Kind::SubmitVotes),
+        guidance: of(Kind::Guidance),
+        validation: of(Kind::Validation),
+        snapshot: of(Kind::Snapshot),
+        close: of(Kind::Close),
+    }
+}
+
+/// The serial baseline: the whole interleaved stream through one
+/// single-threaded service, in order. Returns the best-of-reps wall time
+/// and each tenant's serialized final snapshot (the determinism
+/// reference).
+fn run_serial(workload: &Workload) -> (f64, Vec<Option<String>>) {
+    let mut best_wall_s = f64::INFINITY;
+    let mut snapshots: Vec<Option<String>> = vec![None; workload.tasks];
+    for _ in 0..WALL_REPS {
+        let mut service = ValidationService::new();
+        snapshots = vec![None; workload.tasks];
+        let clock = Instant::now();
+        for envelope in &workload.envelopes {
+            let reply = service.reply(envelope);
+            if let Some(&tenant) = workload.snapshot_tenant.get(&reply.request_id) {
+                if let ReplyOutcome::Ok(Response::Snapshot { snapshot, .. }) = &reply.outcome {
+                    snapshots[tenant] =
+                        Some(serde_json::to_string(snapshot).expect("snapshot serializes"));
+                }
+            }
+        }
+        best_wall_s = best_wall_s.min(clock.elapsed().as_secs_f64());
+    }
+    (best_wall_s, snapshots)
+}
+
+fn start_runtime(workload: &Workload, num_shards: usize) -> (ShardRuntime, Receiver<Reply>) {
+    // Mailboxes sized to hold the whole stream: the submitting thread never
+    // blocks on a full mailbox, so on a single-CPU runner the measurement
+    // is not dominated by one wake-the-submitter context switch per served
+    // request (the back-pressure path has its own tests and bench knobs).
+    ShardRuntime::start(RuntimeConfig {
+        num_shards,
+        mailbox_capacity: workload.envelopes.len(),
+        overload: OverloadPolicy::Block,
+    })
+}
+
+/// The throughput pass: submit the whole stream, then wait on the shard
+/// counters until every request is served. **Nothing receives replies
+/// while the clock runs** — they buffer in the reply channel, so each
+/// send is a plain enqueue instead of a wake-the-collector context
+/// switch, which on a single-CPU runner would otherwise double-count
+/// scheduler overhead against the dispatch layer. Replies are drained
+/// afterwards for the determinism diff.
+fn throughput_pass(
+    workload: &Workload,
+    num_shards: usize,
+    reference: &[Option<String>],
+    per_request_hint_s: f64,
+) -> (f64, bool, Vec<ShardStats>) {
+    let total = workload.envelopes.len();
+    let (runtime, replies) = start_runtime(workload, num_shards);
+    // Clone the stream before starting the clock: the serial baseline
+    // replays by reference, so paying the deep copies inside the timed
+    // window would charge an allocation artifact to the dispatch layer.
+    let envelopes: Vec<RequestEnvelope> = workload.envelopes.clone();
+    let clock = Instant::now();
+    for envelope in envelopes {
+        match runtime.submit(envelope) {
+            Dispatch::Enqueued { .. } => {}
+            other => panic!("blocking submit must enqueue, got {other:?}"),
+        }
+    }
+    // Every envelope is shard-routed; the counters settle exactly when all
+    // of them have been served. The poll backs off proportionally to the
+    // estimated remaining work (halving each time), so completion is
+    // detected within ~50µs using only ~log-many wakeups — a fixed
+    // fine-grained poll would preempt the draining workers thousands of
+    // times on a single-CPU runner and bill that to the dispatch layer.
+    let shard_stats = loop {
+        let stats = runtime.stats();
+        let served = stats.iter().map(|s| s.requests_served).sum::<u64>();
+        if served == total as u64 {
+            break stats;
+        }
+        let remaining = (total as u64 - served) as f64;
+        let sleep_s = (remaining * per_request_hint_s * 0.4).clamp(50e-6, 20e-3);
+        std::thread::sleep(std::time::Duration::from_secs_f64(sleep_s));
+    };
+    let wall_s = clock.elapsed().as_secs_f64();
+    runtime.shutdown();
+
+    let mut snapshots: Vec<Option<String>> = vec![None; workload.tasks];
+    let mut drained = 0usize;
+    for reply in replies {
+        drained += 1;
+        if let Some(&tenant) = workload.snapshot_tenant.get(&reply.request_id) {
+            if let ReplyOutcome::Ok(Response::Snapshot { snapshot, .. }) = &reply.outcome {
+                snapshots[tenant] =
+                    Some(serde_json::to_string(snapshot).expect("snapshot serializes"));
+            }
+        }
+    }
+    assert_eq!(drained, total, "a reply per request");
+    let determinism_ok = snapshots
+        .iter()
+        .zip(reference)
+        .all(|(got, want)| got == want);
+    (wall_s, determinism_ok, shard_stats)
+}
+
+/// The latency pass: same stream, but a live collector thread timestamps
+/// each reply as it arrives, giving true submit-to-reply latencies (queue
+/// wait included) per request kind. Kept separate from the throughput
+/// pass because the collector's per-reply wakeups perturb wall time on
+/// few-core machines.
+fn latency_pass(workload: &Workload, num_shards: usize) -> KindBreakdown {
+    let total = workload.envelopes.len();
+    let (runtime, replies) = start_runtime(workload, num_shards);
+    let envelopes: Vec<RequestEnvelope> = workload.envelopes.clone();
+    let clock = Instant::now();
+    let collector = std::thread::spawn(move || {
+        let mut arrivals_s: Vec<f64> = vec![f64::NAN; total];
+        for reply in replies {
+            arrivals_s[(reply.request_id - 1) as usize] = clock.elapsed().as_secs_f64();
+        }
+        arrivals_s
+    });
+
+    let mut submits_s: Vec<f64> = Vec::with_capacity(total);
+    for envelope in envelopes {
+        submits_s.push(clock.elapsed().as_secs_f64());
+        match runtime.submit(envelope) {
+            Dispatch::Enqueued { .. } => {}
+            other => panic!("blocking submit must enqueue, got {other:?}"),
+        }
+    }
+    runtime.shutdown();
+    let arrivals_s = collector.join().expect("reply collector panicked");
+    let latencies_s: Vec<f64> = arrivals_s
+        .iter()
+        .zip(&submits_s)
+        .map(|(arrival, submit)| arrival - submit)
+        .collect();
+    breakdown(&workload.kinds, &latencies_s)
+}
+
+/// One sharded run: best-of-reps throughput passes (gated, determinism
+/// checked on every rep) plus one latency pass (reported).
+fn run_sharded(
+    workload: &Workload,
+    num_shards: usize,
+    reference: &[Option<String>],
+    per_request_hint_s: f64,
+) -> ShardRunReport {
+    let total = workload.envelopes.len();
+    let mut best_wall_s = f64::INFINITY;
+    let mut determinism_ok = true;
+    let mut shard_stats = Vec::new();
+    for _ in 0..WALL_REPS {
+        let (wall_s, rep_ok, stats) =
+            throughput_pass(workload, num_shards, reference, per_request_hint_s);
+        determinism_ok &= rep_ok;
+        if wall_s < best_wall_s {
+            best_wall_s = wall_s;
+            shard_stats = stats;
+        }
+    }
+    let kinds = latency_pass(workload, num_shards);
+    ShardRunReport {
+        shards: num_shards,
+        wall_ms: best_wall_s * 1000.0,
+        requests_per_sec: total as f64 / best_wall_s.max(1e-12),
+        determinism_ok,
+        kinds,
+        shard_stats,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let check = args.iter().any(|a| a == "--check");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_service_mt.json".to_string());
+
+    let tasks = if quick { 200 } else { 1000 };
+    let workload = build_workload(tasks);
+    let total = workload.envelopes.len();
+    eprintln!("workload: {tasks} tenant tasks, {total} requests");
+
+    let (serial_wall_s, reference) = run_serial(&workload);
+    assert!(
+        reference.iter().all(Option::is_some),
+        "every tenant must snapshot in the serial baseline"
+    );
+    let serial = SerialReport {
+        wall_ms: serial_wall_s * 1000.0,
+        requests_per_sec: total as f64 / serial_wall_s.max(1e-12),
+    };
+    eprintln!(
+        "serial: {:.0} req/s ({:.0} ms)",
+        serial.requests_per_sec, serial.wall_ms
+    );
+
+    let per_request_hint_s = serial_wall_s / total as f64;
+    let mut runs = Vec::new();
+    for shards in [1usize, 2, 4] {
+        let run = run_sharded(&workload, shards, &reference, per_request_hint_s);
+        eprintln!(
+            "{} shard(s): {:.0} req/s ({:.0} ms), determinism {}",
+            shards,
+            run.requests_per_sec,
+            run.wall_ms,
+            if run.determinism_ok { "ok" } else { "MISMATCH" }
+        );
+        runs.push(run);
+    }
+
+    let one_shard_vs_serial = runs[0].requests_per_sec / serial.requests_per_sec.max(1e-12);
+    let determinism_ok = runs.iter().all(|r| r.determinism_ok);
+    let report = BenchReport {
+        scenario: format!(
+            "{tasks} tiny tenants (12 objects, 6 workers, 2 labels), mixed \
+             create/votes/guidance/validation/snapshot/close, round-robin interleaved"
+        ),
+        tasks,
+        requests: total,
+        serial,
+        runs,
+        one_shard_vs_serial,
+    };
+
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    std::fs::write(&out_path, format!("{json}\n")).expect("report written");
+    println!("{json}");
+
+    if check {
+        let mut failed = false;
+        if !determinism_ok {
+            eprintln!("FAIL: a sharded run's snapshots diverged from the serial baseline");
+            failed = true;
+        }
+        if one_shard_vs_serial < 0.9 {
+            eprintln!(
+                "FAIL: 1-shard throughput is {one_shard_vs_serial:.2}x the serial loop \
+                 (gate: 0.9x)"
+            );
+            failed = true;
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!(
+            "check passed: determinism ok at all shard counts, 1-shard throughput \
+             {one_shard_vs_serial:.2}x serial (gate 0.9x)"
+        );
+    }
+}

@@ -214,6 +214,20 @@ impl ValidationSessionBuilder {
 
 /// The incremental validation-session engine (Algorithm 1 + streaming
 /// ingestion).
+///
+/// # Single-owner invariant
+///
+/// A session is **single-owner state**: every entry point takes `&mut self`
+/// (or `&self` with interior mutability that is not `Sync`), there is no
+/// internal locking, and no correctness property survives two threads
+/// driving one session. The session *is* `Send` — ownership may move
+/// wholesale between threads, which is exactly how the sharded service
+/// runtime parallelizes: each shard worker exclusively owns its sessions
+/// and tasks never migrate, so the hot path needs no synchronization at
+/// all. Cross-thread *sharing* is deliberately unsupported (the type is not
+/// `Sync`); wrap a session in external synchronization only if you accept
+/// serializing every call anyway. The invariant is pinned by compile-time
+/// assertions in this module's tests.
 pub struct ValidationSession {
     /// The full vote stream seen so far (never masked — the detector needs
     /// every worker's answers against the expert validations).
@@ -1341,5 +1355,32 @@ mod tests {
             session.current().num_workers(),
             session.answers().num_workers()
         );
+    }
+
+    /// The single-owner invariant, pinned at compile time: a session (and
+    /// its builder parts) can be *moved* to another thread — the sharded
+    /// service runtime hands each session to exactly one shard worker —
+    /// while concurrent sharing stays unsupported (the type is not `Sync`;
+    /// the `RefCell` guidance cache makes that structural, not just
+    /// conventional).
+    #[test]
+    fn sessions_move_between_threads_but_are_single_owner() {
+        fn assert_send<T: Send>() {}
+        assert_send::<ValidationSession>();
+        assert_send::<Box<dyn SelectionStrategy>>();
+        assert_send::<Box<dyn Aggregator>>();
+
+        // Exercise the move: build on this thread, drive on another.
+        let synth = reliable_synth(48, 6);
+        let votes = votes_of(synth.dataset.answers());
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        let handle = std::thread::spawn(move || {
+            session.ingest(&votes).unwrap();
+            session
+        });
+        let session = handle.join().unwrap();
+        assert_eq!(session.answers().num_workers(), 12);
     }
 }

@@ -98,7 +98,12 @@ pub struct ValidationObservation {
 }
 
 /// The *select* step of the validation process.
-pub trait SelectionStrategy {
+///
+/// `Send` is a supertrait so a strategy (and the session owning it) can be
+/// moved onto a shard worker thread — the sharded service runtime gives
+/// every session a single owning thread. Strategies are plain data plus
+/// RNG state; none of the built-ins hold thread-bound resources.
+pub trait SelectionStrategy: Send {
     /// Chooses the next object to validate among `ctx.candidates`.
     /// Returns `None` when there is nothing left to validate.
     fn select(&mut self, ctx: &StrategyContext<'_>) -> Option<ObjectId>;

@@ -1,10 +1,11 @@
 //! JSON-lines driver for the validation service.
 //!
-//! Reads one [`RequestEnvelope`] per stdin line, writes one [`Reply`] per
-//! stdout line — `{"Ok": …}` on success, `{"Err": …}` on any failure,
-//! including lines that do not parse at all. The process never dies on bad
-//! input: unparseable lines yield `ServiceError::MalformedRequest`, and the
-//! service itself guarantees no request can panic it.
+//! Reads one [`crowdval_service::RequestEnvelope`] per stdin line, writes
+//! one [`crowdval_service::Reply`] per stdout line — `{"request_id":…,
+//! "outcome":{"Ok":…}}` on success, `…{"Err":…}` on any failure, including
+//! lines that do not parse at all. The process never dies on bad input, and
+//! on EOF it drains every accepted request and flushes its reply before
+//! exiting — nothing accepted is silently dropped.
 //!
 //! Blank lines and `#`-prefixed comment lines are skipped, so scripted
 //! conversations (see `crates/service/tests/data/`) can be annotated.
@@ -12,48 +13,46 @@
 //! Usage:
 //!
 //! ```text
-//! crowdval-serve < conversation.jsonl > transcript.jsonl
+//! crowdval-serve [--shards N] [--mailbox CAP] [--reject] \
+//!     < conversation.jsonl > transcript.jsonl
 //! ```
+//!
+//! * `--shards N` — dispatch across N shard worker threads (per-task
+//!   ownership; replies may be written out of input order and are matched
+//!   by the echoed `request_id`). Default 0: serial in-process service,
+//!   replies in input order — the deterministic mode the golden-transcript
+//!   check relies on.
+//! * `--mailbox CAP` — per-shard mailbox bound (default 1024).
+//! * `--reject` — reply `Overloaded` when a shard mailbox is full instead
+//!   of blocking the reader (the lossless default for piped scripts).
 
-use crowdval_service::{Reply, RequestEnvelope, ServiceError, ValidationService};
-use std::io::{self, BufRead, Write};
+use crowdval_service::serve::{serve, ServeOptions};
+use crowdval_service::OverloadPolicy;
+use std::io;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let flag = |name: &str| {
+        args.iter()
+            .position(|a| a == name)
+            .and_then(|i| args.get(i + 1))
+            .and_then(|v| v.parse::<usize>().ok())
+    };
+    let options = ServeOptions {
+        shards: flag("--shards").unwrap_or(0),
+        mailbox_capacity: flag("--mailbox").unwrap_or(1024),
+        overload: if args.iter().any(|a| a == "--reject") {
+            OverloadPolicy::Reject
+        } else {
+            OverloadPolicy::Block
+        },
+    };
     let stdin = io::stdin();
-    let stdout = io::stdout();
-    let mut out = stdout.lock();
-    let mut service = ValidationService::new();
-    // One reply buffer for the whole conversation: each line serializes into
-    // the cleared buffer instead of allocating a fresh `String` per reply,
-    // so steady-state serving does not churn the allocator per request.
-    let mut reply_buf: Vec<u8> = Vec::with_capacity(4096);
-
-    for line in stdin.lock().lines() {
-        let line = match line {
-            Ok(line) => line,
-            Err(_) => break, // stdin closed or unreadable: clean shutdown
-        };
-        let trimmed = line.trim();
-        if trimmed.is_empty() || trimmed.starts_with('#') {
-            continue;
-        }
-        let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
-            Ok(envelope) => service.reply(&envelope),
-            Err(e) => Reply::Err(ServiceError::MalformedRequest {
-                message: e.to_string(),
-            }),
-        };
-        reply_buf.clear();
-        match serde_json::to_writer(&mut reply_buf, &reply) {
-            Ok(()) => {
-                reply_buf.push(b'\n');
-                if out.write_all(&reply_buf).is_err() {
-                    break; // downstream closed the pipe
-                }
-            }
-            Err(e) => {
-                eprintln!("failed to serialize reply: {e}");
-            }
-        }
+    let (_, summary) = serve(stdin.lock(), io::stdout(), &options);
+    if options.shards > 0 {
+        eprintln!(
+            "crowdval-serve: {} requests, {} replies, {} malformed, {} overloaded",
+            summary.requests, summary.replies, summary.malformed, summary.overloaded
+        );
     }
 }

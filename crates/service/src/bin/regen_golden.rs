@@ -15,18 +15,21 @@
 //! write every reply as the new golden transcript.
 
 use crowdval_service::{
-    Reply, Request, RequestEnvelope, Response, ServiceError, ValidationService,
+    Reply, ReplyOutcome, Request, RequestEnvelope, Response, ServiceError, ValidationService,
 };
 use std::path::PathBuf;
 
-/// Extracts the task name from a raw `Restore` request line. String-level
-/// on purpose: the embedded snapshot is usually stale against the current
-/// protocol types (that is the reason this tool exists), so a typed parse
-/// of the whole envelope cannot be relied on.
-fn restore_task_name(line: &str) -> Option<String> {
-    let rest = line.strip_prefix(r#"{"version":1,"request":{"Restore":{"task":""#)?;
+/// Extracts the correlation id and task name from a raw `Restore` request
+/// line. String-level on purpose: the embedded snapshot is usually stale
+/// against the current protocol types (that is the reason this tool
+/// exists), so a typed parse of the whole envelope cannot be relied on.
+fn restore_task_name(line: &str) -> Option<(u64, String)> {
+    let rest = line.strip_prefix(r#"{"version":2,"request_id":"#)?;
+    let comma = rest.find(',')?;
+    let request_id: u64 = rest[..comma].parse().ok()?;
+    let rest = rest[comma..].strip_prefix(r#","request":{"Restore":{"task":""#)?;
     let end = rest.find('"')?;
-    Some(rest[..end].to_string())
+    Some((request_id, rest[..end].to_string()))
 }
 
 fn data_dir() -> PathBuf {
@@ -53,7 +56,9 @@ fn main() {
             continue; // deliberate junk lines and the stale Restore line
         };
         let is_snapshot = matches!(envelope.request, Request::Snapshot { .. });
-        if let Reply::Ok(Response::Snapshot { snapshot, .. }) = service.reply(&envelope) {
+        if let ReplyOutcome::Ok(Response::Snapshot { snapshot, .. }) =
+            service.reply(&envelope).outcome
+        {
             fresh_snapshot = Some(snapshot);
         }
         if is_snapshot {
@@ -71,11 +76,14 @@ fn main() {
     for line in text.lines() {
         let trimmed = line.trim();
         match restore_task_name(trimmed) {
-            Some(task) => {
-                let envelope = RequestEnvelope::v1(Request::Restore {
-                    task,
-                    snapshot: fresh_snapshot.clone(),
-                });
+            Some((request_id, task)) => {
+                let envelope = RequestEnvelope::new(
+                    request_id,
+                    Request::Restore {
+                        task,
+                        snapshot: fresh_snapshot.clone(),
+                    },
+                );
                 patched_lines.push(serde_json::to_string(&envelope).expect("envelope serializes"));
             }
             None => patched_lines.push(line.to_string()),
@@ -95,9 +103,12 @@ fn main() {
         }
         let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
             Ok(envelope) => service.reply(&envelope),
-            Err(e) => Reply::Err(ServiceError::MalformedRequest {
-                message: e.to_string(),
-            }),
+            Err(e) => Reply::err(
+                0,
+                ServiceError::MalformedRequest {
+                    message: e.to_string(),
+                },
+            ),
         };
         golden.push_str(&serde_json::to_string(&reply).expect("reply serializes"));
         golden.push('\n');

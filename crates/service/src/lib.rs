@@ -25,16 +25,31 @@
 //!    **bit-identically** to an uninterrupted run: same selection order,
 //!    same posterior, same trace.
 //!
-//! The `crowdval-serve` binary wraps the service in a JSON-lines loop (one
-//! request envelope per stdin line, one [`Reply`] per stdout line) for
-//! scripting and smoke testing; production embeddings would put the same
-//! `ValidationService` behind their transport of choice.
+//! For traffic beyond one core, the [`runtime::ShardRuntime`] shards the
+//! registry across dedicated worker threads: each task name hashes to one
+//! shard that **exclusively owns** it (no lock on the request path, per-task
+//! request order preserved), mailboxes are bounded with back-pressure at
+//! the ingest boundary, and replies — matched by the correlation id every
+//! v2 envelope carries — may return out of submission order. Per-shard
+//! counters surface through [`Request::RuntimeStats`].
+//!
+//! The `crowdval-serve` binary wraps either mode in a JSON-lines loop (one
+//! request envelope per stdin line, one [`Reply`] per stdout line; see
+//! [`serve::serve`]) for scripting and smoke testing; production embeddings
+//! would put the same `ValidationService` or `ShardRuntime` behind their
+//! transport of choice.
 
 pub mod protocol;
+pub mod runtime;
+pub mod serve;
 pub mod service;
+mod shard;
 
 pub use protocol::{
-    ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
-    StrategyChoice, TaskConfig, TaskSnapshot, PROTOCOL_VERSION,
+    ClientVote, LabelProbability, Reply, ReplyOutcome, Request, RequestEnvelope, Response,
+    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskSnapshot,
+    MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
+pub use runtime::{Dispatch, OverloadPolicy, RuntimeConfig, ShardRuntime};
+pub use serve::{ServeOptions, ServeSummary};
 pub use service::ValidationService;

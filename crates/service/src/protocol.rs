@@ -23,6 +23,15 @@
 //! indices at the boundary, so mid-session churn (new workers and objects
 //! arriving in any order) never leaks index-assignment order into the
 //! contract.
+//!
+//! Since v2 every envelope also carries a **correlation id**
+//! ([`RequestEnvelope::request_id`]) that the service echoes back in the
+//! [`Reply`]. Under the sharded runtime ([`crate::runtime::ShardRuntime`])
+//! replies to different tasks may come back out of submission order; the
+//! echoed id is how clients re-associate them. Two further v2 additions
+//! serve the runtime: [`Request::RuntimeStats`] reads the per-shard
+//! counters, and [`ServiceError::Overloaded`] is the back-pressure signal a
+//! full shard mailbox pushes back to the ingest boundary.
 
 use crowdval_core::snapshot::SessionSnapshot;
 use crowdval_model::IdInterner;
@@ -31,24 +40,48 @@ use std::fmt;
 
 /// The protocol version this build speaks. Bumped on any incompatible
 /// change to the request/response shapes.
-pub const PROTOCOL_VERSION: u32 = 1;
+///
+/// **v2** (incompatible with v1): [`RequestEnvelope`] gained the required
+/// `request_id` correlation field and [`Reply`] echoes it; the
+/// [`Request::RuntimeStats`] / [`Response::RuntimeStats`] pair and
+/// [`ServiceError::Overloaded`] were added for the sharded runtime.
+pub const PROTOCOL_VERSION: u32 = 2;
 
-/// A request plus the protocol version the client speaks.
+/// Oldest snapshot protocol version [`Request::Restore`] still accepts. The
+/// v1→v2 bump changed request/response framing only, not the
+/// [`TaskSnapshot`] layout, so v1 checkpoints remain restorable.
+pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 1;
+
+/// A request plus the protocol version the client speaks and the client's
+/// correlation id for the reply.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RequestEnvelope {
     /// Protocol version; must equal [`PROTOCOL_VERSION`].
     pub version: u32,
+    /// Client-chosen correlation id, echoed verbatim in the [`Reply`].
+    /// Under concurrent dispatch replies arrive out of submission order;
+    /// clients that care must pick distinguishable ids (the serial driver
+    /// preserves order regardless).
+    pub request_id: u64,
     /// The request proper.
     pub request: Request,
 }
 
 impl RequestEnvelope {
-    /// Wraps a request in the current protocol version.
-    pub fn v1(request: Request) -> Self {
+    /// Wraps a request in the current protocol version under the given
+    /// correlation id.
+    pub fn new(request_id: u64, request: Request) -> Self {
         Self {
             version: PROTOCOL_VERSION,
+            request_id,
             request,
         }
+    }
+
+    /// Wraps a request in the current protocol version with correlation id
+    /// 0 — for serial drivers and tests where replies cannot interleave.
+    pub fn latest(request: Request) -> Self {
+        Self::new(0, request)
     }
 }
 
@@ -149,6 +182,32 @@ pub enum Request {
     },
     /// Removes a task, returning a final summary.
     CloseTask { task: String },
+    /// Reads the runtime's per-shard counters: queue depth, requests
+    /// served, votes ingested and service-time percentiles. Handled by the
+    /// dispatcher itself under the sharded runtime (it never enters a
+    /// mailbox, so it stays answerable under overload); a plain
+    /// [`crate::ValidationService`] answers with a single synthetic shard
+    /// describing itself.
+    RuntimeStats,
+}
+
+impl Request {
+    /// The task this request addresses — the routing key of the sharded
+    /// runtime. `None` for service-global requests ([`Request::RuntimeStats`]),
+    /// which the dispatcher answers itself.
+    pub fn task_name(&self) -> Option<&str> {
+        match self {
+            Request::CreateTask { task, .. }
+            | Request::SubmitVotes { task, .. }
+            | Request::RequestGuidance { task }
+            | Request::SubmitValidation { task, .. }
+            | Request::QueryPosterior { task, .. }
+            | Request::Snapshot { task }
+            | Request::Restore { task, .. }
+            | Request::CloseTask { task } => Some(task),
+            Request::RuntimeStats => None,
+        }
+    }
 }
 
 /// A complete, serializable checkpoint of one task: the session state plus
@@ -230,6 +289,35 @@ pub enum Response {
         votes: usize,
         validations: usize,
     },
+    /// Reply to [`Request::RuntimeStats`]: one entry per shard. A
+    /// single-threaded [`crate::ValidationService`] reports itself as one
+    /// shard with no mailbox.
+    RuntimeStats { shards: Vec<ShardStats> },
+}
+
+/// One shard's counters, as reported by [`Response::RuntimeStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardStats {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Live tasks owned by this shard.
+    pub tasks: usize,
+    /// Requests currently waiting in the shard's mailbox.
+    pub queue_depth: usize,
+    /// Mailbox capacity; 0 means no mailbox (in-process serial service).
+    pub mailbox_capacity: usize,
+    /// Requests this shard has finished processing.
+    pub requests_served: u64,
+    /// Votes accepted by this shard's tasks across all `SubmitVotes`.
+    pub votes_ingested: u64,
+    /// Requests rejected at the ingest boundary because the mailbox was
+    /// full (only under [`crate::runtime::OverloadPolicy::Reject`]).
+    pub overload_rejections: u64,
+    /// Median request service time (handling only, queue wait excluded),
+    /// in microseconds; 0 until the shard has served a request.
+    pub service_time_p50_us: f64,
+    /// 99th-percentile request service time, in microseconds.
+    pub service_time_p99_us: f64,
 }
 
 /// Typed failures. Every malformed or inapplicable request maps to one of
@@ -255,6 +343,15 @@ pub enum ServiceError {
     InvalidSnapshot { message: String },
     /// An engine-level error surfaced through the model's typed errors.
     Model { message: String },
+    /// Back-pressure: the mailbox of the shard owning this task is full and
+    /// the runtime runs [`crate::runtime::OverloadPolicy::Reject`]. The
+    /// request was **not** accepted; the client should retry after backing
+    /// off. Task state is untouched.
+    Overloaded {
+        task: String,
+        shard: usize,
+        capacity: usize,
+    },
 }
 
 impl fmt::Display for ServiceError {
@@ -285,6 +382,15 @@ impl fmt::Display for ServiceError {
                 write!(f, "invalid snapshot: {message}")
             }
             ServiceError::Model { message } => write!(f, "model error: {message}"),
+            ServiceError::Overloaded {
+                task,
+                shard,
+                capacity,
+            } => write!(
+                f,
+                "shard {shard} owning task {task:?} is overloaded \
+                 (mailbox of {capacity} is full); retry later"
+            ),
         }
     }
 }
@@ -299,12 +405,58 @@ impl From<crowdval_model::ModelError> for ServiceError {
     }
 }
 
-/// What the serve driver writes per request line: the response or the typed
-/// error, externally tagged (`{"Ok": …}` / `{"Err": …}`).
+/// The outcome half of a [`Reply`]: the response or the typed error,
+/// externally tagged (`{"Ok": …}` / `{"Err": …}`).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum Reply {
+pub enum ReplyOutcome {
     Ok(Response),
     Err(ServiceError),
+}
+
+/// What the serve driver writes per request line: the echoed correlation id
+/// plus the outcome. The echo is what lets clients of the sharded runtime
+/// match out-of-order replies back to their requests; lines that cannot be
+/// parsed at all echo id 0.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Reply {
+    /// The [`RequestEnvelope::request_id`] this reply answers.
+    pub request_id: u64,
+    /// Response or typed error.
+    pub outcome: ReplyOutcome,
+}
+
+impl Reply {
+    /// A successful reply.
+    pub fn ok(request_id: u64, response: Response) -> Self {
+        Self {
+            request_id,
+            outcome: ReplyOutcome::Ok(response),
+        }
+    }
+
+    /// A failed reply.
+    pub fn err(request_id: u64, error: ServiceError) -> Self {
+        Self {
+            request_id,
+            outcome: ReplyOutcome::Err(error),
+        }
+    }
+
+    /// Borrowing view of the outcome as a `Result`.
+    pub fn result(&self) -> Result<&Response, &ServiceError> {
+        match &self.outcome {
+            ReplyOutcome::Ok(response) => Ok(response),
+            ReplyOutcome::Err(error) => Err(error),
+        }
+    }
+
+    /// Consuming view of the outcome as a `Result`.
+    pub fn into_result(self) -> Result<Response, ServiceError> {
+        match self.outcome {
+            ReplyOutcome::Ok(response) => Ok(response),
+            ReplyOutcome::Err(error) => Err(error),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -313,14 +465,43 @@ mod tests {
 
     #[test]
     fn envelope_round_trips_through_json() {
-        let envelope = RequestEnvelope::v1(Request::SubmitVotes {
-            task: "t".into(),
-            votes: vec![ClientVote {
-                worker: "alice".into(),
-                object: "img-7".into(),
-                label: "cat".into(),
-            }],
-        });
+        let envelope = RequestEnvelope::new(
+            41,
+            Request::SubmitVotes {
+                task: "t".into(),
+                votes: vec![ClientVote {
+                    worker: "alice".into(),
+                    object: "img-7".into(),
+                    label: "cat".into(),
+                }],
+            },
+        );
+        let json = serde_json::to_string(&envelope).unwrap();
+        let reread: RequestEnvelope = serde_json::from_str(&json).unwrap();
+        assert_eq!(envelope, reread);
+        assert_eq!(reread.request_id, 41);
+    }
+
+    #[test]
+    fn reply_echoes_the_request_id_on_the_wire() {
+        let reply = Reply::ok(
+            7,
+            Response::Guidance {
+                task: "t".into(),
+                object: None,
+            },
+        );
+        let json = serde_json::to_string(&reply).unwrap();
+        assert!(json.contains("\"request_id\":7"));
+        let reread: Reply = serde_json::from_str(&json).unwrap();
+        assert_eq!(reread, reply);
+        assert!(reread.result().is_ok());
+    }
+
+    #[test]
+    fn runtime_stats_request_round_trips() {
+        let envelope = RequestEnvelope::new(3, Request::RuntimeStats);
+        assert_eq!(envelope.request.task_name(), None);
         let json = serde_json::to_string(&envelope).unwrap();
         let reread: RequestEnvelope = serde_json::from_str(&json).unwrap();
         assert_eq!(envelope, reread);
@@ -338,6 +519,13 @@ mod tests {
             label: "dog".into(),
         };
         assert!(e.to_string().contains("dog"));
+        let e = ServiceError::Overloaded {
+            task: "t".into(),
+            shard: 3,
+            capacity: 64,
+        };
+        assert!(e.to_string().contains("shard 3"));
+        assert!(e.to_string().contains("retry"));
     }
 
     #[test]

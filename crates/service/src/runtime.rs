@@ -1,0 +1,364 @@
+//! The sharded service runtime: parallel request dispatch with per-task
+//! shard ownership and bounded-mailbox back-pressure.
+//!
+//! # Architecture
+//!
+//! ```text
+//!                      ┌────────────────────────────────────────────┐
+//!   submit(envelope) ──┤ dispatcher (caller thread)                 │
+//!                      │  · version check                           │
+//!                      │  · RuntimeStats answered from counters     │
+//!                      │  · route: shard_for_task(name) % shards    │
+//!                      └──────┬──────────────┬──────────────────────┘
+//!                   bounded   │              │   bounded
+//!                   mailbox   ▼              ▼   mailbox
+//!                      ┌────────────┐  ┌────────────┐
+//!                      │ shard 0    │  │ shard N-1  │   one thread each,
+//!                      │ worker +   │  │ worker +   │   exclusively owns
+//!                      │ Validation │  │ Validation │   its tasks
+//!                      │  Service   │  │  Service   │
+//!                      └──────┬─────┘  └──────┬─────┘
+//!                             └───────┬───────┘
+//!                                     ▼
+//!                            replies (mpsc), out of
+//!                            submission order, matched
+//!                            by the echoed request_id
+//! ```
+//!
+//! Every task name hashes to exactly one shard ([`shard_for_task`]) and
+//! **never migrates**, so each worker mutates its sessions with plain
+//! `&mut` calls — no lock is taken anywhere on the request path. The
+//! global name→shard registry of the single-threaded service is replaced
+//! by this stateless first-seen-equals-forever hash: routing costs one FNV
+//! pass over the task name, and the per-shard task maps are private to
+//! their worker.
+//!
+//! # Ordering
+//!
+//! A shard mailbox is FIFO and a shard has one worker, so **requests for
+//! the same task execute in submission order** — the property behind the
+//! determinism guarantee: any task's final snapshot under concurrent mixed
+//! traffic is bit-identical to a serial replay of that task's own request
+//! stream. Requests for *different* tasks may execute — and reply — in any
+//! order; clients match replies by the echoed `request_id`.
+//!
+//! # Back-pressure
+//!
+//! Mailboxes are bounded. When the target shard's mailbox is full,
+//! [`ShardRuntime::submit`] either fails the request with
+//! [`ServiceError::Overloaded`] (telling the client to retry — the
+//! [`OverloadPolicy::Reject`] default) or blocks the submitting thread
+//! until a slot frees ([`OverloadPolicy::Block`], what the lossless
+//! JSON-lines driver uses). Memory stays bounded either way; a saturated
+//! shard never takes the process down with it.
+
+use crate::protocol::{
+    Reply, RequestEnvelope, Response, ServiceError, ShardStats, PROTOCOL_VERSION,
+};
+use crate::shard::{spawn_shard, ShardHandle, ShardJob};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+
+/// Maps a task name to its owning shard: 64-bit FNV-1a over the name's
+/// bytes, reduced mod `num_shards`. Stable across runs and builds — a
+/// restart routes every task to the same shard.
+pub fn shard_for_task(task: &str, num_shards: usize) -> usize {
+    debug_assert!(num_shards > 0);
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in task.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    (hash % num_shards as u64) as usize
+}
+
+/// What to do when the target shard's mailbox is full.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OverloadPolicy {
+    /// Fail fast: the request is not accepted and the client receives
+    /// [`ServiceError::Overloaded`] as its reply — the retry signal of a
+    /// service boundary.
+    #[default]
+    Reject,
+    /// Block the submitting thread until the mailbox has room. Lossless;
+    /// back-pressure propagates to the ingest source by stalling it (what
+    /// `crowdval-serve` uses so a scripted conversation never drops lines).
+    Block,
+}
+
+/// Configuration of a [`ShardRuntime`].
+#[derive(Debug, Clone, Copy)]
+pub struct RuntimeConfig {
+    /// Worker/shard count. Tasks hash across shards; speedup needs
+    /// multiple cores, correctness does not.
+    pub num_shards: usize,
+    /// Bounded mailbox capacity per shard.
+    pub mailbox_capacity: usize,
+    /// Full-mailbox behavior.
+    pub overload: OverloadPolicy,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            num_shards: 4,
+            mailbox_capacity: 1024,
+            overload: OverloadPolicy::Reject,
+        }
+    }
+}
+
+/// How [`ShardRuntime::submit`] disposed of an envelope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dispatch {
+    /// Accepted into a shard mailbox; the reply will arrive on the reply
+    /// channel.
+    Enqueued { shard: usize },
+    /// Answered by the dispatcher itself (version error, `RuntimeStats`);
+    /// the reply is already on the reply channel.
+    Answered,
+    /// Rejected by back-pressure ([`OverloadPolicy::Reject`]); the
+    /// [`ServiceError::Overloaded`] reply is already on the reply channel.
+    Rejected { shard: usize },
+}
+
+/// Keeps a shard worker parked until dropped (see
+/// [`ShardRuntime::hold_shard`]). Requests submitted to the held shard
+/// queue up behind the gate and execute, in order, after release.
+pub struct HoldGuard {
+    _gate: SyncSender<()>,
+}
+
+/// The sharded, multi-threaded front door: dispatches requests across
+/// shard workers that exclusively own their tasks.
+///
+/// Construction returns the runtime plus the reply receiver; replies carry
+/// the echoed `request_id` and arrive in completion order, not submission
+/// order. [`ShardRuntime::shutdown`] drains every mailbox — each accepted
+/// request is processed and its reply flushed — before the receiver
+/// disconnects.
+///
+/// ```
+/// use crowdval_service::runtime::{RuntimeConfig, ShardRuntime};
+/// use crowdval_service::{Request, RequestEnvelope, TaskConfig};
+///
+/// let (runtime, replies) = ShardRuntime::start(RuntimeConfig::default());
+/// runtime.submit(RequestEnvelope::new(1, Request::CreateTask {
+///     task: "moderation".into(),
+///     labels: vec!["ok".into(), "spam".into()],
+///     config: TaskConfig::default(),
+/// }));
+/// runtime.shutdown();
+/// let reply = replies.recv().unwrap();
+/// assert_eq!(reply.request_id, 1);
+/// assert!(reply.result().is_ok());
+/// ```
+pub struct ShardRuntime {
+    shards: Vec<ShardHandle>,
+    reply_tx: Sender<Reply>,
+    config: RuntimeConfig,
+}
+
+impl ShardRuntime {
+    /// Spawns the shard workers and returns the runtime plus the reply
+    /// channel. `num_shards` and `mailbox_capacity` are clamped to ≥ 1.
+    pub fn start(config: RuntimeConfig) -> (Self, Receiver<Reply>) {
+        let config = RuntimeConfig {
+            num_shards: config.num_shards.max(1),
+            mailbox_capacity: config.mailbox_capacity.max(1),
+            ..config
+        };
+        let (reply_tx, reply_rx) = std::sync::mpsc::channel();
+        let shards = (0..config.num_shards)
+            .map(|shard| spawn_shard(shard, config.mailbox_capacity, reply_tx.clone()))
+            .collect();
+        (
+            Self {
+                shards,
+                reply_tx,
+                config,
+            },
+            reply_rx,
+        )
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The configuration the runtime runs.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// A clone of the reply-channel sender, for callers that inject their
+    /// own replies into the same stream (the serve driver does this for
+    /// lines that fail to parse).
+    pub fn reply_sender(&self) -> Sender<Reply> {
+        self.reply_tx.clone()
+    }
+
+    /// Dispatches one envelope. Protocol-version failures and
+    /// [`crate::Request::RuntimeStats`] are answered by the dispatcher
+    /// itself (they must stay answerable while shards are saturated);
+    /// everything else is routed to the shard owning the task.
+    ///
+    /// Requests submitted from one thread execute in submission order per
+    /// task; see the module docs for the ordering and back-pressure
+    /// contracts.
+    pub fn submit(&self, envelope: RequestEnvelope) -> Dispatch {
+        let request_id = envelope.request_id;
+        if envelope.version != PROTOCOL_VERSION {
+            self.answer(Reply::err(
+                request_id,
+                ServiceError::UnsupportedVersion {
+                    requested: envelope.version,
+                    supported: PROTOCOL_VERSION,
+                },
+            ));
+            return Dispatch::Answered;
+        }
+        let Some(task) = envelope.request.task_name() else {
+            // RuntimeStats: read the shared counters, no mailbox involved.
+            self.answer(Reply::ok(
+                request_id,
+                Response::RuntimeStats {
+                    shards: self.stats(),
+                },
+            ));
+            return Dispatch::Answered;
+        };
+        let shard = shard_for_task(task, self.shards.len());
+        let task = task.to_string();
+        let handle = &self.shards[shard];
+        // Count the slot before sending: the worker decrements after
+        // processing, so depth can transiently read one high, never low.
+        handle.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let job = ShardJob::Request(Box::new(envelope));
+        match self.config.overload {
+            OverloadPolicy::Block => {
+                handle
+                    .mailbox
+                    .send(job)
+                    .expect("shard worker alive while runtime exists");
+                Dispatch::Enqueued { shard }
+            }
+            OverloadPolicy::Reject => match handle.mailbox.try_send(job) {
+                Ok(()) => Dispatch::Enqueued { shard },
+                Err(TrySendError::Full(_)) => {
+                    handle.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    handle.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    self.answer(Reply::err(
+                        request_id,
+                        ServiceError::Overloaded {
+                            task,
+                            shard,
+                            capacity: self.config.mailbox_capacity,
+                        },
+                    ));
+                    Dispatch::Rejected { shard }
+                }
+                Err(TrySendError::Disconnected(_)) => {
+                    unreachable!("shard worker alive while runtime exists")
+                }
+            },
+        }
+    }
+
+    /// The per-shard counters, lock-free (values may lag in-flight work by
+    /// a few relaxed stores).
+    pub fn stats(&self) -> Vec<ShardStats> {
+        self.shards
+            .iter()
+            .enumerate()
+            .map(|(i, s)| s.counters.stats(i, self.config.mailbox_capacity))
+            .collect()
+    }
+
+    /// Parks a shard's worker until the returned guard is dropped. The
+    /// hold itself occupies one mailbox slot; requests submitted behind it
+    /// queue up (or trip back-pressure once the mailbox fills) and execute
+    /// in order after release. Built for deterministic back-pressure tests
+    /// and maintenance drills.
+    ///
+    /// Fails with [`ServiceError::Overloaded`] when the mailbox is already
+    /// full — a held shard cannot be held twice deeper.
+    pub fn hold_shard(&self, shard: usize) -> Result<HoldGuard, ServiceError> {
+        let (gate, parked) = std::sync::mpsc::sync_channel(1);
+        match self.shards[shard].mailbox.try_send(ShardJob::Hold(parked)) {
+            Ok(()) => Ok(HoldGuard { _gate: gate }),
+            Err(_) => Err(ServiceError::Overloaded {
+                task: String::new(),
+                shard,
+                capacity: self.config.mailbox_capacity,
+            }),
+        }
+    }
+
+    /// Graceful shutdown: closes every mailbox, waits for each worker to
+    /// drain its queued requests and flush their replies, then disconnects
+    /// the reply channel. Every request that was accepted (`Enqueued`) is
+    /// guaranteed a reply on the receiver before it reports disconnect —
+    /// nothing accepted is ever silently dropped.
+    pub fn shutdown(self) {
+        let Self {
+            shards, reply_tx, ..
+        } = self;
+        // Closing the mailboxes first lets all workers drain in parallel.
+        let workers: Vec<_> = shards
+            .into_iter()
+            .map(|s| {
+                drop(s.mailbox);
+                s.worker
+            })
+            .collect();
+        for worker in workers {
+            worker.join().expect("shard worker panicked");
+        }
+        // All worker-held senders are gone; dropping ours disconnects the
+        // receiver once the already-sent replies are consumed.
+        drop(reply_tx);
+    }
+
+    fn answer(&self, reply: Reply) {
+        // The receiver half may already be gone during teardown; dropping
+        // the reply then is correct (nobody is listening).
+        let _ = self.reply_tx.send(reply);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn task_to_shard_hashing_is_stable_and_total() {
+        // Pinned values: the registry must route identically across runs
+        // and builds, or restored deployments would scatter tasks.
+        assert_eq!(
+            shard_for_task("sentiment", 4),
+            shard_for_task("sentiment", 4)
+        );
+        for shards in 1..=8 {
+            for name in ["a", "b", "task-17", "", "日本語"] {
+                assert!(shard_for_task(name, shards) < shards);
+            }
+        }
+        assert_eq!(shard_for_task("anything", 1), 0);
+    }
+
+    #[test]
+    fn hashing_spreads_tasks_across_shards() {
+        let mut hits = [0usize; 4];
+        for i in 0..1000 {
+            hits[shard_for_task(&format!("task-{i}"), 4)] += 1;
+        }
+        for (shard, &count) in hits.iter().enumerate() {
+            assert!(
+                (150..=350).contains(&count),
+                "shard {shard} owns {count} of 1000 tasks — hash is skewed"
+            );
+        }
+    }
+}

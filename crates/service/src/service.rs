@@ -20,14 +20,17 @@
 
 use crate::protocol::{
     ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
-    StrategyChoice, TaskConfig, TaskSnapshot, PROTOCOL_VERSION,
+    ShardStats, StrategyChoice, TaskConfig, TaskSnapshot, MIN_SNAPSHOT_PROTOCOL_VERSION,
+    PROTOCOL_VERSION,
 };
+use crate::shard::LatencyHistogram;
 use crowdval_core::{
     EntropyBaseline, HybridStrategy, ProcessConfig, RandomSelection, SelectionStrategy,
     UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
 };
 use crowdval_model::{IdInterner, LabelId, ObjectId, Vote, WorkerId};
 use std::collections::BTreeMap;
+use std::time::Instant;
 
 /// One tenant: a validation session plus its three external-id mappings.
 struct TaskState {
@@ -55,7 +58,7 @@ impl TaskState {
 /// use crowdval_service::{Request, RequestEnvelope, Response, TaskConfig, ValidationService};
 ///
 /// let mut service = ValidationService::new();
-/// let reply = service.handle(&RequestEnvelope::v1(Request::CreateTask {
+/// let reply = service.handle(&RequestEnvelope::latest(Request::CreateTask {
 ///     task: "moderation".into(),
 ///     labels: vec!["ok".into(), "spam".into()],
 ///     config: TaskConfig::default(),
@@ -65,6 +68,15 @@ impl TaskState {
 #[derive(Default)]
 pub struct ValidationService {
     tasks: BTreeMap<String, TaskState>,
+    /// Requests finished through [`ValidationService::handle`] (typed
+    /// errors included; direct `handle_request` calls are not counted).
+    served: u64,
+    /// Votes accepted across all `SubmitVotes` batches.
+    votes_ingested: u64,
+    /// Service-time histogram over [`ValidationService::handle`] calls —
+    /// the single-threaded answer to [`Request::RuntimeStats`]. The sharded
+    /// runtime keeps its own per-shard counters instead.
+    latency: LatencyHistogram,
 }
 
 impl ValidationService {
@@ -85,21 +97,27 @@ impl ValidationService {
 
     /// Handles one enveloped request, checking the protocol version first.
     pub fn handle(&mut self, envelope: &RequestEnvelope) -> Result<Response, ServiceError> {
-        if envelope.version != PROTOCOL_VERSION {
-            return Err(ServiceError::UnsupportedVersion {
+        let start = Instant::now();
+        let result = if envelope.version != PROTOCOL_VERSION {
+            Err(ServiceError::UnsupportedVersion {
                 requested: envelope.version,
                 supported: PROTOCOL_VERSION,
-            });
-        }
-        self.handle_request(&envelope.request)
+            })
+        } else {
+            self.handle_request(&envelope.request)
+        };
+        self.latency.record(start.elapsed());
+        self.served += 1;
+        result
     }
 
     /// Convenience wrapper turning the result into a serializable
-    /// [`Reply`] — what the JSON-lines driver writes per input line.
+    /// [`Reply`] echoing the envelope's correlation id — what the
+    /// JSON-lines driver writes per input line.
     pub fn reply(&mut self, envelope: &RequestEnvelope) -> Reply {
         match self.handle(envelope) {
-            Ok(response) => Reply::Ok(response),
-            Err(error) => Reply::Err(error),
+            Ok(response) => Reply::ok(envelope.request_id, response),
+            Err(error) => Reply::err(envelope.request_id, error),
         }
     }
 
@@ -122,6 +140,27 @@ impl ValidationService {
             Request::Snapshot { task } => self.snapshot(task),
             Request::Restore { task, snapshot } => self.restore(task, snapshot),
             Request::CloseTask { task } => self.close_task(task),
+            Request::RuntimeStats => Ok(Response::RuntimeStats {
+                shards: vec![self.self_stats()],
+            }),
+        }
+    }
+
+    /// This service described as a single shard with no mailbox — the
+    /// single-threaded answer to [`Request::RuntimeStats`]. (Under the
+    /// sharded runtime the dispatcher answers from the real per-shard
+    /// counters instead; a shard-owned service never sees the request.)
+    fn self_stats(&self) -> ShardStats {
+        ShardStats {
+            shard: 0,
+            tasks: self.tasks.len(),
+            queue_depth: 0,
+            mailbox_capacity: 0,
+            requests_served: self.served,
+            votes_ingested: self.votes_ingested,
+            overload_rejections: 0,
+            service_time_p50_us: self.latency.quantile_us(0.50),
+            service_time_p99_us: self.latency.quantile_us(0.99),
         }
     }
 
@@ -212,6 +251,7 @@ impl ValidationService {
             })
             .collect();
         let update = state.session.ingest(&dense)?;
+        self.votes_ingested += update.votes_ingested as u64;
         Ok(Response::VotesAccepted {
             task: task_name,
             votes: update.votes_ingested,
@@ -329,7 +369,10 @@ impl ValidationService {
                 task: task.to_string(),
             });
         }
-        if snapshot.protocol_version != PROTOCOL_VERSION {
+        // The v1→v2 protocol bump changed request framing, not the snapshot
+        // layout — v1 checkpoints restore fine.
+        if !(MIN_SNAPSHOT_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&snapshot.protocol_version)
+        {
             return Err(ServiceError::UnsupportedVersion {
                 requested: snapshot.protocol_version,
                 supported: PROTOCOL_VERSION,
@@ -408,7 +451,7 @@ mod tests {
     use super::*;
 
     fn create(service: &mut ValidationService, task: &str) {
-        let reply = service.handle(&RequestEnvelope::v1(Request::CreateTask {
+        let reply = service.handle(&RequestEnvelope::latest(Request::CreateTask {
             task: task.into(),
             labels: vec!["yes".into(), "no".into()],
             config: TaskConfig {
@@ -432,6 +475,7 @@ mod tests {
         let mut service = ValidationService::new();
         let reply = service.handle(&RequestEnvelope {
             version: 99,
+            request_id: 0,
             request: Request::RequestGuidance { task: "t".into() },
         });
         assert!(matches!(
@@ -631,6 +675,33 @@ mod tests {
             }),
             Ok(Response::Posterior { .. })
         ));
+    }
+
+    #[test]
+    fn runtime_stats_report_the_single_threaded_view() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        service
+            .handle(&RequestEnvelope::latest(Request::SubmitVotes {
+                task: "t".into(),
+                votes: vec![vote("w", "o", "yes")],
+            }))
+            .unwrap();
+        let reply = service.reply(&RequestEnvelope::new(9, Request::RuntimeStats));
+        assert_eq!(reply.request_id, 9);
+        match reply.into_result().unwrap() {
+            Response::RuntimeStats { shards } => {
+                assert_eq!(shards.len(), 1);
+                assert_eq!(shards[0].shard, 0);
+                assert_eq!(shards[0].tasks, 1);
+                assert_eq!(shards[0].votes_ingested, 1);
+                // create + submit were both counted before this request.
+                assert!(shards[0].requests_served >= 2);
+                assert_eq!(shards[0].mailbox_capacity, 0);
+                assert_eq!(shards[0].queue_depth, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
     }
 
     #[test]

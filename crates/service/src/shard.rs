@@ -1,0 +1,256 @@
+//! One shard of the sharded service runtime: a dedicated worker thread that
+//! **exclusively owns** a [`ValidationService`] registry slice and drains a
+//! bounded mailbox of requests.
+//!
+//! Ownership is the whole concurrency story. A task lives on exactly one
+//! shard (chosen by hashing its name, see
+//! [`crate::runtime::shard_for_task`]) and never migrates, so the worker
+//! mutates its sessions without any locking — the hot path is a plain
+//! `&mut` call, exactly as fast as the single-threaded service. The only
+//! shared state is the mailbox channel and a handful of relaxed atomic
+//! counters ([`ShardCounters`]) the dispatcher reads for
+//! [`crate::Request::RuntimeStats`].
+//!
+//! The mailbox is a [`std::sync::mpsc::sync_channel`] of fixed capacity:
+//! when it fills, the dispatcher either rejects the request with
+//! [`crate::ServiceError::Overloaded`] or blocks the submitting thread
+//! (see [`crate::runtime::OverloadPolicy`]) — queue growth is bounded
+//! either way. A worker exits only when every mailbox sender is gone *and*
+//! the mailbox is empty, which is what makes
+//! [`crate::runtime::ShardRuntime::shutdown`] a drain: accepted requests
+//! are always processed and replied to before the thread ends.
+
+use crate::protocol::{Reply, ReplyOutcome, RequestEnvelope, Response, ShardStats};
+use crate::service::ValidationService;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{Receiver, Sender, SyncSender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Log-spaced latency histogram: bucket `i ≥ 1` counts durations in
+/// `[2^(i-1), 2^i)` nanoseconds (bucket 0 is exactly zero), so recording is
+/// one `leading_zeros` plus one relaxed atomic increment — cheap enough for
+/// every request — and quantiles are read lock-free from whole-bucket
+/// counts. The geometric bucket midpoint bounds the quantile estimate's
+/// relative error by √2.
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; Self::BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// 48 buckets reach 2^47 ns ≈ 39 hours — beyond any request.
+    const BUCKETS: usize = 48;
+
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+        }
+    }
+
+    /// Records one service time.
+    pub fn record(&self, duration: Duration) {
+        let nanos = duration.as_nanos().min(u64::MAX as u128) as u64;
+        let index = (64 - nanos.leading_zeros() as usize).min(Self::BUCKETS - 1);
+        self.buckets[index].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of recorded samples.
+    #[cfg(test)]
+    pub fn samples(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+
+    /// The `q`-quantile (`0 < q ≤ 1`) in microseconds, estimated at the
+    /// geometric midpoint of the bucket holding the target rank. Returns 0
+    /// while no samples are recorded.
+    pub fn quantile_us(&self, q: f64) -> f64 {
+        let counts: Vec<u64> = self
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let target = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0u64;
+        for (index, &count) in counts.iter().enumerate() {
+            seen += count;
+            if seen >= target {
+                if index == 0 {
+                    return 0.0;
+                }
+                // Geometric midpoint of [2^(i-1), 2^i) ns, in µs.
+                return 2f64.powi(index as i32 - 1) * std::f64::consts::SQRT_2 / 1000.0;
+            }
+        }
+        unreachable!("target rank is within the total count");
+    }
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The per-shard counters the dispatcher reads for
+/// [`crate::Request::RuntimeStats`] without touching the mailbox. All
+/// updates are relaxed: the numbers are monitoring data, not
+/// synchronization.
+pub struct ShardCounters {
+    /// Live tasks on this shard (maintained by the worker).
+    pub(crate) tasks: AtomicUsize,
+    /// Requests accepted into the mailbox and not yet finished.
+    pub(crate) queue_depth: AtomicUsize,
+    /// Requests the worker has finished processing.
+    pub(crate) served: AtomicU64,
+    /// Votes accepted across all `SubmitVotes` handled by this shard.
+    pub(crate) votes_ingested: AtomicU64,
+    /// Requests rejected at the ingest boundary (mailbox full, reject
+    /// policy). Maintained by the dispatcher, reported per shard.
+    pub(crate) rejected: AtomicU64,
+    /// Service-time histogram (handling only; queue wait excluded).
+    pub(crate) latency: LatencyHistogram,
+}
+
+impl ShardCounters {
+    pub(crate) fn new() -> Self {
+        Self {
+            tasks: AtomicUsize::new(0),
+            queue_depth: AtomicUsize::new(0),
+            served: AtomicU64::new(0),
+            votes_ingested: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Snapshot of the counters as a protocol [`ShardStats`] value.
+    pub(crate) fn stats(&self, shard: usize, mailbox_capacity: usize) -> ShardStats {
+        ShardStats {
+            shard,
+            tasks: self.tasks.load(Ordering::Relaxed),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            mailbox_capacity,
+            requests_served: self.served.load(Ordering::Relaxed),
+            votes_ingested: self.votes_ingested.load(Ordering::Relaxed),
+            overload_rejections: self.rejected.load(Ordering::Relaxed),
+            service_time_p50_us: self.latency.quantile_us(0.50),
+            service_time_p99_us: self.latency.quantile_us(0.99),
+        }
+    }
+}
+
+/// What travels through a shard mailbox.
+pub(crate) enum ShardJob {
+    /// A client request; the reply goes out through the shared reply
+    /// channel.
+    Request(Box<RequestEnvelope>),
+    /// Parks the worker until the sender half of the gate is dropped.
+    /// Used by [`crate::runtime::ShardRuntime::hold_shard`] to quiesce a
+    /// shard deterministically (back-pressure tests, maintenance drills);
+    /// queued requests behind the gate are processed after release, in
+    /// order.
+    Hold(Receiver<()>),
+}
+
+/// A running shard: its mailbox sender, shared counters and join handle.
+pub(crate) struct ShardHandle {
+    pub(crate) mailbox: SyncSender<ShardJob>,
+    pub(crate) counters: Arc<ShardCounters>,
+    pub(crate) worker: JoinHandle<()>,
+}
+
+/// Spawns one shard worker owning a fresh [`ValidationService`].
+pub(crate) fn spawn_shard(
+    shard: usize,
+    mailbox_capacity: usize,
+    reply_tx: Sender<Reply>,
+) -> ShardHandle {
+    let (mailbox, jobs) = std::sync::mpsc::sync_channel::<ShardJob>(mailbox_capacity);
+    let counters = Arc::new(ShardCounters::new());
+    let worker_counters = Arc::clone(&counters);
+    let worker = std::thread::Builder::new()
+        .name(format!("crowdval-shard-{shard}"))
+        .spawn(move || run_worker(jobs, reply_tx, worker_counters))
+        .expect("spawn shard worker thread");
+    ShardHandle {
+        mailbox,
+        counters,
+        worker,
+    }
+}
+
+/// The worker loop: drain the mailbox until every sender is gone. The
+/// owned service is single-owner state — see the invariant documented on
+/// [`crowdval_core::ValidationSession`].
+fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<ShardCounters>) {
+    let mut service = ValidationService::new();
+    for job in jobs {
+        match job {
+            ShardJob::Request(envelope) => {
+                let start = Instant::now();
+                let reply = service.reply(&envelope);
+                counters.latency.record(start.elapsed());
+                if let ReplyOutcome::Ok(Response::VotesAccepted { votes, .. }) = &reply.outcome {
+                    counters
+                        .votes_ingested
+                        .fetch_add(*votes as u64, Ordering::Relaxed);
+                }
+                counters.tasks.store(service.num_tasks(), Ordering::Relaxed);
+                counters.served.fetch_add(1, Ordering::Relaxed);
+                counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                // A vanished collector is not an error during shutdown:
+                // keep draining so accepted requests still execute.
+                let _ = reply_tx.send(reply);
+            }
+            ShardJob::Hold(gate) => {
+                // Blocks until the holder drops (or signals) the sender.
+                let _ = gate.recv();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_is_empty_until_recorded() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.samples(), 0);
+        assert_eq!(h.quantile_us(0.5), 0.0);
+        assert_eq!(h.quantile_us(0.99), 0.0);
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_the_recorded_scale() {
+        let h = LatencyHistogram::new();
+        for _ in 0..99 {
+            h.record(Duration::from_micros(100)); // ~1e5 ns
+        }
+        h.record(Duration::from_millis(50)); // 5e7 ns tail
+        assert_eq!(h.samples(), 100);
+        let p50 = h.quantile_us(0.5);
+        // Log-bucketed: the estimate is within √2 of 100µs.
+        assert!((70.0..142.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile_us(0.99);
+        assert!((70.0..142.0).contains(&p99), "p99 {p99}");
+        let p100 = h.quantile_us(1.0);
+        assert!((35_000.0..71_000.0).contains(&p100), "p100 {p100}");
+    }
+
+    #[test]
+    fn histogram_handles_zero_and_huge_durations() {
+        let h = LatencyHistogram::new();
+        h.record(Duration::ZERO);
+        assert_eq!(h.quantile_us(1.0), 0.0);
+        h.record(Duration::from_secs(1 << 30)); // clamps to the last bucket
+        assert_eq!(h.samples(), 2);
+        assert!(h.quantile_us(1.0) > 0.0);
+    }
+}

@@ -21,9 +21,12 @@ fn committed_conversation_matches_golden_transcript() {
         }
         let reply = match serde_json::from_str::<RequestEnvelope>(trimmed) {
             Ok(envelope) => service.reply(&envelope),
-            Err(e) => Reply::Err(ServiceError::MalformedRequest {
-                message: e.to_string(),
-            }),
+            Err(e) => Reply::err(
+                0,
+                ServiceError::MalformedRequest {
+                    message: e.to_string(),
+                },
+            ),
         };
         replies.push(serde_json::to_string(&reply).unwrap());
     }

@@ -125,7 +125,7 @@ impl DirectRun {
 
 fn send(service: &mut ValidationService, request: Request) -> Response {
     service
-        .handle(&RequestEnvelope::v1(request))
+        .handle(&RequestEnvelope::latest(request))
         .expect("scripted request must succeed")
 }
 

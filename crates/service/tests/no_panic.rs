@@ -189,7 +189,11 @@ proptest! {
                 rng.random_range(0..5u32)
             };
             let request = gen_request(&mut rng, &last_snapshot);
-            let envelope = RequestEnvelope { version, request };
+            let envelope = RequestEnvelope {
+                version,
+                request_id: step as u64,
+                request,
+            };
             match service.handle(&envelope) {
                 Ok(response) => {
                     if let crowdval_service::Response::Snapshot { snapshot, .. } = response {
@@ -231,13 +235,16 @@ proptest! {
                 let line = JUNK[rng.random_range(0..JUNK.len())];
                 match serde_json::from_str::<RequestEnvelope>(line) {
                     Ok(envelope) => service.reply(&envelope),
-                    Err(e) => Reply::Err(ServiceError::MalformedRequest {
-                        message: e.to_string(),
-                    }),
+                    Err(e) => Reply::err(
+                        0,
+                        ServiceError::MalformedRequest {
+                            message: e.to_string(),
+                        },
+                    ),
                 }
             } else {
                 let request = gen_request(&mut rng, &None);
-                service.reply(&RequestEnvelope::v1(request))
+                service.reply(&RequestEnvelope::latest(request))
             };
             // Every reply serializes to a JSON line.
             let json = serde_json::to_string(&reply).unwrap();

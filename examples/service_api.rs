@@ -12,7 +12,7 @@ use crowd_validation::service::{
 
 fn send(service: &mut ValidationService, request: Request) -> Response {
     service
-        .handle(&RequestEnvelope::v1(request))
+        .handle(&RequestEnvelope::latest(request))
         .expect("example requests are well-formed")
 }
 
