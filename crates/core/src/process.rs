@@ -31,7 +31,7 @@ use crowdval_model::{
     AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ObjectId,
     ProbabilisticAnswerSet, WorkerId,
 };
-use crowdval_spammer::SpammerDetector;
+use crowdval_spammer::{SpammerDetector, TrustConfig};
 use serde::{Deserialize, Serialize};
 
 /// Where expert labels come from in batch mode.
@@ -76,6 +76,13 @@ pub struct ProcessConfig {
     /// eager re-score-everything path, which the selection benchmark uses
     /// as its baseline.
     pub guidance_cache: bool,
+    /// Online adversarial-worker defense: thresholds of the streaming trust
+    /// ledger ([`crowdval_spammer::WorkerTrustLedger`]). The ledger always
+    /// *tracks* trust; with `trust.enabled` (and `handle_faulty_workers`)
+    /// it also auto-tombstones and reinstates workers on every ingest and
+    /// validation. Disabled by default — sessions then behave exactly like
+    /// the pre-defense (§5.3-only) pipeline.
+    pub trust: TrustConfig,
 }
 
 impl Default for ProcessConfig {
@@ -87,6 +94,7 @@ impl Default for ProcessConfig {
             handle_faulty_workers: true,
             parallel: false,
             guidance_cache: true,
+            trust: TrustConfig::default(),
         }
     }
 }

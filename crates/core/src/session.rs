@@ -40,7 +40,10 @@ use crowdval_model::{
     AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ModelError,
     ObjectId, ProbabilisticAnswerSet, Vote, WorkerId,
 };
-use crowdval_spammer::{FaultyWorkerHandler, SpammerDetector};
+use crowdval_spammer::{
+    BatchVote, DefenseTelemetry, FaultyWorkerHandler, SpammerDetector, TrustDecision, TrustReport,
+    WorkerTrustLedger,
+};
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
 
@@ -67,6 +70,12 @@ pub struct SessionUpdate {
     pub guidance_invalidated: usize,
     /// Uncertainty `H(P)` after the update.
     pub uncertainty: f64,
+    /// Workers the online defense tombstoned during this ingest, in id
+    /// order (empty when the defense is disabled).
+    pub workers_excluded: Vec<WorkerId>,
+    /// Workers the online defense reinstated during this ingest, in id
+    /// order (empty when the defense is disabled).
+    pub workers_reinstated: Vec<WorkerId>,
 }
 
 /// Builder for [`ValidationSession`].
@@ -239,6 +248,10 @@ pub struct ValidationSession {
     strategy: Option<Box<dyn SelectionStrategy>>,
     detector: SpammerDetector,
     handler: FaultyWorkerHandler,
+    /// Online-defense trust ledger: always *tracking* (cheap per-vote
+    /// counters, batch kappa, decayed approval rates), enforcing tombstones
+    /// only when `config.trust.enabled`.
+    trust: WorkerTrustLedger,
     config: ProcessConfig,
     ground_truth: Option<GroundTruth>,
     expert: ExpertValidation,
@@ -286,6 +299,8 @@ impl ValidationSession {
         );
         let mut shortlist = EntropyShortlist::new();
         shortlist.ensure_len(answers.num_objects());
+        let mut trust = WorkerTrustLedger::new();
+        trust.ensure_workers(answers.num_workers());
         Self {
             active_answers: answers.clone(),
             answers,
@@ -293,6 +308,7 @@ impl ValidationSession {
             strategy: Some(strategy),
             detector,
             handler: FaultyWorkerHandler::new(),
+            trust,
             config,
             ground_truth,
             expert,
@@ -345,13 +361,25 @@ impl ValidationSession {
                 invalidated_entries: 0,
                 guidance_invalidated: 0,
                 uncertainty: self.current.uncertainty(),
+                workers_excluded: Vec::new(),
+                workers_reinstated: Vec::new(),
             });
         }
         let prev_objects = self.answers.num_objects();
         let prev_workers = self.answers.num_workers();
 
         let mut touched: Vec<ObjectId> = Vec::with_capacity(votes.len());
+        let mut batch_votes: Vec<BatchVote> = Vec::with_capacity(votes.len());
         for &vote in votes {
+            // The copy heuristic needs the pre-vote modal label, so the
+            // annotation is computed before the vote is recorded (earlier
+            // votes of the same batch count as "prior" — stream order).
+            batch_votes.push(BatchVote {
+                object: vote.object,
+                worker: vote.worker,
+                label: vote.label,
+                prior_modal: self.prior_modal(vote.object),
+            });
             self.answers
                 .record_arrival(vote)
                 .expect("labels were validated above");
@@ -368,6 +396,24 @@ impl ValidationSession {
         self.expert.ensure_domain(num_objects);
         self.trace.num_objects = num_objects;
 
+        // Online defense: absorb the batch's stream heuristics (constant
+        // answers, label copying, kappa-gated dissent) and, when enforcement
+        // is on, flip tombstones *before* re-aggregating so this batch's own
+        // aggregation already sees the updated view.
+        self.trust.ensure_workers(self.answers.num_workers());
+        self.trust
+            .observe_batch(self.answers.num_labels(), &batch_votes, &self.config.trust);
+        let defense = if self.config.handle_faulty_workers && self.config.trust.enabled {
+            let defense = self.trust.decide(&self.config.trust);
+            if !defense.is_empty() {
+                self.handler.sync_excluded(&self.trust.excluded());
+                self.handler.apply_exclusions(&mut self.active_answers);
+            }
+            defense
+        } else {
+            TrustDecision::default()
+        };
+
         // Arrival-centric re-aggregation over the active (masked) view, warm
         // from the pre-arrival state even across growth — unless the corpus
         // has *doubled* since the last cold initialization. Warm starts
@@ -380,14 +426,29 @@ impl ValidationSession {
         // bounding hysteresis: the warm state always descends from a cold
         // init on at least half the current corpus.
         let total_answers = self.active_answers.matrix().num_answers();
-        let (next, moved) = if total_answers >= 2 * self.answers_at_last_cold.max(1) {
+        let (next, moved) = if total_answers >= 2 * self.answers_at_last_cold.max(1)
+            || !defense.reinstated.is_empty()
+        {
             self.answers_at_last_cold = total_answers;
             // Cold re-anchor: the trajectory restarts from a majority-vote
             // init, so nothing about the previous state bounds what moved —
-            // the guidance cache must be invalidated globally.
+            // the guidance cache must be invalidated globally. A
+            // reinstatement forces this path off-schedule: the returning
+            // worker's votes were invisible to every anchor of the warm
+            // trajectory, so the warm state cannot be trusted to absorb them.
             (
                 self.aggregator
                     .conclude(&self.active_answers, &self.expert, None),
+                None,
+            )
+        } else if !defense.excluded.is_empty() {
+            // A fresh exclusion shrinks the aggregation view beyond the
+            // touched objects — the arrival delta path's dirty seed no
+            // longer covers everything that can move. Re-estimate warm over
+            // the full view and drop the guidance cache globally.
+            (
+                self.aggregator
+                    .conclude(&self.active_answers, &self.expert, Some(&self.current)),
                 None,
             )
         } else if self.config.guidance_cache {
@@ -435,7 +496,47 @@ impl ValidationSession {
             invalidated_entries: invalidated,
             guidance_invalidated,
             uncertainty: self.current.uncertainty(),
+            workers_excluded: defense.excluded,
+            workers_reinstated: defense.reinstated,
         })
+    }
+
+    /// Modal label among the votes already recorded for `object`, plus
+    /// whether the object is *contested* (the runner-up label is within one
+    /// vote of the modal one). `None` when the object is new or unvoted.
+    /// Ties resolve to the lowest label id, so the annotation — and with it
+    /// every downstream trust decision — is deterministic in stream order.
+    fn prior_modal(&self, object: ObjectId) -> Option<(LabelId, bool)> {
+        if object.index() >= self.answers.num_objects() {
+            return None;
+        }
+        let mut counts = vec![0u64; self.answers.num_labels()];
+        let mut total = 0u64;
+        for (_, label) in self.answers.matrix().answers_for_object(object) {
+            counts[label.index()] += 1;
+            total += 1;
+        }
+        if total == 0 {
+            return None;
+        }
+        let modal = counts
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.cmp(b.1).then(b.0.cmp(&a.0)))
+            .map(|(i, _)| i)
+            .expect("non-empty label histogram");
+        let runner_up = counts
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != modal)
+            .map(|(_, &c)| c)
+            .max()
+            .unwrap_or(0);
+        // Contested needs genuine disagreement: at least two prior votes
+        // with the modal label leading by at most one. A single prior vote
+        // is always "modal", and counting it would brand every second voter
+        // a potential copier.
+        Some((LabelId(modal), total >= 2 && counts[modal] - runner_up <= 1))
     }
 
     /// Dirty-region maintenance of the cross-step guidance cache after a
@@ -671,8 +772,27 @@ impl ValidationSession {
         } else {
             detection.num_faulty() as f64 / self.answers.num_workers() as f64
         };
+        // Online defense: the validated object's answers feed each voter's
+        // decayed approval rate, and the fresh detection verdicts fold into
+        // the trust ledger before any tombstone decision. Tracking is
+        // unconditional — it is cheap, aggregation-neutral, and keeps trust
+        // reports meaningful even when enforcement is off.
+        for (worker, answered) in self.answers.matrix().answers_for_object(object) {
+            self.trust.record_validation(worker, answered == label);
+        }
+        self.trust.absorb_detection(&detection);
         let strategy = self.strategy.as_mut().expect("strategy present");
-        if self.config.handle_faulty_workers && strategy.handle_spammers_now() {
+        let mut defense = TrustDecision::default();
+        if self.config.handle_faulty_workers && self.config.trust.enabled {
+            // Trust-enforcement mode: the ledger is the exclusion authority —
+            // EM verdicts arrive as one evidence stream among several rather
+            // than flipping tombstones directly.
+            defense = self.trust.decide(&self.config.trust);
+            if !defense.is_empty() {
+                self.handler.sync_excluded(&self.trust.excluded());
+                self.handler.apply_exclusions(&mut self.active_answers);
+            }
+        } else if self.config.handle_faulty_workers && strategy.handle_spammers_now() {
             self.handler.apply(&detection);
             // Tombstone flips on the shared active view — no matrix copy.
             self.active_answers
@@ -685,14 +805,25 @@ impl ValidationSession {
         });
         let strategy_kind = strategy.last_kind();
 
-        // Conclude: update the probabilistic answer set (line 16).
-        let moved = self.reaggregate();
+        // Conclude: update the probabilistic answer set (line 16). A
+        // reinstated worker re-enters the view with votes the warm
+        // trajectory's anchors never saw, so re-anchor from a cold
+        // majority-vote init exactly like the streaming doubling trigger.
+        let moved = if defense.reinstated.is_empty() {
+            self.reaggregate()
+        } else {
+            self.reanchor_cold();
+            None
+        };
         // A flipped exclusion changes the aggregation *view*, and a rising
         // total uncertainty means the validation made the model more
         // confused — in both cases nothing about the previous state bounds
         // what happened to retained scores, so the region degrades to
-        // global.
+        // global. (`defense.is_empty()` is checked separately: a same-size
+        // swap of one exclusion for one reinstatement leaves the *count*
+        // unchanged while still changing the view.)
         let moved = if self.handler.num_excluded() != excluded_before
+            || !defense.is_empty()
             || self.current.uncertainty() > uncertainty_before
         {
             None
@@ -757,6 +888,85 @@ impl ValidationSession {
             .invalidate_changed(self.current.assignment(), next.assignment());
         self.current = next;
         moved
+    }
+
+    /// Cold re-anchor: a majority-vote-initialized full aggregation over the
+    /// active view, resetting the streaming doubling trigger. Used whenever
+    /// the view changed in a way the warm trajectory cannot absorb — a
+    /// reinstated worker's returning votes, or a manual tombstone override.
+    fn reanchor_cold(&mut self) {
+        let next = self
+            .aggregator
+            .conclude(&self.active_answers, &self.expert, None);
+        self.shortlist
+            .invalidate_changed(self.current.assignment(), next.assignment());
+        self.current = next;
+        self.answers_at_last_cold = self.active_answers.matrix().num_answers();
+    }
+
+    /// Manually overrides one worker's tombstone — an operator ban
+    /// (`excluded: true`) or unban (`false`) that bypasses the trust
+    /// thresholds. Returns `Ok(true)` when the state actually flipped.
+    ///
+    /// A flip is an unbounded change to the aggregation view, so the session
+    /// re-anchors cold and drops the guidance cache globally. With trust
+    /// enforcement enabled the ledger keeps accumulating evidence afterwards:
+    /// an unbanned worker whose suspicion still clears the exclusion
+    /// threshold will be re-excluded at the next decision point — overrides
+    /// adjust state, not evidence.
+    pub fn set_worker_excluded(
+        &mut self,
+        worker: WorkerId,
+        excluded: bool,
+    ) -> Result<bool, ModelError> {
+        if worker.index() >= self.answers.num_workers() {
+            return Err(ModelError::WorkerOutOfRange {
+                worker: worker.index(),
+                num_workers: self.answers.num_workers(),
+            });
+        }
+        self.trust.ensure_workers(self.answers.num_workers());
+        if self.handler.is_excluded(worker) == excluded {
+            // Keep the ledger's flag aligned with the mask even on a no-op
+            // (they can diverge in legacy §5.3 mode, where the detector owns
+            // the mask and the ledger only observes).
+            self.trust.set_excluded(worker, excluded);
+            return Ok(false);
+        }
+        self.trust.set_excluded(worker, excluded);
+        let mut set = self.handler.excluded();
+        if excluded {
+            set.push(worker);
+            set.sort_unstable();
+        } else {
+            set.retain(|&w| w != worker);
+        }
+        self.handler.sync_excluded(&set);
+        self.handler.apply_exclusions(&mut self.active_answers);
+        self.reanchor_cold();
+        self.refresh_guidance_cache(None, None);
+        Ok(true)
+    }
+
+    /// Cumulative online-defense telemetry: batches observed, kappa-gated
+    /// batches, exclusions and reinstatements. The ledger tracks even when
+    /// enforcement is disabled, so the batch counters move in every mode;
+    /// the exclusion counters only move under trust enforcement or manual
+    /// overrides.
+    pub fn defense_telemetry(&self) -> DefenseTelemetry {
+        self.trust.telemetry()
+    }
+
+    /// Per-worker trust reports in worker-id order. The `excluded` flag
+    /// reflects the session's *actual* tombstone mask — the handler is the
+    /// authority in every mode; in legacy §5.3 mode the ledger merely
+    /// observes and its own flags stay clear.
+    pub fn worker_trust_reports(&self) -> Vec<TrustReport> {
+        let mut reports = self.trust.reports(&self.config.trust);
+        for report in &mut reports {
+            report.excluded = self.handler.is_excluded(report.worker);
+        }
+        reports
     }
 
     /// The scoring view of the current validation state: what the guidance
@@ -887,6 +1097,7 @@ impl ValidationSession {
             answers: self.answers.clone(),
             expert: self.expert.clone(),
             handler: self.handler.clone(),
+            trust: self.trust.clone(),
             detector: *self.detector.config(),
             config: self.config,
             ground_truth: self.ground_truth.clone(),
@@ -999,6 +1210,8 @@ impl ValidationSession {
         active_answers.set_excluded_workers(&snapshot.handler.excluded());
         let mut shortlist = EntropyShortlist::new();
         shortlist.ensure_len(answers.num_objects());
+        let mut trust = snapshot.trust;
+        trust.ensure_workers(answers.num_workers());
         Ok(ValidationSession {
             answers,
             active_answers,
@@ -1006,6 +1219,7 @@ impl ValidationSession {
             strategy: Some(snapshot.strategy.into_strategy()),
             detector: SpammerDetector::new(snapshot.detector),
             handler: snapshot.handler,
+            trust,
             config: snapshot.config,
             ground_truth: snapshot.ground_truth,
             expert: snapshot.expert,
@@ -1382,5 +1596,121 @@ mod tests {
         });
         let session = handle.join().unwrap();
         assert_eq!(session.answers().num_workers(), 12);
+    }
+
+    /// Streams an honest synthetic corpus in batches with one extra
+    /// constant-answer spammer riding along (worker id 12, always label 1).
+    fn stream_with_constant_spammer(
+        config: ProcessConfig,
+    ) -> (ValidationSession, Vec<SessionUpdate>) {
+        let synth = reliable_synth(77, 24);
+        let truth = synth.dataset.ground_truth().clone();
+        let mut votes = votes_of(synth.dataset.answers());
+        votes.sort_by_key(|v| v.object);
+        let mut session = ValidationSessionBuilder::empty(2)
+            .strategy(Box::new(EntropyBaseline))
+            .ground_truth(truth)
+            .config(config)
+            .build();
+        let mut updates = Vec::new();
+        for chunk in votes.chunks(votes.len() / 4 + 1) {
+            let mut batch = chunk.to_vec();
+            let mut objects: Vec<ObjectId> = chunk.iter().map(|v| v.object).collect();
+            objects.sort();
+            objects.dedup();
+            batch.extend(
+                objects
+                    .into_iter()
+                    .map(|o| Vote::new(o, WorkerId(12), LabelId(1))),
+            );
+            updates.push(session.ingest(&batch).unwrap());
+        }
+        (session, updates)
+    }
+
+    #[test]
+    fn streaming_defense_tombstones_a_constant_answer_spammer() {
+        let config = ProcessConfig {
+            trust: crowdval_spammer::TrustConfig::streaming_default(),
+            ..ProcessConfig::default()
+        };
+        let (session, updates) = stream_with_constant_spammer(config);
+        let excluded: Vec<WorkerId> = updates
+            .iter()
+            .flat_map(|u| u.workers_excluded.iter().copied())
+            .collect();
+        assert_eq!(excluded, vec![WorkerId(12)], "spammer not tombstoned");
+        assert_eq!(session.excluded_workers(), vec![WorkerId(12)]);
+        let telemetry = session.defense_telemetry();
+        assert_eq!(telemetry.exclusions, 1);
+        assert_eq!(telemetry.heuristic_exclusions, 1);
+        assert!(telemetry.batches_observed >= 4);
+        let report = &session.worker_trust_reports()[12];
+        assert!(report.excluded);
+        assert!(report.suspicion >= config.trust.exclusion_threshold);
+        // No honest worker was caught in the sweep.
+        assert!(session
+            .worker_trust_reports()
+            .iter()
+            .take(12)
+            .all(|r| !r.excluded));
+    }
+
+    #[test]
+    fn default_config_tracks_trust_but_never_enforces() {
+        let (session, updates) = stream_with_constant_spammer(ProcessConfig::default());
+        assert!(updates
+            .iter()
+            .all(|u| u.workers_excluded.is_empty() && u.workers_reinstated.is_empty()));
+        assert_eq!(session.defense_telemetry().exclusions, 0);
+        // Tracking still ran: the ledger knows the spammer looks suspicious.
+        let config = crowdval_spammer::TrustConfig::streaming_default();
+        let reports = session.worker_trust_reports();
+        assert!(reports[12].votes > 0);
+        assert!(reports[12].suspicion >= config.exclusion_threshold);
+    }
+
+    #[test]
+    fn manual_tombstone_overrides_round_trip() {
+        let synth = reliable_synth(83, 12);
+        let mut session = ValidationSessionBuilder::new(synth.dataset.answers().clone())
+            .strategy(Box::new(EntropyBaseline))
+            .build();
+        assert!(matches!(
+            session.set_worker_excluded(WorkerId(99), true),
+            Err(ModelError::WorkerOutOfRange { .. })
+        ));
+        assert!(session.set_worker_excluded(WorkerId(3), true).unwrap());
+        assert_eq!(session.excluded_workers(), vec![WorkerId(3)]);
+        // Idempotent: repeating the ban is a no-op.
+        assert!(!session.set_worker_excluded(WorkerId(3), true).unwrap());
+        // Validation-driven guidance still works with the mask in place.
+        let truth = synth.dataset.ground_truth().clone();
+        let o = session.select_next().expect("candidates exist");
+        session.integrate(o, truth.label(o)).unwrap();
+        assert!(session.set_worker_excluded(WorkerId(3), false).unwrap());
+        assert!(session.excluded_workers().is_empty());
+        let telemetry = session.defense_telemetry();
+        assert_eq!(telemetry.exclusions, 1);
+        assert_eq!(telemetry.reinstatements, 1);
+    }
+
+    #[test]
+    fn trust_ledger_survives_snapshot_restore() {
+        let config = ProcessConfig {
+            trust: crowdval_spammer::TrustConfig::streaming_default(),
+            ..ProcessConfig::default()
+        };
+        let (session, _) = stream_with_constant_spammer(config);
+        let snapshot = session.snapshot().unwrap();
+        let json = serde_json::to_string(&snapshot).unwrap();
+        let reread: SessionSnapshot = serde_json::from_str(&json).unwrap();
+        let restored = ValidationSession::restore(reread).unwrap();
+        assert_eq!(restored.defense_telemetry(), session.defense_telemetry());
+        assert_eq!(restored.excluded_workers(), session.excluded_workers());
+        assert_eq!(
+            restored.worker_trust_reports(),
+            session.worker_trust_reports()
+        );
     }
 }

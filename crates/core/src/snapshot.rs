@@ -29,15 +29,17 @@ use crate::process::ProcessConfig;
 use crate::strategy::StrategyState;
 use crowdval_aggregation::AggregatorState;
 use crowdval_model::{AnswerSet, ExpertValidation, GroundTruth, ProbabilisticAnswerSet};
-use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler};
+use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler, WorkerTrustLedger};
 use serde::{Deserialize, Serialize};
 
 /// Version tag written into every snapshot; bumped when the layout changes
 /// so a restore can reject snapshots from an incompatible build instead of
 /// misinterpreting them. v2: [`ProcessConfig`] gained the `guidance_cache`
 /// switch and [`crate::metrics::ValidationStep`] the per-step guidance
-/// telemetry.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 2;
+/// telemetry. v3: [`ProcessConfig`] gained the online-defense `trust`
+/// thresholds and the snapshot the worker-trust ledger (evidence counters,
+/// tombstone flags and defense telemetry).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
 
 /// A complete, serializable checkpoint of a validation session. Produce one
 /// with [`crate::session::ValidationSession::snapshot`], resume with
@@ -53,6 +55,9 @@ pub struct SessionSnapshot {
     pub expert: ExpertValidation,
     /// Worker-exclusion state (§5.3), including the audit counter.
     pub handler: FaultyWorkerHandler,
+    /// The online-defense trust ledger: per-worker evidence counters,
+    /// tombstone flags and cumulative defense telemetry.
+    pub trust: WorkerTrustLedger,
     /// The faulty-worker detector's thresholds.
     pub detector: DetectorConfig,
     /// Run-time options.

@@ -22,5 +22,5 @@ pub mod svd;
 
 pub use entropy::{shannon_entropy, shannon_entropy_normalized};
 pub use matrix::Matrix;
-pub use stats::{mean, pearson_correlation, population_std_dev, Histogram, Summary};
+pub use stats::{fleiss_kappa, mean, pearson_correlation, population_std_dev, Histogram, Summary};
 pub use svd::{largest_singular_value, rank_one_distance};

@@ -49,6 +49,55 @@ pub fn pearson_correlation(xs: &[f64], ys: &[f64]) -> Option<f64> {
     Some(cov / (vx.sqrt() * vy.sqrt()))
 }
 
+/// Fleiss' kappa: chance-corrected agreement between raters over a set of
+/// subjects, generalized to a variable number of ratings per subject.
+///
+/// `counts[i][j]` is the number of raters that assigned category `j` to
+/// subject `i`. Subjects with fewer than two ratings contribute to the
+/// marginal category frequencies but carry no pairwise-agreement evidence.
+///
+/// Returns `None` when the coefficient is undefined: no subject has two or
+/// more ratings, or every rating falls into a single category (expected
+/// agreement is 1 and the denominator vanishes).
+pub fn fleiss_kappa(counts: &[Vec<u64>]) -> Option<f64> {
+    let categories = counts.iter().map(Vec::len).max().unwrap_or(0);
+    if categories == 0 {
+        return None;
+    }
+    let mut marginal = vec![0u64; categories];
+    let mut total_ratings = 0u64;
+    let mut p_subjects = 0.0;
+    let mut rated_subjects = 0u64;
+    for subject in counts {
+        let n: u64 = subject.iter().sum();
+        for (j, &c) in subject.iter().enumerate() {
+            marginal[j] += c;
+        }
+        total_ratings += n;
+        if n >= 2 {
+            // Fraction of agreeing rater pairs on this subject.
+            let pairs: u64 = subject.iter().map(|&c| c * c.saturating_sub(1)).sum();
+            p_subjects += pairs as f64 / (n * (n - 1)) as f64;
+            rated_subjects += 1;
+        }
+    }
+    if rated_subjects == 0 {
+        return None;
+    }
+    let p_observed = p_subjects / rated_subjects as f64;
+    let p_expected: f64 = marginal
+        .iter()
+        .map(|&c| {
+            let share = c as f64 / total_ratings as f64;
+            share * share
+        })
+        .sum();
+    if (1.0 - p_expected).abs() < 1e-12 {
+        return None;
+    }
+    Some((p_observed - p_expected) / (1.0 - p_expected))
+}
+
 /// Mean / standard deviation / min / max summary of a sample.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct Summary {
@@ -198,6 +247,47 @@ mod tests {
         assert!(pearson_correlation(&[1.0], &[1.0]).is_none());
         assert!(pearson_correlation(&[1.0, 2.0], &[1.0]).is_none());
         assert!(pearson_correlation(&[1.0, 1.0], &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn fleiss_kappa_of_perfect_agreement_is_one() {
+        // Three subjects, every rater picks the same category per subject but
+        // the categories differ across subjects (keeps expected < 1).
+        let counts = vec![vec![4, 0], vec![0, 4], vec![4, 0]];
+        let k = fleiss_kappa(&counts).unwrap();
+        assert!((k - 1.0).abs() < 1e-12, "kappa {k}");
+    }
+
+    #[test]
+    fn fleiss_kappa_of_split_votes_is_low() {
+        // Every subject splits 2/2: observed agreement is 1/3, expected 1/2.
+        let counts = vec![vec![2, 2], vec![2, 2], vec![2, 2]];
+        let k = fleiss_kappa(&counts).unwrap();
+        assert!(
+            k < 0.0,
+            "kappa {k} should be negative for worse-than-chance"
+        );
+    }
+
+    #[test]
+    fn fleiss_kappa_undefined_cases_return_none() {
+        // No subjects at all.
+        assert!(fleiss_kappa(&[]).is_none());
+        // No subject with two or more ratings.
+        assert!(fleiss_kappa(&[vec![1, 0], vec![0, 1]]).is_none());
+        // All ratings in one category: expected agreement is 1.
+        assert!(fleiss_kappa(&[vec![3, 0], vec![4, 0]]).is_none());
+    }
+
+    #[test]
+    fn fleiss_kappa_skips_singleton_subjects_but_counts_their_marginals() {
+        let with_singleton = vec![vec![3, 0], vec![0, 3], vec![0, 1]];
+        let without = vec![vec![3, 0], vec![0, 3]];
+        let a = fleiss_kappa(&with_singleton).unwrap();
+        let b = fleiss_kappa(&without).unwrap();
+        // The singleton shifts the marginals, so the values differ, but both
+        // stay in the valid range and report strong agreement.
+        assert!(a > 0.9 && b > 0.9, "kappa {a} / {b}");
     }
 
     #[test]

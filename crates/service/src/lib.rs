@@ -47,7 +47,7 @@ mod shard;
 
 pub use protocol::{
     ClientVote, LabelProbability, Reply, ReplyOutcome, Request, RequestEnvelope, Response,
-    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskSnapshot,
+    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskSnapshot, WorkerTrustEntry,
     MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use runtime::{Dispatch, OverloadPolicy, RuntimeConfig, ShardRuntime};

@@ -14,6 +14,7 @@
 //! | [`Request::RequestGuidance`] | select (step 1) | `select_next` |
 //! | [`Request::SubmitValidation`] | conclude/filter (steps 2–4) | `integrate` |
 //! | [`Request::QueryPosterior`] | read `P` / `d` | `current` / `deterministic_assignment` |
+//! | [`Request::QueryWorkerTrust`] | online defense | `worker_trust_reports` |
 //! | [`Request::Snapshot`] | — | `snapshot` |
 //! | [`Request::Restore`] | — | `restore` |
 //! | [`Request::CloseTask`] | — | drop |
@@ -44,7 +45,11 @@ use std::fmt;
 /// **v2** (incompatible with v1): [`RequestEnvelope`] gained the required
 /// `request_id` correlation field and [`Reply`] echoes it; the
 /// [`Request::RuntimeStats`] / [`Response::RuntimeStats`] pair and
-/// [`ServiceError::Overloaded`] were added for the sharded runtime.
+/// [`ServiceError::Overloaded`] were added for the sharded runtime. The
+/// online-defense surface ([`Request::QueryWorkerTrust`] /
+/// [`Response::WorkerTrust`], [`TaskConfig::online_defense`] and the
+/// defense fields of the accept replies) rides on v2 — new enum variants
+/// are invisible to clients that never send them.
 pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Oldest snapshot protocol version [`Request::Restore`] still accepts. The
@@ -128,6 +133,12 @@ pub struct TaskConfig {
     /// (§5.4) — the latency/quality knob of guidance requests. `None` uses
     /// the engine default.
     pub shortlist: Option<usize>,
+    /// Whether the streaming trust ledger may auto-tombstone (and
+    /// reinstate) suspicious workers on every ingest and validation. The
+    /// ledger *tracks* trust either way — [`Request::QueryWorkerTrust`]
+    /// always answers — but only an enforcing task flips exclusions outside
+    /// the classic §5.3 detector path.
+    pub online_defense: bool,
 }
 
 impl Default for TaskConfig {
@@ -138,6 +149,7 @@ impl Default for TaskConfig {
             budget: None,
             handle_faulty_workers: true,
             shortlist: None,
+            online_defense: false,
         }
     }
 }
@@ -180,6 +192,11 @@ pub enum Request {
         task: String,
         snapshot: Box<TaskSnapshot>,
     },
+    /// Reads the online-defense state of a task: per-worker trust reports
+    /// plus the cumulative defense telemetry. Answers in every task mode —
+    /// the trust ledger tracks even when enforcement
+    /// ([`TaskConfig::online_defense`]) is off.
+    QueryWorkerTrust { task: String },
     /// Removes a task, returning a final summary.
     CloseTask { task: String },
     /// Reads the runtime's per-shard counters: queue depth, requests
@@ -204,6 +221,7 @@ impl Request {
             | Request::QueryPosterior { task, .. }
             | Request::Snapshot { task }
             | Request::Restore { task, .. }
+            | Request::QueryWorkerTrust { task }
             | Request::CloseTask { task } => Some(task),
             Request::RuntimeStats => None,
         }
@@ -246,6 +264,12 @@ pub enum Response {
         new_workers: usize,
         em_iterations: usize,
         uncertainty: f64,
+        /// External ids of workers the online defense tombstoned while
+        /// absorbing this batch (empty unless the task enforces
+        /// [`TaskConfig::online_defense`]).
+        workers_excluded: Vec<String>,
+        /// External ids of workers the online defense reinstated.
+        workers_reinstated: Vec<String>,
     },
     /// Reply to [`Request::RequestGuidance`]; `object` is `None` when every
     /// known object has been validated (or the task holds no objects yet).
@@ -261,6 +285,12 @@ pub enum Response {
         flagged: Vec<String>,
         uncertainty: f64,
         validations: usize,
+        /// External ids of workers the defense tombstoned as a consequence
+        /// of this validation's evidence.
+        workers_excluded: Vec<String>,
+        /// External ids of workers this validation's evidence exonerated
+        /// and reinstated.
+        workers_reinstated: Vec<String>,
     },
     /// Reply to [`Request::QueryPosterior`]. `label` is the current
     /// deterministic label (expert-pinned when validated).
@@ -289,10 +319,37 @@ pub enum Response {
         votes: usize,
         validations: usize,
     },
+    /// Reply to [`Request::QueryWorkerTrust`]: the task's online-defense
+    /// state. `workers` is sorted by descending suspicion.
+    WorkerTrust {
+        task: String,
+        workers: Vec<WorkerTrustEntry>,
+        batches_observed: u64,
+        low_kappa_batches: u64,
+        exclusions: u64,
+        reinstatements: u64,
+    },
     /// Reply to [`Request::RuntimeStats`]: one entry per shard. A
     /// single-threaded [`crate::ValidationService`] reports itself as one
     /// shard with no mailbox.
     RuntimeStats { shards: Vec<ShardStats> },
+}
+
+/// One worker's trust summary, as reported by [`Response::WorkerTrust`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerTrustEntry {
+    /// The worker's external id.
+    pub worker: String,
+    /// Votes this worker has streamed in.
+    pub votes: u64,
+    /// Expert-validated answers of this worker.
+    pub validations: u64,
+    /// Current suspicion in `[0, 1]`.
+    pub suspicion: f64,
+    /// Whether the worker is currently tombstoned.
+    pub excluded: bool,
+    /// Whether the latest EM detection pass flagged the worker.
+    pub em_flagged: bool,
 }
 
 /// One shard's counters, as reported by [`Response::RuntimeStats`].
@@ -313,6 +370,10 @@ pub struct ShardStats {
     /// Requests rejected at the ingest boundary because the mailbox was
     /// full (only under [`crate::runtime::OverloadPolicy::Reject`]).
     pub overload_rejections: u64,
+    /// Workers tombstoned by the online defense across this shard's tasks.
+    pub workers_excluded: u64,
+    /// Workers reinstated by the online defense across this shard's tasks.
+    pub workers_reinstated: u64,
     /// Median request service time (handling only, queue wait excluded),
     /// in microseconds; 0 until the shard has served a request.
     pub service_time_p50_us: f64,

@@ -18,6 +18,7 @@
 //! * **Atomic vote batches.** A `SubmitVotes` batch with any unknown label
 //!   fails before anything is interned or ingested.
 
+use crate::protocol::WorkerTrustEntry;
 use crate::protocol::{
     ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
     ShardStats, StrategyChoice, TaskConfig, TaskSnapshot, MIN_SNAPSHOT_PROTOCOL_VERSION,
@@ -29,6 +30,7 @@ use crowdval_core::{
     UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
 };
 use crowdval_model::{IdInterner, LabelId, ObjectId, Vote, WorkerId};
+use crowdval_spammer::TrustConfig;
 use std::collections::BTreeMap;
 use std::time::Instant;
 
@@ -49,6 +51,19 @@ impl TaskState {
             .name(object.index())
             .unwrap_or("<unknown>")
             .to_string()
+    }
+
+    /// Maps a dense worker index back to its external id.
+    fn worker_name(&self, worker: WorkerId) -> String {
+        self.workers
+            .name(worker.index())
+            .unwrap_or("<unknown>")
+            .to_string()
+    }
+
+    /// Maps a list of dense worker ids to external ids.
+    fn worker_names(&self, workers: &[WorkerId]) -> Vec<String> {
+        workers.iter().map(|&w| self.worker_name(w)).collect()
     }
 }
 
@@ -73,6 +88,10 @@ pub struct ValidationService {
     served: u64,
     /// Votes accepted across all `SubmitVotes` batches.
     votes_ingested: u64,
+    /// Workers tombstoned by the online defense across all tasks.
+    workers_excluded: u64,
+    /// Workers reinstated by the online defense across all tasks.
+    workers_reinstated: u64,
     /// Service-time histogram over [`ValidationService::handle`] calls —
     /// the single-threaded answer to [`Request::RuntimeStats`]. The sharded
     /// runtime keeps its own per-shard counters instead.
@@ -137,6 +156,7 @@ impl ValidationService {
                 label,
             } => self.submit_validation(task, object, label),
             Request::QueryPosterior { task, object } => self.query_posterior(task, object),
+            Request::QueryWorkerTrust { task } => self.query_worker_trust(task),
             Request::Snapshot { task } => self.snapshot(task),
             Request::Restore { task, snapshot } => self.restore(task, snapshot),
             Request::CloseTask { task } => self.close_task(task),
@@ -159,6 +179,8 @@ impl ValidationService {
             requests_served: self.served,
             votes_ingested: self.votes_ingested,
             overload_rejections: 0,
+            workers_excluded: self.workers_excluded,
+            workers_reinstated: self.workers_reinstated,
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
         }
@@ -202,6 +224,11 @@ impl ValidationService {
             .config(ProcessConfig {
                 budget: config.budget,
                 handle_faulty_workers: config.handle_faulty_workers,
+                trust: if config.online_defense {
+                    TrustConfig::streaming_default()
+                } else {
+                    TrustConfig::default()
+                },
                 ..ProcessConfig::default()
             })
             .try_build()?;
@@ -251,7 +278,11 @@ impl ValidationService {
             })
             .collect();
         let update = state.session.ingest(&dense)?;
+        let workers_excluded = state.worker_names(&update.workers_excluded);
+        let workers_reinstated = state.worker_names(&update.workers_reinstated);
         self.votes_ingested += update.votes_ingested as u64;
+        self.workers_excluded += workers_excluded.len() as u64;
+        self.workers_reinstated += workers_reinstated.len() as u64;
         Ok(Response::VotesAccepted {
             task: task_name,
             votes: update.votes_ingested,
@@ -259,6 +290,8 @@ impl ValidationService {
             new_workers: update.new_workers,
             em_iterations: update.em_iterations,
             uncertainty: update.uncertainty,
+            workers_excluded,
+            workers_reinstated,
         })
     }
 
@@ -294,16 +327,69 @@ impl ValidationService {
                 task: task_name.clone(),
                 label: label.to_string(),
             })?;
+        // Tombstone flips are surfaced by diffing the exclusion set around
+        // the call — `integrate`'s return value carries only the flagged
+        // objects.
+        let excluded_before = state.session.excluded_workers();
         let flagged = state
             .session
             .integrate(ObjectId(object_idx), LabelId(label_idx))?;
+        let excluded_after = state.session.excluded_workers();
+        let workers_excluded: Vec<String> = excluded_after
+            .iter()
+            .filter(|w| excluded_before.binary_search(w).is_err())
+            .map(|&w| state.worker_name(w))
+            .collect();
+        let workers_reinstated: Vec<String> = excluded_before
+            .iter()
+            .filter(|w| excluded_after.binary_search(w).is_err())
+            .map(|&w| state.worker_name(w))
+            .collect();
         let flagged = flagged.into_iter().map(|o| state.object_name(o)).collect();
+        let uncertainty = state.session.uncertainty();
+        let validations = state.session.iterations();
+        self.workers_excluded += workers_excluded.len() as u64;
+        self.workers_reinstated += workers_reinstated.len() as u64;
         Ok(Response::ValidationAccepted {
             task: task_name,
             object: object.to_string(),
             flagged,
-            uncertainty: state.session.uncertainty(),
-            validations: state.session.iterations(),
+            uncertainty,
+            validations,
+            workers_excluded,
+            workers_reinstated,
+        })
+    }
+
+    fn query_worker_trust(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let mut workers: Vec<WorkerTrustEntry> = state
+            .session
+            .worker_trust_reports()
+            .into_iter()
+            .map(|r| WorkerTrustEntry {
+                worker: state.worker_name(r.worker),
+                votes: r.votes,
+                validations: r.validations,
+                suspicion: r.suspicion,
+                excluded: r.excluded,
+                em_flagged: r.em_flagged,
+            })
+            .collect();
+        workers.sort_by(|a, b| {
+            b.suspicion
+                .total_cmp(&a.suspicion)
+                .then_with(|| a.worker.cmp(&b.worker))
+        });
+        let telemetry = state.session.defense_telemetry();
+        Ok(Response::WorkerTrust {
+            task: task_name,
+            workers,
+            batches_observed: telemetry.batches_observed,
+            low_kappa_batches: telemetry.low_kappa_batches,
+            exclusions: telemetry.exclusions,
+            reinstatements: telemetry.reinstatements,
         })
     }
 

@@ -112,6 +112,10 @@ pub struct ShardCounters {
     /// Requests rejected at the ingest boundary (mailbox full, reject
     /// policy). Maintained by the dispatcher, reported per shard.
     pub(crate) rejected: AtomicU64,
+    /// Workers tombstoned by the online defense across this shard's tasks.
+    pub(crate) workers_excluded: AtomicU64,
+    /// Workers reinstated by the online defense across this shard's tasks.
+    pub(crate) workers_reinstated: AtomicU64,
     /// Service-time histogram (handling only; queue wait excluded).
     pub(crate) latency: LatencyHistogram,
 }
@@ -124,6 +128,8 @@ impl ShardCounters {
             served: AtomicU64::new(0),
             votes_ingested: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            workers_excluded: AtomicU64::new(0),
+            workers_reinstated: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -138,6 +144,8 @@ impl ShardCounters {
             requests_served: self.served.load(Ordering::Relaxed),
             votes_ingested: self.votes_ingested.load(Ordering::Relaxed),
             overload_rejections: self.rejected.load(Ordering::Relaxed),
+            workers_excluded: self.workers_excluded.load(Ordering::Relaxed),
+            workers_reinstated: self.workers_reinstated.load(Ordering::Relaxed),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
         }
@@ -195,10 +203,36 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                 let start = Instant::now();
                 let reply = service.reply(&envelope);
                 counters.latency.record(start.elapsed());
-                if let ReplyOutcome::Ok(Response::VotesAccepted { votes, .. }) = &reply.outcome {
-                    counters
-                        .votes_ingested
-                        .fetch_add(*votes as u64, Ordering::Relaxed);
+                match &reply.outcome {
+                    ReplyOutcome::Ok(Response::VotesAccepted {
+                        votes,
+                        workers_excluded,
+                        workers_reinstated,
+                        ..
+                    }) => {
+                        counters
+                            .votes_ingested
+                            .fetch_add(*votes as u64, Ordering::Relaxed);
+                        counters
+                            .workers_excluded
+                            .fetch_add(workers_excluded.len() as u64, Ordering::Relaxed);
+                        counters
+                            .workers_reinstated
+                            .fetch_add(workers_reinstated.len() as u64, Ordering::Relaxed);
+                    }
+                    ReplyOutcome::Ok(Response::ValidationAccepted {
+                        workers_excluded,
+                        workers_reinstated,
+                        ..
+                    }) => {
+                        counters
+                            .workers_excluded
+                            .fetch_add(workers_excluded.len() as u64, Ordering::Relaxed);
+                        counters
+                            .workers_reinstated
+                            .fetch_add(workers_reinstated.len() as u64, Ordering::Relaxed);
+                    }
+                    _ => {}
                 }
                 counters.tasks.store(service.num_tasks(), Ordering::Relaxed);
                 counters.served.fetch_add(1, Ordering::Relaxed);

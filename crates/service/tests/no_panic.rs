@@ -132,6 +132,7 @@ fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Reques
                     None
                 },
                 handle_faulty_workers: rng.random_bool(0.8),
+                online_defense: rng.random_bool(0.5),
                 shortlist: if rng.random_bool(0.3) {
                     Some(rng.random_range(0..40u64) as usize)
                 } else {

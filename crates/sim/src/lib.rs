@@ -30,5 +30,7 @@ pub use expert_sim::SimulatedExpert;
 pub use generator::{SyntheticConfig, SyntheticDataset};
 pub use population::PopulationMix;
 pub use replicas::{all_replicas, replica, ReplicaName};
-pub use streaming::{StreamingConfig, StreamingScenario};
+pub use streaming::{
+    AdversarialConfig, AdversarialScenario, AttackKind, StreamingConfig, StreamingScenario,
+};
 pub use worker_profile::{WorkerKind, WorkerProfile};

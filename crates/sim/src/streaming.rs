@@ -17,10 +17,11 @@
 //! seed.
 
 use crate::generator::{SyntheticConfig, SyntheticDataset};
-use crowdval_model::{GroundTruth, Vote};
+use crowdval_model::{GroundTruth, LabelId, ObjectId, Vote, WorkerId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
 
 /// Parameters of a streaming arrival schedule over a synthetic dataset.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -158,6 +159,230 @@ impl StreamingScenario {
     }
 }
 
+/// The attack archetypes of the adversarial scenario library. Each one maps
+/// to a documented failure mode of validation-guided aggregation and gives
+/// the online defense a distinct signature to catch:
+///
+/// * [`AttackKind::Clique`] — a colluding group submits the *same* wrong
+///   label everywhere, manufacturing fake consensus that majority-leaning
+///   aggregation happily absorbs;
+/// * [`AttackKind::Sleeper`] — workers answer honestly long enough to build
+///   trust, then switch to constant junk labels (the cold-start blind spot
+///   of lifetime approval rates);
+/// * [`AttackKind::Drift`] — reliability decays gradually from honest to
+///   near-random, defeating any one-shot screening done at sign-up;
+/// * [`AttackKind::LabelCopier`] — workers echo the current modal label of
+///   whatever object they touch, free-riding on the crowd's work while
+///   adding zero information (and amplifying early mistakes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AttackKind {
+    Clique,
+    Sleeper,
+    Drift,
+    LabelCopier,
+}
+
+impl AttackKind {
+    /// Stable scenario name used in benchmark reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            AttackKind::Clique => "clique",
+            AttackKind::Sleeper => "sleeper",
+            AttackKind::Drift => "drift",
+            AttackKind::LabelCopier => "copier",
+        }
+    }
+}
+
+/// Parameters of an adversarial streaming scenario: an honest substrate
+/// stream with a group of attackers riding along on every arrival batch.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AdversarialConfig {
+    /// The honest crowd and its arrival schedule.
+    pub base: StreamingConfig,
+    /// Which attack the riders execute.
+    pub attack: AttackKind,
+    /// Number of attacking workers (appended after the honest worker ids).
+    pub num_attackers: usize,
+    /// [`AttackKind::Sleeper`] only: honest answers per attacker before the
+    /// switch to junk.
+    pub sleeper_honest_votes: usize,
+}
+
+impl AdversarialConfig {
+    /// A reliable honest substrate (so defended-vs-undefended differences
+    /// are attributable to the attack) with a 4-worker attacking group.
+    pub fn paper_default(attack: AttackKind, seed: u64) -> Self {
+        Self {
+            base: StreamingConfig {
+                base: SyntheticConfig {
+                    reliability: 0.8,
+                    mix: crate::population::PopulationMix::all_reliable(),
+                    ..SyntheticConfig::paper_default(seed)
+                },
+                // Attackers ride the batches, so most of the stream should
+                // arrive as batches.
+                initial_fraction: 0.1,
+                ..StreamingConfig::paper_default(seed)
+            },
+            attack,
+            num_attackers: 4,
+            sleeper_honest_votes: 12,
+        }
+    }
+
+    /// Generates the honest stream and splices the attackers' votes into
+    /// every batch. Deterministic given the seed.
+    pub fn generate(&self) -> AdversarialScenario {
+        assert!(self.num_attackers > 0, "an attack needs attackers");
+        let honest = self.base.generate();
+        let num_labels = honest.num_labels;
+        let honest_workers = honest.synth.dataset.answers().num_workers();
+        let attackers: Vec<WorkerId> = (0..self.num_attackers)
+            .map(|i| WorkerId(honest_workers + i))
+            .collect();
+        let mut rng = StdRng::seed_from_u64(self.base.base.seed.wrapping_add(0xadd_5eed));
+
+        // Running per-object label histograms over everything generated so
+        // far (the copier's view), and per-attacker state.
+        let mut modal: Vec<Vec<u32>> = Vec::new();
+        let observe = |modal: &mut Vec<Vec<u32>>, v: &Vote| {
+            if modal.len() <= v.object.index() {
+                modal.resize(v.object.index() + 1, vec![0; num_labels]);
+            }
+            modal[v.object.index()][v.label.index()] += 1;
+        };
+        for v in &honest.initial {
+            observe(&mut modal, v);
+        }
+
+        let mut voted: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); self.num_attackers];
+        let mut honest_given = vec![0usize; self.num_attackers];
+        let total_batches = honest.batches.len().max(1);
+        let mut batches: Vec<Vec<Vote>> = Vec::with_capacity(honest.batches.len());
+        for (batch_idx, batch) in honest.batches.iter().enumerate() {
+            let mut out = batch.clone();
+            for v in batch {
+                observe(&mut modal, v);
+            }
+            let mut objects: Vec<usize> = batch.iter().map(|v| v.object.index()).collect();
+            objects.sort_unstable();
+            objects.dedup();
+            for (a, &attacker) in attackers.iter().enumerate() {
+                for &o in &objects {
+                    if !voted[a].insert(o) {
+                        continue;
+                    }
+                    let truth = honest.truth.label(ObjectId(o));
+                    let wrong = LabelId((truth.index() + 1) % num_labels);
+                    let label = match self.attack {
+                        AttackKind::Clique => {
+                            // The clique agrees per object on a *random*
+                            // wrong label, keyed on the scenario seed and
+                            // shared by every member. Unlike a fixed
+                            // truth→label mapping (which EM can learn and
+                            // invert back into signal), the collusion has
+                            // no consistent confusion structure — only the
+                            // perfect within-clique agreement that breaks
+                            // the conditional-independence assumption.
+                            let mut h = self.base.base.seed.wrapping_add(0xc11c)
+                                ^ (o as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                            h ^= h >> 33;
+                            h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+                            h ^= h >> 33;
+                            let spread = (num_labels as u64 - 1).max(1);
+                            LabelId((truth.index() + 1 + (h % spread) as usize) % num_labels)
+                        }
+                        AttackKind::Sleeper => {
+                            if honest_given[a] < self.sleeper_honest_votes {
+                                honest_given[a] += 1;
+                                truth
+                            } else {
+                                LabelId(0)
+                            }
+                        }
+                        AttackKind::Drift => {
+                            // Reliability decays 0.9 → 0.2 across the stream.
+                            let progress = batch_idx as f64 / total_batches as f64;
+                            let p = 0.9 - 0.7 * progress;
+                            if rng.random_range(0.0..1.0) < p {
+                                truth
+                            } else {
+                                wrong
+                            }
+                        }
+                        AttackKind::LabelCopier => modal
+                            .get(o)
+                            .and_then(|hist| {
+                                let top = *hist.iter().max()?;
+                                if top == 0 {
+                                    return None;
+                                }
+                                hist.iter().position(|&c| c == top)
+                            })
+                            .map_or_else(|| LabelId(rng.random_range(0..num_labels)), LabelId),
+                    };
+                    let vote = Vote::new(ObjectId(o), attacker, label);
+                    observe(&mut modal, &vote);
+                    out.push(vote);
+                }
+            }
+            batches.push(out);
+        }
+
+        AdversarialScenario {
+            name: self.attack.name(),
+            truth: honest.truth.clone(),
+            num_labels,
+            initial: honest.initial.clone(),
+            batches,
+            attackers,
+            honest,
+            config: self.clone(),
+        }
+    }
+}
+
+/// An honest vote stream with adversaries spliced into every batch, plus the
+/// ground-truth attacker set for evaluating detection.
+#[derive(Debug, Clone)]
+pub struct AdversarialScenario {
+    /// Stable attack name ([`AttackKind::name`]).
+    pub name: &'static str,
+    /// Ground truth over the honest object set.
+    pub truth: GroundTruth,
+    /// Label-space size the session must be created with.
+    pub num_labels: usize,
+    /// Votes present before the session starts (attacker-free — the riders
+    /// join with the stream).
+    pub initial: Vec<Vote>,
+    /// Arrival batches with attacker votes spliced in.
+    pub batches: Vec<Vec<Vote>>,
+    /// The attacking worker ids (the detection ground truth).
+    pub attackers: Vec<WorkerId>,
+    /// The untouched honest scenario (the defended-vs-undefended baseline).
+    pub honest: StreamingScenario,
+    /// The configuration that produced this scenario.
+    pub config: AdversarialConfig,
+}
+
+impl AdversarialScenario {
+    /// Total votes across the snapshot and every batch.
+    pub fn total_votes(&self) -> usize {
+        self.initial.len() + self.batches.iter().map(Vec::len).sum::<usize>()
+    }
+
+    /// Votes cast by attackers across the whole stream.
+    pub fn attacker_votes(&self) -> usize {
+        let first = self.attackers.first().map_or(usize::MAX, |w| w.index());
+        self.batches
+            .iter()
+            .flatten()
+            .filter(|v| v.worker.index() >= first)
+            .count()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -217,6 +442,114 @@ mod tests {
         // With heavy churn the snapshot cannot have seen everyone.
         assert!(initial_objects.len() < all_objects, "no object churn");
         assert!(initial_workers.len() < all_workers, "no worker churn");
+    }
+
+    #[test]
+    fn adversarial_scenarios_are_deterministic_and_duplicate_free() {
+        for attack in [
+            AttackKind::Clique,
+            AttackKind::Sleeper,
+            AttackKind::Drift,
+            AttackKind::LabelCopier,
+        ] {
+            let cfg = AdversarialConfig::paper_default(attack, 13);
+            let a = cfg.generate();
+            let b = cfg.generate();
+            assert_eq!(a.batches, b.batches, "{} not deterministic", a.name);
+            assert_eq!(a.attackers.len(), 4);
+            assert!(a.attacker_votes() > 0, "{}: attackers never voted", a.name);
+            // No (object, worker) pair appears twice anywhere in the stream.
+            let mut seen = BTreeSet::new();
+            for v in a.initial.iter().chain(a.batches.iter().flatten()) {
+                assert!(
+                    seen.insert((v.object.index(), v.worker.index())),
+                    "{}: duplicate vote ({}, {})",
+                    a.name,
+                    v.object.index(),
+                    v.worker.index()
+                );
+            }
+            // The initial snapshot is attacker-free.
+            let first_attacker = a.attackers[0].index();
+            assert!(a.initial.iter().all(|v| v.worker.index() < first_attacker));
+        }
+    }
+
+    #[test]
+    fn clique_attackers_agree_on_the_wrong_label() {
+        let s = AdversarialConfig::paper_default(AttackKind::Clique, 17).generate();
+        let first_attacker = s.attackers[0].index();
+        let mut attacker_votes = 0;
+        let mut agreed: Vec<Option<crowdval_model::LabelId>> = vec![None; s.truth.len()];
+        for v in s.batches.iter().flatten() {
+            if v.worker.index() >= first_attacker {
+                attacker_votes += 1;
+                let truth = s.truth.label(v.object);
+                assert_ne!(v.label, truth, "clique voted the truth");
+                // Every clique member casts the same label per object.
+                match &agreed[v.object.index()] {
+                    Some(label) => assert_eq!(*label, v.label, "clique split its vote"),
+                    None => agreed[v.object.index()] = Some(v.label),
+                }
+            }
+        }
+        assert!(attacker_votes > 0);
+        // The agreed wrong label is not a deterministic function of the
+        // truth: with >2 labels, both wrong alternatives must occur.
+        let offsets: std::collections::BTreeSet<usize> = agreed
+            .iter()
+            .enumerate()
+            .filter_map(|(o, l)| {
+                l.map(|l| {
+                    (l.index() + s.num_labels - s.truth.label(ObjectId(o)).index()) % s.num_labels
+                })
+            })
+            .collect();
+        assert!(
+            s.num_labels == 2 || offsets.len() > 1,
+            "clique is invertible"
+        );
+    }
+
+    #[test]
+    fn sleepers_answer_honestly_before_turning() {
+        let cfg = AdversarialConfig::paper_default(AttackKind::Sleeper, 19);
+        let s = cfg.generate();
+        let first_attacker = s.attackers[0].index();
+        let mut per_attacker: Vec<Vec<bool>> = vec![Vec::new(); s.attackers.len()];
+        for v in s.batches.iter().flatten() {
+            if v.worker.index() >= first_attacker {
+                per_attacker[v.worker.index() - first_attacker]
+                    .push(v.label == s.truth.label(v.object));
+            }
+        }
+        for correct in &per_attacker {
+            let honest_prefix = correct.iter().take_while(|&&c| c).count();
+            assert!(
+                honest_prefix >= cfg.sleeper_honest_votes.min(correct.len()),
+                "sleeper turned early: {honest_prefix} honest votes"
+            );
+        }
+    }
+
+    #[test]
+    fn drift_attackers_degrade_over_the_stream() {
+        let s = AdversarialConfig::paper_default(AttackKind::Drift, 23).generate();
+        let first_attacker = s.attackers[0].index();
+        let half = s.batches.len() / 2;
+        let accuracy = |batches: &[Vec<Vote>]| {
+            let (mut correct, mut total) = (0usize, 0usize);
+            for v in batches.iter().flatten() {
+                if v.worker.index() >= first_attacker {
+                    total += 1;
+                    correct += usize::from(v.label == s.truth.label(v.object));
+                }
+            }
+            correct as f64 / total.max(1) as f64
+        };
+        let early = accuracy(&s.batches[..half]);
+        let late = accuracy(&s.batches[half..]);
+        assert!(early > late, "no drift: early {early} <= late {late}");
     }
 
     #[test]

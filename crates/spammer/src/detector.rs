@@ -88,8 +88,13 @@ impl DetectionOutcome {
     }
 
     /// Precision of the detection against a reference set of truly faulty
-    /// workers: |detected ∩ truth| / |detected|. Returns 1.0 when nothing was
-    /// detected (no false positives were produced).
+    /// workers: |detected ∩ truth| / |detected|.
+    ///
+    /// **Empty-set convention** (never NaN): an empty detected set has
+    /// produced no false positives, so precision is defined as 1.0 —
+    /// regardless of whether `truly_faulty` is empty. A non-empty detected
+    /// set against an empty `truly_faulty` reference is all false positives
+    /// and scores 0.0 through the ordinary formula.
     pub fn precision(&self, truly_faulty: &[WorkerId]) -> f64 {
         let detected = self.faulty();
         if detected.is_empty() {
@@ -100,8 +105,13 @@ impl DetectionOutcome {
     }
 
     /// Recall of the detection against a reference set of truly faulty
-    /// workers: |detected ∩ truth| / |truth|. Returns 1.0 when the reference
-    /// set is empty.
+    /// workers: |detected ∩ truth| / |truth|.
+    ///
+    /// **Empty-set convention** (never NaN): with an empty `truly_faulty`
+    /// reference there is nothing to miss, so recall is defined as 1.0 —
+    /// regardless of what was detected. An empty detected set against a
+    /// non-empty reference misses everything and scores 0.0 through the
+    /// ordinary formula.
     pub fn recall(&self, truly_faulty: &[WorkerId]) -> f64 {
         if truly_faulty.is_empty() {
             return 1.0;
@@ -283,6 +293,40 @@ mod tests {
         // Against a wrong reference set precision drops.
         assert!(outcome.precision(&[WorkerId(0)]) < 0.5);
         assert_eq!(outcome.recall(&[]), 1.0);
+    }
+
+    #[test]
+    fn precision_and_recall_empty_set_conventions_are_never_nan() {
+        let empty_detection = DetectionOutcome {
+            spammers: vec![],
+            sloppy: vec![],
+            scores: vec![],
+            error_rates: vec![],
+        };
+        let some_detection = DetectionOutcome {
+            spammers: vec![WorkerId(1)],
+            sloppy: vec![WorkerId(2)],
+            scores: vec![],
+            error_rates: vec![],
+        };
+        // Empty detected set: vacuous precision 1.0, whatever the reference.
+        assert_eq!(empty_detection.precision(&[]), 1.0);
+        assert_eq!(empty_detection.precision(&[WorkerId(0)]), 1.0);
+        // Empty reference: vacuous recall 1.0, whatever was detected.
+        assert_eq!(empty_detection.recall(&[]), 1.0);
+        assert_eq!(some_detection.recall(&[]), 1.0);
+        // The non-vacuous crossings score 0 through the ordinary formulas.
+        assert_eq!(some_detection.precision(&[]), 0.0);
+        assert_eq!(empty_detection.recall(&[WorkerId(0)]), 0.0);
+        // Nothing above is NaN.
+        for v in [
+            empty_detection.precision(&[]),
+            empty_detection.recall(&[]),
+            some_detection.precision(&[]),
+            some_detection.recall(&[]),
+        ] {
+            assert!(!v.is_nan());
+        }
     }
 
     #[test]

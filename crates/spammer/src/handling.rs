@@ -67,8 +67,31 @@ impl FaultyWorkerHandler {
         self.exclusion_events
     }
 
-    /// Returns the answer set with the answers of all currently excluded
-    /// workers removed — the view handed to the aggregation step.
+    /// Replaces the excluded set wholesale (the trust ledger's merged
+    /// verdict, or a manual override), counting newly excluded workers as
+    /// exclusion events like [`FaultyWorkerHandler::apply`] does.
+    pub fn sync_excluded(&mut self, excluded: &[WorkerId]) {
+        let next: BTreeSet<WorkerId> = excluded.iter().copied().collect();
+        let newly_excluded = next.difference(&self.excluded).count();
+        self.exclusion_events += newly_excluded;
+        self.excluded = next;
+    }
+
+    /// Applies the current exclusions to an answer set **in place** by
+    /// flipping its per-worker tombstone mask — `O(workers)`, no vote is
+    /// copied or dropped, and previously excluded workers not in the set are
+    /// re-included. This is the path the aggregation view maintenance uses.
+    pub fn apply_exclusions(&self, answers: &mut AnswerSet) {
+        answers.set_excluded_workers(&self.excluded());
+    }
+
+    /// Returns a **fresh copy** of the answer set with the currently
+    /// excluded workers tombstoned.
+    #[deprecated(
+        since = "0.1.0",
+        note = "rebuilds a full AnswerSet per call; flip tombstones in place \
+                with `apply_exclusions` instead"
+    )]
     pub fn filtered_answers(&self, answers: &AnswerSet) -> AnswerSet {
         if self.excluded.is_empty() {
             return answers.clone();
@@ -121,7 +144,7 @@ mod tests {
     }
 
     #[test]
-    fn filtered_answers_drop_excluded_workers_only() {
+    fn apply_exclusions_masks_excluded_workers_in_place() {
         let mut answers = AnswerSet::new(2, 3, 2);
         for w in 0..3 {
             answers
@@ -132,12 +155,56 @@ mod tests {
                 .unwrap();
         }
         let mut h = FaultyWorkerHandler::new();
-        assert_eq!(h.filtered_answers(&answers).matrix().num_answers(), 6);
+        h.apply_exclusions(&mut answers);
+        assert_eq!(answers.matrix().num_answers(), 6);
         h.apply(&outcome(&[1], &[]));
-        let filtered = h.filtered_answers(&answers);
-        assert_eq!(filtered.matrix().num_answers(), 4);
-        assert_eq!(filtered.matrix().worker_answer_count(WorkerId(1)), 0);
-        assert_eq!(filtered.matrix().worker_answer_count(WorkerId(0)), 2);
+        h.apply_exclusions(&mut answers);
+        assert_eq!(answers.matrix().num_answers(), 4);
+        assert_eq!(answers.matrix().worker_answer_count(WorkerId(1)), 0);
+        assert_eq!(answers.matrix().worker_answer_count(WorkerId(0)), 2);
+        // Dropping the exclusion re-includes the tombstoned votes — nothing
+        // was copied or lost.
+        h.reset();
+        h.apply_exclusions(&mut answers);
+        assert_eq!(answers.matrix().num_answers(), 6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_filtered_answers_matches_the_mask_path() {
+        let mut answers = AnswerSet::new(2, 3, 2);
+        for w in 0..3 {
+            answers
+                .record_answer(ObjectId(0), WorkerId(w), LabelId(0))
+                .unwrap();
+            answers
+                .record_answer(ObjectId(1), WorkerId(w), LabelId(1))
+                .unwrap();
+        }
+        let mut h = FaultyWorkerHandler::new();
+        h.apply(&outcome(&[1], &[]));
+        let copied = h.filtered_answers(&answers);
+        let mut masked = answers.clone();
+        h.apply_exclusions(&mut masked);
+        assert_eq!(copied.matrix().num_answers(), masked.matrix().num_answers());
+        for w in 0..3 {
+            assert_eq!(
+                copied.matrix().worker_answer_count(WorkerId(w)),
+                masked.matrix().worker_answer_count(WorkerId(w))
+            );
+        }
+    }
+
+    #[test]
+    fn sync_excluded_replaces_the_set_and_counts_events() {
+        let mut h = FaultyWorkerHandler::new();
+        h.sync_excluded(&[WorkerId(1), WorkerId(2)]);
+        assert_eq!(h.excluded(), vec![WorkerId(1), WorkerId(2)]);
+        assert_eq!(h.exclusion_events(), 2);
+        // 2 stays, 1 leaves, 5 enters: one new event.
+        h.sync_excluded(&[WorkerId(2), WorkerId(5)]);
+        assert_eq!(h.excluded(), vec![WorkerId(2), WorkerId(5)]);
+        assert_eq!(h.exclusion_events(), 3);
     }
 
     #[test]

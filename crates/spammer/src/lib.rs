@@ -11,13 +11,24 @@
 //! removes the bias an incorrect estimation would introduce. Suspected
 //! workers are not removed permanently; their answers are merely excluded
 //! from aggregation and come back once enough validations clear them.
+//!
+//! The [`trust`] module extends this batch-minded machinery with an *online*
+//! defense layer: a per-worker trust ledger that combines the EM verdicts
+//! with cheap pre-EM stream heuristics (constant-answer and label-copying
+//! signatures, Fleiss'-kappa batch gating, decayed approval rates) so
+//! adversarial workers can be tombstoned before the expert ever looks at
+//! their answers — and reinstated when later validations exonerate them.
 
 pub mod detector;
 pub mod handling;
 pub mod score;
 pub mod sloppy;
+pub mod trust;
 
 pub use detector::{DetectionOutcome, DetectorConfig, SpammerDetector};
 pub use handling::FaultyWorkerHandler;
 pub use score::spammer_score;
 pub use sloppy::sloppy_error_rate;
+pub use trust::{
+    BatchVote, DefenseTelemetry, TrustConfig, TrustDecision, TrustReport, WorkerTrustLedger,
+};

@@ -1,0 +1,680 @@
+//! Online per-worker trust tracking: the streaming-first defense layer.
+//!
+//! The paper's faulty-worker detection (§5.3) is *post-hoc*: it needs expert
+//! validations before it can judge anyone, so an adversary enjoys a free
+//! window between joining the crowd and the first validations that expose
+//! them. The [`WorkerTrustLedger`] closes that window with cheap **pre-EM
+//! heuristics** computed from the vote stream alone, in the spirit of the
+//! quality-control loops of production crowd platforms (CDAS) and the
+//! junk-label / fast-deceiver / approval-rate filters of the exemplar
+//! implementations:
+//!
+//! * **constant-answer signature** — a worker whose label histogram collapses
+//!   onto one label is a junk labeler;
+//! * **label-copying signature** — a worker who matches the current modal
+//!   label of *contested* objects (slim vote margin) almost always is copying
+//!   other workers instead of judging;
+//! * **batch agreement gating** — every arrival batch is scored with Fleiss'
+//!   kappa; in low-agreement batches, dissent from the per-object batch
+//!   majority accrues as (weak) evidence;
+//! * **approval rate** — expert validations maintain an exponentially decayed
+//!   per-worker error rate, the online analogue of a platform's lifetime
+//!   approval rate;
+//! * **EM verdicts** — the existing [`crate::SpammerDetector`] outcome
+//!   (spammer score / sloppy error rate from validation confusions) is folded
+//!   in whenever a validation re-runs detection.
+//!
+//! Expert evidence is authoritative: once a worker has enough validated
+//! answers, the heuristic term is discounted and the validation-based term
+//! dominates — which is exactly what makes **reinstatement** work. A worker
+//! tombstoned by heuristics whose later validations exonerate them drops
+//! below the reinstatement threshold and is un-tombstoned (graceful
+//! degradation, not a permanent ban). The two thresholds form a hysteresis
+//! band so borderline workers do not flap in and out of the aggregation.
+//!
+//! The ledger stores only integer counters, decayed float accumulators and
+//! flags — all serde-serializable — so it snapshots and restores
+//! bit-identically along with the rest of the session state.
+
+use crate::detector::DetectionOutcome;
+use crowdval_model::{LabelId, ObjectId, WorkerId};
+use crowdval_numerics::fleiss_kappa;
+use serde::{Deserialize, Serialize};
+
+/// Decay applied to the validated-answer accumulators per validation event:
+/// an effective window of ~10 recent validations, so a worker whose
+/// reliability *drifts* is judged on recent behavior, not their lifetime
+/// average.
+const APPROVAL_DECAY: f64 = 0.9;
+
+/// Weight of the heuristic term once expert evidence is active.
+const HEURISTIC_WEIGHT: f64 = 0.3;
+/// Weight of the expert term (approval rate / EM verdict) once active.
+const EXPERT_WEIGHT: f64 = 0.7;
+
+/// Configuration of the online trust defense.
+///
+/// The default is **tracking only** (`enabled: false`): the ledger observes
+/// every batch and validation and answers trust queries, but never flips a
+/// tombstone — existing pipelines behave exactly as before.
+/// [`TrustConfig::streaming_default`] turns enforcement on with thresholds
+/// tuned against the adversarial scenario library in `crowdval-sim`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustConfig {
+    /// Whether the ledger may tombstone / reinstate workers on its own.
+    pub enabled: bool,
+    /// Suspicion at or above which a worker is tombstoned.
+    pub exclusion_threshold: f64,
+    /// Suspicion at or below which a tombstoned worker is reinstated. Must
+    /// sit below `exclusion_threshold` — the gap is the hysteresis band.
+    pub reinstate_threshold: f64,
+    /// Minimum votes before the per-stream heuristics judge a worker.
+    pub min_votes: usize,
+    /// Arrival batches whose Fleiss' kappa falls below this gate contribute
+    /// dissent evidence (low agreement means *someone* is off-script).
+    pub kappa_gate: f64,
+    /// Minimum validated answers before the expert term becomes
+    /// authoritative (mirrors the detector's `min_validated_answers`).
+    pub min_validations: usize,
+}
+
+impl Default for TrustConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            exclusion_threshold: 0.6,
+            reinstate_threshold: 0.35,
+            min_votes: 8,
+            kappa_gate: 0.3,
+            min_validations: 4,
+        }
+    }
+}
+
+impl TrustConfig {
+    /// Enforcement on, with the default thresholds.
+    pub fn streaming_default() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// One vote of an arrival batch, annotated with the pre-arrival context the
+/// copy heuristic needs (computed by the caller *before* the vote is
+/// recorded).
+#[derive(Debug, Clone, Copy)]
+pub struct BatchVote {
+    pub object: ObjectId,
+    pub worker: WorkerId,
+    pub label: LabelId,
+    /// Modal label among the votes already recorded for this object before
+    /// this one, and whether the object was *contested* (the modal label led
+    /// by at most one vote). `None` when the object had no prior votes.
+    pub prior_modal: Option<(LabelId, bool)>,
+}
+
+/// Cumulative defense activity — the [`crate::DetectionOutcome`]-independent
+/// counterpart to the guidance telemetry.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DefenseTelemetry {
+    /// Arrival batches observed.
+    pub batches_observed: u64,
+    /// Batches whose Fleiss' kappa fell below the gate.
+    pub low_kappa_batches: u64,
+    /// Auto-exclusions performed by the ledger.
+    pub exclusions: u64,
+    /// Auto-reinstatements performed by the ledger.
+    pub reinstatements: u64,
+    /// Exclusions decided on heuristics alone (no expert evidence yet).
+    pub heuristic_exclusions: u64,
+    /// Exclusions decided with expert evidence active.
+    pub em_exclusions: u64,
+}
+
+/// Per-worker evidence counters.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+struct WorkerTrustRecord {
+    votes: u64,
+    /// Label histogram over the worker's whole stream.
+    label_counts: Vec<u64>,
+    /// Votes on contested objects that already had a modal label.
+    copy_opportunities: u64,
+    /// ... of which matched that modal label.
+    copies: u64,
+    /// Votes cast in low-kappa (gated) batches on objects with a clear
+    /// batch majority.
+    gated_votes: u64,
+    /// ... of which dissented from the batch majority.
+    gated_dissents: u64,
+    /// Decayed count of validated answers.
+    validated_weight: f64,
+    /// Decayed count of validated answers that were wrong.
+    error_weight: f64,
+    /// Raw validated-answer count (activation gate for the expert term).
+    validations: u64,
+    /// Whether the detector has ever had enough evidence to judge this
+    /// worker.
+    em_judged: bool,
+    /// Whether the latest detection flagged this worker (spammer or sloppy).
+    em_flagged: bool,
+    /// Current tombstone state as the ledger believes it.
+    excluded: bool,
+}
+
+/// What one [`WorkerTrustLedger::decide`] call changed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TrustDecision {
+    /// Workers newly tombstoned, in id order.
+    pub excluded: Vec<WorkerId>,
+    /// Workers newly reinstated, in id order.
+    pub reinstated: Vec<WorkerId>,
+}
+
+impl TrustDecision {
+    /// Whether the decision flipped any tombstone at all.
+    pub fn is_empty(&self) -> bool {
+        self.excluded.is_empty() && self.reinstated.is_empty()
+    }
+}
+
+/// Read-only trust summary of one worker (the `QueryWorkerTrust` payload).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrustReport {
+    pub worker: WorkerId,
+    pub votes: u64,
+    pub validations: u64,
+    pub suspicion: f64,
+    pub excluded: bool,
+    pub em_flagged: bool,
+}
+
+/// The streaming trust ledger: per-worker evidence counters plus cumulative
+/// defense telemetry. Updated on every vote arrival and every expert
+/// validation; consulted by the session to auto-tombstone and reinstate
+/// workers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WorkerTrustLedger {
+    records: Vec<WorkerTrustRecord>,
+    telemetry: DefenseTelemetry,
+}
+
+impl WorkerTrustLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Grows the per-worker records to cover `num_workers` ids.
+    pub fn ensure_workers(&mut self, num_workers: usize) {
+        if self.records.len() < num_workers {
+            self.records
+                .resize(num_workers, WorkerTrustRecord::default());
+        }
+    }
+
+    /// Number of workers tracked.
+    pub fn num_workers(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Absorbs one arrival batch: bumps the stream heuristics of every
+    /// voting worker and scores the batch's inter-rater agreement. Returns
+    /// the batch's Fleiss' kappa when it is defined.
+    pub fn observe_batch(
+        &mut self,
+        num_labels: usize,
+        votes: &[BatchVote],
+        config: &TrustConfig,
+    ) -> Option<f64> {
+        if votes.is_empty() {
+            return None;
+        }
+        self.telemetry.batches_observed += 1;
+        let max_worker = votes.iter().map(|v| v.worker.index()).max().unwrap_or(0);
+        self.ensure_workers(max_worker + 1);
+
+        for vote in votes {
+            let record = &mut self.records[vote.worker.index()];
+            record.votes += 1;
+            if record.label_counts.len() < num_labels {
+                record.label_counts.resize(num_labels, 0);
+            }
+            record.label_counts[vote.label.index()] += 1;
+            if let Some((modal, contested)) = vote.prior_modal {
+                if contested {
+                    record.copy_opportunities += 1;
+                    if vote.label == modal {
+                        record.copies += 1;
+                    }
+                }
+            }
+        }
+
+        // Batch agreement: per-object label histograms over this batch only.
+        let mut objects: Vec<ObjectId> = votes.iter().map(|v| v.object).collect();
+        objects.sort();
+        objects.dedup();
+        let index_of = |o: ObjectId| objects.binary_search(&o).expect("object collected above");
+        let mut counts = vec![vec![0u64; num_labels]; objects.len()];
+        for vote in votes {
+            counts[index_of(vote.object)][vote.label.index()] += 1;
+        }
+        let kappa = fleiss_kappa(&counts);
+        if let Some(k) = kappa {
+            if k < config.kappa_gate {
+                self.telemetry.low_kappa_batches += 1;
+                // Dissent evidence: votes against the clear batch majority of
+                // their object. Objects with fewer than two batch votes or a
+                // tied top count carry no evidence.
+                for vote in votes {
+                    let hist = &counts[index_of(vote.object)];
+                    let total: u64 = hist.iter().sum();
+                    if total < 2 {
+                        continue;
+                    }
+                    let top = *hist.iter().max().expect("non-empty histogram");
+                    if hist.iter().filter(|&&c| c == top).count() != 1 {
+                        continue;
+                    }
+                    let record = &mut self.records[vote.worker.index()];
+                    record.gated_votes += 1;
+                    if hist[vote.label.index()] != top {
+                        record.gated_dissents += 1;
+                    }
+                }
+            }
+        }
+        kappa
+    }
+
+    /// Absorbs one expert-validated answer of `worker` (the online
+    /// approval-rate prior).
+    pub fn record_validation(&mut self, worker: WorkerId, correct: bool) {
+        self.ensure_workers(worker.index() + 1);
+        let record = &mut self.records[worker.index()];
+        record.validated_weight = record.validated_weight * APPROVAL_DECAY + 1.0;
+        record.error_weight *= APPROVAL_DECAY;
+        if !correct {
+            record.error_weight += 1.0;
+        }
+        record.validations += 1;
+    }
+
+    /// Folds the latest EM-based detection verdicts into the ledger.
+    pub fn absorb_detection(&mut self, outcome: &DetectionOutcome) {
+        self.ensure_workers(outcome.scores.len());
+        for (w, record) in self.records.iter_mut().enumerate() {
+            if let Some(Some(_)) = outcome.scores.get(w) {
+                record.em_judged = true;
+            }
+        }
+        let faulty = outcome.faulty();
+        for (w, record) in self.records.iter_mut().enumerate() {
+            if record.em_judged {
+                record.em_flagged = faulty.binary_search(&WorkerId(w)).is_ok();
+            }
+        }
+    }
+
+    /// The maximum of the pre-EM stream heuristics, each scaled so honest
+    /// workers sit near 0 and a clean signature saturates at 1. Inactive
+    /// heuristics (not enough evidence) contribute 0.
+    fn heuristic_term(record: &WorkerTrustRecord, config: &TrustConfig) -> f64 {
+        let mut term = 0.0f64;
+        let min_votes = config.min_votes as u64;
+        // Constant-answer signature.
+        if record.votes >= min_votes && record.label_counts.len() >= 2 {
+            let top = *record.label_counts.iter().max().expect("labels present") as f64;
+            let share = top / record.votes as f64;
+            let uniform = 1.0 / record.label_counts.len() as f64;
+            let excess = ((share - uniform) / (1.0 - uniform)).clamp(0.0, 1.0);
+            term = term.max(((excess - 0.5) / 0.5).clamp(0.0, 1.0));
+        }
+        // Label-copying signature. Only contested objects count as
+        // opportunities — but honest workers also match the slim modal more
+        // often than not (the modal is usually right), so the signature
+        // activates late and its midpoint sits high: only a near-perfect
+        // match rate reads as copying rather than competence.
+        if record.copy_opportunities >= min_votes {
+            let rate = record.copies as f64 / record.copy_opportunities as f64;
+            term = term.max(((rate - 0.85) / 0.15).clamp(0.0, 1.0));
+        }
+        // Kappa-gated dissent.
+        if record.gated_votes >= min_votes.div_ceil(2) {
+            let rate = record.gated_dissents as f64 / record.gated_votes as f64;
+            term = term.max(((rate - 0.3) / 0.5).clamp(0.0, 1.0));
+        }
+        term
+    }
+
+    /// Validation-based evidence in `[0, 1]`, or `None` while the worker has
+    /// too few validated answers for the expert term to be authoritative.
+    fn expert_term(record: &WorkerTrustRecord, config: &TrustConfig) -> Option<f64> {
+        if record.validations < config.min_validations as u64 && !record.em_judged {
+            return None;
+        }
+        let mut term: f64 = if record.em_flagged { 1.0 } else { 0.0 };
+        if record.validated_weight > 0.0 {
+            let error_rate = record.error_weight / record.validated_weight;
+            term = term.max(((error_rate - 0.15) / 0.5).clamp(0.0, 1.0));
+        }
+        Some(term)
+    }
+
+    /// Current suspicion of a worker in `[0, 1]`. Heuristics alone carry the
+    /// score until expert evidence activates; from then on the expert term
+    /// dominates, which is what lets exonerating validations pull an
+    /// excluded worker back under the reinstatement threshold.
+    pub fn suspicion(&self, worker: WorkerId, config: &TrustConfig) -> f64 {
+        let Some(record) = self.records.get(worker.index()) else {
+            return 0.0;
+        };
+        let heuristic = Self::heuristic_term(record, config);
+        match Self::expert_term(record, config) {
+            Some(expert) => HEURISTIC_WEIGHT * heuristic + EXPERT_WEIGHT * expert,
+            None => heuristic,
+        }
+    }
+
+    /// Applies the thresholds to every worker and flips the ledger's
+    /// tombstone flags accordingly. Returns the flips; the caller owns the
+    /// actual answer-matrix masks.
+    pub fn decide(&mut self, config: &TrustConfig) -> TrustDecision {
+        let mut decision = TrustDecision::default();
+        if !config.enabled {
+            return decision;
+        }
+        for w in 0..self.records.len() {
+            let worker = WorkerId(w);
+            let suspicion = self.suspicion(worker, config);
+            let record = &self.records[w];
+            if !record.excluded && suspicion >= config.exclusion_threshold {
+                decision.excluded.push(worker);
+            } else if record.excluded && suspicion <= config.reinstate_threshold {
+                decision.reinstated.push(worker);
+            }
+        }
+        for &worker in &decision.excluded {
+            let expert_active = Self::expert_term(&self.records[worker.index()], config).is_some();
+            self.records[worker.index()].excluded = true;
+            self.telemetry.exclusions += 1;
+            if expert_active {
+                self.telemetry.em_exclusions += 1;
+            } else {
+                self.telemetry.heuristic_exclusions += 1;
+            }
+        }
+        for &worker in &decision.reinstated {
+            self.records[worker.index()].excluded = false;
+            self.telemetry.reinstatements += 1;
+        }
+        decision
+    }
+
+    /// Overrides one worker's tombstone flag (manual ban / unban). Counts as
+    /// a defense event in the telemetry when it flips the state.
+    pub fn set_excluded(&mut self, worker: WorkerId, excluded: bool) {
+        self.ensure_workers(worker.index() + 1);
+        let record = &mut self.records[worker.index()];
+        if record.excluded == excluded {
+            return;
+        }
+        record.excluded = excluded;
+        if excluded {
+            self.telemetry.exclusions += 1;
+        } else {
+            self.telemetry.reinstatements += 1;
+        }
+    }
+
+    /// Workers the ledger currently considers tombstoned, in id order.
+    pub fn excluded(&self) -> Vec<WorkerId> {
+        self.records
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.excluded)
+            .map(|(w, _)| WorkerId(w))
+            .collect()
+    }
+
+    /// Whether the ledger currently considers a worker tombstoned.
+    pub fn is_excluded(&self, worker: WorkerId) -> bool {
+        self.records.get(worker.index()).is_some_and(|r| r.excluded)
+    }
+
+    /// Cumulative defense telemetry.
+    pub fn telemetry(&self) -> DefenseTelemetry {
+        self.telemetry
+    }
+
+    /// Per-worker trust reports, in id order.
+    pub fn reports(&self, config: &TrustConfig) -> Vec<TrustReport> {
+        (0..self.records.len())
+            .map(|w| {
+                let record = &self.records[w];
+                TrustReport {
+                    worker: WorkerId(w),
+                    votes: record.votes,
+                    validations: record.validations,
+                    suspicion: self.suspicion(WorkerId(w), config),
+                    excluded: record.excluded,
+                    em_flagged: record.em_flagged,
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn vote(object: usize, worker: usize, label: usize) -> BatchVote {
+        BatchVote {
+            object: ObjectId(object),
+            worker: WorkerId(worker),
+            label: LabelId(label),
+            prior_modal: None,
+        }
+    }
+
+    #[test]
+    fn constant_answer_worker_crosses_the_exclusion_threshold() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        // Worker 0 always answers label 1; workers 1..4 answer the truthful
+        // alternating pattern.
+        for batch in 0..4 {
+            let votes: Vec<BatchVote> = (0..4)
+                .flat_map(|o| {
+                    let object = batch * 4 + o;
+                    let truth = object % 2;
+                    let mut vs = vec![vote(object, 0, 1)];
+                    vs.extend((1..4).map(|w| vote(object, w, truth)));
+                    vs
+                })
+                .collect();
+            ledger.observe_batch(2, &votes, &config);
+        }
+        let decision = ledger.decide(&config);
+        assert_eq!(decision.excluded, vec![WorkerId(0)]);
+        assert!(decision.reinstated.is_empty());
+        assert!(ledger.is_excluded(WorkerId(0)));
+        assert!(!ledger.is_excluded(WorkerId(2)));
+        assert_eq!(ledger.telemetry().heuristic_exclusions, 1);
+    }
+
+    #[test]
+    fn copier_on_contested_objects_is_flagged() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        // Worker 5 always matches the modal label of contested objects;
+        // labels themselves alternate so the constant signature stays quiet.
+        let votes: Vec<BatchVote> = (0..10)
+            .map(|o| BatchVote {
+                object: ObjectId(o),
+                worker: WorkerId(5),
+                label: LabelId(o % 2),
+                prior_modal: Some((LabelId(o % 2), true)),
+            })
+            .collect();
+        ledger.observe_batch(2, &votes, &config);
+        assert!(
+            ledger.suspicion(WorkerId(5), &config) >= config.exclusion_threshold,
+            "suspicion {}",
+            ledger.suspicion(WorkerId(5), &config)
+        );
+        // An honest worker matching the slim modal only half the time stays
+        // well under the threshold.
+        let mut honest = WorkerTrustLedger::new();
+        let votes: Vec<BatchVote> = (0..10)
+            .map(|o| BatchVote {
+                object: ObjectId(o),
+                worker: WorkerId(0),
+                label: LabelId(o % 2),
+                // The slim modal is always 0; the honest worker's own signal
+                // alternates, so they match it only half the time.
+                prior_modal: Some((LabelId(0), true)),
+            })
+            .collect();
+        honest.observe_batch(2, &votes, &config);
+        assert!(honest.suspicion(WorkerId(0), &config) < config.reinstate_threshold);
+    }
+
+    #[test]
+    fn low_kappa_batches_accrue_dissent_evidence() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        // Worker 3 dissents from a clear 3-vs-1 majority on every object;
+        // the split keeps the batch kappa under the gate.
+        for batch in 0..2 {
+            let votes: Vec<BatchVote> = (0..4)
+                .flat_map(|o| {
+                    let object = batch * 4 + o;
+                    let majority = o % 2;
+                    let mut vs: Vec<BatchVote> =
+                        (0..3).map(|w| vote(object, w, majority)).collect();
+                    vs.push(vote(object, 3, 1 - majority));
+                    vs
+                })
+                .collect();
+            let kappa = ledger.observe_batch(2, &votes, &config).unwrap();
+            assert!(kappa < config.kappa_gate, "kappa {kappa}");
+        }
+        assert_eq!(ledger.telemetry().low_kappa_batches, 2);
+        let dissenter = ledger.suspicion(WorkerId(3), &config);
+        let conformer = ledger.suspicion(WorkerId(0), &config);
+        assert!(
+            dissenter > conformer,
+            "dissenter {dissenter} <= conformer {conformer}"
+        );
+        assert!(dissenter >= config.exclusion_threshold);
+    }
+
+    #[test]
+    fn exonerating_validations_reinstate_a_heuristic_exclusion() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        // Heuristic exclusion: constant answers.
+        let votes: Vec<BatchVote> = (0..10).map(|o| vote(o, 0, 1)).collect();
+        ledger.observe_batch(2, &votes, &config);
+        let decision = ledger.decide(&config);
+        assert_eq!(decision.excluded, vec![WorkerId(0)]);
+        // The expert then validates several of the worker's answers as
+        // correct (the truth really was all-1 on those objects).
+        for _ in 0..config.min_validations {
+            ledger.record_validation(WorkerId(0), true);
+        }
+        let decision = ledger.decide(&config);
+        assert_eq!(decision.reinstated, vec![WorkerId(0)]);
+        assert!(!ledger.is_excluded(WorkerId(0)));
+        assert_eq!(ledger.telemetry().reinstatements, 1);
+    }
+
+    #[test]
+    fn decayed_approval_rate_tracks_drifting_workers() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        // A long accurate history followed by a run of errors: the decayed
+        // window forgets the good old days.
+        for _ in 0..30 {
+            ledger.record_validation(WorkerId(0), true);
+        }
+        assert!(ledger.suspicion(WorkerId(0), &config) < config.reinstate_threshold);
+        for _ in 0..12 {
+            ledger.record_validation(WorkerId(0), false);
+        }
+        assert!(
+            ledger.suspicion(WorkerId(0), &config) >= config.exclusion_threshold,
+            "suspicion {}",
+            ledger.suspicion(WorkerId(0), &config)
+        );
+    }
+
+    #[test]
+    fn em_verdicts_fold_into_the_expert_term() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        ledger.ensure_workers(3);
+        let outcome = DetectionOutcome {
+            spammers: vec![WorkerId(1)],
+            sloppy: vec![],
+            scores: vec![Some(0.9), Some(0.05), None],
+            error_rates: vec![Some(0.1), Some(0.5), None],
+        };
+        ledger.absorb_detection(&outcome);
+        assert!(ledger.suspicion(WorkerId(1), &config) >= config.exclusion_threshold);
+        assert!(ledger.suspicion(WorkerId(0), &config) < config.reinstate_threshold);
+        // Worker 2 was never judged: no expert term, no heuristics, zero.
+        assert_eq!(ledger.suspicion(WorkerId(2), &config), 0.0);
+        // A later detection clearing worker 1 clears the flag.
+        let cleared = DetectionOutcome {
+            spammers: vec![],
+            sloppy: vec![],
+            scores: vec![Some(0.9), Some(0.8), None],
+            error_rates: vec![Some(0.1), Some(0.2), None],
+        };
+        ledger.absorb_detection(&cleared);
+        assert!(ledger.suspicion(WorkerId(1), &config) < config.exclusion_threshold);
+    }
+
+    #[test]
+    fn disabled_config_never_flips_tombstones() {
+        let config = TrustConfig::default();
+        assert!(!config.enabled);
+        let mut ledger = WorkerTrustLedger::new();
+        let votes: Vec<BatchVote> = (0..10).map(|o| vote(o, 0, 1)).collect();
+        ledger.observe_batch(2, &votes, &config);
+        assert!(ledger.suspicion(WorkerId(0), &config) >= config.exclusion_threshold);
+        assert!(ledger.decide(&config).is_empty());
+        assert!(ledger.excluded().is_empty());
+    }
+
+    #[test]
+    fn ledger_round_trips_through_json() {
+        let config = TrustConfig::streaming_default();
+        let mut ledger = WorkerTrustLedger::new();
+        let votes: Vec<BatchVote> = (0..10).map(|o| vote(o, 0, 1)).collect();
+        ledger.observe_batch(2, &votes, &config);
+        ledger.record_validation(WorkerId(0), false);
+        ledger.decide(&config);
+        let json = serde_json::to_string(&ledger).unwrap();
+        let reread: WorkerTrustLedger = serde_json::from_str(&json).unwrap();
+        assert_eq!(ledger, reread);
+    }
+
+    #[test]
+    fn manual_override_counts_as_defense_events() {
+        let mut ledger = WorkerTrustLedger::new();
+        ledger.set_excluded(WorkerId(2), true);
+        assert!(ledger.is_excluded(WorkerId(2)));
+        assert_eq!(ledger.excluded(), vec![WorkerId(2)]);
+        ledger.set_excluded(WorkerId(2), true); // no-op
+        ledger.set_excluded(WorkerId(2), false);
+        let telemetry = ledger.telemetry();
+        assert_eq!(telemetry.exclusions, 1);
+        assert_eq!(telemetry.reinstatements, 1);
+    }
+}

@@ -87,8 +87,12 @@ pub mod prelude {
         LabelId, ModelError, ObjectId, ProbabilisticAnswerSet, ValidationView, Vote, WorkerId,
     };
     pub use crowdval_sim::{
-        all_replicas, replica, PopulationMix, ReplicaName, SimulatedExpert, StreamingConfig,
-        StreamingScenario, SyntheticConfig, SyntheticDataset, WorkerKind, WorkerProfile,
+        all_replicas, replica, AdversarialConfig, AdversarialScenario, AttackKind, PopulationMix,
+        ReplicaName, SimulatedExpert, StreamingConfig, StreamingScenario, SyntheticConfig,
+        SyntheticDataset, WorkerKind, WorkerProfile,
     };
-    pub use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler, SpammerDetector};
+    pub use crowdval_spammer::{
+        DefenseTelemetry, DetectorConfig, FaultyWorkerHandler, SpammerDetector, TrustConfig,
+        TrustReport, WorkerTrustLedger,
+    };
 }

@@ -398,6 +398,10 @@ proptest! {
     /// The budget is driven to exhaustion (every object validated), so the
     /// comparison covers the volatile early phase, the settled tail, and
     /// every invalidation guard in between.
+    /// `defense` additionally runs the whole comparison with the online
+    /// trust ledger enforcing (auto-exclusions mid-stream): the defense
+    /// must stay cache-coherent — a tombstone flipped on the cached path
+    /// invalidates exactly what the eager path recomputes.
     #[test]
     fn cached_selection_order_is_bit_identical_to_eager(
         seed in any::<u64>(),
@@ -405,7 +409,8 @@ proptest! {
         num_workers in 8usize..16,
         reliability in 0.6f64..0.9,
         batch_size in 20usize..60,
-        snap_numerator in any::<u64>()
+        snap_numerator in any::<u64>(),
+        defense in any::<bool>()
     ) {
         let scenario = StreamingConfig {
             base: SyntheticConfig {
@@ -431,6 +436,11 @@ proptest! {
                 )))
                 .config(ProcessConfig {
                     guidance_cache: cached,
+                    trust: if defense {
+                        TrustConfig::streaming_default()
+                    } else {
+                        TrustConfig::default()
+                    },
                     ..ProcessConfig::default()
                 })
                 .try_build()
@@ -579,6 +589,197 @@ proptest! {
             reference.excluded_workers()
         );
         // And the restored session still checkpoints cleanly.
+        prop_assert_eq!(
+            restored.snapshot().unwrap(),
+            reference.snapshot().unwrap()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Tombstoning purges a worker completely: stream a scenario to the
+    /// end, exclude one random worker via
+    /// [`ValidationSession::set_worker_excluded`] (which re-anchors the
+    /// aggregation cold over the masked answers), and the posterior must
+    /// match a fresh session that ingested the same stream with that
+    /// worker's votes filtered out — the mask plus cold re-anchor leaves
+    /// no trace of the excluded worker's votes in the EM state.
+    #[test]
+    fn excluding_a_worker_equals_never_having_seen_them(
+        seed in any::<u64>(),
+        num_objects in 10usize..20,
+        num_workers in 6usize..12,
+        reliability in 0.6f64..0.9,
+        worker_numerator in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects,
+                num_workers,
+                reliability,
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+
+        // Streamed session: warm incremental aggregation throughout, then
+        // one worker tombstoned at the end.
+        let mut streamed = ValidationSessionBuilder::empty(scenario.num_labels)
+            .try_build()
+            .unwrap();
+        streamed.ingest(&scenario.initial).unwrap();
+        for batch in &scenario.batches {
+            streamed.ingest(batch).unwrap();
+        }
+        let victim = WorkerId(
+            (worker_numerator % streamed.answers().num_workers() as u64) as usize,
+        );
+        prop_assert!(streamed.set_worker_excluded(victim, true).unwrap());
+        prop_assert_eq!(streamed.excluded_workers(), vec![victim]);
+
+        // Fresh session: the victim's votes never existed.
+        let filtered: Vec<Vote> = scenario
+            .all_votes()
+            .into_iter()
+            .filter(|v| v.worker != victim)
+            .collect();
+        if filtered.len() < 2 {
+            return;
+        }
+        let mut fresh = ValidationSessionBuilder::empty(scenario.num_labels)
+            .try_build()
+            .unwrap();
+        fresh.ingest(&filtered).unwrap();
+
+        let a = streamed.current().assignment();
+        let b = fresh.current().assignment();
+        for o in 0..a.num_objects().min(b.num_objects()) {
+            for l in 0..scenario.num_labels {
+                let (object, label) = (ObjectId(o), LabelId(l));
+                prop_assert!(
+                    (a.prob(object, label) - b.prob(object, label)).abs() <= 1e-9,
+                    "posterior diverged at object {o} label {l}: {} vs {}",
+                    a.prob(object, label),
+                    b.prob(object, label)
+                );
+            }
+        }
+    }
+
+    /// Exclusion and reinstatement survive snapshot/restore bit-identically:
+    /// a session that tombstones a worker mid-stream and later reinstates
+    /// them, interrupted by a JSON snapshot round trip at a random point,
+    /// must finish with the same picks, posterior, trace, exclusion mask
+    /// and checkpoint bytes as the uninterrupted run — the trust ledger is
+    /// session state like any other, and both defense flips re-anchor
+    /// deterministically after a restore.
+    #[test]
+    fn defense_flips_round_trip_through_snapshots(
+        seed in any::<u64>(),
+        snap_numerator in any::<u64>(),
+        strategy_seed in any::<u64>(),
+        worker_numerator in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 14,
+                num_workers: 9,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+        let batches = scenario.batches.len();
+        if batches < 2 {
+            return;
+        }
+        let flip_on = 0;
+        let flip_off = batches / 2;
+
+        let build = || {
+            ValidationSessionBuilder::empty(scenario.num_labels)
+                .strategy(Box::new(HybridStrategy::new(strategy_seed)))
+                .config(ProcessConfig {
+                    trust: TrustConfig::streaming_default(),
+                    ..ProcessConfig::default()
+                })
+                .try_build()
+                .unwrap()
+        };
+        let validate = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+        // The manual override schedule, identical in both runs: tombstone
+        // a worker right after the first batch, exonerate them halfway
+        // through. (The streaming defense may flip other workers on its
+        // own — deterministically, so the runs still agree.)
+        let flip = |session: &mut ValidationSession, batch: usize| {
+            let num_workers = session.answers().num_workers();
+            if num_workers == 0 {
+                return;
+            }
+            let victim = WorkerId((worker_numerator % num_workers as u64) as usize);
+            if batch == flip_on {
+                session.set_worker_excluded(victim, true).unwrap();
+            } else if batch == flip_off {
+                session.set_worker_excluded(victim, false).unwrap();
+            }
+        };
+
+        // Uninterrupted reference.
+        let mut reference = build();
+        let mut ref_picks = Vec::new();
+        reference.ingest(&scenario.initial).unwrap();
+        for (i, batch) in scenario.batches.iter().enumerate() {
+            reference.ingest(batch).unwrap();
+            flip(&mut reference, i);
+            validate(&mut reference, &mut ref_picks);
+        }
+
+        // Interrupted run: snapshot after a random batch, restore from
+        // JSON, keep flipping and validating on the same schedule.
+        let snap_after = (snap_numerator % (batches as u64 + 1)) as usize;
+        let mut live = build();
+        let mut picks = Vec::new();
+        live.ingest(&scenario.initial).unwrap();
+        for (i, batch) in scenario.batches[..snap_after].iter().enumerate() {
+            live.ingest(batch).unwrap();
+            flip(&mut live, i);
+            validate(&mut live, &mut picks);
+        }
+        let json = serde_json::to_string(&live.snapshot().unwrap()).unwrap();
+        drop(live);
+        let snapshot: crowd_validation::core::SessionSnapshot =
+            serde_json::from_str(&json).unwrap();
+        let mut restored = ValidationSession::restore(snapshot).unwrap();
+        for (i, batch) in scenario.batches[snap_after..].iter().enumerate() {
+            restored.ingest(batch).unwrap();
+            flip(&mut restored, snap_after + i);
+            validate(&mut restored, &mut picks);
+        }
+
+        prop_assert_eq!(picks, ref_picks);
+        prop_assert_eq!(restored.current(), reference.current());
+        prop_assert_eq!(restored.trace(), reference.trace());
+        prop_assert_eq!(restored.excluded_workers(), reference.excluded_workers());
         prop_assert_eq!(
             restored.snapshot().unwrap(),
             reference.snapshot().unwrap()
