@@ -43,8 +43,7 @@
 
 use crate::config::EmConfig;
 use crate::em::{
-    expectation_step_ws, m_step_worker, maximization_step_ws, posterior_row,
-    priors_from_assignment_ws,
+    e_step_row, expectation_step_ws, m_step_worker, maximization_step_ws, priors_from_assignment_ws,
 };
 use crate::workspace::{refresh_worker_logs, EmWorkspace};
 use crowdval_model::{AnswerSet, ObjectId, ValidationView};
@@ -96,8 +95,8 @@ pub fn run_delta_em_from_dirty<V: ValidationView>(
     // log tables.
     let mut iterations = 1;
     ws.stat_iterations += 1;
+    recompute_rows_scoped(answers, view, ws, seeds, None);
     for &seed in seeds {
-        recompute_object_row(answers, view, ws, seed);
         ws.changed_objects.push(seed);
     }
 
@@ -287,8 +286,13 @@ fn scoped_rounds<V: ValidationView>(
         }
 
         // (d) Scoped E-step over the dirty workers' neighborhoods. Rows that
-        // move beyond the EM tolerance seed the next frontier.
+        // move beyond the EM tolerance seed the next frontier. The work list
+        // is collected first (same dedup, same order as recomputing inline —
+        // the recomputation never reads `object_dirty`), so a large frontier
+        // can fan out over the blocked-parallel row kernel.
         ws.next_changed.clear();
+        let mut scope = std::mem::take(&mut ws.scope_objects);
+        scope.clear();
         for wi in 0..ws.dirty_workers.len() {
             let w = ws.dirty_workers[wi];
             for (o, _) in answers.matrix().answers_for_worker(w) {
@@ -301,12 +305,11 @@ fn scoped_rounds<V: ValidationView>(
                 if view.validated(o).is_some() {
                     continue;
                 }
-                let delta = recompute_object_row(answers, view, ws, o);
-                if delta > config.tolerance {
-                    ws.next_changed.push(o);
-                }
+                scope.push(o);
             }
         }
+        recompute_rows_scoped(answers, view, ws, &scope, Some(config.tolerance));
+        ws.scope_objects = scope;
         *iterations += 1;
         ws.stat_iterations += 1;
 
@@ -333,8 +336,7 @@ fn scoped_rounds<V: ValidationView>(
 
 /// Recomputes one object's assignment row under `view` from the cached log
 /// tables, patching `col_sums` with the difference. The previous row is left
-/// in `row_scratch` for [`propagate_row_change`]. Returns the largest
-/// absolute per-label change.
+/// in `row_scratch`. Returns the largest absolute per-label change.
 fn recompute_object_row<V: ValidationView>(
     answers: &AnswerSet,
     view: &V,
@@ -342,6 +344,7 @@ fn recompute_object_row<V: ValidationView>(
     object: ObjectId,
 ) -> f64 {
     let m = answers.num_labels();
+    let matrix = answers.matrix();
     let EmWorkspace {
         assignment,
         log_confusions,
@@ -355,19 +358,16 @@ fn recompute_object_row<V: ValidationView>(
     *stat_rows_recomputed += 1;
     let row = assignment.row_mut(object.index());
     row_scratch.copy_from_slice(row);
-    if let Some(validated) = view.validated(object) {
-        row.fill(0.0);
-        row[validated.index()] = 1.0;
-    } else {
-        posterior_row(
-            m,
-            answers.matrix().answers_for_object(object),
-            log_confusions,
-            log_priors,
-            log_scores,
-            row,
-        );
-    }
+    e_step_row(
+        m,
+        matrix,
+        view,
+        object,
+        log_confusions,
+        log_priors,
+        log_scores,
+        row,
+    );
     let mut delta = 0.0f64;
     for l in 0..m {
         let diff = row[l] - row_scratch[l];
@@ -375,6 +375,99 @@ fn recompute_object_row<V: ValidationView>(
         delta = delta.max(diff.abs());
     }
     delta
+}
+
+/// Recomputes the assignment rows of `objects` in list order — exactly the
+/// serial `recompute_object_row` loop — pushing rows whose change exceeds
+/// `frontier_threshold` onto `next_changed`. Above the parallel gate the row
+/// posteriors (mutually independent) are computed into the `scope_rows`
+/// scratch on the blocked pool first, and a single serial pass then applies
+/// them in the same list order: old row saved, `col_sums` patched per label,
+/// frontier test — the identical float operation sequence, so serial and
+/// parallel runs stay bitwise equal (see [`crate::parblock`]).
+fn recompute_rows_scoped<V: ValidationView>(
+    answers: &AnswerSet,
+    view: &V,
+    ws: &mut EmWorkspace,
+    objects: &[ObjectId],
+    frontier_threshold: Option<f64>,
+) {
+    use crate::parblock::{em_threads, should_parallelize, BLOCK_ROWS, PAR_MIN_OBJECTS};
+    let m = answers.num_labels();
+    if !should_parallelize(objects.len(), PAR_MIN_OBJECTS) {
+        for &o in objects {
+            let delta = recompute_object_row(answers, view, ws, o);
+            if let Some(threshold) = frontier_threshold {
+                if delta > threshold {
+                    ws.next_changed.push(o);
+                }
+            }
+        }
+        return;
+    }
+    let matrix = answers.matrix();
+    ws.scope_rows.clear();
+    ws.scope_rows.resize(objects.len() * m, 0.0);
+    {
+        let EmWorkspace {
+            log_confusions,
+            log_priors,
+            scope_rows,
+            ..
+        } = &mut *ws;
+        let log_confusions: &[f64] = log_confusions;
+        let log_priors: &[f64] = log_priors;
+        let tasks: Vec<(usize, &mut [f64])> = scope_rows
+            .chunks_mut(BLOCK_ROWS * m)
+            .enumerate()
+            .map(|(i, rows)| (i * BLOCK_ROWS, rows))
+            .collect();
+        rayon::run_scoped_tasks(tasks, em_threads(), |(first, rows)| {
+            let mut scores = vec![0.0f64; m];
+            for (j, row) in rows.chunks_mut(m).enumerate() {
+                e_step_row(
+                    m,
+                    matrix,
+                    view,
+                    objects[first + j],
+                    log_confusions,
+                    log_priors,
+                    &mut scores,
+                    row,
+                );
+            }
+        });
+    }
+    let scope_rows = std::mem::take(&mut ws.scope_rows);
+    {
+        let EmWorkspace {
+            assignment,
+            row_scratch,
+            col_sums,
+            next_changed,
+            stat_rows_recomputed,
+            ..
+        } = &mut *ws;
+        for (i, &o) in objects.iter().enumerate() {
+            *stat_rows_recomputed += 1;
+            let fresh = &scope_rows[i * m..(i + 1) * m];
+            let row = assignment.row_mut(o.index());
+            row_scratch.copy_from_slice(row);
+            row.copy_from_slice(fresh);
+            let mut delta = 0.0f64;
+            for l in 0..m {
+                let diff = row[l] - row_scratch[l];
+                col_sums[l] += diff;
+                delta = delta.max(diff.abs());
+            }
+            if let Some(threshold) = frontier_threshold {
+                if delta > threshold {
+                    next_changed.push(o);
+                }
+            }
+        }
+    }
+    ws.scope_rows = scope_rows;
 }
 
 #[cfg(test)]

@@ -46,6 +46,40 @@ pub(crate) fn posterior_row<I>(
             *score += log_confusions[w.index() * m * m + l * m + answered.index()];
         }
     }
+    exp_normalize_scores(m, scores, row);
+}
+
+/// [`posterior_row`] specialized for a flat compact-view row slice: the same
+/// per-label log-score accumulation over the same votes in the same order
+/// (the compact mirror is rewritten from the paged chain, and the tombstone
+/// filter here matches `ObjectVotes`), so the result is bitwise identical to
+/// the iterator path — just without chunk-chain bookkeeping per vote.
+#[inline]
+pub(crate) fn posterior_row_flat(
+    m: usize,
+    votes: &[(u32, u32)],
+    excluded: &[bool],
+    log_confusions: &[f64],
+    log_priors: &[f64],
+    scores: &mut [f64],
+    row: &mut [f64],
+) {
+    for (l, score) in scores.iter_mut().enumerate() {
+        *score = log_priors[l];
+        for &(w, answered) in votes {
+            if excluded[w as usize] {
+                continue;
+            }
+            *score += log_confusions[w as usize * m * m + l * m + answered as usize];
+        }
+    }
+    exp_normalize_scores(m, scores, row);
+}
+
+/// The shared max-shifted exp-normalization tail of the posterior kernels
+/// (one body, so the flat and iterator paths cannot drift apart).
+#[inline]
+fn exp_normalize_scores(m: usize, scores: &[f64], row: &mut [f64]) {
     let max = scores.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     for (l, &score) in scores.iter().enumerate() {
         row[l] = (score - max).exp();
@@ -63,6 +97,90 @@ pub(crate) fn posterior_row<I>(
     }
 }
 
+/// One object's E-step row: clamp when validated, else the posterior from
+/// the cached log tables — through the flat compact row when the mirror is
+/// clean, through the paged chain otherwise (bitwise-identical results).
+#[inline]
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn e_step_row<V: ValidationView>(
+    m: usize,
+    matrix: &crowdval_model::AnswerMatrix,
+    view: &V,
+    o: ObjectId,
+    log_confusions: &[f64],
+    log_priors: &[f64],
+    scores: &mut [f64],
+    row: &mut [f64],
+) {
+    if let Some(validated) = view.validated(o) {
+        row.fill(0.0);
+        row[validated.index()] = 1.0;
+        return;
+    }
+    if let Some(pairs) = matrix.object_row_slice(o) {
+        posterior_row_flat(
+            m,
+            pairs,
+            matrix.excluded_mask(),
+            log_confusions,
+            log_priors,
+            scores,
+            row,
+        );
+    } else {
+        posterior_row(
+            m,
+            matrix.answers_for_object(o),
+            log_confusions,
+            log_priors,
+            scores,
+            row,
+        );
+    }
+}
+
+/// How many rows ahead of the one being computed the E-step prefetches
+/// voter confusion tables (compact-view rows only). Sized so the prefetch
+/// distance covers roughly one DRAM round-trip of per-row compute at
+/// paper-typical row lengths (a handful of votes, a handful of labels).
+const E_STEP_PREFETCH_ROWS: usize = 8;
+
+/// Issues software prefetches for the log-confusion cache lines of a
+/// *future* object row's voters. Only possible on the compact views: the
+/// CSR pair slab is sequential, so the voters of row `o + distance` are
+/// already in cache while row `o` computes — the paged chains hide the
+/// next row's voters behind a dependent chunk-pointer load. Prefetching
+/// performs no arithmetic, so serial/parallel and paged/CSR bit-identity
+/// are untouched; on non-x86_64 targets this is a no-op.
+#[inline]
+fn prefetch_confusion_rows(
+    matrix: &crowdval_model::AnswerMatrix,
+    o: usize,
+    m: usize,
+    log_confusions: &[f64],
+) {
+    #[cfg(target_arch = "x86_64")]
+    if let Some(pairs) = matrix.object_row_slice(ObjectId(o)) {
+        for &(w, _) in pairs {
+            let idx = w as usize * m * m;
+            // A worker's m×m log table spans up to two cache lines; touch
+            // the first and last element so both lines are in flight.
+            if idx + m * m <= log_confusions.len() {
+                unsafe {
+                    use core::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+                    let base = log_confusions.as_ptr().add(idx);
+                    _mm_prefetch(base as *const i8, _MM_HINT_T0);
+                    _mm_prefetch(base.add(m * m - 1) as *const i8, _MM_HINT_T0);
+                }
+            }
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        let _ = (matrix, o, m, log_confusions);
+    }
+}
+
 /// Workspace E-step kernel (Eq. 1–4): fills the workspace's current (or
 /// `next`) assignment buffer from the cached log tables. Objects with a
 /// validation in `view` get a point mass on the validated label (Eq. 4);
@@ -74,6 +192,8 @@ pub(crate) fn expectation_step_ws<V: ValidationView>(
     into_next: bool,
 ) {
     let m = answers.num_labels();
+    let n = answers.num_objects();
+    let matrix = answers.matrix();
     let EmWorkspace {
         assignment,
         next_assignment,
@@ -88,17 +208,50 @@ pub(crate) fn expectation_step_ws<V: ValidationView>(
     } else {
         assignment
     };
+    if crate::parblock::should_parallelize(n, crate::parblock::PAR_MIN_OBJECTS) {
+        *stat_rows_recomputed += n;
+        let log_confusions: &[f64] = log_confusions;
+        let log_priors: &[f64] = log_priors;
+        let block = crate::parblock::BLOCK_ROWS;
+        let tasks: Vec<(usize, &mut [f64])> = target
+            .as_mut_slice()
+            .chunks_mut(block * m)
+            .enumerate()
+            .map(|(i, rows)| (i * block, rows))
+            .collect();
+        rayon::run_scoped_tasks(tasks, crate::parblock::em_threads(), |(first, rows)| {
+            let mut scores = vec![0.0f64; m];
+            for (j, row) in rows.chunks_mut(m).enumerate() {
+                let o = ObjectId(first + j);
+                prefetch_confusion_rows(
+                    matrix,
+                    o.index() + E_STEP_PREFETCH_ROWS,
+                    m,
+                    log_confusions,
+                );
+                e_step_row(
+                    m,
+                    matrix,
+                    view,
+                    o,
+                    log_confusions,
+                    log_priors,
+                    &mut scores,
+                    row,
+                );
+            }
+        });
+        return;
+    }
     for o in answers.objects() {
         *stat_rows_recomputed += 1;
         let row = target.row_mut(o.index());
-        if let Some(validated) = view.validated(o) {
-            row.fill(0.0);
-            row[validated.index()] = 1.0;
-            continue;
-        }
-        posterior_row(
+        prefetch_confusion_rows(matrix, o.index() + E_STEP_PREFETCH_ROWS, m, log_confusions);
+        e_step_row(
             m,
-            answers.matrix().answers_for_object(o),
+            matrix,
+            view,
+            o,
             log_confusions,
             log_priors,
             log_scores,
@@ -120,9 +273,20 @@ pub(crate) fn m_step_worker(
     m: usize,
 ) {
     counts.fill(0.0);
-    for (o, answered) in answers.matrix().answers_for_worker(worker) {
-        for true_label in 0..m {
-            counts[(true_label, answered.index())] += assignment[(o.index(), true_label)];
+    if let Some(pairs) = answers.matrix().worker_row_slice(worker) {
+        // Flat compact-view fast path: the same (object, answered) pairs in
+        // the same arrival order as the chunk-chain iterator below, so the
+        // soft counts accumulate bitwise-identically.
+        for &(o, answered) in pairs {
+            for true_label in 0..m {
+                counts[(true_label, answered as usize)] += assignment[(o as usize, true_label)];
+            }
+        }
+    } else {
+        for (o, answered) in answers.matrix().answers_for_worker(worker) {
+            for true_label in 0..m {
+                counts[(true_label, answered.index())] += assignment[(o.index(), true_label)];
+            }
         }
     }
     let cm = confusion.matrix_mut();
@@ -137,6 +301,7 @@ pub(crate) fn m_step_worker(
 /// log-confusion rows afterwards (the once-per-M-step `ln()` refresh).
 pub(crate) fn maximization_step_ws(answers: &AnswerSet, ws: &mut EmWorkspace, alpha: f64) {
     let m = answers.num_labels();
+    let k = answers.num_workers();
     let EmWorkspace {
         assignment,
         confusions,
@@ -144,6 +309,36 @@ pub(crate) fn maximization_step_ws(answers: &AnswerSet, ws: &mut EmWorkspace, al
         log_confusions,
         ..
     } = ws;
+    if crate::parblock::should_parallelize(k, crate::parblock::PAR_MIN_WORKERS) {
+        let assignment: &Matrix = assignment;
+        let block = crate::parblock::BLOCK_WORKERS;
+        let tasks: Vec<(usize, &mut [ConfusionMatrix], &mut [f64])> = confusions
+            .chunks_mut(block)
+            .zip(log_confusions.chunks_mut(block * m * m))
+            .enumerate()
+            .map(|(i, (confs, logs))| (i * block, confs, logs))
+            .collect();
+        rayon::run_scoped_tasks(
+            tasks,
+            crate::parblock::em_threads(),
+            |(first, confs, logs)| {
+                let mut counts = Matrix::zeros(m, m);
+                for (j, confusion) in confs.iter_mut().enumerate() {
+                    m_step_worker(
+                        answers,
+                        WorkerId(first + j),
+                        assignment,
+                        &mut counts,
+                        confusion,
+                        alpha,
+                        m,
+                    );
+                    refresh_worker_logs(logs, confusion, j, m);
+                }
+            },
+        );
+        return;
+    }
     for w in answers.workers() {
         let confusion = &mut confusions[w.index()];
         m_step_worker(answers, w, assignment, counts, confusion, alpha, m);

@@ -24,6 +24,7 @@ pub mod iem;
 pub mod init;
 pub mod integration;
 pub mod majority;
+pub mod parblock;
 pub mod workspace;
 
 pub use config::EmConfig;
@@ -33,6 +34,7 @@ pub use iem::{moved_rows, IncrementalEm};
 pub use init::InitStrategy;
 pub use integration::{aggregate_combined, ExpertIntegration};
 pub use majority::MajorityVoting;
+pub use parblock::{em_threads, set_em_threads};
 pub use workspace::{with_workspace, EmWorkspace};
 
 use crowdval_model::{

@@ -67,6 +67,13 @@ pub struct EmWorkspace {
     pub(crate) changed_objects: Vec<ObjectId>,
     pub(crate) next_changed: Vec<ObjectId>,
     pub(crate) dirty_workers: Vec<WorkerId>,
+    /// Scratch for the delta path's blocked-parallel row recomputation: the
+    /// object list of the current scoped sweep and the freshly computed rows
+    /// (`scope_objects.len() × labels`), applied serially afterwards. Sized
+    /// on demand — they only grow above the parallel gate, so the small-corpus
+    /// zero-allocation property is untouched.
+    pub(crate) scope_objects: Vec<ObjectId>,
+    pub(crate) scope_rows: Vec<f64>,
     /// Allocation-free statistics: EM iterations run and assignment rows
     /// recomputed since the last [`EmWorkspace::reset_stats`] (the bench
     /// reports these as the work the delta path avoided).
@@ -103,6 +110,8 @@ impl EmWorkspace {
             changed_objects: Vec::new(),
             next_changed: Vec::new(),
             dirty_workers: Vec::new(),
+            scope_objects: Vec::new(),
+            scope_rows: Vec::new(),
             stat_iterations: 0,
             stat_rows_recomputed: 0,
         }

@@ -62,7 +62,7 @@ pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProc
 pub use scoring::{LazySelection, ScoringContext, ScoringEngine, ScoringMode};
 pub use session::{SessionUpdate, ValidationSession, ValidationSessionBuilder};
 pub use shortlist::EntropyShortlist;
-pub use snapshot::{SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
+pub use snapshot::{SessionDelta, SessionEvent, SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,
     StrategyKind, StrategyState, UncertaintyDriven, ValidationObservation, WorkerDriven,

@@ -33,7 +33,7 @@ use crate::metrics::{ValidationStep, ValidationTrace};
 use crate::process::{ExpertSource, ProcessConfig};
 use crate::scoring::ScoringContext;
 use crate::shortlist::EntropyShortlist;
-use crate::snapshot::SessionSnapshot;
+use crate::snapshot::{SessionDelta, SessionEvent, SessionSnapshot};
 use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
 use crowdval_aggregation::Aggregator;
 use crowdval_model::{
@@ -273,6 +273,20 @@ pub struct ValidationSession {
     /// Corpus size (visible answers) at the last *cold* aggregation — the
     /// doubling trigger for re-anchoring (see [`ValidationSession::ingest`]).
     answers_at_last_cold: usize,
+    /// Write-ahead log for incremental checkpoints: `None` until
+    /// [`ValidationSession::enable_delta_log`]. Interior mutability because
+    /// taking a full snapshot (`&self`) re-anchors the log. Never serialized
+    /// — a delta is only meaningful next to the full snapshot that anchors
+    /// it, and a restored session starts with the log off.
+    wal: RefCell<Option<SessionWal>>,
+}
+
+/// The in-memory write-ahead log backing [`ValidationSession::delta_snapshot`].
+#[derive(Debug)]
+struct SessionWal {
+    anchor_iteration: usize,
+    anchor_votes_ingested: usize,
+    events: Vec<SessionEvent>,
 }
 
 impl ValidationSession {
@@ -320,6 +334,7 @@ impl ValidationSession {
             iteration: 0,
             votes_ingested: 0,
             answers_at_last_cold,
+            wal: RefCell::new(None),
         }
     }
 
@@ -368,6 +383,12 @@ impl ValidationSession {
         let prev_objects = self.answers.num_objects();
         let prev_workers = self.answers.num_workers();
 
+        // Batch-size capacity hint: one arena/mirror reservation up front
+        // instead of chunk-at-a-time growth while the loop below records
+        // `votes.len()` arrivals into both copies.
+        self.answers.reserve_answers(votes.len());
+        self.active_answers.reserve_answers(votes.len());
+
         let mut touched: Vec<ObjectId> = Vec::with_capacity(votes.len());
         let mut batch_votes: Vec<BatchVote> = Vec::with_capacity(votes.len());
         for &vote in votes {
@@ -391,6 +412,13 @@ impl ValidationSession {
         touched.sort();
         touched.dedup();
         self.votes_ingested += votes.len();
+
+        // Patch the compact CSR mirrors once per batch, so the
+        // re-aggregation below streams flat rows instead of chasing the
+        // paged chunk chains (rows dirtied after this point simply fall
+        // back to the chains until the next batch).
+        self.answers.sync_compact_views();
+        self.active_answers.sync_compact_views();
 
         let num_objects = self.answers.num_objects();
         self.expert.ensure_domain(num_objects);
@@ -486,6 +514,12 @@ impl ValidationSession {
         // scores by far less than the lazy loop's stale-bound margin (the
         // vote re-weights one worker's confusion row by `O(1/answers)`).
         let guidance_invalidated = self.refresh_guidance_cache(moved.as_deref(), None);
+
+        // Delta log: the empty-batch early return above mutates nothing, so
+        // only batches that actually landed are recorded.
+        self.log_event(|| SessionEvent::Ingest {
+            votes: votes.to_vec(),
+        });
 
         Ok(SessionUpdate {
             votes_ingested: votes.len(),
@@ -603,6 +637,18 @@ impl ValidationSession {
     /// The full (unfiltered) answer set ingested so far.
     pub fn answers(&self) -> &AnswerSet {
         &self.answers
+    }
+
+    /// Measured heap bytes of the session's answer storage: paged arenas,
+    /// compact CSR mirrors and tombstone masks, for both the unmasked
+    /// corpus and the masked active view.
+    pub fn memory_bytes(&self) -> usize {
+        self.answers.matrix().memory_footprint().total_bytes()
+            + self
+                .active_answers
+                .matrix()
+                .memory_footprint()
+                .total_bytes()
     }
 
     /// The expert validations collected so far.
@@ -736,6 +782,11 @@ impl ValidationSession {
         if self.config.guidance_cache {
             self.last_guidance = self.guidance.get_mut().last_step();
         }
+        // Delta log: a selection validates nothing but advances the
+        // strategy's RNG streams, so it must replay; the recorded pick is
+        // also the replay integrity check. (The empty-candidates early
+        // return above consults no strategy and is not logged.)
+        self.log_event(|| SessionEvent::Select { picked });
         picked
     }
 
@@ -833,9 +884,11 @@ impl ValidationSession {
         self.refresh_guidance_cache(moved.as_deref(), Some(&[object]));
 
         self.record_step(object, label, strategy_kind, error_rate);
+        self.log_event(|| SessionEvent::Integrate { object, label });
 
         // Confirmation check for erroneous validations (§5.5), fanned out
         // through the scoring engine like every other hypothesis sweep.
+        // (Read-only and deterministic, so logging above it is safe.)
         Ok(match self.config.confirmation_check {
             Some(check) if check.is_due(self.iteration) => {
                 check.flag_suspicious_in(&self.scoring_context())
@@ -931,6 +984,9 @@ impl ValidationSession {
             // (they can diverge in legacy §5.3 mode, where the detector owns
             // the mask and the ledger only observes).
             self.trust.set_excluded(worker, excluded);
+            // Logged even though the mask did not flip: the ledger-flag
+            // alignment above is a mutation the replay must reproduce.
+            self.log_event(|| SessionEvent::SetWorkerExcluded { worker, excluded });
             return Ok(false);
         }
         self.trust.set_excluded(worker, excluded);
@@ -945,6 +1001,7 @@ impl ValidationSession {
         self.handler.apply_exclusions(&mut self.active_answers);
         self.reanchor_cold();
         self.refresh_guidance_cache(None, None);
+        self.log_event(|| SessionEvent::SetWorkerExcluded { worker, excluded });
         Ok(true)
     }
 
@@ -1005,6 +1062,7 @@ impl ValidationSession {
             .as_ref()
             .map_or(StrategyKind::Hybrid, |s| s.last_kind());
         self.record_step(object, label, kind, error_rate);
+        self.log_event(|| SessionEvent::Revalidate { object, label });
         Ok(())
     }
 
@@ -1092,7 +1150,7 @@ impl ValidationSession {
             .ok_or(ModelError::SnapshotUnsupported {
                 component: "selection strategy",
             })?;
-        Ok(SessionSnapshot {
+        let snapshot = SessionSnapshot {
             format_version: crate::snapshot::SNAPSHOT_FORMAT_VERSION,
             answers: self.answers.clone(),
             expert: self.expert.clone(),
@@ -1108,7 +1166,17 @@ impl ValidationSession {
             answers_at_last_cold: self.answers_at_last_cold,
             aggregator,
             strategy,
-        })
+        };
+        // This full snapshot is the new anchor: deltas taken from here on
+        // describe changes relative to it, so the log restarts empty.
+        // (Interior mutability: re-anchoring is the one place the delta log
+        // mutates under `&self`.)
+        if let Some(wal) = self.wal.borrow_mut().as_mut() {
+            wal.anchor_iteration = self.iteration;
+            wal.anchor_votes_ingested = self.votes_ingested;
+            wal.events.clear();
+        }
+        Ok(snapshot)
     }
 
     /// Rebuilds a session from a [`SessionSnapshot`], validating that the
@@ -1234,7 +1302,133 @@ impl ValidationSession {
             iteration: snapshot.iteration,
             votes_ingested: snapshot.votes_ingested,
             answers_at_last_cold: snapshot.answers_at_last_cold,
+            wal: RefCell::new(None),
         })
+    }
+
+    /// Restores the anchoring full snapshot, then replays the delta's event
+    /// log through the same public entry points the live session used —
+    /// ingest batches, selections (advancing the strategy's RNG streams),
+    /// validations and exclusion overrides — yielding a session
+    /// **bit-identical** to the one the delta was taken from.
+    ///
+    /// Fails with a typed error when the delta does not anchor at this
+    /// snapshot, or when a replayed selection disagrees with the recorded
+    /// pick (which would mean snapshot and delta are from different runs).
+    /// The restored session starts with its own delta log disabled.
+    pub fn restore_with_delta(
+        snapshot: SessionSnapshot,
+        delta: SessionDelta,
+    ) -> Result<ValidationSession, ModelError> {
+        if delta.format_version != crate::snapshot::SNAPSHOT_FORMAT_VERSION {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "delta format v{} not supported (this build reads v{})",
+                    delta.format_version,
+                    crate::snapshot::SNAPSHOT_FORMAT_VERSION
+                ),
+            });
+        }
+        let mut session = Self::restore(snapshot)?;
+        if delta.anchor_iteration != session.iteration
+            || delta.anchor_votes_ingested != session.votes_ingested
+        {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "delta anchored at iteration {} / {} votes does not match the \
+                     snapshot's iteration {} / {} votes",
+                    delta.anchor_iteration,
+                    delta.anchor_votes_ingested,
+                    session.iteration,
+                    session.votes_ingested
+                ),
+            });
+        }
+        for event in delta.events {
+            match event {
+                SessionEvent::Ingest { votes } => {
+                    session.ingest(&votes)?;
+                }
+                SessionEvent::Select { picked } => {
+                    let got = session.select_next();
+                    if got != picked {
+                        return Err(ModelError::InvalidSnapshot {
+                            message: format!(
+                                "delta replay diverged: select_next picked {got:?}, \
+                                 the log recorded {picked:?}"
+                            ),
+                        });
+                    }
+                }
+                SessionEvent::Integrate { object, label } => {
+                    session.integrate(object, label)?;
+                }
+                SessionEvent::Revalidate { object, label } => {
+                    session.revalidate(object, label)?;
+                }
+                SessionEvent::SetWorkerExcluded { worker, excluded } => {
+                    session.set_worker_excluded(worker, excluded)?;
+                }
+            }
+        }
+        Ok(session)
+    }
+
+    // -----------------------------------------------------------------------
+    // Incremental checkpoints (delta log)
+    // -----------------------------------------------------------------------
+
+    /// Turns on the write-ahead log behind [`ValidationSession::delta_snapshot`],
+    /// anchored at the session's current state. Every subsequent full
+    /// [`ValidationSession::snapshot`] re-anchors the log (clearing it), so
+    /// the usual cadence is: enable once, take a full snapshot, then take
+    /// cheap deltas until the next full snapshot.
+    ///
+    /// The log costs `O(events since anchor)` memory — bounded by the full
+    ///-snapshot cadence, not by corpus size.
+    pub fn enable_delta_log(&mut self) {
+        *self.wal.get_mut() = Some(SessionWal {
+            anchor_iteration: self.iteration,
+            anchor_votes_ingested: self.votes_ingested,
+            events: Vec::new(),
+        });
+    }
+
+    /// Disables the delta log and drops any pending events.
+    pub fn disable_delta_log(&mut self) {
+        *self.wal.get_mut() = None;
+    }
+
+    /// Whether the delta log is currently recording.
+    pub fn delta_log_enabled(&self) -> bool {
+        self.wal.borrow().is_some()
+    }
+
+    /// An incremental checkpoint: the events applied since the anchoring
+    /// full snapshot, replayable via
+    /// [`ValidationSession::restore_with_delta`]. `O(events)` — no corpus
+    /// clone, which is what makes checkpoint stalls flat at million-object
+    /// scale. Fails when the delta log is not enabled.
+    pub fn delta_snapshot(&self) -> Result<SessionDelta, ModelError> {
+        let wal = self.wal.borrow();
+        let Some(wal) = wal.as_ref() else {
+            return Err(ModelError::SnapshotUnsupported {
+                component: "delta log (call enable_delta_log first)",
+            });
+        };
+        Ok(SessionDelta {
+            format_version: crate::snapshot::SNAPSHOT_FORMAT_VERSION,
+            anchor_iteration: wal.anchor_iteration,
+            anchor_votes_ingested: wal.anchor_votes_ingested,
+            events: wal.events.clone(),
+        })
+    }
+
+    /// Appends an event to the delta log, if it is recording.
+    fn log_event(&mut self, event: impl FnOnce() -> SessionEvent) {
+        if let Some(wal) = self.wal.get_mut().as_mut() {
+            wal.events.push(event());
+        }
     }
 }
 

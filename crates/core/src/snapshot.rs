@@ -28,7 +28,10 @@ use crate::metrics::ValidationTrace;
 use crate::process::ProcessConfig;
 use crate::strategy::StrategyState;
 use crowdval_aggregation::AggregatorState;
-use crowdval_model::{AnswerSet, ExpertValidation, GroundTruth, ProbabilisticAnswerSet};
+use crowdval_model::{
+    AnswerSet, ExpertValidation, GroundTruth, LabelId, ObjectId, ProbabilisticAnswerSet, Vote,
+    WorkerId,
+};
 use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler, WorkerTrustLedger};
 use serde::{Deserialize, Serialize};
 
@@ -38,8 +41,10 @@ use serde::{Deserialize, Serialize};
 /// switch and [`crate::metrics::ValidationStep`] the per-step guidance
 /// telemetry. v3: [`ProcessConfig`] gained the online-defense `trust`
 /// thresholds and the snapshot the worker-trust ledger (evidence counters,
-/// tombstone flags and defense telemetry).
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 3;
+/// tombstone flags and defense telemetry). v4: incremental checkpoints —
+/// [`SessionDelta`] (an event log replayed on top of an anchoring full
+/// snapshot) joins the format; the full-snapshot layout itself is unchanged.
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
 
 /// A complete, serializable checkpoint of a validation session. Produce one
 /// with [`crate::session::ValidationSession::snapshot`], resume with
@@ -79,6 +84,52 @@ pub struct SessionSnapshot {
     pub aggregator: AggregatorState,
     /// The selection strategy's configuration + mutable state.
     pub strategy: StrategyState,
+}
+
+/// One replayable session mutation, recorded in application order by the
+/// session's write-ahead log ([`crate::session::ValidationSession::enable_delta_log`]).
+///
+/// Replay goes through the same public entry points the live session used,
+/// so every derived state — EM trajectories, strategy RNG streams, trust
+/// ledger evidence — evolves identically. `Select` is logged too: a
+/// selection advances strategy RNG state even though it validates nothing,
+/// and the recorded pick doubles as a replay integrity check.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum SessionEvent {
+    /// A [`crate::session::ValidationSession::ingest`] batch.
+    Ingest { votes: Vec<Vote> },
+    /// A [`crate::session::ValidationSession::select_next`] call that
+    /// consulted the strategy, with the object it picked.
+    Select { picked: Option<ObjectId> },
+    /// A [`crate::session::ValidationSession::integrate`] call.
+    Integrate { object: ObjectId, label: LabelId },
+    /// A [`crate::session::ValidationSession::revalidate`] call.
+    Revalidate { object: ObjectId, label: LabelId },
+    /// A [`crate::session::ValidationSession::set_worker_excluded`] override.
+    SetWorkerExcluded { worker: WorkerId, excluded: bool },
+}
+
+/// An incremental checkpoint: the events applied since the anchoring full
+/// [`SessionSnapshot`] was taken. Produce one with
+/// [`crate::session::ValidationSession::delta_snapshot`]; resume with
+/// [`crate::session::ValidationSession::restore_with_delta`], which replays
+/// the events on the restored anchor and yields a session **bit-identical**
+/// to the live one — same posterior floats, same trace, same RNG streams.
+///
+/// Taking a delta is `O(events since anchor)` instead of the full
+/// snapshot's `O(corpus)`: at million-object scale that turns a checkpoint
+/// stall into a cheap log clone. The anchor counters guard against replaying
+/// a delta onto the wrong snapshot (a typed error, never silent divergence).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionDelta {
+    /// Snapshot layout version ([`SNAPSHOT_FORMAT_VERSION`]).
+    pub format_version: u32,
+    /// `iteration` of the anchoring full snapshot.
+    pub anchor_iteration: usize,
+    /// `votes_ingested` of the anchoring full snapshot.
+    pub anchor_votes_ingested: usize,
+    /// Events applied since the anchor, in order.
+    pub events: Vec<SessionEvent>,
 }
 
 #[cfg(test)]

@@ -34,6 +34,7 @@
 //! excluded workers' votes were gone. Exclusion and re-inclusion are `O(1)`
 //! plus a row-length count update — no `O(answers)` copy per excluded worker.
 
+use crate::csr::CompactAdjacency;
 use crate::error::ModelError;
 use crate::ids::{LabelId, ObjectId, WorkerId};
 use serde::{Deserialize, Serialize, Value};
@@ -83,14 +84,14 @@ impl RowRef {
 /// shared chunk slab. Appends amortize through the slab `Vec`; chunks freed
 /// by removals are recycled through a free list.
 #[derive(Debug, Clone, Default)]
-struct PagedAdjacency {
+pub(crate) struct PagedAdjacency {
     rows: Vec<RowRef>,
     chunks: Vec<Chunk>,
     free: Vec<u32>,
 }
 
 impl PagedAdjacency {
-    fn with_rows(rows: usize) -> Self {
+    pub(crate) fn with_rows(rows: usize) -> Self {
         Self {
             rows: vec![RowRef::EMPTY; rows],
             chunks: Vec::new(),
@@ -98,7 +99,7 @@ impl PagedAdjacency {
         }
     }
 
-    fn num_rows(&self) -> usize {
+    pub(crate) fn num_rows(&self) -> usize {
         self.rows.len()
     }
 
@@ -108,8 +109,23 @@ impl PagedAdjacency {
         }
     }
 
-    fn row_len(&self, row: usize) -> usize {
+    pub(crate) fn row_len(&self, row: usize) -> usize {
         self.rows.get(row).map_or(0, |r| r.len as usize)
+    }
+
+    /// Reserves slab capacity for roughly `additional` more pairs. A hint:
+    /// worst-case chunk fragmentation can still allocate past it, but batch
+    /// ingestion stops paying per-doubling `Vec` growth mid-loop.
+    fn reserve_pairs(&mut self, additional: usize) {
+        let chunks = additional.div_ceil(CHUNK_CAP);
+        self.chunks.reserve(chunks.saturating_sub(self.free.len()));
+    }
+
+    /// Heap bytes held by the arena (capacities, not lengths).
+    fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<RowRef>()
+            + self.chunks.capacity() * std::mem::size_of::<Chunk>()
+            + self.free.capacity() * std::mem::size_of::<u32>()
     }
 
     fn alloc_chunk(&mut self) -> u32 {
@@ -167,7 +183,7 @@ impl PagedAdjacency {
     }
 
     /// Inserts or overwrites a pair; returns `true` when the pair is new.
-    fn set(&mut self, row: usize, id: u32, label: u32) -> bool {
+    pub(crate) fn set(&mut self, row: usize, id: u32, label: u32) -> bool {
         if let Some((chunk, pos)) = self.find(row, id) {
             self.chunks[chunk as usize].pairs[pos as usize].1 = label;
             false
@@ -180,7 +196,7 @@ impl PagedAdjacency {
     /// Removes a pair by id (swap-remove with the row's last entry, so the
     /// relative order of the remaining entries may change). Emptied tail
     /// chunks are unlinked and recycled.
-    fn remove(&mut self, row: usize, id: u32) -> Option<u32> {
+    pub(crate) fn remove(&mut self, row: usize, id: u32) -> Option<u32> {
         let (chunk, pos) = self.find(row, id)?;
         let label = self.chunks[chunk as usize].pairs[pos as usize].1;
         let tail = self.rows[row].tail;
@@ -206,7 +222,7 @@ impl PagedAdjacency {
         Some(label)
     }
 
-    fn row_pairs(&self, row: usize) -> PairIter<'_> {
+    pub(crate) fn row_pairs(&self, row: usize) -> PairIter<'_> {
         PairIter {
             chunks: &self.chunks,
             chunk: self.rows.get(row).map_or(NONE_CHUNK, |r| r.head),
@@ -221,7 +237,7 @@ impl PagedAdjacency {
 
 /// Chain-walking iterator over a row's raw `(id, label)` pairs.
 #[derive(Debug, Clone)]
-struct PairIter<'a> {
+pub(crate) struct PairIter<'a> {
     chunks: &'a [Chunk],
     chunk: u32,
     pos: u32,
@@ -248,11 +264,40 @@ impl Iterator for PairIter<'_> {
     }
 }
 
+/// A row's raw `(id, label)` pairs, streamed either from the flat compact
+/// mirror (when the row is clean) or from the paged chunk chain. Both
+/// variants yield the exact same pairs in the exact same (arrival) order —
+/// the compact mirror is rewritten *from* the chain — so downstream float
+/// work is bitwise independent of which variant serves the row.
+#[derive(Debug, Clone)]
+enum RowPairs<'a> {
+    Flat(std::slice::Iter<'a, (u32, u32)>),
+    Chain(PairIter<'a>),
+}
+
+impl RowPairs<'_> {
+    fn empty() -> RowPairs<'static> {
+        RowPairs::Flat([].iter())
+    }
+}
+
+impl Iterator for RowPairs<'_> {
+    type Item = (u32, u32);
+
+    #[inline]
+    fn next(&mut self) -> Option<(u32, u32)> {
+        match self {
+            RowPairs::Flat(iter) => iter.next().copied(),
+            RowPairs::Chain(iter) => iter.next(),
+        }
+    }
+}
+
 /// Iterator over the `(worker, label)` votes of one object, in arrival
 /// order, with tombstoned workers filtered out.
 #[derive(Debug, Clone)]
 pub struct ObjectVotes<'a> {
-    pairs: PairIter<'a>,
+    pairs: RowPairs<'a>,
     excluded: &'a [bool],
 }
 
@@ -274,7 +319,7 @@ impl Iterator for ObjectVotes<'_> {
 /// order. Empty when the worker is tombstoned.
 #[derive(Debug, Clone)]
 pub struct WorkerVotes<'a> {
-    pairs: PairIter<'a>,
+    pairs: RowPairs<'a>,
 }
 
 impl Iterator for WorkerVotes<'_> {
@@ -288,14 +333,53 @@ impl Iterator for WorkerVotes<'_> {
     }
 }
 
+/// Heap-memory breakdown of an [`AnswerMatrix`] — see
+/// [`AnswerMatrix::memory_footprint`]. All figures are capacities (bytes the
+/// allocator actually holds), not lengths.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MatrixMemoryFootprint {
+    /// Paged arena slabs (chunks + row tables + free lists), both views.
+    pub paged_bytes: usize,
+    /// Compact CSR mirrors (pair slabs + row tables + dirty tracking), both
+    /// views.
+    pub compact_bytes: usize,
+    /// The worker tombstone mask.
+    pub mask_bytes: usize,
+}
+
+impl MatrixMemoryFootprint {
+    /// Total heap bytes across all components.
+    pub fn total_bytes(&self) -> usize {
+        self.paged_bytes + self.compact_bytes + self.mask_bytes
+    }
+}
+
 /// Sparse `objects × workers` matrix of label answers over paged arenas, with
 /// a per-worker tombstone mask for cheap exclusion (see the module docs).
+///
+/// ## Compact CSR mirrors
+///
+/// Next to the authoritative paged arenas the matrix maintains derived flat
+/// CSR mirrors of both views ([`crate::csr`]): mutations mark the touched
+/// rows dirty, [`AnswerMatrix::sync_compact_views`] patches them back from
+/// the chains at batch boundaries, and every accessor transparently streams
+/// a clean mirror row as a sequential slice (falling back to the chunk chain
+/// for stale rows). The two storages always yield identical pair sequences,
+/// so which one serves a row is invisible — down to float summation order —
+/// to every reader.
 #[derive(Debug, Clone)]
 pub struct AnswerMatrix {
     /// For every object: chain of `(worker, label)` pairs in arrival order.
     by_object: PagedAdjacency,
     /// For every worker: chain of `(object, label)` pairs in arrival order.
     by_worker: PagedAdjacency,
+    /// Flat CSR mirror of `by_object` (derived; never serialized).
+    compact_by_object: CompactAdjacency,
+    /// Flat CSR mirror of `by_worker` (derived; never serialized).
+    compact_by_worker: CompactAdjacency,
+    /// Whether accessors may serve rows from the compact mirrors. Dirty
+    /// tracking continues while disabled, so re-enabling just needs a sync.
+    compact_enabled: bool,
     /// Tombstone mask: `true` marks a worker whose answers are hidden.
     excluded: Vec<bool>,
     /// All recorded answers, tombstoned ones included.
@@ -311,6 +395,9 @@ impl AnswerMatrix {
         Self {
             by_object: PagedAdjacency::with_rows(num_objects),
             by_worker: PagedAdjacency::with_rows(num_workers),
+            compact_by_object: CompactAdjacency::with_rows(num_objects),
+            compact_by_worker: CompactAdjacency::with_rows(num_workers),
+            compact_enabled: true,
             excluded: vec![false; num_workers],
             recorded_answers: 0,
             hidden_answers: 0,
@@ -353,6 +440,8 @@ impl AnswerMatrix {
     pub fn ensure_shape(&mut self, num_objects: usize, num_workers: usize) {
         self.by_object.ensure_rows(num_objects);
         self.by_worker.ensure_rows(num_workers);
+        self.compact_by_object.ensure_rows(num_objects);
+        self.compact_by_worker.ensure_rows(num_workers);
         if num_workers > self.excluded.len() {
             self.excluded.resize(num_workers, false);
         }
@@ -391,6 +480,8 @@ impl AnswerMatrix {
             self.by_worker
                 .set(worker.index(), object.index() as u32, label.index() as u32);
         }
+        self.compact_by_object.mark_dirty(object.index());
+        self.compact_by_worker.mark_dirty(worker.index());
         Ok(())
     }
 
@@ -405,6 +496,8 @@ impl AnswerMatrix {
         if self.excluded[worker.index()] {
             self.hidden_answers -= 1;
         }
+        self.compact_by_object.mark_dirty(object.index());
+        self.compact_by_worker.mark_dirty(worker.index());
         Some(LabelId(label as usize))
     }
 
@@ -419,11 +512,28 @@ impl AnswerMatrix {
             .map(|l| LabelId(l as usize))
     }
 
+    /// Streams a row from the clean compact mirror when possible, falling
+    /// back to the paged chain. Identical pair sequence either way.
+    #[inline]
+    fn row_pairs_view<'a>(
+        &self,
+        compact: &'a CompactAdjacency,
+        paged: &'a PagedAdjacency,
+        row: usize,
+    ) -> RowPairs<'a> {
+        if self.compact_enabled {
+            if let Some(slice) = compact.row_slice(row) {
+                return RowPairs::Flat(slice.iter());
+            }
+        }
+        RowPairs::Chain(paged.row_pairs(row))
+    }
+
     /// All `(worker, label)` answers recorded for an object, in arrival
     /// order, skipping tombstoned workers.
     pub fn answers_for_object(&self, object: ObjectId) -> ObjectVotes<'_> {
         ObjectVotes {
-            pairs: self.by_object.row_pairs(object.index()),
+            pairs: self.row_pairs_view(&self.compact_by_object, &self.by_object, object.index()),
             excluded: &self.excluded,
         }
     }
@@ -432,15 +542,100 @@ impl AnswerMatrix {
     /// Empty when the worker is tombstoned.
     pub fn answers_for_worker(&self, worker: WorkerId) -> WorkerVotes<'_> {
         let pairs = if self.excluded.get(worker.index()).copied().unwrap_or(false) {
-            PairIter {
-                chunks: &self.by_worker.chunks,
-                chunk: NONE_CHUNK,
-                pos: 0,
-            }
+            RowPairs::empty()
         } else {
-            self.by_worker.row_pairs(worker.index())
+            self.row_pairs_view(&self.compact_by_worker, &self.by_worker, worker.index())
         };
         WorkerVotes { pairs }
+    }
+
+    // -----------------------------------------------------------------------
+    // Compact CSR mirrors (million-scale sequential scans)
+    // -----------------------------------------------------------------------
+
+    /// Patches the compact mirrors back in sync with the paged arenas
+    /// (rewriting dirty rows from the chains, rebuilding on garbage — see
+    /// [`crate::csr`]). Call at ingest-batch boundaries; O(dirty pairs)
+    /// amortized. A no-op when the mirrors are current or disabled.
+    pub fn sync_compact_views(&mut self) {
+        if !self.compact_enabled {
+            return;
+        }
+        self.compact_by_object.sync(&self.by_object);
+        self.compact_by_worker.sync(&self.by_worker);
+    }
+
+    /// Whether any mirror row is stale (i.e. [`Self::sync_compact_views`]
+    /// would do work).
+    pub fn compact_views_dirty(&self) -> bool {
+        self.compact_by_object.has_dirty_rows() || self.compact_by_worker.has_dirty_rows()
+    }
+
+    /// Enables or disables serving rows from the compact mirrors. Dirty
+    /// tracking continues while disabled (re-enabling needs only a sync);
+    /// intended for A/B benchmarking of the paged arm.
+    pub fn set_compact_enabled(&mut self, enabled: bool) {
+        self.compact_enabled = enabled;
+    }
+
+    /// Whether accessors may serve rows from the compact mirrors.
+    pub fn compact_enabled(&self) -> bool {
+        self.compact_enabled
+    }
+
+    /// The object's raw `(worker, label)` row as a flat slice — `None` when
+    /// the mirror row is stale or mirrors are disabled (fall back to
+    /// [`Self::answers_for_object`]). The slice *includes* tombstoned
+    /// workers' pairs; filter with [`Self::excluded_mask`] to match the
+    /// iterator's semantics.
+    #[inline]
+    pub fn object_row_slice(&self, object: ObjectId) -> Option<&[(u32, u32)]> {
+        if !self.compact_enabled {
+            return None;
+        }
+        self.compact_by_object.row_slice(object.index())
+    }
+
+    /// The worker's raw `(object, label)` row as a flat slice — `None` when
+    /// the mirror row is stale or mirrors are disabled. Tombstoned workers
+    /// get `Some(&[])`, matching [`Self::answers_for_worker`].
+    #[inline]
+    pub fn worker_row_slice(&self, worker: WorkerId) -> Option<&[(u32, u32)]> {
+        if !self.compact_enabled {
+            return None;
+        }
+        if self.excluded.get(worker.index()).copied().unwrap_or(false) {
+            return Some(&[]);
+        }
+        self.compact_by_worker.row_slice(worker.index())
+    }
+
+    /// The worker tombstone mask, indexed by worker id.
+    #[inline]
+    pub fn excluded_mask(&self) -> &[bool] {
+        &self.excluded
+    }
+
+    /// Reserves arena and mirror capacity for roughly `additional` more
+    /// answers. A batch-size hint, not a guarantee: worst-case chunk
+    /// fragmentation can still allocate past it, but typical batch ingestion
+    /// stops paying incremental `Vec` growth mid-loop.
+    pub fn reserve_answers(&mut self, additional: usize) {
+        self.by_object.reserve_pairs(additional);
+        self.by_worker.reserve_pairs(additional);
+        self.compact_by_object.reserve_pairs(additional);
+        self.compact_by_worker.reserve_pairs(additional);
+    }
+
+    /// Measured heap footprint of the matrix: paged arena slabs, compact
+    /// mirrors and the tombstone mask, by allocator capacity.
+    pub fn memory_footprint(&self) -> MatrixMemoryFootprint {
+        MatrixMemoryFootprint {
+            paged_bytes: self.by_object.heap_bytes() + self.by_worker.heap_bytes(),
+            compact_bytes: self.compact_by_object.heap_bytes()
+                + self.compact_by_worker.heap_bytes(),
+            mask_bytes: self.excluded.capacity() * std::mem::size_of::<bool>(),
+        }
     }
 
     /// Number of visible answers given for an object.
@@ -693,9 +888,16 @@ impl Deserialize for AnswerMatrix {
                  ({recorded_answers} by object, {worker_total} by worker)"
             )));
         }
+        // The compact mirrors are derived state: start them fully stale and
+        // let the first sync patch them from the restored arenas.
+        let compact_by_object = CompactAdjacency::stale_for(&by_object);
+        let compact_by_worker = CompactAdjacency::stale_for(&by_worker);
         let mut matrix = AnswerMatrix {
             by_object,
             by_worker,
+            compact_by_object,
+            compact_by_worker,
+            compact_enabled: true,
             excluded: vec![false; num_workers],
             recorded_answers,
             hidden_answers: 0,
@@ -929,6 +1131,133 @@ mod tests {
             let b: Vec<_> = restored.answers_for_worker(WorkerId(w)).collect();
             assert_eq!(a, b, "worker {w} row order changed");
         }
+    }
+
+    /// Interleaved stream large enough to spill chunks in both views.
+    fn interleaved(objects: usize, workers: usize) -> AnswerMatrix {
+        let mut m = AnswerMatrix::new(objects, workers);
+        for i in 0..objects * 3 {
+            let o = (i * 7) % objects;
+            let w = (i * 11) % workers;
+            m.set_answer(ObjectId(o), WorkerId(w), LabelId(i % 3))
+                .unwrap();
+        }
+        m
+    }
+
+    fn assert_same_votes(a: &AnswerMatrix, b: &AnswerMatrix) {
+        for o in 0..a.num_objects() {
+            let x: Vec<_> = a.answers_for_object(ObjectId(o)).collect();
+            let y: Vec<_> = b.answers_for_object(ObjectId(o)).collect();
+            assert_eq!(x, y, "object {o} rows diverge");
+        }
+        for w in 0..a.num_workers() {
+            let x: Vec<_> = a.answers_for_worker(WorkerId(w)).collect();
+            let y: Vec<_> = b.answers_for_worker(WorkerId(w)).collect();
+            assert_eq!(x, y, "worker {w} rows diverge");
+        }
+    }
+
+    #[test]
+    fn compact_views_mirror_the_arena_after_sync() {
+        let mut m = interleaved(17, 5);
+        let mut paged_only = m.clone();
+        paged_only.set_compact_enabled(false);
+        m.sync_compact_views();
+        assert!(!m.compact_views_dirty());
+        assert_same_votes(&m, &paged_only);
+        // Every object row is now servable as a flat slice.
+        for o in 0..m.num_objects() {
+            let slice = m.object_row_slice(ObjectId(o)).expect("clean after sync");
+            let chain: Vec<_> = paged_only
+                .answers_for_object(ObjectId(o))
+                .map(|(w, l)| (w.index() as u32, l.index() as u32))
+                .collect();
+            assert_eq!(slice, &chain[..]);
+        }
+    }
+
+    #[test]
+    fn compact_rows_go_stale_on_mutation_and_recover() {
+        let mut m = interleaved(9, 4);
+        m.sync_compact_views();
+        m.set_answer(ObjectId(2), WorkerId(1), LabelId(2)).unwrap();
+        assert!(m.object_row_slice(ObjectId(2)).is_none());
+        assert!(m.worker_row_slice(WorkerId(1)).is_none());
+        // Stale rows fall back to the chain and stay correct.
+        let mut paged_only = m.clone();
+        paged_only.set_compact_enabled(false);
+        assert_same_votes(&m, &paged_only);
+        m.sync_compact_views();
+        assert!(m.object_row_slice(ObjectId(2)).is_some());
+        assert_same_votes(&m, &paged_only);
+        // Removal dirties too.
+        m.remove_answer(ObjectId(2), WorkerId(1));
+        assert!(m.object_row_slice(ObjectId(2)).is_none());
+        m.sync_compact_views();
+        paged_only = m.clone();
+        paged_only.set_compact_enabled(false);
+        assert_same_votes(&m, &paged_only);
+    }
+
+    #[test]
+    fn tombstones_do_not_dirty_compact_views() {
+        let mut m = interleaved(6, 3);
+        m.sync_compact_views();
+        m.set_worker_excluded(WorkerId(1), true);
+        assert!(!m.compact_views_dirty());
+        // Object slices still hold the raw pairs; the mask filters.
+        let raw = m.object_row_slice(ObjectId(0)).unwrap();
+        let filtered: Vec<_> = m.answers_for_object(ObjectId(0)).collect();
+        assert!(raw.len() >= filtered.len());
+        assert!(filtered.iter().all(|&(w, _)| !m.excluded_mask()[w.index()]));
+        // Worker slices honour the tombstone outright.
+        assert_eq!(m.worker_row_slice(WorkerId(1)), Some(&[][..]));
+        m.set_worker_excluded(WorkerId(1), false);
+        assert!(!m.worker_row_slice(WorkerId(1)).unwrap().is_empty());
+    }
+
+    #[test]
+    fn serde_restores_with_stale_mirrors() {
+        let mut m = interleaved(8, 4);
+        m.sync_compact_views();
+        let restored = AnswerMatrix::from_value(&m.to_value()).unwrap();
+        // Mirrors come back stale and recover on the next sync.
+        assert!(restored.compact_views_dirty());
+        let mut restored = restored;
+        restored.sync_compact_views();
+        assert_same_votes(&m, &restored);
+        assert_eq!(m, restored);
+    }
+
+    #[test]
+    fn memory_footprint_tracks_growth() {
+        let mut m = AnswerMatrix::new(4, 4);
+        let empty = m.memory_footprint();
+        for o in 0..4 {
+            for w in 0..4 {
+                m.set_answer(ObjectId(o), WorkerId(w), LabelId(0)).unwrap();
+            }
+        }
+        m.sync_compact_views();
+        let filled = m.memory_footprint();
+        assert!(filled.paged_bytes > empty.paged_bytes);
+        assert!(filled.compact_bytes > empty.compact_bytes);
+        assert_eq!(
+            filled.total_bytes(),
+            filled.paged_bytes + filled.compact_bytes + filled.mask_bytes
+        );
+    }
+
+    #[test]
+    fn reserve_answers_preallocates_capacity() {
+        let mut m = AnswerMatrix::new(2, 2);
+        let before = m.memory_footprint().total_bytes();
+        m.reserve_answers(1024);
+        assert!(m.memory_footprint().total_bytes() > before);
+        m.set_answer(ObjectId(0), WorkerId(0), LabelId(0)).unwrap();
+        m.sync_compact_views();
+        assert_eq!(m.num_answers(), 1);
     }
 
     #[test]

@@ -138,6 +138,26 @@ impl AnswerSet {
         self.matrix.ensure_shape(num_objects, num_workers);
     }
 
+    /// Reserves matrix capacity for roughly `additional` more answers
+    /// (ingest-batch hint; see [`AnswerMatrix::reserve_answers`]).
+    pub fn reserve_answers(&mut self, additional: usize) {
+        self.matrix.reserve_answers(additional);
+    }
+
+    /// Patches the matrix's compact CSR mirrors back in sync with the paged
+    /// arenas (see [`AnswerMatrix::sync_compact_views`]). Call at
+    /// ingest-batch boundaries so the EM kernels stream flat rows.
+    pub fn sync_compact_views(&mut self) {
+        self.matrix.sync_compact_views();
+    }
+
+    /// Enables or disables the compact CSR mirrors (see
+    /// [`AnswerMatrix::set_compact_enabled`]). Mainly for benchmarks and
+    /// equivalence tests that A/B the paged-only path.
+    pub fn set_compact_enabled(&mut self, enabled: bool) {
+        self.matrix.set_compact_enabled(enabled);
+    }
+
     /// Removes worker `w`'s answer for object `o`, returning the label if an
     /// answer was present.
     pub fn remove_answer(&mut self, object: ObjectId, worker: WorkerId) -> Option<LabelId> {

@@ -1,0 +1,312 @@
+//! Compact (CSR-style) adjacency views over the paged arenas.
+//!
+//! The paged arena in [`crate::answer_matrix`] is the *authoritative* store:
+//! appends are O(1) amortized, removals recycle chunks, and rows never move
+//! each other around. Its weakness is traversal at scale — every row walk
+//! chases a chunk chain whose pages land wherever arrival order put them, so
+//! a million-object E-step pays a cache miss per 8-entry chunk plus the
+//! chain metadata on every page.
+//!
+//! [`CompactAdjacency`] is a *derived*, flat mirror of one paged view: one
+//! `(id, label)` pair slab plus a `(start, len, cap)` row table, exactly the
+//! CSR layout the EM kernels want to stream. It is maintained incrementally:
+//!
+//! - **Dirty tracking** — every mutation of a paged row marks the mirror row
+//!   dirty; a dirty row answers [`CompactAdjacency::row_slice`] with `None`
+//!   so readers fall back to the (always-correct) chunk chain.
+//! - **Batch patch** — [`CompactAdjacency::sync`] rewrites each dirty row
+//!   *from the paged chain*, in chain order, so the mirror is
+//!   entry-for-entry identical to the arena by construction (bitwise
+//!   identity of any float work that streams either view). Rows that
+//!   outgrow their capacity relocate to the slab tail with 1.5x slack.
+//! - **Rebuild on garbage** — relocation strands dead capacity; once the
+//!   slab holds more than twice the live pairs (the corpus-doubling rhythm
+//!   of a streaming session) the whole view is repacked in row order, which
+//!   also restores perfect row-major locality for sequential scans.
+//!
+//! The mirror never serializes: snapshots persist the paged arenas (whose
+//! within-row order is the format contract) and a restored matrix starts
+//! with every non-empty row dirty, to be patched on the next sync.
+
+use crate::answer_matrix::PagedAdjacency;
+
+/// Extra slab slack (in pairs) tolerated before a garbage-triggered rebuild;
+/// keeps tiny matrices from rebuilding on every sync.
+const REBUILD_SLACK: usize = 1024;
+
+/// One row of the compact mirror: a `[start, start + len)` window of the
+/// pair slab, with `cap` pairs reserved from `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct CompactRow {
+    start: u32,
+    len: u32,
+    cap: u32,
+}
+
+impl CompactRow {
+    const EMPTY: CompactRow = CompactRow {
+        start: 0,
+        len: 0,
+        cap: 0,
+    };
+}
+
+/// A flat CSR mirror of one [`PagedAdjacency`] view. See the module docs for
+/// the maintenance contract.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct CompactAdjacency {
+    rows: Vec<CompactRow>,
+    /// The pair slab. `rows` windows index into this; slots outside every
+    /// window are garbage awaiting the next rebuild.
+    pairs: Vec<(u32, u32)>,
+    /// Live pairs across all rows (slab length minus garbage and slack).
+    live: usize,
+    /// Rows whose mirror is stale; `dirty_rows` lists them, `dirty` flags
+    /// them for O(1) membership checks.
+    dirty_rows: Vec<u32>,
+    dirty: Vec<bool>,
+}
+
+impl CompactAdjacency {
+    pub(crate) fn with_rows(rows: usize) -> Self {
+        Self {
+            rows: vec![CompactRow::EMPTY; rows],
+            pairs: Vec::new(),
+            live: 0,
+            dirty_rows: Vec::new(),
+            dirty: vec![false; rows],
+        }
+    }
+
+    /// A mirror for an already-populated arena with every non-empty row
+    /// dirty — the deserialization path.
+    pub(crate) fn stale_for(paged: &PagedAdjacency) -> Self {
+        let mut mirror = Self::with_rows(paged.num_rows());
+        for row in 0..paged.num_rows() {
+            if paged.row_len(row) > 0 {
+                mirror.dirty[row] = true;
+                mirror.dirty_rows.push(row as u32);
+            }
+        }
+        mirror
+    }
+
+    pub(crate) fn ensure_rows(&mut self, rows: usize) {
+        if rows > self.rows.len() {
+            self.rows.resize(rows, CompactRow::EMPTY);
+            self.dirty.resize(rows, false);
+        }
+    }
+
+    /// Marks one row stale. O(1); idempotent.
+    #[inline]
+    pub(crate) fn mark_dirty(&mut self, row: usize) {
+        if let Some(flag) = self.dirty.get_mut(row) {
+            if !*flag {
+                *flag = true;
+                self.dirty_rows.push(row as u32);
+            }
+        }
+    }
+
+    /// The row's flat pair window, or `None` while the row is stale (readers
+    /// must fall back to the paged chain).
+    #[inline]
+    pub(crate) fn row_slice(&self, row: usize) -> Option<&[(u32, u32)]> {
+        if *self.dirty.get(row)? {
+            return None;
+        }
+        let r = self.rows[row];
+        Some(&self.pairs[r.start as usize..(r.start + r.len) as usize])
+    }
+
+    pub(crate) fn has_dirty_rows(&self) -> bool {
+        !self.dirty_rows.is_empty()
+    }
+
+    /// Reserves slab capacity for `additional` pairs (ingest-batch hint).
+    pub(crate) fn reserve_pairs(&mut self, additional: usize) {
+        self.pairs.reserve(additional);
+    }
+
+    /// Patches every dirty row from the authoritative arena, then rebuilds
+    /// the whole slab if relocation garbage exceeds the live pair count.
+    pub(crate) fn sync(&mut self, paged: &PagedAdjacency) {
+        if self.dirty_rows.is_empty() {
+            return;
+        }
+        let mut dirty_rows = std::mem::take(&mut self.dirty_rows);
+        for &row in &dirty_rows {
+            let row = row as usize;
+            self.dirty[row] = false;
+            let new_len = paged.row_len(row);
+            let old = self.rows[row];
+            self.live = self.live + new_len - old.len as usize;
+            if new_len as u32 <= old.cap {
+                // Rewrite in place (chain order — the identity contract).
+                let start = old.start as usize;
+                for (slot, pair) in self.pairs[start..start + new_len]
+                    .iter_mut()
+                    .zip(paged.row_pairs(row))
+                {
+                    *slot = pair;
+                }
+                self.rows[row].len = new_len as u32;
+            } else {
+                // Relocate to the slab tail with 1.5x slack; the old window
+                // becomes garbage until the next rebuild.
+                let cap = new_len + new_len / 2;
+                let start = self.pairs.len();
+                self.pairs.extend(paged.row_pairs(row));
+                self.pairs.resize(start + cap, (0, 0));
+                self.rows[row] = CompactRow {
+                    start: start as u32,
+                    len: new_len as u32,
+                    cap: cap as u32,
+                };
+            }
+        }
+        dirty_rows.clear();
+        self.dirty_rows = dirty_rows;
+        if self.pairs.len() > 2 * self.live + REBUILD_SLACK {
+            self.rebuild(paged);
+        }
+    }
+
+    /// Repacks the slab tightly in row order (restores sequential-scan
+    /// locality and drops relocation garbage). All rows must be clean.
+    fn rebuild(&mut self, paged: &PagedAdjacency) {
+        let mut pairs = Vec::with_capacity(self.live);
+        for row in 0..self.rows.len() {
+            let start = pairs.len();
+            pairs.extend(paged.row_pairs(row));
+            let len = (pairs.len() - start) as u32;
+            self.rows[row] = CompactRow {
+                start: start as u32,
+                len,
+                cap: len,
+            };
+        }
+        self.live = pairs.len();
+        self.pairs = pairs;
+    }
+
+    /// Heap bytes held by the mirror (capacities, not lengths).
+    pub(crate) fn heap_bytes(&self) -> usize {
+        self.rows.capacity() * std::mem::size_of::<CompactRow>()
+            + self.pairs.capacity() * std::mem::size_of::<(u32, u32)>()
+            + self.dirty_rows.capacity() * std::mem::size_of::<u32>()
+            + self.dirty.capacity() * std::mem::size_of::<bool>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paged_with(rows: usize, votes: &[(usize, u32, u32)]) -> PagedAdjacency {
+        let mut paged = PagedAdjacency::with_rows(rows);
+        for &(row, id, label) in votes {
+            paged.set(row, id, label);
+        }
+        paged
+    }
+
+    fn assert_mirrors(mirror: &CompactAdjacency, paged: &PagedAdjacency) {
+        for row in 0..paged.num_rows() {
+            let flat: Vec<_> = mirror
+                .row_slice(row)
+                .expect("row should be clean after sync")
+                .to_vec();
+            let chain: Vec<_> = paged.row_pairs(row).collect();
+            assert_eq!(flat, chain, "row {row} diverged from the arena");
+        }
+    }
+
+    #[test]
+    fn dirty_rows_fall_back_until_synced() {
+        let paged = paged_with(2, &[(0, 7, 1), (0, 8, 0)]);
+        let mut mirror = CompactAdjacency::with_rows(2);
+        mirror.mark_dirty(0);
+        assert!(mirror.row_slice(0).is_none());
+        assert_eq!(mirror.row_slice(1), Some(&[][..]));
+        mirror.sync(&paged);
+        assert_mirrors(&mirror, &paged);
+    }
+
+    #[test]
+    fn in_place_patch_and_relocation() {
+        let mut paged = paged_with(3, &[(1, 0, 0)]);
+        let mut mirror = CompactAdjacency::stale_for(&paged);
+        mirror.sync(&paged);
+        assert_mirrors(&mirror, &paged);
+        // Overwrite in place: same length, new label.
+        paged.set(1, 0, 9);
+        mirror.mark_dirty(1);
+        mirror.sync(&paged);
+        assert_mirrors(&mirror, &paged);
+        // Grow past capacity: relocation.
+        for id in 1..40 {
+            paged.set(1, id, id % 3);
+            mirror.mark_dirty(1);
+        }
+        mirror.sync(&paged);
+        assert_mirrors(&mirror, &paged);
+    }
+
+    #[test]
+    fn shrinking_rows_patch_in_place() {
+        let mut paged = paged_with(1, &[(0, 0, 0), (0, 1, 1), (0, 2, 0)]);
+        let mut mirror = CompactAdjacency::stale_for(&paged);
+        mirror.sync(&paged);
+        paged.remove(0, 1);
+        mirror.mark_dirty(0);
+        mirror.sync(&paged);
+        assert_mirrors(&mirror, &paged);
+        assert_eq!(mirror.live, 2);
+    }
+
+    #[test]
+    fn garbage_triggers_a_tight_rebuild() {
+        // Grow one row repeatedly so relocation strands enough garbage to
+        // cross the 2x-live threshold (REBUILD_SLACK forces a large corpus).
+        let mut paged = PagedAdjacency::with_rows(4);
+        let mut mirror = CompactAdjacency::with_rows(4);
+        let mut id = 0u32;
+        for round in 0..14 {
+            for _ in 0..(1 << round.min(10)) {
+                paged.set(0, id, 0);
+                id += 1;
+            }
+            mirror.mark_dirty(0);
+            mirror.sync(&paged);
+        }
+        assert_mirrors(&mirror, &paged);
+        // After a rebuild the slab is tight: no more than live + one row's
+        // relocation slack.
+        assert!(
+            mirror.pairs.len() <= 2 * mirror.live + REBUILD_SLACK,
+            "slab {} vs live {}",
+            mirror.pairs.len(),
+            mirror.live
+        );
+    }
+
+    #[test]
+    fn ensure_rows_keeps_new_rows_clean_and_empty() {
+        let paged = paged_with(1, &[(0, 0, 0)]);
+        let mut mirror = CompactAdjacency::stale_for(&paged);
+        mirror.sync(&paged);
+        mirror.ensure_rows(5);
+        assert_eq!(mirror.row_slice(4), Some(&[][..]));
+        assert_mirrors(&mirror, &paged);
+    }
+
+    #[test]
+    fn heap_bytes_counts_slab_and_tables() {
+        let paged = paged_with(2, &[(0, 0, 0), (1, 1, 1)]);
+        let mut mirror = CompactAdjacency::stale_for(&paged);
+        mirror.sync(&paged);
+        assert!(mirror.heap_bytes() >= 2 * std::mem::size_of::<CompactRow>());
+    }
+}

@@ -60,6 +60,13 @@ impl IdInterner {
         self.names.is_empty()
     }
 
+    /// Reserves capacity for `additional` more ids (ingest-batch hint, so a
+    /// large vote batch does not pay incremental map growth mid-loop).
+    pub fn reserve(&mut self, additional: usize) {
+        self.names.reserve(additional);
+        self.index.reserve(additional);
+    }
+
     /// The dense index of `name`, registering it (next free index) when
     /// unseen. First-seen order determines the index; re-interning is a
     /// lookup.

@@ -14,6 +14,7 @@ pub mod answer_matrix;
 pub mod answer_set;
 pub mod assignment;
 pub mod confusion;
+mod csr;
 pub mod dataset;
 pub mod error;
 pub mod expert;
@@ -25,7 +26,7 @@ pub mod overlay;
 pub mod probabilistic;
 pub mod vote;
 
-pub use answer_matrix::{AnswerMatrix, ObjectVotes, WorkerVotes};
+pub use answer_matrix::{AnswerMatrix, MatrixMemoryFootprint, ObjectVotes, WorkerVotes};
 pub use answer_set::AnswerSet;
 pub use assignment::{AssignmentMatrix, DeterministicAssignment};
 pub use confusion::ConfusionMatrix;

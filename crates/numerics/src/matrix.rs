@@ -164,6 +164,14 @@ impl Matrix {
         &self.data
     }
 
+    /// Mutable flat row-major slice of the matrix contents. Rows are
+    /// contiguous `cols`-sized windows, which is what lets the blocked
+    /// parallel EM kernels hand disjoint row ranges to worker threads via
+    /// `chunks_mut`.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
     /// Iterator over `(row, col, value)` triples in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         let cols = self.cols;

@@ -23,7 +23,11 @@
 //!    [`TaskSnapshot`] — session state, posterior floats, strategy RNG
 //!    streams and id mappings included — and a restored task resumes
 //!    **bit-identically** to an uninterrupted run: same selection order,
-//!    same posterior, same trace.
+//!    same posterior, same trace. Tasks created with [`TaskConfig::wal`]
+//!    also answer [`Request::SnapshotDelta`] with an `O(events)`
+//!    [`TaskDelta`] — an event log replayed on the anchoring full snapshot
+//!    by [`Request::RestoreDelta`] — so steady-state checkpoints stop
+//!    scaling with corpus size.
 //!
 //! For traffic beyond one core, the [`runtime::ShardRuntime`] shards the
 //! registry across dedicated worker threads: each task name hashes to one
@@ -47,8 +51,8 @@ mod shard;
 
 pub use protocol::{
     ClientVote, LabelProbability, Reply, ReplyOutcome, Request, RequestEnvelope, Response,
-    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskSnapshot, WorkerTrustEntry,
-    MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot,
+    WorkerTrustEntry, MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use runtime::{Dispatch, OverloadPolicy, RuntimeConfig, ShardRuntime};
 pub use serve::{ServeOptions, ServeSummary};

@@ -4,7 +4,7 @@
 //! line under the `crowdval-serve` driver). Requests travel inside a
 //! [`RequestEnvelope`] carrying the protocol version; the service refuses
 //! versions it does not speak with a typed error instead of guessing. The
-//! eight request kinds map onto the paper's validation loop (§3.2,
+//! request kinds map onto the paper's validation loop (§3.2,
 //! Algorithm 1):
 //!
 //! | Request | Paper step | Session call |
@@ -17,6 +17,8 @@
 //! | [`Request::QueryWorkerTrust`] | online defense | `worker_trust_reports` |
 //! | [`Request::Snapshot`] | — | `snapshot` |
 //! | [`Request::Restore`] | — | `restore` |
+//! | [`Request::SnapshotDelta`] | — | `delta_snapshot` |
+//! | [`Request::RestoreDelta`] | — | `restore_with_delta` |
 //! | [`Request::CloseTask`] | — | drop |
 //!
 //! Clients speak **stable string ids** for workers, objects and labels; the
@@ -34,7 +36,7 @@
 //! counters, and [`ServiceError::Overloaded`] is the back-pressure signal a
 //! full shard mailbox pushes back to the ingest boundary.
 
-use crowdval_core::snapshot::SessionSnapshot;
+use crowdval_core::snapshot::{SessionDelta, SessionSnapshot};
 use crowdval_model::IdInterner;
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -50,12 +52,19 @@ use std::fmt;
 /// [`Response::WorkerTrust`], [`TaskConfig::online_defense`] and the
 /// defense fields of the accept replies) rides on v2 — new enum variants
 /// are invisible to clients that never send them.
-pub const PROTOCOL_VERSION: u32 = 2;
+///
+/// **v3** (incompatible with v2): incremental checkpoints.
+/// [`TaskConfig`] gained the required `wal` switch, [`TaskSnapshot`]
+/// records it, and the [`Request::SnapshotDelta`] /
+/// [`Request::RestoreDelta`] pair moves [`TaskDelta`]s — event logs
+/// replayed on an anchoring full snapshot instead of cloning the corpus.
+/// [`ShardStats`] also gained the required `memory_bytes` gauge.
+pub const PROTOCOL_VERSION: u32 = 3;
 
-/// Oldest snapshot protocol version [`Request::Restore`] still accepts. The
-/// v1→v2 bump changed request/response framing only, not the
-/// [`TaskSnapshot`] layout, so v1 checkpoints remain restorable.
-pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 1;
+/// Oldest snapshot protocol version [`Request::Restore`] still accepts.
+/// The v2→v3 bump changed the [`TaskSnapshot`] layout (the `wal` field and
+/// the embedded session's format), so older checkpoints are refused.
+pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 3;
 
 /// A request plus the protocol version the client speaks and the client's
 /// correlation id for the reply.
@@ -139,6 +148,10 @@ pub struct TaskConfig {
     /// always answers — but only an enforcing task flips exclusions outside
     /// the classic §5.3 detector path.
     pub online_defense: bool,
+    /// Whether the task keeps a write-ahead event log so
+    /// [`Request::SnapshotDelta`] can answer. Costs `O(events since the
+    /// last full snapshot)` memory; off by default.
+    pub wal: bool,
 }
 
 impl Default for TaskConfig {
@@ -150,6 +163,7 @@ impl Default for TaskConfig {
             handle_faulty_workers: true,
             shortlist: None,
             online_defense: false,
+            wal: false,
         }
     }
 }
@@ -192,6 +206,19 @@ pub enum Request {
         task: String,
         snapshot: Box<TaskSnapshot>,
     },
+    /// Checkpoints a task incrementally: the event log since the task's
+    /// last full [`Request::Snapshot`], as a [`TaskDelta`]. `O(events)`
+    /// instead of the full snapshot's `O(corpus)` — the checkpoint-stall
+    /// fix at million-object scale. Requires [`TaskConfig::wal`].
+    SnapshotDelta { task: String },
+    /// Recreates a task from an anchoring full snapshot plus the delta
+    /// taken from it, by replaying the delta's events. The result is
+    /// bit-identical to the task the delta was taken from.
+    RestoreDelta {
+        task: String,
+        snapshot: Box<TaskSnapshot>,
+        delta: Box<TaskDelta>,
+    },
     /// Reads the online-defense state of a task: per-worker trust reports
     /// plus the cumulative defense telemetry. Answers in every task mode —
     /// the trust ledger tracks even when enforcement
@@ -221,6 +248,8 @@ impl Request {
             | Request::QueryPosterior { task, .. }
             | Request::Snapshot { task }
             | Request::Restore { task, .. }
+            | Request::SnapshotDelta { task }
+            | Request::RestoreDelta { task, .. }
             | Request::QueryWorkerTrust { task }
             | Request::CloseTask { task } => Some(task),
             Request::RuntimeStats => None,
@@ -234,6 +263,10 @@ impl Request {
 pub struct TaskSnapshot {
     /// Protocol version that produced the snapshot.
     pub protocol_version: u32,
+    /// Whether the task keeps the delta-checkpoint event log
+    /// ([`TaskConfig::wal`]); a restore re-enables it so the task keeps
+    /// answering [`Request::SnapshotDelta`].
+    pub wal: bool,
     /// Object external-id mapping, in dense-index order.
     pub objects: IdInterner,
     /// Worker external-id mapping, in dense-index order.
@@ -242,6 +275,23 @@ pub struct TaskSnapshot {
     pub labels: IdInterner,
     /// The full session checkpoint.
     pub session: SessionSnapshot,
+}
+
+/// An incremental task checkpoint: the session's event log since the
+/// anchoring full [`TaskSnapshot`], plus the external-id mappings *at delta
+/// time* — the log's dense votes may name objects and workers that arrived
+/// after the anchor, so the anchor's interners do not cover them. Labels
+/// are fixed at task creation and ride with the anchor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TaskDelta {
+    /// Protocol version that produced the delta.
+    pub protocol_version: u32,
+    /// Object external-id mapping at delta time (extends the anchor's).
+    pub objects: IdInterner,
+    /// Worker external-id mapping at delta time (extends the anchor's).
+    pub workers: IdInterner,
+    /// The session's event log since the anchor.
+    pub session: SessionDelta,
 }
 
 /// One label's posterior probability, by external label id.
@@ -306,7 +356,14 @@ pub enum Response {
         task: String,
         snapshot: Box<TaskSnapshot>,
     },
-    /// Reply to [`Request::Restore`].
+    /// Reply to [`Request::SnapshotDelta`].
+    SnapshotDelta {
+        task: String,
+        delta: Box<TaskDelta>,
+        /// Events in the delta — what the checkpoint's cost scales with.
+        events: usize,
+    },
+    /// Reply to [`Request::Restore`] and [`Request::RestoreDelta`].
     Restored {
         task: String,
         objects: usize,
@@ -374,6 +431,10 @@ pub struct ShardStats {
     pub workers_excluded: u64,
     /// Workers reinstated by the online defense across this shard's tasks.
     pub workers_reinstated: u64,
+    /// Measured heap bytes of the answer storage across this shard's tasks
+    /// (paged arenas, compact CSR mirrors and tombstone masks, for both
+    /// the unmasked corpus and the masked active view).
+    pub memory_bytes: u64,
     /// Median request service time (handling only, queue wait excluded),
     /// in microseconds; 0 until the shard has served a request.
     pub service_time_p50_us: f64,

@@ -21,7 +21,7 @@
 use crate::protocol::WorkerTrustEntry;
 use crate::protocol::{
     ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
-    ShardStats, StrategyChoice, TaskConfig, TaskSnapshot, MIN_SNAPSHOT_PROTOCOL_VERSION,
+    ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot, MIN_SNAPSHOT_PROTOCOL_VERSION,
     PROTOCOL_VERSION,
 };
 use crate::shard::LatencyHistogram;
@@ -159,6 +159,12 @@ impl ValidationService {
             Request::QueryWorkerTrust { task } => self.query_worker_trust(task),
             Request::Snapshot { task } => self.snapshot(task),
             Request::Restore { task, snapshot } => self.restore(task, snapshot),
+            Request::SnapshotDelta { task } => self.snapshot_delta(task),
+            Request::RestoreDelta {
+                task,
+                snapshot,
+                delta,
+            } => self.restore_delta(task, snapshot, delta),
             Request::CloseTask { task } => self.close_task(task),
             Request::RuntimeStats => Ok(Response::RuntimeStats {
                 shards: vec![self.self_stats()],
@@ -181,9 +187,19 @@ impl ValidationService {
             overload_rejections: 0,
             workers_excluded: self.workers_excluded,
             workers_reinstated: self.workers_reinstated,
+            memory_bytes: self.memory_bytes(),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
         }
+    }
+
+    /// Measured heap bytes of the answer storage across all live tasks —
+    /// the [`ShardStats::memory_bytes`] gauge.
+    pub fn memory_bytes(&self) -> u64 {
+        self.tasks
+            .values()
+            .map(|state| state.session.memory_bytes() as u64)
+            .sum()
     }
 
     fn task_mut(&mut self, task: &str) -> Result<&mut TaskState, ServiceError> {
@@ -219,7 +235,7 @@ impl ValidationService {
             IdInterner::from_names(labels.to_vec()).map_err(|e| ServiceError::InvalidTask {
                 message: e.to_string(),
             })?;
-        let session = ValidationSessionBuilder::empty(labels.len())
+        let mut session = ValidationSessionBuilder::empty(labels.len())
             .strategy(build_strategy(config))
             .config(ProcessConfig {
                 budget: config.budget,
@@ -232,6 +248,9 @@ impl ValidationService {
                 ..ProcessConfig::default()
             })
             .try_build()?;
+        if config.wal {
+            session.enable_delta_log();
+        }
         self.tasks.insert(
             task.to_string(),
             TaskState {
@@ -265,7 +284,11 @@ impl ValidationService {
             resolved_labels.push(label);
         }
         // From here on nothing can fail: labels are in range by
-        // construction and interning only appends.
+        // construction and interning only appends. Reserve the interners
+        // for the worst case (every vote naming a fresh id) so the loop
+        // never rehashes mid-batch.
+        state.objects.reserve(votes.len());
+        state.workers.reserve(votes.len());
         let dense: Vec<Vote> = votes
             .iter()
             .zip(resolved_labels)
@@ -436,6 +459,7 @@ impl ValidationService {
             task: task_name,
             snapshot: Box::new(TaskSnapshot {
                 protocol_version: PROTOCOL_VERSION,
+                wal: state.session.delta_log_enabled(),
                 objects: state.objects.clone(),
                 workers: state.workers.clone(),
                 labels: state.labels.clone(),
@@ -444,7 +468,27 @@ impl ValidationService {
         })
     }
 
-    fn restore(&mut self, task: &str, snapshot: &TaskSnapshot) -> Result<Response, ServiceError> {
+    fn snapshot_delta(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let session = state.session.delta_snapshot()?;
+        let events = session.events.len();
+        Ok(Response::SnapshotDelta {
+            task: task_name,
+            delta: Box::new(TaskDelta {
+                protocol_version: PROTOCOL_VERSION,
+                objects: state.objects.clone(),
+                workers: state.workers.clone(),
+                session,
+            }),
+            events,
+        })
+    }
+
+    /// Shared validation of a restore target and its anchor snapshot: a
+    /// fresh non-empty task name, a restorable protocol version and
+    /// interners consistent with the snapshotted session.
+    fn check_restore(&self, task: &str, snapshot: &TaskSnapshot) -> Result<(), ServiceError> {
         if task.is_empty() {
             return Err(ServiceError::InvalidTask {
                 message: "task name must not be empty".to_string(),
@@ -455,8 +499,6 @@ impl ValidationService {
                 task: task.to_string(),
             });
         }
-        // The v1→v2 protocol bump changed request framing, not the snapshot
-        // layout — v1 checkpoints restore fine.
         if !(MIN_SNAPSHOT_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&snapshot.protocol_version)
         {
             return Err(ServiceError::UnsupportedVersion {
@@ -482,7 +524,17 @@ impl ValidationService {
                 ),
             });
         }
-        let session = ValidationSession::restore(snapshot.session.clone())?;
+        Ok(())
+    }
+
+    fn restore(&mut self, task: &str, snapshot: &TaskSnapshot) -> Result<Response, ServiceError> {
+        self.check_restore(task, snapshot)?;
+        let mut session = ValidationSession::restore(snapshot.session.clone())?;
+        if snapshot.wal {
+            // The snapshotted task was logging deltas; the restored one
+            // keeps doing so, anchored at this (just-restored) state.
+            session.enable_delta_log();
+        }
         self.tasks.insert(
             task.to_string(),
             TaskState {
@@ -497,6 +549,77 @@ impl ValidationService {
             objects: snapshot.objects.len(),
             workers: snapshot.workers.len(),
             validations: snapshot.session.iteration,
+        })
+    }
+
+    fn restore_delta(
+        &mut self,
+        task: &str,
+        snapshot: &TaskSnapshot,
+        delta: &TaskDelta,
+    ) -> Result<Response, ServiceError> {
+        self.check_restore(task, snapshot)?;
+        if !(MIN_SNAPSHOT_PROTOCOL_VERSION..=PROTOCOL_VERSION).contains(&delta.protocol_version) {
+            return Err(ServiceError::UnsupportedVersion {
+                requested: delta.protocol_version,
+                supported: PROTOCOL_VERSION,
+            });
+        }
+        // The delta's interners must extend the anchor's: same names in the
+        // same dense order up to the anchor's length, plus whatever arrived
+        // after the anchor. A mismatch means the delta belongs to a
+        // different task lineage.
+        for (anchor, at_delta, kind) in [
+            (&snapshot.objects, &delta.objects, "object"),
+            (&snapshot.workers, &delta.workers, "worker"),
+        ] {
+            if at_delta.len() < anchor.len()
+                || anchor
+                    .iter()
+                    .any(|(index, name)| at_delta.name(index) != Some(name))
+            {
+                return Err(ServiceError::InvalidSnapshot {
+                    message: format!("the delta's {kind} ids do not extend the anchor snapshot's"),
+                });
+            }
+        }
+        let mut session =
+            ValidationSession::restore_with_delta(snapshot.session.clone(), delta.session.clone())?;
+        // The replayed session must know exactly the ids the delta's
+        // interners name — anything else means the delta's dense votes and
+        // its id mappings disagree.
+        if delta.objects.len() != session.answers().num_objects()
+            || delta.workers.len() != session.answers().num_workers()
+        {
+            return Err(ServiceError::InvalidSnapshot {
+                message: format!(
+                    "delta interners name {} objects / {} workers, \
+                     the replayed session holds {} / {}",
+                    delta.objects.len(),
+                    delta.workers.len(),
+                    session.answers().num_objects(),
+                    session.answers().num_workers(),
+                ),
+            });
+        }
+        if snapshot.wal {
+            session.enable_delta_log();
+        }
+        let validations = session.iterations();
+        self.tasks.insert(
+            task.to_string(),
+            TaskState {
+                objects: delta.objects.clone(),
+                workers: delta.workers.clone(),
+                labels: snapshot.labels.clone(),
+                session,
+            },
+        );
+        Ok(Response::Restored {
+            task: task.to_string(),
+            objects: delta.objects.len(),
+            workers: delta.workers.len(),
+            validations,
         })
     }
 
@@ -760,6 +883,123 @@ mod tests {
                 object: "o2".into(),
             }),
             Ok(Response::Posterior { .. })
+        ));
+    }
+
+    #[test]
+    fn delta_snapshot_replays_onto_the_anchor() {
+        let mut service = ValidationService::new();
+        service
+            .handle_request(&Request::CreateTask {
+                task: "t".into(),
+                labels: vec!["yes".into(), "no".into()],
+                config: TaskConfig {
+                    strategy: StrategyChoice::EntropyBaseline,
+                    wal: true,
+                    ..TaskConfig::default()
+                },
+            })
+            .unwrap();
+        let batch = |tag: usize| -> Vec<ClientVote> {
+            (0..3)
+                .flat_map(move |w| {
+                    (0..4).map(move |o| {
+                        vote(
+                            &format!("w{tag}-{w}"),
+                            &format!("o{tag}-{o}"),
+                            if o % 2 == 0 { "yes" } else { "no" },
+                        )
+                    })
+                })
+                .collect()
+        };
+        service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes: batch(0),
+            })
+            .unwrap();
+        // Anchor; taking it re-anchors the task's event log.
+        let anchor = match service
+            .handle_request(&Request::Snapshot { task: "t".into() })
+            .unwrap()
+        {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(anchor.wal);
+        // Post-anchor traffic: fresh objects *and* workers, plus one
+        // guided validation.
+        service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes: batch(1),
+            })
+            .unwrap();
+        let guided = match service
+            .handle_request(&Request::RequestGuidance { task: "t".into() })
+            .unwrap()
+        {
+            Response::Guidance {
+                object: Some(object),
+                ..
+            } => object,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        service
+            .handle_request(&Request::SubmitValidation {
+                task: "t".into(),
+                object: guided,
+                label: "yes".into(),
+            })
+            .unwrap();
+        let delta = match service
+            .handle_request(&Request::SnapshotDelta { task: "t".into() })
+            .unwrap()
+        {
+            Response::SnapshotDelta { delta, events, .. } => {
+                assert!(events >= 3, "ingest + select + integrate were logged");
+                delta
+            }
+            other => panic!("unexpected reply {other:?}"),
+        };
+        let reply = service
+            .handle_request(&Request::RestoreDelta {
+                task: "t2".into(),
+                snapshot: anchor,
+                delta,
+            })
+            .unwrap();
+        assert!(matches!(
+            reply,
+            Response::Restored {
+                objects: 8,
+                workers: 6,
+                validations: 1,
+                ..
+            }
+        ));
+        // The replayed task checkpoints bit-identically to the live one.
+        let live = service
+            .handle_request(&Request::Snapshot { task: "t".into() })
+            .unwrap();
+        let replayed = service
+            .handle_request(&Request::Snapshot { task: "t2".into() })
+            .unwrap();
+        let strip = |r: Response| match r {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(strip(live), strip(replayed));
+    }
+
+    #[test]
+    fn delta_snapshot_without_wal_is_a_typed_error() {
+        let mut service = ValidationService::new();
+        create(&mut service, "t");
+        assert!(matches!(
+            service.handle_request(&Request::SnapshotDelta { task: "t".into() }),
+            Err(ServiceError::Model { .. })
         ));
     }
 

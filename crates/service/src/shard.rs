@@ -116,6 +116,9 @@ pub struct ShardCounters {
     pub(crate) workers_excluded: AtomicU64,
     /// Workers reinstated by the online defense across this shard's tasks.
     pub(crate) workers_reinstated: AtomicU64,
+    /// Heap bytes of the answer storage across this shard's tasks, as last
+    /// measured by the worker (refreshed after every handled request).
+    pub(crate) memory_bytes: AtomicU64,
     /// Service-time histogram (handling only; queue wait excluded).
     pub(crate) latency: LatencyHistogram,
 }
@@ -130,6 +133,7 @@ impl ShardCounters {
             rejected: AtomicU64::new(0),
             workers_excluded: AtomicU64::new(0),
             workers_reinstated: AtomicU64::new(0),
+            memory_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -146,6 +150,7 @@ impl ShardCounters {
             overload_rejections: self.rejected.load(Ordering::Relaxed),
             workers_excluded: self.workers_excluded.load(Ordering::Relaxed),
             workers_reinstated: self.workers_reinstated.load(Ordering::Relaxed),
+            memory_bytes: self.memory_bytes.load(Ordering::Relaxed),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
         }
@@ -235,6 +240,9 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                     _ => {}
                 }
                 counters.tasks.store(service.num_tasks(), Ordering::Relaxed);
+                counters
+                    .memory_bytes
+                    .store(service.memory_bytes(), Ordering::Relaxed);
                 counters.served.fetch_add(1, Ordering::Relaxed);
                 counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // A vanished collector is not an error during shutdown:

@@ -138,6 +138,7 @@ fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Reques
                 } else {
                     None
                 },
+                wal: rng.random_bool(0.5),
             },
         },
         1 => Request::SubmitVotes {

@@ -119,6 +119,43 @@ pub fn current_num_threads() -> usize {
         .unwrap_or(1)
 }
 
+/// Runs every task on a fixed scoped thread pool of `threads` workers and
+/// waits for all of them; `f` consumes each task by value. Tasks are claimed
+/// dynamically from a shared queue so uneven per-task cost still balances.
+///
+/// This is the primitive behind the blocked (cache-sized row chunk) parallel
+/// EM kernels: a task typically carries an exclusive `&mut` sub-slice of a
+/// shared buffer, which is `Send`, so disjoint blocks are processed
+/// concurrently with no `unsafe` and no locking beyond queue claims. With
+/// `threads <= 1` (or one task) everything runs inline on the caller's
+/// thread — bit-identical results are up to the caller keeping each task's
+/// work independent, which row-disjoint blocks are by construction.
+pub fn run_scoped_tasks<T, F>(tasks: Vec<T>, threads: usize, f: F)
+where
+    T: Send,
+    F: Fn(T) + Sync,
+{
+    let threads = threads.min(tasks.len()).max(1);
+    if threads <= 1 {
+        for task in tasks {
+            f(task);
+        }
+        return;
+    }
+    let queue = std::sync::Mutex::new(tasks.into_iter());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let next = queue.lock().expect("task queue poisoned").next();
+                match next {
+                    Some(task) => f(task),
+                    None => break,
+                }
+            });
+        }
+    });
+}
+
 /// Maps `f` over `items` on all available threads, returning the results in
 /// input order. Indices are claimed dynamically from an atomic counter so
 /// uneven per-item cost still balances across threads.
@@ -179,6 +216,26 @@ mod tests {
         let one = [7u64];
         let out: Vec<u64> = one.par_iter().map(|&x| x + 1).collect();
         assert_eq!(out, vec![8]);
+    }
+
+    #[test]
+    fn scoped_tasks_cover_disjoint_mut_blocks() {
+        let mut data = vec![0u64; 1000];
+        let tasks: Vec<(usize, &mut [u64])> = data.chunks_mut(64).enumerate().collect();
+        crate::run_scoped_tasks(tasks, 4, |(chunk, block)| {
+            for (i, v) in block.iter_mut().enumerate() {
+                *v = (chunk * 64 + i) as u64;
+            }
+        });
+        assert_eq!(data, (0..1000).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn scoped_tasks_run_inline_on_one_thread() {
+        let mut hits = [false; 10];
+        let tasks: Vec<&mut bool> = hits.iter_mut().collect();
+        crate::run_scoped_tasks(tasks, 1, |hit| *hit = true);
+        assert!(hits.iter().all(|&h| h));
     }
 
     #[test]

@@ -594,6 +594,84 @@ proptest! {
             reference.snapshot().unwrap()
         );
     }
+
+    /// Delta checkpoints replay to the live session bit-for-bit: anchor a
+    /// full snapshot at a random point of a streaming schedule, keep going
+    /// (arrival batches, roulette-driven validations, a manual tombstone
+    /// flip), then take a [`SessionDelta`] and replay it on the anchor —
+    /// posterior, trace, exclusions and the next full snapshot must all be
+    /// **bit-identical** to the uninterrupted session, even though the delta
+    /// carries only the event log, never the corpus.
+    #[test]
+    fn delta_snapshot_replays_to_the_live_session(
+        seed in any::<u64>(),
+        anchor_numerator in any::<u64>(),
+        strategy_seed in any::<u64>(),
+        flip_numerator in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 14,
+                num_workers: 9,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+
+        let mut live = ValidationSessionBuilder::empty(scenario.num_labels)
+            .strategy(Box::new(HybridStrategy::new(strategy_seed)))
+            .try_build()
+            .unwrap();
+        live.enable_delta_log();
+        let validate = |session: &mut ValidationSession| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        live.ingest(&scenario.initial).unwrap();
+        validate(&mut live);
+        let anchor_after = (anchor_numerator % (scenario.batches.len() as u64 + 1)) as usize;
+        for batch in &scenario.batches[..anchor_after] {
+            live.ingest(batch).unwrap();
+            validate(&mut live);
+        }
+        // The full snapshot is the anchor; taking it re-anchors the log.
+        let anchor = live.snapshot().unwrap();
+
+        // Keep the live session going past the anchor.
+        for batch in &scenario.batches[anchor_after..] {
+            live.ingest(batch).unwrap();
+            validate(&mut live);
+        }
+        let victim = WorkerId(
+            (flip_numerator % live.answers().num_workers() as u64) as usize,
+        );
+        live.set_worker_excluded(victim, true).unwrap();
+
+        // Deltas are plain serde values, like full snapshots.
+        let delta = live.delta_snapshot().unwrap();
+        let json = serde_json::to_string(&delta).unwrap();
+        let delta: crowd_validation::core::SessionDelta =
+            serde_json::from_str(&json).unwrap();
+        let replayed = ValidationSession::restore_with_delta(anchor, delta).unwrap();
+
+        prop_assert_eq!(replayed.current(), live.current());
+        prop_assert_eq!(replayed.trace(), live.trace());
+        prop_assert_eq!(replayed.votes_ingested(), live.votes_ingested());
+        prop_assert_eq!(replayed.excluded_workers(), live.excluded_workers());
+        prop_assert_eq!(replayed.snapshot().unwrap(), live.snapshot().unwrap());
+    }
 }
 
 proptest! {
@@ -670,6 +748,65 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The compact CSR mirrors are invisible to the estimation: aggregating
+    /// an answer set with synced flat views yields **bit-identical**
+    /// posteriors, confusions and priors to the same answer set with the
+    /// mirrors disabled (pure paged-chain iteration), across random
+    /// streaming scenarios — object/worker churn, a mid-stream corpus
+    /// doubling re-anchor (`initial_fraction 0.25`), and an optional
+    /// worker-exclusion flip (the tombstone mask is orthogonal to the
+    /// mirrors and must filter identically on both paths).
+    #[test]
+    fn csr_views_leave_posteriors_bit_identical(
+        seed in any::<u64>(),
+        num_objects in 10usize..20,
+        num_workers in 6usize..12,
+        reliability in 0.6f64..0.9,
+        worker_numerator in any::<u64>(),
+        flip in any::<bool>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects,
+                num_workers,
+                reliability,
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.25,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let mut session = ValidationSessionBuilder::empty(scenario.num_labels)
+            .try_build()
+            .unwrap();
+        session.ingest(&scenario.initial).unwrap();
+        for batch in &scenario.batches {
+            session.ingest(batch).unwrap();
+        }
+        if flip && session.answers().num_workers() > 0 {
+            let victim = WorkerId(
+                (worker_numerator % session.answers().num_workers() as u64) as usize,
+            );
+            session.set_worker_excluded(victim, true).unwrap();
+        }
+
+        let mut csr = session.answers().clone();
+        csr.sync_compact_views();
+        let mut paged = session.answers().clone();
+        paged.set_compact_enabled(false);
+
+        let expert = ExpertValidation::empty(csr.num_objects());
+        let iem = IncrementalEm::default();
+        let cold_csr = iem.conclude(&csr, &expert, None);
+        let cold_paged = iem.conclude(&paged, &expert, None);
+        prop_assert_eq!(&cold_csr, &cold_paged);
+        let warm_csr = iem.conclude_warm(&csr, &expert, &cold_csr);
+        let warm_paged = iem.conclude_warm(&paged, &expert, &cold_paged);
+        prop_assert_eq!(warm_csr, warm_paged);
     }
 
     /// Exclusion and reinstatement survive snapshot/restore bit-identically:
