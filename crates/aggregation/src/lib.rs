@@ -17,6 +17,7 @@
 //! All aggregators implement the [`Aggregator`] trait whose `conclude`
 //! function realizes the *conclude* step of the validation process (§3.2).
 
+pub mod churn;
 pub mod config;
 pub mod delta;
 pub mod em;
@@ -27,6 +28,7 @@ pub mod majority;
 pub mod parblock;
 pub mod workspace;
 
+pub use churn::ChurnTracker;
 pub use config::EmConfig;
 pub use delta::{run_delta_em_from_dirty, run_delta_em_in_workspace};
 pub use em::{run_em_in_workspace, run_warm_em, BatchEm};

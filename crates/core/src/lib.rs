@@ -62,6 +62,12 @@ pub use process::{ExpertSource, ProcessConfig, ValidationProcess, ValidationProc
 pub use scoring::{LazySelection, ScoringContext, ScoringEngine, ScoringMode};
 pub use session::{SessionUpdate, ValidationSession, ValidationSessionBuilder};
 pub use shortlist::EntropyShortlist;
+// The triage vocabulary, re-exported so session callers need not depend on
+// `crowdval-triage` directly.
+pub use crowdval_triage::{
+    AuditRecord, ConvergencePredictor, TriageConfig, TriageCounters, TriageDecision,
+    TriageFeatures, TriageState, TriageVerdict,
+};
 pub use snapshot::{SessionDelta, SessionEvent, SessionSnapshot, SNAPSHOT_FORMAT_VERSION};
 pub use strategy::{
     EntropyBaseline, HybridStrategy, RandomSelection, SelectionStrategy, StrategyContext,

@@ -32,6 +32,7 @@ use crowdval_model::{
     ProbabilisticAnswerSet, WorkerId,
 };
 use crowdval_spammer::{SpammerDetector, TrustConfig};
+use crowdval_triage::TriageConfig;
 use serde::{Deserialize, Serialize};
 
 /// Where expert labels come from in batch mode.
@@ -83,6 +84,14 @@ pub struct ProcessConfig {
     /// validation. Disabled by default — sessions then behave exactly like
     /// the pre-defense (§5.3-only) pipeline.
     pub trust: TrustConfig,
+    /// Agreement-prediction triage ([`crowdval_triage`]): thresholds of the
+    /// convergence predictor that auto-finalizes objects predicted
+    /// unanimous and pre-filters the guidance pool down to the contentious
+    /// ones. Only the `Copy` knobs live here; the predictor weights, audit
+    /// trail and counters are session state and snapshot separately.
+    /// Disabled by default — sessions then behave exactly like the
+    /// pre-triage pipeline.
+    pub triage: TriageConfig,
 }
 
 impl Default for ProcessConfig {
@@ -95,6 +104,7 @@ impl Default for ProcessConfig {
             parallel: false,
             guidance_cache: true,
             trust: TrustConfig::default(),
+            triage: TriageConfig::default(),
         }
     }
 }

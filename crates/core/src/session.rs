@@ -35,7 +35,7 @@ use crate::scoring::ScoringContext;
 use crate::shortlist::EntropyShortlist;
 use crate::snapshot::{SessionDelta, SessionEvent, SessionSnapshot};
 use crate::strategy::{SelectionStrategy, StrategyContext, StrategyKind, ValidationObservation};
-use crowdval_aggregation::Aggregator;
+use crowdval_aggregation::{Aggregator, ChurnTracker};
 use crowdval_model::{
     AnswerSet, DeterministicAssignment, ExpertValidation, GroundTruth, LabelId, ModelError,
     ObjectId, ProbabilisticAnswerSet, Vote, WorkerId,
@@ -43,6 +43,9 @@ use crowdval_model::{
 use crowdval_spammer::{
     BatchVote, DefenseTelemetry, FaultyWorkerHandler, SpammerDetector, TrustDecision, TrustReport,
     WorkerTrustLedger,
+};
+use crowdval_triage::{
+    AuditRecord, ConvergencePredictor, TriageCounters, TriageDecision, TriageFeatures, TriageState,
 };
 use serde::{Deserialize, Serialize};
 use std::cell::RefCell;
@@ -273,6 +276,14 @@ pub struct ValidationSession {
     /// Corpus size (visible answers) at the last *cold* aggregation — the
     /// doubling trigger for re-anchoring (see [`ValidationSession::ingest`]).
     answers_at_last_cold: usize,
+    /// Per-object EWMA of posterior movement across re-aggregation rounds —
+    /// the churn triage feature. Only fed while `config.triage.enabled`
+    /// (the diff against the previous posterior is not free).
+    churn: ChurnTracker,
+    /// Agreement-prediction triage state: the convergence predictor, the
+    /// auto-finalize audit trail and the monotone counters. Serialized with
+    /// the snapshot so triage decisions replay bit-identically.
+    triage: TriageState,
     /// Write-ahead log for incremental checkpoints: `None` until
     /// [`ValidationSession::enable_delta_log`]. Interior mutability because
     /// taking a full snapshot (`&self`) re-anchors the log. Never serialized
@@ -334,6 +345,8 @@ impl ValidationSession {
             iteration: 0,
             votes_ingested: 0,
             answers_at_last_cold,
+            churn: ChurnTracker::new(),
+            triage: TriageState::default(),
             wal: RefCell::new(None),
         }
     }
@@ -503,6 +516,7 @@ impl ValidationSession {
         let invalidated = self
             .shortlist
             .invalidate_changed(self.current.assignment(), next.assignment());
+        self.track_churn(&next);
         self.current = next;
         // No uncertainty-rise guard here: arrivals legitimately raise the
         // total entropy (new objects enter at near-maximal uncertainty) and
@@ -750,13 +764,25 @@ impl ValidationSession {
     /// expert feedback should be sought next. Returns `None` when every
     /// object has been validated.
     pub fn select_next(&mut self) -> Option<ObjectId> {
-        let candidates = self.expert.unvalidated_objects();
+        let mut candidates = self.expert.unvalidated_objects();
         if candidates.is_empty() {
             return None;
         }
         // Bring the entropy cache up to date once; the strategies then
         // re-rank from cached values instead of recomputing every entropy.
         self.shortlist.refresh(&self.current);
+        if self.config.triage.enabled
+            && self.iteration >= self.config.triage.warmup_validations as usize
+        {
+            candidates = self.triage_pass(candidates);
+            if candidates.is_empty() {
+                // Everything left was auto-finalized: no expert pick this
+                // step. Logged all the same — the replay must re-run the
+                // triage pass to reproduce the finalizations.
+                self.log_event(|| SessionEvent::Select { picked: None });
+                return None;
+            }
+        }
         if self.config.guidance_cache {
             self.guidance.get_mut().begin_step();
         }
@@ -788,6 +814,158 @@ impl ValidationSession {
         // return above consults no strategy and is not logged.)
         self.log_event(|| SessionEvent::Select { picked });
         picked
+    }
+
+    /// Runs the triage policy over the unvalidated candidates (the entropy
+    /// shortlist must be fresh). Objects predicted unanimous are finalized
+    /// on the spot: the posterior's modal label becomes the validation
+    /// outcome — no expert query, no budget, no trace step, but a full
+    /// [`AuditRecord`]; the next conclude anchors the label exactly like an
+    /// expert validation. The returned pool is what the selection strategy
+    /// sees: the contentious objects when any were identified (so the
+    /// information-gain fan-out concentrates where the crowd is predicted
+    /// to stay split), the escalated rest otherwise.
+    fn triage_pass(&mut self, candidates: Vec<ObjectId>) -> Vec<ObjectId> {
+        let mut contentious = Vec::new();
+        let mut escalated = Vec::new();
+        let mut finalized = Vec::new();
+        for object in candidates {
+            let features = self.triage_features_fresh(object);
+            let (label, confidence) = self.posterior_modal(object);
+            let verdict = self
+                .triage
+                .decide(
+                    &self.config.triage,
+                    &features,
+                    confidence,
+                    self.iteration as u64,
+                );
+            match verdict.decision {
+                TriageDecision::AutoFinalize => {
+                    self.expert.set(object, label);
+                    self.triage.record_auto_finalize(AuditRecord {
+                        object,
+                        label,
+                        score: verdict.score,
+                        confidence,
+                        iteration: self.iteration as u64,
+                        features,
+                    });
+                    finalized.push(object);
+                }
+                TriageDecision::Contentious => contentious.push(object),
+                TriageDecision::Escalate => escalated.push(object),
+            }
+        }
+        if !finalized.is_empty() {
+            // The validation function changed under the guidance cache —
+            // retained hypothesis scores are no longer valid bounds.
+            self.refresh_guidance_cache(None, Some(&finalized));
+        }
+        if contentious.is_empty() {
+            escalated
+        } else {
+            contentious
+        }
+    }
+
+    /// The triage feature vector of one object, assuming the entropy
+    /// shortlist was refreshed against the current posterior. Every feature
+    /// is a pure function of session state — deterministic given the arrival
+    /// history. `votes` and `margin` are pure multiset facts, invariant
+    /// under worker-arrival reordering; `trust`, `entropy` and `churn` read
+    /// streaming state (ledger copy evidence, EM floats) that legitimately
+    /// depends on arrival order, though the voter-trust *mean* is summed in
+    /// worker-id order so mere summation order never shifts it.
+    fn triage_features_fresh(&self, object: ObjectId) -> TriageFeatures {
+        let num_labels = self.answers.num_labels();
+        let entropy_raw = self.shortlist.try_entropy(object).unwrap_or(f64::NAN);
+        let max_entropy = (num_labels.max(2) as f64).ln();
+        let tally = self
+            .active_answers
+            .matrix()
+            .tally_object(object, num_labels);
+        let mut voters: Vec<WorkerId> = self
+            .active_answers
+            .matrix()
+            .answers_for_object(object)
+            .map(|(w, _)| w)
+            .collect();
+        voters.sort_unstable();
+        voters.dedup();
+        let trust = if voters.is_empty() {
+            // No visible votes: neutral trust (the vote-count feature
+            // already keeps such objects far from auto-finalization).
+            0.5
+        } else {
+            let sum: f64 = voters
+                .iter()
+                .map(|&w| (1.0 - self.trust.suspicion(w, &self.config.trust)).clamp(0.0, 1.0))
+                .sum();
+            sum / voters.len() as f64
+        };
+        TriageFeatures {
+            entropy: (entropy_raw / max_entropy).clamp(0.0, 1.0),
+            votes: tally.count,
+            margin: tally.margin(),
+            trust,
+            churn: self.churn.churn(object),
+        }
+    }
+
+    /// The triage features the policy would see for `object` right now,
+    /// refreshing the entropy shortlist first. `None` when the object is
+    /// out of range. This is the extraction entry point the sim training
+    /// harness and the feature tests use; it works whether or not triage is
+    /// enabled (the churn feature just reads as unknown until the tracker
+    /// is fed).
+    pub fn triage_features(&mut self, object: ObjectId) -> Option<TriageFeatures> {
+        if object.index() >= self.answers.num_objects() {
+            return None;
+        }
+        self.shortlist.refresh(&self.current);
+        Some(self.triage_features_fresh(object))
+    }
+
+    /// Modal label of the posterior row with its probability; ties resolve
+    /// to the lowest label id, so the auto-finalize outcome is
+    /// deterministic.
+    fn posterior_modal(&self, object: ObjectId) -> (LabelId, f64) {
+        let mut best = (LabelId(0), f64::NEG_INFINITY);
+        for l in 0..self.answers.num_labels() {
+            let p = self.current.assignment().prob(object, LabelId(l));
+            if p > best.1 {
+                best = (LabelId(l), p);
+            }
+        }
+        best
+    }
+
+    /// The session's process configuration, as fixed at construction.
+    pub fn process_config(&self) -> &ProcessConfig {
+        &self.config
+    }
+
+    /// The triage state: convergence predictor, audit trail and counters.
+    pub fn triage_state(&self) -> &TriageState {
+        &self.triage
+    }
+
+    /// The monotone triage counters (all zero while triage is disabled).
+    pub fn triage_counters(&self) -> TriageCounters {
+        self.triage.counters()
+    }
+
+    /// The auto-finalize audit trail, in finalization order.
+    pub fn triage_audit(&self) -> &[AuditRecord] {
+        self.triage.audit()
+    }
+
+    /// Installs an externally trained convergence predictor (typically from
+    /// the `crowdval-sim` training harness), replacing the calibrated
+    /// default. The audit trail and counters are kept.
+    pub fn set_triage_predictor(&mut self, predictor: ConvergencePredictor) {
+        self.triage.set_predictor(predictor);
     }
 
     /// Steps (2)–(4) of the validation process: integrates the expert's
@@ -939,6 +1117,7 @@ impl ValidationSession {
         };
         self.shortlist
             .invalidate_changed(self.current.assignment(), next.assignment());
+        self.track_churn(&next);
         self.current = next;
         moved
     }
@@ -953,8 +1132,27 @@ impl ValidationSession {
             .conclude(&self.active_answers, &self.expert, None);
         self.shortlist
             .invalidate_changed(self.current.assignment(), next.assignment());
+        self.track_churn(&next);
         self.current = next;
         self.answers_at_last_cold = self.active_answers.matrix().num_answers();
+    }
+
+    /// Folds one re-aggregation round into the churn tracker. The moved set
+    /// is always re-derived with [`crowdval_aggregation::moved_rows`] at the
+    /// guidance drift threshold — one uniform definition across every
+    /// conclude path (arrival delta, warm full, cold re-anchor), independent
+    /// of whether the guidance cache happens to be maintaining its own
+    /// frontier — so the churn feature cannot depend on cache configuration.
+    fn track_churn(&mut self, next: &ProbabilisticAnswerSet) {
+        if !self.config.triage.enabled {
+            return;
+        }
+        let moved = crowdval_aggregation::moved_rows(
+            &self.current,
+            next,
+            crate::guidance_cache::GUIDANCE_DRIFT_THRESHOLD,
+        );
+        self.churn.observe_round(&moved, next.num_objects());
     }
 
     /// Manually overrides one worker's tombstone — an operator ban
@@ -1164,6 +1362,8 @@ impl ValidationSession {
             iteration: self.iteration,
             votes_ingested: self.votes_ingested,
             answers_at_last_cold: self.answers_at_last_cold,
+            churn: self.churn.clone(),
+            triage: self.triage.clone(),
             aggregator,
             strategy,
         };
@@ -1302,6 +1502,8 @@ impl ValidationSession {
             iteration: snapshot.iteration,
             votes_ingested: snapshot.votes_ingested,
             answers_at_last_cold: snapshot.answers_at_last_cold,
+            churn: snapshot.churn,
+            triage: snapshot.triage,
             wal: RefCell::new(None),
         })
     }

@@ -109,9 +109,19 @@ impl EntropyShortlist {
 
     /// The cached entropy of one object. Panics if the object is out of
     /// range; stale unless [`EntropyShortlist::refresh`] ran after the last
-    /// invalidation.
+    /// invalidation. Internal rankers that iterate `0..len()` may keep
+    /// using this; anything fed an id from outside the session (the service
+    /// front-end, triage feature extraction) must go through
+    /// [`EntropyShortlist::try_entropy`] instead — a malformed request must
+    /// become a typed error, never a shard-killing panic.
     pub fn entropy(&self, object: ObjectId) -> f64 {
         self.entropies[object.index()]
+    }
+
+    /// Checked variant of [`EntropyShortlist::entropy`]: `None` when the
+    /// object is outside the cached range instead of panicking.
+    pub fn try_entropy(&self, object: ObjectId) -> Option<f64> {
+        self.entropies.get(object.index()).copied()
     }
 
     /// Number of entries currently marked dirty (diagnostics; the ingest
@@ -189,6 +199,16 @@ mod tests {
             b.object_uncertainty(ObjectId(1))
         );
         let _ = LabelId(0);
+    }
+
+    #[test]
+    fn try_entropy_is_total_over_object_ids() {
+        let p = state(&[&[0.5, 0.5], &[0.9, 0.1]]);
+        let mut cache = EntropyShortlist::new();
+        cache.refresh(&p);
+        assert_eq!(cache.try_entropy(ObjectId(1)), Some(cache.entropy(ObjectId(1))));
+        assert_eq!(cache.try_entropy(ObjectId(2)), None, "out of range must not panic");
+        assert_eq!(EntropyShortlist::new().try_entropy(ObjectId(0)), None);
     }
 
     #[test]

@@ -27,12 +27,13 @@
 use crate::metrics::ValidationTrace;
 use crate::process::ProcessConfig;
 use crate::strategy::StrategyState;
-use crowdval_aggregation::AggregatorState;
+use crowdval_aggregation::{AggregatorState, ChurnTracker};
 use crowdval_model::{
     AnswerSet, ExpertValidation, GroundTruth, LabelId, ObjectId, ProbabilisticAnswerSet, Vote,
     WorkerId,
 };
 use crowdval_spammer::{DetectorConfig, FaultyWorkerHandler, WorkerTrustLedger};
+use crowdval_triage::TriageState;
 use serde::{Deserialize, Serialize};
 
 /// Version tag written into every snapshot; bumped when the layout changes
@@ -44,7 +45,10 @@ use serde::{Deserialize, Serialize};
 /// tombstone flags and defense telemetry). v4: incremental checkpoints —
 /// [`SessionDelta`] (an event log replayed on top of an anchoring full
 /// snapshot) joins the format; the full-snapshot layout itself is unchanged.
-pub const SNAPSHOT_FORMAT_VERSION: u32 = 4;
+/// v5: agreement-prediction triage — [`ProcessConfig`] gained the `triage`
+/// thresholds and the snapshot the churn tracker plus the triage state
+/// (predictor weights, auto-finalize audit trail, counters).
+pub const SNAPSHOT_FORMAT_VERSION: u32 = 5;
 
 /// A complete, serializable checkpoint of a validation session. Produce one
 /// with [`crate::session::ValidationSession::snapshot`], resume with
@@ -80,6 +84,11 @@ pub struct SessionSnapshot {
     pub votes_ingested: usize,
     /// Corpus size at the last cold re-anchor (the doubling trigger).
     pub answers_at_last_cold: usize,
+    /// Per-object posterior-churn EWMA (the triage churn feature).
+    pub churn: ChurnTracker,
+    /// Agreement-prediction triage state: predictor weights, auto-finalize
+    /// audit trail and counters.
+    pub triage: TriageState,
     /// The aggregator's configuration state.
     pub aggregator: AggregatorState,
     /// The selection strategy's configuration + mutable state.

@@ -333,6 +333,36 @@ impl Iterator for WorkerVotes<'_> {
     }
 }
 
+/// Per-object vote tally over the visible (non-tombstoned) answers — the
+/// raw material of the triage features (vote count and vote margin). A pure
+/// function of the vote multiset: reordering worker arrivals cannot change
+/// any field. See [`AnswerMatrix::tally_object`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VoteTally {
+    /// Votes per label, indexed by label id.
+    pub histogram: Vec<u32>,
+    /// Total visible votes on the object.
+    pub count: u32,
+    /// Votes on the modal label.
+    pub top: u32,
+    /// Votes on the runner-up label.
+    pub second: u32,
+    /// The modal label; ties resolve to the lowest label id (deterministic).
+    pub modal: LabelId,
+}
+
+impl VoteTally {
+    /// Margin between the modal and runner-up labels as a fraction of the
+    /// total votes, in `[0, 1]`; 0 for unvoted objects.
+    pub fn margin(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            f64::from(self.top - self.second) / f64::from(self.count)
+        }
+    }
+}
+
 /// Heap-memory breakdown of an [`AnswerMatrix`] — see
 /// [`AnswerMatrix::memory_footprint`]. All figures are capacities (bytes the
 /// allocator actually holds), not lengths.
@@ -527,6 +557,40 @@ impl AnswerMatrix {
             }
         }
         RowPairs::Chain(paged.row_pairs(row))
+    }
+
+    /// Tallies the visible votes of one object into a [`VoteTally`]: the
+    /// per-label histogram, the total count and the top-two label counts.
+    /// The tally is a pure function of the vote *multiset* — arrival order
+    /// cannot influence it, which is what makes it a safe triage feature
+    /// (see `crowdval-triage`). Out-of-range objects tally as empty.
+    pub fn tally_object(&self, object: ObjectId, num_labels: usize) -> VoteTally {
+        let mut histogram = vec![0u32; num_labels];
+        if object.index() < self.num_objects() {
+            for (_, label) in self.answers_for_object(object) {
+                histogram[label.index()] += 1;
+            }
+        }
+        let count: u32 = histogram.iter().sum();
+        let mut top = 0u32;
+        let mut second = 0u32;
+        let mut modal = LabelId(0);
+        for (l, &c) in histogram.iter().enumerate() {
+            if c > top {
+                second = top;
+                top = c;
+                modal = LabelId(l);
+            } else if c > second {
+                second = c;
+            }
+        }
+        VoteTally {
+            histogram,
+            count,
+            top,
+            second,
+            modal,
+        }
     }
 
     /// All `(worker, label)` answers recorded for an object, in arrival

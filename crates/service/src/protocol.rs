@@ -59,12 +59,21 @@ use std::fmt;
 /// [`Request::RestoreDelta`] pair moves [`TaskDelta`]s — event logs
 /// replayed on an anchoring full snapshot instead of cloning the corpus.
 /// [`ShardStats`] also gained the required `memory_bytes` gauge.
-pub const PROTOCOL_VERSION: u32 = 3;
+///
+/// **v4** (incompatible with v3): agreement-prediction triage.
+/// [`TaskConfig`] gained the required `triage` switch (mapping to the
+/// engine's calibrated triage preset), the [`Request::TriageStats`] /
+/// [`Response::TriageStats`] pair reads a task's triage counters and audit
+/// depth, [`ShardStats`] gained the `objects_auto_finalized` /
+/// `objects_escalated` counters, and the embedded session snapshot carries
+/// the churn tracker and triage state (snapshot format v5).
+pub const PROTOCOL_VERSION: u32 = 4;
 
 /// Oldest snapshot protocol version [`Request::Restore`] still accepts.
-/// The v2→v3 bump changed the [`TaskSnapshot`] layout (the `wal` field and
-/// the embedded session's format), so older checkpoints are refused.
-pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 3;
+/// The v3→v4 bump changed the [`TaskSnapshot`] layout (the `triage` config
+/// field and the embedded session's churn/triage state), so older
+/// checkpoints are refused.
+pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 4;
 
 /// A request plus the protocol version the client speaks and the client's
 /// correlation id for the reply.
@@ -152,6 +161,13 @@ pub struct TaskConfig {
     /// [`Request::SnapshotDelta`] can answer. Costs `O(events since the
     /// last full snapshot)` memory; off by default.
     pub wal: bool,
+    /// Whether the task runs agreement-prediction triage (the engine's
+    /// calibrated preset): objects the convergence predictor scores
+    /// unanimous are finalized without an expert query (with an audit
+    /// trail), predicted-contentious objects are pre-filtered into the
+    /// guidance pool, and the rest escalate to normal selection. Off by
+    /// default; [`Request::TriageStats`] answers either way.
+    pub triage: bool,
 }
 
 impl Default for TaskConfig {
@@ -164,6 +180,7 @@ impl Default for TaskConfig {
             shortlist: None,
             online_defense: false,
             wal: false,
+            triage: false,
         }
     }
 }
@@ -224,6 +241,10 @@ pub enum Request {
     /// the trust ledger tracks even when enforcement
     /// ([`TaskConfig::online_defense`]) is off.
     QueryWorkerTrust { task: String },
+    /// Reads a task's triage state: the monotone decision counters and the
+    /// auto-finalize audit trail depth. Answers in every task mode — a
+    /// task without [`TaskConfig::triage`] reports all-zero counters.
+    TriageStats { task: String },
     /// Removes a task, returning a final summary.
     CloseTask { task: String },
     /// Reads the runtime's per-shard counters: queue depth, requests
@@ -251,6 +272,7 @@ impl Request {
             | Request::SnapshotDelta { task }
             | Request::RestoreDelta { task, .. }
             | Request::QueryWorkerTrust { task }
+            | Request::TriageStats { task }
             | Request::CloseTask { task } => Some(task),
             Request::RuntimeStats => None,
         }
@@ -386,6 +408,20 @@ pub enum Response {
         exclusions: u64,
         reinstatements: u64,
     },
+    /// Reply to [`Request::TriageStats`]: the task's triage decision
+    /// counters and audit depth. `scored` counts scoring events (the same
+    /// object is re-scored every time selection reconsiders it);
+    /// `auto_finalized` counts distinct objects finalized without an
+    /// expert query, which equals `audit_records`.
+    TriageStats {
+        task: String,
+        enabled: bool,
+        scored: u64,
+        auto_finalized: u64,
+        contentious: u64,
+        escalated: u64,
+        audit_records: usize,
+    },
     /// Reply to [`Request::RuntimeStats`]: one entry per shard. A
     /// single-threaded [`crate::ValidationService`] reports itself as one
     /// shard with no mailbox.
@@ -431,6 +467,13 @@ pub struct ShardStats {
     pub workers_excluded: u64,
     /// Workers reinstated by the online defense across this shard's tasks.
     pub workers_reinstated: u64,
+    /// Objects auto-finalized by triage across this shard's tasks — expert
+    /// queries the predictor saved.
+    pub objects_auto_finalized: u64,
+    /// Objects escalated by triage scoring across this shard's tasks
+    /// (scoring events that ended in neither finalization nor the
+    /// contentious pool).
+    pub objects_escalated: u64,
     /// Measured heap bytes of the answer storage across this shard's tasks
     /// (paged arenas, compact CSR mirrors and tombstone masks, for both
     /// the unmasked corpus and the masked active view).

@@ -204,10 +204,10 @@ mod tests {
         let mut lines = vec![
             "# a comment".to_string(),
             String::new(),
-            r#"{"version":3,"request_id":1,"request":{"CreateTask":{"task":"t","labels":["a","b"],"config":{"strategy":"EntropyBaseline","seed":0,"budget":null,"handle_faulty_workers":true,"online_defense":false,"shortlist":null,"wal":false}}}}"#.to_string(),
-            r#"{"version":3,"request_id":2,"request":{"SubmitVotes":{"task":"t","votes":[{"worker":"w","object":"o","label":"a"}]}}}"#.to_string(),
+            r#"{"version":4,"request_id":1,"request":{"CreateTask":{"task":"t","labels":["a","b"],"config":{"strategy":"EntropyBaseline","seed":0,"budget":null,"handle_faulty_workers":true,"online_defense":false,"shortlist":null,"wal":false,"triage":false}}}}"#.to_string(),
+            r#"{"version":4,"request_id":2,"request":{"SubmitVotes":{"task":"t","votes":[{"worker":"w","object":"o","label":"a"}]}}}"#.to_string(),
             "this is junk".to_string(),
-            r#"{"version":3,"request_id":3,"request":"RuntimeStats"}"#.to_string(),
+            r#"{"version":4,"request_id":3,"request":"RuntimeStats"}"#.to_string(),
         ];
         lines.push(String::new());
         lines.join("\n")

@@ -27,7 +27,7 @@ use crate::protocol::{
 use crate::shard::LatencyHistogram;
 use crowdval_core::{
     EntropyBaseline, HybridStrategy, ProcessConfig, RandomSelection, SelectionStrategy,
-    UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
+    TriageConfig, UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
 };
 use crowdval_model::{IdInterner, LabelId, ObjectId, Vote, WorkerId};
 use crowdval_spammer::TrustConfig;
@@ -157,6 +157,7 @@ impl ValidationService {
             } => self.submit_validation(task, object, label),
             Request::QueryPosterior { task, object } => self.query_posterior(task, object),
             Request::QueryWorkerTrust { task } => self.query_worker_trust(task),
+            Request::TriageStats { task } => self.triage_stats(task),
             Request::Snapshot { task } => self.snapshot(task),
             Request::Restore { task, snapshot } => self.restore(task, snapshot),
             Request::SnapshotDelta { task } => self.snapshot_delta(task),
@@ -187,6 +188,8 @@ impl ValidationService {
             overload_rejections: 0,
             workers_excluded: self.workers_excluded,
             workers_reinstated: self.workers_reinstated,
+            objects_auto_finalized: self.triage_totals().0,
+            objects_escalated: self.triage_totals().1,
             memory_bytes: self.memory_bytes(),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
@@ -200,6 +203,16 @@ impl ValidationService {
             .values()
             .map(|state| state.session.memory_bytes() as u64)
             .sum()
+    }
+
+    /// Triage totals across all live tasks, `(auto_finalized, escalated)` —
+    /// the [`ShardStats::objects_auto_finalized`] /
+    /// [`ShardStats::objects_escalated`] gauges.
+    pub fn triage_totals(&self) -> (u64, u64) {
+        self.tasks.values().fold((0, 0), |(f, e), state| {
+            let c = state.session.triage_counters();
+            (f + c.auto_finalized, e + c.escalated)
+        })
     }
 
     fn task_mut(&mut self, task: &str) -> Result<&mut TaskState, ServiceError> {
@@ -244,6 +257,11 @@ impl ValidationService {
                     TrustConfig::streaming_default()
                 } else {
                     TrustConfig::default()
+                },
+                triage: if config.triage {
+                    TriageConfig::calibrated()
+                } else {
+                    TriageConfig::default()
                 },
                 ..ProcessConfig::default()
             })
@@ -413,6 +431,21 @@ impl ValidationService {
             low_kappa_batches: telemetry.low_kappa_batches,
             exclusions: telemetry.exclusions,
             reinstatements: telemetry.reinstatements,
+        })
+    }
+
+    fn triage_stats(&mut self, task: &str) -> Result<Response, ServiceError> {
+        let task_name = task.to_string();
+        let state = self.task_mut(task)?;
+        let counters = state.session.triage_counters();
+        Ok(Response::TriageStats {
+            task: task_name,
+            enabled: state.session.process_config().triage.enabled,
+            scored: counters.scored,
+            auto_finalized: counters.auto_finalized,
+            contentious: counters.contentious,
+            escalated: counters.escalated,
+            audit_records: state.session.triage_audit().len(),
         })
     }
 
@@ -1025,6 +1058,68 @@ mod tests {
                 assert!(shards[0].requests_served >= 2);
                 assert_eq!(shards[0].mailbox_capacity, 0);
                 assert_eq!(shards[0].queue_depth, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    #[test]
+    fn triage_stats_report_the_policy_state() {
+        let mut service = ValidationService::new();
+        // Triage off: the request still answers, with enabled = false.
+        create(&mut service, "plain");
+        match service
+            .handle_request(&Request::TriageStats {
+                task: "plain".into(),
+            })
+            .unwrap()
+        {
+            Response::TriageStats {
+                task,
+                enabled,
+                scored,
+                auto_finalized,
+                ..
+            } => {
+                assert_eq!(task, "plain");
+                assert!(!enabled);
+                assert_eq!(scored, 0);
+                assert_eq!(auto_finalized, 0);
+            }
+            other => panic!("unexpected reply {other:?}"),
+        }
+        // Triage on: the calibrated preset is active from creation.
+        service
+            .handle_request(&Request::CreateTask {
+                task: "triaged".into(),
+                labels: vec!["yes".into(), "no".into()],
+                config: TaskConfig {
+                    strategy: StrategyChoice::EntropyBaseline,
+                    triage: true,
+                    ..TaskConfig::default()
+                },
+            })
+            .unwrap();
+        match service
+            .handle_request(&Request::TriageStats {
+                task: "triaged".into(),
+            })
+            .unwrap()
+        {
+            Response::TriageStats { enabled, .. } => assert!(enabled),
+            other => panic!("unexpected reply {other:?}"),
+        }
+        assert!(matches!(
+            service.handle_request(&Request::TriageStats {
+                task: "missing".into(),
+            }),
+            Err(ServiceError::TaskNotFound { .. })
+        ));
+        // The per-shard rollup mirrors the per-task counters.
+        match service.handle_request(&Request::RuntimeStats).unwrap() {
+            Response::RuntimeStats { shards } => {
+                assert_eq!(shards[0].objects_auto_finalized, 0);
+                assert_eq!(shards[0].objects_escalated, 0);
             }
             other => panic!("unexpected reply {other:?}"),
         }

@@ -116,6 +116,13 @@ pub struct ShardCounters {
     pub(crate) workers_excluded: AtomicU64,
     /// Workers reinstated by the online defense across this shard's tasks.
     pub(crate) workers_reinstated: AtomicU64,
+    /// Objects auto-finalized by the triage policy across this shard's
+    /// tasks, as last measured by the worker (refreshed after every
+    /// handled request).
+    pub(crate) objects_auto_finalized: AtomicU64,
+    /// Objects escalated past triage to the expert across this shard's
+    /// tasks, as last measured by the worker.
+    pub(crate) objects_escalated: AtomicU64,
     /// Heap bytes of the answer storage across this shard's tasks, as last
     /// measured by the worker (refreshed after every handled request).
     pub(crate) memory_bytes: AtomicU64,
@@ -133,6 +140,8 @@ impl ShardCounters {
             rejected: AtomicU64::new(0),
             workers_excluded: AtomicU64::new(0),
             workers_reinstated: AtomicU64::new(0),
+            objects_auto_finalized: AtomicU64::new(0),
+            objects_escalated: AtomicU64::new(0),
             memory_bytes: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
@@ -150,6 +159,8 @@ impl ShardCounters {
             overload_rejections: self.rejected.load(Ordering::Relaxed),
             workers_excluded: self.workers_excluded.load(Ordering::Relaxed),
             workers_reinstated: self.workers_reinstated.load(Ordering::Relaxed),
+            objects_auto_finalized: self.objects_auto_finalized.load(Ordering::Relaxed),
+            objects_escalated: self.objects_escalated.load(Ordering::Relaxed),
             memory_bytes: self.memory_bytes.load(Ordering::Relaxed),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
@@ -243,6 +254,13 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                 counters
                     .memory_bytes
                     .store(service.memory_bytes(), Ordering::Relaxed);
+                let (auto_finalized, escalated) = service.triage_totals();
+                counters
+                    .objects_auto_finalized
+                    .store(auto_finalized, Ordering::Relaxed);
+                counters
+                    .objects_escalated
+                    .store(escalated, Ordering::Relaxed);
                 counters.served.fetch_add(1, Ordering::Relaxed);
                 counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
                 // A vanished collector is not an error during shutdown:

@@ -69,7 +69,7 @@ fn gen_votes(rng: &mut StdRng) -> Vec<ClientVote> {
 fn corrupt_snapshot(rng: &mut StdRng, snapshot: &mut TaskSnapshot) {
     use crowdval_model::{AssignmentMatrix, ConfusionMatrix, ProbabilisticAnswerSet};
     match rng.random_range(0..7u32) {
-        0 => snapshot.protocol_version = rng.random_range(0..3u32),
+        0 => snapshot.protocol_version = rng.random_range(0..4u32),
         1 => snapshot.session.format_version = rng.random_range(0..3u32),
         2 => snapshot.objects = crowdval_model::IdInterner::new(),
         3 => {
@@ -113,7 +113,7 @@ fn corrupt_snapshot(rng: &mut StdRng, snapshot: &mut TaskSnapshot) {
 }
 
 fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Request {
-    match rng.random_range(0..8u32) {
+    match rng.random_range(0..9u32) {
         0 => Request::CreateTask {
             task: gen_id(rng),
             labels: gen_labels(rng),
@@ -139,6 +139,7 @@ fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Reques
                     None
                 },
                 wal: rng.random_bool(0.5),
+                triage: rng.random_bool(0.5),
             },
         },
         1 => Request::SubmitVotes {
@@ -170,6 +171,7 @@ fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Reques
                 snapshot,
             }
         }
+        7 => Request::TriageStats { task: gen_id(rng) },
         _ => Request::CloseTask { task: gen_id(rng) },
     }
 }

@@ -22,6 +22,7 @@ pub mod generator;
 pub mod population;
 pub mod replicas;
 pub mod streaming;
+pub mod triage_train;
 pub mod worker_profile;
 
 pub use augment::augment_with_answers;
@@ -32,5 +33,9 @@ pub use population::PopulationMix;
 pub use replicas::{all_replicas, replica, ReplicaName};
 pub use streaming::{
     AdversarialConfig, AdversarialScenario, AttackKind, StreamingConfig, StreamingScenario,
+};
+pub use triage_train::{
+    collect_examples, train_convergence_predictor, TrainingExample, TrainingReport,
+    TriageTrainingConfig,
 };
 pub use worker_profile::{WorkerKind, WorkerProfile};

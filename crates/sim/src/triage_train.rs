@@ -1,0 +1,267 @@
+//! Training and evaluation harness for the triage convergence predictor.
+//!
+//! The predictor (`crowdval_triage::ConvergencePredictor`) learns "will the
+//! crowd converge to the right label without an expert?" — a question only
+//! answerable where ground truth exists, which is exactly what this crate
+//! simulates. The harness runs *observe-only* validation sessions
+//! ([`crowdval_triage::TriageConfig::observe_only`]: features assembled and
+//! churn tracked, but nothing finalized or pre-filtered) over synthetic
+//! corpora, harvests one labeled example per object — the session's own
+//! [`crowdval_core::TriageFeatures`] vector, labeled by whether the
+//! unaided posterior's modal label matches the ground truth — and fits the
+//! logistic model by SGD with a deterministic seed and a deterministic
+//! shuffle. Same config, same report, bit for bit.
+//!
+//! The calibrated defaults baked into
+//! `crowdval_triage::ConvergencePredictor::calibrated()` were derived with
+//! this harness (see ROADMAP.md for the methodology and the numbers).
+
+use crate::generator::SyntheticConfig;
+use crowdval_core::{
+    ConvergencePredictor, ProcessConfig, TriageConfig, TriageFeatures, ValidationSessionBuilder,
+};
+use crowdval_model::{ObjectId, Vote};
+use serde::{Deserialize, Serialize};
+
+/// One labeled training example: the triage features of an object and
+/// whether the unaided crowd converged to its true label.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrainingExample {
+    pub features: TriageFeatures,
+    pub converged: bool,
+}
+
+/// Harness configuration. Everything is seeded; two runs with the same
+/// config produce bit-identical reports.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriageTrainingConfig {
+    /// Training corpora (each a synthetic dataset under a derived seed).
+    pub corpora: usize,
+    /// Objects per corpus.
+    pub objects: usize,
+    /// Ingest chunks per corpus — each chunk is one re-aggregation round,
+    /// which is what gives the churn feature a history to decay over.
+    pub batches: usize,
+    /// SGD epochs over the shuffled example pool.
+    pub epochs: usize,
+    /// Triage knobs: `learning_rate` and `seed` drive the SGD; the
+    /// thresholds are forced to observe-only inside the harness.
+    pub triage: TriageConfig,
+    /// Base seed for corpus generation; corpus `i` uses `seed + i` and the
+    /// hold-out corpus `seed + corpora`.
+    pub seed: u64,
+}
+
+impl TriageTrainingConfig {
+    /// The calibration setup: four paper-default training corpora plus one
+    /// hold-out, with enough ingest rounds for churn histories to settle.
+    pub fn paper_default() -> Self {
+        Self {
+            corpora: 4,
+            objects: 48,
+            batches: 4,
+            epochs: 30,
+            triage: TriageConfig::observe_only(),
+            seed: 0x7419_0001,
+        }
+    }
+}
+
+/// What a training run produced: the fitted model, the data shape and the
+/// hold-out quality. `weights`/`bias` duplicate the predictor's internals
+/// for the calibration report (serializable as plain JSON numbers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingReport {
+    pub predictor: ConvergencePredictor,
+    pub examples: usize,
+    pub positives: usize,
+    pub holdout_examples: usize,
+    pub holdout_accuracy: f64,
+    pub holdout_log_loss: f64,
+    pub weights: Vec<f64>,
+    pub bias: f64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Deterministic Fisher–Yates over the index range.
+fn shuffled_indices(len: usize, seed: u64) -> Vec<usize> {
+    let mut state = seed;
+    let mut idx: Vec<usize> = (0..len).collect();
+    for i in (1..len).rev() {
+        let j = (splitmix64(&mut state) % (i as u64 + 1)) as usize;
+        idx.swap(i, j);
+    }
+    idx
+}
+
+/// Runs one observe-only session over a synthetic corpus and harvests one
+/// labeled example per object. The session ingests the votes in `batches`
+/// chunks so the churn tracker sees a real round history.
+pub fn collect_examples(
+    objects: usize,
+    batches: usize,
+    corpus_seed: u64,
+    triage: &TriageConfig,
+) -> Vec<TrainingExample> {
+    let synth = SyntheticConfig {
+        num_objects: objects,
+        ..SyntheticConfig::paper_default(corpus_seed)
+    }
+    .generate();
+    let answers = synth.dataset.answers();
+    let truth = synth.dataset.ground_truth();
+    let votes: Vec<Vote> = answers
+        .matrix()
+        .iter()
+        .map(|(o, w, l)| Vote::new(o, w, l))
+        .collect();
+    let observe = TriageConfig {
+        learning_rate: triage.learning_rate,
+        seed: triage.seed,
+        ..TriageConfig::observe_only()
+    };
+    let mut session = ValidationSessionBuilder::empty(answers.num_labels())
+        .config(ProcessConfig {
+            triage: observe,
+            ..ProcessConfig::default()
+        })
+        .build();
+    let chunk = votes.len().div_ceil(batches.max(1)).max(1);
+    for batch in votes.chunks(chunk) {
+        session
+            .ingest(batch)
+            .expect("synthetic votes are in range");
+    }
+    let unaided = session.current().instantiate();
+    (0..objects)
+        .map(|o| {
+            let object = ObjectId(o);
+            TrainingExample {
+                features: session
+                    .triage_features(object)
+                    .expect("object within corpus"),
+                converged: unaided.label(object) == truth.label(object),
+            }
+        })
+        .collect()
+}
+
+/// Binary log-loss of a score against a boolean label, with the usual
+/// clamping away from 0/1.
+fn log_loss(score: f64, converged: bool) -> f64 {
+    let p = score.clamp(1e-9, 1.0 - 1e-9);
+    if converged {
+        -p.ln()
+    } else {
+        -(1.0 - p).ln()
+    }
+}
+
+/// Trains a fresh predictor by SGD over the pooled training corpora and
+/// evaluates it on a hold-out corpus none of the training saw.
+/// Deterministic end to end.
+pub fn train_convergence_predictor(config: &TriageTrainingConfig) -> TrainingReport {
+    let mut pool: Vec<TrainingExample> = Vec::new();
+    for i in 0..config.corpora {
+        pool.extend(collect_examples(
+            config.objects,
+            config.batches,
+            config.seed + i as u64,
+            &config.triage,
+        ));
+    }
+    let positives = pool.iter().filter(|e| e.converged).count();
+    let mut predictor = ConvergencePredictor::new(config.triage.seed);
+    for epoch in 0..config.epochs {
+        let order = shuffled_indices(pool.len(), config.triage.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9));
+        for i in order {
+            let e = &pool[i];
+            predictor.train(&e.features, e.converged, config.triage.learning_rate);
+        }
+    }
+    let holdout = collect_examples(
+        config.objects,
+        config.batches,
+        config.seed + config.corpora as u64,
+        &config.triage,
+    );
+    let mut correct = 0usize;
+    let mut loss = 0.0;
+    for e in &holdout {
+        let p = predictor.score(&e.features);
+        if (p >= 0.5) == e.converged {
+            correct += 1;
+        }
+        loss += log_loss(p, e.converged);
+    }
+    let holdout_examples = holdout.len();
+    TrainingReport {
+        weights: predictor.weights().to_vec(),
+        bias: predictor.bias(),
+        examples: pool.len(),
+        positives,
+        holdout_examples,
+        holdout_accuracy: correct as f64 / holdout_examples.max(1) as f64,
+        holdout_log_loss: loss / holdout_examples.max(1) as f64,
+        predictor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> TriageTrainingConfig {
+        TriageTrainingConfig {
+            corpora: 2,
+            objects: 24,
+            batches: 3,
+            epochs: 10,
+            ..TriageTrainingConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn examples_are_finite_and_labeled() {
+        let examples = collect_examples(16, 3, 5, &TriageConfig::observe_only());
+        assert_eq!(examples.len(), 16);
+        for e in &examples {
+            assert!(e.features.is_finite());
+            assert!((0.0..=1.0).contains(&e.features.entropy));
+        }
+        // A small paper-default crowd (spammers included) converges on
+        // roughly half its objects unaided — both classes must be present,
+        // or the harness could not train anything.
+        let positives = examples.iter().filter(|e| e.converged).count();
+        assert!(positives > 0 && positives < examples.len());
+    }
+
+    #[test]
+    fn training_is_deterministic() {
+        let a = train_convergence_predictor(&quick());
+        let b = train_convergence_predictor(&quick());
+        assert_eq!(a, b);
+        for (x, y) in a.weights.iter().zip(b.weights.iter()) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn trained_model_beats_chance_on_the_holdout() {
+        let report = train_convergence_predictor(&quick());
+        assert!(report.examples > 0 && report.positives > 0);
+        assert!(
+            report.holdout_accuracy > 0.6,
+            "hold-out accuracy {}",
+            report.holdout_accuracy
+        );
+        assert!(report.holdout_log_loss.is_finite());
+    }
+}

@@ -1,0 +1,119 @@
+//! The per-object feature vector behind the convergence prediction.
+//!
+//! Every field is a signal the validation session already maintains; the
+//! session assembles them and this module only normalizes. All transformed
+//! features live in `[0, 1]` and point the same way — *higher means more
+//! likely to converge without an expert* — which keeps the logistic weights
+//! interpretable and the calibrated defaults portable across corpora.
+
+use serde::{Deserialize, Serialize};
+
+/// Soft saturation scale for the vote-count feature: with 4.0, four votes
+/// reach 0.5 and twelve votes 0.75 — matching the paper-scale corpora where
+/// a dozen votes per object is a well-covered object.
+const VOTE_SCALE: f64 = 4.0;
+
+/// The raw triage signals for one object. See the crate docs for where each
+/// one comes from; [`TriageFeatures::vector`] is the normalized form the
+/// predictor consumes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriageFeatures {
+    /// Posterior entropy of the object's assignment row, normalized by
+    /// `ln(num_labels)` so it lives in `[0, 1]` regardless of label count.
+    pub entropy: f64,
+    /// Visible (non-tombstoned) votes on the object.
+    pub votes: u32,
+    /// Margin between the modal and runner-up labels as a fraction of the
+    /// votes, in `[0, 1]` (see `crowdval_model::VoteTally::margin`).
+    pub margin: f64,
+    /// Mean trust of the object's voters in `[0, 1]` (1 − suspicion from the
+    /// streaming trust ledger), averaged in worker-id order so summation
+    /// order never shifts the mean. The ledger's evidence itself (copy
+    /// detection, batch-kappa dissent) is a streaming signal and does depend
+    /// on arrival order.
+    pub trust: f64,
+    /// EWMA of posterior movement across EM rounds, in `[0, 1]`
+    /// (the aggregation crate's `ChurnTracker`).
+    pub churn: f64,
+}
+
+impl TriageFeatures {
+    /// Dimension of the normalized feature vector.
+    pub const DIM: usize = 5;
+
+    /// The normalized feature vector, every entry in `[0, 1]` and oriented
+    /// so that larger values mean "more likely to converge unaided":
+    /// certainty (1 − entropy), saturating vote count, vote margin, voter
+    /// trust, stillness (1 − churn).
+    pub fn vector(&self) -> [f64; Self::DIM] {
+        let votes = f64::from(self.votes);
+        [
+            1.0 - self.entropy,
+            votes / (votes + VOTE_SCALE),
+            self.margin,
+            self.trust,
+            1.0 - self.churn,
+        ]
+    }
+
+    /// True when every raw signal is finite. The policy escalates non-finite
+    /// feature vectors instead of scoring them, so a numeric glitch upstream
+    /// degrades to "ask the expert" rather than to a garbage auto-finalize.
+    pub fn is_finite(&self) -> bool {
+        self.entropy.is_finite()
+            && self.margin.is_finite()
+            && self.trust.is_finite()
+            && self.churn.is_finite()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_is_bounded_and_oriented() {
+        let f = TriageFeatures {
+            entropy: 0.1,
+            votes: 12,
+            margin: 0.8,
+            trust: 0.9,
+            churn: 0.2,
+        };
+        let v = f.vector();
+        for x in v {
+            assert!((0.0..=1.0).contains(&x), "feature out of range: {x}");
+        }
+        assert!((v[0] - 0.9).abs() < 1e-12);
+        assert!((v[1] - 0.75).abs() < 1e-12);
+        assert!((v[4] - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn finiteness_check_catches_nan() {
+        let mut f = TriageFeatures {
+            entropy: 0.0,
+            votes: 0,
+            margin: 0.0,
+            trust: 1.0,
+            churn: 0.0,
+        };
+        assert!(f.is_finite());
+        f.trust = f64::NAN;
+        assert!(!f.is_finite());
+    }
+
+    #[test]
+    fn round_trips_through_json() {
+        let f = TriageFeatures {
+            entropy: 0.25,
+            votes: 7,
+            margin: 0.5,
+            trust: 0.75,
+            churn: 0.125,
+        };
+        let json = serde_json::to_string(&f).unwrap();
+        let reread: TriageFeatures = serde_json::from_str(&json).unwrap();
+        assert_eq!(f, reread);
+    }
+}

@@ -1,0 +1,42 @@
+//! Agreement-prediction triage (ROADMAP item 1): an online convergence
+//! predictor that rations the expert budget.
+//!
+//! The paper's objective is minimizing *expert effort* — every expert query
+//! is the scarce resource. This crate adds the missing decision layer on top
+//! of the scoring engine: a per-object prediction of "will the crowd converge
+//! to the right label without an expert?", computed from signals the
+//! validation session already maintains:
+//!
+//! * **posterior entropy** — the `shortlist.rs` entropy cache,
+//! * **vote count** and **vote margin** — the visible vote multiset
+//!   ([`crowdval_model::VoteTally`]),
+//! * **worker-mix trust** — the streaming trust ledger of the voters,
+//! * **posterior churn** — how much the object's posterior row still moves
+//!   across EM rounds (the aggregation crate's `ChurnTracker`).
+//!
+//! A [`ConvergencePredictor`] (online logistic regression, SGD, deterministic
+//! seeding, snapshot-serializable weights) maps a [`TriageFeatures`] vector to
+//! a convergence probability, and the [`TriageConfig`] thresholds turn that
+//! score into one of three [`TriageDecision`]s:
+//!
+//! * **auto-finalize** — predicted unanimous *and* above a posterior
+//!   confidence floor with enough votes: the session records the modal label
+//!   as the validation outcome without spending an expert query, leaving an
+//!   [`AuditRecord`] behind;
+//! * **contentious** — predicted to stay disputed: these objects form the
+//!   pre-filtered candidate pool so information-gain fan-out only runs where
+//!   an expert is actually worth the effort;
+//! * **escalate** — everything in between rides the normal selection path.
+//!
+//! The crate deliberately depends only on `crowdval-model` and serde: the
+//! session (in `crowdval-core`) assembles the features from its caches and
+//! hands them over, which keeps this layer a pure, deterministic function of
+//! its inputs — the property the snapshot/restore bit-identity tests lean on.
+
+pub mod features;
+pub mod policy;
+pub mod predictor;
+
+pub use features::TriageFeatures;
+pub use policy::{AuditRecord, TriageConfig, TriageCounters, TriageDecision, TriageState, TriageVerdict};
+pub use predictor::ConvergencePredictor;

@@ -1,0 +1,379 @@
+//! The triage policy: thresholds over the predictor score, the mutable
+//! per-session triage state (predictor + audit trail + counters), and the
+//! three-way decision the session acts on.
+
+use crate::features::TriageFeatures;
+use crate::predictor::ConvergencePredictor;
+use crowdval_model::{LabelId, ObjectId};
+use serde::{Deserialize, Serialize};
+
+/// The triage knobs. Lives inside the session's `ProcessConfig`, so it is
+/// `Copy` and carries no model weights — those live in [`TriageState`],
+/// which snapshots separately.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TriageConfig {
+    /// Master switch; everything below is inert when false (the default —
+    /// triage is strictly opt-in).
+    pub enabled: bool,
+    /// Predictor score at or above which an object becomes an
+    /// auto-finalize candidate while the expert anchor set is still small
+    /// (fewer than [`TriageConfig::relax_after_validations`] validations).
+    pub finalize_threshold: f64,
+    /// Finalize threshold once `relax_after_validations` expert anchors
+    /// exist. EM confusion estimates — and with them the predictor's
+    /// entropy and churn inputs — are far more trustworthy once every
+    /// worker has a handful of anchored answers, so the bar can drop
+    /// without admitting the confidently-wrong early finalizations.
+    pub relaxed_threshold: f64,
+    /// Number of expert validations after which the relaxed threshold
+    /// applies. Calibrated against the anchors-per-worker point where EM
+    /// score trajectories stop crashing on re-anchor (see ROADMAP).
+    pub relax_after_validations: u32,
+    /// The posterior modal probability must *also* reach this floor before
+    /// an auto-finalize happens — the predictor alone never finalizes.
+    pub confidence_floor: f64,
+    /// Minimum visible votes before an object may be auto-finalized.
+    pub min_votes: u32,
+    /// Minimum raw vote margin (top minus runner-up, over visible votes)
+    /// for an auto-finalize. The EM posterior saturates near 1.0 even on
+    /// near-tied vote splits once it trusts a clique of workers; the raw
+    /// margin is the one feature that confidence inflation cannot touch,
+    /// so it gets its own hard floor in the conjunction.
+    pub min_margin: f64,
+    /// Predictor score at or below which an object counts as contentious
+    /// and joins the pre-filtered guidance pool.
+    pub contentious_ceiling: f64,
+    /// Expert validations that must exist before the triage pass runs at
+    /// all. Before any expert anchors, the EM confusion estimates — and
+    /// with them the posterior confidence the auto-finalize rule leans
+    /// on — are unvalidated extrapolation; the warm-up keeps the risky
+    /// early finalizations off the table.
+    pub warmup_validations: u32,
+    /// SGD learning rate used by the sim training harness.
+    pub learning_rate: f64,
+    /// Seed for deterministic predictor initialization when training from
+    /// scratch.
+    pub seed: u64,
+}
+
+impl Default for TriageConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            finalize_threshold: 0.955,
+            relaxed_threshold: 0.92,
+            relax_after_validations: 28,
+            confidence_floor: 0.97,
+            min_votes: 4,
+            min_margin: 0.5,
+            contentious_ceiling: 0.5,
+            warmup_validations: 8,
+            learning_rate: 0.05,
+            seed: 0x7419_5eed,
+        }
+    }
+}
+
+impl TriageConfig {
+    /// The calibrated preset: defaults with the master switch on. This is
+    /// what `TaskConfig.triage = true` maps to at the service layer.
+    pub fn calibrated() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// The finalize threshold in force after `validated` expert
+    /// validations: strict while EM rests on few anchors, relaxed once
+    /// `relax_after_validations` anchors exist.
+    pub fn finalize_threshold_at(&self, validated: u64) -> f64 {
+        if validated >= u64::from(self.relax_after_validations) {
+            self.relaxed_threshold
+        } else {
+            self.finalize_threshold
+        }
+    }
+
+    /// Observe-only preset: triage is on — the features are assembled, the
+    /// churn tracker is fed, everything is scored — but the thresholds are
+    /// pushed out of reach (scores live in `(0, 1)`), so nothing is ever
+    /// auto-finalized or pre-filtered and the selection order is untouched.
+    /// This is what the sim training harness runs sessions under while it
+    /// collects labeled feature vectors.
+    pub fn observe_only() -> Self {
+        Self {
+            enabled: true,
+            finalize_threshold: 2.0,
+            relaxed_threshold: 2.0,
+            contentious_ceiling: -1.0,
+            ..Self::default()
+        }
+    }
+}
+
+/// What the policy tells the session to do with one object.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TriageDecision {
+    /// Record the posterior's modal label as the validation outcome without
+    /// spending an expert query; an [`AuditRecord`] must be written.
+    AutoFinalize,
+    /// Predicted to stay disputed: keep in the pre-filtered guidance pool
+    /// so information-gain fan-out concentrates here.
+    Contentious,
+    /// Neither confident enough to finalize nor contentious enough to
+    /// prioritize: normal selection path.
+    Escalate,
+}
+
+/// A decision together with the score that produced it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriageVerdict {
+    pub decision: TriageDecision,
+    /// The predictor's convergence probability; NaN features yield 0.
+    pub score: f64,
+}
+
+/// One auto-finalize, as recorded in the audit trail: which object got
+/// which label, at what score and posterior confidence, on which
+/// validation iteration — plus the exact feature vector the decision saw,
+/// so a finalization can be audited without replaying the session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AuditRecord {
+    pub object: ObjectId,
+    pub label: LabelId,
+    pub score: f64,
+    pub confidence: f64,
+    pub iteration: u64,
+    pub features: TriageFeatures,
+}
+
+/// Monotone triage counters. `scored` counts scoring events, not distinct
+/// objects — the same object is re-scored whenever selection reconsiders
+/// it; the decision counters move in lockstep with `scored`, while
+/// `auto_finalized` counts actual finalizations (one per object, ever).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct TriageCounters {
+    pub scored: u64,
+    pub auto_finalized: u64,
+    pub contentious: u64,
+    pub escalated: u64,
+}
+
+/// The serializable per-session triage state: the predictor, the
+/// auto-finalize audit trail and the counters. Stored as its own field on
+/// the session snapshot so triage decisions survive snapshot/restore
+/// bit-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TriageState {
+    predictor: ConvergencePredictor,
+    audit: Vec<AuditRecord>,
+    counters: TriageCounters,
+}
+
+impl Default for TriageState {
+    fn default() -> Self {
+        Self::calibrated()
+    }
+}
+
+impl TriageState {
+    /// State around the calibrated default predictor — what a session uses
+    /// when triage is switched on without an installed custom model.
+    pub fn calibrated() -> Self {
+        Self {
+            predictor: ConvergencePredictor::calibrated(),
+            audit: Vec::new(),
+            counters: TriageCounters::default(),
+        }
+    }
+
+    /// State around a fresh untrained predictor seeded from the config —
+    /// the starting point of the sim training harness.
+    pub fn untrained(config: &TriageConfig) -> Self {
+        Self {
+            predictor: ConvergencePredictor::new(config.seed),
+            audit: Vec::new(),
+            counters: TriageCounters::default(),
+        }
+    }
+
+    /// Scores one object and classifies it against the thresholds; bumps
+    /// the scoring counters. `validated` is the number of expert
+    /// validations so far — it selects the strict or relaxed finalize
+    /// threshold. Non-finite features escalate unconditionally (with score
+    /// 0) instead of reaching the predictor.
+    pub fn decide(
+        &mut self,
+        config: &TriageConfig,
+        features: &TriageFeatures,
+        modal_probability: f64,
+        validated: u64,
+    ) -> TriageVerdict {
+        self.counters.scored += 1;
+        if !features.is_finite() || !modal_probability.is_finite() {
+            self.counters.escalated += 1;
+            return TriageVerdict {
+                decision: TriageDecision::Escalate,
+                score: 0.0,
+            };
+        }
+        let score = self.predictor.score(features);
+        let decision = if score >= config.finalize_threshold_at(validated)
+            && modal_probability >= config.confidence_floor
+            && features.votes >= config.min_votes
+            && features.margin >= config.min_margin
+        {
+            TriageDecision::AutoFinalize
+        } else if score <= config.contentious_ceiling {
+            self.counters.contentious += 1;
+            TriageDecision::Contentious
+        } else {
+            self.counters.escalated += 1;
+            TriageDecision::Escalate
+        };
+        TriageVerdict { decision, score }
+    }
+
+    /// Appends an auto-finalize to the audit trail and bumps the counter.
+    /// The session calls this exactly once per finalized object, after it
+    /// has recorded the label.
+    pub fn record_auto_finalize(&mut self, record: AuditRecord) {
+        self.audit.push(record);
+        self.counters.auto_finalized += 1;
+    }
+
+    /// The auto-finalize audit trail, in finalization order.
+    pub fn audit(&self) -> &[AuditRecord] {
+        &self.audit
+    }
+
+    /// The monotone counters.
+    pub fn counters(&self) -> TriageCounters {
+        self.counters
+    }
+
+    /// The current predictor.
+    pub fn predictor(&self) -> &ConvergencePredictor {
+        &self.predictor
+    }
+
+    /// Mutable access for the sim training harness.
+    pub fn predictor_mut(&mut self) -> &mut ConvergencePredictor {
+        &mut self.predictor
+    }
+
+    /// Installs an externally trained predictor (e.g. from the sim
+    /// harness), keeping audit trail and counters.
+    pub fn set_predictor(&mut self, predictor: ConvergencePredictor) {
+        self.predictor = predictor;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn settled() -> TriageFeatures {
+        TriageFeatures {
+            entropy: 0.02,
+            votes: 8,
+            margin: 1.0,
+            trust: 0.9,
+            churn: 0.0,
+        }
+    }
+
+    fn disputed() -> TriageFeatures {
+        TriageFeatures {
+            entropy: 0.95,
+            votes: 3,
+            margin: 0.1,
+            trust: 0.5,
+            churn: 1.0,
+        }
+    }
+
+    #[test]
+    fn triage_is_off_by_default() {
+        assert!(!TriageConfig::default().enabled);
+        assert!(TriageConfig::calibrated().enabled);
+    }
+
+    #[test]
+    fn settled_objects_auto_finalize_and_disputed_objects_stay_contentious() {
+        let config = TriageConfig::calibrated();
+        let mut state = TriageState::calibrated();
+        let v = state.decide(&config, &settled(), 0.97, 10);
+        assert_eq!(v.decision, TriageDecision::AutoFinalize);
+        assert!(v.score >= config.finalize_threshold);
+        let v = state.decide(&config, &disputed(), 0.55, 10);
+        assert_eq!(v.decision, TriageDecision::Contentious);
+        let c = state.counters();
+        assert_eq!((c.scored, c.contentious, c.escalated), (2, 1, 0));
+    }
+
+    #[test]
+    fn confidence_floor_and_vote_floor_block_finalization() {
+        let config = TriageConfig::calibrated();
+        let mut state = TriageState::calibrated();
+        // High score but the posterior is not confident enough.
+        let v = state.decide(&config, &settled(), 0.80, 10);
+        assert_ne!(v.decision, TriageDecision::AutoFinalize);
+        // High score and confident posterior, but too few votes.
+        let mut thin = settled();
+        thin.votes = config.min_votes - 1;
+        let v = state.decide(&config, &thin, 0.97, 10);
+        assert_ne!(v.decision, TriageDecision::AutoFinalize);
+    }
+
+    #[test]
+    fn non_finite_features_escalate() {
+        let config = TriageConfig::calibrated();
+        let mut state = TriageState::calibrated();
+        let mut f = settled();
+        f.entropy = f64::NAN;
+        let v = state.decide(&config, &f, 0.99, 10);
+        assert_eq!(v.decision, TriageDecision::Escalate);
+        assert_eq!(v.score, 0.0);
+        let v = state.decide(&config, &settled(), f64::NAN, 10);
+        assert_eq!(v.decision, TriageDecision::Escalate);
+    }
+
+    #[test]
+    fn decisions_are_deterministic() {
+        let config = TriageConfig::calibrated();
+        let mut a = TriageState::calibrated();
+        let mut b = TriageState::calibrated();
+        for f in [settled(), disputed()] {
+            let va = a.decide(&config, &f, 0.9, 10);
+            let vb = b.decide(&config, &f, 0.9, 10);
+            assert_eq!(va.decision, vb.decision);
+            assert_eq!(va.score.to_bits(), vb.score.to_bits());
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn audit_trail_and_state_round_trip_through_json() {
+        let config = TriageConfig::calibrated();
+        let mut state = TriageState::calibrated();
+        state.decide(&config, &settled(), 0.97, 10);
+        state.record_auto_finalize(AuditRecord {
+            object: ObjectId(3),
+            label: LabelId(1),
+            score: 0.98,
+            confidence: 0.97,
+            iteration: 5,
+            features: settled(),
+        });
+        assert_eq!(state.audit().len(), 1);
+        assert_eq!(state.counters().auto_finalized, 1);
+        let json = serde_json::to_string(&state).unwrap();
+        let reread: TriageState = serde_json::from_str(&json).unwrap();
+        assert_eq!(state, reread);
+        let config_json = serde_json::to_string(&config).unwrap();
+        let config_reread: TriageConfig = serde_json::from_str(&config_json).unwrap();
+        assert_eq!(config, config_reread);
+    }
+}

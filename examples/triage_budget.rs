@@ -1,0 +1,100 @@
+//! Triage in action: the same crowd validated twice — once paying one
+//! expert query per object, once with agreement-prediction triage
+//! auto-finalizing the objects the crowd will get right on its own.
+//! Prints the budget both runs spent, the audit trail of every
+//! auto-finalize decision, and the precision each run ended with.
+//!
+//! Run with `cargo run --release --example triage_budget`.
+
+use crowd_validation::prelude::*;
+
+/// Streams the crowd through one session and validates with a simulated
+/// expert until every object is finalized (by a query or, in the triaged
+/// run, by the policy). Returns the finished session plus the query count.
+fn run(scenario: &StreamingScenario, triage: TriageConfig) -> (ValidationSession, usize) {
+    let truth = scenario.truth.clone();
+    let mut session = ValidationSessionBuilder::empty(scenario.num_labels)
+        .strategy(Box::new(HybridStrategy::new(7)))
+        .config(ProcessConfig {
+            trust: TrustConfig::streaming_default(),
+            triage,
+            ..ProcessConfig::default()
+        })
+        .ground_truth(truth.clone())
+        .try_build()
+        .expect("scenario is well-formed");
+    session.ingest(&scenario.initial).expect("initial ingest");
+    for batch in &scenario.batches {
+        session.ingest(batch).expect("batch ingest");
+    }
+    let mut queries = 0;
+    while !session.is_finished() {
+        let Some(object) = session.select_next() else {
+            break;
+        };
+        session
+            .integrate(object, truth.label(object))
+            .expect("expert label is in range");
+        queries += 1;
+    }
+    (session, queries)
+}
+
+fn main() {
+    // The paper-default crowd: 20 workers of mixed reliability (spammers
+    // included), every worker voting on every object.
+    let scenario = StreamingConfig {
+        base: SyntheticConfig {
+            num_objects: 72,
+            ..SyntheticConfig::paper_default(74_000)
+        },
+        ..StreamingConfig::paper_default(74_000)
+    }
+    .generate();
+
+    // Arm 1: no triage — every object costs one expert query.
+    let (plain, plain_queries) = run(&scenario, TriageConfig::default());
+
+    // Arm 2: the calibrated triage preset.
+    let (triaged, triaged_queries) = run(&scenario, TriageConfig::calibrated());
+    let counters = triaged.triage_counters();
+
+    println!("objects: {}", scenario.config.base.num_objects);
+    println!(
+        "plain:   {} expert queries, precision {:.4}",
+        plain_queries,
+        plain.precision().unwrap()
+    );
+    println!(
+        "triaged: {} expert queries, precision {:.4}",
+        triaged_queries,
+        triaged.precision().unwrap()
+    );
+    println!(
+        "policy:  {} scored, {} auto-finalized, {} held contentious, {} escalated",
+        counters.scored, counters.auto_finalized, counters.contentious, counters.escalated
+    );
+
+    // Every auto-finalize left an audit record with the features the
+    // policy saw at decide time — this is what an operator reviews.
+    println!("\n audit | object | score  | posterior | votes | margin | trust");
+    println!(" ------+--------+--------+-----------+-------+--------+------");
+    for (i, rec) in triaged.triage_audit().iter().enumerate() {
+        println!(
+            " {:>5} | {:>6} | {:.4} | {:>9.4} | {:>5} | {:>6.2} | {:.3}",
+            i,
+            rec.object.index(),
+            rec.score,
+            rec.confidence,
+            rec.features.votes,
+            rec.features.margin,
+            rec.features.trust,
+        );
+    }
+
+    let saved = plain_queries.saturating_sub(triaged_queries);
+    println!(
+        "\ntriage saved {saved} of {plain_queries} expert queries ({:.0}%)",
+        100.0 * saved as f64 / plain_queries.max(1) as f64
+    );
+}

@@ -75,11 +75,13 @@ pub mod prelude {
         IncrementalEm, InitStrategy, MajorityVoting, ScoringMode,
     };
     pub use crowdval_core::{
-        partition_answer_matrix, ConfirmationCheck, CostModel, EntropyBaseline, EntropyShortlist,
-        ExpertSource, GuidanceCache, GuidanceTelemetry, HybridStrategy, ProcessConfig,
-        RandomSelection, ScoringContext, ScoringEngine, SelectionStrategy, SessionUpdate,
-        StrategyContext, StrategyKind, UncertaintyDriven, ValidationGoal, ValidationProcess,
-        ValidationSession, ValidationSessionBuilder, ValidationTrace, WorkerDriven,
+        partition_answer_matrix, AuditRecord, ConfirmationCheck, ConvergencePredictor, CostModel,
+        EntropyBaseline, EntropyShortlist, ExpertSource, GuidanceCache, GuidanceTelemetry,
+        HybridStrategy, ProcessConfig, RandomSelection, ScoringContext, ScoringEngine,
+        SelectionStrategy, SessionUpdate, StrategyContext, StrategyKind, TriageConfig,
+        TriageCounters, TriageDecision, TriageFeatures, TriageState, TriageVerdict,
+        UncertaintyDriven, ValidationGoal, ValidationProcess, ValidationSession,
+        ValidationSessionBuilder, ValidationTrace, WorkerDriven,
     };
     pub use crowdval_model::{
         AnswerMatrix, AnswerSet, AssignmentMatrix, ConfusionMatrix, Dataset,

@@ -923,3 +923,279 @@ proptest! {
         );
     }
 }
+
+/// Triage thresholds aggressive enough to fire auto-finalizations and
+/// contentious holds on property-scale crowds (a dozen objects, a handful
+/// of anchors). Production uses [`TriageConfig::calibrated`]; these tests
+/// are about decision *replayability*, not about the calibration itself.
+fn aggressive_triage() -> TriageConfig {
+    TriageConfig {
+        enabled: true,
+        finalize_threshold: 0.7,
+        relaxed_threshold: 0.6,
+        relax_after_validations: 4,
+        confidence_floor: 0.7,
+        min_votes: 1,
+        min_margin: 0.0,
+        contentious_ceiling: 0.55,
+        warmup_validations: 1,
+        ..TriageConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Triage decisions are bit-identical across snapshot/restore: interrupt
+    /// a triage-enabled streaming session at a random batch boundary,
+    /// serialize the full snapshot through JSON, restore, and continue — the
+    /// selection order, the auto-finalize audit trail, the counters and the
+    /// predictor weights must all equal the uninterrupted session's exactly.
+    /// The audit trail carries the decide-time feature vectors, so this
+    /// asserts that every *input* to every decision replayed identically,
+    /// not just the verdicts.
+    #[test]
+    fn triage_decisions_survive_snapshot_restore(
+        seed in any::<u64>(),
+        snap_numerator in any::<u64>(),
+        strategy_seed in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 14,
+                num_workers: 9,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+
+        let build = || {
+            ValidationSessionBuilder::empty(scenario.num_labels)
+                .strategy(Box::new(HybridStrategy::new(strategy_seed)))
+                .config(ProcessConfig {
+                    triage: aggressive_triage(),
+                    ..ProcessConfig::default()
+                })
+                .try_build()
+                .unwrap()
+        };
+        let validate = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        // Uninterrupted reference.
+        let mut reference = build();
+        let mut ref_picks = Vec::new();
+        reference.ingest(&scenario.initial).unwrap();
+        validate(&mut reference, &mut ref_picks);
+        for batch in &scenario.batches {
+            reference.ingest(batch).unwrap();
+            validate(&mut reference, &mut ref_picks);
+        }
+
+        // Interrupted run: snapshot after a random batch, restore from JSON.
+        let snap_after = (snap_numerator % (scenario.batches.len() as u64 + 1)) as usize;
+        let mut live = build();
+        let mut picks = Vec::new();
+        live.ingest(&scenario.initial).unwrap();
+        validate(&mut live, &mut picks);
+        for batch in &scenario.batches[..snap_after] {
+            live.ingest(batch).unwrap();
+            validate(&mut live, &mut picks);
+        }
+        let json = serde_json::to_string(&live.snapshot().unwrap()).unwrap();
+        drop(live);
+        let snapshot: crowd_validation::core::SessionSnapshot =
+            serde_json::from_str(&json).unwrap();
+        let mut restored = ValidationSession::restore(snapshot).unwrap();
+        for batch in &scenario.batches[snap_after..] {
+            restored.ingest(batch).unwrap();
+            validate(&mut restored, &mut picks);
+        }
+
+        prop_assert_eq!(picks, ref_picks);
+        prop_assert_eq!(restored.triage_state(), reference.triage_state());
+        prop_assert_eq!(restored.triage_audit(), reference.triage_audit());
+        prop_assert_eq!(restored.triage_counters(), reference.triage_counters());
+        prop_assert_eq!(
+            restored.snapshot().unwrap(),
+            reference.snapshot().unwrap()
+        );
+    }
+
+    /// Triage decisions are bit-identical through the WAL/delta-replay path:
+    /// anchor a full snapshot mid-schedule on a triage-enabled session with
+    /// the delta log on, keep validating, then replay the
+    /// [`crowd_validation::core::SessionDelta`] (serialized through JSON) on
+    /// the anchor. The replayed session re-runs the triage passes from the
+    /// event log — audit trail, counters and predictor weights must come out
+    /// exactly as in the live session.
+    #[test]
+    fn triage_decisions_survive_delta_replay(
+        seed in any::<u64>(),
+        anchor_numerator in any::<u64>(),
+        strategy_seed in any::<u64>()
+    ) {
+        let scenario = StreamingConfig {
+            base: SyntheticConfig {
+                num_objects: 14,
+                num_workers: 9,
+                reliability: 0.85,
+                mix: PopulationMix::all_reliable(),
+                ..SyntheticConfig::paper_default(seed)
+            },
+            initial_fraction: 0.3,
+            batch_size: 30,
+            late_object_fraction: 0.3,
+            late_worker_fraction: 0.25,
+        }
+        .generate();
+        let truth = scenario.truth.clone();
+
+        let mut live = ValidationSessionBuilder::empty(scenario.num_labels)
+            .strategy(Box::new(HybridStrategy::new(strategy_seed)))
+            .config(ProcessConfig {
+                triage: aggressive_triage(),
+                ..ProcessConfig::default()
+            })
+            .try_build()
+            .unwrap();
+        live.enable_delta_log();
+        let validate = |session: &mut ValidationSession| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+
+        live.ingest(&scenario.initial).unwrap();
+        validate(&mut live);
+        let anchor_after = (anchor_numerator % (scenario.batches.len() as u64 + 1)) as usize;
+        for batch in &scenario.batches[..anchor_after] {
+            live.ingest(batch).unwrap();
+            validate(&mut live);
+        }
+        let anchor = live.snapshot().unwrap();
+
+        for batch in &scenario.batches[anchor_after..] {
+            live.ingest(batch).unwrap();
+            validate(&mut live);
+        }
+
+        let delta = live.delta_snapshot().unwrap();
+        let json = serde_json::to_string(&delta).unwrap();
+        let delta: crowd_validation::core::SessionDelta =
+            serde_json::from_str(&json).unwrap();
+        let replayed = ValidationSession::restore_with_delta(anchor, delta).unwrap();
+
+        prop_assert_eq!(replayed.triage_state(), live.triage_state());
+        prop_assert_eq!(replayed.triage_audit(), live.triage_audit());
+        prop_assert_eq!(replayed.triage_counters(), live.triage_counters());
+        prop_assert_eq!(replayed.trace(), live.trace());
+        prop_assert_eq!(replayed.snapshot().unwrap(), live.snapshot().unwrap());
+    }
+
+    /// The triage feature extraction is deterministic, finite and — for the
+    /// multiset features — invariant under worker-arrival reordering of the
+    /// same vote multiset ingested as one batch. `votes` and `margin` are
+    /// pure functions of the visible vote multiset, so they must match
+    /// bit-for-bit across orders. `trust` reads the streaming ledger (whose
+    /// copy evidence is arrival-order-dependent by design) and `entropy` /
+    /// `churn` read the EM posterior, whose floating-point summation follows
+    /// arrival order — for those three, this asserts exact determinism
+    /// (same order → same bits) plus finiteness and range, not cross-order
+    /// bit-equality.
+    #[test]
+    fn triage_features_are_deterministic_finite_and_order_invariant(
+        seed in any::<u64>(),
+        order_seed in any::<u64>(),
+        num_objects in 8usize..20,
+        num_workers in 6usize..14,
+        reliability in 0.7f64..0.95
+    ) {
+        use rand::rngs::StdRng;
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+
+        let synth = SyntheticConfig {
+            num_objects,
+            num_workers,
+            reliability,
+            mix: PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(seed)
+        }
+        .generate();
+        let answers = synth.dataset.answers().clone();
+        let mut votes: Vec<Vote> = answers
+            .matrix()
+            .iter()
+            .map(|(o, w, l)| Vote::new(o, w, l))
+            .collect();
+
+        let features_of = |votes: &[Vote]| -> Vec<TriageFeatures> {
+            let mut session = ValidationSessionBuilder::empty(answers.num_labels())
+                .strategy(Box::new(EntropyBaseline))
+                .build();
+            session.ingest(votes).unwrap();
+            (0..answers.num_objects())
+                .map(|o| session.triage_features(ObjectId(o)).unwrap())
+                .collect()
+        };
+
+        let bits = |f: &TriageFeatures| {
+            (
+                f.entropy.to_bits(),
+                f.votes,
+                f.margin.to_bits(),
+                f.trust.to_bits(),
+                f.churn.to_bits(),
+            )
+        };
+
+        let original = features_of(&votes);
+        // Determinism: the identical arrival order reproduces every feature
+        // bit-for-bit.
+        let repeat = features_of(&votes);
+        for (a, b) in original.iter().zip(&repeat) {
+            prop_assert_eq!(bits(a), bits(b));
+        }
+
+        votes.shuffle(&mut StdRng::seed_from_u64(order_seed));
+        let reordered = features_of(&votes);
+        for (o, (a, b)) in original.iter().zip(&reordered).enumerate() {
+            // Multiset features: bit-identical across arrival orders.
+            prop_assert_eq!(a.votes, b.votes, "votes diverged on object {}", o);
+            prop_assert_eq!(
+                a.margin.to_bits(), b.margin.to_bits(),
+                "margin diverged on object {}", o
+            );
+            // Posterior-path features: finite and in range in both orders.
+            for f in [a, b] {
+                prop_assert!(f.is_finite());
+                prop_assert!((0.0..=1.0).contains(&f.entropy));
+                prop_assert!((0.0..=1.0).contains(&f.margin));
+                prop_assert!((0.0..=1.0).contains(&f.trust));
+                prop_assert!((0.0..=1.0).contains(&f.churn));
+            }
+            // And the normalized vector the predictor consumes is bounded.
+            for x in a.vector() {
+                prop_assert!((0.0..=1.0).contains(&x));
+            }
+        }
+    }
+}

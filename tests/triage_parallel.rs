@@ -1,0 +1,130 @@
+//! Triage decisions are identical whether the session scores candidates
+//! serially or on the parallel path.
+//!
+//! Two full triage-enabled validation runs over the same streaming crowd:
+//! one with `ProcessConfig::parallel = false` and the blocked-EM thread
+//! override pinned to 1, one with `parallel = true` and 3 EM threads. The
+//! selection order, the auto-finalize audit trail (which carries the
+//! decide-time feature vectors), the counters, the predictor weights and
+//! the final posterior must all match bit-for-bit — the parallelism knobs
+//! change scheduling, never results (see the determinism contract in
+//! `crowdval_aggregation::parblock`, asserted at kernel scale by that
+//! crate's `parallel_identity` test; this test asserts the same contract
+//! end-to-end through the triage policy).
+//!
+//! Everything lives in one `#[test]` because `set_em_threads` is a global
+//! knob: concurrent tests flipping it would race each other. Integration
+//! tests get their own process, so other suites are unaffected.
+
+use crowd_validation::aggregation::set_em_threads;
+use crowd_validation::prelude::*;
+
+/// Triage thresholds aggressive enough to fire decisions on a small crowd;
+/// mirrors the helper in `tests/properties.rs`.
+fn aggressive_triage() -> TriageConfig {
+    TriageConfig {
+        enabled: true,
+        finalize_threshold: 0.7,
+        relaxed_threshold: 0.6,
+        relax_after_validations: 4,
+        confidence_floor: 0.7,
+        min_votes: 1,
+        min_margin: 0.0,
+        contentious_ceiling: 0.55,
+        warmup_validations: 1,
+        ..TriageConfig::default()
+    }
+}
+
+#[test]
+fn triage_decisions_are_identical_serial_vs_parallel() {
+    let scenario = StreamingConfig {
+        base: SyntheticConfig {
+            num_objects: 24,
+            num_workers: 12,
+            reliability: 0.8,
+            mix: PopulationMix::all_reliable(),
+            ..SyntheticConfig::paper_default(0x7a11)
+        },
+        initial_fraction: 0.3,
+        batch_size: 40,
+        late_object_fraction: 0.2,
+        late_worker_fraction: 0.2,
+    }
+    .generate();
+    let truth = scenario.truth.clone();
+
+    let run = |parallel: bool| {
+        let mut session = ValidationSessionBuilder::empty(scenario.num_labels)
+            .strategy(Box::new(HybridStrategy::new(11)))
+            .config(ProcessConfig {
+                parallel,
+                triage: aggressive_triage(),
+                ..ProcessConfig::default()
+            })
+            .try_build()
+            .unwrap();
+        let mut picks = Vec::new();
+        let validate = |session: &mut ValidationSession, picks: &mut Vec<ObjectId>| {
+            if session.answers().num_objects() == 0 {
+                return;
+            }
+            if let Some(o) = session.select_next() {
+                picks.push(o);
+                session.integrate(o, truth.label(o)).unwrap();
+            }
+        };
+        session.ingest(&scenario.initial).unwrap();
+        validate(&mut session, &mut picks);
+        for batch in &scenario.batches {
+            session.ingest(batch).unwrap();
+            validate(&mut session, &mut picks);
+        }
+        // Drain the remaining pool so every triage verdict gets exercised.
+        while !session.is_finished() {
+            let before = picks.len();
+            validate(&mut session, &mut picks);
+            if picks.len() == before {
+                break;
+            }
+        }
+        (picks, session)
+    };
+
+    set_em_threads(1);
+    let (serial_picks, serial) = run(false);
+    set_em_threads(3);
+    let (parallel_picks, parallel) = run(true);
+    set_em_threads(0); // back to the environment default
+
+    assert_eq!(serial_picks, parallel_picks, "selection order diverged");
+    assert_eq!(
+        serial.triage_audit(),
+        parallel.triage_audit(),
+        "audit trail diverged"
+    );
+    assert_eq!(
+        serial.triage_counters(),
+        parallel.triage_counters(),
+        "counters diverged"
+    );
+    assert_eq!(
+        serial.triage_state(),
+        parallel.triage_state(),
+        "predictor state diverged"
+    );
+    assert!(
+        serial.triage_counters().auto_finalized > 0 || serial.triage_counters().contentious > 0,
+        "the scenario never exercised a triage decision — thresholds too timid"
+    );
+    // The full snapshots differ only in the embedded `ProcessConfig`
+    // (`parallel` is the independent variable here), so compare the result
+    // state directly instead.
+    assert_eq!(serial.current(), parallel.current(), "posterior diverged");
+    assert_eq!(serial.trace(), parallel.trace(), "trace diverged");
+    assert_eq!(
+        serial.excluded_workers(),
+        parallel.excluded_workers(),
+        "exclusions diverged"
+    );
+}
