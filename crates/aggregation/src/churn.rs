@@ -81,8 +81,7 @@ impl ChurnTracker {
         }
         for &o in moved {
             if o.index() < self.scores.len() {
-                self.scores[o.index()] =
-                    (self.scores[o.index()] + (1.0 - CHURN_DECAY)).min(1.0);
+                self.scores[o.index()] = (self.scores[o.index()] + (1.0 - CHURN_DECAY)).min(1.0);
             }
         }
         self.rounds += 1;

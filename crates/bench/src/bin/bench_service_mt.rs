@@ -292,6 +292,7 @@ fn start_runtime(workload: &Workload, num_shards: usize) -> (ShardRuntime, Recei
         num_shards,
         mailbox_capacity: workload.envelopes.len(),
         overload: OverloadPolicy::Block,
+        ..RuntimeConfig::default()
     })
 }
 

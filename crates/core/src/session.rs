@@ -832,14 +832,12 @@ impl ValidationSession {
         for object in candidates {
             let features = self.triage_features_fresh(object);
             let (label, confidence) = self.posterior_modal(object);
-            let verdict = self
-                .triage
-                .decide(
-                    &self.config.triage,
-                    &features,
-                    confidence,
-                    self.iteration as u64,
-                );
+            let verdict = self.triage.decide(
+                &self.config.triage,
+                &features,
+                confidence,
+                self.iteration as u64,
+            );
             match verdict.decision {
                 TriageDecision::AutoFinalize => {
                     self.expert.set(object, label);
@@ -1334,6 +1332,31 @@ impl ValidationSession {
     /// the uninterrupted run — RNG streams of roulette-wheel strategies
     /// included.
     pub fn snapshot(&self) -> Result<SessionSnapshot, ModelError> {
+        let snapshot = self.recovery_snapshot()?;
+        // This full snapshot is the new anchor: deltas taken from here on
+        // describe changes relative to it, so the log restarts empty.
+        // (Interior mutability: re-anchoring is the one place the delta log
+        // mutates under `&self`.)
+        if let Some(wal) = self.wal.borrow_mut().as_mut() {
+            wal.anchor_iteration = self.iteration;
+            wal.anchor_votes_ingested = self.votes_ingested;
+            wal.events.clear();
+        }
+        Ok(snapshot)
+    }
+
+    /// The same complete checkpoint as [`ValidationSession::snapshot`] but
+    /// **without re-anchoring the delta log** — a pure read.
+    ///
+    /// This is the entry point for *background* checkpoints taken by a
+    /// supervisor on behalf of the session's owner: the client-visible
+    /// delta-log anchor (the contract behind `SnapshotDelta` /
+    /// `RestoreDelta` at the service layer) must not move just because a
+    /// crash-recovery anchor was captured. Pair it with
+    /// [`ValidationSession::delta_snapshot`] to capture the log itself and
+    /// [`ValidationSession::install_delta_log`] to reinstate it verbatim
+    /// after a restore.
+    pub fn recovery_snapshot(&self) -> Result<SessionSnapshot, ModelError> {
         let aggregator =
             self.aggregator
                 .snapshot_state()
@@ -1367,15 +1390,6 @@ impl ValidationSession {
             aggregator,
             strategy,
         };
-        // This full snapshot is the new anchor: deltas taken from here on
-        // describe changes relative to it, so the log restarts empty.
-        // (Interior mutability: re-anchoring is the one place the delta log
-        // mutates under `&self`.)
-        if let Some(wal) = self.wal.borrow_mut().as_mut() {
-            wal.anchor_iteration = self.iteration;
-            wal.anchor_votes_ingested = self.votes_ingested;
-            wal.events.clear();
-        }
         Ok(snapshot)
     }
 
@@ -1624,6 +1638,33 @@ impl ValidationSession {
             anchor_votes_ingested: wal.anchor_votes_ingested,
             events: wal.events.clone(),
         })
+    }
+
+    /// Reinstates a previously captured delta log verbatim — anchor counters
+    /// and pending events included — on a freshly restored session.
+    ///
+    /// This is the recovery counterpart of
+    /// [`ValidationSession::recovery_snapshot`]: a supervisor that rebuilds a
+    /// crashed session from a background anchor must put the *client-visible*
+    /// delta log back exactly as the client last saw it, so a `SnapshotDelta`
+    /// taken after recovery is indistinguishable from one taken before the
+    /// crash. Fails with a typed error on a format-version mismatch.
+    pub fn install_delta_log(&mut self, delta: SessionDelta) -> Result<(), ModelError> {
+        if delta.format_version != crate::snapshot::SNAPSHOT_FORMAT_VERSION {
+            return Err(ModelError::InvalidSnapshot {
+                message: format!(
+                    "delta log format v{} not supported (this build reads v{})",
+                    delta.format_version,
+                    crate::snapshot::SNAPSHOT_FORMAT_VERSION
+                ),
+            });
+        }
+        *self.wal.get_mut() = Some(SessionWal {
+            anchor_iteration: delta.anchor_iteration,
+            anchor_votes_ingested: delta.anchor_votes_ingested,
+            events: delta.events,
+        });
+        Ok(())
     }
 
     /// Appends an event to the delta log, if it is recording.

@@ -206,8 +206,15 @@ mod tests {
         let p = state(&[&[0.5, 0.5], &[0.9, 0.1]]);
         let mut cache = EntropyShortlist::new();
         cache.refresh(&p);
-        assert_eq!(cache.try_entropy(ObjectId(1)), Some(cache.entropy(ObjectId(1))));
-        assert_eq!(cache.try_entropy(ObjectId(2)), None, "out of range must not panic");
+        assert_eq!(
+            cache.try_entropy(ObjectId(1)),
+            Some(cache.entropy(ObjectId(1)))
+        );
+        assert_eq!(
+            cache.try_entropy(ObjectId(2)),
+            None,
+            "out of range must not panic"
+        );
         assert_eq!(EntropyShortlist::new().try_entropy(ObjectId(0)), None);
     }
 

@@ -25,9 +25,15 @@
 //! * `--mailbox CAP` — per-shard mailbox bound (default 1024).
 //! * `--reject` — reply `Overloaded` when a shard mailbox is full instead
 //!   of blocking the reader (the lossless default for piped scripts).
+//! * `--supervise` — enable crash recovery: per-task checkpoints, automatic
+//!   shard restarts, dispatch deadlines and overload shedding (sharded mode
+//!   only).
+//! * `--chaos` — `--supervise` plus deterministic fault injection: the
+//!   stream may carry `FaultInject` requests arming seeded fault plans (for
+//!   chaos drills; never enable in production).
 
 use crowdval_service::serve::{serve, ServeOptions};
-use crowdval_service::OverloadPolicy;
+use crowdval_service::{OverloadPolicy, SupervisionConfig};
 use std::io;
 
 fn main() {
@@ -46,13 +52,29 @@ fn main() {
         } else {
             OverloadPolicy::Block
         },
+        supervision: if args.iter().any(|a| a == "--chaos") {
+            SupervisionConfig::chaos()
+        } else if args.iter().any(|a| a == "--supervise") {
+            SupervisionConfig::enabled()
+        } else {
+            SupervisionConfig::default()
+        },
     };
     let stdin = io::stdin();
     let (_, summary) = serve(stdin.lock(), io::stdout(), &options);
     if options.shards > 0 {
         eprintln!(
-            "crowdval-serve: {} requests, {} replies, {} malformed, {} overloaded",
-            summary.requests, summary.replies, summary.malformed, summary.overloaded
+            "crowdval-serve: {} requests, {} replies, {} malformed, {} overloaded, {} shed",
+            summary.requests, summary.replies, summary.malformed, summary.overloaded, summary.shed
         );
+        if summary.shard_failures > 0 || summary.requests_flushed > 0 {
+            eprintln!(
+                "crowdval-serve: {} shard failures, {} reply-less requests flushed",
+                summary.shard_failures, summary.requests_flushed
+            );
+        }
+        if summary.writer_panicked {
+            eprintln!("crowdval-serve: writer thread panicked; output truncated");
+        }
     }
 }

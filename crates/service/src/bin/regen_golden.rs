@@ -24,7 +24,7 @@ use std::path::PathBuf;
 /// against the current protocol types (that is the reason this tool
 /// exists), so a typed parse of the whole envelope cannot be relied on.
 fn restore_task_name(line: &str) -> Option<(u64, String)> {
-    let rest = line.strip_prefix(r#"{"version":4,"request_id":"#)?;
+    let rest = line.strip_prefix(r#"{"version":5,"request_id":"#)?;
     let comma = rest.find(',')?;
     let request_id: u64 = rest[..comma].parse().ok()?;
     let rest = rest[comma..].strip_prefix(r#","request":{"Restore":{"task":""#)?;

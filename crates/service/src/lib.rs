@@ -35,7 +35,14 @@
 //! request order preserved), mailboxes are bounded with back-pressure at
 //! the ingest boundary, and replies — matched by the correlation id every
 //! v2 envelope carries — may return out of submission order. Per-shard
-//! counters surface through [`Request::RuntimeStats`].
+//! counters surface through [`Request::RuntimeStats`]. With
+//! [`SupervisionConfig::enabled`] the runtime also self-heals: worker
+//! panics are isolated, dead shards restart from per-task crash
+//! checkpoints (anchor snapshot + acknowledged-mutation log, recovering
+//! exactly the acknowledged prefix), overload sheds advisory reads with
+//! typed `Unavailable { retry_after_ms }` replies, and the deterministic
+//! fault-injection hooks in [`fault`] drive all of it under test via
+//! [`Request::FaultInject`] and [`Request::Health`].
 //!
 //! The `crowdval-serve` binary wraps either mode in a JSON-lines loop (one
 //! request envelope per stdin line, one [`Reply`] per stdout line; see
@@ -43,17 +50,21 @@
 //! would put the same `ValidationService` or `ShardRuntime` behind their
 //! transport of choice.
 
+pub mod fault;
 pub mod protocol;
 pub mod runtime;
 pub mod serve;
 pub mod service;
 mod shard;
+pub mod supervisor;
 
+pub use fault::{FaultKind, FaultPlan, FaultSpec};
 pub use protocol::{
     ClientVote, LabelProbability, Reply, ReplyOutcome, Request, RequestEnvelope, Response,
-    ServiceError, ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot,
-    WorkerTrustEntry, MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
+    ServiceError, ShardHealth, ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot,
+    UnavailableReason, WorkerTrustEntry, MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 pub use runtime::{Dispatch, OverloadPolicy, RuntimeConfig, ShardRuntime};
 pub use serve::{ServeOptions, ServeSummary};
 pub use service::ValidationService;
+pub use supervisor::{ShardFailure, ShutdownReport, SupervisionConfig};

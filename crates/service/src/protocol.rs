@@ -67,12 +67,48 @@ use std::fmt;
 /// depth, [`ShardStats`] gained the `objects_auto_finalized` /
 /// `objects_escalated` counters, and the embedded session snapshot carries
 /// the churn tracker and triage state (snapshot format v5).
-pub const PROTOCOL_VERSION: u32 = 4;
+///
+/// **v5** (incompatible with v4): supervision and fault tolerance.
+/// [`ServiceError::Overloaded`] gained the required `retry_after_ms` hint
+/// and the new [`ServiceError::Unavailable`] carries the same hint for
+/// shed, deadline-exceeded and crash-lost requests (see the *client retry
+/// contract* below). The [`Request::Health`] / [`Response::Health`] pair
+/// reads per-shard liveness and recovery telemetry, [`Request::FaultInject`]
+/// arms a deterministic [`crate::fault::FaultPlan`] on runtimes built with
+/// fault injection enabled, and [`ShardStats`] gained the `restarts`,
+/// `panics_isolated`, `recovered_objects`, `shed_requests` and
+/// `requests_lost` counters.
+///
+/// # Client retry contract
+///
+/// Back-pressure and failure replies are **typed and retryable**; no
+/// accepted-then-lost request goes unanswered:
+///
+/// * [`ServiceError::Overloaded`] — the request was *not* accepted. Wait
+///   `retry_after_ms` (a hint derived from the shard's live queue depth and
+///   median service time), then resubmit the identical envelope. Task state
+///   is untouched, so retrying cannot double-apply.
+/// * [`ServiceError::Unavailable`] with [`UnavailableReason::Shed`] or
+///   [`UnavailableReason::DeadlineExceeded`] — same contract as
+///   `Overloaded`: not accepted, safe to resubmit after `retry_after_ms`.
+/// * [`ServiceError::Unavailable`] with [`UnavailableReason::RequestLost`]
+///   or [`UnavailableReason::WorkerPanicked`] — the request was accepted
+///   but its shard crashed before a success reply was produced. The
+///   supervisor has rolled the owning task back to its **acknowledged
+///   prefix**: every earlier `Ok` reply still holds, the lost request left
+///   no partial state behind. Mutating requests are therefore safe to
+///   resubmit once; read-only requests can simply be retried.
+/// * Every accepted request receives exactly one reply with its
+///   correlation id — on crash or shutdown, unanswerable requests are
+///   flushed as `Unavailable` rather than silently dropped.
+pub const PROTOCOL_VERSION: u32 = 5;
 
 /// Oldest snapshot protocol version [`Request::Restore`] still accepts.
 /// The v3→v4 bump changed the [`TaskSnapshot`] layout (the `triage` config
 /// field and the embedded session's churn/triage state), so older
-/// checkpoints are refused.
+/// checkpoints are refused; the v4→v5 bump left the snapshot layout
+/// untouched (it only extended the control surface), so v4 checkpoints
+/// still restore.
 pub const MIN_SNAPSHOT_PROTOCOL_VERSION: u32 = 4;
 
 /// A request plus the protocol version the client speaks and the client's
@@ -254,6 +290,22 @@ pub enum Request {
     /// [`crate::ValidationService`] answers with a single synthetic shard
     /// describing itself.
     RuntimeStats,
+    /// Reads per-shard liveness and supervision telemetry: whether each
+    /// worker is alive, how often it was restarted, and how much time
+    /// recovery has cost. Dispatcher-handled like [`Request::RuntimeStats`],
+    /// so it keeps answering while shards are down or overloaded — that is
+    /// the point of a health check. A plain [`crate::ValidationService`]
+    /// reports one alive synthetic shard.
+    Health,
+    /// Arms a deterministic fault plan on the runtime (chaos testing).
+    /// Dispatcher-handled; refused with
+    /// [`ServiceError::FaultInjectionDisabled`] unless the runtime was
+    /// built with [`crate::runtime::SupervisionConfig::fault_injection`] —
+    /// a serial [`crate::ValidationService`] always refuses.
+    FaultInject {
+        /// The faults to arm, merged into whatever is already pending.
+        plan: crate::fault::FaultPlan,
+    },
 }
 
 impl Request {
@@ -274,8 +326,41 @@ impl Request {
             | Request::QueryWorkerTrust { task }
             | Request::TriageStats { task }
             | Request::CloseTask { task } => Some(task),
-            Request::RuntimeStats => None,
+            Request::RuntimeStats | Request::Health | Request::FaultInject { .. } => None,
         }
+    }
+
+    /// Whether a successful handling of this request mutates task state.
+    /// Read-only requests are replayable for free; mutating requests are
+    /// what the supervisor's per-task crash-recovery log records, and what
+    /// the shed policy refuses to drop under overload.
+    ///
+    /// [`Request::Snapshot`] counts as mutating: taking a full snapshot
+    /// re-anchors the task's client-visible delta log, and recovery must
+    /// reproduce that anchor. [`Request::RequestGuidance`] counts too — it
+    /// advances the strategy's RNG stream and the triage scorer.
+    pub fn is_mutating(&self) -> bool {
+        !matches!(
+            self,
+            Request::QueryPosterior { .. }
+                | Request::QueryWorkerTrust { .. }
+                | Request::TriageStats { .. }
+                | Request::SnapshotDelta { .. }
+                | Request::RuntimeStats
+                | Request::Health
+                | Request::FaultInject { .. }
+        )
+    }
+
+    /// Whether this request may be shed under overload or mid-recovery.
+    /// Only advisory reads whose loss costs a retry, never data: guidance
+    /// picks and triage counters. Ingest and validation — the requests that
+    /// carry crowd evidence — are never shed.
+    pub fn is_sheddable(&self) -> bool {
+        matches!(
+            self,
+            Request::RequestGuidance { .. } | Request::TriageStats { .. }
+        )
     }
 }
 
@@ -426,6 +511,35 @@ pub enum Response {
     /// single-threaded [`crate::ValidationService`] reports itself as one
     /// shard with no mailbox.
     RuntimeStats { shards: Vec<ShardStats> },
+    /// Reply to [`Request::Health`]: per-shard liveness and recovery
+    /// telemetry.
+    Health { shards: Vec<ShardHealth> },
+    /// Reply to [`Request::FaultInject`]: how many faults the plan armed
+    /// and how many are pending overall (armed but not yet fired).
+    FaultInjected { armed: usize, pending: usize },
+}
+
+/// One shard's liveness report, as returned by [`Response::Health`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardHealth {
+    /// Shard index (0-based).
+    pub shard: usize,
+    /// Whether the shard's worker thread is currently running. A dead
+    /// shard is restarted lazily on its next dispatched request (or
+    /// eagerly by this very health probe when supervision is enabled).
+    pub alive: bool,
+    /// Times the supervisor has restarted this shard's worker.
+    pub restarts: u64,
+    /// Panics the worker isolated (each kills the worker; the next
+    /// dispatch restarts it from the last checkpoint).
+    pub panics_isolated: u64,
+    /// Requests currently waiting in the shard's mailbox.
+    pub queue_depth: usize,
+    /// Tasks with a crash-recovery checkpoint on this shard.
+    pub checkpointed_tasks: usize,
+    /// Total time this shard has spent rebuilding state after crashes, in
+    /// microseconds.
+    pub recovery_us: u64,
 }
 
 /// One worker's trust summary, as reported by [`Response::WorkerTrust`].
@@ -483,6 +597,20 @@ pub struct ShardStats {
     pub service_time_p50_us: f64,
     /// 99th-percentile request service time, in microseconds.
     pub service_time_p99_us: f64,
+    /// Times the supervisor restarted this shard's worker after a crash.
+    pub restarts: u64,
+    /// Worker panics isolated by the shard's panic boundary (each one
+    /// kills the worker and becomes a restart on the next dispatch).
+    pub panics_isolated: u64,
+    /// Objects brought back by checkpoint recovery across all restarts.
+    pub recovered_objects: u64,
+    /// Sheddable requests refused under overload or mid-recovery with
+    /// [`ServiceError::Unavailable`] (`reason: Shed`).
+    pub shed_requests: u64,
+    /// Accepted requests that crashed with their worker and were flushed
+    /// as [`ServiceError::Unavailable`] (`reason: RequestLost`) instead of
+    /// going unanswered.
+    pub requests_lost: u64,
 }
 
 /// Typed failures. Every malformed or inapplicable request maps to one of
@@ -510,13 +638,54 @@ pub enum ServiceError {
     Model { message: String },
     /// Back-pressure: the mailbox of the shard owning this task is full and
     /// the runtime runs [`crate::runtime::OverloadPolicy::Reject`]. The
-    /// request was **not** accepted; the client should retry after backing
-    /// off. Task state is untouched.
+    /// request was **not** accepted; the client should wait
+    /// `retry_after_ms` and resubmit the identical envelope (see the retry
+    /// contract on [`PROTOCOL_VERSION`]). Task state is untouched.
     Overloaded {
         task: String,
         shard: usize,
         capacity: usize,
+        /// Suggested back-off before resubmitting, derived from the
+        /// shard's live queue depth and median service time. At least 1.
+        retry_after_ms: u64,
     },
+    /// The request could not be served right now; `reason` says why and
+    /// whether it was ever accepted (see the retry contract on
+    /// [`PROTOCOL_VERSION`]). Carries the same `retry_after_ms` hint as
+    /// [`ServiceError::Overloaded`].
+    Unavailable {
+        task: String,
+        shard: usize,
+        retry_after_ms: u64,
+        reason: UnavailableReason,
+    },
+    /// A [`Request::FaultInject`] reached a service or runtime built
+    /// without fault injection enabled. Never armed, never retryable.
+    FaultInjectionDisabled,
+}
+
+/// Why a request came back [`ServiceError::Unavailable`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum UnavailableReason {
+    /// A sheddable request ([`Request::is_sheddable`]) was refused because
+    /// the shard's queue crossed the shed watermark. Not accepted; safe to
+    /// resubmit.
+    Shed,
+    /// The shard was mid-recovery and could not accept work before the
+    /// request's deadline. Not accepted; safe to resubmit.
+    Recovering,
+    /// The dispatch deadline expired while backing off on a full mailbox.
+    /// Not accepted; safe to resubmit.
+    DeadlineExceeded,
+    /// The request was accepted but its shard crashed before replying; the
+    /// owning task was rolled back to its acknowledged prefix, so the
+    /// request left no state behind and may be resubmitted once.
+    RequestLost,
+    /// The request's own handling panicked (and killed the worker). The
+    /// owning task was rolled back to its acknowledged prefix. Resubmitting
+    /// the same request will likely panic again — clients should treat
+    /// this as a poison request and report it.
+    WorkerPanicked,
 }
 
 impl fmt::Display for ServiceError {
@@ -551,11 +720,34 @@ impl fmt::Display for ServiceError {
                 task,
                 shard,
                 capacity,
+                retry_after_ms,
             } => write!(
                 f,
                 "shard {shard} owning task {task:?} is overloaded \
-                 (mailbox of {capacity} is full); retry later"
+                 (mailbox of {capacity} is full); retry after {retry_after_ms}ms"
             ),
+            ServiceError::Unavailable {
+                task,
+                shard,
+                retry_after_ms,
+                reason,
+            } => {
+                let why = match reason {
+                    UnavailableReason::Shed => "request shed under overload",
+                    UnavailableReason::Recovering => "shard is recovering from a crash",
+                    UnavailableReason::DeadlineExceeded => "dispatch deadline exceeded",
+                    UnavailableReason::RequestLost => "request lost in a shard crash",
+                    UnavailableReason::WorkerPanicked => "request handling panicked",
+                };
+                write!(
+                    f,
+                    "shard {shard} could not serve task {task:?}: {why}; \
+                     retry after {retry_after_ms}ms"
+                )
+            }
+            ServiceError::FaultInjectionDisabled => {
+                write!(f, "fault injection is not enabled on this service")
+            }
         }
     }
 }
@@ -688,9 +880,63 @@ mod tests {
             task: "t".into(),
             shard: 3,
             capacity: 64,
+            retry_after_ms: 12,
         };
         assert!(e.to_string().contains("shard 3"));
-        assert!(e.to_string().contains("retry"));
+        assert!(e.to_string().contains("retry after 12ms"));
+        let e = ServiceError::Unavailable {
+            task: "t".into(),
+            shard: 1,
+            retry_after_ms: 5,
+            reason: UnavailableReason::RequestLost,
+        };
+        assert!(e.to_string().contains("lost"));
+        assert!(e.to_string().contains("retry after 5ms"));
+        let e = ServiceError::FaultInjectionDisabled;
+        assert!(e.to_string().contains("fault injection"));
+    }
+
+    #[test]
+    fn v5_control_requests_round_trip_and_route_to_the_dispatcher() {
+        let health = RequestEnvelope::new(9, Request::Health);
+        assert_eq!(health.request.task_name(), None);
+        assert!(!health.request.is_mutating());
+        let mut plan = crate::fault::FaultPlan::new();
+        plan.push(0, 3, crate::fault::FaultKind::Panic);
+        let inject = RequestEnvelope::new(10, Request::FaultInject { plan });
+        assert_eq!(inject.request.task_name(), None);
+        for envelope in [health, inject] {
+            let json = serde_json::to_string(&envelope).unwrap();
+            let reread: RequestEnvelope = serde_json::from_str(&json).unwrap();
+            assert_eq!(envelope, reread);
+        }
+    }
+
+    #[test]
+    fn shed_policy_spares_evidence_carrying_requests() {
+        assert!(Request::RequestGuidance { task: "t".into() }.is_sheddable());
+        assert!(Request::TriageStats { task: "t".into() }.is_sheddable());
+        assert!(!Request::SubmitVotes {
+            task: "t".into(),
+            votes: vec![],
+        }
+        .is_sheddable());
+        assert!(!Request::SubmitValidation {
+            task: "t".into(),
+            object: "o".into(),
+            label: "l".into(),
+        }
+        .is_sheddable());
+        // Snapshot re-anchors the delta log, guidance advances RNG streams:
+        // both must count as mutating for crash recovery.
+        assert!(Request::Snapshot { task: "t".into() }.is_mutating());
+        assert!(Request::RequestGuidance { task: "t".into() }.is_mutating());
+        assert!(!Request::SnapshotDelta { task: "t".into() }.is_mutating());
+        assert!(!Request::QueryPosterior {
+            task: "t".into(),
+            object: "o".into(),
+        }
+        .is_mutating());
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The sharded service runtime: parallel request dispatch with per-task
-//! shard ownership and bounded-mailbox back-pressure.
+//! shard ownership, bounded-mailbox back-pressure and supervised crash
+//! recovery.
 //!
 //! # Architecture
 //!
@@ -7,8 +8,10 @@
 //!                      ┌────────────────────────────────────────────┐
 //!   submit(envelope) ──┤ dispatcher (caller thread)                 │
 //!                      │  · version check                           │
-//!                      │  · RuntimeStats answered from counters     │
+//!                      │  · RuntimeStats/Health from counters       │
 //!                      │  · route: shard_for_task(name) % shards    │
+//!                      │  · supervised: restart dead shard, shed,   │
+//!                      │    deadline + exponential back-off         │
 //!                      └──────┬──────────────┬──────────────────────┘
 //!                   bounded   │              │   bounded
 //!                   mailbox   ▼              ▼   mailbox
@@ -46,18 +49,43 @@
 //!
 //! Mailboxes are bounded. When the target shard's mailbox is full,
 //! [`ShardRuntime::submit`] either fails the request with
-//! [`ServiceError::Overloaded`] (telling the client to retry — the
-//! [`OverloadPolicy::Reject`] default) or blocks the submitting thread
-//! until a slot frees ([`OverloadPolicy::Block`], what the lossless
-//! JSON-lines driver uses). Memory stays bounded either way; a saturated
-//! shard never takes the process down with it.
+//! [`ServiceError::Overloaded`] (telling the client to retry after the
+//! embedded `retry_after_ms` hint — the [`OverloadPolicy::Reject`]
+//! default) or blocks the submitting thread until a slot frees
+//! ([`OverloadPolicy::Block`], what the lossless JSON-lines driver uses).
+//! Memory stays bounded either way; a saturated shard never takes the
+//! process down with it.
+//!
+//! # Supervision
+//!
+//! Worker panics are **isolated unconditionally**: a panicking worker
+//! records its payload and dies cleanly, and [`ShardRuntime::shutdown`]
+//! reports typed [`ShardFailure`]s instead of re-panicking on `join`.
+//! With [`SupervisionConfig::enabled`] the runtime additionally
+//! self-heals: each shard keeps per-task crash checkpoints (a
+//! side-effect-free anchor snapshot plus the log of acknowledged
+//! mutations), a dead shard is detected on its next dispatch and restarted
+//! with its tasks rebuilt to exactly the acknowledged prefix, accepted
+//! requests that lost their reply in the crash are flushed as typed
+//! `Unavailable { reason: RequestLost }` replies, correctness-critical
+//! requests ride out full mailboxes with bounded exponential back-off
+//! under a deadline, and sheddable reads are refused early once a queue
+//! crosses the shed watermark. The deterministic fault-injection hooks
+//! behind [`SupervisionConfig::fault_injection`] (see [`crate::fault`])
+//! drive all of this in tests and the chaos bench.
 
+use crate::fault::FaultRegistry;
 use crate::protocol::{
-    Reply, RequestEnvelope, Response, ServiceError, ShardStats, PROTOCOL_VERSION,
+    Reply, Request, RequestEnvelope, Response, ServiceError, ShardHealth, ShardStats,
+    UnavailableReason, PROTOCOL_VERSION,
 };
-use crate::shard::{spawn_shard, ShardHandle, ShardJob};
+use crate::service::ValidationService;
+use crate::shard::{spawn_shard, ShardHandle, ShardJob, ShardShared};
+use crate::supervisor::{rebuild_service, ShardFailure, ShutdownReport, SupervisionConfig};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::{Duration, Instant};
 
 /// Maps a task name to its owning shard: 64-bit FNV-1a over the name's
 /// bytes, reduced mod `num_shards`. Stable across runs and builds — a
@@ -83,6 +111,7 @@ pub enum OverloadPolicy {
     /// Block the submitting thread until the mailbox has room. Lossless;
     /// back-pressure propagates to the ingest source by stalling it (what
     /// `crowdval-serve` uses so a scripted conversation never drops lines).
+    /// Under supervision, blocking is bounded by the dispatch deadline.
     Block,
 }
 
@@ -96,6 +125,9 @@ pub struct RuntimeConfig {
     pub mailbox_capacity: usize,
     /// Full-mailbox behavior.
     pub overload: OverloadPolicy,
+    /// Crash recovery, deadlines and shedding; off by default so the
+    /// unsupervised dispatch hot path is byte-for-byte the old one.
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -104,6 +136,7 @@ impl Default for RuntimeConfig {
             num_shards: 4,
             mailbox_capacity: 1024,
             overload: OverloadPolicy::Reject,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -114,12 +147,17 @@ pub enum Dispatch {
     /// Accepted into a shard mailbox; the reply will arrive on the reply
     /// channel.
     Enqueued { shard: usize },
-    /// Answered by the dispatcher itself (version error, `RuntimeStats`);
-    /// the reply is already on the reply channel.
+    /// Answered by the dispatcher itself (version error, `RuntimeStats`,
+    /// `Health`, `FaultInject`); the reply is already on the reply channel.
     Answered,
-    /// Rejected by back-pressure ([`OverloadPolicy::Reject`]); the
-    /// [`ServiceError::Overloaded`] reply is already on the reply channel.
+    /// Rejected by back-pressure or a dead shard; the typed error reply
+    /// ([`ServiceError::Overloaded`] or [`ServiceError::Unavailable`]) is
+    /// already on the reply channel.
     Rejected { shard: usize },
+    /// Refused by the shed policy (sheddable request, queue past the
+    /// watermark); the `Unavailable { reason: Shed }` reply is already on
+    /// the reply channel.
+    Shed { shard: usize },
 }
 
 /// Keeps a shard worker parked until dropped (see
@@ -135,7 +173,8 @@ pub struct HoldGuard {
 /// Construction returns the runtime plus the reply receiver; replies carry
 /// the echoed `request_id` and arrive in completion order, not submission
 /// order. [`ShardRuntime::shutdown`] drains every mailbox — each accepted
-/// request is processed and its reply flushed — before the receiver
+/// request is processed and its reply flushed (or, if its worker crashed,
+/// flushed as a typed `Unavailable` error) — before the receiver
 /// disconnects.
 ///
 /// ```
@@ -148,13 +187,21 @@ pub struct HoldGuard {
 ///     labels: vec!["ok".into(), "spam".into()],
 ///     config: TaskConfig::default(),
 /// }));
-/// runtime.shutdown();
+/// let report = runtime.shutdown();
+/// assert!(report.is_clean());
 /// let reply = replies.recv().unwrap();
 /// assert_eq!(reply.request_id, 1);
 /// assert!(reply.result().is_ok());
 /// ```
 pub struct ShardRuntime {
-    shards: Vec<ShardHandle>,
+    /// One slot per shard. The mutex serializes dispatch with restart: a
+    /// shard's handle is only swapped while no send to it is in flight.
+    /// Uncontended in the common single-dispatcher setup.
+    slots: Vec<Mutex<ShardHandle>>,
+    /// The dispatcher-owned state each worker is wired to (counters,
+    /// checkpoints, ledger, panic slot) — survives worker restarts.
+    shared: Vec<ShardShared>,
+    faults: Arc<FaultRegistry>,
     reply_tx: Sender<Reply>,
     config: RuntimeConfig,
 }
@@ -169,12 +216,28 @@ impl ShardRuntime {
             ..config
         };
         let (reply_tx, reply_rx) = std::sync::mpsc::channel();
-        let shards = (0..config.num_shards)
-            .map(|shard| spawn_shard(shard, config.mailbox_capacity, reply_tx.clone()))
+        let faults = Arc::new(FaultRegistry::new(config.num_shards));
+        let shared: Vec<ShardShared> = (0..config.num_shards)
+            .map(|_| ShardShared::new(config.supervision, Arc::clone(&faults)))
+            .collect();
+        let slots = shared
+            .iter()
+            .enumerate()
+            .map(|(shard, shared)| {
+                Mutex::new(spawn_shard(
+                    shard,
+                    config.mailbox_capacity,
+                    reply_tx.clone(),
+                    shared.clone(),
+                    ValidationService::new(),
+                ))
+            })
             .collect();
         (
             Self {
-                shards,
+                slots,
+                shared,
+                faults,
                 reply_tx,
                 config,
             },
@@ -184,7 +247,7 @@ impl ShardRuntime {
 
     /// Number of shards.
     pub fn num_shards(&self) -> usize {
-        self.shards.len()
+        self.slots.len()
     }
 
     /// The configuration the runtime runs.
@@ -199,14 +262,15 @@ impl ShardRuntime {
         self.reply_tx.clone()
     }
 
-    /// Dispatches one envelope. Protocol-version failures and
-    /// [`crate::Request::RuntimeStats`] are answered by the dispatcher
-    /// itself (they must stay answerable while shards are saturated);
-    /// everything else is routed to the shard owning the task.
+    /// Dispatches one envelope. Protocol-version failures,
+    /// [`crate::Request::RuntimeStats`], [`crate::Request::Health`] and
+    /// [`crate::Request::FaultInject`] are answered by the dispatcher
+    /// itself (they must stay answerable while shards are saturated or
+    /// down); everything else is routed to the shard owning the task.
     ///
     /// Requests submitted from one thread execute in submission order per
-    /// task; see the module docs for the ordering and back-pressure
-    /// contracts.
+    /// task; see the module docs for the ordering, back-pressure and
+    /// supervision contracts.
     pub fn submit(&self, envelope: RequestEnvelope) -> Dispatch {
         let request_id = envelope.request_id;
         if envelope.version != PROTOCOL_VERSION {
@@ -220,59 +284,327 @@ impl ShardRuntime {
             return Dispatch::Answered;
         }
         let Some(task) = envelope.request.task_name() else {
-            // RuntimeStats: read the shared counters, no mailbox involved.
-            self.answer(Reply::ok(
-                request_id,
-                Response::RuntimeStats {
-                    shards: self.stats(),
-                },
-            ));
+            let reply = match &envelope.request {
+                Request::RuntimeStats => Reply::ok(
+                    request_id,
+                    Response::RuntimeStats {
+                        shards: self.stats(),
+                    },
+                ),
+                Request::Health => Reply::ok(
+                    request_id,
+                    Response::Health {
+                        shards: self.health(),
+                    },
+                ),
+                Request::FaultInject { plan } => {
+                    if self.config.supervision.fault_injection {
+                        let armed = self.faults.arm(plan);
+                        Reply::ok(
+                            request_id,
+                            Response::FaultInjected {
+                                armed,
+                                pending: self.faults.pending(),
+                            },
+                        )
+                    } else {
+                        Reply::err(request_id, ServiceError::FaultInjectionDisabled)
+                    }
+                }
+                other => unreachable!("task-less request {other:?} not handled"),
+            };
+            self.answer(reply);
             return Dispatch::Answered;
         };
-        let shard = shard_for_task(task, self.shards.len());
+        let shard = shard_for_task(task, self.slots.len());
         let task = task.to_string();
-        let handle = &self.shards[shard];
+        if self.config.supervision.enabled {
+            self.submit_supervised(envelope, shard, task)
+        } else {
+            self.submit_plain(envelope, shard, task)
+        }
+    }
+
+    /// The pre-supervision dispatch path, unchanged except that a dead
+    /// worker (an isolated panic; unsupervised runtimes do not restart)
+    /// produces a typed `Unavailable` reply instead of panicking the
+    /// dispatcher.
+    fn submit_plain(&self, envelope: RequestEnvelope, shard: usize, task: String) -> Dispatch {
+        let request_id = envelope.request_id;
+        let shared = &self.shared[shard];
+        let slot = self.lock_slot(shard);
         // Count the slot before sending: the worker decrements after
         // processing, so depth can transiently read one high, never low.
-        handle.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
         let job = ShardJob::Request(Box::new(envelope));
         match self.config.overload {
-            OverloadPolicy::Block => {
-                handle
-                    .mailbox
-                    .send(job)
-                    .expect("shard worker alive while runtime exists");
-                Dispatch::Enqueued { shard }
-            }
-            OverloadPolicy::Reject => match handle.mailbox.try_send(job) {
+            OverloadPolicy::Block => match slot.mailbox.send(job) {
+                Ok(()) => Dispatch::Enqueued { shard },
+                Err(_) => {
+                    shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    self.answer(Reply::err(
+                        request_id,
+                        ServiceError::Unavailable {
+                            task,
+                            shard,
+                            retry_after_ms: self.retry_after_ms(shard),
+                            reason: UnavailableReason::WorkerPanicked,
+                        },
+                    ));
+                    Dispatch::Rejected { shard }
+                }
+            },
+            OverloadPolicy::Reject => match slot.mailbox.try_send(job) {
                 Ok(()) => Dispatch::Enqueued { shard },
                 Err(TrySendError::Full(_)) => {
-                    handle.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
-                    handle.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                    let retry_after_ms = self.retry_after_ms(shard);
                     self.answer(Reply::err(
                         request_id,
                         ServiceError::Overloaded {
                             task,
                             shard,
                             capacity: self.config.mailbox_capacity,
+                            retry_after_ms,
                         },
                     ));
                     Dispatch::Rejected { shard }
                 }
                 Err(TrySendError::Disconnected(_)) => {
-                    unreachable!("shard worker alive while runtime exists")
+                    shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                    self.answer(Reply::err(
+                        request_id,
+                        ServiceError::Unavailable {
+                            task,
+                            shard,
+                            retry_after_ms: self.retry_after_ms(shard),
+                            reason: UnavailableReason::WorkerPanicked,
+                        },
+                    ));
+                    Dispatch::Rejected { shard }
                 }
             },
         }
     }
 
+    /// The supervised dispatch path: restart a dead shard before routing,
+    /// shed advisory reads past the watermark, and ride out full mailboxes
+    /// with bounded exponential back-off under the dispatch deadline.
+    fn submit_supervised(&self, envelope: RequestEnvelope, shard: usize, task: String) -> Dispatch {
+        let request_id = envelope.request_id;
+        let sup = self.config.supervision;
+        let shared = &self.shared[shard];
+        let mut slot = self.lock_slot(shard);
+        if slot.worker.is_finished() {
+            self.restart_shard(&mut slot, shard);
+        }
+        if envelope.request.is_sheddable() {
+            let depth = shared.counters.queue_depth.load(Ordering::Relaxed);
+            let watermark =
+                ((sup.shed_watermark * self.config.mailbox_capacity as f64) as usize).max(1);
+            if depth >= watermark {
+                shared
+                    .counters
+                    .shed_requests
+                    .fetch_add(1, Ordering::Relaxed);
+                self.answer(Reply::err(
+                    request_id,
+                    ServiceError::Unavailable {
+                        task,
+                        shard,
+                        retry_after_ms: self.retry_after_ms(shard),
+                        reason: UnavailableReason::Shed,
+                    },
+                ));
+                return Dispatch::Shed { shard };
+            }
+        }
+        // Accepted from the ledger's point of view: from here on the
+        // request either gets its service reply or is flushed as a typed
+        // `Unavailable` — never silence.
+        shared.ledger.push(request_id, &task);
+        shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+        let mut job = ShardJob::Request(Box::new(envelope));
+        let deadline = Instant::now() + Duration::from_millis(sup.deadline_ms);
+        let mut retries = 0u32;
+        loop {
+            match slot.mailbox.try_send(job) {
+                Ok(()) => return Dispatch::Enqueued { shard },
+                Err(TrySendError::Full(returned)) => {
+                    job = returned;
+                    let sheddable = matches!(
+                        &job,
+                        ShardJob::Request(envelope) if envelope.request.is_sheddable()
+                    );
+                    let expired = retries >= sup.max_retries || Instant::now() >= deadline;
+                    if sheddable || expired {
+                        shared.ledger.remove(request_id);
+                        shared.counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                        let (reason, dispatch) = if sheddable {
+                            shared
+                                .counters
+                                .shed_requests
+                                .fetch_add(1, Ordering::Relaxed);
+                            (UnavailableReason::Shed, Dispatch::Shed { shard })
+                        } else {
+                            shared.counters.rejected.fetch_add(1, Ordering::Relaxed);
+                            (
+                                UnavailableReason::DeadlineExceeded,
+                                Dispatch::Rejected { shard },
+                            )
+                        };
+                        self.answer(Reply::err(
+                            request_id,
+                            ServiceError::Unavailable {
+                                task,
+                                shard,
+                                retry_after_ms: self.retry_after_ms(shard),
+                                reason,
+                            },
+                        ));
+                        return dispatch;
+                    }
+                    // Exponential back-off: 1, 2, 4, … ms, capped by the
+                    // deadline. The worker drains independently of the
+                    // slot lock, so waiting here makes room.
+                    let backoff = Duration::from_millis(1u64 << retries.min(10));
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep(backoff.min(remaining));
+                    retries += 1;
+                }
+                Err(TrySendError::Disconnected(returned)) => {
+                    // The worker died after the liveness check (an armed
+                    // fault fired, or a real panic). This request was
+                    // never accepted by a worker, so pull its ledger entry
+                    // out *before* the restart drains the rest — otherwise
+                    // the drain would flush it with `RequestLost` and the
+                    // resend below would answer it a second time.
+                    shared.ledger.remove(request_id);
+                    self.restart_shard(&mut slot, shard);
+                    if let ShardJob::Request(envelope) = &returned {
+                        debug_assert_eq!(envelope.request_id, request_id);
+                    }
+                    job = returned;
+                    shared.ledger.push(request_id, &task);
+                    shared.counters.queue_depth.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Restarts a dead shard: reap the worker, flush reply-less requests,
+    /// rebuild the service from the checkpoint store, spawn a fresh
+    /// worker. Called with the shard's slot locked. Returns `true` (it
+    /// currently always succeeds; the return keeps the resend loop above
+    /// honest about its one-retry contract).
+    fn restart_shard(&self, slot: &mut MutexGuard<'_, ShardHandle>, shard: usize) -> bool {
+        let start = Instant::now();
+        let shared = &self.shared[shard];
+        // Every accepted-but-unanswered request died with the worker (the
+        // in-flight one, everything queued behind it, injected reply
+        // drops). Flush them with typed errors before anything else so no
+        // correlation id is ever left hanging.
+        let lost = shared.ledger.drain();
+        shared
+            .counters
+            .requests_lost
+            .fetch_add(lost.len() as u64, Ordering::Relaxed);
+        for (request_id, task) in lost {
+            self.answer(Reply::err(
+                request_id,
+                ServiceError::Unavailable {
+                    task,
+                    shard,
+                    retry_after_ms: 1,
+                    reason: UnavailableReason::RequestLost,
+                },
+            ));
+        }
+        shared.counters.queue_depth.store(0, Ordering::Relaxed);
+        // Rebuild exactly the acknowledged prefix from the checkpoints.
+        let (service, outcome) = rebuild_service(&shared.checkpoints);
+        shared
+            .counters
+            .recovered_objects
+            .fetch_add(outcome.recovered_objects, Ordering::Relaxed);
+        let replacement = spawn_shard(
+            shard,
+            self.config.mailbox_capacity,
+            self.reply_tx.clone(),
+            shared.clone(),
+            service,
+        );
+        let dead = std::mem::replace(&mut **slot, replacement);
+        drop(dead.mailbox);
+        // The worker isolated its panic and exited cleanly; its payload
+        // sits in the panic slot. Joining cannot block (is_finished or
+        // disconnected) and cannot panic — but stay defensive.
+        if let Err(payload) = dead.worker.join() {
+            shared.panic_slot.record(payload.as_ref());
+        }
+        // The panic is resolved by this restart; consume the payload so
+        // shutdown does not re-report it.
+        let _ = shared.panic_slot.take();
+        shared.counters.restarts.fetch_add(1, Ordering::Relaxed);
+        shared.counters.recovery_us.fetch_add(
+            start.elapsed().as_micros().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        true
+    }
+
+    /// The retry hint for back-pressure replies: queue depth × median
+    /// service time, in milliseconds, at least 1 — "roughly how long until
+    /// the shard has worked off what is already queued".
+    fn retry_after_ms(&self, shard: usize) -> u64 {
+        let counters = &self.shared[shard].counters;
+        let depth = counters.queue_depth.load(Ordering::Relaxed) as f64;
+        let p50_us = counters.latency.quantile_us(0.50);
+        ((depth * p50_us / 1000.0).ceil() as u64).max(1)
+    }
+
     /// The per-shard counters, lock-free (values may lag in-flight work by
     /// a few relaxed stores).
     pub fn stats(&self) -> Vec<ShardStats> {
-        self.shards
+        self.shared
             .iter()
             .enumerate()
             .map(|(i, s)| s.counters.stats(i, self.config.mailbox_capacity))
+            .collect()
+    }
+
+    /// Per-shard liveness and recovery telemetry — the payload of
+    /// [`crate::Request::Health`]. Briefly locks each slot to read worker
+    /// liveness; never touches a mailbox, so it answers while shards are
+    /// saturated or down.
+    ///
+    /// Under supervision a health probe actively **heals**: a dead shard
+    /// found here is restarted on the spot (reply-less requests flushed,
+    /// state rebuilt from checkpoints), not just on the next dispatch to
+    /// it — the probe doubles as the supervisor's heartbeat, so a shard
+    /// whose traffic stopped mid-crash still comes back.
+    pub fn health(&self) -> Vec<ShardHealth> {
+        (0..self.slots.len())
+            .map(|shard| {
+                let alive = {
+                    let mut slot = self.lock_slot(shard);
+                    if self.config.supervision.enabled && slot.worker.is_finished() {
+                        self.restart_shard(&mut slot, shard);
+                    }
+                    !slot.worker.is_finished()
+                };
+                let shared = &self.shared[shard];
+                ShardHealth {
+                    shard,
+                    alive,
+                    restarts: shared.counters.restarts.load(Ordering::Relaxed),
+                    panics_isolated: shared.counters.panics_isolated.load(Ordering::Relaxed),
+                    queue_depth: shared.counters.queue_depth.load(Ordering::Relaxed),
+                    checkpointed_tasks: shared.checkpoints.len(),
+                    recovery_us: shared.counters.recovery_us.load(Ordering::Relaxed),
+                }
+            })
             .collect()
     }
 
@@ -286,12 +618,17 @@ impl ShardRuntime {
     /// full — a held shard cannot be held twice deeper.
     pub fn hold_shard(&self, shard: usize) -> Result<HoldGuard, ServiceError> {
         let (gate, parked) = std::sync::mpsc::sync_channel(1);
-        match self.shards[shard].mailbox.try_send(ShardJob::Hold(parked)) {
+        match self
+            .lock_slot(shard)
+            .mailbox
+            .try_send(ShardJob::Hold(parked))
+        {
             Ok(()) => Ok(HoldGuard { _gate: gate }),
             Err(_) => Err(ServiceError::Overloaded {
                 task: String::new(),
                 shard,
                 capacity: self.config.mailbox_capacity,
+                retry_after_ms: self.retry_after_ms(shard),
             }),
         }
     }
@@ -300,25 +637,74 @@ impl ShardRuntime {
     /// drain its queued requests and flush their replies, then disconnects
     /// the reply channel. Every request that was accepted (`Enqueued`) is
     /// guaranteed a reply on the receiver before it reports disconnect —
-    /// nothing accepted is ever silently dropped.
-    pub fn shutdown(self) {
+    /// if a worker died before replying, the reply is a typed
+    /// `Unavailable { reason: RequestLost }` flush (supervised runtimes;
+    /// an unsupervised runtime has no ledger to flush from).
+    ///
+    /// Worker panics surface as typed [`ShardFailure`]s in the returned
+    /// [`ShutdownReport`] — shutdown itself never panics.
+    pub fn shutdown(self) -> ShutdownReport {
         let Self {
-            shards, reply_tx, ..
+            slots,
+            shared,
+            reply_tx,
+            ..
         } = self;
+        let mut report = ShutdownReport::default();
         // Closing the mailboxes first lets all workers drain in parallel.
-        let workers: Vec<_> = shards
+        let workers: Vec<_> = slots
             .into_iter()
-            .map(|s| {
-                drop(s.mailbox);
-                s.worker
+            .map(|slot| {
+                let handle = match slot.into_inner() {
+                    Ok(handle) => handle,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                drop(handle.mailbox);
+                handle.worker
             })
             .collect();
-        for worker in workers {
-            worker.join().expect("shard worker panicked");
+        for (shard, worker) in workers.into_iter().enumerate() {
+            if let Err(payload) = worker.join() {
+                // A panic that escaped the worker's own boundary (it
+                // should not — the request loop is wrapped); still a
+                // typed report, never a re-panic.
+                shared[shard].panic_slot.record(payload.as_ref());
+            }
+            if let Some(panic) = shared[shard].panic_slot.take() {
+                report.failures.push(ShardFailure { shard, panic });
+            }
+            let lost = shared[shard].ledger.drain();
+            shared[shard]
+                .counters
+                .requests_lost
+                .fetch_add(lost.len() as u64, Ordering::Relaxed);
+            report.requests_flushed += lost.len();
+            for (request_id, task) in lost {
+                let _ = reply_tx.send(Reply::err(
+                    request_id,
+                    ServiceError::Unavailable {
+                        task,
+                        shard,
+                        retry_after_ms: 1,
+                        reason: UnavailableReason::RequestLost,
+                    },
+                ));
+            }
         }
         // All worker-held senders are gone; dropping ours disconnects the
         // receiver once the already-sent replies are consumed.
         drop(reply_tx);
+        report
+    }
+
+    fn lock_slot(&self, shard: usize) -> MutexGuard<'_, ShardHandle> {
+        // A poisoned slot lock means a *dispatching* thread panicked while
+        // holding it; the handle inside is still structurally sound (swap
+        // is a single assignment), so recover the guard.
+        match self.slots[shard].lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
     }
 
     fn answer(&self, reply: Reply) {

@@ -22,7 +22,9 @@
 use crate::protocol::{Reply, RequestEnvelope, ServiceError};
 use crate::runtime::{Dispatch, OverloadPolicy, RuntimeConfig, ShardRuntime};
 use crate::service::ValidationService;
+use crate::supervisor::SupervisionConfig;
 use std::io::{BufRead, Write};
+use std::panic::AssertUnwindSafe;
 
 /// Configuration of one serve run.
 #[derive(Debug, Clone, Copy)]
@@ -37,6 +39,9 @@ pub struct ServeOptions {
     /// stream, so back-pressure stalls the reader instead of dropping
     /// requests.
     pub overload: OverloadPolicy,
+    /// Crash recovery, deadlines and shedding for the sharded runtime
+    /// (sharded mode only; the serial path has no workers to supervise).
+    pub supervision: SupervisionConfig,
 }
 
 impl Default for ServeOptions {
@@ -45,6 +50,7 @@ impl Default for ServeOptions {
             shards: 0,
             mailbox_capacity: 1024,
             overload: OverloadPolicy::Block,
+            supervision: SupervisionConfig::default(),
         }
     }
 }
@@ -63,12 +69,26 @@ pub struct ServeSummary {
     /// Requests rejected by back-pressure (each still produced an
     /// `Overloaded` reply line; only with [`OverloadPolicy::Reject`]).
     pub overloaded: usize,
+    /// Requests refused by the shed policy (supervised sharded mode; each
+    /// still produced an `Unavailable { reason: Shed }` reply line).
+    pub shed: usize,
+    /// Shard workers that died with an unresolved panic (typed
+    /// [`crate::supervisor::ShardFailure`]s from shutdown, logged to
+    /// stderr — never re-panicked).
+    pub shard_failures: usize,
+    /// Accepted requests whose reply was lost to a worker crash and
+    /// flushed as `Unavailable { reason: RequestLost }` at shutdown.
+    pub requests_flushed: usize,
+    /// The writer thread panicked; the output writer was lost with it and
+    /// `serve` returned `None` in its place.
+    pub writer_panicked: bool,
 }
 
 /// Runs the JSON-lines loop: one [`RequestEnvelope`] per input line, one
 /// [`Reply`] per output line. Blank lines and `#`-comments are skipped.
 /// Returns the output writer (handed back from the writer thread in
-/// sharded mode) and the run summary.
+/// sharded mode; `None` only if the writer thread panicked — see
+/// [`ServeSummary::writer_panicked`]) and the run summary.
 ///
 /// The writer must be `Send + 'static` because sharded mode moves it into
 /// the writer thread; `io::Stdout` and `Vec<u8>` both qualify.
@@ -76,7 +96,7 @@ pub fn serve<R: BufRead, W: Write + Send + 'static>(
     input: R,
     output: W,
     options: &ServeOptions,
-) -> (W, ServeSummary) {
+) -> (Option<W>, ServeSummary) {
     if options.shards == 0 {
         serve_serial(input, output)
     } else {
@@ -100,7 +120,7 @@ fn write_reply<W: Write>(out: &mut W, buf: &mut Vec<u8>, reply: &Reply) -> bool 
     }
 }
 
-fn serve_serial<R: BufRead, W: Write>(input: R, mut output: W) -> (W, ServeSummary) {
+fn serve_serial<R: BufRead, W: Write>(input: R, mut output: W) -> (Option<W>, ServeSummary) {
     let mut service = ValidationService::new();
     let mut summary = ServeSummary::default();
     // One reply buffer for the whole conversation: each line serializes
@@ -133,18 +153,19 @@ fn serve_serial<R: BufRead, W: Write>(input: R, mut output: W) -> (W, ServeSumma
         }
         summary.replies += 1;
     }
-    (output, summary)
+    (Some(output), summary)
 }
 
 fn serve_sharded<R: BufRead, W: Write + Send + 'static>(
     input: R,
-    mut output: W,
+    output: W,
     options: &ServeOptions,
-) -> (W, ServeSummary) {
+) -> (Option<W>, ServeSummary) {
     let (runtime, replies) = ShardRuntime::start(RuntimeConfig {
         num_shards: options.shards,
         mailbox_capacity: options.mailbox_capacity,
         overload: options.overload,
+        supervision: options.supervision,
     });
     // Malformed-line replies join the same channel the shards answer on:
     // a single writer, a single output path, no interleaving hazards.
@@ -152,15 +173,28 @@ fn serve_sharded<R: BufRead, W: Write + Send + 'static>(
     let writer = std::thread::Builder::new()
         .name("crowdval-serve-writer".to_string())
         .spawn(move || {
+            // The writer lives in an `Option` outside the unwind boundary
+            // so the already-written output survives a panic in the write
+            // loop (and the caller gets its buffer back even then).
+            let mut output_slot = Some(output);
             let mut written = 0usize;
-            let mut reply_buf: Vec<u8> = Vec::with_capacity(4096);
-            for reply in replies {
-                if !write_reply(&mut output, &mut reply_buf, &reply) {
-                    break; // downstream closed; drain silently below
+            let mut panicked = false;
+            {
+                let out = output_slot.as_mut().expect("writer output installed above");
+                let mut reply_buf: Vec<u8> = Vec::with_capacity(4096);
+                let mut drain = || {
+                    for reply in replies.iter() {
+                        if !write_reply(out, &mut reply_buf, &reply) {
+                            break; // downstream closed; stop writing
+                        }
+                        written += 1;
+                    }
+                };
+                if std::panic::catch_unwind(AssertUnwindSafe(&mut drain)).is_err() {
+                    panicked = true;
                 }
-                written += 1;
             }
-            (output, written)
+            (output_slot, written, panicked)
         })
         .expect("spawn serve writer thread");
 
@@ -175,6 +209,7 @@ fn serve_sharded<R: BufRead, W: Write + Send + 'static>(
         match serde_json::from_str::<RequestEnvelope>(trimmed) {
             Ok(envelope) => match runtime.submit(envelope) {
                 Dispatch::Rejected { .. } => summary.overloaded += 1,
+                Dispatch::Shed { .. } => summary.shed += 1,
                 Dispatch::Enqueued { .. } | Dispatch::Answered => {}
             },
             Err(e) => {
@@ -190,9 +225,20 @@ fn serve_sharded<R: BufRead, W: Write + Send + 'static>(
     }
     // EOF: drain every shard mailbox and flush all replies before exit.
     drop(malformed_tx);
-    runtime.shutdown();
-    let (output, written) = writer.join().expect("serve writer panicked");
+    let report = runtime.shutdown();
+    summary.shard_failures = report.failures.len();
+    summary.requests_flushed = report.requests_flushed;
+    for failure in &report.failures {
+        eprintln!("crowdval-serve: {failure}");
+    }
+    // A writer panic costs us the writer, never the process: surface it in
+    // the summary as typed data instead of re-panicking the join.
+    let (output, written, panicked) = match writer.join() {
+        Ok((output, written, panicked)) => (output, written, panicked),
+        Err(_) => (None, 0, true),
+    };
     summary.replies = written;
+    summary.writer_panicked = panicked;
     (output, summary)
 }
 
@@ -204,10 +250,10 @@ mod tests {
         let mut lines = vec![
             "# a comment".to_string(),
             String::new(),
-            r#"{"version":4,"request_id":1,"request":{"CreateTask":{"task":"t","labels":["a","b"],"config":{"strategy":"EntropyBaseline","seed":0,"budget":null,"handle_faulty_workers":true,"online_defense":false,"shortlist":null,"wal":false,"triage":false}}}}"#.to_string(),
-            r#"{"version":4,"request_id":2,"request":{"SubmitVotes":{"task":"t","votes":[{"worker":"w","object":"o","label":"a"}]}}}"#.to_string(),
+            r#"{"version":5,"request_id":1,"request":{"CreateTask":{"task":"t","labels":["a","b"],"config":{"strategy":"EntropyBaseline","seed":0,"budget":null,"handle_faulty_workers":true,"online_defense":false,"shortlist":null,"wal":false,"triage":false}}}}"#.to_string(),
+            r#"{"version":5,"request_id":2,"request":{"SubmitVotes":{"task":"t","votes":[{"worker":"w","object":"o","label":"a"}]}}}"#.to_string(),
             "this is junk".to_string(),
-            r#"{"version":4,"request_id":3,"request":"RuntimeStats"}"#.to_string(),
+            r#"{"version":5,"request_id":3,"request":"RuntimeStats"}"#.to_string(),
         ];
         lines.push(String::new());
         lines.join("\n")
@@ -220,11 +266,12 @@ mod tests {
             Vec::new(),
             &ServeOptions::default(),
         );
-        let text = String::from_utf8(out).unwrap();
+        let text = String::from_utf8(out.expect("serial mode always returns the writer")).unwrap();
         let lines: Vec<&str> = text.lines().collect();
         assert_eq!(summary.requests, 4);
         assert_eq!(summary.replies, 4);
         assert_eq!(summary.malformed, 1);
+        assert!(!summary.writer_panicked);
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("\"request_id\":1"));
         assert!(lines[1].contains("\"request_id\":2"));
@@ -242,10 +289,11 @@ mod tests {
                 ..ServeOptions::default()
             },
         );
-        let text = String::from_utf8(out).unwrap();
+        let text = String::from_utf8(out.expect("no writer panic, writer comes back")).unwrap();
         assert_eq!(summary.requests, 4);
         assert_eq!(summary.replies, 4, "a reply line per request line");
         assert_eq!(summary.malformed, 1);
+        assert_eq!(summary.shard_failures, 0);
         assert_eq!(text.lines().count(), 4);
         // Out-of-order is allowed; completeness is not negotiable.
         for id in [1, 2, 3] {

@@ -21,10 +21,11 @@
 use crate::protocol::WorkerTrustEntry;
 use crate::protocol::{
     ClientVote, LabelProbability, Reply, Request, RequestEnvelope, Response, ServiceError,
-    ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot, MIN_SNAPSHOT_PROTOCOL_VERSION,
-    PROTOCOL_VERSION,
+    ShardHealth, ShardStats, StrategyChoice, TaskConfig, TaskDelta, TaskSnapshot,
+    MIN_SNAPSHOT_PROTOCOL_VERSION, PROTOCOL_VERSION,
 };
 use crate::shard::LatencyHistogram;
+use crate::supervisor::RecoveryAnchor;
 use crowdval_core::{
     EntropyBaseline, HybridStrategy, ProcessConfig, RandomSelection, SelectionStrategy,
     TriageConfig, UncertaintyDriven, ValidationSession, ValidationSessionBuilder, WorkerDriven,
@@ -170,6 +171,21 @@ impl ValidationService {
             Request::RuntimeStats => Ok(Response::RuntimeStats {
                 shards: vec![self.self_stats()],
             }),
+            Request::Health => Ok(Response::Health {
+                shards: vec![ShardHealth {
+                    shard: 0,
+                    alive: true,
+                    restarts: 0,
+                    panics_isolated: 0,
+                    queue_depth: 0,
+                    checkpointed_tasks: 0,
+                    recovery_us: 0,
+                }],
+            }),
+            // A serial in-process service has no supervisor and no fault
+            // registry; refusing (rather than silently accepting) keeps
+            // chaos plans from being armed where they can never fire.
+            Request::FaultInject { .. } => Err(ServiceError::FaultInjectionDisabled),
         }
     }
 
@@ -193,6 +209,11 @@ impl ValidationService {
             memory_bytes: self.memory_bytes(),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
+            restarts: 0,
+            panics_isolated: 0,
+            recovered_objects: 0,
+            shed_requests: 0,
+            requests_lost: 0,
         }
     }
 
@@ -668,6 +689,81 @@ impl ValidationService {
             votes: state.session.answers().matrix().num_answers(),
             validations: state.session.iterations(),
         })
+    }
+
+    /// Whether a task with this name is live.
+    pub fn has_task(&self, task: &str) -> bool {
+        self.tasks.contains_key(task)
+    }
+
+    /// Captures a crash-recovery anchor of one task — the full snapshot
+    /// *plus* the task's client-visible delta log — **side-effect-free**:
+    /// unlike [`Request::Snapshot`], taking it does not re-anchor the
+    /// task's delta log, so background checkpoints are invisible to
+    /// clients using `SnapshotDelta`.
+    pub fn checkpoint_task(&self, task: &str) -> Result<RecoveryAnchor, ServiceError> {
+        let state = self
+            .tasks
+            .get(task)
+            .ok_or_else(|| ServiceError::TaskNotFound {
+                task: task.to_string(),
+            })?;
+        let wal_enabled = state.session.delta_log_enabled();
+        let session = state.session.recovery_snapshot()?;
+        let wal = if wal_enabled {
+            Some(state.session.delta_snapshot()?)
+        } else {
+            None
+        };
+        Ok(RecoveryAnchor {
+            snapshot: TaskSnapshot {
+                protocol_version: PROTOCOL_VERSION,
+                wal: wal_enabled,
+                objects: state.objects.clone(),
+                workers: state.workers.clone(),
+                labels: state.labels.clone(),
+                session,
+            },
+            wal,
+        })
+    }
+
+    /// Installs a recovered task from a crash-recovery anchor, reinstating
+    /// its delta log verbatim (anchor counters and pending events), so a
+    /// post-recovery `SnapshotDelta` is indistinguishable from a pre-crash
+    /// one. Returns the restored object count. Validation mirrors
+    /// [`Request::Restore`]; corrupt anchors come back as typed errors.
+    pub fn install_recovered(
+        &mut self,
+        task: &str,
+        anchor: RecoveryAnchor,
+    ) -> Result<usize, ServiceError> {
+        let RecoveryAnchor { snapshot, wal } = anchor;
+        self.check_restore(task, &snapshot)?;
+        let mut session = ValidationSession::restore(snapshot.session)?;
+        match wal {
+            Some(delta) => session.install_delta_log(delta)?,
+            None if snapshot.wal => session.enable_delta_log(),
+            None => {}
+        }
+        let objects = snapshot.objects.len();
+        self.tasks.insert(
+            task.to_string(),
+            TaskState {
+                objects: snapshot.objects,
+                workers: snapshot.workers,
+                labels: snapshot.labels,
+                session,
+            },
+        );
+        Ok(objects)
+    }
+
+    /// Drops a task without the [`Request::CloseTask`] bookkeeping — used
+    /// when a recovery replay fails halfway and the partial task must not
+    /// survive.
+    pub fn evict_task(&mut self, task: &str) {
+        self.tasks.remove(task);
     }
 }
 

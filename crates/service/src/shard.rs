@@ -20,8 +20,13 @@
 //! [`crate::runtime::ShardRuntime::shutdown`] a drain: accepted requests
 //! are always processed and replied to before the thread ends.
 
-use crate::protocol::{Reply, ReplyOutcome, RequestEnvelope, Response, ShardStats};
+use crate::fault::{FaultKind, FaultRegistry};
+use crate::protocol::{Reply, ReplyOutcome, Request, RequestEnvelope, Response, ShardStats};
 use crate::service::ValidationService;
+use crate::supervisor::{
+    encode_anchor, CheckpointStore, PanicSlot, PendingLedger, SupervisionConfig,
+};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender};
 use std::sync::Arc;
@@ -126,6 +131,20 @@ pub struct ShardCounters {
     /// Heap bytes of the answer storage across this shard's tasks, as last
     /// measured by the worker (refreshed after every handled request).
     pub(crate) memory_bytes: AtomicU64,
+    /// Times the supervisor restarted this shard's worker. Maintained by
+    /// the dispatcher; survives restarts because the counters are shared
+    /// by `Arc`, not owned by the worker.
+    pub(crate) restarts: AtomicU64,
+    /// Worker panics isolated by the panic boundary.
+    pub(crate) panics_isolated: AtomicU64,
+    /// Objects brought back by checkpoint recovery across all restarts.
+    pub(crate) recovered_objects: AtomicU64,
+    /// Sheddable requests refused under overload / mid-recovery.
+    pub(crate) shed_requests: AtomicU64,
+    /// Accepted requests flushed as `Unavailable { reason: RequestLost }`.
+    pub(crate) requests_lost: AtomicU64,
+    /// Total time spent rebuilding this shard's state after crashes, µs.
+    pub(crate) recovery_us: AtomicU64,
     /// Service-time histogram (handling only; queue wait excluded).
     pub(crate) latency: LatencyHistogram,
 }
@@ -143,6 +162,12 @@ impl ShardCounters {
             objects_auto_finalized: AtomicU64::new(0),
             objects_escalated: AtomicU64::new(0),
             memory_bytes: AtomicU64::new(0),
+            restarts: AtomicU64::new(0),
+            panics_isolated: AtomicU64::new(0),
+            recovered_objects: AtomicU64::new(0),
+            shed_requests: AtomicU64::new(0),
+            requests_lost: AtomicU64::new(0),
+            recovery_us: AtomicU64::new(0),
             latency: LatencyHistogram::new(),
         }
     }
@@ -164,6 +189,11 @@ impl ShardCounters {
             memory_bytes: self.memory_bytes.load(Ordering::Relaxed),
             service_time_p50_us: self.latency.quantile_us(0.50),
             service_time_p99_us: self.latency.quantile_us(0.99),
+            restarts: self.restarts.load(Ordering::Relaxed),
+            panics_isolated: self.panics_isolated.load(Ordering::Relaxed),
+            recovered_objects: self.recovered_objects.load(Ordering::Relaxed),
+            shed_requests: self.shed_requests.load(Ordering::Relaxed),
+            requests_lost: self.requests_lost.load(Ordering::Relaxed),
         }
     }
 }
@@ -181,44 +211,114 @@ pub(crate) enum ShardJob {
     Hold(Receiver<()>),
 }
 
-/// A running shard: its mailbox sender, shared counters and join handle.
+/// A running shard: its mailbox sender and join handle. The shared pieces
+/// (counters, checkpoints, ledger, panic slot) live in the runtime and
+/// survive the worker — a restarted shard gets a fresh handle wired to the
+/// same shared state.
 pub(crate) struct ShardHandle {
     pub(crate) mailbox: SyncSender<ShardJob>,
-    pub(crate) counters: Arc<ShardCounters>,
     pub(crate) worker: JoinHandle<()>,
 }
 
-/// Spawns one shard worker owning a fresh [`ValidationService`].
+/// Dispatcher-owned state a shard worker is wired to: everything that must
+/// outlive the worker thread for supervision to work.
+#[derive(Clone)]
+pub(crate) struct ShardShared {
+    pub(crate) config: SupervisionConfig,
+    pub(crate) counters: Arc<ShardCounters>,
+    pub(crate) checkpoints: Arc<CheckpointStore>,
+    pub(crate) ledger: Arc<PendingLedger>,
+    pub(crate) panic_slot: Arc<PanicSlot>,
+    pub(crate) faults: Arc<FaultRegistry>,
+}
+
+impl ShardShared {
+    pub(crate) fn new(config: SupervisionConfig, faults: Arc<FaultRegistry>) -> Self {
+        Self {
+            config,
+            counters: Arc::new(ShardCounters::new()),
+            checkpoints: Arc::new(CheckpointStore::new()),
+            ledger: Arc::new(PendingLedger::new()),
+            panic_slot: Arc::new(PanicSlot::new()),
+            faults,
+        }
+    }
+}
+
+/// Spawns one shard worker owning the given [`ValidationService`] (fresh at
+/// startup, checkpoint-recovered on a restart).
 pub(crate) fn spawn_shard(
     shard: usize,
     mailbox_capacity: usize,
     reply_tx: Sender<Reply>,
+    shared: ShardShared,
+    service: ValidationService,
 ) -> ShardHandle {
     let (mailbox, jobs) = std::sync::mpsc::sync_channel::<ShardJob>(mailbox_capacity);
-    let counters = Arc::new(ShardCounters::new());
-    let worker_counters = Arc::clone(&counters);
     let worker = std::thread::Builder::new()
         .name(format!("crowdval-shard-{shard}"))
-        .spawn(move || run_worker(jobs, reply_tx, worker_counters))
+        .spawn(move || run_worker(shard, jobs, reply_tx, shared, service))
         .expect("spawn shard worker thread");
-    ShardHandle {
-        mailbox,
-        counters,
-        worker,
-    }
+    ShardHandle { mailbox, worker }
 }
 
-/// The worker loop: drain the mailbox until every sender is gone. The
-/// owned service is single-owner state — see the invariant documented on
-/// [`crowdval_core::ValidationSession`].
-fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<ShardCounters>) {
-    let mut service = ValidationService::new();
+/// The worker loop: drain the mailbox until every sender is gone (or an
+/// isolated panic kills the worker — the dispatcher restarts it from the
+/// checkpoint store). The owned service is single-owner state — see the
+/// invariant documented on [`crowdval_core::ValidationSession`].
+///
+/// The order per request is load-bearing for recovery:
+/// **handle → checkpoint → ledger-remove → reply**. Every injected or real
+/// panic fires before the checkpoint append, so the checkpoint log holds
+/// exactly the acknowledged mutations; nothing panics between the ledger
+/// removal and the reply send, so a request is either still in the ledger
+/// (flushed as `Unavailable` on crash) or replied to — never both, never
+/// neither.
+fn run_worker(
+    shard: usize,
+    jobs: Receiver<ShardJob>,
+    reply_tx: Sender<Reply>,
+    shared: ShardShared,
+    mut service: ValidationService,
+) {
     for job in jobs {
         match job {
             ShardJob::Request(envelope) => {
+                let fault = shared.faults.on_arrival(shard);
                 let start = Instant::now();
-                let reply = service.reply(&envelope);
-                counters.latency.record(start.elapsed());
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    match fault {
+                        Some(FaultKind::Kill) => {
+                            panic!("injected fault: kill before handling")
+                        }
+                        Some(FaultKind::Stall { ms }) => {
+                            std::thread::sleep(Duration::from_millis(ms))
+                        }
+                        _ => {}
+                    }
+                    let reply = service.reply(&envelope);
+                    if fault == Some(FaultKind::Panic) {
+                        panic!("injected fault: panic before acknowledgement");
+                    }
+                    reply
+                }));
+                let reply = match outcome {
+                    Ok(reply) => reply,
+                    Err(payload) => {
+                        // Isolate the panic: record the payload for the
+                        // dispatcher and die cleanly. The half-mutated
+                        // service drops with this thread; the in-flight
+                        // request (and anything queued behind it) is still
+                        // in the ledger and gets flushed as `Unavailable`.
+                        shared.panic_slot.record(payload.as_ref());
+                        shared
+                            .counters
+                            .panics_isolated
+                            .fetch_add(1, Ordering::Relaxed);
+                        return;
+                    }
+                };
+                shared.counters.latency.record(start.elapsed());
                 match &reply.outcome {
                     ReplyOutcome::Ok(Response::VotesAccepted {
                         votes,
@@ -226,13 +326,16 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                         workers_reinstated,
                         ..
                     }) => {
-                        counters
+                        shared
+                            .counters
                             .votes_ingested
                             .fetch_add(*votes as u64, Ordering::Relaxed);
-                        counters
+                        shared
+                            .counters
                             .workers_excluded
                             .fetch_add(workers_excluded.len() as u64, Ordering::Relaxed);
-                        counters
+                        shared
+                            .counters
                             .workers_reinstated
                             .fetch_add(workers_reinstated.len() as u64, Ordering::Relaxed);
                     }
@@ -241,15 +344,26 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                         workers_reinstated,
                         ..
                     }) => {
-                        counters
+                        shared
+                            .counters
                             .workers_excluded
                             .fetch_add(workers_excluded.len() as u64, Ordering::Relaxed);
-                        counters
+                        shared
+                            .counters
                             .workers_reinstated
                             .fetch_add(workers_reinstated.len() as u64, Ordering::Relaxed);
                     }
                     _ => {}
                 }
+                if shared.config.enabled {
+                    maintain_checkpoints(&mut service, &shared, &envelope, &reply);
+                }
+                if fault == Some(FaultKind::TearCheckpoint) {
+                    if let Some(task) = envelope.request.task_name() {
+                        shared.checkpoints.tear(task);
+                    }
+                }
+                let counters = &shared.counters;
                 counters.tasks.store(service.num_tasks(), Ordering::Relaxed);
                 counters
                     .memory_bytes
@@ -263,6 +377,17 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                     .store(escalated, Ordering::Relaxed);
                 counters.served.fetch_add(1, Ordering::Relaxed);
                 counters.queue_depth.fetch_sub(1, Ordering::Relaxed);
+                // An injected reply drop only applies to read-only
+                // requests: dropping the acknowledgement of a mutation
+                // would leave "what the client knows" ill-defined, which
+                // is the reference state recovery is proven against. The
+                // undelivered id stays in the ledger and is flushed as
+                // `Unavailable { reason: RequestLost }` at the next
+                // restart or at shutdown.
+                if fault == Some(FaultKind::DropReply) && !envelope.request.is_mutating() {
+                    continue;
+                }
+                shared.ledger.remove(envelope.request_id);
                 // A vanished collector is not an error during shutdown:
                 // keep draining so accepted requests still execute.
                 let _ = reply_tx.send(reply);
@@ -272,6 +397,51 @@ fn run_worker(jobs: Receiver<ShardJob>, reply_tx: Sender<Reply>, counters: Arc<S
                 let _ = gate.recv();
             }
         }
+    }
+}
+
+/// Keeps the shard's checkpoint store describing exactly the acknowledged
+/// state: anchor new tasks, log acknowledged mutations, re-anchor every
+/// [`SupervisionConfig::checkpoint_every`] of them, drop closed tasks.
+fn maintain_checkpoints(
+    service: &mut ValidationService,
+    shared: &ShardShared,
+    envelope: &RequestEnvelope,
+    reply: &Reply,
+) {
+    let Some(task) = envelope.request.task_name() else {
+        return;
+    };
+    if !matches!(reply.outcome, ReplyOutcome::Ok(_)) {
+        // Typed errors mutate nothing (atomic batches, validated
+        // restores), so the checkpoint is still current.
+        return;
+    }
+    if matches!(envelope.request, Request::CloseTask { .. }) || !service.has_task(task) {
+        shared.checkpoints.remove(task);
+        return;
+    }
+    if !envelope.request.is_mutating() {
+        return;
+    }
+    match shared.checkpoints.append(task, envelope.request.clone()) {
+        Some(len) if len >= shared.config.checkpoint_every.max(1) => {
+            re_anchor(service, shared, task)
+        }
+        Some(_) => {}
+        // First acknowledged mutation of this task (creation, restore):
+        // anchor it so the task survives a crash from now on.
+        None => re_anchor(service, shared, task),
+    }
+}
+
+/// Replaces a task's recovery anchor with its current (post-mutation)
+/// state. A task whose state cannot be checkpointed loses crash coverage —
+/// its entry is dropped so recovery never replays a stale anchor.
+fn re_anchor(service: &ValidationService, shared: &ShardShared, task: &str) {
+    match service.checkpoint_task(task) {
+        Ok(anchor) => shared.checkpoints.set_anchor(task, encode_anchor(&anchor)),
+        Err(_) => shared.checkpoints.remove(task),
     }
 }
 

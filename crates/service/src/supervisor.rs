@@ -1,0 +1,582 @@
+//! Crash-recovery machinery shared by the shard workers and the
+//! [`crate::runtime::ShardRuntime`] dispatcher.
+//!
+//! The recovery model is **acknowledged-prefix rollback**, built from three
+//! pieces that live on the dispatcher side of the shard boundary (so they
+//! survive the worker's death):
+//!
+//! * A [`CheckpointStore`] per shard holds, for every task, a serialized
+//!   [`RecoveryAnchor`] (a full task snapshot plus the task's client-visible
+//!   delta log, captured side-effect-free) and a **log of the acknowledged
+//!   mutating requests** since that anchor. The worker appends a request to
+//!   the log only *after* handling succeeded and re-anchors every
+//!   [`SupervisionConfig::checkpoint_every`] mutations, so the store always
+//!   describes exactly the state a client could know about from `Ok`
+//!   replies.
+//! * A [`PendingLedger`] per shard records every accepted request until its
+//!   reply is sent. Whatever is left in the ledger when a worker dies (the
+//!   in-flight request, everything queued behind it, any injected
+//!   reply drops) is flushed as a typed `Unavailable` reply — no
+//!   correlation id ever goes unanswered.
+//! * A [`PanicSlot`] per shard carries the isolated panic payload out of
+//!   the dead worker, so shutdown can report typed [`ShardFailure`]s
+//!   instead of re-panicking on `join`.
+//!
+//! Because the log holds only acknowledged mutations and every fault point
+//! fires either before handling or between handling and acknowledgement,
+//! [`rebuild_service`] restores precisely the acked prefix: the chaos
+//! harness proves the recovered state bit-identical to a serial replay of
+//! the `Ok`-replied requests.
+
+use crate::protocol::{Request, RequestEnvelope, ServiceError};
+use crate::service::ValidationService;
+use crowdval_core::snapshot::SessionDelta;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::protocol::TaskSnapshot;
+
+/// Supervision knobs of the sharded runtime. Off by default: an
+/// unsupervised runtime behaves exactly like the pre-supervision one (plus
+/// panic isolation, which is unconditional), so the dispatch hot path and
+/// the throughput gates are untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SupervisionConfig {
+    /// Master switch: checkpointing, automatic restarts, deadlines and
+    /// shedding. When off, a dead shard stays dead (its requests get typed
+    /// `Unavailable` replies) and no checkpoints are taken.
+    pub enabled: bool,
+    /// Re-anchor a task's recovery checkpoint after this many logged
+    /// mutations. Smaller = cheaper recovery replay, more frequent
+    /// snapshot stalls on the worker.
+    pub checkpoint_every: usize,
+    /// Dispatch deadline for correctness-critical requests backing off on
+    /// a full mailbox, in milliseconds.
+    pub deadline_ms: u64,
+    /// Retry attempts (exponential back-off, 1 ms base) within the
+    /// deadline before a `DeadlineExceeded` reply.
+    pub max_retries: u32,
+    /// Queue-depth fraction of the mailbox capacity above which sheddable
+    /// requests ([`Request::is_sheddable`]) are refused with
+    /// `Unavailable { reason: Shed }`.
+    pub shed_watermark: f64,
+    /// Whether `FaultInject` requests arm the runtime's fault registry.
+    /// Never enable outside chaos tests.
+    pub fault_injection: bool,
+}
+
+impl Default for SupervisionConfig {
+    fn default() -> Self {
+        Self {
+            enabled: false,
+            checkpoint_every: 32,
+            deadline_ms: 2000,
+            max_retries: 8,
+            shed_watermark: 0.75,
+            fault_injection: false,
+        }
+    }
+}
+
+impl SupervisionConfig {
+    /// Supervision on, fault injection off — the production preset.
+    pub fn enabled() -> Self {
+        Self {
+            enabled: true,
+            ..Self::default()
+        }
+    }
+
+    /// Supervision and fault injection both on — the chaos-test preset.
+    pub fn chaos() -> Self {
+        Self {
+            enabled: true,
+            fault_injection: true,
+            ..Self::default()
+        }
+    }
+}
+
+/// A crash-recovery anchor: the full task checkpoint plus the task's
+/// client-visible delta log at anchor time, captured **side-effect-free**
+/// (the client's `SnapshotDelta` anchor does not move), so recovery can put
+/// both back exactly as they were.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryAnchor {
+    /// The task snapshot (same shape operator-driven `Snapshot` returns).
+    pub snapshot: TaskSnapshot,
+    /// The client-visible delta log at anchor time, when the task logs
+    /// deltas ([`crate::protocol::TaskConfig::wal`]).
+    pub wal: Option<SessionDelta>,
+}
+
+/// Serializes an anchor to bytes for the [`CheckpointStore`]. Bytes rather
+/// than the live structure so torn-checkpoint faults (and, in a real
+/// deployment, torn disk writes) are representable — recovery must survive
+/// arbitrary corruption of this buffer with a typed error.
+pub fn encode_anchor(anchor: &RecoveryAnchor) -> Vec<u8> {
+    serde_json::to_string(anchor)
+        .expect("recovery anchors are plain serde data")
+        .into_bytes()
+}
+
+/// Parses anchor bytes back, mapping any corruption to a typed error.
+pub fn decode_anchor(bytes: &[u8]) -> Result<RecoveryAnchor, ServiceError> {
+    let text = std::str::from_utf8(bytes).map_err(|e| ServiceError::InvalidSnapshot {
+        message: format!("recovery anchor is not UTF-8: {e}"),
+    })?;
+    serde_json::from_str(text).map_err(|e| ServiceError::InvalidSnapshot {
+        message: format!("recovery anchor does not parse: {e}"),
+    })
+}
+
+/// One task's recovery state: the anchor bytes plus the acknowledged
+/// mutating requests since the anchor.
+#[derive(Debug, Clone)]
+pub struct TaskCheckpoint {
+    /// Serialized [`RecoveryAnchor`].
+    pub anchor: Vec<u8>,
+    /// Acknowledged mutating requests since the anchor, in service order.
+    pub log: Vec<Request>,
+}
+
+/// The per-shard map of task checkpoints. Shared between the worker (which
+/// maintains it) and the dispatcher (which rebuilds from it after a crash);
+/// the lock is uncontended outside restarts.
+#[derive(Default)]
+pub struct CheckpointStore {
+    tasks: Mutex<BTreeMap<String, TaskCheckpoint>>,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Installs a fresh anchor for `task`, clearing its log.
+    pub fn set_anchor(&self, task: &str, anchor: Vec<u8>) {
+        self.lock().insert(
+            task.to_string(),
+            TaskCheckpoint {
+                anchor,
+                log: Vec::new(),
+            },
+        );
+    }
+
+    /// Appends an acknowledged mutating request to `task`'s log, returning
+    /// the new log length — `None` when the task has no checkpoint yet
+    /// (the caller should anchor instead).
+    pub fn append(&self, task: &str, request: Request) -> Option<usize> {
+        let mut tasks = self.lock();
+        let checkpoint = tasks.get_mut(task)?;
+        checkpoint.log.push(request);
+        Some(checkpoint.log.len())
+    }
+
+    /// Whether `task` has a checkpoint.
+    pub fn contains(&self, task: &str) -> bool {
+        self.lock().contains_key(task)
+    }
+
+    /// Drops `task`'s checkpoint (task closed, or its anchor found torn).
+    pub fn remove(&self, task: &str) {
+        self.lock().remove(task);
+    }
+
+    /// Checkpointed task count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether the store holds no checkpoints.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    /// Bit-flips a byte in the middle of `task`'s stored anchor — the
+    /// torn-checkpoint fault. Returns whether there was an anchor to tear.
+    pub fn tear(&self, task: &str) -> bool {
+        let mut tasks = self.lock();
+        let Some(checkpoint) = tasks.get_mut(task) else {
+            return false;
+        };
+        if checkpoint.anchor.is_empty() {
+            return false;
+        }
+        let mid = checkpoint.anchor.len() / 2;
+        checkpoint.anchor[mid] ^= 0x5a;
+        true
+    }
+
+    /// A point-in-time copy of every checkpoint, for recovery.
+    pub fn checkpoints(&self) -> BTreeMap<String, TaskCheckpoint> {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, TaskCheckpoint>> {
+        // The store must stay usable after a worker panicked mid-update;
+        // the map is always structurally consistent (every operation is a
+        // single insert/push/remove), so the poison flag carries no
+        // information here.
+        match self.tasks.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The per-shard ledger of accepted-but-unanswered requests. The
+/// dispatcher records `(request_id, task)` before enqueueing; the worker
+/// removes the entry immediately before sending the reply. Entries left
+/// behind by a dead worker are exactly the requests that lost their reply.
+#[derive(Default)]
+pub struct PendingLedger {
+    entries: Mutex<Vec<(u64, String)>>,
+}
+
+impl PendingLedger {
+    /// An empty ledger.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an accepted request.
+    pub fn push(&self, request_id: u64, task: &str) {
+        self.lock().push((request_id, task.to_string()));
+    }
+
+    /// Removes the oldest entry with this id (ids repeat only if the
+    /// client reuses them; oldest-first keeps flushes well-defined then).
+    pub fn remove(&self, request_id: u64) {
+        let mut entries = self.lock();
+        if let Some(pos) = entries.iter().position(|(id, _)| *id == request_id) {
+            entries.remove(pos);
+        }
+    }
+
+    /// Takes every outstanding entry — the reply-less requests a crash or
+    /// shutdown must flush as `Unavailable`.
+    pub fn drain(&self) -> Vec<(u64, String)> {
+        std::mem::take(&mut *self.lock())
+    }
+
+    /// Outstanding entry count.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Whether nothing is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Vec<(u64, String)>> {
+        match self.entries.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+/// The channel carrying a panic payload out of a dead worker: the worker's
+/// panic boundary records the rendered payload here and lets the thread
+/// exit cleanly, so `join` never re-panics.
+#[derive(Default)]
+pub struct PanicSlot {
+    message: Mutex<Option<String>>,
+}
+
+impl PanicSlot {
+    /// An empty slot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a panic payload (the first one wins; a worker dies on its
+    /// first isolated panic, so later calls would be a logic error
+    /// upstream, not data loss).
+    pub fn record(&self, payload: &(dyn std::any::Any + Send)) {
+        let message = panic_message(payload);
+        let mut slot = match self.message.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        slot.get_or_insert(message);
+    }
+
+    /// Takes the recorded payload, if any.
+    pub fn take(&self) -> Option<String> {
+        match self.message.lock() {
+            Ok(mut guard) => guard.take(),
+            Err(poisoned) => poisoned.into_inner().take(),
+        }
+    }
+}
+
+/// Renders a panic payload the way the default hook does.
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// One shard worker's isolated panic, reported by
+/// [`crate::runtime::ShardRuntime::shutdown`] instead of re-panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardFailure {
+    /// The shard whose worker died.
+    pub shard: usize,
+    /// The rendered panic payload.
+    pub panic: String,
+}
+
+impl fmt::Display for ShardFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "shard {} worker panicked: {}", self.shard, self.panic)
+    }
+}
+
+/// What [`crate::runtime::ShardRuntime::shutdown`] observed: every panic
+/// that was still unresolved at shutdown (supervised runtimes usually have
+/// none — the next dispatch restarts a dead shard) plus how many accepted
+/// requests had to be flushed with `Unavailable` replies.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShutdownReport {
+    /// Worker panics pending at shutdown, in shard order.
+    pub failures: Vec<ShardFailure>,
+    /// Accepted requests flushed as `Unavailable { reason: RequestLost }`.
+    pub requests_flushed: usize,
+}
+
+impl ShutdownReport {
+    /// No failures, nothing flushed — the boring, desirable outcome.
+    pub fn is_clean(&self) -> bool {
+        self.failures.is_empty() && self.requests_flushed == 0
+    }
+}
+
+/// The result of rebuilding a shard's service from its checkpoints.
+#[derive(Debug, Default)]
+pub struct RecoveryOutcome {
+    /// Tasks restored (anchor decoded, log replayed).
+    pub recovered_tasks: usize,
+    /// Objects across the restored tasks.
+    pub recovered_objects: u64,
+    /// Tasks whose checkpoint could not be used (torn anchor, replay
+    /// failure), with the typed reason. Dropped from the store — clients
+    /// get `TaskNotFound` and must restore from their own snapshots.
+    pub dropped: Vec<(String, ServiceError)>,
+}
+
+/// Rebuilds a fresh [`ValidationService`] holding every recoverable task in
+/// the store: decode each anchor, install it, replay the acknowledged
+/// mutation log in order. Unrecoverable tasks are removed from the store so
+/// the failure is paid once, not on every restart.
+pub fn rebuild_service(store: &CheckpointStore) -> (ValidationService, RecoveryOutcome) {
+    let mut service = ValidationService::new();
+    let mut outcome = RecoveryOutcome::default();
+    for (task, checkpoint) in store.checkpoints() {
+        let recovered = decode_anchor(&checkpoint.anchor)
+            .and_then(|anchor| service.install_recovered(&task, anchor))
+            .and_then(|objects| {
+                for request in &checkpoint.log {
+                    // Replaying an acknowledged request cannot fail — it
+                    // succeeded against this exact state before the crash.
+                    // If it does (a torn log would be a store bug), drop
+                    // the task rather than keep half of it.
+                    service
+                        .handle(&RequestEnvelope::latest(request.clone()))
+                        .map_err(|e| ServiceError::InvalidSnapshot {
+                            message: format!("checkpoint log replay failed: {e}"),
+                        })?;
+                }
+                Ok(objects)
+            });
+        match recovered {
+            Ok(objects) => {
+                outcome.recovered_tasks += 1;
+                outcome.recovered_objects += objects as u64;
+            }
+            Err(error) => {
+                service.evict_task(&task);
+                store.remove(&task);
+                outcome.dropped.push((task, error));
+            }
+        }
+    }
+    (service, outcome)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::{ClientVote, Response, TaskConfig};
+
+    fn seeded_service() -> ValidationService {
+        let mut service = ValidationService::new();
+        service
+            .handle_request(&Request::CreateTask {
+                task: "t".into(),
+                labels: vec!["yes".into(), "no".into()],
+                config: TaskConfig {
+                    wal: true,
+                    ..TaskConfig::default()
+                },
+            })
+            .unwrap();
+        service
+            .handle_request(&Request::SubmitVotes {
+                task: "t".into(),
+                votes: (0..3)
+                    .flat_map(|w| {
+                        (0..4).map(move |o| ClientVote {
+                            worker: format!("w{w}"),
+                            object: format!("o{o}"),
+                            label: if o % 2 == 0 { "yes" } else { "no" }.into(),
+                        })
+                    })
+                    .collect(),
+            })
+            .unwrap();
+        service
+    }
+
+    #[test]
+    fn anchor_round_trips_and_recovery_restores_the_task() {
+        let service = seeded_service();
+        let anchor = service.checkpoint_task("t").unwrap();
+        let bytes = encode_anchor(&anchor);
+        assert_eq!(decode_anchor(&bytes).unwrap(), anchor);
+
+        let store = CheckpointStore::new();
+        store.set_anchor("t", bytes);
+        let (mut rebuilt, outcome) = rebuild_service(&store);
+        assert_eq!(outcome.recovered_tasks, 1);
+        assert_eq!(outcome.recovered_objects, 4);
+        assert!(outcome.dropped.is_empty());
+        assert!(matches!(
+            rebuilt.handle_request(&Request::QueryPosterior {
+                task: "t".into(),
+                object: "o1".into(),
+            }),
+            Ok(Response::Posterior { .. })
+        ));
+    }
+
+    #[test]
+    fn background_checkpoints_do_not_move_the_client_delta_anchor() {
+        let mut service = seeded_service();
+        // The client's delta log has pending events (the ingest).
+        let before = match service
+            .handle_request(&Request::SnapshotDelta { task: "t".into() })
+            .unwrap()
+        {
+            Response::SnapshotDelta { events, .. } => events,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert!(before >= 1);
+        // A background checkpoint must not clear them...
+        let anchor = service.checkpoint_task("t").unwrap();
+        let after = match service
+            .handle_request(&Request::SnapshotDelta { task: "t".into() })
+            .unwrap()
+        {
+            Response::SnapshotDelta { events, .. } => events,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(before, after);
+        // ...and a recovered task carries the same pending events.
+        let store = CheckpointStore::new();
+        store.set_anchor("t", encode_anchor(&anchor));
+        let (mut rebuilt, _) = rebuild_service(&store);
+        let recovered = match rebuilt
+            .handle_request(&Request::SnapshotDelta { task: "t".into() })
+            .unwrap()
+        {
+            Response::SnapshotDelta { events, .. } => events,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(recovered, before);
+    }
+
+    #[test]
+    fn log_replay_reproduces_post_anchor_mutations() {
+        let mut live = seeded_service();
+        let store = CheckpointStore::new();
+        store.set_anchor("t", encode_anchor(&live.checkpoint_task("t").unwrap()));
+        let extra = Request::SubmitVotes {
+            task: "t".into(),
+            votes: vec![ClientVote {
+                worker: "w9".into(),
+                object: "o9".into(),
+                label: "yes".into(),
+            }],
+        };
+        live.handle_request(&extra).unwrap();
+        assert_eq!(store.append("t", extra), Some(1));
+
+        let (mut rebuilt, outcome) = rebuild_service(&store);
+        assert_eq!(outcome.recovered_tasks, 1);
+        let snap = |s: &mut ValidationService| match s
+            .handle_request(&Request::Snapshot { task: "t".into() })
+            .unwrap()
+        {
+            Response::Snapshot { snapshot, .. } => snapshot,
+            other => panic!("unexpected reply {other:?}"),
+        };
+        assert_eq!(snap(&mut live), snap(&mut rebuilt));
+    }
+
+    #[test]
+    fn torn_anchor_is_a_typed_drop_not_a_panic() {
+        let service = seeded_service();
+        let store = CheckpointStore::new();
+        store.set_anchor("t", encode_anchor(&service.checkpoint_task("t").unwrap()));
+        assert!(store.tear("t"));
+        let (mut rebuilt, outcome) = rebuild_service(&store);
+        assert_eq!(outcome.recovered_tasks, 0);
+        assert_eq!(outcome.dropped.len(), 1);
+        assert_eq!(outcome.dropped[0].0, "t");
+        assert!(matches!(
+            outcome.dropped[0].1,
+            ServiceError::InvalidSnapshot { .. } | ServiceError::Model { .. }
+        ));
+        // The torn checkpoint is gone; the task is simply absent.
+        assert!(store.is_empty());
+        assert!(matches!(
+            rebuilt.handle_request(&Request::RequestGuidance { task: "t".into() }),
+            Err(ServiceError::TaskNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn ledger_tracks_only_unanswered_requests() {
+        let ledger = PendingLedger::new();
+        ledger.push(1, "a");
+        ledger.push(2, "b");
+        ledger.push(3, "a");
+        ledger.remove(2);
+        assert_eq!(ledger.len(), 2);
+        let mut drained = ledger.drain();
+        drained.sort();
+        assert_eq!(drained, vec![(1, "a".to_string()), (3, "a".to_string())]);
+        assert!(ledger.is_empty());
+    }
+
+    #[test]
+    fn panic_slot_renders_payloads() {
+        let slot = PanicSlot::new();
+        let payload: Box<dyn std::any::Any + Send> = Box::new("boom");
+        slot.record(payload.as_ref());
+        assert_eq!(slot.take().as_deref(), Some("boom"));
+        assert_eq!(slot.take(), None);
+    }
+}

@@ -1,0 +1,444 @@
+//! Chaos tests for the supervised shard runtime: deterministic fault
+//! injection kills workers mid-traffic and the runtime must (a) answer
+//! every accepted request exactly once — with its real reply or a typed
+//! `Unavailable` flush, never silence, never a duplicate correlation id —
+//! and (b) recover every task to **exactly the acknowledged prefix**: the
+//! final posteriors, trust ledger and triage decisions equal a serial
+//! replay of just the `Ok`-replied requests on a fresh single-threaded
+//! service.
+
+use crowdval_service::serve::{serve, ServeOptions};
+use crowdval_service::{
+    ClientVote, Dispatch, FaultKind, FaultPlan, OverloadPolicy, Reply, ReplyOutcome, Request,
+    RequestEnvelope, Response, RuntimeConfig, ServiceError, ShardRuntime, StrategyChoice,
+    SupervisionConfig, TaskConfig, UnavailableReason, ValidationService,
+};
+use std::collections::HashMap;
+use std::sync::mpsc::Receiver;
+use std::time::Duration;
+
+const LABELS: [&str; 2] = ["yes", "no"];
+const OBJECTS: usize = 10;
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One tenant's scripted stream: create (WAL + triage on, so recovery
+/// exercises the delta log and the triage scorer), then rounds of votes,
+/// guidance, validation and posterior queries. Requests reference fixed
+/// names only, so any acknowledged subset replays serially.
+fn task_script(task: &str, index: usize, rounds: usize) -> Vec<Request> {
+    let mut rng = 0xc4a0_5000 + index as u64;
+    let mut script = vec![Request::CreateTask {
+        task: task.to_string(),
+        labels: LABELS.iter().map(|l| l.to_string()).collect(),
+        config: TaskConfig {
+            strategy: match index % 3 {
+                0 => StrategyChoice::Hybrid,
+                1 => StrategyChoice::UncertaintyDriven,
+                _ => StrategyChoice::EntropyBaseline,
+            },
+            seed: index as u64,
+            shortlist: Some(6),
+            wal: true,
+            triage: true,
+            ..TaskConfig::default()
+        },
+    }];
+    for round in 0..rounds {
+        let votes = (0..8)
+            .map(|i| ClientVote {
+                worker: format!("w{}", i % 5),
+                object: format!("o{}", (i + round) % OBJECTS),
+                label: LABELS[(splitmix(&mut rng) % 2) as usize].to_string(),
+            })
+            .collect();
+        script.push(Request::SubmitVotes {
+            task: task.to_string(),
+            votes,
+        });
+        script.push(Request::RequestGuidance {
+            task: task.to_string(),
+        });
+        script.push(Request::SubmitValidation {
+            task: task.to_string(),
+            object: format!("o{}", round % OBJECTS),
+            label: LABELS[(splitmix(&mut rng) % 2) as usize].to_string(),
+        });
+        script.push(Request::QueryPosterior {
+            task: task.to_string(),
+            object: format!("o{}", round % OBJECTS),
+        });
+    }
+    script
+}
+
+/// The verification probes of one task: the full observable state the
+/// acceptance bar names — every object's posterior, the worker-trust
+/// ledger, and the triage decision stats.
+fn probes(task: &str) -> Vec<Request> {
+    let mut list: Vec<Request> = (0..OBJECTS)
+        .map(|o| Request::QueryPosterior {
+            task: task.to_string(),
+            object: format!("o{o}"),
+        })
+        .collect();
+    list.push(Request::QueryWorkerTrust {
+        task: task.to_string(),
+    });
+    list.push(Request::TriageStats {
+        task: task.to_string(),
+    });
+    list
+}
+
+/// The headline chaos property: a seeded fault plan kills **every shard at
+/// least once** mid-traffic, and after automatic recovery the final
+/// per-task posteriors, trust-ledger state and triage decisions are
+/// bit-identical (on the serialized wire form) to an unfailed serial
+/// replay of exactly the acknowledged (`Ok`-replied) requests.
+#[test]
+fn crash_recovery_equals_serial_replay_of_the_acknowledged_prefix() {
+    const TENANTS: usize = 6;
+    const ROUNDS: usize = 8;
+    const SHARDS: usize = 2;
+    let (runtime, replies) = ShardRuntime::start(RuntimeConfig {
+        num_shards: SHARDS,
+        mailbox_capacity: 64,
+        overload: OverloadPolicy::Block,
+        supervision: SupervisionConfig {
+            checkpoint_every: 4, // small: recovery exercises anchor + log
+            ..SupervisionConfig::chaos()
+        },
+    });
+
+    // One Panic-or-Kill per shard early in its stream, plus a stall and a
+    // second crash — every shard dies at least once, at a seeded,
+    // reproducible arrival. Arrivals stay ≤ 15: every shard owning at
+    // least one task sees ≥ 25 non-sheddable requests (asserted below),
+    // so all faults fire during the mutation phase, before the probes.
+    let mut plan = FaultPlan::seeded_crashes(0xdead_beef, SHARDS, 3, 10);
+    for shard in 0..SHARDS {
+        plan.push(shard, 12, FaultKind::Stall { ms: 1 });
+        plan.push(shard, 14 + shard as u64, FaultKind::Panic);
+    }
+    assert_eq!(
+        runtime.submit(RequestEnvelope::new(1, Request::FaultInject { plan })),
+        Dispatch::Answered
+    );
+
+    // Interleave the tenant streams round-robin; record each envelope so
+    // the acknowledged subset can be replayed serially afterwards.
+    let scripts: Vec<(String, Vec<Request>)> = (0..TENANTS)
+        .map(|i| {
+            let task = format!("chaos-{i}");
+            let script = task_script(&task, i, ROUNDS);
+            (task, script)
+        })
+        .collect();
+    // Every shard must own at least one task (and with it ≥ 25
+    // non-sheddable arrivals), or the fault arrivals above never fire.
+    for shard in 0..SHARDS {
+        assert!(
+            scripts
+                .iter()
+                .any(|(task, _)| crowdval_service::runtime::shard_for_task(task, SHARDS) == shard),
+            "shard {shard} owns no task; pick different tenant names"
+        );
+    }
+    let mut submitted: HashMap<u64, (usize, Request)> = HashMap::new();
+    let mut next_id = 2u64;
+    let mut cursors = [0usize; TENANTS];
+    loop {
+        let mut progressed = false;
+        for (tenant, (_, script)) in scripts.iter().enumerate() {
+            if cursors[tenant] < script.len() {
+                let request = script[cursors[tenant]].clone();
+                submitted.insert(next_id, (tenant, request.clone()));
+                let dispatch = runtime.submit(RequestEnvelope::new(next_id, request));
+                // Guidance may legitimately come back `Shed` past the
+                // watermark; shed/rejected requests simply never join the
+                // acknowledged prefix the serial replay reproduces.
+                assert_ne!(dispatch, Dispatch::Answered, "mutations are shard-routed");
+                next_id += 1;
+                cursors[tenant] += 1;
+                progressed = true;
+            }
+        }
+        if !progressed {
+            break;
+        }
+    }
+
+    // Heal-and-drain: the workers run behind the dispatcher, so the last
+    // injected crash may fire after all traffic is already submitted — no
+    // later dispatch would notice the dead shard. A `Health` probe is the
+    // supervisor's heartbeat: it restarts dead shards and flushes their
+    // reply-less requests. Nudge until every mutation has its reply.
+    let mut seen: HashMap<u64, Reply> = HashMap::new();
+    let collect = |seen: &mut HashMap<u64, Reply>, replies: &Receiver<Reply>| {
+        while let Ok(reply) = replies.recv_timeout(Duration::from_millis(20)) {
+            assert!(
+                seen.insert(reply.request_id, reply).is_none(),
+                "duplicate reply for a correlation id"
+            );
+        }
+    };
+    let drain_deadline = std::time::Instant::now() + Duration::from_secs(60);
+    loop {
+        collect(&mut seen, &replies);
+        if (1..next_id).all(|id| seen.contains_key(&id)) {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < drain_deadline,
+            "mutation replies never drained: {} of {} received",
+            seen.len(),
+            next_id - 1
+        );
+        runtime.submit(RequestEnvelope::new(next_id, Request::Health));
+        next_id += 1;
+    }
+
+    // Every fault has now fired (all mutations are answered, and every
+    // fault arrival is below the per-shard mutation count), so the probes
+    // run crash-free and observe each task's final recovered state.
+    let mut probe_ids: HashMap<u64, (usize, Request)> = HashMap::new();
+    for (tenant, (task, _)) in scripts.iter().enumerate() {
+        for request in probes(task) {
+            probe_ids.insert(next_id, (tenant, request.clone()));
+            runtime.submit(RequestEnvelope::new(next_id, request));
+            next_id += 1;
+        }
+    }
+    let health_id = next_id;
+    assert_eq!(
+        runtime.submit(RequestEnvelope::new(health_id, Request::Health)),
+        Dispatch::Answered
+    );
+    next_id += 1;
+    let report = runtime.shutdown();
+    assert!(
+        report.is_clean(),
+        "every injected panic was resolved by a restart and every reply \
+         delivered before shutdown: {report:?}"
+    );
+
+    // Exactly one reply per submitted correlation id — no lost replies,
+    // no duplicates, crashes notwithstanding.
+    for reply in replies {
+        assert!(
+            seen.insert(reply.request_id, reply).is_none(),
+            "duplicate reply for a correlation id"
+        );
+    }
+    assert_eq!(
+        seen.len() as u64,
+        next_id - 1,
+        "a reply per submitted request"
+    );
+
+    let Some(Reply {
+        outcome: ReplyOutcome::Ok(Response::Health { shards }),
+        ..
+    }) = seen.get(&health_id)
+    else {
+        panic!("health reply missing or failed");
+    };
+    for health in shards {
+        assert!(health.alive, "shard {} not restarted", health.shard);
+        assert!(
+            health.restarts >= 1,
+            "shard {} was never killed — the plan must hit every shard",
+            health.shard
+        );
+        assert!(health.panics_isolated >= 1);
+    }
+    let losses = seen
+        .values()
+        .filter(|r| {
+            matches!(
+                r.result(),
+                Err(ServiceError::Unavailable {
+                    reason: UnavailableReason::RequestLost,
+                    ..
+                })
+            )
+        })
+        .count();
+    assert!(
+        losses >= 1,
+        "crashes mid-stream must surface at least one typed RequestLost flush"
+    );
+
+    // Serial ground truth: per task, replay only the Ok-replied mutating
+    // requests, in submission order, on a fresh single-threaded service —
+    // then ask the same probes and compare the serialized responses.
+    for (tenant, (task, _)) in scripts.iter().enumerate() {
+        let mut service = ValidationService::new();
+        let mut ids: Vec<u64> = submitted
+            .iter()
+            .filter(|(_, (t, _))| *t == tenant)
+            .map(|(id, _)| *id)
+            .collect();
+        ids.sort_unstable(); // submission order == correlation-id order
+        for id in ids {
+            let (_, request) = &submitted[&id];
+            if !request.is_mutating() || seen[&id].result().is_err() {
+                continue;
+            }
+            let reply = service.reply(&RequestEnvelope::latest(request.clone()));
+            assert!(
+                reply.result().is_ok(),
+                "acknowledged request {id} must replay cleanly: {:?}",
+                reply.result()
+            );
+        }
+        let mut probe_list: Vec<u64> = probe_ids
+            .iter()
+            .filter(|(_, (t, _))| *t == tenant)
+            .map(|(id, _)| *id)
+            .collect();
+        probe_list.sort_unstable();
+        for id in probe_list {
+            let (_, request) = &probe_ids[&id];
+            let serial = service.reply(&RequestEnvelope::latest(request.clone()));
+            let chaos_json = serde_json::to_string(&seen[&id].outcome).unwrap();
+            let serial_json = serde_json::to_string(&serial.outcome).unwrap();
+            assert_eq!(
+                chaos_json, serial_json,
+                "task {task}: probe {request:?} diverged from the serial replay"
+            );
+        }
+    }
+}
+
+/// Satellite: injected shard death mid-stream through the **serve** loop —
+/// every input line still gets exactly one output line, correlation ids
+/// are unique, and the summary reports the failure accounting instead of
+/// panicking anything.
+#[test]
+fn serve_drains_every_line_under_injected_shard_death() {
+    let mut lines: Vec<String> = Vec::new();
+    let mut plan = FaultPlan::new();
+    plan.push(0, 9, FaultKind::Kill);
+    plan.push(1, 7, FaultKind::Panic);
+    lines.push(
+        serde_json::to_string(&RequestEnvelope::new(1, Request::FaultInject { plan })).unwrap(),
+    );
+    let mut next_id = 2u64;
+    for t in 0..4 {
+        let task = format!("serve-chaos-{t}");
+        for request in task_script(&task, t, 6) {
+            lines.push(serde_json::to_string(&RequestEnvelope::new(next_id, request)).unwrap());
+            next_id += 1;
+        }
+    }
+    let total = lines.len();
+    let input = lines.join("\n") + "\n";
+    let (out, summary) = serve(
+        input.as_bytes(),
+        Vec::new(),
+        &ServeOptions {
+            shards: 2,
+            mailbox_capacity: 32,
+            overload: OverloadPolicy::Block,
+            supervision: SupervisionConfig::chaos(),
+        },
+    );
+    assert_eq!(summary.requests, total);
+    assert_eq!(
+        summary.replies, total,
+        "a reply line per input line, shard deaths included"
+    );
+    assert!(!summary.writer_panicked);
+    let text = String::from_utf8(out.expect("writer survives shard chaos")).unwrap();
+    let mut ids: Vec<u64> = text
+        .lines()
+        .map(|line| {
+            serde_json::from_str::<Reply>(line)
+                .expect("parseable reply")
+                .request_id
+        })
+        .collect();
+    ids.sort_unstable();
+    let expected: Vec<u64> = (1..=total as u64).collect();
+    assert_eq!(ids, expected, "unique, complete correlation ids");
+}
+
+/// Without supervision a dead shard stays dead — but dies *typed*: the
+/// panic is isolated, later submissions get `Unavailable` replies instead
+/// of crashing the dispatcher, and shutdown reports a [`ShardFailure`]
+/// instead of re-panicking on join.
+#[test]
+fn unsupervised_worker_death_is_typed_not_contagious() {
+    let (runtime, replies) = ShardRuntime::start(RuntimeConfig {
+        num_shards: 1,
+        mailbox_capacity: 8,
+        overload: OverloadPolicy::Reject,
+        supervision: SupervisionConfig {
+            fault_injection: true, // faults armed, but no restarts
+            ..SupervisionConfig::default()
+        },
+    });
+    let mut plan = FaultPlan::new();
+    plan.push(0, 2, FaultKind::Kill);
+    runtime.submit(RequestEnvelope::new(1, Request::FaultInject { plan }));
+    runtime.submit(RequestEnvelope::new(
+        2,
+        Request::CreateTask {
+            task: "doomed".into(),
+            labels: LABELS.iter().map(|l| l.to_string()).collect(),
+            config: TaskConfig::default(),
+        },
+    ));
+    // Arrival 2 dies before handling; its reply is lost (unsupervised mode
+    // keeps no ledger — that is exactly what supervision adds).
+    runtime.submit(RequestEnvelope::new(
+        3,
+        Request::RequestGuidance {
+            task: "doomed".into(),
+        },
+    ));
+    // Keep poking the shard while it dies. Early attempts may still be
+    // accepted into the mailbox (or rejected `Overloaded` once it fills);
+    // once the worker is gone, submissions come back `Rejected` with the
+    // typed `WorkerPanicked` reply — counted below, never a panic here.
+    for attempt in 0..200u64 {
+        if let Dispatch::Rejected { shard } = runtime.submit(RequestEnvelope::new(
+            100 + attempt,
+            Request::RequestGuidance {
+                task: "doomed".into(),
+            },
+        )) {
+            assert_eq!(shard, 0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(1));
+    }
+    let report = runtime.shutdown();
+    assert_eq!(report.failures.len(), 1, "{report:?}");
+    assert_eq!(report.failures[0].shard, 0);
+    assert!(
+        report.failures[0].panic.contains("injected fault: kill"),
+        "panic payload surfaces in the typed failure: {:?}",
+        report.failures[0]
+    );
+    let unavailable = replies
+        .into_iter()
+        .filter(|r| {
+            matches!(
+                r.result(),
+                Err(ServiceError::Unavailable {
+                    reason: UnavailableReason::WorkerPanicked,
+                    ..
+                })
+            )
+        })
+        .count();
+    assert!(unavailable >= 1, "typed WorkerPanicked replies expected");
+}

@@ -157,6 +157,7 @@ fn concurrent_mixed_traffic_is_bit_identical_to_serial_replay() {
         num_shards: 4,
         mailbox_capacity: 64,
         overload: OverloadPolicy::Block,
+        ..RuntimeConfig::default()
     });
     for envelope in envelopes {
         assert!(matches!(
@@ -210,6 +211,7 @@ fn shutdown_drains_every_accepted_request() {
         num_shards: 4,
         mailbox_capacity: 256,
         overload: OverloadPolicy::Block,
+        ..RuntimeConfig::default()
     });
     let mut submitted = 0u64;
     for t in 0..8 {
@@ -241,6 +243,7 @@ fn full_mailbox_rejects_with_overloaded_and_recovers_once_drained() {
         num_shards: 1,
         mailbox_capacity: 2,
         overload: OverloadPolicy::Reject,
+        ..RuntimeConfig::default()
     });
     assert_eq!(shard_for_task("burst", 1), 0);
     runtime.submit(RequestEnvelope::new(1, create("burst")));
@@ -265,6 +268,7 @@ fn full_mailbox_rejects_with_overloaded_and_recovers_once_drained() {
                 rejected.push(id);
             }
             Dispatch::Answered => unreachable!("guidance is shard-routed"),
+            Dispatch::Shed { .. } => unreachable!("unsupervised runtimes never shed"),
         }
     }
     assert!(enqueued >= 1, "capacity 2 admits at least one request");
@@ -277,7 +281,7 @@ fn full_mailbox_rejects_with_overloaded_and_recovers_once_drained() {
         match runtime.submit(RequestEnvelope::new(recovered_id, guidance("burst"))) {
             Dispatch::Enqueued { .. } => break,
             Dispatch::Rejected { .. } => std::thread::yield_now(),
-            Dispatch::Answered => unreachable!(),
+            Dispatch::Answered | Dispatch::Shed { .. } => unreachable!(),
         }
     }
     runtime.shutdown();
@@ -293,10 +297,12 @@ fn full_mailbox_rejects_with_overloaded_and_recovers_once_drained() {
                 task,
                 shard,
                 capacity,
+                retry_after_ms,
             }) => {
                 assert_eq!(task, "burst");
                 assert_eq!(*shard, 0);
                 assert_eq!(*capacity, 2);
+                assert!(*retry_after_ms >= 1, "retry hint is always at least 1ms");
             }
             other => panic!("rejected request must reply Overloaded, got {other:?}"),
         }
@@ -318,6 +324,7 @@ fn runtime_stats_aggregate_the_per_shard_counters() {
         num_shards: 4,
         mailbox_capacity: 64,
         overload: OverloadPolicy::Block,
+        ..RuntimeConfig::default()
     });
     let mut id = 0u64;
     let mut votes_sent = 0u64;
@@ -419,12 +426,13 @@ fn junk_floods_through_the_sharded_dispatcher_reply_and_never_panic() {
             shards: 4,
             mailbox_capacity: 32,
             overload: OverloadPolicy::Block,
+            ..ServeOptions::default()
         },
     );
     assert_eq!(summary.requests, requests);
     assert_eq!(summary.replies, requests, "a reply line per input line");
     assert_eq!(summary.malformed, junk);
-    let text = String::from_utf8(out).unwrap();
+    let text = String::from_utf8(out.expect("writer survives junk floods")).unwrap();
     assert_eq!(text.lines().count(), requests);
     for line in text.lines() {
         serde_json::from_str::<Reply>(line).expect("every output line is a parseable reply");

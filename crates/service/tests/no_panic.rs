@@ -10,8 +10,8 @@
 //! `crowdval-serve` driver with junk lines.
 
 use crowdval_service::{
-    ClientVote, Reply, Request, RequestEnvelope, ServiceError, StrategyChoice, TaskConfig,
-    TaskSnapshot, ValidationService, PROTOCOL_VERSION,
+    ClientVote, FaultKind, FaultPlan, Reply, Request, RequestEnvelope, ServiceError,
+    StrategyChoice, TaskConfig, TaskSnapshot, ValidationService, PROTOCOL_VERSION,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -112,8 +112,31 @@ fn corrupt_snapshot(rng: &mut StdRng, snapshot: &mut TaskSnapshot) {
     }
 }
 
+/// A fault plan with arbitrary (often out-of-range) shard indices and
+/// arrival counts — the dispatcher must refuse or clamp it, never panic.
+fn gen_fault_plan(rng: &mut StdRng) -> FaultPlan {
+    let mut plan = FaultPlan::new();
+    for _ in 0..rng.random_range(0..4usize) {
+        let kind = match rng.random_range(0..5u32) {
+            0 => FaultKind::Panic,
+            1 => FaultKind::Kill,
+            2 => FaultKind::Stall {
+                ms: rng.random_range(0..3u64),
+            },
+            3 => FaultKind::DropReply,
+            _ => FaultKind::TearCheckpoint,
+        };
+        plan.push(
+            rng.random_range(0..20usize),
+            rng.random_range(0..100u64),
+            kind,
+        );
+    }
+    plan
+}
+
 fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Request {
-    match rng.random_range(0..9u32) {
+    match rng.random_range(0..11u32) {
         0 => Request::CreateTask {
             task: gen_id(rng),
             labels: gen_labels(rng),
@@ -172,7 +195,11 @@ fn gen_request(rng: &mut StdRng, last_snapshot: &Option<TaskSnapshot>) -> Reques
             }
         }
         7 => Request::TriageStats { task: gen_id(rng) },
-        _ => Request::CloseTask { task: gen_id(rng) },
+        8 => Request::CloseTask { task: gen_id(rng) },
+        9 => Request::Health,
+        _ => Request::FaultInject {
+            plan: gen_fault_plan(rng),
+        },
     }
 }
 

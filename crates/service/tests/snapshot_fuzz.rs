@@ -1,0 +1,246 @@
+//! Property tests for the *byte-level* snapshot surfaces: truncated,
+//! bit-flipped and version-skewed snapshot/delta/anchor bytes must come
+//! back as **typed errors** — a parse failure at the JSON boundary or a
+//! `ServiceError` from the service — never a panic, never a silent
+//! half-restore.
+//!
+//! This is the crash-recovery trust boundary: checkpoint anchors are read
+//! back after a worker died mid-write, and `Restore`/`RestoreDelta` lines
+//! arrive from operators' disks. Both must treat the bytes as hostile.
+
+use crowdval_service::supervisor::{decode_anchor, encode_anchor};
+use crowdval_service::{
+    ClientVote, Reply, Request, RequestEnvelope, ServiceError, TaskConfig, TaskDelta, TaskSnapshot,
+    ValidationService,
+};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A service with one WAL-enabled task carrying real votes, plus its
+/// genuine snapshot and delta — the honest bytes each corruption starts
+/// from.
+fn seeded_task() -> (ValidationService, TaskSnapshot, TaskDelta) {
+    let mut service = ValidationService::new();
+    let reply = |service: &mut ValidationService, request: Request| -> Reply {
+        service.reply(&RequestEnvelope::latest(request))
+    };
+    assert!(reply(
+        &mut service,
+        Request::CreateTask {
+            task: "fuzz".into(),
+            labels: vec!["yes".into(), "no".into()],
+            config: TaskConfig {
+                wal: true,
+                triage: true,
+                ..TaskConfig::default()
+            },
+        },
+    )
+    .result()
+    .is_ok());
+    let votes = (0..12)
+        .map(|i| ClientVote {
+            worker: format!("w{}", i % 4),
+            object: format!("o{}", i % 6),
+            label: if i % 3 == 0 { "yes" } else { "no" }.to_string(),
+        })
+        .collect();
+    assert!(reply(
+        &mut service,
+        Request::SubmitVotes {
+            task: "fuzz".into(),
+            votes,
+        },
+    )
+    .result()
+    .is_ok());
+    let snapshot = match reply(
+        &mut service,
+        Request::Snapshot {
+            task: "fuzz".into(),
+        },
+    )
+    .outcome
+    {
+        crowdval_service::ReplyOutcome::Ok(crowdval_service::Response::Snapshot {
+            snapshot,
+            ..
+        }) => *snapshot,
+        other => panic!("snapshot failed: {other:?}"),
+    };
+    // More votes after the anchor, so the delta is non-empty.
+    assert!(reply(
+        &mut service,
+        Request::SubmitVotes {
+            task: "fuzz".into(),
+            votes: vec![ClientVote {
+                worker: "w9".into(),
+                object: "o1".into(),
+                label: "yes".into(),
+            }],
+        },
+    )
+    .result()
+    .is_ok());
+    let delta = match reply(
+        &mut service,
+        Request::SnapshotDelta {
+            task: "fuzz".into(),
+        },
+    )
+    .outcome
+    {
+        crowdval_service::ReplyOutcome::Ok(crowdval_service::Response::SnapshotDelta {
+            delta,
+            ..
+        }) => *delta,
+        other => panic!("delta snapshot failed: {other:?}"),
+    };
+    (service, snapshot, delta)
+}
+
+/// Byte-level corruption: truncation, bit flips, byte swaps, and digit
+/// splices (the cheapest way to skew embedded version numbers).
+fn corrupt_bytes(rng: &mut StdRng, bytes: &mut Vec<u8>) {
+    if bytes.is_empty() {
+        return;
+    }
+    for _ in 0..rng.random_range(1..4usize) {
+        match rng.random_range(0..4u32) {
+            0 => {
+                let at = rng.random_range(0..bytes.len());
+                bytes.truncate(at);
+                if bytes.is_empty() {
+                    return;
+                }
+            }
+            1 => {
+                let at = rng.random_range(0..bytes.len());
+                bytes[at] ^= 1 << rng.random_range(0..8u32);
+            }
+            2 => {
+                let at = rng.random_range(0..bytes.len());
+                bytes[at] = rng.random_range(0..256u32) as u8;
+            }
+            _ => {
+                // Version skew: rewrite a digit somewhere (hits
+                // `"protocol_version":5`, `"format_version":…`, counts).
+                if let Some(at) = bytes.iter().position(|b| b.is_ascii_digit()) {
+                    bytes[at] = b'0' + rng.random_range(0..10u32) as u8;
+                }
+            }
+        }
+    }
+}
+
+/// Feeding one corrupted JSON line through the full serve-side path:
+/// parse, then reply. Returns true if anything panicked (it must not).
+fn line_is_typed(service: &mut ValidationService, line: &[u8]) -> bool {
+    let Ok(text) = std::str::from_utf8(line) else {
+        return true; // not UTF-8: the reader layer rejects it before serde
+    };
+    match serde_json::from_str::<RequestEnvelope>(text) {
+        Ok(envelope) => {
+            // Parsed despite the corruption: the service must answer with
+            // a typed outcome, and that outcome must serialize.
+            let reply = service.reply(&envelope);
+            if let Err(error) = reply.result() {
+                let _ = error.to_string();
+            }
+            serde_json::to_string(&reply).is_ok()
+        }
+        Err(parse_error) => {
+            // The boundary rejected it — exactly the typed `Malformed`
+            // path the serve loop takes.
+            let _ = parse_error.to_string();
+            true
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Corrupted `Restore` lines — truncated, bit-flipped, version-skewed —
+    /// always come back typed: a parse error or a `ServiceError`, never a
+    /// panic, and an untouched sibling task stays fully usable afterwards.
+    #[test]
+    fn corrupted_restore_bytes_are_typed_errors(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut service, snapshot, _) = seeded_task();
+        let line = serde_json::to_string(&RequestEnvelope::latest(Request::Restore {
+            task: "restored".into(),
+            snapshot: Box::new(snapshot),
+        }))
+        .unwrap();
+        for _ in 0..8 {
+            let mut bytes = line.clone().into_bytes();
+            corrupt_bytes(&mut rng, &mut bytes);
+            prop_assert!(line_is_typed(&mut service, &bytes));
+        }
+        // The service survived every corrupted restore attempt intact.
+        let probe = service.reply(&RequestEnvelope::latest(Request::QueryPosterior {
+            task: "fuzz".into(),
+            object: "o0".into(),
+        }));
+        prop_assert!(probe.result().is_ok(), "{:?}", probe.result());
+    }
+
+    /// Same property for `RestoreDelta` lines: the delta log is replayed
+    /// on top of an anchoring snapshot, and corrupt event bytes must fail
+    /// closed.
+    #[test]
+    fn corrupted_delta_bytes_are_typed_errors(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (mut service, snapshot, delta) = seeded_task();
+        let line = serde_json::to_string(&RequestEnvelope::latest(Request::RestoreDelta {
+            task: "fuzz".into(),
+            snapshot: Box::new(snapshot),
+            delta: Box::new(delta),
+        }))
+        .unwrap();
+        for _ in 0..8 {
+            let mut bytes = line.clone().into_bytes();
+            corrupt_bytes(&mut rng, &mut bytes);
+            prop_assert!(line_is_typed(&mut service, &bytes));
+        }
+    }
+
+    /// Crash-recovery anchors read back from the checkpoint store after a
+    /// torn write: `decode_anchor` on corrupted bytes is a typed
+    /// `ServiceError`, and version-skewed anchors are refused by
+    /// `install_recovered` rather than resurrected.
+    #[test]
+    fn corrupted_anchor_bytes_are_typed_errors(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (service, _, _) = seeded_task();
+        let anchor = service.checkpoint_task("fuzz").expect("checkpointable task");
+        let honest = encode_anchor(&anchor);
+        // Honest bytes round-trip.
+        prop_assert!(decode_anchor(&honest).is_ok());
+        for _ in 0..8 {
+            let mut bytes = honest.clone();
+            corrupt_bytes(&mut rng, &mut bytes);
+            match decode_anchor(&bytes) {
+                Ok(decoded) => {
+                    // Still parseable JSON (e.g. a digit splice): installing
+                    // it must be typed too — accepted or refused, no panic.
+                    let mut target = ValidationService::new();
+                    match target.install_recovered("fuzz", decoded) {
+                        Ok(_) => {}
+                        Err(error) => {
+                            let _ = error.to_string();
+                        }
+                    }
+                }
+                Err(error @ ServiceError::InvalidSnapshot { .. }) => {
+                    let _ = error.to_string();
+                }
+                Err(other) => {
+                    prop_assert!(false, "unexpected error kind: {other:?}");
+                }
+            }
+        }
+    }
+}

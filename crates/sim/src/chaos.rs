@@ -1,0 +1,277 @@
+//! Chaos workload generation: the paper crowd sliced into deterministic
+//! multi-tenant request scripts for fault-injection harnesses.
+//!
+//! The chaos bench needs traffic that (a) exercises every mutating surface
+//! of the validation session — ingest, guidance, expert validation — so a
+//! mid-stream crash can land inside any of them, (b) spreads across enough
+//! tenants that every shard of a small runtime owns at least one, and
+//! (c) is bit-reproducible from a seed, because the harness proves
+//! crash-recovery equality against a serial replay of the same script.
+//!
+//! Everything here is plain data (strings and enums): the harness that
+//! drives a service lives in another crate and translates [`ChaosStep`]s
+//! into its own wire types, so this crate never depends on the service.
+//! The per-tenant crowds are down-scaled copies of the paper's synthetic
+//! setup ([`SyntheticConfig::paper_default`]): the same population mix and
+//! reliability, fewer objects and workers so a multi-tenant chaos run
+//! stays CI-sized.
+
+use crate::generator::SyntheticConfig;
+use crowdval_model::ObjectId;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a multi-tenant chaos workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosConfig {
+    /// Master seed; tenant `t` draws its crowd from `seed + t`.
+    pub seed: u64,
+    /// Number of tenant tasks. Keep this at least twice the shard count of
+    /// the runtime under test so every shard owns work to lose.
+    pub tenants: usize,
+    /// Objects per tenant crowd.
+    pub objects_per_tenant: usize,
+    /// Workers per tenant crowd.
+    pub workers_per_tenant: usize,
+    /// Votes per ingest batch; guidance and validation are interleaved
+    /// between batches.
+    pub batch_size: usize,
+    /// Expert validations issued after each ingest batch.
+    pub validations_per_round: usize,
+}
+
+impl ChaosConfig {
+    /// The paper-default population scaled for a multi-tenant chaos run.
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            seed,
+            tenants: 6,
+            objects_per_tenant: 24,
+            workers_per_tenant: 12,
+            batch_size: 48,
+            validations_per_round: 2,
+        }
+    }
+
+    /// A trimmed workload for CI smoke runs.
+    pub fn quick(seed: u64) -> Self {
+        Self {
+            tenants: 4,
+            objects_per_tenant: 12,
+            workers_per_tenant: 8,
+            batch_size: 32,
+            validations_per_round: 1,
+            ..Self::paper_default(seed)
+        }
+    }
+
+    /// Generates the full deterministic workload.
+    pub fn generate(&self) -> ChaosWorkload {
+        assert!(self.tenants > 0, "a chaos workload needs tenants");
+        assert!(self.batch_size > 0, "batches must hold at least one vote");
+        let tenants = (0..self.tenants).map(|t| self.generate_tenant(t)).collect();
+        ChaosWorkload {
+            tenants,
+            config: self.clone(),
+        }
+    }
+
+    fn generate_tenant(&self, tenant: usize) -> ChaosTenant {
+        let mut base = SyntheticConfig::paper_default(self.seed.wrapping_add(tenant as u64));
+        base.name = format!("chaos-tenant-{tenant}");
+        base.num_objects = self.objects_per_tenant;
+        base.num_workers = self.workers_per_tenant;
+        let synth = base.generate();
+        let answers = synth.dataset.answers();
+        let truth_ref = synth.dataset.ground_truth();
+
+        let label_name = |l: usize| format!("l{l}");
+        let labels: Vec<String> = (0..base.num_labels).map(label_name).collect();
+        let truth: Vec<(String, String)> = (0..answers.num_objects())
+            .map(|o| {
+                (
+                    format!("o{o}"),
+                    label_name(truth_ref.label(ObjectId(o)).index()),
+                )
+            })
+            .collect();
+
+        // Flatten the answer matrix in (object, worker) order — the
+        // deterministic arrival order of the script.
+        let mut votes = Vec::new();
+        for o in 0..answers.num_objects() {
+            for w in 0..answers.num_workers() {
+                if let Some(label) = answers
+                    .matrix()
+                    .answer(ObjectId(o), crowdval_model::WorkerId(w))
+                {
+                    votes.push(ChaosVote {
+                        worker: format!("w{w}"),
+                        object: format!("o{o}"),
+                        label: label_name(label.index()),
+                    });
+                }
+            }
+        }
+
+        // Batches of ingest, each followed by a guidance call, a couple of
+        // ground-truth expert validations and a posterior probe — so a
+        // crash at any arrival index lands inside a different kind of
+        // mutation for different seeds.
+        let mut steps = Vec::new();
+        let mut validated = 0usize;
+        for (probed, batch) in votes.chunks(self.batch_size).enumerate() {
+            steps.push(ChaosStep::Votes(batch.to_vec()));
+            steps.push(ChaosStep::Guidance);
+            for _ in 0..self.validations_per_round {
+                let (object, label) = &truth[validated % truth.len()];
+                steps.push(ChaosStep::Validate {
+                    object: object.clone(),
+                    label: label.clone(),
+                });
+                validated += 1;
+            }
+            steps.push(ChaosStep::Probe {
+                object: format!("o{}", probed % answers.num_objects()),
+            });
+        }
+
+        ChaosTenant {
+            task: format!("tenant-{tenant}"),
+            labels,
+            truth,
+            steps,
+        }
+    }
+}
+
+/// One vote as plain data.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChaosVote {
+    pub worker: String,
+    pub object: String,
+    pub label: String,
+}
+
+/// One scripted step of a tenant's traffic.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ChaosStep {
+    /// Ingest a batch of crowd votes.
+    Votes(Vec<ChaosVote>),
+    /// Ask the session which object the expert should validate next.
+    Guidance,
+    /// Expert validation with the ground-truth label.
+    Validate { object: String, label: String },
+    /// Read the posterior of one object (non-mutating probe traffic).
+    Probe { object: String },
+}
+
+impl ChaosStep {
+    /// Whether the step changes session state (probes and guidance reads
+    /// do not — guidance *requests* are sheddable in the runtime exactly
+    /// because of this).
+    pub fn is_mutating(&self) -> bool {
+        matches!(self, ChaosStep::Votes(_) | ChaosStep::Validate { .. })
+    }
+}
+
+/// One tenant's complete script plus the hidden truth for accuracy checks.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosTenant {
+    /// Task name, unique across the workload.
+    pub task: String,
+    /// The tenant's label vocabulary.
+    pub labels: Vec<String>,
+    /// Ground truth `(object, label)` pairs, for accuracy deltas.
+    pub truth: Vec<(String, String)>,
+    /// The scripted traffic in arrival order.
+    pub steps: Vec<ChaosStep>,
+}
+
+/// A full multi-tenant chaos workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosWorkload {
+    pub tenants: Vec<ChaosTenant>,
+    pub config: ChaosConfig,
+}
+
+impl ChaosWorkload {
+    /// Total scripted steps across all tenants (excluding task creation).
+    pub fn total_steps(&self) -> usize {
+        self.tenants.iter().map(|t| t.steps.len()).sum()
+    }
+
+    /// Total votes across all tenants.
+    pub fn total_votes(&self) -> usize {
+        self.tenants
+            .iter()
+            .flat_map(|t| &t.steps)
+            .map(|s| match s {
+                ChaosStep::Votes(batch) => batch.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_workload() {
+        let a = ChaosConfig::paper_default(7).generate();
+        let b = ChaosConfig::paper_default(7).generate();
+        assert_eq!(a, b);
+        assert_eq!(
+            serde_json::to_string(&a).unwrap(),
+            serde_json::to_string(&b).unwrap()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = ChaosConfig::quick(1).generate();
+        let b = ChaosConfig::quick(2).generate();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn scripts_cover_every_mutation_kind() {
+        let workload = ChaosConfig::quick(3).generate();
+        assert_eq!(workload.tenants.len(), 4);
+        assert!(workload.total_votes() > 0);
+        for tenant in &workload.tenants {
+            assert!(!tenant.labels.is_empty());
+            assert_eq!(tenant.truth.len(), 12);
+            let mut kinds = [false; 4];
+            for step in &tenant.steps {
+                match step {
+                    ChaosStep::Votes(batch) => {
+                        assert!(!batch.is_empty());
+                        kinds[0] = true;
+                    }
+                    ChaosStep::Guidance => kinds[1] = true,
+                    ChaosStep::Validate { object, label } => {
+                        kinds[2] = true;
+                        // Validations carry the ground-truth label.
+                        assert!(tenant.truth.iter().any(|(o, l)| o == object && l == label));
+                    }
+                    ChaosStep::Probe { .. } => kinds[3] = true,
+                }
+            }
+            assert!(kinds.iter().all(|k| *k), "missing step kind in script");
+        }
+    }
+
+    #[test]
+    fn validations_stay_inside_the_vocabulary() {
+        let workload = ChaosConfig::quick(9).generate();
+        for tenant in &workload.tenants {
+            for step in &tenant.steps {
+                if let ChaosStep::Validate { label, .. } = step {
+                    assert!(tenant.labels.contains(label));
+                }
+            }
+        }
+    }
+}

@@ -16,6 +16,7 @@
 //! * answer augmentation used by the "workers-only" cost strategy (§6.8).
 
 pub mod augment;
+pub mod chaos;
 pub mod difficulty;
 pub mod expert_sim;
 pub mod generator;
@@ -26,6 +27,7 @@ pub mod triage_train;
 pub mod worker_profile;
 
 pub use augment::augment_with_answers;
+pub use chaos::{ChaosConfig, ChaosStep, ChaosTenant, ChaosVote, ChaosWorkload};
 pub use difficulty::DifficultyModel;
 pub use expert_sim::SimulatedExpert;
 pub use generator::{SyntheticConfig, SyntheticDataset};

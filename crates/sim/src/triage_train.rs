@@ -135,9 +135,7 @@ pub fn collect_examples(
         .build();
     let chunk = votes.len().div_ceil(batches.max(1)).max(1);
     for batch in votes.chunks(chunk) {
-        session
-            .ingest(batch)
-            .expect("synthetic votes are in range");
+        session.ingest(batch).expect("synthetic votes are in range");
     }
     let unaided = session.current().instantiate();
     (0..objects)
@@ -180,7 +178,10 @@ pub fn train_convergence_predictor(config: &TriageTrainingConfig) -> TrainingRep
     let positives = pool.iter().filter(|e| e.converged).count();
     let mut predictor = ConvergencePredictor::new(config.triage.seed);
     for epoch in 0..config.epochs {
-        let order = shuffled_indices(pool.len(), config.triage.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9));
+        let order = shuffled_indices(
+            pool.len(),
+            config.triage.seed ^ (epoch as u64).wrapping_mul(0x9e37_79b9),
+        );
         for i in order {
             let e = &pool[i];
             predictor.train(&e.features, e.converged, config.triage.learning_rate);

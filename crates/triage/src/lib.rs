@@ -38,5 +38,7 @@ pub mod policy;
 pub mod predictor;
 
 pub use features::TriageFeatures;
-pub use policy::{AuditRecord, TriageConfig, TriageCounters, TriageDecision, TriageState, TriageVerdict};
+pub use policy::{
+    AuditRecord, TriageConfig, TriageCounters, TriageDecision, TriageState, TriageVerdict,
+};
 pub use predictor::ConvergencePredictor;
